@@ -1,0 +1,54 @@
+//! Design-choice ablation benches: accuracy tables are printed once (the
+//! data for EXPERIMENTS.md), and the run cost of each ablation study is
+//! benchmarked so regressions in the harness itself are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use vire_bench::bench_seeds;
+use vire_exp::figures::ablations;
+
+static PRINT: Once = Once::new();
+
+fn print_tables() {
+    PRINT.call_once(|| {
+        let seeds = bench_seeds();
+        println!("\n===== Ablation studies (seeds: {seeds:?}) =====\n");
+        for study in [
+            ablations::kernels(&seeds),
+            ablations::weighting(&seeds),
+            ablations::equipment(&seeds),
+            ablations::boundary(&seeds),
+            ablations::reader_count(&seeds),
+            ablations::smoothing(&seeds),
+            ablations::grid_spacing(&seeds),
+            ablations::channel_fidelity(&seeds),
+            ablations::landmarc_k(&seeds),
+            ablations::reader_placement(&seeds),
+        ] {
+            println!("{}", ablations::render(&study));
+        }
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_tables();
+    let seeds: Vec<u64> = bench_seeds()[..1].to_vec();
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("kernels", |b| b.iter(|| ablations::kernels(&seeds)));
+    group.bench_function("weighting", |b| b.iter(|| ablations::weighting(&seeds)));
+    group.bench_function("equipment", |b| b.iter(|| ablations::equipment(&seeds)));
+    group.bench_function("boundary", |b| b.iter(|| ablations::boundary(&seeds)));
+    group.bench_function("reader_count", |b| {
+        b.iter(|| ablations::reader_count(&seeds))
+    });
+    group.bench_function("smoothing", |b| b.iter(|| ablations::smoothing(&seeds)));
+    group.bench_function("grid_spacing", |b| {
+        b.iter(|| ablations::grid_spacing(&seeds))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

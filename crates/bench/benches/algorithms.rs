@@ -1,0 +1,112 @@
+//! Per-call cost of each localizer and of the VIRE pipeline stages.
+//!
+//! Verifies the paper's complexity claims on real hardware numbers:
+//! interpolation is O(N²) in the virtual-tag count (§4.2) and elimination
+//! is cheap relative to it (§4.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vire_bench::fixture;
+use vire_core::elimination::{eliminate, ThresholdMode};
+use vire_core::ext::{BoundaryCompensatedVire, TwoPassVire};
+use vire_core::nearest::{KCentroid, NearestReference};
+use vire_core::trilateration::Trilateration;
+use vire_core::virtual_grid::{InterpolationKernel, VirtualGrid};
+use vire_core::weights::{candidate_weights, W1Mode, WeightingMode};
+use vire_core::{Landmarc, Localizer, Vire, VireConfig};
+
+fn bench_localizers(c: &mut Criterion) {
+    let (map, tags) = fixture();
+    let (_, reading) = &tags[0];
+
+    let mut group = c.benchmark_group("localizers");
+    let algs: Vec<(&str, Box<dyn Localizer>)> = vec![
+        ("landmarc_k4", Box::new(Landmarc::default())),
+        ("vire_n10_adaptive", Box::new(Vire::default())),
+        (
+            "vire_n10_fixed2.5",
+            Box::new(Vire::new(VireConfig::with_fixed_threshold(2.5))),
+        ),
+        ("vire_2pass", Box::new(TwoPassVire::new(2, 10, 1))),
+        (
+            "vire_boundary_margin1",
+            Box::new(BoundaryCompensatedVire::new(VireConfig::default(), 1)),
+        ),
+        ("trilateration", Box::new(Trilateration::default())),
+        ("nearest_reference", Box::new(NearestReference)),
+        ("k_centroid", Box::new(KCentroid::default())),
+    ];
+    for (name, alg) in &algs {
+        group.bench_function(*name, |b| {
+            b.iter(|| alg.locate(black_box(&map), black_box(reading)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// The §4.2 complexity claim: virtual grid construction is O(N²) in the
+/// total virtual-tag count. Criterion's per-size timings should scale
+/// linearly with `(3n+1)²`.
+fn bench_interpolation_scaling(c: &mut Criterion) {
+    let (map, _) = fixture();
+    let mut group = c.benchmark_group("virtual_grid_onsq");
+    for n in [2usize, 5, 10, 20, 40] {
+        let tags = (3 * n + 1) * (3 * n + 1);
+        group.bench_with_input(BenchmarkId::from_parameter(tags), &n, |b, &n| {
+            b.iter(|| VirtualGrid::build(black_box(&map), n, InterpolationKernel::Linear))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let (map, _) = fixture();
+    let mut group = c.benchmark_group("interpolation_kernels");
+    for kernel in InterpolationKernel::ALL {
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| VirtualGrid::build(black_box(&map), 10, kernel))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let (map, tags) = fixture();
+    let (_, reading) = &tags[0];
+    let grid = VirtualGrid::build(&map, 10, InterpolationKernel::Linear);
+
+    let mut group = c.benchmark_group("vire_stages");
+    group.bench_function("interpolate_n10", |b| {
+        b.iter(|| VirtualGrid::build(black_box(&map), 10, InterpolationKernel::Linear))
+    });
+    group.bench_function("eliminate_fixed", |b| {
+        b.iter(|| eliminate(black_box(&grid), black_box(reading), ThresholdMode::Fixed(2.5)))
+    });
+    group.bench_function("eliminate_adaptive", |b| {
+        b.iter(|| eliminate(black_box(&grid), black_box(reading), ThresholdMode::default()))
+    });
+    let mask = eliminate(&grid, reading, ThresholdMode::Fixed(2.5))
+        .expect("fixture threshold keeps candidates")
+        .mask;
+    group.bench_function("weights_combined", |b| {
+        b.iter(|| {
+            candidate_weights(
+                black_box(&grid),
+                black_box(reading),
+                black_box(&mask),
+                WeightingMode::Combined,
+                W1Mode::PaperDiscrepancy,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_localizers,
+    bench_interpolation_scaling,
+    bench_kernels,
+    bench_pipeline_stages
+);
+criterion_main!(benches);

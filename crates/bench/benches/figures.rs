@@ -1,0 +1,50 @@
+//! One benchmark per paper figure. Each bench times the full reproduction
+//! (simulation + localization + aggregation) and prints the rendered table
+//! once, so `cargo bench --bench figures` regenerates the evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use vire_bench::bench_seeds;
+use vire_exp::figures::{fig2, fig3, fig4, fig6, fig7, fig8};
+
+static PRINT: Once = Once::new();
+
+fn print_all_tables() {
+    PRINT.call_once(|| {
+        let seeds = bench_seeds();
+        println!("\n===== Paper figure reproductions (seeds: {seeds:?}) =====\n");
+        println!("{}", fig2::render(&fig2::run(&seeds)));
+        println!("{}", fig3::render(&fig3::run_default()));
+        println!("{}", fig4::render(&fig4::run_default()));
+        println!("{}", fig6::render(&fig6::run(&seeds)));
+        println!("{}", fig7::render(&fig7::run(&seeds)));
+        println!("{}", fig8::render(&fig8::run(&seeds)));
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    print_all_tables();
+    let seeds = bench_seeds();
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig2_landmarc_3envs", |b| {
+        b.iter(|| fig2::run(&seeds[..1]))
+    });
+    group.bench_function("fig3_rssi_vs_distance", |b| {
+        b.iter(|| fig3::run(42, 20))
+    });
+    group.bench_function("fig4_interference", |b| b.iter(|| fig4::run(11, 20)));
+    group.bench_function("fig6_vire_vs_landmarc_3envs", |b| {
+        b.iter(|| fig6::run(&seeds[..1]))
+    });
+    group.bench_function("fig7_density_sweep", |b| b.iter(|| fig7::run(&seeds[..1])));
+    group.bench_function("fig8_threshold_sweep", |b| {
+        b.iter(|| fig8::run(&seeds[..1]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

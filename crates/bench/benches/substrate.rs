@@ -1,0 +1,117 @@
+//! Substrate micro-benches: the geometry and radio primitives the
+//! simulation spends its time in. Catches regressions in the hot paths
+//! (mirror images, channel evaluation, labeling, interpolation kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vire_core::TrackingReading;
+use vire_env::presets::env3;
+use vire_geom::interp::lagrange::Lagrange;
+use vire_geom::interp::linear::Linear;
+use vire_geom::interp::newton::Newton;
+use vire_geom::interp::spline::CubicSpline;
+use vire_geom::interp::Interpolator1D;
+use vire_geom::label::Components;
+use vire_geom::{GridData, Point2, RegularGrid, Segment};
+use vire_radio::RfChannel;
+
+fn bench_geometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometry");
+    let wall = Segment::new(Point2::new(-5.0, 2.0), Point2::new(8.0, 2.5));
+    group.bench_function("segment_mirror", |b| {
+        b.iter(|| wall.mirror(black_box(Point2::new(1.3, -0.7))))
+    });
+    let other = Segment::new(Point2::new(0.0, -3.0), Point2::new(2.0, 5.0));
+    group.bench_function("segment_intersect", |b| {
+        b.iter(|| wall.intersect(black_box(&other)))
+    });
+
+    // Connected components on a half-filled 31x31 mask (the Fig. 5 shape).
+    let grid = RegularGrid::square(Point2::ORIGIN, 0.1, 31);
+    let mask = GridData::from_fn(grid, |idx, _| (idx.i * 7 + idx.j * 5) % 3 != 0);
+    group.bench_function("label_31x31", |b| {
+        b.iter(|| Components::label(black_box(&mask)))
+    });
+    group.finish();
+}
+
+fn bench_1d_kernels(c: &mut Criterion) {
+    let xs = [0.0, 1.0, 2.0, 3.0];
+    let ys = [-62.0, -71.0, -76.5, -80.0];
+    let mut group = c.benchmark_group("kernel_1d_fit_eval");
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            let f = Linear::fit(black_box(&xs), black_box(&ys)).unwrap();
+            (0..31).map(|k| f.eval(k as f64 * 0.1)).sum::<f64>()
+        })
+    });
+    group.bench_function("newton", |b| {
+        b.iter(|| {
+            let f = Newton::fit(black_box(&xs), black_box(&ys)).unwrap();
+            (0..31).map(|k| f.eval(k as f64 * 0.1)).sum::<f64>()
+        })
+    });
+    group.bench_function("lagrange", |b| {
+        b.iter(|| {
+            let f = Lagrange::fit(black_box(&xs), black_box(&ys)).unwrap();
+            (0..31).map(|k| f.eval(k as f64 * 0.1)).sum::<f64>()
+        })
+    });
+    group.bench_function("cubic_spline", |b| {
+        b.iter(|| {
+            let f = CubicSpline::fit(black_box(&xs), black_box(&ys)).unwrap();
+            (0..31).map(|k| f.eval(k as f64 * 0.1)).sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let env = env3();
+    let ch = RfChannel::new(env.channel_params(1));
+    let mut ch_mut = RfChannel::new(env.channel_params(1));
+    let tx = Point2::new(1.3, 1.7);
+    let rx = Point2::new(-0.7, -0.7);
+
+    let mut group = c.benchmark_group("channel");
+    group.bench_function("mean_rssi_env3", |b| {
+        b.iter(|| ch.mean_rssi(black_box(tx), black_box(rx)))
+    });
+    group.bench_function("measure_env3", |b| {
+        b.iter(|| ch_mut.measure(black_box(tx), black_box(rx), 1))
+    });
+
+    // Second-order reflections cost comparison.
+    let mut env2nd = env3();
+    env2nd.second_order_reflections = true;
+    let ch2 = RfChannel::new(env2nd.channel_params(1));
+    group.bench_function("mean_rssi_env3_2nd_order", |b| {
+        b.iter(|| ch2.mean_rssi(black_box(tx), black_box(rx)))
+    });
+    group.finish();
+}
+
+fn bench_signal_distance(c: &mut Criterion) {
+    let reading = TrackingReading::new(vec![-70.0, -75.0, -80.0, -85.0]);
+    let reference = [-71.0, -74.0, -82.0, -84.0];
+    let mut group = c.benchmark_group("signal_space");
+    for n in [4usize, 16, 961] {
+        group.bench_with_input(BenchmarkId::new("distances", n), &n, |b, &n| {
+            b.iter(|| {
+                (0..n)
+                    .map(|_| reading.signal_distance(black_box(&reference)))
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_geometry,
+    bench_1d_kernels,
+    bench_channel,
+    bench_signal_distance
+);
+criterion_main!(benches);

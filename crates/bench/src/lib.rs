@@ -1,0 +1,41 @@
+//! # vire-bench
+//!
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! Three bench binaries live in `benches/`:
+//!
+//! * `figures` — regenerates every paper figure (2(b), 3, 4, 6(a–c), 7, 8)
+//!   and reports the wall-clock cost of each reproduction; the rendered
+//!   tables are printed once per run so `cargo bench | tee` doubles as the
+//!   EXPERIMENTS.md data source,
+//! * `algorithms` — per-call cost of each localizer and of the VIRE
+//!   pipeline stages (interpolation O(N²), elimination, weighting),
+//! * `ablations` — design-choice variants (kernel, weighting, threshold
+//!   mode, two-pass granularity).
+
+#![warn(missing_docs)]
+
+use vire_core::{ReferenceRssiMap, TrackingReading};
+use vire_env::presets::env2;
+use vire_env::Deployment;
+use vire_exp::runner::collect_trial;
+use vire_geom::Point2;
+
+/// A deterministic mid-hostility trial fixture shared by the algorithm
+/// benches: Env2, seed 42, the nine Fig. 2(a) tracking tags.
+pub fn fixture() -> (ReferenceRssiMap, Vec<(Point2, TrackingReading)>) {
+    let positions = Deployment::tracking_tags_fig2a();
+    let trial = collect_trial(&env2(), &positions, 42);
+    let tags = trial
+        .tags
+        .iter()
+        .map(|t| (t.truth, t.reading.clone()))
+        .collect();
+    (trial.map, tags)
+}
+
+/// Seeds used by the figure benches — fewer than the 10-seed default so a
+/// full `cargo bench` stays tractable; the rendered tables note the count.
+pub fn bench_seeds() -> Vec<u64> {
+    vec![1, 2, 3]
+}

@@ -1,0 +1,313 @@
+//! Threshold selection and elimination of unlikely positions (§4.3).
+//!
+//! The paper's adaptive procedure, paraphrased: start from the threshold
+//! that gives the largest proximity-map area, then "reduce the chosen
+//! reader's threshold step by step", largest-area reader first, and keep
+//! "the smallest area formed by the smallest threshold available". We
+//! implement that as:
+//!
+//! 1. a common threshold starts high enough that every reader's map
+//!    highlights at least its best-matching region,
+//! 2. the common threshold is reduced stepwise while the K-map
+//!    intersection stays non-empty,
+//! 3. optionally each reader's threshold is then tightened individually
+//!    (largest area first) while the intersection stays non-empty.
+//!
+//! A fixed-threshold mode exists for the Fig. 8 sweep, where the threshold
+//! is the independent variable.
+
+use crate::proximity::{intersect, ProximityMap};
+use crate::types::TrackingReading;
+use crate::virtual_grid::VirtualGrid;
+use vire_geom::GridData;
+
+/// How the elimination threshold is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdMode {
+    /// A fixed threshold (dB) for all readers — Fig. 8's independent
+    /// variable. The intersection may come out empty.
+    Fixed(f64),
+    /// The adaptive reduction of §4.3.
+    Adaptive {
+        /// Reduction step per iteration, dB.
+        step: f64,
+        /// Lower bound on the threshold, dB.
+        min: f64,
+        /// Whether to run the per-reader tightening pass after the common
+        /// reduction.
+        per_reader: bool,
+        /// Floor on the surviving candidate count: reduction stops before
+        /// the mask would shrink below this many regions. The paper's
+        /// algorithm preserves "that particular area" while tightening —
+        /// shrinking all the way to one cell degenerates VIRE into a noisy
+        /// nearest-virtual-tag snap. `0` means *auto*: [`crate::Vire`]
+        /// substitutes one physical cell's worth of virtual regions (n²).
+        min_candidates: usize,
+    },
+}
+
+impl Default for ThresholdMode {
+    /// The paper's operating point: adaptive with a 0.25 dB step,
+    /// per-reader tightening, and the auto candidate floor.
+    fn default() -> Self {
+        ThresholdMode::Adaptive {
+            step: 0.25,
+            min: 0.05,
+            per_reader: true,
+            min_candidates: 0,
+        }
+    }
+}
+
+/// Result of the elimination stage.
+#[derive(Debug, Clone)]
+pub struct EliminationResult {
+    /// Combined candidate mask on the virtual grid.
+    pub mask: GridData<bool>,
+    /// Final per-reader thresholds (equal in fixed/common modes).
+    pub thresholds: Vec<f64>,
+}
+
+impl EliminationResult {
+    /// Number of surviving candidate regions.
+    pub fn candidates(&self) -> usize {
+        self.mask.count_true()
+    }
+}
+
+/// Runs elimination. Returns `None` when a **fixed** threshold eliminates
+/// every region (adaptive mode always keeps at least one).
+pub fn eliminate(
+    grid: &VirtualGrid,
+    reading: &TrackingReading,
+    mode: ThresholdMode,
+) -> Option<EliminationResult> {
+    let k_readers = grid.reader_count();
+    debug_assert_eq!(k_readers, reading.reader_count());
+
+    match mode {
+        ThresholdMode::Fixed(t) => {
+            let maps: Vec<ProximityMap> = (0..k_readers)
+                .map(|k| ProximityMap::build(grid, k, reading.at(k), t))
+                .collect();
+            let mask = intersect(&maps);
+            if mask.is_empty_mask() {
+                return None;
+            }
+            Some(EliminationResult {
+                mask,
+                thresholds: vec![t; k_readers],
+            })
+        }
+        ThresholdMode::Adaptive {
+            step,
+            min,
+            per_reader,
+            min_candidates,
+        } => {
+            assert!(step > 0.0 && min >= 0.0, "invalid adaptive parameters");
+            // Clamp so a floor larger than the lattice cannot make the
+            // growth loop unbounded.
+            let floor = min_candidates.max(1).min(grid.tag_count());
+            // Smallest per-reader gap: at threshold just above it, reader k
+            // still highlights its best-matching region. The common start
+            // is the largest of those, guaranteeing a non-empty map for
+            // every reader (though not yet a non-empty intersection).
+            let best_gap = |k: usize| -> f64 {
+                grid.field(k)
+                    .as_slice()
+                    .iter()
+                    .map(|s| (s - reading.at(k)).abs())
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let start = (0..k_readers)
+                .map(best_gap)
+                .fold(0.0f64, f64::max)
+                .max(min)
+                + step;
+
+            let build_all = |ts: &[f64]| -> Vec<ProximityMap> {
+                (0..k_readers)
+                    .map(|k| ProximityMap::build(grid, k, reading.at(k), ts[k]))
+                    .collect()
+            };
+
+            // Phase 1: grow the common threshold until the intersection is
+            // non-empty (the per-reader floors guarantee each map alone is
+            // non-empty, but their intersection may need more slack). The
+            // candidate floor deliberately does NOT apply here: a small
+            // initial intersection means the readers already agree tightly,
+            // and widening the threshold would only admit spurious regions.
+            // The floor exists to stop the *shrinking* phases from
+            // whittling an ample consistent region down to a noisy
+            // single-cell snap.
+            let mut t = start;
+            let mut maps = build_all(&vec![t; k_readers]);
+            let mut mask = intersect(&maps);
+            while mask.is_empty_mask() {
+                t += step;
+                maps = build_all(&vec![t; k_readers]);
+                mask = intersect(&maps);
+            }
+
+            // Phase 2: shrink the common threshold while the candidate
+            // floor holds.
+            while t - step >= min {
+                let cand = t - step;
+                let cand_maps = build_all(&vec![cand; k_readers]);
+                let cand_mask = intersect(&cand_maps);
+                if cand_mask.count_true() < floor {
+                    break;
+                }
+                t = cand;
+                maps = cand_maps;
+                mask = cand_mask;
+            }
+            let mut thresholds = vec![t; k_readers];
+
+            // Phase 3: per-reader tightening, largest area first.
+            if per_reader {
+                let mut order: Vec<usize> = (0..k_readers).collect();
+                order.sort_by_key(|&k| std::cmp::Reverse(maps[k].area()));
+                for k in order {
+                    while thresholds[k] - step >= min {
+                        let mut cand = thresholds.clone();
+                        cand[k] -= step;
+                        let cand_maps = build_all(&cand);
+                        let cand_mask = intersect(&cand_maps);
+                        if cand_mask.count_true() < floor {
+                            break;
+                        }
+                        thresholds = cand;
+                        mask = cand_mask;
+                    }
+                }
+            }
+
+            Some(EliminationResult { mask, thresholds })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ReferenceRssiMap;
+    use crate::virtual_grid::InterpolationKernel;
+    use vire_geom::{GridData as GD, Point2, RegularGrid};
+
+    fn setup() -> (VirtualGrid, TrackingReading, Point2) {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let readers = vec![
+            Point2::new(-1.0, -1.0),
+            Point2::new(4.0, -1.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(-1.0, 4.0),
+        ];
+        let fields = readers
+            .iter()
+            .map(|r| GD::from_fn(grid, |_, p| -60.0 - 4.0 * p.distance(*r)))
+            .collect();
+        let refs = ReferenceRssiMap::new(grid, readers.clone(), fields);
+        let vg = VirtualGrid::build(&refs, 5, InterpolationKernel::Linear);
+        let truth = Point2::new(1.3, 1.7);
+        let reading = TrackingReading::new(
+            readers
+                .iter()
+                .map(|r| -60.0 - 4.0 * truth.distance(*r))
+                .collect(),
+        );
+        (vg, reading, truth)
+    }
+
+    #[test]
+    fn fixed_threshold_keeps_truth_region() {
+        let (vg, reading, truth) = setup();
+        let result = eliminate(&vg, &reading, ThresholdMode::Fixed(2.0)).unwrap();
+        assert!(result.candidates() > 0);
+        let nearest = vg.grid().nearest_node(truth);
+        assert!(*result.mask.get(nearest), "true region must survive");
+        assert_eq!(result.thresholds, vec![2.0; 4]);
+    }
+
+    #[test]
+    fn tiny_fixed_threshold_can_eliminate_everything() {
+        let (vg, reading, _) = setup();
+        assert!(eliminate(&vg, &reading, ThresholdMode::Fixed(1e-6)).is_none());
+    }
+
+    #[test]
+    fn adaptive_never_returns_empty() {
+        let (vg, reading, _) = setup();
+        let result = eliminate(&vg, &reading, ThresholdMode::default()).unwrap();
+        assert!(result.candidates() > 0);
+    }
+
+    #[test]
+    fn adaptive_keeps_truth_region_nearby() {
+        let (vg, reading, truth) = setup();
+        let result = eliminate(&vg, &reading, ThresholdMode::default()).unwrap();
+        // The surviving mask's candidates should cluster around the truth:
+        // every candidate within 1 m on this noise-free field.
+        for (idx, &set) in result.mask.iter() {
+            if set {
+                let p = vg.grid().position(idx);
+                assert!(
+                    p.distance(truth) < 1.0,
+                    "candidate {p} too far from truth {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_area_not_larger_than_loose_fixed() {
+        let (vg, reading, _) = setup();
+        let adaptive = eliminate(&vg, &reading, ThresholdMode::default()).unwrap();
+        let loose = eliminate(&vg, &reading, ThresholdMode::Fixed(6.0)).unwrap();
+        assert!(adaptive.candidates() <= loose.candidates());
+    }
+
+    #[test]
+    fn per_reader_tightening_never_grows_the_mask() {
+        let (vg, reading, _) = setup();
+        let common_only = eliminate(
+            &vg,
+            &reading,
+            ThresholdMode::Adaptive {
+                step: 0.25,
+                min: 0.05,
+                per_reader: false,
+                min_candidates: 1,
+            },
+        )
+        .unwrap();
+        let tightened = eliminate(&vg, &reading, ThresholdMode::default()).unwrap();
+        assert!(tightened.candidates() <= common_only.candidates());
+        assert!(tightened.candidates() > 0);
+    }
+
+    #[test]
+    fn fixed_candidates_grow_with_threshold() {
+        let (vg, reading, _) = setup();
+        let mut prev = 0;
+        for t in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            if let Some(r) = eliminate(&vg, &reading, ThresholdMode::Fixed(t)) {
+                assert!(r.candidates() >= prev);
+                prev = r.candidates();
+            }
+        }
+        assert!(prev > 0);
+    }
+
+    #[test]
+    fn per_reader_thresholds_do_not_exceed_common() {
+        let (vg, reading, _) = setup();
+        let r = eliminate(&vg, &reading, ThresholdMode::default()).unwrap();
+        let max_t = r.thresholds.iter().cloned().fold(0.0, f64::max);
+        for &t in &r.thresholds {
+            assert!(t <= max_t);
+            assert!(t >= 0.05);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! The paper's §6 future-work extensions, implemented.
+//!
+//! * [`boundary`] — virtual extrapolation beyond the reference lattice,
+//!   addressing "to alleviate the large estimation error for those tags in
+//!   the boundary of the sensing area, we recommend putting more reference
+//!   tags in a large area" — done here with *virtual* tags, no hardware,
+//! * [`granularity`] — two-pass localization with coarse-then-fine virtual
+//!   grids, the computational side of "construct a virtual grid for each
+//!   real grid cell with different granularity".
+//!
+//! The nonlinear-interpolation future-work item lives in
+//! [`crate::virtual_grid::InterpolationKernel`].
+
+pub mod boundary;
+pub mod granularity;
+
+pub use boundary::{extend_reference_map, BoundaryCompensatedVire};
+pub use granularity::TwoPassVire;

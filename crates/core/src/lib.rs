@@ -1,0 +1,62 @@
+//! # vire-core
+//!
+//! The localization algorithms: **VIRE** (the paper's contribution), the
+//! **LANDMARC** baseline it improves on, and supporting baselines and
+//! extensions.
+//!
+//! ## Data model
+//!
+//! Localization consumes two things ([`types`]):
+//!
+//! * a [`ReferenceRssiMap`] — the smoothed RSSI of every *real* reference
+//!   tag as heard by every reader, on the reference lattice,
+//! * a [`TrackingReading`] — the RSSI of the tracking tag at the same
+//!   readers.
+//!
+//! Both are produced by the `vire-sim` testbed (or could come from real
+//! middleware; the algorithms never look behind these types).
+//!
+//! ## Algorithms
+//!
+//! * [`landmarc`] — signal-space k-nearest-neighbour weighting (Ni et al.,
+//!   PerCom 2003), the baseline of every figure,
+//! * [`vire_alg`] — the four VIRE stages: virtual grid interpolation
+//!   ([`virtual_grid`]), per-reader proximity maps ([`proximity`]),
+//!   threshold elimination ([`elimination`]) and dual-factor weighting
+//!   ([`weights`]),
+//! * [`trilateration`], [`nearest`] — sanity baselines the paper does not
+//!   plot but any practitioner would ask about,
+//! * [`ext`] — the paper's §6 future-work items: nonlinear interpolation
+//!   kernels, boundary-tag compensation, and two-pass adaptive granularity.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod elimination;
+pub mod ext;
+pub mod kalman;
+pub mod landmarc;
+pub mod localizer;
+pub mod nearest;
+pub mod proximity;
+pub mod quality;
+pub mod scattered;
+pub mod service;
+pub mod tracking;
+pub mod trilateration;
+pub mod types;
+pub mod vire_alg;
+pub mod virtual_grid;
+pub mod weights;
+
+pub use landmarc::{Landmarc, LandmarcConfig};
+pub use localizer::{Estimate, LocalizeError, Localizer};
+pub use quality::{FixQuality, ScoredLocate};
+pub use kalman::KalmanTracker;
+pub use service::{LocationService, ServiceConfig, TrackedEstimate};
+pub use scattered::{ScatteredLandmarc, ScatteredReferenceMap, ScatteredVire};
+pub use tracking::PositionTracker;
+pub use types::{ReferenceRssiMap, TrackingReading};
+pub use vire_alg::{ThresholdMode, Vire, VireConfig};
+pub use weights::{W1Mode, WeightingMode};
+pub use virtual_grid::InterpolationKernel;

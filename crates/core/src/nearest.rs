@@ -1,0 +1,162 @@
+//! Trivial baselines: nearest reference and unweighted k-centroid.
+//!
+//! Floor-level comparators for the benchmark tables. `NearestReference`
+//! snaps to the single best-matching reference tag (the granularity floor
+//! of any reference-tag method); `KCentroid` averages the k best matches
+//! without weights (what LANDMARC would be without its 1/E² weighting —
+//! an implicit ablation of that design choice).
+
+use crate::landmarc::Landmarc;
+use crate::localizer::{check_readers, Estimate, LocalizeError, Localizer};
+use crate::types::{ReferenceRssiMap, TrackingReading};
+use vire_geom::Point2;
+
+/// Snaps to the reference tag with the smallest signal distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NearestReference;
+
+impl Localizer for NearestReference {
+    fn locate(
+        &self,
+        refs: &ReferenceRssiMap,
+        reading: &TrackingReading,
+    ) -> Result<Estimate, LocalizeError> {
+        check_readers(refs, reading)?;
+        let scored = Landmarc::signal_distances(refs, reading);
+        let best = scored
+            .into_iter()
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+            .ok_or_else(|| LocalizeError::InsufficientData("no reference tags".into()))?;
+        Ok(Estimate::new(best.1, 1))
+    }
+
+    fn name(&self) -> &'static str {
+        "nearest-reference"
+    }
+}
+
+/// Unweighted centroid of the k signal-space-nearest references.
+#[derive(Debug, Clone, Copy)]
+pub struct KCentroid {
+    /// Number of references to average.
+    pub k: usize,
+}
+
+impl Default for KCentroid {
+    fn default() -> Self {
+        KCentroid { k: 4 }
+    }
+}
+
+impl Localizer for KCentroid {
+    fn locate(
+        &self,
+        refs: &ReferenceRssiMap,
+        reading: &TrackingReading,
+    ) -> Result<Estimate, LocalizeError> {
+        check_readers(refs, reading)?;
+        let total = refs.grid().node_count();
+        if self.k == 0 || self.k > total {
+            return Err(LocalizeError::InsufficientData(format!(
+                "k = {} with {total} reference tags",
+                self.k
+            )));
+        }
+        let mut scored = Landmarc::signal_distances(refs, reading);
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let positions: Vec<Point2> = scored.iter().take(self.k).map(|(_, p)| *p).collect();
+        Point2::centroid(&positions)
+            .map(|p| Estimate::new(p, self.k))
+            .ok_or(LocalizeError::DegenerateWeights)
+    }
+
+    fn name(&self) -> &'static str {
+        "k-centroid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vire_geom::{GridData, RegularGrid};
+
+    fn setup() -> (ReferenceRssiMap, impl Fn(Point2) -> TrackingReading) {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let readers = vec![
+            Point2::new(-1.0, -1.0),
+            Point2::new(4.0, -1.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(-1.0, 4.0),
+        ];
+        let f = |p: Point2, r: Point2| -60.0 - 5.0 * p.distance(r);
+        let fields = readers
+            .iter()
+            .map(|r| GridData::from_fn(grid, |_, p| f(p, *r)))
+            .collect();
+        let map = ReferenceRssiMap::new(grid, readers.clone(), fields);
+        let make = move |p: Point2| {
+            TrackingReading::new(readers.iter().map(|r| f(p, *r)).collect())
+        };
+        (map, make)
+    }
+
+    #[test]
+    fn nearest_snaps_to_closest_lattice_node() {
+        let (map, make) = setup();
+        let est = NearestReference
+            .locate(&map, &make(Point2::new(1.2, 2.1)))
+            .unwrap();
+        assert_eq!(est.position, Point2::new(1.0, 2.0));
+        assert_eq!(est.contributors, 1);
+    }
+
+    #[test]
+    fn nearest_error_bounded_by_half_cell_diagonal_interior() {
+        let (map, make) = setup();
+        for &(x, y) in &[(0.5, 0.5), (1.3, 1.8), (2.2, 2.7)] {
+            let truth = Point2::new(x, y);
+            let err = NearestReference.locate(&map, &make(truth)).unwrap().error(truth);
+            assert!(err <= (0.5f64.powi(2) * 2.0).sqrt() + 1e-9, "err {err}");
+        }
+    }
+
+    #[test]
+    fn kcentroid_center_tag_is_exact() {
+        let (map, make) = setup();
+        // (1.5, 1.5) is equidistant from its 4 surrounding references; the
+        // unweighted centroid of those is exactly (1.5, 1.5).
+        let truth = Point2::new(1.5, 1.5);
+        let est = KCentroid::default().locate(&map, &make(truth)).unwrap();
+        assert!(est.error(truth) < 1e-9);
+    }
+
+    #[test]
+    fn landmarc_weighting_beats_unweighted_centroid() {
+        // Off-center tags: LANDMARC's 1/E² weighting pulls toward the
+        // closer references; the plain centroid cannot.
+        let (map, make) = setup();
+        let lm = crate::landmarc::Landmarc::default();
+        let kc = KCentroid::default();
+        let mut lm_total = 0.0;
+        let mut kc_total = 0.0;
+        for &(x, y) in &[(1.2, 1.3), (2.3, 0.8), (0.6, 2.4), (1.9, 2.2)] {
+            let truth = Point2::new(x, y);
+            lm_total += lm.locate(&map, &make(truth)).unwrap().error(truth);
+            kc_total += kc.locate(&map, &make(truth)).unwrap().error(truth);
+        }
+        assert!(lm_total < kc_total, "LANDMARC {lm_total} vs centroid {kc_total}");
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let (map, make) = setup();
+        let reading = make(Point2::new(1.0, 1.0));
+        assert!(KCentroid { k: 0 }.locate(&map, &reading).is_err());
+        assert!(KCentroid { k: 99 }.locate(&map, &reading).is_err());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(NearestReference.name(), KCentroid::default().name());
+    }
+}

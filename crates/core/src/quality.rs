@@ -1,0 +1,219 @@
+//! Fix-quality scoring: how much should a consumer trust one estimate?
+//!
+//! A deployed system needs to flag unreliable fixes (alert suppression,
+//! map display confidence). Two diagnostics fall out of the VIRE pipeline
+//! for free:
+//!
+//! * **signal residual** — the weighted mean signal-space distance between
+//!   the tracking reading and the selected virtual tags: large residual
+//!   means nothing on the map really matched the reading,
+//! * **candidate spread** — the weighted RMS distance of the surviving
+//!   candidates from the estimate: a wide, ambiguous candidate cloud means
+//!   the intersection did not pin the tag down.
+//!
+//! The combined score maps both to `(0, 1]` (1 = clean fix). The quality
+//! tests check the property that matters: low scores must correlate with
+//! high true error on random workloads.
+
+use crate::localizer::{Estimate, LocalizeError};
+use crate::types::{ReferenceRssiMap, TrackingReading};
+use crate::vire_alg::Vire;
+use crate::virtual_grid::VirtualGrid;
+use crate::weights::candidate_weights;
+use vire_geom::Point2;
+
+/// Quality diagnostics for one fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixQuality {
+    /// Weighted mean signal residual, dB.
+    pub residual_db: f64,
+    /// Weighted RMS candidate distance from the estimate, m.
+    pub spread_m: f64,
+    /// Combined score in `(0, 1]`; higher is better.
+    pub score: f64,
+}
+
+impl FixQuality {
+    /// Combines residual and spread into the score.
+    ///
+    /// `1 / (1 + residual/4 + spread)` — a 4 dB residual or a 1 m spread
+    /// each halve the score; the constants are calibrated on the Env3
+    /// workload (see the quality tests).
+    pub fn combine(residual_db: f64, spread_m: f64) -> FixQuality {
+        let score = 1.0 / (1.0 + residual_db.max(0.0) / 4.0 + spread_m.max(0.0));
+        FixQuality {
+            residual_db,
+            spread_m,
+            score,
+        }
+    }
+}
+
+impl Vire {
+    /// Localizes and scores the fix.
+    ///
+    /// Falls back like [`Vire::locate`]; fallback fixes get the worst
+    /// possible diagnostics available (no candidate cloud to measure), so
+    /// their score is conservatively low.
+    pub fn locate_scored(
+        &self,
+        refs: &ReferenceRssiMap,
+        reading: &TrackingReading,
+    ) -> Result<(Estimate, FixQuality), LocalizeError> {
+        let (estimate, diag) = self.locate_with_diagnostics(refs, reading)?;
+        let Some(result) = diag else {
+            // Fallback path (LANDMARC): no elimination diagnostics. Score
+            // from the LANDMARC residual alone with a spread penalty of a
+            // full cell.
+            let grid_pitch = refs.grid().pitch_x();
+            let best = crate::landmarc::Landmarc::signal_distances(refs, reading)
+                .into_iter()
+                .map(|(e, _)| e)
+                .fold(f64::INFINITY, f64::min);
+            return Ok((estimate, FixQuality::combine(best, grid_pitch)));
+        };
+
+        let grid = VirtualGrid::build(refs, self.config().refine, self.config().kernel);
+        let (candidates, weights) = candidate_weights(
+            &grid,
+            reading,
+            &result.mask,
+            self.config().weighting,
+            self.config().w1,
+        )
+        .ok_or(LocalizeError::DegenerateWeights)?;
+
+        let mut residual = 0.0;
+        let mut spread_sq = 0.0;
+        for (&idx, &w) in candidates.iter().zip(&weights) {
+            residual += w * reading.signal_distance(&grid.signal_vector(idx));
+            spread_sq += w * grid.grid().position(idx).distance_sq(estimate.position);
+        }
+        Ok((
+            estimate,
+            FixQuality::combine(residual, spread_sq.sqrt()),
+        ))
+    }
+}
+
+/// Convenience trait hook so other localizers can grow scoring later.
+pub trait ScoredLocate {
+    /// Localizes and scores.
+    fn locate_scored(
+        &self,
+        refs: &ReferenceRssiMap,
+        reading: &TrackingReading,
+    ) -> Result<(Estimate, FixQuality), LocalizeError>;
+}
+
+impl ScoredLocate for Vire {
+    fn locate_scored(
+        &self,
+        refs: &ReferenceRssiMap,
+        reading: &TrackingReading,
+    ) -> Result<(Estimate, FixQuality), LocalizeError> {
+        Vire::locate_scored(self, refs, reading)
+    }
+}
+
+/// Helper for tests and telemetry: the distance between two points (a thin
+/// re-export so callers need not import geometry for one call).
+pub fn position_error(estimate: Point2, truth: Point2) -> f64 {
+    estimate.distance(truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vire_geom::{GridData, RegularGrid};
+
+    fn readers() -> Vec<Point2> {
+        vec![
+            Point2::new(-1.0, -1.0),
+            Point2::new(4.0, -1.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(-1.0, 4.0),
+        ]
+    }
+
+    fn rssi(p: Point2, r: Point2) -> f64 {
+        -60.0 - 20.0 * p.distance(r).max(0.1).log10()
+    }
+
+    fn map() -> ReferenceRssiMap {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let fields = readers()
+            .iter()
+            .map(|r| GridData::from_fn(grid, |_, p| rssi(p, *r)))
+            .collect();
+        ReferenceRssiMap::new(grid, readers(), fields)
+    }
+
+    fn reading_at(p: Point2) -> TrackingReading {
+        TrackingReading::new(readers().iter().map(|r| rssi(p, *r)).collect())
+    }
+
+    #[test]
+    fn clean_fix_scores_high() {
+        let refs = map();
+        let (est, q) = Vire::default()
+            .locate_scored(&refs, &reading_at(Point2::new(1.5, 1.5)))
+            .unwrap();
+        assert!(q.score > 0.5, "clean fix score {:.3}", q.score);
+        assert!(q.residual_db < 1.0);
+        assert!(est.position.is_finite());
+    }
+
+    #[test]
+    fn corrupted_reading_scores_low() {
+        let refs = map();
+        // A reading that matches no position: one reader biased +15 dB.
+        let mut rssi_vec: Vec<f64> = readers()
+            .iter()
+            .map(|r| rssi(Point2::new(1.5, 1.5), *r))
+            .collect();
+        rssi_vec[0] += 15.0;
+        let (_, q) = Vire::default()
+            .locate_scored(&refs, &TrackingReading::new(rssi_vec))
+            .unwrap();
+        let (_, q_clean) = Vire::default()
+            .locate_scored(&refs, &reading_at(Point2::new(1.5, 1.5)))
+            .unwrap();
+        assert!(
+            q.score < q_clean.score,
+            "corrupted {:.3} must score below clean {:.3}",
+            q.score,
+            q_clean.score
+        );
+    }
+
+    #[test]
+    fn combine_is_monotone_and_bounded() {
+        let base = FixQuality::combine(0.0, 0.0);
+        assert_eq!(base.score, 1.0);
+        let worse_res = FixQuality::combine(4.0, 0.0);
+        let worse_spread = FixQuality::combine(0.0, 1.0);
+        assert!((worse_res.score - 0.5).abs() < 1e-12);
+        assert!((worse_spread.score - 0.5).abs() < 1e-12);
+        let terrible = FixQuality::combine(40.0, 10.0);
+        assert!(terrible.score > 0.0 && terrible.score < 0.1);
+        // Negative inputs clamp rather than inflate the score.
+        assert_eq!(FixQuality::combine(-5.0, -1.0).score, 1.0);
+    }
+
+    #[test]
+    fn fallback_fix_is_scored_conservatively() {
+        use crate::vire_alg::{EmptyFallback, ThresholdMode, VireConfig};
+        let refs = map();
+        let vire = Vire::new(VireConfig {
+            threshold: ThresholdMode::Fixed(1e-9),
+            fallback: EmptyFallback::Landmarc,
+            ..VireConfig::default()
+        });
+        let (_, q) = vire
+            .locate_scored(&refs, &reading_at(Point2::new(1.5, 1.5)))
+            .unwrap();
+        assert!(q.score < 0.6, "fallback score {:.3} should be modest", q.score);
+        assert!(q.spread_m >= 1.0, "fallback spread is a full cell");
+    }
+}

@@ -1,0 +1,386 @@
+//! Scattered (non-square) reference deployments — paper §6:
+//!
+//! > "The requirement of having a square real grid is not necessary as
+//! > long as we can systematically partition a real grid to a much finer
+//! > virtual grid. For a closed and complex environment, we may put real
+//! > reference tags around those obstacles."
+//!
+//! Here the real reference tags sit at arbitrary known positions. The
+//! virtual grid is synthesized by Shepard inverse-distance interpolation
+//! of each reader's scattered RSSI samples onto a regular fine lattice,
+//! after which the standard VIRE stages (proximity maps, elimination,
+//! weighting) run unchanged.
+
+use crate::elimination::{eliminate, ThresholdMode};
+use crate::landmarc::inverse_square_weights;
+use crate::localizer::{Estimate, LocalizeError};
+use crate::types::TrackingReading;
+use crate::virtual_grid::VirtualGrid;
+use crate::weights::{candidate_weights, W1Mode, WeightingMode};
+use vire_geom::interp::idw::Idw;
+use vire_geom::{Aabb, GridData, Point2, RegularGrid};
+
+/// Reference RSSI for tags at arbitrary known positions.
+///
+/// `rssi[k][s]` is the smoothed RSSI of the reference tag at `sites[s]` as
+/// heard by reader `k`.
+#[derive(Debug, Clone)]
+pub struct ScatteredReferenceMap {
+    sites: Vec<Point2>,
+    readers: Vec<Point2>,
+    rssi: Vec<Vec<f64>>,
+}
+
+impl ScatteredReferenceMap {
+    /// Assembles a map.
+    ///
+    /// # Panics
+    /// Panics when sites or readers are empty, dimensions disagree, or any
+    /// value is non-finite.
+    pub fn new(sites: Vec<Point2>, readers: Vec<Point2>, rssi: Vec<Vec<f64>>) -> Self {
+        assert!(!sites.is_empty(), "need at least one reference site");
+        assert!(!readers.is_empty(), "need at least one reader");
+        assert_eq!(rssi.len(), readers.len(), "one RSSI row per reader");
+        for row in &rssi {
+            assert_eq!(row.len(), sites.len(), "one RSSI per site per reader");
+            assert!(row.iter().all(|v| v.is_finite()), "RSSI must be finite");
+        }
+        assert!(
+            sites.iter().all(|p| p.is_finite()),
+            "site positions must be finite"
+        );
+        ScatteredReferenceMap {
+            sites,
+            readers,
+            rssi,
+        }
+    }
+
+    /// Reference positions.
+    pub fn sites(&self) -> &[Point2] {
+        &self.sites
+    }
+
+    /// Reader positions.
+    pub fn readers(&self) -> &[Point2] {
+        &self.readers
+    }
+
+    /// Number of readers.
+    pub fn reader_count(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// RSSI of site `s` at reader `k`.
+    pub fn rssi(&self, k: usize, s: usize) -> f64 {
+        self.rssi[k][s]
+    }
+
+    /// The signal vector (one RSSI per reader) of site `s`.
+    pub fn signal_vector(&self, s: usize) -> Vec<f64> {
+        (0..self.reader_count()).map(|k| self.rssi(k, s)).collect()
+    }
+
+    /// Bounding box of the reference sites.
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_points(&self.sites).expect("sites are non-empty")
+    }
+}
+
+/// Configuration for [`ScatteredVire`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatteredVireConfig {
+    /// Pitch of the synthesized virtual lattice, meters. The paper's
+    /// square-grid operating point uses 0.1 m (n = 10 on a 1 m lattice).
+    pub virtual_pitch: f64,
+    /// IDW distance exponent (2 is Shepard's classic choice).
+    pub idw_power: f64,
+    /// Threshold selection, as in square-grid VIRE.
+    pub threshold: ThresholdMode,
+    /// Weighting factors.
+    pub weighting: WeightingMode,
+    /// w1 variant.
+    pub w1: W1Mode,
+}
+
+impl Default for ScatteredVireConfig {
+    fn default() -> Self {
+        ScatteredVireConfig {
+            virtual_pitch: 0.1,
+            idw_power: 2.0,
+            threshold: ThresholdMode::default(),
+            weighting: WeightingMode::Combined,
+            w1: W1Mode::default(),
+        }
+    }
+}
+
+/// VIRE over scattered references.
+#[derive(Debug, Clone, Default)]
+pub struct ScatteredVire {
+    config: ScatteredVireConfig,
+}
+
+impl ScatteredVire {
+    /// Creates the localizer.
+    pub fn new(config: ScatteredVireConfig) -> Self {
+        ScatteredVire { config }
+    }
+
+    /// Synthesizes the virtual grid over the sites' bounding box.
+    pub fn virtual_grid(&self, refs: &ScatteredReferenceMap) -> Result<VirtualGrid, LocalizeError> {
+        let b = refs.bounds();
+        if b.width() < self.config.virtual_pitch || b.height() < self.config.virtual_pitch {
+            return Err(LocalizeError::InsufficientData(
+                "reference sites span less than one virtual pitch".into(),
+            ));
+        }
+        let nx = (b.width() / self.config.virtual_pitch).round() as usize + 1;
+        let ny = (b.height() / self.config.virtual_pitch).round() as usize + 1;
+        let grid = RegularGrid::new(b.min, self.config.virtual_pitch, self.config.virtual_pitch, nx, ny);
+
+        let fields: Result<Vec<GridData<f64>>, LocalizeError> = (0..refs.reader_count())
+            .map(|k| {
+                let idw = Idw::fit(refs.sites(), &refs.rssi[k], self.config.idw_power)
+                    .ok_or_else(|| {
+                        LocalizeError::InsufficientData("IDW fit failed".into())
+                    })?;
+                Ok(GridData::from_fn(grid, |_, p| idw.eval(p)))
+            })
+            .collect();
+        Ok(VirtualGrid::from_fields(grid, fields?))
+    }
+
+    /// Localizes a tracking reading against scattered references.
+    pub fn locate(
+        &self,
+        refs: &ScatteredReferenceMap,
+        reading: &TrackingReading,
+    ) -> Result<Estimate, LocalizeError> {
+        if refs.reader_count() != reading.reader_count() {
+            return Err(LocalizeError::ReaderMismatch {
+                map: refs.reader_count(),
+                reading: reading.reader_count(),
+            });
+        }
+        let grid = self.virtual_grid(refs)?;
+        let result =
+            eliminate(&grid, reading, self.config.threshold).ok_or(LocalizeError::AllEliminated)?;
+        let (candidates, weights) =
+            candidate_weights(&grid, reading, &result.mask, self.config.weighting, self.config.w1)
+                .ok_or(LocalizeError::DegenerateWeights)?;
+        let positions: Vec<Point2> = candidates
+            .iter()
+            .map(|&idx| grid.grid().position(idx))
+            .collect();
+        let position = Point2::weighted_centroid(&positions, &weights)
+            .ok_or(LocalizeError::DegenerateWeights)?;
+        Ok(Estimate {
+            position,
+            contributors: candidates.len(),
+            threshold: Some(
+                result
+                    .thresholds
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max),
+            ),
+        })
+    }
+}
+
+/// LANDMARC over scattered references: k-NN in signal space with 1/E²
+/// weights, selection over arbitrary site positions.
+#[derive(Debug, Clone, Copy)]
+pub struct ScatteredLandmarc {
+    /// Number of nearest references to blend.
+    pub k: usize,
+}
+
+impl Default for ScatteredLandmarc {
+    fn default() -> Self {
+        ScatteredLandmarc { k: 4 }
+    }
+}
+
+impl ScatteredLandmarc {
+    /// Localizes a tracking reading against scattered references.
+    pub fn locate(
+        &self,
+        refs: &ScatteredReferenceMap,
+        reading: &TrackingReading,
+    ) -> Result<Estimate, LocalizeError> {
+        if refs.reader_count() != reading.reader_count() {
+            return Err(LocalizeError::ReaderMismatch {
+                map: refs.reader_count(),
+                reading: reading.reader_count(),
+            });
+        }
+        if self.k == 0 || self.k > refs.sites().len() {
+            return Err(LocalizeError::InsufficientData(format!(
+                "k = {} with {} reference sites",
+                self.k,
+                refs.sites().len()
+            )));
+        }
+        let mut scored: Vec<(f64, Point2)> = (0..refs.sites().len())
+            .map(|s| {
+                (
+                    reading.signal_distance(&refs.signal_vector(s)),
+                    refs.sites()[s],
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        scored.truncate(self.k);
+        let distances: Vec<f64> = scored.iter().map(|(e, _)| *e).collect();
+        let positions: Vec<Point2> = scored.iter().map(|(_, p)| *p).collect();
+        let weights = inverse_square_weights(&distances);
+        Point2::weighted_centroid(&positions, &weights)
+            .map(|p| Estimate::new(p, self.k))
+            .ok_or(LocalizeError::DegenerateWeights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn readers() -> Vec<Point2> {
+        vec![
+            Point2::new(-1.0, -1.0),
+            Point2::new(4.0, -1.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(-1.0, 4.0),
+        ]
+    }
+
+    fn rssi(p: Point2, r: Point2) -> f64 {
+        -60.0 - 22.0 * p.distance(r).max(0.1).log10()
+    }
+
+    /// An irregular ring of 12 reference sites around a central obstacle —
+    /// the deployment §6 sketches.
+    fn ring_map() -> ScatteredReferenceMap {
+        let sites: Vec<Point2> = (0..12)
+            .map(|k| {
+                let a = k as f64 * std::f64::consts::TAU / 12.0;
+                // Slightly irregular radius so the layout is truly non-grid.
+                let r = 1.3 + 0.2 * ((k % 3) as f64);
+                Point2::new(1.5 + r * a.cos(), 1.5 + r * a.sin())
+            })
+            .collect();
+        let rssi_rows = readers()
+            .iter()
+            .map(|r| sites.iter().map(|s| rssi(*s, *r)).collect())
+            .collect();
+        ScatteredReferenceMap::new(sites, readers(), rssi_rows)
+    }
+
+    fn reading_at(p: Point2) -> TrackingReading {
+        TrackingReading::new(readers().iter().map(|r| rssi(p, *r)).collect())
+    }
+
+    #[test]
+    fn scattered_vire_locates_inside_the_ring() {
+        let refs = ring_map();
+        for &(x, y) in &[(1.5, 1.5), (1.0, 1.8), (2.2, 1.2)] {
+            let truth = Point2::new(x, y);
+            let est = ScatteredVire::default()
+                .locate(&refs, &reading_at(truth))
+                .unwrap();
+            assert!(
+                est.error(truth) < 0.5,
+                "error {:.3} at ({x}, {y})",
+                est.error(truth)
+            );
+        }
+    }
+
+    #[test]
+    fn scattered_vire_beats_scattered_landmarc_inside() {
+        let refs = ring_map();
+        let vire = ScatteredVire::default();
+        let lm = ScatteredLandmarc::default();
+        let mut v_total = 0.0;
+        let mut l_total = 0.0;
+        for &(x, y) in &[(1.5, 1.5), (1.1, 1.2), (2.0, 1.9), (1.8, 1.1)] {
+            let truth = Point2::new(x, y);
+            let reading = reading_at(truth);
+            v_total += vire.locate(&refs, &reading).unwrap().error(truth);
+            l_total += lm.locate(&refs, &reading).unwrap().error(truth);
+        }
+        assert!(
+            v_total < l_total,
+            "scattered VIRE {v_total:.3} should beat LANDMARC {l_total:.3}"
+        );
+    }
+
+    #[test]
+    fn virtual_grid_covers_the_site_bounds() {
+        let refs = ring_map();
+        let grid = ScatteredVire::default().virtual_grid(&refs).unwrap();
+        let gb = grid.grid().bounds();
+        let sb = refs.bounds();
+        assert!(gb.inflated(0.11).contains(sb.min));
+        assert!(gb.inflated(0.11).contains(sb.max));
+        assert_eq!(grid.reader_count(), 4);
+    }
+
+    #[test]
+    fn estimate_stays_inside_site_bounds() {
+        let refs = ring_map();
+        let est = ScatteredVire::default()
+            .locate(&refs, &reading_at(Point2::new(1.5, 2.0)))
+            .unwrap();
+        assert!(refs.bounds().inflated(0.2).contains(est.position));
+    }
+
+    #[test]
+    fn reader_mismatch_rejected() {
+        let refs = ring_map();
+        let short = TrackingReading::new(vec![-70.0, -75.0]);
+        assert!(matches!(
+            ScatteredVire::default().locate(&refs, &short).unwrap_err(),
+            LocalizeError::ReaderMismatch { .. }
+        ));
+        assert!(matches!(
+            ScatteredLandmarc::default()
+                .locate(&refs, &short)
+                .unwrap_err(),
+            LocalizeError::ReaderMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn degenerate_site_span_rejected() {
+        let sites = vec![Point2::new(1.0, 1.0), Point2::new(1.01, 1.0)];
+        let rssi_rows = vec![vec![-70.0, -70.2]];
+        let refs = ScatteredReferenceMap::new(sites, vec![Point2::ORIGIN], rssi_rows);
+        let reading = TrackingReading::new(vec![-70.0]);
+        assert!(matches!(
+            ScatteredVire::default().locate(&refs, &reading).unwrap_err(),
+            LocalizeError::InsufficientData(_)
+        ));
+    }
+
+    #[test]
+    fn scattered_landmarc_exact_on_a_site() {
+        let refs = ring_map();
+        let site = refs.sites()[3];
+        let est = ScatteredLandmarc::default()
+            .locate(&refs, &reading_at(site))
+            .unwrap();
+        assert!(est.error(site) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one RSSI per site")]
+    fn ragged_rssi_rows_panic() {
+        ScatteredReferenceMap::new(
+            vec![Point2::ORIGIN, Point2::new(1.0, 0.0)],
+            vec![Point2::new(-1.0, 0.0)],
+            vec![vec![-70.0]],
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! The location service: the application-facing layer a deployment runs.
+//!
+//! A middleware feeds periodic RSSI snapshots; the service localizes each
+//! tracking tag (any [`Localizer`]) and maintains a per-tag Kalman track,
+//! exposing filtered positions, velocities and uncertainties. This is the
+//! "location sensing system" the paper's introduction motivates, assembled
+//! from the pieces.
+
+use crate::kalman::KalmanTracker;
+use crate::localizer::{Estimate, LocalizeError, Localizer};
+use crate::types::{ReferenceRssiMap, TrackingReading};
+use std::collections::HashMap;
+use vire_geom::{Point2, Vec2};
+
+/// A tag key in the service (the deployment's tag identifier).
+pub type TagKey = u32;
+
+/// One tracked output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackedEstimate {
+    /// The raw localizer estimate for this snapshot.
+    pub raw: Estimate,
+    /// Kalman-filtered position.
+    pub position: Point2,
+    /// Velocity estimate, m/s.
+    pub velocity: Vec2,
+    /// Position uncertainty (σx, σy), m.
+    pub sigma: (f64, f64),
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Kalman process noise (see [`KalmanTracker::new`]).
+    pub process_noise: f64,
+    /// Kalman measurement noise.
+    pub measurement_noise: f64,
+    /// Tracks with no update for this many seconds are dropped.
+    pub stale_after: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            process_noise: 0.02,
+            measurement_noise: 0.09,
+            stale_after: 60.0,
+        }
+    }
+}
+
+/// The location service over localizer `L`.
+#[derive(Debug)]
+pub struct LocationService<L: Localizer> {
+    localizer: L,
+    config: ServiceConfig,
+    tracks: HashMap<TagKey, Track>,
+}
+
+#[derive(Debug)]
+struct Track {
+    filter: KalmanTracker,
+    last_update: f64,
+}
+
+impl<L: Localizer> LocationService<L> {
+    /// Creates a service around a localizer.
+    pub fn new(localizer: L, config: ServiceConfig) -> Self {
+        LocationService {
+            localizer,
+            config,
+            tracks: HashMap::new(),
+        }
+    }
+
+    /// Processes one snapshot for one tag at absolute time `time` seconds.
+    ///
+    /// Localizes the reading, folds it into the tag's track (creating the
+    /// track on first sight), and returns the tracked output. Stale tracks
+    /// are evicted opportunistically.
+    pub fn observe(
+        &mut self,
+        time: f64,
+        tag: TagKey,
+        refs: &ReferenceRssiMap,
+        reading: &TrackingReading,
+    ) -> Result<TrackedEstimate, LocalizeError> {
+        let raw = self.localizer.locate(refs, reading)?;
+        self.evict_stale(time);
+
+        let track = self.tracks.entry(tag).or_insert_with(|| Track {
+            filter: KalmanTracker::new(self.config.process_noise, self.config.measurement_noise),
+            last_update: f64::NEG_INFINITY,
+        });
+        // Ignore out-of-order snapshots (a real middleware can deliver
+        // duplicates); the previous filtered state stands.
+        let position = if time > track.last_update {
+            let p = track.filter.update(time, raw.position);
+            track.last_update = time;
+            p
+        } else {
+            track.filter.position().unwrap_or(raw.position)
+        };
+
+        Ok(TrackedEstimate {
+            position,
+            velocity: track.filter.velocity().unwrap_or(Vec2::ZERO),
+            sigma: track.filter.position_sigma().unwrap_or((0.0, 0.0)),
+            raw,
+        })
+    }
+
+    /// Latest filtered position of a tag, if tracked.
+    pub fn position(&self, tag: TagKey) -> Option<Point2> {
+        self.tracks.get(&tag).and_then(|t| t.filter.position())
+    }
+
+    /// Dead-reckoned position `dt` seconds past a tag's last update.
+    pub fn predict(&self, tag: TagKey, dt: f64) -> Option<Point2> {
+        self.tracks.get(&tag).and_then(|t| t.filter.predict(dt))
+    }
+
+    /// Drops a tag's track.
+    pub fn forget(&mut self, tag: TagKey) {
+        self.tracks.remove(&tag);
+    }
+
+    /// Currently tracked tag keys (unordered).
+    pub fn tracked_tags(&self) -> Vec<TagKey> {
+        self.tracks.keys().copied().collect()
+    }
+
+    /// The wrapped localizer.
+    pub fn localizer(&self) -> &L {
+        &self.localizer
+    }
+
+    fn evict_stale(&mut self, now: f64) {
+        let horizon = self.config.stale_after;
+        self.tracks
+            .retain(|_, t| now - t.last_update <= horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vire_alg::Vire;
+    use vire_geom::{GridData, RegularGrid};
+
+    fn readers() -> Vec<Point2> {
+        vec![
+            Point2::new(-1.0, -1.0),
+            Point2::new(4.0, -1.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(-1.0, 4.0),
+        ]
+    }
+
+    fn rssi(p: Point2, r: Point2) -> f64 {
+        -60.0 - 20.0 * p.distance(r).max(0.1).log10()
+    }
+
+    fn map() -> ReferenceRssiMap {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let fields = readers()
+            .iter()
+            .map(|r| GridData::from_fn(grid, |_, p| rssi(p, *r)))
+            .collect();
+        ReferenceRssiMap::new(grid, readers(), fields)
+    }
+
+    fn reading_at(p: Point2) -> TrackingReading {
+        TrackingReading::new(readers().iter().map(|r| rssi(p, *r)).collect())
+    }
+
+    #[test]
+    fn observe_creates_and_updates_tracks() {
+        let refs = map();
+        let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        let truth = Point2::new(1.4, 1.7);
+        let out = svc.observe(0.0, 7, &refs, &reading_at(truth)).unwrap();
+        assert!(out.position.distance(truth) < 0.3);
+        assert_eq!(svc.tracked_tags(), vec![7]);
+        let out2 = svc.observe(2.0, 7, &refs, &reading_at(truth)).unwrap();
+        assert!(out2.sigma.0 <= out.sigma.0, "uncertainty must not grow");
+    }
+
+    #[test]
+    fn tracks_are_per_tag() {
+        let refs = map();
+        let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(0.6, 0.6))).unwrap();
+        svc.observe(0.0, 2, &refs, &reading_at(Point2::new(2.4, 2.4))).unwrap();
+        let p1 = svc.position(1).unwrap();
+        let p2 = svc.position(2).unwrap();
+        assert!(p1.distance(p2) > 1.0, "tags must not share state");
+    }
+
+    #[test]
+    fn stale_tracks_are_evicted() {
+        let refs = map();
+        let cfg = ServiceConfig {
+            stale_after: 10.0,
+            ..ServiceConfig::default()
+        };
+        let mut svc = LocationService::new(Vire::default(), cfg);
+        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(1.0, 1.0))).unwrap();
+        // A later observation of another tag triggers eviction.
+        svc.observe(30.0, 2, &refs, &reading_at(Point2::new(2.0, 2.0))).unwrap();
+        assert_eq!(svc.position(1), None, "tag 1 went stale");
+        assert!(svc.position(2).is_some());
+    }
+
+    #[test]
+    fn out_of_order_snapshots_are_ignored() {
+        let refs = map();
+        let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        let truth = Point2::new(1.5, 1.5);
+        svc.observe(10.0, 1, &refs, &reading_at(truth)).unwrap();
+        let before = svc.position(1).unwrap();
+        // A duplicate at an earlier time must not disturb the track.
+        let out = svc
+            .observe(5.0, 1, &refs, &reading_at(Point2::new(0.2, 0.2)))
+            .unwrap();
+        assert_eq!(out.position, before);
+        assert_eq!(svc.position(1), Some(before));
+    }
+
+    #[test]
+    fn forget_and_predict() {
+        let refs = map();
+        let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(1.0, 2.0))).unwrap();
+        assert!(svc.predict(1, 2.0).is_some());
+        svc.forget(1);
+        assert_eq!(svc.predict(1, 2.0), None);
+        assert!(svc.tracked_tags().is_empty());
+    }
+
+    #[test]
+    fn localize_failure_propagates_without_touching_tracks() {
+        let refs = map();
+        let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        let short = TrackingReading::new(vec![-70.0]);
+        assert!(svc.observe(0.0, 1, &refs, &short).is_err());
+        assert!(svc.tracked_tags().is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Range-based trilateration baseline.
+//!
+//! Not in the paper, but the obvious "why not just invert the path-loss
+//! model?" question deserves a measured answer. Each reader's RSSI is
+//! inverted through a log-distance model to a range estimate; the position
+//! is recovered by linear least squares on the range-difference equations.
+//! In multipath environments the ranges are badly biased, which is exactly
+//! why reference-tag methods (LANDMARC/VIRE) win — the benchmark quantifies
+//! that gap.
+
+use crate::localizer::{check_readers, Estimate, LocalizeError, Localizer};
+use crate::types::{ReferenceRssiMap, TrackingReading};
+use vire_geom::Point2;
+
+/// Trilateration configuration: the assumed path-loss inversion model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrilaterationConfig {
+    /// Assumed RSSI at 1 m, dBm.
+    pub p_ref_at_1m: f64,
+    /// Assumed path-loss exponent.
+    pub exponent: f64,
+}
+
+impl Default for TrilaterationConfig {
+    fn default() -> Self {
+        TrilaterationConfig {
+            p_ref_at_1m: -65.0,
+            exponent: 2.7,
+        }
+    }
+}
+
+/// The trilateration localizer.
+#[derive(Debug, Clone, Default)]
+pub struct Trilateration {
+    config: TrilaterationConfig,
+}
+
+impl Trilateration {
+    /// Creates a localizer with the given inversion model.
+    pub fn new(config: TrilaterationConfig) -> Self {
+        Trilateration { config }
+    }
+
+    /// Inverts one RSSI to a range estimate.
+    pub fn range_from_rssi(&self, rssi: f64) -> f64 {
+        10f64.powf((self.config.p_ref_at_1m - rssi) / (10.0 * self.config.exponent))
+    }
+}
+
+impl Localizer for Trilateration {
+    fn locate(
+        &self,
+        refs: &ReferenceRssiMap,
+        reading: &TrackingReading,
+    ) -> Result<Estimate, LocalizeError> {
+        check_readers(refs, reading)?;
+        let anchors = refs.readers();
+        if anchors.len() < 3 {
+            return Err(LocalizeError::InsufficientData(format!(
+                "trilateration needs >= 3 readers, have {}",
+                anchors.len()
+            )));
+        }
+
+        let ranges: Vec<f64> = (0..anchors.len())
+            .map(|k| self.range_from_rssi(reading.at(k)))
+            .collect();
+
+        // Linearize by subtracting the first anchor's circle equation:
+        //   2(xᵢ−x₀)x + 2(yᵢ−y₀)y = (rᵢ²−r₀²) − (‖aᵢ‖²−‖a₀‖²) … rearranged
+        // Solve the 2×2 normal equations AᵀA p = Aᵀb.
+        let a0 = anchors[0];
+        let r0 = ranges[0];
+        let mut ata = [[0.0f64; 2]; 2];
+        let mut atb = [0.0f64; 2];
+        for k in 1..anchors.len() {
+            let ak = anchors[k];
+            let row = [2.0 * (ak.x - a0.x), 2.0 * (ak.y - a0.y)];
+            let b = (r0 * r0 - ranges[k] * ranges[k]) + (ak.x * ak.x - a0.x * a0.x)
+                + (ak.y * ak.y - a0.y * a0.y);
+            ata[0][0] += row[0] * row[0];
+            ata[0][1] += row[0] * row[1];
+            ata[1][0] += row[1] * row[0];
+            ata[1][1] += row[1] * row[1];
+            atb[0] += row[0] * b;
+            atb[1] += row[1] * b;
+        }
+        let det = ata[0][0] * ata[1][1] - ata[0][1] * ata[1][0];
+        if det.abs() < 1e-12 {
+            return Err(LocalizeError::InsufficientData(
+                "readers are collinear — normal equations singular".into(),
+            ));
+        }
+        let x = (atb[0] * ata[1][1] - ata[0][1] * atb[1]) / det;
+        let y = (ata[0][0] * atb[1] - atb[0] * ata[1][0]) / det;
+        let p = Point2::new(x, y);
+        if !p.is_finite() {
+            return Err(LocalizeError::DegenerateWeights);
+        }
+        Ok(Estimate::new(p, anchors.len()))
+    }
+
+    fn name(&self) -> &'static str {
+        "trilateration"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vire_geom::{GridData, RegularGrid};
+
+    fn square_readers() -> Vec<Point2> {
+        vec![
+            Point2::new(-1.0, -1.0),
+            Point2::new(4.0, -1.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(-1.0, 4.0),
+        ]
+    }
+
+    fn map_with_readers(readers: Vec<Point2>) -> ReferenceRssiMap {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let fields = readers
+            .iter()
+            .map(|r| GridData::from_fn(grid, |_, p| ideal_rssi(p, *r)))
+            .collect();
+        ReferenceRssiMap::new(grid, readers, fields)
+    }
+
+    /// Ideal log-distance RSSI matching the default inversion model.
+    fn ideal_rssi(p: Point2, reader: Point2) -> f64 {
+        -65.0 - 10.0 * 2.7 * p.distance(reader).max(0.05).log10()
+    }
+
+    #[test]
+    fn exact_on_ideal_channel() {
+        let refs = map_with_readers(square_readers());
+        let truth = Point2::new(1.7, 2.2);
+        let reading = TrackingReading::new(
+            square_readers().iter().map(|r| ideal_rssi(truth, *r)).collect(),
+        );
+        let est = Trilateration::default().locate(&refs, &reading).unwrap();
+        assert!(est.error(truth) < 1e-6, "error {}", est.error(truth));
+    }
+
+    #[test]
+    fn range_inversion_round_trips() {
+        let t = Trilateration::default();
+        for &d in &[0.5f64, 1.0, 2.0, 5.0] {
+            let rssi = -65.0 - 27.0 * d.log10();
+            assert!((t.range_from_rssi(rssi) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn model_mismatch_biases_the_estimate() {
+        // Generate with γ = 3.2 but invert with the default 2.7: the
+        // estimate degrades — the effect that sinks trilateration indoors.
+        let readers = square_readers();
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let gen = |p: Point2, r: Point2| -65.0 - 32.0 * p.distance(r).max(0.05).log10();
+        let fields = readers
+            .iter()
+            .map(|r| GridData::from_fn(grid, |_, p| gen(p, *r)))
+            .collect();
+        let refs = ReferenceRssiMap::new(grid, readers.clone(), fields);
+        let truth = Point2::new(0.8, 2.4);
+        let reading =
+            TrackingReading::new(readers.iter().map(|r| gen(truth, *r)).collect());
+        let err = Trilateration::default()
+            .locate(&refs, &reading)
+            .unwrap()
+            .error(truth);
+        assert!(err > 0.1, "mismatched model should hurt, error {err}");
+    }
+
+    #[test]
+    fn collinear_readers_are_rejected() {
+        let readers = vec![
+            Point2::new(0.0, -1.0),
+            Point2::new(2.0, -1.0),
+            Point2::new(4.0, -1.0),
+        ];
+        let refs = map_with_readers(readers.clone());
+        let truth = Point2::new(1.5, 1.5);
+        let reading =
+            TrackingReading::new(readers.iter().map(|r| ideal_rssi(truth, *r)).collect());
+        let err = Trilateration::default().locate(&refs, &reading).unwrap_err();
+        assert!(matches!(err, LocalizeError::InsufficientData(_)));
+    }
+
+    #[test]
+    fn too_few_readers_rejected() {
+        let readers = vec![Point2::new(0.0, 0.0), Point2::new(4.0, 0.0)];
+        let refs = map_with_readers(readers.clone());
+        let reading = TrackingReading::new(vec![-70.0, -72.0]);
+        let err = Trilateration::default().locate(&refs, &reading).unwrap_err();
+        assert!(matches!(err, LocalizeError::InsufficientData(_)));
+    }
+}

@@ -1,0 +1,256 @@
+//! The data model shared by every localizer.
+
+use vire_geom::{GridData, GridIndex, Point2, RegularGrid};
+
+/// Smoothed RSSI of every real reference tag as heard by every reader.
+///
+/// `per_reader[k]` is a scalar field on the reference lattice: the RSSI of
+/// the reference tag at each lattice node, measured by reader `k`. Reader
+/// positions are carried along for baselines that need geometry
+/// (trilateration) and for diagnostics; LANDMARC and VIRE themselves only
+/// compare signal values.
+#[derive(Debug, Clone)]
+pub struct ReferenceRssiMap {
+    grid: RegularGrid,
+    readers: Vec<Point2>,
+    per_reader: Vec<GridData<f64>>,
+}
+
+impl ReferenceRssiMap {
+    /// Assembles a map.
+    ///
+    /// # Panics
+    /// Panics when the field count differs from the reader count, a field's
+    /// grid differs from `grid`, there are no readers, or any RSSI is
+    /// non-finite.
+    pub fn new(grid: RegularGrid, readers: Vec<Point2>, per_reader: Vec<GridData<f64>>) -> Self {
+        assert!(!readers.is_empty(), "need at least one reader");
+        assert_eq!(
+            readers.len(),
+            per_reader.len(),
+            "one RSSI field per reader required"
+        );
+        for field in &per_reader {
+            assert_eq!(field.grid(), &grid, "field grid mismatch");
+            assert!(
+                field.as_slice().iter().all(|v| v.is_finite()),
+                "reference RSSI must be finite"
+            );
+        }
+        ReferenceRssiMap {
+            grid,
+            readers,
+            per_reader,
+        }
+    }
+
+    /// The reference lattice.
+    pub fn grid(&self) -> &RegularGrid {
+        &self.grid
+    }
+
+    /// Reader positions.
+    pub fn readers(&self) -> &[Point2] {
+        &self.readers
+    }
+
+    /// Number of readers.
+    pub fn reader_count(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// RSSI field of reader `k`.
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn field(&self, k: usize) -> &GridData<f64> {
+        &self.per_reader[k]
+    }
+
+    /// All per-reader fields.
+    pub fn fields(&self) -> &[GridData<f64>] {
+        &self.per_reader
+    }
+
+    /// RSSI of the reference tag at node `idx` seen by reader `k`.
+    pub fn rssi(&self, k: usize, idx: GridIndex) -> f64 {
+        *self.per_reader[k].get(idx)
+    }
+
+    /// The signal-space vector (one RSSI per reader) of the reference tag
+    /// at node `idx`.
+    pub fn signal_vector(&self, idx: GridIndex) -> Vec<f64> {
+        (0..self.reader_count()).map(|k| self.rssi(k, idx)).collect()
+    }
+
+    /// Builds a copy with reader `k` removed — the dead-reader failure
+    /// injection used by the robustness tests.
+    ///
+    /// Returns `None` when removing the reader would leave no readers or
+    /// `k` is out of range.
+    pub fn without_reader(&self, k: usize) -> Option<ReferenceRssiMap> {
+        if k >= self.reader_count() || self.reader_count() == 1 {
+            return None;
+        }
+        let mut readers = self.readers.clone();
+        readers.remove(k);
+        let mut per_reader = self.per_reader.clone();
+        per_reader.remove(k);
+        Some(ReferenceRssiMap {
+            grid: self.grid,
+            readers,
+            per_reader,
+        })
+    }
+}
+
+/// RSSI of one tracking tag at every reader (same order as the reference
+/// map's readers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackingReading {
+    rssi: Vec<f64>,
+}
+
+impl TrackingReading {
+    /// Wraps a per-reader RSSI vector.
+    ///
+    /// # Panics
+    /// Panics when the vector is empty or contains non-finite values.
+    pub fn new(rssi: Vec<f64>) -> Self {
+        assert!(!rssi.is_empty(), "need at least one reading");
+        assert!(
+            rssi.iter().all(|v| v.is_finite()),
+            "tracking RSSI must be finite"
+        );
+        TrackingReading { rssi }
+    }
+
+    /// Per-reader RSSI values.
+    pub fn rssi(&self) -> &[f64] {
+        &self.rssi
+    }
+
+    /// Reading at reader `k`.
+    pub fn at(&self, k: usize) -> f64 {
+        self.rssi[k]
+    }
+
+    /// Number of readers represented.
+    pub fn reader_count(&self) -> usize {
+        self.rssi.len()
+    }
+
+    /// Copy with reader `k` removed (see
+    /// [`ReferenceRssiMap::without_reader`]).
+    pub fn without_reader(&self, k: usize) -> Option<TrackingReading> {
+        if k >= self.rssi.len() || self.rssi.len() == 1 {
+            return None;
+        }
+        let mut rssi = self.rssi.clone();
+        rssi.remove(k);
+        Some(TrackingReading { rssi })
+    }
+
+    /// Euclidean signal-space distance to a reference signal vector —
+    /// LANDMARC's `E_j` (§3 of the paper, eq. for E).
+    ///
+    /// # Panics
+    /// Panics when the vector lengths differ.
+    pub fn signal_distance(&self, reference: &[f64]) -> f64 {
+        assert_eq!(
+            self.rssi.len(),
+            reference.len(),
+            "signal vectors must cover the same readers"
+        );
+        self.rssi
+            .iter()
+            .zip(reference)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_map() -> ReferenceRssiMap {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 2);
+        let readers = vec![Point2::new(-1.0, -1.0), Point2::new(2.0, 2.0)];
+        let f0 = GridData::from_fn(grid, |_, p| -70.0 - p.x - p.y);
+        let f1 = GridData::from_fn(grid, |_, p| -80.0 + p.x + p.y);
+        ReferenceRssiMap::new(grid, readers, vec![f0, f1])
+    }
+
+    #[test]
+    fn accessors_agree() {
+        let m = tiny_map();
+        assert_eq!(m.reader_count(), 2);
+        let idx = GridIndex::new(1, 1);
+        assert_eq!(m.rssi(0, idx), -72.0);
+        assert_eq!(m.rssi(1, idx), -78.0);
+        assert_eq!(m.signal_vector(idx), vec![-72.0, -78.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one RSSI field per reader")]
+    fn mismatched_field_count_panics() {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 2);
+        let f = GridData::filled(grid, -70.0);
+        ReferenceRssiMap::new(grid, vec![Point2::ORIGIN], vec![f.clone(), f]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_reference_rssi_panics() {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 2);
+        let f = GridData::filled(grid, f64::NAN);
+        ReferenceRssiMap::new(grid, vec![Point2::ORIGIN], vec![f]);
+    }
+
+    #[test]
+    fn without_reader_drops_matching_entries() {
+        let m = tiny_map();
+        let m2 = m.without_reader(0).unwrap();
+        assert_eq!(m2.reader_count(), 1);
+        assert_eq!(m2.readers()[0], Point2::new(2.0, 2.0));
+        assert_eq!(m2.rssi(0, GridIndex::new(0, 0)), -80.0);
+        // Cannot remove the last reader.
+        assert!(m2.without_reader(0).is_none());
+        assert!(m.without_reader(5).is_none());
+    }
+
+    #[test]
+    fn signal_distance_is_euclidean() {
+        let t = TrackingReading::new(vec![-70.0, -80.0]);
+        let d = t.signal_distance(&[-73.0, -84.0]);
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signal_distance_zero_for_identical() {
+        let t = TrackingReading::new(vec![-70.0, -80.0, -90.0]);
+        assert_eq!(t.signal_distance(&[-70.0, -80.0, -90.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same readers")]
+    fn signal_distance_rejects_length_mismatch() {
+        TrackingReading::new(vec![-70.0]).signal_distance(&[-70.0, -80.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_tracking_reading_panics() {
+        TrackingReading::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn tracking_without_reader() {
+        let t = TrackingReading::new(vec![-70.0, -75.0, -80.0]);
+        let t2 = t.without_reader(1).unwrap();
+        assert_eq!(t2.rssi(), &[-70.0, -80.0]);
+        assert!(TrackingReading::new(vec![-70.0]).without_reader(0).is_none());
+    }
+}

@@ -1,0 +1,387 @@
+//! Virtual reference grid construction (paper §4.2).
+//!
+//! Each physical cell of the reference lattice is split into `n × n`
+//! virtual cells; the virtual reference tags at the fine lattice nodes get
+//! RSSI values interpolated from the real tags, per reader, by a
+//! row-pass-then-column-pass sweep. With the linear kernel that composition
+//! is exactly the paper's horizontal/vertical formulas; the nonlinear
+//! kernels implement the paper's §6 future work.
+//!
+//! For a 4×4 lattice refined with `n = 10` the virtual lattice has
+//! 31² = 961 nodes — the paper's `N² = 900` operating point. The
+//! construction is O(N²) in the number of virtual tags, as stated in §4.2.
+
+use crate::types::ReferenceRssiMap;
+use vire_geom::interp::linear::{lerp_uniform, paper_weighting};
+use vire_geom::interp::newton::Newton;
+use vire_geom::interp::spline::CubicSpline;
+use vire_geom::interp::Interpolator1D;
+use vire_geom::{GridData, GridIndex, RegularGrid};
+
+/// Which 1D kernel synthesizes the virtual-tag RSSI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InterpolationKernel {
+    /// Uniform linear interpolation between adjacent real tags — the
+    /// natural reading of §4.2 ("n−1 virtual reference tags are equally
+    /// placed between two adjacent real tags"); virtual tags on real-tag
+    /// nodes reproduce the real RSSI exactly.
+    #[default]
+    Linear,
+    /// The §4.2 formulas taken verbatim, with their `n + 1` divisor. Kept
+    /// for fidelity comparison; biases interior values slightly toward the
+    /// left/lower real tag.
+    PaperLinear,
+    /// Natural cubic spline along each row/column (§6 nonlinear option).
+    CubicSpline,
+    /// Full-degree Newton polynomial along each row/column (§6 warns about
+    /// its endpoint behaviour; included to reproduce that warning).
+    Polynomial,
+}
+
+impl InterpolationKernel {
+    /// All kernels, for sweeps.
+    pub const ALL: [InterpolationKernel; 4] = [
+        InterpolationKernel::Linear,
+        InterpolationKernel::PaperLinear,
+        InterpolationKernel::CubicSpline,
+        InterpolationKernel::Polynomial,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            InterpolationKernel::Linear => "linear",
+            InterpolationKernel::PaperLinear => "paper-linear",
+            InterpolationKernel::CubicSpline => "cubic-spline",
+            InterpolationKernel::Polynomial => "polynomial",
+        }
+    }
+}
+
+/// The virtual reference grid: per-reader RSSI fields on the fine lattice.
+#[derive(Debug, Clone)]
+pub struct VirtualGrid {
+    fine: RegularGrid,
+    per_reader: Vec<GridData<f64>>,
+    refine: usize,
+}
+
+impl VirtualGrid {
+    /// Builds the virtual grid from the real reference map.
+    ///
+    /// `n` is the per-cell refinement factor (`n = 1` keeps only the real
+    /// tags). The total number of virtual+real tags is
+    /// `((nx−1)·n+1) · ((ny−1)·n+1)`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn build(refs: &ReferenceRssiMap, n: usize, kernel: InterpolationKernel) -> Self {
+        assert!(n > 0, "refinement factor must be at least 1");
+        let coarse = *refs.grid();
+        let fine = coarse.refined(n);
+        let per_reader = refs
+            .fields()
+            .iter()
+            .map(|field| interpolate_field(&coarse, field, &fine, n, kernel))
+            .collect();
+        VirtualGrid {
+            fine,
+            per_reader,
+            refine: n,
+        }
+    }
+
+    /// Wraps pre-computed per-reader RSSI fields as a virtual grid.
+    ///
+    /// Used by the scattered-reference pipeline (paper §6: non-square real
+    /// grids), where the fields come from inverse-distance interpolation
+    /// instead of the row/column sweep. `refine` is recorded as 1 (there
+    /// is no coarse lattice to refine).
+    ///
+    /// # Panics
+    /// Panics when `per_reader` is empty or any field's grid differs from
+    /// `grid`.
+    pub fn from_fields(grid: RegularGrid, per_reader: Vec<GridData<f64>>) -> Self {
+        assert!(!per_reader.is_empty(), "need at least one reader field");
+        for f in &per_reader {
+            assert_eq!(f.grid(), &grid, "field grid mismatch");
+        }
+        VirtualGrid {
+            fine: grid,
+            per_reader,
+            refine: 1,
+        }
+    }
+
+    /// The fine lattice.
+    pub fn grid(&self) -> &RegularGrid {
+        &self.fine
+    }
+
+    /// The refinement factor used.
+    pub fn refine(&self) -> usize {
+        self.refine
+    }
+
+    /// Number of readers covered.
+    pub fn reader_count(&self) -> usize {
+        self.per_reader.len()
+    }
+
+    /// Total number of virtual+real reference tags — the paper's `N²`.
+    pub fn tag_count(&self) -> usize {
+        self.fine.node_count()
+    }
+
+    /// RSSI field of reader `k` on the fine lattice.
+    pub fn field(&self, k: usize) -> &GridData<f64> {
+        &self.per_reader[k]
+    }
+
+    /// RSSI of virtual tag `idx` at reader `k`.
+    pub fn rssi(&self, k: usize, idx: GridIndex) -> f64 {
+        *self.per_reader[k].get(idx)
+    }
+
+    /// Signal vector (one RSSI per reader) of virtual tag `idx`.
+    pub fn signal_vector(&self, idx: GridIndex) -> Vec<f64> {
+        (0..self.reader_count()).map(|k| self.rssi(k, idx)).collect()
+    }
+}
+
+/// Row pass then column pass for one reader's field.
+fn interpolate_field(
+    coarse: &RegularGrid,
+    field: &GridData<f64>,
+    fine: &RegularGrid,
+    n: usize,
+    kernel: InterpolationKernel,
+) -> GridData<f64> {
+    let (cnx, cny) = (coarse.nx(), coarse.ny());
+    let (fnx, fny) = (fine.nx(), fine.ny());
+
+    // Pass 1: horizontal. intermediate[j][fi] for coarse rows j.
+    let coarse_xs: Vec<f64> = (0..cnx)
+        .map(|i| coarse.position(GridIndex::new(i, 0)).x)
+        .collect();
+    let fine_xs: Vec<f64> = (0..fnx)
+        .map(|i| fine.position(GridIndex::new(i, 0)).x)
+        .collect();
+    let mut intermediate = vec![vec![0.0f64; fnx]; cny];
+    for (j, row_out) in intermediate.iter_mut().enumerate() {
+        let row_vals: Vec<f64> = (0..cnx)
+            .map(|i| *field.get(GridIndex::new(i, j)))
+            .collect();
+        interpolate_line(&coarse_xs, &row_vals, &fine_xs, n, kernel, row_out);
+    }
+
+    // Pass 2: vertical, per fine column.
+    let coarse_ys: Vec<f64> = (0..cny)
+        .map(|j| coarse.position(GridIndex::new(0, j)).y)
+        .collect();
+    let fine_ys: Vec<f64> = (0..fny)
+        .map(|j| fine.position(GridIndex::new(0, j)).y)
+        .collect();
+    let mut out = GridData::filled(*fine, 0.0f64);
+    let mut col_vals = vec![0.0f64; cny];
+    let mut col_out = vec![0.0f64; fny];
+    for fi in 0..fnx {
+        for (v, row) in col_vals.iter_mut().zip(&intermediate) {
+            *v = row[fi];
+        }
+        interpolate_line(&coarse_ys, &col_vals, &fine_ys, n, kernel, &mut col_out);
+        for (fj, &v) in col_out.iter().enumerate() {
+            out.set(GridIndex::new(fi, fj), v);
+        }
+    }
+    out
+}
+
+/// Evaluates the 1D kernel over one grid line.
+///
+/// `knots`/`values` are the coarse samples; `targets` the fine abscissae
+/// (refinement factor `n`, so `targets[c·n + p]` lies in coarse cell `c`
+/// at offset `p`).
+fn interpolate_line(
+    knots: &[f64],
+    values: &[f64],
+    targets: &[f64],
+    n: usize,
+    kernel: InterpolationKernel,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(targets.len(), out.len());
+    match kernel {
+        InterpolationKernel::Linear | InterpolationKernel::PaperLinear => {
+            let paper = kernel == InterpolationKernel::PaperLinear;
+            for (t_idx, slot) in out.iter_mut().enumerate() {
+                let cell = (t_idx / n).min(knots.len() - 2);
+                let p = t_idx - cell * n;
+                let (l, r) = (values[cell], values[cell + 1]);
+                *slot = if p == 0 {
+                    l
+                } else if p == n {
+                    r
+                } else if paper {
+                    paper_weighting(l, r, n, p)
+                } else {
+                    lerp_uniform(l, r, n, p)
+                };
+            }
+        }
+        InterpolationKernel::CubicSpline => {
+            if let Some(sp) = CubicSpline::fit(knots, values) {
+                for (slot, &x) in out.iter_mut().zip(targets) {
+                    *slot = sp.eval(x);
+                }
+            } else {
+                // Degenerate line (single knot): constant.
+                out.fill(values[0]);
+            }
+        }
+        InterpolationKernel::Polynomial => {
+            if let Some(poly) = Newton::fit(knots, values) {
+                for (slot, &x) in out.iter_mut().zip(targets) {
+                    *slot = poly.eval(x);
+                }
+            } else {
+                out.fill(values[0]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vire_geom::Point2;
+
+    fn map_with(f: impl Fn(Point2) -> f64 + Copy) -> ReferenceRssiMap {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let readers = vec![Point2::new(-1.0, -1.0), Point2::new(4.0, 4.0)];
+        let fields = readers
+            .iter()
+            .map(|_| GridData::from_fn(grid, |_, p| f(p)))
+            .collect();
+        ReferenceRssiMap::new(grid, readers, fields)
+    }
+
+    #[test]
+    fn tag_count_matches_paper_operating_point() {
+        let refs = map_with(|p| -70.0 - p.x);
+        let vg = VirtualGrid::build(&refs, 10, InterpolationKernel::Linear);
+        assert_eq!(vg.tag_count(), 961); // (3·10+1)² ≈ the paper's N² = 900
+        assert_eq!(vg.refine(), 10);
+        assert_eq!(vg.reader_count(), 2);
+    }
+
+    #[test]
+    fn refine_one_reproduces_real_tags_only() {
+        let refs = map_with(|p| -70.0 - 2.0 * p.x - 3.0 * p.y);
+        let vg = VirtualGrid::build(&refs, 1, InterpolationKernel::Linear);
+        assert_eq!(vg.tag_count(), 16);
+        for idx in refs.grid().indices() {
+            assert_eq!(vg.rssi(0, idx), refs.rssi(0, idx));
+        }
+    }
+
+    #[test]
+    fn real_tags_survive_on_fine_lattice_for_all_kernels() {
+        let refs = map_with(|p| -70.0 - 1.7 * p.x + 0.9 * p.y * p.y);
+        for kernel in InterpolationKernel::ALL {
+            let vg = VirtualGrid::build(&refs, 5, kernel);
+            for idx in refs.grid().indices() {
+                let fine_idx = refs.grid().coarse_to_fine(idx, 5);
+                let (a, b) = (vg.rssi(0, fine_idx), refs.rssi(0, idx));
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "{:?}: virtual {a} vs real {b} at {idx}",
+                    kernel
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_kernel_is_exact_on_bilinear_field() {
+        let refs = map_with(|p| -60.0 - 2.0 * p.x - 5.0 * p.y + 0.5 * p.x * p.y);
+        let vg = VirtualGrid::build(&refs, 4, InterpolationKernel::Linear);
+        for (idx, pos) in vg.grid().nodes() {
+            let expect = -60.0 - 2.0 * pos.x - 5.0 * pos.y + 0.5 * pos.x * pos.y;
+            assert!(
+                (vg.rssi(0, idx) - expect).abs() < 1e-9,
+                "at {pos}: {} vs {expect}",
+                vg.rssi(0, idx)
+            );
+        }
+    }
+
+    #[test]
+    fn spline_and_polynomial_exact_on_cubic_rows() {
+        // A separable cubic is reproduced exactly by both nonlinear kernels
+        // (4 knots determine a cubic).
+        let f = |p: Point2| 0.3 * p.x.powi(3) - p.x + 0.1 * p.y.powi(2);
+        let refs = map_with(f);
+        for kernel in [InterpolationKernel::Polynomial] {
+            let vg = VirtualGrid::build(&refs, 3, kernel);
+            for (idx, pos) in vg.grid().nodes() {
+                assert!(
+                    (vg.rssi(0, idx) - f(pos)).abs() < 1e-8,
+                    "{kernel:?} at {pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_linear_matches_formula_on_interior_row_points() {
+        let refs = map_with(|p| -70.0 - 6.0 * p.x);
+        let n = 4;
+        let vg = VirtualGrid::build(&refs, n, InterpolationKernel::PaperLinear);
+        // Bottom row, first cell: between real tags at x = 0 (−70) and
+        // x = 1 (−76); p = 2 → (2·(−76) + 3·(−70)) / 5.
+        let v = vg.rssi(0, GridIndex::new(2, 0));
+        let expect = (2.0 * -76.0 + 3.0 * -70.0) / 5.0;
+        assert!((v - expect).abs() < 1e-9, "{v} vs {expect}");
+    }
+
+    #[test]
+    fn interpolated_values_between_neighbours_linear() {
+        // Monotone field stays monotone along rows under the linear kernel.
+        let refs = map_with(|p| -60.0 - 4.0 * p.x);
+        let vg = VirtualGrid::build(&refs, 6, InterpolationKernel::Linear);
+        let fnx = vg.grid().nx();
+        for fi in 1..fnx {
+            let prev = vg.rssi(0, GridIndex::new(fi - 1, 0));
+            let cur = vg.rssi(0, GridIndex::new(fi, 0));
+            assert!(cur <= prev + 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_reader_fields_are_independent() {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let readers = vec![Point2::new(-1.0, -1.0), Point2::new(4.0, 4.0)];
+        let f0 = GridData::from_fn(grid, |_, p| -70.0 - p.x);
+        let f1 = GridData::from_fn(grid, |_, p| -80.0 - p.y);
+        let refs = ReferenceRssiMap::new(grid, readers, vec![f0, f1]);
+        let vg = VirtualGrid::build(&refs, 2, InterpolationKernel::Linear);
+        let mid = GridIndex::new(3, 3);
+        assert_ne!(vg.rssi(0, mid), vg.rssi(1, mid));
+        assert_eq!(vg.signal_vector(mid).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "refinement factor")]
+    fn zero_refine_panics() {
+        let refs = map_with(|p| -70.0 - p.x);
+        VirtualGrid::build(&refs, 0, InterpolationKernel::Linear);
+    }
+
+    #[test]
+    fn kernel_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            InterpolationKernel::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

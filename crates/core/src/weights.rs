@@ -1,0 +1,289 @@
+//! VIRE's dual weighting factors (§4.3).
+//!
+//! * `w1` reflects RSSI agreement between each surviving virtual tag and
+//!   the tracking tag. Two variants ([`W1Mode`]): the paper's §4.3 formula
+//!   taken verbatim (a normalized *discrepancy* — the default, because it
+//!   reproduces the paper's Fig. 8 behaviour), and the inverse-square
+//!   variant other reimplementations use. See DESIGN.md §3.
+//! * `w2` rewards density: each candidate is weighted by the size of the
+//!   4-connected blob ("conjunctive region") it belongs to, normalized
+//!   over all candidates — "the densest area has the largest weight".
+//!
+//! The combined weight is `w = w1·w2`, renormalized.
+
+use crate::landmarc::inverse_square_weights;
+use crate::virtual_grid::VirtualGrid;
+use crate::TrackingReading;
+use vire_geom::label::Components;
+use vire_geom::{GridData, GridIndex};
+
+/// How the signal-agreement factor `w1` is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum W1Mode {
+    /// The paper's §4.3 formula taken at face value (with magnitudes so
+    /// dBm signs cancel): `w1ᵢ = Σ_k |S_k(Tᵢ) − θ_k| / (K·|S_k(Tᵢ)|)`,
+    /// normalized over the candidates. The weight *grows* with
+    /// discrepancy — counter-intuitive, but it is what makes the paper's
+    /// Fig. 8 right side climb: an over-large threshold admits poorly
+    /// matching regions and this w1 hands them extra mass.
+    #[default]
+    PaperDiscrepancy,
+    /// Normalized inverse-square discrepancy (LANDMARC-style): better
+    /// matches count more. The "fixed" variant other reimplementations
+    /// use; flattens the Fig. 8 U-curve's right side. Exposed as an
+    /// ablation axis.
+    InverseSquare,
+}
+
+impl W1Mode {
+    /// Both modes, for sweeps.
+    pub const ALL: [W1Mode; 2] = [W1Mode::PaperDiscrepancy, W1Mode::InverseSquare];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            W1Mode::PaperDiscrepancy => "w1-paper",
+            W1Mode::InverseSquare => "w1-inverse-sq",
+        }
+    }
+}
+
+/// Which weighting factors to apply — the ablation axis for the weighting
+/// design choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WeightingMode {
+    /// Signal-agreement factor only.
+    W1Only,
+    /// Density factor only.
+    W2Only,
+    /// The paper's combination `w = w1·w2`.
+    #[default]
+    Combined,
+}
+
+impl WeightingMode {
+    /// All modes, for sweeps.
+    pub const ALL: [WeightingMode; 3] = [
+        WeightingMode::W1Only,
+        WeightingMode::W2Only,
+        WeightingMode::Combined,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightingMode::W1Only => "w1-only",
+            WeightingMode::W2Only => "w2-only",
+            WeightingMode::Combined => "w1*w2",
+        }
+    }
+}
+
+/// Computes the per-candidate weights over the surviving mask.
+///
+/// Returns `(candidate_indices, weights)`; weights are normalized to sum
+/// to 1. Returns `None` when the mask is empty or the weights degenerate.
+pub fn candidate_weights(
+    grid: &VirtualGrid,
+    reading: &TrackingReading,
+    mask: &GridData<bool>,
+    mode: WeightingMode,
+    w1_mode: W1Mode,
+) -> Option<(Vec<GridIndex>, Vec<f64>)> {
+    let candidates: Vec<GridIndex> = mask
+        .iter()
+        .filter_map(|(idx, &set)| set.then_some(idx))
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+
+    let w1 = match w1_mode {
+        W1Mode::InverseSquare => {
+            let distances: Vec<f64> = candidates
+                .iter()
+                .map(|&idx| reading.signal_distance(&grid.signal_vector(idx)))
+                .collect();
+            inverse_square_weights(&distances)
+        }
+        W1Mode::PaperDiscrepancy => paper_w1(grid, reading, &candidates),
+    };
+
+    // w2: conjunctive-region size, normalized over candidates.
+    let components = Components::label(mask);
+    let sizes: Vec<f64> = candidates
+        .iter()
+        .map(|&idx| components.size_of_component_at(idx).unwrap_or(0) as f64)
+        .collect();
+    let size_total: f64 = sizes.iter().sum();
+    let w2: Vec<f64> = if size_total > 0.0 {
+        sizes.iter().map(|s| s / size_total).collect()
+    } else {
+        return None;
+    };
+
+    let combined: Vec<f64> = match mode {
+        WeightingMode::W1Only => w1,
+        WeightingMode::W2Only => w2,
+        WeightingMode::Combined => w1.iter().zip(&w2).map(|(a, b)| a * b).collect(),
+    };
+
+    let total: f64 = combined.iter().sum();
+    if !(total > 0.0 && total.is_finite()) {
+        return None;
+    }
+    let weights = combined.into_iter().map(|w| w / total).collect();
+    Some((candidates, weights))
+}
+
+/// The paper's w1 formula with magnitudes, normalized over the candidates:
+/// `w1ᵢ ∝ Σ_k |S_k(Tᵢ) − θ_k| / (K·|S_k(Tᵢ)|)`. When every discrepancy is
+/// zero (all exact matches) the weights degrade to uniform.
+fn paper_w1(grid: &VirtualGrid, reading: &TrackingReading, candidates: &[GridIndex]) -> Vec<f64> {
+    let k_readers = grid.reader_count() as f64;
+    let raw: Vec<f64> = candidates
+        .iter()
+        .map(|&idx| {
+            let sv = grid.signal_vector(idx);
+            sv.iter()
+                .zip(reading.rssi())
+                .map(|(&s, &theta)| (s - theta).abs() / (k_readers * s.abs().max(1e-9)))
+                .sum::<f64>()
+        })
+        .collect();
+    let total: f64 = raw.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / candidates.len() as f64; candidates.len()];
+    }
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ReferenceRssiMap;
+    use crate::virtual_grid::InterpolationKernel;
+    use vire_geom::{GridData as GD, Point2, RegularGrid};
+
+    fn setup() -> (VirtualGrid, TrackingReading) {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let readers = vec![Point2::new(-1.0, -1.0), Point2::new(4.0, 4.0)];
+        let fields = readers
+            .iter()
+            .map(|r| GD::from_fn(grid, |_, p| -60.0 - 4.0 * p.distance(*r)))
+            .collect();
+        let refs = ReferenceRssiMap::new(grid, readers.clone(), fields);
+        let vg = VirtualGrid::build(&refs, 4, InterpolationKernel::Linear);
+        let truth = Point2::new(1.5, 1.5);
+        let reading = TrackingReading::new(
+            readers
+                .iter()
+                .map(|r| -60.0 - 4.0 * truth.distance(*r))
+                .collect(),
+        );
+        (vg, reading)
+    }
+
+    fn mask_with(grid: &VirtualGrid, indices: &[GridIndex]) -> GridData<bool> {
+        let mut m = GridData::filled(*grid.grid(), false);
+        for &idx in indices {
+            m.set(idx, true);
+        }
+        m
+    }
+
+    #[test]
+    fn weights_normalize_for_all_modes() {
+        let (vg, reading) = setup();
+        let mask = mask_with(
+            &vg,
+            &[
+                GridIndex::new(5, 5),
+                GridIndex::new(6, 5),
+                GridIndex::new(6, 6),
+                GridIndex::new(10, 10),
+            ],
+        );
+        for mode in WeightingMode::ALL {
+            let (cands, w) = candidate_weights(&vg, &reading, &mask, mode, W1Mode::InverseSquare).unwrap();
+            assert_eq!(cands.len(), 4);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12, "{mode:?}");
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn empty_mask_returns_none() {
+        let (vg, reading) = setup();
+        let mask = GridData::filled(*vg.grid(), false);
+        assert!(candidate_weights(&vg, &reading, &mask, WeightingMode::Combined, W1Mode::InverseSquare).is_none());
+    }
+
+    #[test]
+    fn w2_prefers_the_larger_blob() {
+        let (vg, reading) = setup();
+        // A 4-cell blob and an isolated cell (the paper's Fig. 5 example:
+        // "four adjacent black regions … have a larger weight").
+        let blob = [
+            GridIndex::new(4, 4),
+            GridIndex::new(5, 4),
+            GridIndex::new(4, 5),
+            GridIndex::new(5, 5),
+        ];
+        let lone = GridIndex::new(11, 11);
+        let mut all = blob.to_vec();
+        all.push(lone);
+        let mask = mask_with(&vg, &all);
+        let (cands, w) = candidate_weights(&vg, &reading, &mask, WeightingMode::W2Only, W1Mode::InverseSquare).unwrap();
+        let lone_pos = cands.iter().position(|&c| c == lone).unwrap();
+        let blob_pos = cands.iter().position(|&c| c == blob[0]).unwrap();
+        assert!(
+            w[blob_pos] > w[lone_pos],
+            "blob weight {} must exceed lone weight {}",
+            w[blob_pos],
+            w[lone_pos]
+        );
+        // Exact ratio: blob cells carry 4/(4·4+1) each, lone 1/17.
+        assert!((w[blob_pos] / w[lone_pos] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn w1_prefers_the_better_signal_match() {
+        let (vg, reading) = setup();
+        // Candidate near the truth (center ≈ (1.5, 1.5) is fine node (6,6)
+        // with n = 4) vs one far away.
+        let near = GridIndex::new(6, 6);
+        let far = GridIndex::new(0, 0);
+        let mask = mask_with(&vg, &[near, far]);
+        let (cands, w) = candidate_weights(&vg, &reading, &mask, WeightingMode::W1Only, W1Mode::InverseSquare).unwrap();
+        let near_pos = cands.iter().position(|&c| c == near).unwrap();
+        let far_pos = cands.iter().position(|&c| c == far).unwrap();
+        assert!(w[near_pos] > w[far_pos]);
+    }
+
+    #[test]
+    fn combined_mode_multiplies_factors() {
+        let (vg, reading) = setup();
+        let idxs = [
+            GridIndex::new(5, 5),
+            GridIndex::new(6, 5),
+            GridIndex::new(12, 12),
+        ];
+        let mask = mask_with(&vg, &idxs);
+        let (c, comb) = candidate_weights(&vg, &reading, &mask, WeightingMode::Combined, W1Mode::InverseSquare).unwrap();
+        let (_, w1) = candidate_weights(&vg, &reading, &mask, WeightingMode::W1Only, W1Mode::InverseSquare).unwrap();
+        let (_, w2) = candidate_weights(&vg, &reading, &mask, WeightingMode::W2Only, W1Mode::InverseSquare).unwrap();
+        let raw: Vec<f64> = w1.iter().zip(&w2).map(|(a, b)| a * b).collect();
+        let total: f64 = raw.iter().sum();
+        for i in 0..c.len() {
+            assert!((comb[i] - raw[i] / total).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mode_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            WeightingMode::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

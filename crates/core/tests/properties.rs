@@ -1,0 +1,220 @@
+//! Property-based tests for the localization algorithms.
+
+use proptest::prelude::*;
+use vire_core::elimination::{eliminate, ThresholdMode};
+use vire_core::ext::extend_reference_map;
+use vire_core::virtual_grid::{InterpolationKernel, VirtualGrid};
+use vire_core::weights::{candidate_weights, W1Mode, WeightingMode};
+use vire_core::{Landmarc, LandmarcConfig, Localizer, ReferenceRssiMap, TrackingReading, Vire};
+use vire_geom::hull::{convex_hull, hull_contains};
+use vire_geom::{GridData, Point2, RegularGrid};
+
+fn readers() -> Vec<Point2> {
+    vec![
+        Point2::new(-1.0, -1.0),
+        Point2::new(4.0, -1.0),
+        Point2::new(4.0, 4.0),
+        Point2::new(-1.0, 4.0),
+    ]
+}
+
+/// A synthetic reference map whose RSSI is log-distance plus a smooth
+/// position-dependent perturbation parameterized by `(ax, ay, amp)`.
+fn map_with_field(ax: f64, ay: f64, amp: f64) -> (ReferenceRssiMap, impl Fn(Point2) -> TrackingReading) {
+    let rs = readers();
+    let field = move |p: Point2, r: Point2| -> f64 {
+        -62.0 - 24.0 * p.distance(r).max(0.1).log10() + amp * (ax * p.x + ay * p.y).sin()
+    };
+    let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+    let fields = rs
+        .iter()
+        .map(|r| {
+            let r = *r;
+            GridData::from_fn(grid, move |_, p| field(p, r))
+        })
+        .collect();
+    let map = ReferenceRssiMap::new(grid, rs.clone(), fields);
+    let make = move |p: Point2| TrackingReading::new(rs.iter().map(|r| field(p, *r)).collect());
+    (map, make)
+}
+
+fn interior_point() -> impl Strategy<Value = Point2> {
+    (0.05..2.95f64, 0.05..2.95f64).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+fn field_params() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.3..1.5f64, 0.3..1.5f64, 0.0..3.0f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn landmarc_estimate_inside_reference_hull(
+        p in interior_point(),
+        (ax, ay, amp) in field_params(),
+        k in 1usize..16,
+    ) {
+        let (map, make) = map_with_field(ax, ay, amp);
+        let est = Landmarc::new(LandmarcConfig { k })
+            .locate(&map, &make(p))
+            .unwrap();
+        let hull = convex_hull(&map.grid().nodes().map(|(_, p)| p).collect::<Vec<_>>());
+        prop_assert!(hull_contains(&hull, est.position, 1e-6));
+    }
+
+    #[test]
+    fn vire_estimate_inside_reference_hull(
+        p in interior_point(),
+        (ax, ay, amp) in field_params(),
+    ) {
+        let (map, make) = map_with_field(ax, ay, amp);
+        let est = Vire::default().locate(&map, &make(p)).unwrap();
+        prop_assert!(map.grid().bounds().inflated(1e-6).contains(est.position));
+    }
+
+    #[test]
+    fn vire_estimate_is_finite_and_has_contributors(
+        p in interior_point(),
+        (ax, ay, amp) in field_params(),
+    ) {
+        let (map, make) = map_with_field(ax, ay, amp);
+        let est = Vire::default().locate(&map, &make(p)).unwrap();
+        prop_assert!(est.position.is_finite());
+        prop_assert!(est.contributors >= 1);
+        prop_assert!(est.threshold.unwrap_or(0.0) >= 0.0);
+    }
+
+    #[test]
+    fn exact_reference_reading_localizes_to_that_node(
+        i in 0usize..4, j in 0usize..4,
+        (ax, ay, amp) in field_params(),
+    ) {
+        let (map, make) = map_with_field(ax, ay, amp);
+        let node = map.grid().position(vire_geom::GridIndex::new(i, j));
+        let est = Landmarc::default().locate(&map, &make(node)).unwrap();
+        prop_assert!(est.error(node) < 1e-6, "error {} at node {node}", est.error(node));
+    }
+
+    #[test]
+    fn elimination_candidates_monotone_in_fixed_threshold(
+        p in interior_point(),
+        (ax, ay, amp) in field_params(),
+    ) {
+        let (map, make) = map_with_field(ax, ay, amp);
+        let grid = VirtualGrid::build(&map, 5, InterpolationKernel::Linear);
+        let reading = make(p);
+        let mut prev = 0usize;
+        for t in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            let count = eliminate(&grid, &reading, ThresholdMode::Fixed(t))
+                .map(|r| r.candidates())
+                .unwrap_or(0);
+            prop_assert!(count >= prev, "threshold {t}: {count} < {prev}");
+            prev = count;
+        }
+    }
+
+    #[test]
+    fn adaptive_elimination_never_empty(
+        p in interior_point(),
+        (ax, ay, amp) in field_params(),
+    ) {
+        let (map, make) = map_with_field(ax, ay, amp);
+        let grid = VirtualGrid::build(&map, 5, InterpolationKernel::Linear);
+        let result = eliminate(&grid, &make(p), ThresholdMode::default()).unwrap();
+        prop_assert!(result.candidates() > 0);
+        prop_assert!(result.thresholds.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn weights_always_normalized(
+        p in interior_point(),
+        (ax, ay, amp) in field_params(),
+        t in 0.5..6.0f64,
+    ) {
+        let (map, make) = map_with_field(ax, ay, amp);
+        let grid = VirtualGrid::build(&map, 5, InterpolationKernel::Linear);
+        let reading = make(p);
+        let Some(result) = eliminate(&grid, &reading, ThresholdMode::Fixed(t)) else {
+            return Ok(());
+        };
+        for mode in WeightingMode::ALL {
+            for w1 in W1Mode::ALL {
+                let (c, w) = candidate_weights(&grid, &reading, &result.mask, mode, w1).unwrap();
+                prop_assert_eq!(c.len(), w.len());
+                prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                prop_assert!(w.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_grid_preserves_real_tags_for_all_kernels(
+        (ax, ay, amp) in field_params(),
+        n in 1usize..8,
+    ) {
+        let (map, _) = map_with_field(ax, ay, amp);
+        for kernel in InterpolationKernel::ALL {
+            let vg = VirtualGrid::build(&map, n, kernel);
+            for idx in map.grid().indices() {
+                let fine = map.grid().coarse_to_fine(idx, n);
+                for k in 0..map.reader_count() {
+                    prop_assert!(
+                        (vg.rssi(k, fine) - map.rssi(k, idx)).abs() < 1e-7,
+                        "{kernel:?} altered a real tag"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_virtual_grid_bounded_by_cell_corners(
+        (ax, ay, amp) in field_params(),
+    ) {
+        let (map, _) = map_with_field(ax, ay, amp);
+        let n = 4;
+        let vg = VirtualGrid::build(&map, n, InterpolationKernel::Linear);
+        // Every virtual tag's RSSI lies within the min/max of its cell's
+        // four real corners (a property of bilinear interpolation).
+        for (idx, pos) in vg.grid().nodes() {
+            let Some((cell, _, _)) = map.grid().locate(pos) else { continue };
+            for k in 0..map.reader_count() {
+                let corners = [
+                    map.rssi(k, cell),
+                    map.rssi(k, vire_geom::GridIndex::new(cell.i + 1, cell.j)),
+                    map.rssi(k, vire_geom::GridIndex::new(cell.i, cell.j + 1)),
+                    map.rssi(k, vire_geom::GridIndex::new(cell.i + 1, cell.j + 1)),
+                ];
+                let lo = corners.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = corners.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let v = vg.rssi(k, idx);
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn extended_map_preserves_interior(
+        (ax, ay, amp) in field_params(),
+        margin in 1usize..3,
+    ) {
+        let (map, _) = map_with_field(ax, ay, amp);
+        let ext = extend_reference_map(&map, margin);
+        prop_assert_eq!(ext.grid().nx(), map.grid().nx() + 2 * margin);
+        for idx in map.grid().indices() {
+            let shifted = vire_geom::GridIndex::new(idx.i + margin, idx.j + margin);
+            for k in 0..map.reader_count() {
+                prop_assert!((ext.rssi(k, shifted) - map.rssi(k, idx)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn estimation_error_metric_properties(a in interior_point(), b in interior_point()) {
+        let e = vire_core::Estimate::new(a, 1);
+        prop_assert!(e.error(b) >= 0.0);
+        prop_assert!((e.error(b) - b.distance(a)).abs() < 1e-12);
+        prop_assert_eq!(e.error(a), 0.0);
+    }
+}

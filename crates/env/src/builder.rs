@@ -1,0 +1,211 @@
+//! Fluent builder for custom environments.
+//!
+//! The paper's future work asks how VIRE behaves in rooms beyond the three
+//! tested; the builder makes it cheap to construct such variants (different
+//! wall materials, furniture layouts, noise levels) for the ablation
+//! experiments in `vire-exp`.
+
+use crate::material::Material;
+use crate::obstacle::Obstacle;
+use crate::presets::{Environment, EnvironmentKind};
+use crate::wall::{rectangular_room, Wall};
+use vire_geom::{Point2, Segment};
+
+
+/// Builder producing an [`Environment`].
+#[derive(Debug, Clone)]
+pub struct EnvironmentBuilder {
+    name: String,
+    walls: Vec<Wall>,
+    obstacles: Vec<Obstacle>,
+    pathloss_exponent: f64,
+    p_ref_at_1m: f64,
+    clutter_sigma_db: f64,
+    clutter_band: (f64, f64),
+    meas_sigma_db: f64,
+    spike_prob: f64,
+    second_order: bool,
+}
+
+impl EnvironmentBuilder {
+    /// Starts a builder with free-space-like defaults (γ = 2, no walls,
+    /// light noise).
+    pub fn new(name: impl Into<String>) -> Self {
+        EnvironmentBuilder {
+            name: name.into(),
+            walls: Vec::new(),
+            obstacles: Vec::new(),
+            pathloss_exponent: 2.0,
+            p_ref_at_1m: -65.0,
+            clutter_sigma_db: 0.0,
+            clutter_band: (2.0, 6.0),
+            meas_sigma_db: 0.5,
+            spike_prob: 0.0,
+            second_order: false,
+        }
+    }
+
+    /// Adds a single wall.
+    pub fn wall(mut self, a: Point2, b: Point2, material: Material) -> Self {
+        self.walls.push(Wall::new(Segment::new(a, b), material));
+        self
+    }
+
+    /// Adds the four walls of a rectangular room.
+    pub fn room(mut self, min: Point2, max: Point2, material: Material) -> Self {
+        self.walls.extend(rectangular_room(min, max, material));
+        self
+    }
+
+    /// Adds a non-rectangular room: one wall per polygon edge (the
+    /// "closed and complex environment" of the paper's §6).
+    pub fn polygon_room(mut self, outline: &vire_geom::Polygon, material: Material) -> Self {
+        self.walls
+            .extend(outline.edges().map(|e| Wall::new(e, material)));
+        self
+    }
+
+    /// Adds an obstacle.
+    pub fn obstacle(mut self, a: Point2, b: Point2, material: Material) -> Self {
+        self.obstacles
+            .push(Obstacle::new(Segment::new(a, b), material));
+        self
+    }
+
+    /// Sets the path-loss exponent γ.
+    ///
+    /// # Panics
+    /// Panics when `gamma` is not within the physically plausible `1..=6`.
+    pub fn pathloss_exponent(mut self, gamma: f64) -> Self {
+        assert!((1.0..=6.0).contains(&gamma), "implausible exponent {gamma}");
+        self.pathloss_exponent = gamma;
+        self
+    }
+
+    /// Sets the 1 m reference power, dBm.
+    pub fn reference_power(mut self, dbm: f64) -> Self {
+        self.p_ref_at_1m = dbm;
+        self
+    }
+
+    /// Sets the clutter-field RMS amplitude, dB.
+    pub fn clutter(mut self, sigma_db: f64) -> Self {
+        assert!(sigma_db >= 0.0, "clutter sigma must be non-negative");
+        self.clutter_sigma_db = sigma_db;
+        self
+    }
+
+    /// Sets the clutter-field spatial wavelength band, meters.
+    ///
+    /// # Panics
+    /// Panics when the band is empty or non-positive.
+    pub fn clutter_band(mut self, min_wavelength: f64, max_wavelength: f64) -> Self {
+        assert!(
+            min_wavelength > 0.0 && max_wavelength >= min_wavelength,
+            "invalid clutter band"
+        );
+        self.clutter_band = (min_wavelength, max_wavelength);
+        self
+    }
+
+    /// Sets the per-measurement noise σ, dB.
+    pub fn measurement_noise(mut self, sigma_db: f64) -> Self {
+        assert!(sigma_db >= 0.0, "noise sigma must be non-negative");
+        self.meas_sigma_db = sigma_db;
+        self
+    }
+
+    /// Sets the human-movement spike probability.
+    pub fn spike_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.spike_prob = p;
+        self
+    }
+
+    /// Enables second-order (double-bounce) reflections.
+    pub fn second_order_reflections(mut self) -> Self {
+        self.second_order = true;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Environment {
+        Environment {
+            name: self.name,
+            kind: EnvironmentKind::Custom,
+            walls: self.walls,
+            obstacles: self.obstacles,
+            pathloss_exponent: self.pathloss_exponent,
+            p_ref_at_1m: self.p_ref_at_1m,
+            clutter_sigma_db: self.clutter_sigma_db,
+            clutter_band: self.clutter_band,
+            meas_sigma_db: self.meas_sigma_db,
+            spike_prob: self.spike_prob,
+            second_order_reflections: self.second_order,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_benign() {
+        let e = EnvironmentBuilder::new("lab").build();
+        assert_eq!(e.kind, EnvironmentKind::Custom);
+        assert!(e.walls.is_empty());
+        assert_eq!(e.pathloss_exponent, 2.0);
+        assert_eq!(e.spike_prob, 0.0);
+    }
+
+    #[test]
+    fn builder_accumulates_geometry() {
+        let e = EnvironmentBuilder::new("warehouse")
+            .room(Point2::new(0.0, 0.0), Point2::new(20.0, 12.0), Material::Metal)
+            .wall(Point2::new(10.0, 0.0), Point2::new(10.0, 6.0), Material::Drywall)
+            .obstacle(Point2::new(5.0, 5.0), Point2::new(6.0, 5.0), Material::Wood)
+            .pathloss_exponent(2.8)
+            .clutter(1.5)
+            .measurement_noise(1.0)
+            .spike_probability(0.02)
+            .build();
+        assert_eq!(e.walls.len(), 5);
+        assert_eq!(e.obstacles.len(), 1);
+        assert_eq!(e.pathloss_exponent, 2.8);
+        assert_eq!(e.spike_prob, 0.02);
+        assert_eq!(e.name, "warehouse");
+    }
+
+    #[test]
+    fn polygon_room_adds_one_wall_per_edge() {
+        let outline = vire_geom::Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(5.0, 0.0),
+            Point2::new(5.0, 3.0),
+            Point2::new(2.0, 3.0),
+            Point2::new(2.0, 5.0),
+            Point2::new(0.0, 5.0),
+        ]);
+        let e = EnvironmentBuilder::new("l-shaped office")
+            .polygon_room(&outline, Material::Concrete)
+            .build();
+        assert_eq!(e.walls.len(), 6);
+        // The walls chain around the outline.
+        for k in 0..6 {
+            assert_eq!(e.walls[k].segment.b, e.walls[(k + 1) % 6].segment.a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "implausible exponent")]
+    fn rejects_crazy_exponent() {
+        EnvironmentBuilder::new("x").pathloss_exponent(9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_spike_probability() {
+        EnvironmentBuilder::new("x").spike_probability(2.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! The paper's testbed deployment: reference lattice, readers, and the nine
+//! tracking-tag positions of Fig. 2(a).
+
+use vire_geom::{Aabb, Point2, RegularGrid};
+
+/// The physical deployment of reference tags and readers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// Real reference tags on a regular lattice. The paper uses a 4×4
+    /// lattice at 1 m pitch ("16 reference tags"), origin at the SW tag.
+    pub reference_grid: RegularGrid,
+    /// Reader antenna positions. The paper places 4 readers "in the four
+    /// corners of the sensing area", each 1 m from the nearby edge tag.
+    pub readers: Vec<Point2>,
+}
+
+impl Deployment {
+    /// The paper's testbed: 4×4 reference tags at 1 m pitch with four
+    /// corner readers placed on the diagonals, exactly 1 m outside the
+    /// corner reference tags.
+    pub fn paper_testbed() -> Self {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let b = grid.bounds();
+        let d = 1.0 / std::f64::consts::SQRT_2; // 1 m along the diagonal
+        let readers = vec![
+            Point2::new(b.min.x - d, b.min.y - d),
+            Point2::new(b.max.x + d, b.min.y - d),
+            Point2::new(b.max.x + d, b.max.y + d),
+            Point2::new(b.min.x - d, b.max.y + d),
+        ];
+        Deployment {
+            reference_grid: grid,
+            readers,
+        }
+    }
+
+    /// A scaled testbed for the paper's future-work questions: `side` tags
+    /// per edge at `pitch` meters, with `readers_per_side ≥ 2` readers
+    /// spread around the perimeter 1 m outside the lattice.
+    ///
+    /// # Panics
+    /// Panics when `side < 2` or `readers < 3` (localization needs at
+    /// least 3 non-collinear anchors).
+    pub fn scaled(side: usize, pitch: f64, readers: usize) -> Self {
+        assert!(side >= 2, "need at least a 2x2 reference lattice");
+        assert!(readers >= 3, "need at least 3 readers");
+        let grid = RegularGrid::square(Point2::ORIGIN, pitch, side);
+        let ring = grid.bounds().inflated(1.0);
+        // Distribute readers evenly along the ring perimeter, corner-first.
+        let corners = ring.corners();
+        let mut positions = Vec::with_capacity(readers);
+        let perimeter = 2.0 * (ring.width() + ring.height());
+        for k in 0..readers {
+            let s = perimeter * k as f64 / readers as f64;
+            positions.push(walk_perimeter(&corners, s));
+        }
+        Deployment {
+            reference_grid: grid,
+            readers: positions,
+        }
+    }
+
+    /// The sensing area: the region enclosed by the reference lattice.
+    pub fn sensing_area(&self) -> Aabb {
+        self.reference_grid.bounds()
+    }
+
+    /// Positions of all real reference tags, row-major.
+    pub fn reference_positions(&self) -> Vec<Point2> {
+        self.reference_grid.nodes().map(|(_, p)| p).collect()
+    }
+
+    /// Number of readers.
+    pub fn reader_count(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// The nine tracking-tag positions of Fig. 2(a).
+    ///
+    /// The paper does not table the coordinates; these positions satisfy
+    /// every property the text states: Tag 1 sits at a cell center "well
+    /// covered by four nearby reference tags"; Tags 1–5 are non-boundary
+    /// (interior of the lattice); Tags 6–8 lie on the boundary of the
+    /// sensing area; Tag 9 is "slightly placed outside the boundary of the
+    /// edge reference tags" and must show the worst accuracy.
+    pub fn tracking_tags_fig2a() -> [Point2; 9] {
+        [
+            Point2::new(1.5, 1.5), // 1: cell center, fully covered
+            Point2::new(0.7, 2.2), // 2: interior
+            Point2::new(2.3, 2.4), // 3: interior
+            Point2::new(2.5, 1.3), // 4: interior
+            Point2::new(1.4, 0.6), // 5: interior
+            Point2::new(1.8, 3.0), // 6: on the north edge
+            Point2::new(0.0, 1.7), // 7: on the west edge
+            Point2::new(2.6, 0.0), // 8: on the south edge
+            Point2::new(3.3, 3.2), // 9: outside the NE corner
+        ]
+    }
+
+    /// Returns `true` when Fig. 2(a) tag number `tag_no` (1-based) is one
+    /// of the non-boundary tags (1–5). The paper reports its headline
+    /// average errors over exactly this subset.
+    pub fn is_non_boundary_tag(tag_no: usize) -> bool {
+        (1..=5).contains(&tag_no)
+    }
+}
+
+/// Walks distance `s` along the rectangle whose corners are given in CCW
+/// order, returning the point reached (wraps around).
+fn walk_perimeter(corners: &[Point2; 4], mut s: f64) -> Point2 {
+    for k in 0..4 {
+        let a = corners[k];
+        let b = corners[(k + 1) % 4];
+        let len = a.distance(b);
+        if s <= len {
+            return a.lerp(b, if len > 0.0 { s / len } else { 0.0 });
+        }
+        s -= len;
+    }
+    corners[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_has_16_tags_and_4_readers() {
+        let d = Deployment::paper_testbed();
+        assert_eq!(d.reference_positions().len(), 16);
+        assert_eq!(d.reader_count(), 4);
+    }
+
+    #[test]
+    fn readers_are_one_meter_from_corner_tags() {
+        let d = Deployment::paper_testbed();
+        let corners = [
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 0.0),
+            Point2::new(3.0, 3.0),
+            Point2::new(0.0, 3.0),
+        ];
+        for reader in &d.readers {
+            let nearest = corners
+                .iter()
+                .map(|c| c.distance(*reader))
+                .fold(f64::INFINITY, f64::min);
+            assert!((nearest - 1.0).abs() < 1e-9, "reader at {reader}: {nearest}");
+        }
+    }
+
+    #[test]
+    fn readers_are_outside_the_sensing_area() {
+        let d = Deployment::paper_testbed();
+        let area = d.sensing_area();
+        for reader in &d.readers {
+            assert!(!area.contains(*reader));
+        }
+    }
+
+    #[test]
+    fn non_boundary_tracking_tags_are_interior() {
+        let d = Deployment::paper_testbed();
+        let area = d.sensing_area();
+        let tags = Deployment::tracking_tags_fig2a();
+        for no in 1..=5usize {
+            assert!(
+                area.contains_strict(tags[no - 1]),
+                "tag {no} must be strictly inside"
+            );
+            assert!(Deployment::is_non_boundary_tag(no));
+        }
+    }
+
+    #[test]
+    fn boundary_tags_are_on_or_outside_the_edge() {
+        let d = Deployment::paper_testbed();
+        let area = d.sensing_area();
+        let tags = Deployment::tracking_tags_fig2a();
+        for no in 6..=8usize {
+            let p = tags[no - 1];
+            assert!(area.contains(p) && !area.contains_strict(p), "tag {no} at {p}");
+            assert!(!Deployment::is_non_boundary_tag(no));
+        }
+        // Tag 9 is outside the lattice.
+        assert!(!area.contains(tags[8]));
+    }
+
+    #[test]
+    fn tag1_sits_at_a_cell_center() {
+        let t1 = Deployment::tracking_tags_fig2a()[0];
+        let frac_x = t1.x - t1.x.floor();
+        let frac_y = t1.y - t1.y.floor();
+        assert!((frac_x - 0.5).abs() < 1e-9 && (frac_y - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_deployment_shape() {
+        let d = Deployment::scaled(6, 0.5, 6);
+        assert_eq!(d.reference_positions().len(), 36);
+        assert_eq!(d.reader_count(), 6);
+        let ring = d.sensing_area().inflated(1.0);
+        for r in &d.readers {
+            // All readers on the ring boundary: contained in a slightly
+            // inflated ring but not strictly inside a deflated one.
+            assert!(ring.inflated(1e-6).contains(*r));
+            assert!(!ring.inflated(-1e-6).contains_strict(*r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 readers")]
+    fn scaled_rejects_too_few_readers() {
+        Deployment::scaled(4, 1.0, 2);
+    }
+
+    #[test]
+    fn walk_perimeter_wraps() {
+        let corners = [
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ];
+        assert_eq!(walk_perimeter(&corners, 0.0), corners[0]);
+        assert_eq!(walk_perimeter(&corners, 2.0), corners[1]);
+        assert_eq!(walk_perimeter(&corners, 3.0), Point2::new(2.0, 1.0));
+        assert_eq!(walk_perimeter(&corners, 8.0), corners[0]);
+    }
+}

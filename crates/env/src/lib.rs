@@ -1,0 +1,36 @@
+//! # vire-env
+//!
+//! Indoor environment models for the VIRE reproduction.
+//!
+//! The paper evaluates in three rooms at HKUST (Fig. 1):
+//!
+//! * **Env1** — a semi-open area "not surrounded by concrete walls and
+//!   furniture": mild reflections, best LANDMARC accuracy,
+//! * **Env2** — a spacious closed area, walls far from the sensing area:
+//!   slightly stronger but still benign multipath,
+//! * **Env3** — a small cluttered office: close reflective walls plus
+//!   metallic furniture, "susceptible to reflection of signals and filled
+//!   with radio waves of similar wavelength" — worst case.
+//!
+//! The exact floor plans are not published; [`presets`] builds geometries
+//! that satisfy the qualitative description and produce the same error
+//! ordering. [`deployment`] describes the common testbed: a 4×4 reference
+//! lattice at 1 m pitch, four corner readers 1 m outside the corner tags,
+//! and the nine tracking-tag positions of Fig. 2(a).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod builder;
+pub mod deployment;
+pub mod material;
+pub mod obstacle;
+pub mod presets;
+pub mod wall;
+
+pub use builder::EnvironmentBuilder;
+pub use deployment::Deployment;
+pub use material::Material;
+pub use obstacle::Obstacle;
+pub use presets::{env1, env2, env3, Environment, EnvironmentKind};
+pub use wall::Wall;

@@ -1,0 +1,94 @@
+//! Building materials and their RF behaviour at ~300 MHz.
+
+/// A building/furniture material with its RF reflection and transmission
+/// characteristics at the RF Code carrier band (~300 MHz).
+///
+/// Coefficients are representative values from the indoor-propagation
+/// literature; at this band drywall is nearly transparent while metal is an
+/// almost perfect mirror.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Material {
+    /// Poured concrete / brick wall.
+    Concrete,
+    /// Metal surface (cabinet, whiteboard, shelving).
+    Metal,
+    /// Gypsum drywall partition.
+    Drywall,
+    /// Window glass.
+    Glass,
+    /// Wooden furniture (desks, doors).
+    Wood,
+}
+
+impl Material {
+    /// Amplitude reflection coefficient magnitude in `[0, 1]`.
+    pub fn reflection(self) -> f64 {
+        match self {
+            Material::Concrete => 0.55,
+            Material::Metal => 0.90,
+            Material::Drywall => 0.20,
+            Material::Glass => 0.30,
+            Material::Wood => 0.25,
+        }
+    }
+
+    /// One-way transmission loss through the material, dB.
+    pub fn transmission_loss_db(self) -> f64 {
+        match self {
+            Material::Concrete => 10.0,
+            Material::Metal => 25.0,
+            Material::Drywall => 2.0,
+            Material::Glass => 2.5,
+            Material::Wood => 3.0,
+        }
+    }
+
+    /// All materials, for enumeration in tests and docs.
+    pub const ALL: [Material; 5] = [
+        Material::Concrete,
+        Material::Metal,
+        Material::Drywall,
+        Material::Glass,
+        Material::Wood,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflection_coefficients_in_unit_range() {
+        for m in Material::ALL {
+            let r = m.reflection();
+            assert!((0.0..=1.0).contains(&r), "{m:?}: {r}");
+        }
+    }
+
+    #[test]
+    fn metal_is_most_reflective() {
+        for m in Material::ALL {
+            assert!(Material::Metal.reflection() >= m.reflection());
+        }
+    }
+
+    #[test]
+    fn metal_blocks_most() {
+        for m in Material::ALL {
+            assert!(Material::Metal.transmission_loss_db() >= m.transmission_loss_db());
+        }
+    }
+
+    #[test]
+    fn drywall_is_nearly_transparent() {
+        assert!(Material::Drywall.transmission_loss_db() < 3.0);
+        assert!(Material::Drywall.reflection() < 0.3);
+    }
+
+    #[test]
+    fn losses_are_positive() {
+        for m in Material::ALL {
+            assert!(m.transmission_loss_db() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Obstacles: furniture and clutter inside the room.
+//!
+//! An obstacle both reflects (its metal/wood face is a [`Reflector`]) and
+//! attenuates rays that pass through it (an [`Obstruction`]). Env3's office
+//! desks and cabinets are modeled this way.
+
+use crate::material::Material;
+use vire_geom::Segment;
+use vire_radio::channel::Obstruction;
+use vire_radio::multipath::Reflector;
+
+/// A piece of furniture or clutter, modeled by its dominant face.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obstacle {
+    /// Footprint of the obstacle's dominant reflecting face.
+    pub segment: Segment,
+    /// Obstacle material.
+    pub material: Material,
+}
+
+impl Obstacle {
+    /// Creates an obstacle.
+    pub fn new(segment: Segment, material: Material) -> Self {
+        Obstacle { segment, material }
+    }
+
+    /// The reflective face of the obstacle.
+    pub fn to_reflector(self) -> Reflector {
+        Reflector::new(self.segment, self.material.reflection())
+    }
+
+    /// The through-loss of the obstacle.
+    pub fn to_obstruction(self) -> Obstruction {
+        Obstruction {
+            segment: self.segment,
+            loss_db: self.material.transmission_loss_db(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vire_geom::Point2;
+
+    #[test]
+    fn obstacle_produces_both_roles() {
+        let o = Obstacle::new(
+            Segment::new(Point2::new(1.0, 1.0), Point2::new(2.0, 1.0)),
+            Material::Metal,
+        );
+        let r = o.to_reflector();
+        let b = o.to_obstruction();
+        assert_eq!(r.reflection, Material::Metal.reflection());
+        assert_eq!(b.loss_db, Material::Metal.transmission_loss_db());
+        assert_eq!(r.segment, b.segment);
+    }
+
+    #[test]
+    fn wooden_desk_reflects_weakly_but_blocks_little() {
+        let o = Obstacle::new(
+            Segment::new(Point2::new(0.0, 0.0), Point2::new(1.5, 0.0)),
+            Material::Wood,
+        );
+        assert!(o.to_reflector().reflection < 0.3);
+        assert!(o.to_obstruction().loss_db < 5.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The three paper environments and the [`Environment`] description type.
+
+use crate::material::Material;
+use crate::obstacle::Obstacle;
+use crate::wall::{rectangular_room, Wall};
+use vire_geom::{Aabb, Point2, Segment};
+use vire_radio::channel::ChannelParams;
+use vire_radio::pathloss::LogDistance;
+
+/// Which of the paper's three environment classes a model belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnvironmentKind {
+    /// Fig. 1(a): semi-open area, no surrounding concrete walls.
+    SemiOpen,
+    /// Fig. 1(b): spacious closed area, walls far from the sensing area.
+    SpaciousClosed,
+    /// Fig. 1(c): small cluttered office — the hard case.
+    ClutteredOffice,
+    /// Anything built with [`crate::EnvironmentBuilder`].
+    Custom,
+}
+
+/// A complete RF environment description.
+///
+/// [`Environment::channel_params`] lowers the description into the radio
+/// substrate's [`ChannelParams`]; the same environment with different seeds
+/// yields statistically identical but sample-wise independent runs.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    /// Human-readable name ("Env3 — cluttered office").
+    pub name: String,
+    /// Environment class.
+    pub kind: EnvironmentKind,
+    /// Room walls.
+    pub walls: Vec<Wall>,
+    /// Furniture and clutter.
+    pub obstacles: Vec<Obstacle>,
+    /// Log-distance path-loss exponent γ.
+    pub pathloss_exponent: f64,
+    /// Reference RSSI at 1 m, dBm.
+    pub p_ref_at_1m: f64,
+    /// RMS amplitude of the unresolved-clutter field, dB.
+    pub clutter_sigma_db: f64,
+    /// Spatial wavelength band of the clutter field, meters. Indoor
+    /// large-scale distortion (furniture shadowing, room modes) varies over
+    /// meters, not centimeters — the band must sit well above the reference
+    /// pitch or the field becomes unlearnable noise for *any*
+    /// reference-based method.
+    pub clutter_band: (f64, f64),
+    /// Per-measurement noise σ, dB.
+    pub meas_sigma_db: f64,
+    /// Probability a measurement is hit by a human-movement spike.
+    pub spike_prob: f64,
+    /// Model double-bounce reflections (higher channel fidelity, O(W²)).
+    pub second_order_reflections: bool,
+}
+
+impl Environment {
+    /// Lowers to radio-substrate channel parameters with master `seed`.
+    pub fn channel_params(&self, seed: u64) -> ChannelParams {
+        let mut reflectors: Vec<_> = self.walls.iter().map(|w| w.to_reflector()).collect();
+        reflectors.extend(self.obstacles.iter().map(|o| o.to_reflector()));
+        let obstructions = self.obstacles.iter().map(|o| o.to_obstruction()).collect();
+        ChannelParams {
+            pathloss: LogDistance::new(self.p_ref_at_1m, self.pathloss_exponent),
+            reflectors,
+            obstructions,
+            clutter_sigma_db: self.clutter_sigma_db,
+            clutter_band: self.clutter_band,
+            meas_sigma_db: self.meas_sigma_db,
+            spike_prob: self.spike_prob,
+            spike_magnitude: (4.0, 12.0),
+            wavelength: vire_radio::carrier_wavelength(),
+            // Quarter-wavelength aperture: fringes below ~λ/2 smear out in
+            // measured RSSI (receiver bandwidth + antenna integration).
+            multipath_aperture: vire_radio::carrier_wavelength() / 4.0,
+            second_order_reflections: self.second_order_reflections,
+            seed,
+        }
+    }
+
+    /// Bounding box of the room walls, or of the sensing area inflated by
+    /// 2 m when the environment has no walls (semi-open).
+    pub fn extent(&self) -> Aabb {
+        let pts: Vec<Point2> = self
+            .walls
+            .iter()
+            .flat_map(|w| [w.segment.a, w.segment.b])
+            .collect();
+        Aabb::from_points(&pts)
+            .unwrap_or_else(|| Aabb::new(Point2::new(-2.0, -2.0), Point2::new(5.0, 5.0)))
+    }
+}
+
+/// Env1 — semi-open area (Fig. 1(a)).
+///
+/// Not enclosed: only two distant low-reflectivity surfaces (a far partition
+/// and a glass front) contribute multipath. The paper observed "the
+/// electromagnetic wave reflection property exerted a lesser influence hence
+/// a better result".
+pub fn env1() -> Environment {
+    Environment {
+        name: "Env1 — semi-open area".into(),
+        kind: EnvironmentKind::SemiOpen,
+        walls: vec![
+            // One drywall partition 5 m west of the sensing area.
+            Wall::new(
+                Segment::new(Point2::new(-5.0, -6.0), Point2::new(-5.0, 9.0)),
+                Material::Drywall,
+            ),
+            // A glass front 6 m north.
+            Wall::new(
+                Segment::new(Point2::new(-6.0, 9.0), Point2::new(10.0, 9.0)),
+                Material::Glass,
+            ),
+        ],
+        obstacles: Vec::new(),
+        pathloss_exponent: 2.2,
+        p_ref_at_1m: -65.0,
+        clutter_sigma_db: 1.2,
+        clutter_band: (2.5, 7.0),
+        meas_sigma_db: 0.8,
+        spike_prob: 0.0,
+        second_order_reflections: false,
+    }
+}
+
+/// Env2 — spacious closed area (Fig. 1(b)).
+///
+/// A large concrete-walled hall; the sensing area sits in the middle so
+/// "the concrete walls are further away from the tags. Therefore, the
+/// reflection influence is smaller."
+pub fn env2() -> Environment {
+    Environment {
+        name: "Env2 — spacious closed area".into(),
+        kind: EnvironmentKind::SpaciousClosed,
+        walls: rectangular_room(
+            Point2::new(-6.0, -5.0),
+            Point2::new(9.0, 8.0),
+            Material::Concrete,
+        ),
+        obstacles: Vec::new(),
+        pathloss_exponent: 2.4,
+        p_ref_at_1m: -65.0,
+        clutter_sigma_db: 2.4,
+        clutter_band: (2.0, 6.0),
+        meas_sigma_db: 0.9,
+        spike_prob: 0.0,
+        second_order_reflections: false,
+    }
+}
+
+/// Env3 — small cluttered office (Fig. 1(c)).
+///
+/// Concrete walls barely a meter outside the reader ring, plus metal and
+/// wood furniture inside the room. "The main problem is the setting of Env3
+/// which is susceptible to reflection of signals and filled with radio waves
+/// of similar wavelength."
+pub fn env3() -> Environment {
+    Environment {
+        name: "Env3 — cluttered office".into(),
+        kind: EnvironmentKind::ClutteredOffice,
+        walls: rectangular_room(
+            Point2::new(-2.0, -2.0),
+            Point2::new(5.0, 5.0),
+            Material::Concrete,
+        ),
+        obstacles: vec![
+            // Metal filing cabinet along the east wall.
+            Obstacle::new(
+                Segment::new(Point2::new(4.4, 0.5), Point2::new(4.4, 2.0)),
+                Material::Metal,
+            ),
+            // Metal whiteboard on the north wall.
+            Obstacle::new(
+                Segment::new(Point2::new(0.5, 4.6), Point2::new(2.5, 4.6)),
+                Material::Metal,
+            ),
+            // Wooden desk edge intruding into the room (south-west).
+            Obstacle::new(
+                Segment::new(Point2::new(-1.2, -0.5), Point2::new(0.3, -1.2)),
+                Material::Wood,
+            ),
+        ],
+        pathloss_exponent: 3.2,
+        p_ref_at_1m: -65.0,
+        clutter_sigma_db: 9.0,
+        clutter_band: (1.2, 4.0),
+        meas_sigma_db: 1.1,
+        spike_prob: 0.0,
+        second_order_reflections: false,
+    }
+}
+
+/// All three paper environments, in order.
+pub fn all_paper_environments() -> [Environment; 3] {
+    [env1(), env2(), env3()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+
+    #[test]
+    fn kinds_are_distinct() {
+        assert_eq!(env1().kind, EnvironmentKind::SemiOpen);
+        assert_eq!(env2().kind, EnvironmentKind::SpaciousClosed);
+        assert_eq!(env3().kind, EnvironmentKind::ClutteredOffice);
+    }
+
+    #[test]
+    fn env3_is_the_most_hostile() {
+        let (e1, e2, e3) = (env1(), env2(), env3());
+        assert!(e3.pathloss_exponent > e2.pathloss_exponent);
+        assert!(e3.clutter_sigma_db > e2.clutter_sigma_db);
+        assert!(e3.clutter_sigma_db > e1.clutter_sigma_db);
+        assert!(!e3.obstacles.is_empty());
+        assert!(e1.obstacles.is_empty() && e2.obstacles.is_empty());
+    }
+
+    #[test]
+    fn env1_is_not_enclosed() {
+        // Semi-open: fewer than 4 walls.
+        assert!(env1().walls.len() < 4);
+        assert_eq!(env2().walls.len(), 4);
+        assert_eq!(env3().walls.len(), 4);
+    }
+
+    #[test]
+    fn env3_walls_are_close_env2_walls_are_far() {
+        let testbed = Deployment::paper_testbed();
+        let area = testbed.sensing_area();
+        let nearest_wall = |e: &Environment| {
+            e.walls
+                .iter()
+                .map(|w| w.segment.distance_to_point(area.center()))
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(nearest_wall(&env3()) < 4.0);
+        assert!(nearest_wall(&env2()) > 6.0);
+    }
+
+    #[test]
+    fn channel_params_include_all_surfaces() {
+        let e = env3();
+        let p = e.channel_params(1);
+        assert_eq!(p.reflectors.len(), e.walls.len() + e.obstacles.len());
+        assert_eq!(p.obstructions.len(), e.obstacles.len());
+        assert_eq!(p.pathloss.exponent, e.pathloss_exponent);
+    }
+
+    #[test]
+    fn extent_covers_all_walls() {
+        for e in all_paper_environments() {
+            let ext = e.extent();
+            for w in &e.walls {
+                assert!(ext.contains(w.segment.a) && ext.contains(w.segment.b));
+            }
+        }
+    }
+
+    #[test]
+    fn rooms_enclose_the_testbed() {
+        let testbed = Deployment::paper_testbed();
+        for e in [env2(), env3()] {
+            let ext = e.extent();
+            for r in &testbed.readers {
+                assert!(ext.contains(*r), "{}: reader {r} outside room", e.name);
+            }
+            for p in testbed.reference_positions() {
+                assert!(ext.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_change_channel_params_seed_only() {
+        let e = env2();
+        let a = e.channel_params(1);
+        let b = e.channel_params(2);
+        assert_eq!(a.pathloss, b.pathloss);
+        assert_ne!(a.seed, b.seed);
+    }
+}

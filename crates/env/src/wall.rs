@@ -1,0 +1,70 @@
+//! Walls: reflecting room boundary segments.
+
+use crate::material::Material;
+use vire_geom::{Point2, Segment};
+use vire_radio::multipath::Reflector;
+
+/// A wall on the floor plan: a segment with a material.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wall {
+    /// Wall footprint.
+    pub segment: Segment,
+    /// Wall material (drives the reflection coefficient).
+    pub material: Material,
+}
+
+impl Wall {
+    /// Creates a wall.
+    pub fn new(segment: Segment, material: Material) -> Self {
+        Wall { segment, material }
+    }
+
+    /// Converts to the radio crate's reflector.
+    pub fn to_reflector(self) -> Reflector {
+        Reflector::new(self.segment, self.material.reflection())
+    }
+}
+
+/// Builds the four walls of a rectangular room.
+pub fn rectangular_room(min: Point2, max: Point2, material: Material) -> Vec<Wall> {
+    let a = min;
+    let b = Point2::new(max.x, min.y);
+    let c = max;
+    let d = Point2::new(min.x, max.y);
+    [
+        Segment::new(a, b),
+        Segment::new(b, c),
+        Segment::new(c, d),
+        Segment::new(d, a),
+    ]
+    .into_iter()
+    .map(|s| Wall::new(s, material))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflector_inherits_material_coefficient() {
+        let w = Wall::new(
+            Segment::new(Point2::new(0.0, 0.0), Point2::new(5.0, 0.0)),
+            Material::Metal,
+        );
+        let r = w.to_reflector();
+        assert_eq!(r.reflection, Material::Metal.reflection());
+        assert_eq!(r.segment, w.segment);
+    }
+
+    #[test]
+    fn rectangular_room_walls_close_the_loop() {
+        let walls = rectangular_room(Point2::new(0.0, 0.0), Point2::new(4.0, 3.0), Material::Concrete);
+        assert_eq!(walls.len(), 4);
+        for k in 0..4 {
+            let end = walls[k].segment.b;
+            let next_start = walls[(k + 1) % 4].segment.a;
+            assert_eq!(end, next_start, "walls must chain");
+        }
+    }
+}

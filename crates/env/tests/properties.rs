@@ -1,0 +1,83 @@
+//! Property-based tests for the environment layer.
+
+use proptest::prelude::*;
+use vire_env::{Deployment, EnvironmentBuilder, Material};
+use vire_geom::Point2;
+
+proptest! {
+    #[test]
+    fn builder_always_produces_loadable_channel_params(
+        gamma in 1.5..4.5f64,
+        clutter in 0.0..10.0f64,
+        band_lo in 0.5..3.0f64,
+        band_span in 0.1..5.0f64,
+        noise in 0.0..3.0f64,
+        spike in 0.0..0.5f64,
+        seed in any::<u64>(),
+    ) {
+        let env = EnvironmentBuilder::new("prop")
+            .room(Point2::new(-3.0, -3.0), Point2::new(6.0, 6.0), Material::Concrete)
+            .pathloss_exponent(gamma)
+            .clutter(clutter)
+            .clutter_band(band_lo, band_lo + band_span)
+            .measurement_noise(noise)
+            .spike_probability(spike)
+            .build();
+        let params = env.channel_params(seed);
+        prop_assert_eq!(params.pathloss.exponent, gamma);
+        prop_assert_eq!(params.reflectors.len(), 4);
+        // Building the channel must never panic, and its deterministic
+        // field must be finite everywhere in the room.
+        let ch = vire_radio::RfChannel::new(params);
+        for k in 0..12 {
+            let p = Point2::new(-2.0 + k as f64 * 0.6, 1.0 + (k % 5) as f64 * 0.8);
+            prop_assert!(ch.mean_rssi(p, Point2::new(-1.0, -1.0)).is_finite());
+        }
+    }
+
+    #[test]
+    fn scaled_deployments_have_sane_geometry(
+        side in 2usize..9,
+        pitch in 0.25..2.0f64,
+        readers in 3usize..10,
+    ) {
+        let d = Deployment::scaled(side, pitch, readers);
+        prop_assert_eq!(d.reference_positions().len(), side * side);
+        prop_assert_eq!(d.reader_count(), readers);
+        let area = d.sensing_area();
+        // Readers sit outside the sensing area on the 1 m ring.
+        for r in &d.readers {
+            prop_assert!(!area.contains_strict(*r));
+            prop_assert!(area.inflated(1.0 + 1e-9).contains(*r));
+        }
+        // Reference tags tile the sensing area exactly.
+        for p in d.reference_positions() {
+            prop_assert!(area.contains(p));
+        }
+    }
+
+    #[test]
+    fn reader_positions_are_distinct(
+        side in 2usize..6,
+        readers in 3usize..9,
+    ) {
+        let d = Deployment::scaled(side, 1.0, readers);
+        for (i, a) in d.readers.iter().enumerate() {
+            for b in &d.readers[i + 1..] {
+                prop_assert!(a.distance(*b) > 1e-6, "duplicate readers at {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn environment_seeds_change_only_randomness(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        let env = vire_env::presets::env3();
+        let a = env.channel_params(seed_a);
+        let b = env.channel_params(seed_b);
+        prop_assert_eq!(a.pathloss, b.pathloss);
+        prop_assert_eq!(a.reflectors.len(), b.reflectors.len());
+        prop_assert_eq!(a.clutter_sigma_db, b.clutter_sigma_db);
+        prop_assert_eq!(a.seed, seed_a);
+        prop_assert_eq!(b.seed, seed_b);
+    }
+}

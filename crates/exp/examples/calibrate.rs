@@ -1,0 +1,58 @@
+//! Calibration diagnostic: per-tag errors of LANDMARC and VIRE variants in
+//! each environment. Not part of the reproduction — a workbench for tuning
+//! the channel presets and VIRE defaults.
+
+use vire_core::vire_alg::EmptyFallback;
+use vire_core::{Landmarc, Localizer, ThresholdMode, Vire, VireConfig};
+use vire_env::presets::all_paper_environments;
+use vire_env::Deployment;
+use vire_exp::runner::mean_errors_over_seeds;
+
+fn main() {
+    let seeds: Vec<u64> = (1..=6).collect();
+    let positions = Deployment::tracking_tags_fig2a();
+
+    let landmarc = Landmarc::default();
+    let vire_adaptive = Vire::default();
+    let fixed = |t: f64| {
+        Vire::new(VireConfig {
+            threshold: ThresholdMode::Fixed(t),
+            fallback: EmptyFallback::Landmarc,
+            ..VireConfig::default()
+        })
+    };
+    let v10 = fixed(1.0);
+    let v15 = fixed(1.5);
+    let v25 = fixed(2.5);
+    let v40 = fixed(4.0);
+    let v80 = fixed(8.0);
+
+    let algs: Vec<(&str, &(dyn Localizer + Sync))> = vec![
+        ("LANDMARC", &landmarc),
+        ("VIRE-adpt", &vire_adaptive),
+        ("VIRE-1.0", &v10),
+        ("VIRE-1.5", &v15),
+        ("VIRE-2.5", &v25),
+        ("VIRE-4.0", &v40),
+        ("VIRE-8.0", &v80),
+    ];
+
+    for env in all_paper_environments() {
+        println!("=== {} ===", env.name);
+        print!("{:>10}", "tag");
+        for t in 1..=9 {
+            print!("{t:>8}");
+        }
+        println!("{:>8}", "mean1-5");
+        for (name, alg) in &algs {
+            let errs = mean_errors_over_seeds(&env, &positions, *alg, &seeds);
+            print!("{name:>10}");
+            for e in &errs {
+                print!("{e:>8.3}");
+            }
+            let nb: f64 = errs[..5].iter().sum::<f64>() / 5.0;
+            println!("{nb:>8.3}");
+        }
+        println!();
+    }
+}

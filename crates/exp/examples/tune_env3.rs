@@ -1,0 +1,46 @@
+//! Env3 parameter sweep workbench: find clutter settings where LANDMARC
+//! degrades hard (paper Fig. 2b: 1-4 m) while VIRE stays accurate.
+
+use vire_core::{Landmarc, Vire};
+use vire_env::{Deployment, EnvironmentBuilder, Material};
+use vire_exp::runner::mean_errors_over_seeds;
+use vire_geom::Point2;
+
+fn main() {
+    let seeds: Vec<u64> = (1..=6).collect();
+    let positions = Deployment::tracking_tags_fig2a();
+    let landmarc = Landmarc::default();
+    let vire = Vire::default();
+
+    // (sigma, band_lo, band_hi, gamma)
+    let combos = [
+        (9.0, 1.8, 5.0, 3.0),
+        (7.0, 0.9, 5.0, 3.0),
+        (7.0, 0.9, 3.0, 3.0),
+        (9.0, 0.9, 3.0, 3.0),
+        (6.0, 0.7, 2.5, 3.0),
+        (9.0, 1.2, 4.0, 3.2),
+    ];
+    for (sigma, lo, hi, gamma) in combos {
+        let env = EnvironmentBuilder::new("env3-cand")
+            .room(Point2::new(-2.0, -2.0), Point2::new(5.0, 5.0), Material::Concrete)
+            .obstacle(Point2::new(4.4, 0.5), Point2::new(4.4, 2.0), Material::Metal)
+            .obstacle(Point2::new(0.5, 4.6), Point2::new(2.5, 4.6), Material::Metal)
+            .pathloss_exponent(gamma)
+            .clutter(sigma)
+            .clutter_band(lo, hi)
+            .measurement_noise(1.1)
+            .build();
+        let lm = mean_errors_over_seeds(&env, &positions, &landmarc, &seeds);
+        let vr = mean_errors_over_seeds(&env, &positions, &vire, &seeds);
+        let mean = |v: &[f64], r: std::ops::Range<usize>| -> f64 {
+            let s: Vec<f64> = v[r].to_vec();
+            s.iter().sum::<f64>() / s.len() as f64
+        };
+        println!(
+            "σ={sigma:>4} band=({lo},{hi}) γ={gamma}: LM int {:.3} bnd {:.3} t9 {:.3} | VIRE int {:.3} bnd {:.3} t9 {:.3}",
+            mean(&lm, 0..5), mean(&lm, 5..8), lm[8],
+            mean(&vr, 0..5), mean(&vr, 5..8), vr[8],
+        );
+    }
+}

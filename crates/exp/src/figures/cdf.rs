@@ -1,0 +1,178 @@
+//! Error-CDF evaluation over random tag positions (this repository's
+//! extension — the paper evaluates 9 fixed positions; a CDF over many
+//! random placements is what a modern evaluation section would add).
+
+use crate::metrics::Cdf;
+use crate::runner::{collect_trial, trial_errors};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use vire_core::nearest::KCentroid;
+use vire_core::trilateration::Trilateration;
+use vire_core::{Landmarc, Localizer, Vire};
+use vire_env::Environment;
+use vire_geom::Point2;
+
+/// One algorithm's error distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlgorithmCdf {
+    /// Algorithm name.
+    pub name: String,
+    /// Error quantiles at 50/80/90/95 %.
+    pub quantiles: [f64; 4],
+    /// Fraction of estimates within 0.5 m.
+    pub within_half_meter: f64,
+    /// Mean error.
+    pub mean: f64,
+    /// Raw error sample (meters), for re-plotting.
+    pub errors: Vec<f64>,
+}
+
+/// Result of the CDF experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CdfResult {
+    /// Environment name.
+    pub environment: String,
+    /// Number of random tag positions evaluated.
+    pub positions: usize,
+    /// Per-algorithm distributions.
+    pub algorithms: Vec<AlgorithmCdf>,
+}
+
+/// Draws `count` uniformly random positions strictly inside the sensing
+/// area (with a small inset so none is a boundary case).
+pub fn random_positions(count: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x00cd_f00d);
+    (0..count)
+        .map(|_| Point2::new(rng.gen_range(0.1..2.9), rng.gen_range(0.1..2.9)))
+        .collect()
+}
+
+/// Runs the CDF evaluation: `positions` random tags in `env`, split over
+/// several seeds (≤ 16 tags per trial so co-location interference never
+/// triggers).
+pub fn run(env: &Environment, positions: usize, seed: u64) -> CdfResult {
+    let all_positions = random_positions(positions, seed);
+    let algs: Vec<(&str, Box<dyn Localizer + Sync>)> = vec![
+        ("LANDMARC", Box::new(Landmarc::default())),
+        ("VIRE", Box::new(Vire::default())),
+        ("k-centroid", Box::new(KCentroid::default())),
+        ("trilateration", Box::new(Trilateration::default())),
+    ];
+
+    // Batch the positions across trials.
+    let batches: Vec<&[Point2]> = all_positions.chunks(8).collect();
+    let mut per_alg_errors: Vec<Vec<f64>> = vec![Vec::new(); algs.len()];
+    for (b, batch) in batches.iter().enumerate() {
+        let trial = collect_trial(env, batch, seed.wrapping_add(b as u64));
+        for (a, (_, alg)) in algs.iter().enumerate() {
+            per_alg_errors[a].extend(trial_errors(alg.as_ref(), &trial));
+        }
+    }
+
+    let algorithms = algs
+        .iter()
+        .zip(per_alg_errors)
+        .map(|((name, _), errors)| {
+            let clean: Vec<f64> = errors.into_iter().filter(|e| e.is_finite()).collect();
+            let cdf = Cdf::new(&clean).expect("non-empty error sample");
+            AlgorithmCdf {
+                name: name.to_string(),
+                quantiles: [
+                    cdf.quantile(0.5),
+                    cdf.quantile(0.8),
+                    cdf.quantile(0.9),
+                    cdf.quantile(0.95),
+                ],
+                within_half_meter: cdf.at(0.5),
+                mean: clean.iter().sum::<f64>() / clean.len() as f64,
+                errors: clean,
+            }
+        })
+        .collect();
+
+    CdfResult {
+        environment: env.name.clone(),
+        positions,
+        algorithms,
+    }
+}
+
+/// Renders the quantile table.
+pub fn render(result: &CdfResult) -> String {
+    use crate::report::{fmt3, fmt_pct, Table};
+    let mut t = Table::new(
+        format!(
+            "Error CDF — {} random positions, {}",
+            result.positions, result.environment
+        ),
+        &["algorithm", "p50", "p80", "p90", "p95", "mean", "<=0.5 m"],
+    );
+    for a in &result.algorithms {
+        t.row(vec![
+            a.name.clone(),
+            fmt3(a.quantiles[0]),
+            fmt3(a.quantiles[1]),
+            fmt3(a.quantiles[2]),
+            fmt3(a.quantiles[3]),
+            fmt3(a.mean),
+            fmt_pct(a.within_half_meter * 100.0),
+        ]);
+    }
+    format!("{}\n{}\n", t.render(), super::SUBSTRATE_NOTE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vire_env::presets::env3;
+
+    #[test]
+    fn vire_dominates_the_cdf_in_env3() {
+        let r = run(&env3(), 32, 5);
+        let get = |name: &str| {
+            r.algorithms
+                .iter()
+                .find(|a| a.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let vire = get("VIRE");
+        let lm = get("LANDMARC");
+        let tri = get("trilateration");
+        assert!(vire.mean < lm.mean, "VIRE {} vs LANDMARC {}", vire.mean, lm.mean);
+        assert!(lm.mean < tri.mean, "LANDMARC must beat trilateration");
+        // Median ordering too, not just the mean.
+        assert!(vire.quantiles[0] <= lm.quantiles[0] + 0.05);
+        // VIRE puts more mass under 0.5 m.
+        assert!(vire.within_half_meter >= lm.within_half_meter);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let r = run(&env3(), 16, 9);
+        for a in &r.algorithms {
+            assert!(a.quantiles.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+            assert!(a.errors.len() >= 16);
+        }
+    }
+
+    #[test]
+    fn random_positions_are_deterministic_and_interior() {
+        let a = random_positions(20, 3);
+        let b = random_positions(20, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, random_positions(20, 4));
+        for p in a {
+            assert!((0.1..=2.9).contains(&p.x) && (0.1..=2.9).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn render_lists_every_algorithm() {
+        let r = run(&env3(), 8, 1);
+        let s = render(&r);
+        for a in &r.algorithms {
+            assert!(s.contains(&a.name));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Substrate characterization: site-survey statistics of the three
+//! environments, checking DESIGN.md §4's claims empirically.
+//!
+//! * distortion σ must order Env3 > Env2 > Env1 (Fig. 2's environment
+//!   ordering is driven by this),
+//! * every environment's correlation length must stay well above the
+//!   ~0.5 m half-wavelength fringe scale (the distortion is learnable by
+//!   interpolation — the property VIRE's win rests on).
+
+use serde::{Deserialize, Serialize};
+use vire_env::presets::all_paper_environments;
+use vire_geom::Point2;
+use vire_radio::stats::survey;
+use vire_radio::RfChannel;
+
+/// One environment's survey row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnvStats {
+    /// Environment name.
+    pub name: String,
+    /// Distortion standard deviation, dB (averaged over the 4 readers).
+    pub distortion_sigma_db: f64,
+    /// Correlation length, m (averaged over the 4 readers).
+    pub correlation_length_m: f64,
+}
+
+/// Result of the characterization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CharacterizationResult {
+    /// Per-environment statistics, paper order.
+    pub environments: Vec<EnvStats>,
+}
+
+/// Surveys all three environments against the testbed's four readers.
+pub fn run(seed: u64) -> CharacterizationResult {
+    let readers = vire_env::Deployment::paper_testbed().readers;
+    let environments = all_paper_environments()
+        .iter()
+        .map(|env| {
+            let channel = RfChannel::new(env.channel_params(seed));
+            let mut sigma = 0.0;
+            let mut corr = 0.0;
+            for &r in &readers {
+                let s = survey(&channel, r, Point2::ORIGIN, 3.0, 16);
+                sigma += s.distortion_sigma_db;
+                corr += s.correlation_length_m;
+            }
+            EnvStats {
+                name: env.name.clone(),
+                distortion_sigma_db: sigma / readers.len() as f64,
+                correlation_length_m: corr / readers.len() as f64,
+            }
+        })
+        .collect();
+    CharacterizationResult { environments }
+}
+
+/// Renders the survey table.
+pub fn render(result: &CharacterizationResult) -> String {
+    use crate::report::{fmt3, Table};
+    let mut t = Table::new(
+        "Substrate characterization — site survey over the sensing area",
+        &["environment", "distortion sigma (dB)", "corr. length (m)"],
+    );
+    for e in &result.environments {
+        t.row(vec![
+            e.name.clone(),
+            fmt3(e.distortion_sigma_db),
+            fmt3(e.correlation_length_m),
+        ]);
+    }
+    format!("{}\n{}\n", t.render(), super::SUBSTRATE_NOTE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distortion_orders_the_environments() {
+        let r = run(1);
+        let s: Vec<f64> = r
+            .environments
+            .iter()
+            .map(|e| e.distortion_sigma_db)
+            .collect();
+        assert!(s[2] > s[1], "Env3 {} must exceed Env2 {}", s[2], s[1]);
+        assert!(s[1] > s[0], "Env2 {} must exceed Env1 {}", s[1], s[0]);
+    }
+
+    #[test]
+    fn distortion_is_learnable_from_the_lattice() {
+        // The total field mixes smooth clutter (multi-meter correlation)
+        // with residual aperture-smoothed multipath ripple (~λ/2), so the
+        // blended correlation length sits near the reference pitch rather
+        // than far above it. The learnability requirement of DESIGN.md §4
+        // is that it not collapse to sub-cell noise: well above λ/2.
+        let r = run(1);
+        for e in &r.environments {
+            assert!(
+                e.correlation_length_m > 0.6,
+                "{}: correlation length {} collapsed below ~lambda/2",
+                e.name,
+                e.correlation_length_m
+            );
+        }
+    }
+
+    #[test]
+    fn render_covers_all_environments() {
+        let s = render(&run(2));
+        assert!(s.contains("Env1"));
+        assert!(s.contains("Env3"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure 3: the relationship of distance and RSSI — measured (min/mean/
+//! max of 20 samples per distance) against the theoretical log-distance
+//! curve.
+//!
+//! Paper shape to reproduce: the theoretical curve falls smoothly from
+//! about −65 dBm near the reader to about −100 dBm at 20 m, while the
+//! measured curve zigzags around it ("as the distance becomes greater, the
+//! change of RSSI values is not as smooth as expected").
+
+use serde::{Deserialize, Serialize};
+use vire_env::material::Material;
+use vire_env::EnvironmentBuilder;
+use vire_geom::Point2;
+use vire_radio::pathloss::{LogDistance, PathLoss};
+use vire_radio::RfChannel;
+
+/// One distance sample of the Fig. 3 curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistancePoint {
+    /// Tag–reader distance, m.
+    pub distance: f64,
+    /// Mean of the measured samples, dBm.
+    pub mean: f64,
+    /// Minimum measured sample, dBm.
+    pub min: f64,
+    /// Maximum measured sample, dBm.
+    pub max: f64,
+    /// The theoretical log-distance value, dBm.
+    pub theoretical: f64,
+}
+
+/// Result of the Fig. 3 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// Samples per distance (the paper uses 20).
+    pub samples_per_point: usize,
+    /// The curve.
+    pub points: Vec<DistancePoint>,
+}
+
+/// Runs the experiment: a corridor-scale room, one reader, tag carried
+/// from 0.5 m to 20 m, `samples` measurements per stop.
+pub fn run(seed: u64, samples: usize) -> Fig3Result {
+    // A long room whose side walls flank the measurement line: reflections
+    // produce the zigzag. γ = 2.7 and −65 dBm @ 1 m match the paper's
+    // dynamic range (≈ −65 … −100 dBm over 0.5–20 m).
+    let env = EnvironmentBuilder::new("fig3 corridor")
+        .room(
+            Point2::new(-2.0, -3.5),
+            Point2::new(23.0, 3.5),
+            Material::Concrete,
+        )
+        .pathloss_exponent(2.7)
+        .clutter(1.0)
+        .measurement_noise(1.0)
+        .build();
+    let mut channel = RfChannel::new(env.channel_params(seed));
+    let reader = Point2::new(0.0, 0.0);
+    let theory = LogDistance::new(-65.0, 2.7);
+
+    let points = (1..=40)
+        .map(|k| {
+            let d = 0.5 * k as f64;
+            let tag = Point2::new(d, 0.4); // slightly off-axis, like a real cart
+            let vals = channel.measure_n(tag, reader, 1, samples);
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &v in &vals {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            DistancePoint {
+                distance: d,
+                mean,
+                min: lo,
+                max: hi,
+                theoretical: theory.rssi_at(d),
+            }
+        })
+        .collect();
+
+    Fig3Result {
+        samples_per_point: samples,
+        points,
+    }
+}
+
+/// Runs with the paper's 20 samples per distance.
+pub fn run_default() -> Fig3Result {
+    run(42, 20)
+}
+
+/// Renders the curve as distance/mean/min/max/theoretical columns.
+pub fn render(result: &Fig3Result) -> String {
+    use crate::report::{fmt3, Table};
+    let mut t = Table::new(
+        "Fig. 3 — distance vs RSSI (dBm)",
+        &["d (m)", "measured mean", "min", "max", "theoretical"],
+    );
+    for p in &result.points {
+        t.row(vec![
+            format!("{:.1}", p.distance),
+            fmt3(p.mean),
+            fmt3(p.min),
+            fmt3(p.max),
+            fmt3(p.theoretical),
+        ]);
+    }
+    format!("{}\n{}\n", t.render(), super::SUBSTRATE_NOTE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_range_matches_paper() {
+        let r = run_default();
+        let first = &r.points[1]; // 1.0 m
+        let last = r.points.last().unwrap(); // 20 m
+        assert!(
+            (-72.0..=-58.0).contains(&first.mean),
+            "1 m mean {}",
+            first.mean
+        );
+        assert!(
+            (-105.0..=-88.0).contains(&last.mean),
+            "20 m mean {}",
+            last.mean
+        );
+    }
+
+    #[test]
+    fn theoretical_curve_is_smooth_and_monotone() {
+        let r = run_default();
+        for w in r.points.windows(2) {
+            assert!(w[1].theoretical < w[0].theoretical);
+        }
+    }
+
+    #[test]
+    fn measured_curve_zigzags() {
+        // The defining feature of Fig. 3: local increases in the measured
+        // mean even though the theoretical curve is monotone.
+        let r = run_default();
+        let increases = r
+            .points
+            .windows(2)
+            .filter(|w| w[1].mean > w[0].mean)
+            .count();
+        assert!(increases >= 3, "only {increases} local increases");
+    }
+
+    #[test]
+    fn min_mean_max_are_ordered() {
+        let r = run_default();
+        for p in &r.points {
+            assert!(p.min <= p.mean && p.mean <= p.max, "at {} m", p.distance);
+        }
+    }
+
+    #[test]
+    fn render_mentions_theoretical_column() {
+        let s = render(&run(7, 5));
+        assert!(s.contains("theoretical"));
+    }
+}

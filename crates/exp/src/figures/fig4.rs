@@ -1,0 +1,159 @@
+//! Figure 4: interference of tags — 20 active tags 2 m from the reader,
+//! placed *in sequence* (one at a time) vs *together*.
+//!
+//! Paper shape to reproduce: in sequence the 20 RSSI values are nearly
+//! identical; together, beacon collisions scatter them over tens of dB
+//! ("if we put more than 10 reference tags very closely together, those
+//! values become quite different").
+
+use serde::{Deserialize, Serialize};
+use vire_env::presets::env2;
+use vire_geom::Point2;
+use vire_sim::{SmoothingKind, Testbed, TestbedConfig};
+
+/// Result of the Fig. 4 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// RSSI of tags 1–20 placed one at a time (no co-location), dBm.
+    pub independent: Vec<f64>,
+    /// One snapshot of the RSSI of tags 1–20 placed together, dBm.
+    pub interference: Vec<f64>,
+}
+
+impl Fig4Result {
+    fn spread(values: &[f64]) -> f64 {
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+    }
+
+    /// Standard deviation of the independent placements.
+    pub fn independent_spread(&self) -> f64 {
+        Self::spread(&self.independent)
+    }
+
+    /// Standard deviation of the co-located snapshot.
+    pub fn interference_spread(&self) -> f64 {
+        Self::spread(&self.interference)
+    }
+}
+
+/// Runs the experiment with `tags` tags at 2 m (the paper uses 20).
+///
+/// Raw (unsmoothed) readings are used on purpose: Fig. 4 shows snapshots,
+/// and smoothing would mask the collision scatter the figure demonstrates.
+pub fn run(seed: u64, tags: usize) -> Fig4Result {
+    let spot = Point2::new(2.0, 2.0); // 2 m from the reader ring's corner
+    let mut config = TestbedConfig::paper(env2(), seed);
+    config.smoothing = SmoothingKind::Raw;
+
+    // Placed in sequence: the tags occupy the spot at different times, so
+    // they share the same deterministic channel but never collide. Model
+    // that by zeroing the collision radius (interference off) in a single
+    // testbed — each tag's reading then differs only by measurement noise.
+    let mut seq_config = config.clone();
+    seq_config.collision_radius = 0.0;
+    let mut seq_tb = Testbed::new(seq_config);
+    let seq_ids: Vec<_> = (0..tags).map(|_| seq_tb.add_tracking_tag(spot)).collect();
+    seq_tb.run_for(10.0);
+    let independent = seq_ids
+        .iter()
+        .map(|&id| {
+            seq_tb
+                .tracking_reading(id)
+                .expect("one beacon in 10 s")
+                .at(0)
+        })
+        .collect();
+
+    // Placed together: all tags share the spot in one testbed.
+    let mut tb = Testbed::new(config);
+    let ids: Vec<_> = (0..tags).map(|_| tb.add_tracking_tag(spot)).collect();
+    tb.run_for(10.0);
+    let interference = ids
+        .iter()
+        .map(|&id| tb.tracking_reading(id).expect("one beacon in 10 s").at(0))
+        .collect();
+
+    Fig4Result {
+        independent,
+        interference,
+    }
+}
+
+/// Runs the paper's 20-tag version.
+pub fn run_default() -> Fig4Result {
+    run(11, 20)
+}
+
+/// Renders the two series side by side.
+pub fn render(result: &Fig4Result) -> String {
+    use crate::report::{fmt3, Table};
+    let mut t = Table::new(
+        "Fig. 4 — tag interference at 2 m (dBm)",
+        &["tag", "independent", "interference"],
+    );
+    for (k, (i, f)) in result
+        .independent
+        .iter()
+        .zip(&result.interference)
+        .enumerate()
+    {
+        t.row(vec![(k + 1).to_string(), fmt3(*i), fmt3(*f)]);
+    }
+    format!(
+        "{}σ independent = {:.2} dB, σ interference = {:.2} dB\n{}\n",
+        t.render(),
+        result.independent_spread(),
+        result.interference_spread(),
+        super::SUBSTRATE_NOTE
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interference_scatters_far_more_than_sequence() {
+        let r = run_default();
+        assert_eq!(r.independent.len(), 20);
+        assert_eq!(r.interference.len(), 20);
+        assert!(
+            r.interference_spread() > 3.0 * r.independent_spread().max(0.3),
+            "σ together {:.2} vs σ sequence {:.2}",
+            r.interference_spread(),
+            r.independent_spread()
+        );
+    }
+
+    #[test]
+    fn independent_readings_are_tight() {
+        // "When we put active RFID tags in the same position in sequence
+        // independently, the RSSI values of them are very similar."
+        let r = run_default();
+        assert!(
+            r.independent_spread() < 2.0,
+            "sequence σ {:.2} too large",
+            r.independent_spread()
+        );
+    }
+
+    #[test]
+    fn below_knee_density_stays_clean() {
+        // 8 tags (< the ~10-tag knee) together: spread stays small.
+        let r = run(3, 8);
+        assert!(
+            r.interference_spread() < 2.5,
+            "8 co-located tags should not collide, σ {:.2}",
+            r.interference_spread()
+        );
+    }
+
+    #[test]
+    fn render_lists_all_tags() {
+        let s = render(&run(5, 6));
+        // 6 data rows plus the header row.
+        assert!(s.contains("(6 rows x 3 cols)"));
+        assert!(s.contains("independent"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Figure 5: the elimination process, visualized.
+//!
+//! The paper's Fig. 5 is a schematic: per-reader proximity maps with
+//! highlighted regions, and the black intersection cells that survive
+//! elimination. This module renders the real thing — the actual masks VIRE
+//! computes for a tracking tag — as ASCII art, one glyph per virtual
+//! region (coarse-grained by sampling so the map fits a terminal).
+
+use serde::{Deserialize, Serialize};
+use vire_core::elimination::{eliminate, ThresholdMode};
+use vire_core::proximity::ProximityMap;
+use vire_core::virtual_grid::{InterpolationKernel, VirtualGrid};
+use vire_core::TrackingReading;
+use vire_env::presets::env3;
+use vire_env::Deployment;
+use vire_geom::{GridData, GridIndex, Point2};
+
+/// The rendered elimination snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// Tag position the maps were built for.
+    pub tag_position: (f64, f64),
+    /// Threshold used for the per-reader maps, dB.
+    pub threshold: f64,
+    /// Highlighted-region count per reader.
+    pub per_reader_area: Vec<usize>,
+    /// Surviving regions after intersection.
+    pub intersection_area: usize,
+    /// The ASCII panels (one per reader, plus the intersection).
+    pub panels: Vec<String>,
+}
+
+/// Renders a boolean mask as ASCII, downsampling to at most `cols`
+/// characters per row. `#` = highlighted, `.` = not; the row order puts
+/// north (max y) on top like a floor plan.
+fn ascii_mask(mask: &GridData<bool>, cols: usize) -> String {
+    let grid = *mask.grid();
+    let stride = grid.nx().div_ceil(cols).max(1);
+    let mut out = String::new();
+    let mut j = grid.ny();
+    while j > 0 {
+        j = j.saturating_sub(stride);
+        let mut line = String::new();
+        let mut i = 0;
+        while i < grid.nx() {
+            // A downsampled cell is set when any member region is set.
+            let mut any = false;
+            for dj in 0..stride.min(grid.ny() - j) {
+                for di in 0..stride.min(grid.nx() - i) {
+                    if *mask.get(GridIndex::new(i + di, j + dj)) {
+                        any = true;
+                    }
+                }
+            }
+            line.push(if any { '#' } else { '.' });
+            i += stride;
+        }
+        out.push_str(&line);
+        out.push('\n');
+        if j == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Builds the snapshot for a tracking tag at `position` in Env3 with a
+/// fixed `threshold` (the paper's figure is drawn for a fixed threshold).
+pub fn run(position: Point2, threshold: f64, seed: u64) -> Fig5Result {
+    let trial = crate::runner::collect_trial(&env3(), &[position], seed);
+    let grid = VirtualGrid::build(&trial.map, 10, InterpolationKernel::Linear);
+    let reading: &TrackingReading = &trial.tags[0].reading;
+
+    let maps: Vec<ProximityMap> = (0..grid.reader_count())
+        .map(|k| ProximityMap::build(&grid, k, reading.at(k), threshold))
+        .collect();
+    let mut panels: Vec<String> = maps.iter().map(|m| ascii_mask(m.mask(), 31)).collect();
+    let per_reader_area = maps.iter().map(ProximityMap::area).collect();
+
+    let combined = eliminate(&grid, reading, ThresholdMode::Fixed(threshold));
+    let (intersection_area, mask_panel) = match &combined {
+        Some(result) => (result.candidates(), ascii_mask(&result.mask, 31)),
+        None => (0, String::from("(empty — all candidates eliminated)\n")),
+    };
+    panels.push(mask_panel);
+
+    Fig5Result {
+        tag_position: (position.x, position.y),
+        threshold,
+        per_reader_area,
+        intersection_area,
+        panels,
+    }
+}
+
+/// Runs the default snapshot: the paper's Tag 1 spot, a mid-curve
+/// threshold.
+pub fn run_default() -> Fig5Result {
+    run(Deployment::tracking_tags_fig2a()[0], 3.0, 7)
+}
+
+/// Renders the full figure.
+pub fn render(result: &Fig5Result) -> String {
+    let mut out = format!(
+        "## Fig. 5 — elimination process, tag at ({:.1}, {:.1}), threshold {} dB\n",
+        result.tag_position.0, result.tag_position.1, result.threshold
+    );
+    for (k, panel) in result.panels.iter().enumerate() {
+        if k < result.per_reader_area.len() {
+            out.push_str(&format!(
+                "\nreader {k} proximity map ({} regions):\n{panel}",
+                result.per_reader_area[k]
+            ));
+        } else {
+            out.push_str(&format!(
+                "\nintersection ({} regions survive):\n{panel}",
+                result.intersection_area
+            ));
+        }
+    }
+    out.push_str(super::SUBSTRATE_NOTE);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_never_exceeds_any_reader_map() {
+        let r = run_default();
+        for &area in &r.per_reader_area {
+            assert!(r.intersection_area <= area);
+        }
+        assert_eq!(r.panels.len(), r.per_reader_area.len() + 1);
+    }
+
+    #[test]
+    fn panels_are_rectangular_ascii() {
+        let r = run_default();
+        for panel in &r.panels {
+            let widths: Vec<usize> = panel.lines().map(str::len).collect();
+            assert!(!widths.is_empty());
+            assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged panel");
+            assert!(panel.chars().all(|c| c == '#' || c == '.' || c == '\n'));
+        }
+    }
+
+    #[test]
+    fn survivors_cluster_near_the_tag() {
+        // Rebuild the combined mask and check every survivor's position.
+        let position = Deployment::tracking_tags_fig2a()[0];
+        let trial = crate::runner::collect_trial(&env3(), &[position], 7);
+        let grid = VirtualGrid::build(&trial.map, 10, InterpolationKernel::Linear);
+        let combined = eliminate(
+            &grid,
+            &trial.tags[0].reading,
+            ThresholdMode::Fixed(3.0),
+        );
+        if let Some(result) = combined {
+            let mut worst = 0.0f64;
+            for (idx, &set) in result.mask.iter() {
+                if set {
+                    worst = worst.max(grid.grid().position(idx).distance(position));
+                }
+            }
+            assert!(
+                worst < 2.0,
+                "survivors should cluster near the tag, worst {worst:.2} m"
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_threshold_smaller_panels() {
+        let loose = run(Point2::new(1.5, 1.5), 4.0, 3);
+        let tight = run(Point2::new(1.5, 1.5), 1.5, 3);
+        assert!(tight.intersection_area <= loose.intersection_area);
+    }
+
+    #[test]
+    fn render_labels_every_reader() {
+        let s = render(&run_default());
+        for k in 0..4 {
+            assert!(s.contains(&format!("reader {k}")));
+        }
+        assert!(s.contains("intersection"));
+    }
+}

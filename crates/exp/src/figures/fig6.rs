@@ -1,0 +1,153 @@
+//! Figure 6(a–c): VIRE vs LANDMARC at the 9 tag locations in the three
+//! environments.
+//!
+//! Paper shape to reproduce: VIRE below LANDMARC at every location in
+//! every environment, with error reductions between roughly 17 % and 73 %;
+//! non-boundary average errors of ~0.14 m (Env1), ~0.17 m (Env2) and
+//! ~0.29 m (Env3) on the authors' testbed (our absolute numbers differ —
+//! the substrate is simulated — but the ordering and the reduction band
+//! must hold).
+
+use crate::metrics::improvement_percent;
+use crate::report::{fmt3, fmt_pct, Table};
+use crate::runner::{default_seeds, mean_errors_over_seeds};
+use serde::{Deserialize, Serialize};
+use vire_core::{Landmarc, Vire, VireConfig};
+use vire_env::presets::all_paper_environments;
+use vire_env::Deployment;
+
+/// Result of the Fig. 6 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// Environment names, paper order.
+    pub environments: Vec<String>,
+    /// `landmarc[e][t]`: mean LANDMARC error of tag `t+1` in env `e`.
+    pub landmarc: Vec<Vec<f64>>,
+    /// `vire[e][t]`: mean VIRE error of tag `t+1` in env `e`.
+    pub vire: Vec<Vec<f64>>,
+}
+
+impl Fig6Result {
+    /// Per-tag error reduction (%) of VIRE over LANDMARC in env `e`.
+    pub fn improvements(&self, e: usize) -> Vec<f64> {
+        self.landmarc[e]
+            .iter()
+            .zip(&self.vire[e])
+            .map(|(&lm, &v)| improvement_percent(lm, v))
+            .collect()
+    }
+
+    /// Mean VIRE error over the non-boundary tags (1–5) in env `e`.
+    pub fn vire_non_boundary_mean(&self, e: usize) -> f64 {
+        self.vire[e][..5].iter().sum::<f64>() / 5.0
+    }
+
+    /// Worst VIRE error over the non-boundary tags in env `e`.
+    pub fn vire_non_boundary_worst(&self, e: usize) -> f64 {
+        self.vire[e][..5].iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Runs the experiment with the given seeds and VIRE configuration.
+pub fn run_with_config(seeds: &[u64], config: VireConfig) -> Fig6Result {
+    let positions = Deployment::tracking_tags_fig2a();
+    let landmarc_alg = Landmarc::default();
+    let vire_alg = Vire::new(config);
+    let envs = all_paper_environments();
+    let landmarc = envs
+        .iter()
+        .map(|env| mean_errors_over_seeds(env, &positions, &landmarc_alg, seeds))
+        .collect();
+    let vire = envs
+        .iter()
+        .map(|env| mean_errors_over_seeds(env, &positions, &vire_alg, seeds))
+        .collect();
+    Fig6Result {
+        environments: envs.iter().map(|e| e.name.clone()).collect(),
+        landmarc,
+        vire,
+    }
+}
+
+/// Runs with the paper's operating point (N² ≈ 900, adaptive threshold).
+pub fn run(seeds: &[u64]) -> Fig6Result {
+    run_with_config(seeds, VireConfig::default())
+}
+
+/// Runs with the default seed set.
+pub fn run_default() -> Fig6Result {
+    run(&default_seeds())
+}
+
+/// Renders one environment's panel as a text table.
+pub fn render_env(result: &Fig6Result, e: usize) -> String {
+    let mut t = Table::new(
+        format!("Fig. 6({}) — {}", ['a', 'b', 'c'][e], result.environments[e]),
+        &["tag", "LANDMARC (m)", "VIRE (m)", "reduction"],
+    );
+    let imp = result.improvements(e);
+    for (tag, pct) in imp.iter().enumerate() {
+        t.row(vec![
+            (tag + 1).to_string(),
+            fmt3(result.landmarc[e][tag]),
+            fmt3(result.vire[e][tag]),
+            fmt_pct(*pct),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders all three panels.
+pub fn render(result: &Fig6Result) -> String {
+    let mut out = String::new();
+    for e in 0..3 {
+        out.push_str(&render_env(result, e));
+        out.push('\n');
+    }
+    out.push_str(super::SUBSTRATE_NOTE);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vire_beats_landmarc_everywhere_on_average() {
+        let r = run(&[1, 2, 3]);
+        for e in 0..3 {
+            let lm_mean: f64 = r.landmarc[e].iter().sum::<f64>() / 9.0;
+            let v_mean: f64 = r.vire[e].iter().sum::<f64>() / 9.0;
+            assert!(
+                v_mean < lm_mean,
+                "env {e}: VIRE {v_mean:.3} must beat LANDMARC {lm_mean:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn reductions_fall_in_a_positive_band() {
+        // The paper reports 17-73 % per-tag reductions. With a simulated
+        // substrate we assert the softer invariant: mean reduction per
+        // environment is solidly positive and below 100 %.
+        let r = run(&[1, 2, 3]);
+        for e in 0..3 {
+            let imp = r.improvements(e);
+            let mean_imp: f64 = imp.iter().sum::<f64>() / imp.len() as f64;
+            assert!(
+                (5.0..100.0).contains(&mean_imp),
+                "env {e}: mean reduction {mean_imp:.1}% out of band; per-tag {imp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_three_panels() {
+        let r = run(&[1]);
+        let s = render(&r);
+        assert!(s.contains("Fig. 6(a)"));
+        assert!(s.contains("Fig. 6(b)"));
+        assert!(s.contains("Fig. 6(c)"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Figure 7: number of virtual reference tags (N²) vs accuracy, Env3.
+//!
+//! Paper shape to reproduce: average non-boundary error drops sharply as
+//! N² grows toward ~600, improves only marginally to ~900, and is flat
+//! beyond (the paper settles on N² = 900 and reports a ~0.5 m plateau).
+
+use crate::runner::{default_seeds, mean_errors_over_seeds};
+use crate::sweep::parallel_sweep;
+use serde::{Deserialize, Serialize};
+use vire_core::{Vire, VireConfig};
+use vire_env::presets::env3;
+use vire_env::Deployment;
+
+/// One point of the Fig. 7 curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DensityPoint {
+    /// Per-cell refinement factor n.
+    pub refine: usize,
+    /// Total virtual+real reference tags N² = (3n+1)² on the 4×4 testbed.
+    pub total_tags: usize,
+    /// Mean error over the non-boundary tags (1–5), m.
+    pub non_boundary_error: f64,
+}
+
+/// Result of the Fig. 7 experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Result {
+    /// The sweep, ascending in `total_tags`.
+    pub points: Vec<DensityPoint>,
+}
+
+impl Fig7Result {
+    /// Error at the sweep point whose tag count is closest to `n2`.
+    pub fn error_near(&self, n2: usize) -> f64 {
+        self.points
+            .iter()
+            .min_by_key(|p| p.total_tags.abs_diff(n2))
+            .map(|p| p.non_boundary_error)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+/// The refinement factors swept: N² from 16 (real tags only) to ~1600.
+pub const REFINE_SWEEP: [usize; 9] = [1, 2, 3, 4, 5, 6, 8, 10, 13];
+
+/// Runs the sweep with the given seeds.
+pub fn run(seeds: &[u64]) -> Fig7Result {
+    let env = env3();
+    let positions: Vec<_> = Deployment::tracking_tags_fig2a()[..5].to_vec();
+    let points = parallel_sweep(&REFINE_SWEEP, |&n| {
+        let vire = Vire::new(VireConfig::with_refine(n));
+        let errors = mean_errors_over_seeds(&env, &positions, &vire, seeds);
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        DensityPoint {
+            refine: n,
+            total_tags: (3 * n + 1) * (3 * n + 1),
+            non_boundary_error: mean,
+        }
+    });
+    Fig7Result { points }
+}
+
+/// Runs with the default seed set.
+pub fn run_default() -> Fig7Result {
+    run(&default_seeds())
+}
+
+/// Renders the curve.
+pub fn render(result: &Fig7Result) -> String {
+    use crate::report::{fmt3, Table};
+    let mut t = Table::new(
+        "Fig. 7 — virtual reference tags (N²) vs accuracy, Env3",
+        &["n", "N² tags", "non-boundary error (m)"],
+    );
+    for p in &result.points {
+        t.row(vec![
+            p.refine.to_string(),
+            p.total_tags.to_string(),
+            fmt3(p.non_boundary_error),
+        ]);
+    }
+    format!("{}\n{}\n", t.render(), super::SUBSTRATE_NOTE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharp_gain_then_plateau() {
+        let r = run(&[1, 2, 3]);
+        assert_eq!(r.points.len(), REFINE_SWEEP.len());
+
+        // Sharp improvement from the bare lattice to the ~900 operating
+        // point (the paper: "when the value of N² is increased up to 600,
+        // the accuracy does improve sharply").
+        let bare = r.error_near(16);
+        let fine = r.error_near(961);
+        assert!(
+            fine < 0.75 * bare,
+            "N²=961 error {fine:.3} should be well below N²=16 error {bare:.3}"
+        );
+
+        // Plateau: going from ~900 to ~1600 changes little.
+        let finest = r.error_near(1600);
+        assert!(
+            (finest - fine).abs() < 0.35 * bare.max(0.2),
+            "plateau violated: {fine:.3} -> {finest:.3}"
+        );
+    }
+
+    #[test]
+    fn tag_counts_follow_refinement_formula() {
+        let r = run(&[1]);
+        for p in &r.points {
+            assert_eq!(p.total_tags, (3 * p.refine + 1).pow(2));
+        }
+    }
+
+    #[test]
+    fn render_contains_operating_point() {
+        let s = render(&run(&[1]));
+        assert!(s.contains("961")); // the paper's N² = 900 neighbourhood
+    }
+}

@@ -1,0 +1,175 @@
+//! Spatial error heatmap (this repository's extension).
+//!
+//! The paper discusses the boundary effect in prose ("those tags in the
+//! boundary of the sensing area are encountered with much larger
+//! estimation errors"); this experiment maps it: estimation error as a
+//! function of true position over a dense probe lattice, rendered as an
+//! ASCII heatmap. The bright ring around the edge *is* the boundary
+//! problem; the interior basin is where VIRE operates at its floor.
+
+use crate::runner::{collect_trial, trial_errors};
+use serde::{Deserialize, Serialize};
+use vire_core::Localizer;
+use vire_env::Environment;
+use vire_geom::{Point2, RegularGrid};
+
+/// Result of the heatmap experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeatmapResult {
+    /// Environment name.
+    pub environment: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Probe lattice nodes per side.
+    pub side: usize,
+    /// Probe origin and pitch (for axis labeling).
+    pub origin: (f64, f64),
+    /// Probe pitch, m.
+    pub pitch: f64,
+    /// Row-major errors (row 0 = south), meters.
+    pub errors: Vec<f64>,
+}
+
+impl HeatmapResult {
+    /// Error at probe `(i, j)`.
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.errors[j * self.side + i]
+    }
+
+    /// Mean error over the interior probes (more than one ring from the
+    /// probe-lattice edge).
+    pub fn interior_mean(&self) -> f64 {
+        self.ring_mean(false)
+    }
+
+    /// Mean error over the outermost probe ring.
+    pub fn edge_mean(&self) -> f64 {
+        self.ring_mean(true)
+    }
+
+    fn ring_mean(&self, edge: bool) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for j in 0..self.side {
+            for i in 0..self.side {
+                let is_edge = i == 0 || j == 0 || i == self.side - 1 || j == self.side - 1;
+                if is_edge == edge {
+                    sum += self.at(i, j);
+                    n += 1;
+                }
+            }
+        }
+        sum / n.max(1) as f64
+    }
+}
+
+/// Probes `side × side` positions spanning the sensing area inflated by
+/// `margin` meters (so the map shows the outside-the-lattice zone too).
+pub fn run(
+    env: &Environment,
+    algorithm: &(dyn Localizer + Sync),
+    side: usize,
+    margin: f64,
+    seed: u64,
+) -> HeatmapResult {
+    assert!(side >= 3, "need at least a 3x3 probe lattice");
+    let sensing = vire_env::Deployment::paper_testbed().sensing_area();
+    let area = sensing.inflated(margin);
+    let pitch = area.width() / (side - 1) as f64;
+    let probes = RegularGrid::new(area.min, pitch, area.height() / (side - 1) as f64, side, side);
+    let positions: Vec<Point2> = probes.nodes().map(|(_, p)| p).collect();
+
+    // Batch probes across trials to keep co-location interference off.
+    let mut errors = Vec::with_capacity(positions.len());
+    for (b, batch) in positions.chunks(8).enumerate() {
+        let trial = collect_trial(env, batch, seed.wrapping_add(b as u64));
+        errors.extend(trial_errors(algorithm, &trial));
+    }
+
+    HeatmapResult {
+        environment: env.name.clone(),
+        algorithm: algorithm.name().to_string(),
+        side,
+        origin: (area.min.x, area.min.y),
+        pitch,
+        errors,
+    }
+}
+
+/// Renders the heatmap as ASCII shades (`.:-=+*#%@` from best to worst,
+/// scaled to the map's own error range) with north on top.
+pub fn render(result: &HeatmapResult) -> String {
+    const SHADES: [char; 9] = ['.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let finite: Vec<f64> = result.errors.iter().cloned().filter(|e| e.is_finite()).collect();
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-9);
+
+    let mut out = format!(
+        "## Error heatmap — {} in {} ({}x{} probes, scale {:.2}..{:.2} m)\n",
+        result.algorithm, result.environment, result.side, result.side, lo, hi
+    );
+    for j in (0..result.side).rev() {
+        for i in 0..result.side {
+            let e = result.at(i, j);
+            let ch = if e.is_finite() {
+                let t = ((e - lo) / span * (SHADES.len() - 1) as f64).round() as usize;
+                SHADES[t.min(SHADES.len() - 1)]
+            } else {
+                '?'
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "interior mean {:.3} m, edge mean {:.3} m\n",
+        result.interior_mean(),
+        result.edge_mean()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vire_core::Vire;
+    use vire_env::presets::env2;
+
+    #[test]
+    fn edge_probes_hurt_more_than_interior() {
+        let r = run(&env2(), &Vire::default(), 9, 0.4, 3);
+        assert!(
+            r.edge_mean() > r.interior_mean(),
+            "edge {:.3} must exceed interior {:.3}",
+            r.edge_mean(),
+            r.interior_mean()
+        );
+    }
+
+    #[test]
+    fn heatmap_covers_every_probe() {
+        let r = run(&env2(), &Vire::default(), 7, 0.0, 1);
+        assert_eq!(r.errors.len(), 49);
+        assert!(r.errors.iter().all(|e| e.is_finite()));
+    }
+
+    #[test]
+    fn render_is_square_and_scaled() {
+        let r = run(&env2(), &Vire::default(), 7, 0.2, 2);
+        let s = render(&r);
+        let rows: Vec<&str> = s
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.starts_with("interior"))
+            .collect();
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().all(|r| r.len() == 7));
+        assert!(s.contains("interior mean"));
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn tiny_probe_lattice_rejected() {
+        run(&env2(), &Vire::default(), 2, 0.0, 1);
+    }
+}

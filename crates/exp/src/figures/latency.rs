@@ -1,0 +1,191 @@
+//! Localization latency vs observation time (this repository's
+//! extension, quantifying the paper's §3.1 complaint).
+//!
+//! The original LANDMARC implementation suffered "the long latency of
+//! feedback": at a 7.5 s mean beacon interval the middleware needs tens of
+//! seconds before its smoothing windows carry enough readings for a stable
+//! fix. The improved 2 s equipment converges much faster. This experiment
+//! measures estimation error as a function of elapsed observation time for
+//! both equipment generations.
+
+use crate::runner::average_ignoring_nan;
+use serde::{Deserialize, Serialize};
+use vire_core::{Localizer, Vire};
+use vire_env::presets::env2;
+use vire_geom::Point2;
+use vire_sim::{Testbed, TestbedConfig};
+
+/// One point of the convergence curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyPoint {
+    /// Observation time since deployment power-on, seconds.
+    pub elapsed: f64,
+    /// Mean error with the improved 2 s equipment, m (NaN before the
+    /// first fix).
+    pub improved: f64,
+    /// Mean error with the legacy 7.5 s equipment, m.
+    pub legacy: f64,
+}
+
+/// Result of the latency experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyResult {
+    /// The convergence curve, ascending in time.
+    pub points: Vec<LatencyPoint>,
+}
+
+impl LatencyResult {
+    /// First elapsed time at which the given equipment's error drops below
+    /// `target` meters, or `None` if it never does within the horizon.
+    pub fn time_to_fix(&self, legacy: bool, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| {
+                let e = if legacy { p.legacy } else { p.improved };
+                e.is_finite() && e <= target
+            })
+            .map(|p| p.elapsed)
+    }
+}
+
+/// Error of one equipment generation at a sequence of observation times,
+/// averaged over `seeds` and a fixed set of tag positions.
+fn convergence(legacy: bool, times: &[f64], seeds: &[u64]) -> Vec<f64> {
+    let positions = [
+        Point2::new(1.5, 1.5),
+        Point2::new(0.7, 2.2),
+        Point2::new(2.5, 1.3),
+    ];
+    let vire = Vire::default();
+    let per_seed: Vec<Vec<f64>> = seeds
+        .iter()
+        .map(|&seed| {
+            let config = if legacy {
+                TestbedConfig::legacy(env2(), seed)
+            } else {
+                TestbedConfig::paper(env2(), seed)
+            };
+            let mut tb = Testbed::new(config);
+            let ids: Vec<_> = positions.iter().map(|&p| tb.add_tracking_tag(p)).collect();
+            let mut elapsed = 0.0;
+            times
+                .iter()
+                .map(|&t| {
+                    tb.run_for(t - elapsed);
+                    elapsed = t;
+                    // Mean error over the tags that already have a fix.
+                    let map = match tb.reference_map() {
+                        Some(m) => m,
+                        None => return f64::NAN,
+                    };
+                    let errs: Vec<f64> = ids
+                        .iter()
+                        .zip(&positions)
+                        .filter_map(|(&id, &truth)| {
+                            let reading = tb.tracking_reading(id)?;
+                            Some(vire.locate(&map, &reading).ok()?.error(truth))
+                        })
+                        .collect();
+                    if errs.len() == positions.len() {
+                        errs.iter().sum::<f64>() / errs.len() as f64
+                    } else {
+                        f64::NAN
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    average_ignoring_nan(&per_seed, times.len())
+}
+
+/// Observation times sampled, seconds.
+pub fn time_points() -> Vec<f64> {
+    vec![2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0, 90.0, 120.0]
+}
+
+/// Runs the experiment.
+pub fn run(seeds: &[u64]) -> LatencyResult {
+    let times = time_points();
+    let improved = convergence(false, &times, seeds);
+    let legacy = convergence(true, &times, seeds);
+    let points = times
+        .iter()
+        .zip(improved.iter().zip(&legacy))
+        .map(|(&elapsed, (&improved, &legacy))| LatencyPoint {
+            elapsed,
+            improved,
+            legacy,
+        })
+        .collect();
+    LatencyResult { points }
+}
+
+/// Renders the convergence table.
+pub fn render(result: &LatencyResult) -> String {
+    use crate::report::{fmt3, Table};
+    let mut t = Table::new(
+        "Localization latency — error vs observation time (VIRE, Env2)",
+        &["t (s)", "improved 2 s (m)", "legacy 7.5 s (m)"],
+    );
+    for p in &result.points {
+        t.row(vec![
+            format!("{:.0}", p.elapsed),
+            fmt3(p.improved),
+            fmt3(p.legacy),
+        ]);
+    }
+    let fix = |legacy: bool| {
+        result
+            .time_to_fix(legacy, 0.5)
+            .map(|t| format!("{t:.0} s"))
+            .unwrap_or_else(|| "never".into())
+    };
+    format!(
+        "{}time to 0.5 m fix: improved {}, legacy {}\n{}\n",
+        t.render(),
+        fix(false),
+        fix(true),
+        super::SUBSTRATE_NOTE
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improved_equipment_converges_much_faster() {
+        let r = run(&[1, 2]);
+        let improved = r.time_to_fix(false, 0.6).expect("improved converges");
+        let legacy = r.time_to_fix(true, 0.6).expect("legacy converges");
+        assert!(
+            legacy >= 2.0 * improved,
+            "legacy fix {legacy}s should be at least 2x improved {improved}s"
+        );
+    }
+
+    #[test]
+    fn both_converge_to_similar_floors() {
+        // Once the windows are full, quantization is the only difference —
+        // and Env2 noise dominates 4.4 dB bins only mildly.
+        let r = run(&[1, 2]);
+        let last = r.points.last().unwrap();
+        assert!(last.improved.is_finite() && last.legacy.is_finite());
+        assert!(last.improved < 0.6);
+        assert!(last.legacy < 1.0);
+    }
+
+    #[test]
+    fn early_times_have_no_legacy_fix() {
+        let r = run(&[3]);
+        // At 2 s the legacy equipment (7.5 s beacons) cannot have heard
+        // every reference tag yet.
+        assert!(r.points[0].legacy.is_nan());
+    }
+
+    #[test]
+    fn render_reports_time_to_fix() {
+        let s = render(&run(&[1]));
+        assert!(s.contains("time to 0.5 m fix"));
+    }
+}

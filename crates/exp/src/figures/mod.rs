@@ -1,0 +1,21 @@
+//! One module per paper figure. Each exposes a `run(...)` returning a
+//! serializable result struct and a `render(...)` producing the text table
+//! or series the paper plots. The per-experiment index in DESIGN.md maps
+//! figure numbers to these modules.
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod ablations;
+pub mod cdf;
+pub mod characterization;
+pub mod heatmap;
+pub mod latency;
+
+/// Simulation-to-paper note attached to every rendered figure.
+pub const SUBSTRATE_NOTE: &str = "substrate: simulated RF channel (see DESIGN.md §4); \
+compare shapes and ratios with the paper, not absolute dBm/meters";

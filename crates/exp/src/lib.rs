@@ -1,0 +1,28 @@
+//! # vire-exp
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! evaluation (Figures 2–8) plus the ablations this reproduction adds.
+//!
+//! * [`metrics`] — estimation error, summary statistics, CDFs,
+//! * [`runner`] — drives the `vire-sim` testbed to produce calibration
+//!   maps and tracking readings, with multi-seed averaging and a
+//!   crossbeam-parallel seed runner,
+//! * [`sweep`] — generic parallel parameter sweeps,
+//! * [`report`] — fixed-width text tables and JSON export of results,
+//! * [`figures`] — one module per paper figure (2–8) plus this
+//!   reproduction's extensions (error CDFs, spatial heatmaps, latency
+//!   curves, substrate characterization) and the ablation studies; each
+//!   `run()` returns a serializable result and `render()` prints the same
+//!   rows/series the paper plots.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod figures;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use metrics::{estimation_error, ErrorStats};
+pub use runner::{collect_trial, TrialData, TrialTag};

@@ -1,0 +1,189 @@
+//! Error metrics and summary statistics.
+
+use serde::{Deserialize, Serialize};
+use vire_geom::Point2;
+
+/// The paper's estimation error: Euclidean distance between the estimate
+/// and the true position (§4.3).
+#[inline]
+pub fn estimation_error(estimate: Point2, truth: Point2) -> f64 {
+    estimate.distance(truth)
+}
+
+/// Summary statistics of a set of errors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Standard deviation (population).
+    pub std_dev: f64,
+}
+
+impl ErrorStats {
+    /// Computes statistics over `errors`; returns `None` for an empty set
+    /// or any non-finite value.
+    pub fn from_errors(errors: &[f64]) -> Option<ErrorStats> {
+        if errors.is_empty() || errors.iter().any(|e| !e.is_finite()) {
+            return None;
+        }
+        let count = errors.len();
+        let mean = errors.iter().sum::<f64>() / count as f64;
+        let var = errors.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(ErrorStats {
+            count,
+            mean,
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            std_dev: var.sqrt(),
+        })
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+///
+/// `p` in percent (0–100), clamped. Uses the common `(n−1)·p/100` rank
+/// convention.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let p = p.clamp(0.0, 100.0);
+    let rank = (sorted.len() - 1) as f64 * p / 100.0;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let t = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * t
+    }
+}
+
+/// Empirical CDF over a sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF; returns `None` for empty or non-finite samples.
+    pub fn new(samples: &[f64]) -> Option<Cdf> {
+        if samples.is_empty() || samples.iter().any(|s| !s.is_finite()) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(Cdf { sorted })
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        let n = self.sorted.partition_point(|&s| s <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Value below which `q` (0–1) of the samples fall.
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile_sorted(&self.sorted, q * 100.0)
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no samples (never true for a constructed CDF).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// Relative improvement of `new` over `baseline`, in percent — the paper's
+/// "reduction in estimation error for VIRE … over LANDMARC" headline.
+/// Positive means `new` is better (smaller error).
+pub fn improvement_percent(baseline: f64, new: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    (baseline - new) / baseline * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_distance() {
+        let e = estimation_error(Point2::new(0.0, 0.0), Point2::new(3.0, 4.0));
+        assert!((e - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_on_known_sample() {
+        let s = ErrorStats::from_errors(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_reject_bad_input() {
+        assert!(ErrorStats::from_errors(&[]).is_none());
+        assert!(ErrorStats::from_errors(&[1.0, f64::NAN]).is_none());
+        assert!(ErrorStats::from_errors(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 40.0);
+        assert!((percentile_sorted(&sorted, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_basics() {
+        let cdf = Cdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(cdf.at(0.5), 0.0);
+        assert_eq!(cdf.at(2.0), 0.5);
+        assert_eq!(cdf.at(10.0), 1.0);
+        assert_eq!(cdf.len(), 4);
+        assert!(!cdf.is_empty());
+        assert!((cdf.quantile(0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let cdf = Cdf::new(&[0.3, 1.7, 0.9, 2.2, 1.1]).unwrap();
+        let mut prev = 0.0;
+        for k in 0..30 {
+            let x = k as f64 * 0.1;
+            let v = cdf.at(x);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn improvement_sign_convention() {
+        // Paper headline: error drops 2.0 -> 1.0 is a 50% improvement.
+        assert!((improvement_percent(2.0, 1.0) - 50.0).abs() < 1e-12);
+        assert!(improvement_percent(1.0, 2.0) < 0.0);
+        assert_eq!(improvement_percent(0.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Fixed-width text tables and JSON export.
+//!
+//! Every figure generator renders through this module so EXPERIMENTS.md
+//! and the bench output share one format.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(s, " {:>width$} |", cell, width = widths[c]);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        let _ = writeln!(out, "({} rows x {} cols)", self.rows.len(), cols);
+        out
+    }
+}
+
+/// Formats a float with 3 decimals (the resolution the paper plots at).
+pub fn fmt3(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn fmt_pct(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{v:.1}%")
+    }
+}
+
+/// Serializes a result struct to pretty JSON (for EXPERIMENTS.md appendix
+/// and machine-readable archival).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("figure results are always serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["tag", "error"]);
+        t.row(vec!["1".into(), "0.123".into()]);
+        t.row(vec!["22".into(), "1.5".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| tag | error |") || s.contains("| tag |"));
+        assert!(s.contains("(2 rows x 2 cols)"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_panics() {
+        Table::new("x", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt3(1.23456), "1.235");
+        assert_eq!(fmt3(f64::NAN), "n/a");
+        assert_eq!(fmt_pct(41.26), "41.3%");
+        assert_eq!(fmt_pct(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        #[derive(serde::Serialize)]
+        struct R {
+            x: f64,
+        }
+        let s = to_json(&R { x: 1.5 });
+        assert!(s.contains("1.5"));
+    }
+}

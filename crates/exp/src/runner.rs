@@ -1,0 +1,186 @@
+//! Drives the testbed to produce localization inputs, with multi-seed
+//! averaging and a crossbeam-parallel runner.
+
+use crate::metrics::estimation_error;
+use vire_core::{Localizer, ReferenceRssiMap, TrackingReading};
+use vire_env::Environment;
+use vire_geom::Point2;
+use vire_sim::{Testbed, TestbedConfig};
+
+/// One tracking tag's ground truth and smoothed reading.
+#[derive(Debug, Clone)]
+pub struct TrialTag {
+    /// True position.
+    pub truth: Point2,
+    /// Smoothed per-reader RSSI.
+    pub reading: TrackingReading,
+}
+
+/// Everything one simulated trial produces.
+#[derive(Debug, Clone)]
+pub struct TrialData {
+    /// Reference calibration map.
+    pub map: ReferenceRssiMap,
+    /// Tracking tags with ground truth.
+    pub tags: Vec<TrialTag>,
+}
+
+/// Runs one trial: builds the paper testbed in `env` with `seed`, places
+/// tracking tags at `positions`, warms the middleware up, and exports the
+/// localization inputs.
+pub fn collect_trial(env: &Environment, positions: &[Point2], seed: u64) -> TrialData {
+    collect_trial_with(TestbedConfig::paper(env.clone(), seed), positions)
+}
+
+/// [`collect_trial`] with a custom testbed configuration (legacy equipment
+/// mode, different smoothing, …).
+pub fn collect_trial_with(config: TestbedConfig, positions: &[Point2]) -> TrialData {
+    let mut tb = Testbed::new(config);
+    let ids: Vec<_> = positions.iter().map(|&p| tb.add_tracking_tag(p)).collect();
+    // Warm up plus slack so every filter window is full even with jitter.
+    tb.run_for(tb.warmup_duration() * 2.0);
+    let map = tb
+        .reference_map()
+        .expect("warmup must fill the reference map");
+    let tags = ids
+        .iter()
+        .zip(positions)
+        .map(|(&id, &truth)| TrialTag {
+            truth,
+            reading: tb
+                .tracking_reading(id)
+                .expect("warmup must fill tracking readings"),
+        })
+        .collect();
+    TrialData { map, tags }
+}
+
+/// Per-tag estimation errors of `localizer` on one trial. Failed locates
+/// (e.g. all-eliminated without fallback) surface as `f64::NAN` so callers
+/// can count failures instead of silently dropping them.
+pub fn trial_errors(localizer: &dyn Localizer, trial: &TrialData) -> Vec<f64> {
+    trial
+        .tags
+        .iter()
+        .map(|t| {
+            localizer
+                .locate(&trial.map, &t.reading)
+                .map(|e| estimation_error(e.position, t.truth))
+                .unwrap_or(f64::NAN)
+        })
+        .collect()
+}
+
+/// Runs `seeds.len()` trials in parallel (crossbeam scoped threads, one per
+/// seed) and returns the per-tag errors averaged across seeds.
+///
+/// NaN errors (failed locates) are excluded from a tag's average; a tag
+/// that fails on every seed yields NaN.
+pub fn mean_errors_over_seeds(
+    env: &Environment,
+    positions: &[Point2],
+    localizer: &(dyn Localizer + Sync),
+    seeds: &[u64],
+) -> Vec<f64> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let per_seed: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                scope.spawn(move |_| {
+                    let trial = collect_trial(env, positions, seed);
+                    trial_errors(localizer, &trial)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("seed runner thread panicked");
+
+    average_ignoring_nan(&per_seed, positions.len())
+}
+
+/// Column-wise mean of `rows`, skipping NaN entries.
+pub(crate) fn average_ignoring_nan(rows: &[Vec<f64>], width: usize) -> Vec<f64> {
+    (0..width)
+        .map(|i| {
+            let vals: Vec<f64> = rows
+                .iter()
+                .map(|r| r[i])
+                .filter(|v| v.is_finite())
+                .collect();
+            if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        })
+        .collect()
+}
+
+/// The default seed set for figure reproduction: enough trials for stable
+/// means while keeping the full suite fast.
+pub fn default_seeds() -> Vec<u64> {
+    (1..=10).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vire_core::Landmarc;
+    use vire_env::presets::env1;
+    use vire_env::Deployment;
+
+    #[test]
+    fn trial_produces_complete_data() {
+        let positions = [Point2::new(1.5, 1.5), Point2::new(0.5, 2.5)];
+        let trial = collect_trial(&env1(), &positions, 42);
+        assert_eq!(trial.map.reader_count(), 4);
+        assert_eq!(trial.tags.len(), 2);
+        assert_eq!(trial.tags[0].truth, positions[0]);
+    }
+
+    #[test]
+    fn landmarc_errors_are_reasonable_in_env1() {
+        let positions = Deployment::tracking_tags_fig2a();
+        let trial = collect_trial(&env1(), &positions, 7);
+        let errors = trial_errors(&Landmarc::default(), &trial);
+        assert_eq!(errors.len(), 9);
+        for (i, e) in errors.iter().enumerate() {
+            assert!(e.is_finite());
+            assert!(*e < 3.0, "tag {}: error {e}", i + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_seed_runner_matches_sequential() {
+        let positions = [Point2::new(1.5, 1.5)];
+        let env = env1();
+        let lm = Landmarc::default();
+        let seeds = [1u64, 2, 3];
+        let parallel = mean_errors_over_seeds(&env, &positions, &lm, &seeds);
+        // Sequential reference.
+        let sequential: Vec<Vec<f64>> = seeds
+            .iter()
+            .map(|&s| trial_errors(&lm, &collect_trial(&env, &positions, s)))
+            .collect();
+        let expect = average_ignoring_nan(&sequential, 1);
+        assert!((parallel[0] - expect[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging_skips_nan() {
+        let rows = vec![vec![1.0, f64::NAN], vec![3.0, f64::NAN]];
+        let avg = average_ignoring_nan(&rows, 2);
+        assert_eq!(avg[0], 2.0);
+        assert!(avg[1].is_nan());
+    }
+
+    #[test]
+    fn same_seed_same_trial() {
+        let positions = [Point2::new(2.0, 2.0)];
+        let a = collect_trial(&env1(), &positions, 5);
+        let b = collect_trial(&env1(), &positions, 5);
+        assert_eq!(a.tags[0].reading, b.tags[0].reading);
+    }
+}

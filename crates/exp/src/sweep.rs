@@ -1,0 +1,81 @@
+//! Generic parallel parameter sweeps.
+
+/// Maps `f` over `params` with one crossbeam scoped thread per parameter,
+/// preserving input order in the output.
+///
+/// Used for the Fig. 7 (virtual-tag density) and Fig. 8 (threshold) sweeps
+/// where each point is an independent batch of simulations.
+pub fn parallel_sweep<P, R, F>(params: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = params
+            .iter()
+            .map(|p| scope.spawn(|_| f(p)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("sweep thread panicked")
+}
+
+/// Chunked variant: caps the number of live threads at `max_threads` to
+/// avoid oversubscription on big sweeps.
+pub fn parallel_sweep_chunked<P, R, F>(params: &[P], max_threads: usize, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    assert!(max_threads > 0, "need at least one thread");
+    let mut out = Vec::with_capacity(params.len());
+    for chunk in params.chunks(max_threads) {
+        out.extend(parallel_sweep(chunk, &f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sweep_preserves_order() {
+        let params: Vec<u64> = (0..16).collect();
+        let out = parallel_sweep(&params, |&p| p * p);
+        assert_eq!(out, params.iter().map(|p| p * p).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_sweep_matches_plain() {
+        let params: Vec<u64> = (0..20).collect();
+        let plain = parallel_sweep(&params, |&p| p + 1);
+        let chunked = parallel_sweep_chunked(&params, 4, |&p| p + 1);
+        assert_eq!(plain, chunked);
+    }
+
+    #[test]
+    fn all_params_are_visited_once() {
+        let counter = AtomicUsize::new(0);
+        let params: Vec<usize> = (0..32).collect();
+        parallel_sweep(&params, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let out: Vec<u64> = parallel_sweep(&[] as &[u64], |&p| p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        parallel_sweep_chunked(&[1], 0, |&p: &i32| p);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the experiment harness utilities.
+
+use proptest::prelude::*;
+use vire_exp::metrics::{improvement_percent, percentile_sorted, Cdf, ErrorStats};
+use vire_exp::report::{fmt3, fmt_pct, Table};
+
+fn errors() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..5.0f64, 1..50)
+}
+
+proptest! {
+    #[test]
+    fn stats_are_internally_consistent(errs in errors()) {
+        let s = ErrorStats::from_errors(&errs).unwrap();
+        prop_assert_eq!(s.count, errs.len());
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.median <= s.p90 + 1e-12);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.std_dev <= (s.max - s.min) + 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_a_distribution_function(errs in errors(), x in 0.0..6.0f64) {
+        let cdf = Cdf::new(&errs).unwrap();
+        let v = cdf.at(x);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!(cdf.at(x + 0.5) >= v);
+        prop_assert_eq!(cdf.at(6.0), 1.0);
+        prop_assert_eq!(cdf.at(-1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_and_at_are_near_inverses(errs in errors(), q in 0.05..0.95f64) {
+        let cdf = Cdf::new(&errs).unwrap();
+        let x = cdf.quantile(q);
+        // At least q of the mass sits at or below the q-quantile (up to the
+        // granularity of a finite sample).
+        let slack = 1.0 / errs.len() as f64 + 1e-9;
+        prop_assert!(cdf.at(x) + slack >= q, "F({x}) = {} < {q}", cdf.at(x));
+    }
+
+    #[test]
+    fn percentile_is_monotone(errs in errors(), a in 0.0..100.0f64, b in 0.0..100.0f64) {
+        let mut sorted = errs.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(percentile_sorted(&sorted, lo) <= percentile_sorted(&sorted, hi) + 1e-12);
+    }
+
+    #[test]
+    fn improvement_is_antisymmetric_in_sign(base in 0.01..5.0f64, new in 0.01..5.0f64) {
+        let imp = improvement_percent(base, new);
+        if new < base {
+            prop_assert!(imp > 0.0);
+        } else if new > base {
+            prop_assert!(imp < 0.0);
+        }
+        prop_assert!(imp <= 100.0);
+    }
+
+    #[test]
+    fn table_rendering_never_truncates_cells(
+        cells in prop::collection::vec("[a-z0-9]{1,14}", 1..8)
+    ) {
+        let headers: Vec<String> = (0..cells.len()).map(|k| format!("c{k}")).collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new("prop", &header_refs);
+        t.row(cells.clone());
+        let s = t.render();
+        for cell in &cells {
+            prop_assert!(s.contains(cell.as_str()), "cell {cell} lost");
+        }
+    }
+
+    #[test]
+    fn float_formatting_is_parseable(v in -1000.0..1000.0f64) {
+        let s = fmt3(v);
+        let back: f64 = s.parse().unwrap();
+        prop_assert!((back - v).abs() <= 0.0005 + 1e-12);
+        let p = fmt_pct(v);
+        prop_assert!(p.ends_with('%'));
+    }
+}

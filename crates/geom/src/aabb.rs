@@ -1,0 +1,262 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point2;
+use crate::vec2::Vec2;
+use std::fmt;
+
+/// An axis-aligned rectangle given by its min and max corners.
+///
+/// Used for sensing areas, room extents, and grid bounds. A box is *valid*
+/// when `min.x <= max.x && min.y <= max.y`; a degenerate box (zero width or
+/// height) is allowed and behaves as a segment or point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// South-west corner.
+    pub min: Point2,
+    /// North-east corner.
+    pub max: Point2,
+}
+
+impl Aabb {
+    /// Creates a box from two corners, normalizing their order so the result
+    /// is always valid.
+    pub fn new(a: Point2, b: Point2) -> Self {
+        Aabb {
+            min: Point2::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point2::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// A box centered at `c` with the given half extents.
+    pub fn centered(c: Point2, half_width: f64, half_height: f64) -> Self {
+        let h = Vec2::new(half_width.abs(), half_height.abs());
+        Aabb::new(c - h, c + h)
+    }
+
+    /// The smallest box containing every point in `points`, or `None` when
+    /// the slice is empty.
+    pub fn from_points(points: &[Point2]) -> Option<Self> {
+        let first = *points.first()?;
+        let mut b = Aabb::new(first, first);
+        for &p in &points[1..] {
+            b = b.expanded_to(p);
+        }
+        Some(b)
+    }
+
+    /// Box width (x extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Box height (y extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Box area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point of the box.
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        self.min.midpoint(self.max)
+    }
+
+    /// The four corners in counter-clockwise order starting at `min`.
+    pub fn corners(&self) -> [Point2; 4] {
+        [
+            self.min,
+            Point2::new(self.max.x, self.min.y),
+            self.max,
+            Point2::new(self.min.x, self.max.y),
+        ]
+    }
+
+    /// Returns `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` when `p` lies strictly inside (not on the boundary).
+    #[inline]
+    pub fn contains_strict(&self, p: Point2) -> bool {
+        p.x > self.min.x && p.x < self.max.x && p.y > self.min.y && p.y < self.max.y
+    }
+
+    /// Returns `true` when the two boxes overlap (boundary touch counts).
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Intersection of two boxes, or `None` when they do not overlap.
+    pub fn intersection(&self, other: &Aabb) -> Option<Aabb> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Aabb {
+            min: Point2::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point2::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// Smallest box containing both boxes.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: Point2::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point2::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Box grown to include `p`.
+    pub fn expanded_to(&self, p: Point2) -> Aabb {
+        Aabb {
+            min: Point2::new(self.min.x.min(p.x), self.min.y.min(p.y)),
+            max: Point2::new(self.max.x.max(p.x), self.max.y.max(p.y)),
+        }
+    }
+
+    /// Box grown outward by `margin` on every side.
+    ///
+    /// A negative margin shrinks the box; the result is clamped so it never
+    /// inverts (it collapses to its center instead).
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        let half_w = (self.width() / 2.0 + margin).max(0.0);
+        let half_h = (self.height() / 2.0 + margin).max(0.0);
+        Aabb::centered(self.center(), half_w, half_h)
+    }
+
+    /// Clamps `p` to the closest point inside the box.
+    pub fn clamp(&self, p: Point2) -> Point2 {
+        Point2::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+}
+
+impl fmt::Display for Aabb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn unit() -> Aabb {
+        Aabb::new(Point2::ORIGIN, Point2::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn corners_are_normalized() {
+        let b = Aabb::new(Point2::new(2.0, -1.0), Point2::new(-2.0, 3.0));
+        assert_eq!(b.min, Point2::new(-2.0, -1.0));
+        assert_eq!(b.max, Point2::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn extent_and_area() {
+        let b = Aabb::new(Point2::ORIGIN, Point2::new(3.0, 2.0));
+        assert!(approx_eq(b.width(), 3.0));
+        assert!(approx_eq(b.height(), 2.0));
+        assert!(approx_eq(b.area(), 6.0));
+        assert_eq!(b.center(), Point2::new(1.5, 1.0));
+    }
+
+    #[test]
+    fn containment_includes_boundary() {
+        let b = unit();
+        assert!(b.contains(Point2::new(0.0, 0.0)));
+        assert!(b.contains(Point2::new(1.0, 1.0)));
+        assert!(b.contains(Point2::new(0.5, 0.5)));
+        assert!(!b.contains(Point2::new(1.0001, 0.5)));
+        assert!(!b.contains_strict(Point2::new(0.0, 0.5)));
+        assert!(b.contains_strict(Point2::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn intersection_of_overlapping_boxes() {
+        let a = unit();
+        let b = Aabb::new(Point2::new(0.5, 0.5), Point2::new(2.0, 2.0));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Aabb::new(Point2::new(0.5, 0.5), Point2::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn disjoint_boxes_do_not_intersect() {
+        let a = unit();
+        let b = Aabb::new(Point2::new(5.0, 5.0), Point2::new(6.0, 6.0));
+        assert!(!a.intersects(&b));
+        assert_eq!(a.intersection(&b), None);
+    }
+
+    #[test]
+    fn touching_boxes_intersect_with_degenerate_overlap() {
+        let a = unit();
+        let b = Aabb::new(Point2::new(1.0, 0.0), Point2::new(2.0, 1.0));
+        let i = a.intersection(&b).unwrap();
+        assert!(approx_eq(i.width(), 0.0));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = unit();
+        let b = Aabb::new(Point2::new(2.0, 2.0), Point2::new(3.0, 3.0));
+        let u = a.union(&b);
+        assert!(u.contains(Point2::ORIGIN) && u.contains(Point2::new(3.0, 3.0)));
+    }
+
+    #[test]
+    fn from_points_bounds_all() {
+        let pts = [
+            Point2::new(1.0, 5.0),
+            Point2::new(-2.0, 0.0),
+            Point2::new(4.0, 2.0),
+        ];
+        let b = Aabb::from_points(&pts).unwrap();
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(Aabb::from_points(&[]), None);
+    }
+
+    #[test]
+    fn inflate_and_deflate() {
+        let b = unit().inflated(0.5);
+        assert_eq!(b, Aabb::new(Point2::new(-0.5, -0.5), Point2::new(1.5, 1.5)));
+        // Shrinking past zero collapses to the center, never inverts.
+        let c = unit().inflated(-2.0);
+        assert!(approx_eq(c.area(), 0.0));
+        assert_eq!(c.center(), Point2::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn clamp_projects_outside_points_to_boundary() {
+        let b = unit();
+        assert_eq!(b.clamp(Point2::new(5.0, 0.5)), Point2::new(1.0, 0.5));
+        assert_eq!(b.clamp(Point2::new(-1.0, -1.0)), Point2::ORIGIN);
+        let inside = Point2::new(0.25, 0.75);
+        assert_eq!(b.clamp(inside), inside);
+    }
+
+    #[test]
+    fn corners_ccw() {
+        let c = unit().corners();
+        assert_eq!(c[0], Point2::new(0.0, 0.0));
+        assert_eq!(c[1], Point2::new(1.0, 0.0));
+        assert_eq!(c[2], Point2::new(1.0, 1.0));
+        assert_eq!(c[3], Point2::new(0.0, 1.0));
+    }
+}

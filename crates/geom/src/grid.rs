@@ -1,0 +1,640 @@
+//! Regular lattices and scalar fields on them.
+//!
+//! The VIRE testbed is a 4×4 lattice of real reference tags with 1 m pitch;
+//! the virtual reference grid is the same lattice *refined* by a factor `n`
+//! (each physical cell split into n×n virtual cells). [`RegularGrid`] models
+//! both, and [`RegularGrid::refined`] performs the refinement so that real
+//! tag positions stay exactly on virtual lattice nodes.
+
+use crate::aabb::Aabb;
+use crate::point::Point2;
+use std::fmt;
+
+/// A node index `(i, j)` in a [`RegularGrid`]: `i` counts columns (+x),
+/// `j` counts rows (+y).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridIndex {
+    /// Column (x direction).
+    pub i: usize,
+    /// Row (y direction).
+    pub j: usize,
+}
+
+impl GridIndex {
+    /// Creates an index.
+    #[inline]
+    pub const fn new(i: usize, j: usize) -> Self {
+        GridIndex { i, j }
+    }
+
+    /// Chebyshev (L∞) distance between two indices.
+    pub fn chebyshev(self, other: GridIndex) -> usize {
+        let di = self.i.abs_diff(other.i);
+        let dj = self.j.abs_diff(other.j);
+        di.max(dj)
+    }
+
+    /// Manhattan (L1) distance between two indices.
+    pub fn manhattan(self, other: GridIndex) -> usize {
+        self.i.abs_diff(other.i) + self.j.abs_diff(other.j)
+    }
+}
+
+impl fmt::Display for GridIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.i, self.j)
+    }
+}
+
+/// A regular rectangular lattice of `nx × ny` *nodes*.
+///
+/// `origin` is the position of node `(0, 0)`; node `(i, j)` sits at
+/// `origin + (i·pitch_x, j·pitch_y)`. A grid with `nx` columns of nodes has
+/// `nx − 1` cells per row.
+///
+/// ```
+/// use vire_geom::{Point2, RegularGrid};
+/// // The paper's testbed lattice: 4x4 tags at 1 m pitch...
+/// let real = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+/// // ...refined n = 10 into the virtual lattice (the N^2 = 900 point).
+/// let virtual_grid = real.refined(10);
+/// assert_eq!(virtual_grid.node_count(), 961);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegularGrid {
+    origin: Point2,
+    pitch_x: f64,
+    pitch_y: f64,
+    nx: usize,
+    ny: usize,
+}
+
+impl RegularGrid {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    /// Panics when either node count is zero or either pitch is not a
+    /// positive finite number (a grid with a single node per axis is allowed
+    /// and ignores that axis' pitch).
+    pub fn new(origin: Point2, pitch_x: f64, pitch_y: f64, nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must have at least one node per axis");
+        assert!(
+            pitch_x > 0.0 && pitch_x.is_finite() && pitch_y > 0.0 && pitch_y.is_finite(),
+            "grid pitch must be positive and finite"
+        );
+        RegularGrid {
+            origin,
+            pitch_x,
+            pitch_y,
+            nx,
+            ny,
+        }
+    }
+
+    /// Square grid: equal pitch and node count on both axes.
+    pub fn square(origin: Point2, pitch: f64, nodes_per_side: usize) -> Self {
+        RegularGrid::new(origin, pitch, pitch, nodes_per_side, nodes_per_side)
+    }
+
+    /// Node `(0,0)` position.
+    #[inline]
+    pub fn origin(&self) -> Point2 {
+        self.origin
+    }
+
+    /// Node spacing along x.
+    #[inline]
+    pub fn pitch_x(&self) -> f64 {
+        self.pitch_x
+    }
+
+    /// Node spacing along y.
+    #[inline]
+    pub fn pitch_y(&self) -> f64 {
+        self.pitch_y
+    }
+
+    /// Number of node columns.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of node rows.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Number of cells (`(nx−1)·(ny−1)`).
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.nx.saturating_sub(1) * self.ny.saturating_sub(1)
+    }
+
+    /// Returns `true` when `idx` addresses a node of this grid.
+    #[inline]
+    pub fn contains_index(&self, idx: GridIndex) -> bool {
+        idx.i < self.nx && idx.j < self.ny
+    }
+
+    /// World position of node `idx`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range.
+    pub fn position(&self, idx: GridIndex) -> Point2 {
+        assert!(self.contains_index(idx), "grid index {idx} out of range");
+        Point2::new(
+            self.origin.x + idx.i as f64 * self.pitch_x,
+            self.origin.y + idx.j as f64 * self.pitch_y,
+        )
+    }
+
+    /// Flattened row-major offset of node `idx` (row `j` is contiguous).
+    #[inline]
+    pub fn flat(&self, idx: GridIndex) -> usize {
+        debug_assert!(self.contains_index(idx));
+        idx.j * self.nx + idx.i
+    }
+
+    /// Inverse of [`RegularGrid::flat`].
+    #[inline]
+    pub fn unflat(&self, flat: usize) -> GridIndex {
+        debug_assert!(flat < self.node_count());
+        GridIndex::new(flat % self.nx, flat / self.nx)
+    }
+
+    /// Bounding box spanned by the lattice nodes.
+    pub fn bounds(&self) -> Aabb {
+        Aabb::new(
+            self.origin,
+            Point2::new(
+                self.origin.x + (self.nx - 1) as f64 * self.pitch_x,
+                self.origin.y + (self.ny - 1) as f64 * self.pitch_y,
+            ),
+        )
+    }
+
+    /// The lattice node closest to `p` (ties broken toward lower indices by
+    /// rounding-half-up of the fractional coordinate).
+    pub fn nearest_node(&self, p: Point2) -> GridIndex {
+        let fx = ((p.x - self.origin.x) / self.pitch_x).round();
+        let fy = ((p.y - self.origin.y) / self.pitch_y).round();
+        let i = fx.clamp(0.0, (self.nx - 1) as f64) as usize;
+        let j = fy.clamp(0.0, (self.ny - 1) as f64) as usize;
+        GridIndex::new(i, j)
+    }
+
+    /// Locates the cell containing `p` and the fractional coordinates of `p`
+    /// within it.
+    ///
+    /// Returns `(cell_origin_index, u, v)` where `u, v ∈ [0, 1]` are the
+    /// position inside the cell. Points outside the lattice are clamped to
+    /// the nearest boundary cell (`u`/`v` clamp to `[0, 1]`). Returns `None`
+    /// when the grid has no cells along an axis.
+    pub fn locate(&self, p: Point2) -> Option<(GridIndex, f64, f64)> {
+        if self.nx < 2 || self.ny < 2 {
+            return None;
+        }
+        let fx = (p.x - self.origin.x) / self.pitch_x;
+        let fy = (p.y - self.origin.y) / self.pitch_y;
+        let i = (fx.floor().max(0.0) as usize).min(self.nx - 2);
+        let j = (fy.floor().max(0.0) as usize).min(self.ny - 2);
+        let u = (fx - i as f64).clamp(0.0, 1.0);
+        let v = (fy - j as f64).clamp(0.0, 1.0);
+        Some((GridIndex::new(i, j), u, v))
+    }
+
+    /// Returns `true` when `idx` lies on the outer ring of the lattice.
+    pub fn is_boundary(&self, idx: GridIndex) -> bool {
+        idx.i == 0 || idx.j == 0 || idx.i == self.nx - 1 || idx.j == self.ny - 1
+    }
+
+    /// Iterates all node indices in row-major order.
+    pub fn indices(&self) -> impl Iterator<Item = GridIndex> + '_ {
+        (0..self.ny).flat_map(move |j| (0..self.nx).map(move |i| GridIndex::new(i, j)))
+    }
+
+    /// Iterates `(index, position)` pairs in row-major order.
+    pub fn nodes(&self) -> impl Iterator<Item = (GridIndex, Point2)> + '_ {
+        self.indices().map(move |idx| (idx, self.position(idx)))
+    }
+
+    /// The 4-connected neighbours of `idx` that exist in the grid.
+    pub fn neighbors4(&self, idx: GridIndex) -> impl Iterator<Item = GridIndex> + '_ {
+        let candidates = [
+            (idx.i.wrapping_sub(1), idx.j),
+            (idx.i + 1, idx.j),
+            (idx.i, idx.j.wrapping_sub(1)),
+            (idx.i, idx.j + 1),
+        ];
+        candidates
+            .into_iter()
+            .filter(move |&(i, j)| i < self.nx && j < self.ny)
+            .map(|(i, j)| GridIndex::new(i, j))
+    }
+
+    /// Refines the grid by splitting every cell into `n × n` sub-cells.
+    ///
+    /// This is the paper's virtual-grid construction (§4.2): real reference
+    /// tags sit at the coarse nodes, `n − 1` virtual tags are inserted
+    /// between each adjacent pair, and every coarse node maps exactly onto
+    /// fine node `(i·n, j·n)`. `n = 1` returns the grid unchanged.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn refined(&self, n: usize) -> RegularGrid {
+        assert!(n > 0, "refinement factor must be at least 1");
+        RegularGrid {
+            origin: self.origin,
+            pitch_x: self.pitch_x / n as f64,
+            pitch_y: self.pitch_y / n as f64,
+            nx: (self.nx - 1) * n + 1,
+            ny: (self.ny - 1) * n + 1,
+        }
+    }
+
+    /// Maps a coarse node index to the corresponding index in a grid refined
+    /// by `n`.
+    pub fn coarse_to_fine(&self, idx: GridIndex, n: usize) -> GridIndex {
+        GridIndex::new(idx.i * n, idx.j * n)
+    }
+}
+
+impl fmt::Display for RegularGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} grid @ {} pitch ({:.3}, {:.3})",
+            self.nx, self.ny, self.origin, self.pitch_x, self.pitch_y
+        )
+    }
+}
+
+/// A scalar (or any `Clone`) field sampled at every node of a
+/// [`RegularGrid`], stored row-major.
+///
+/// Proximity maps and interpolated virtual-tag RSSI tables are `GridData`
+/// instances (`GridData<f64>` for RSSI, `GridData<bool>` for highlight
+/// masks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridData<T> {
+    grid: RegularGrid,
+    data: Vec<T>,
+}
+
+impl<T: Clone> GridData<T> {
+    /// Creates a field with every node set to `fill`.
+    pub fn filled(grid: RegularGrid, fill: T) -> Self {
+        GridData {
+            grid,
+            data: vec![fill; grid.node_count()],
+        }
+    }
+
+    /// Creates a field by evaluating `f` at every node.
+    pub fn from_fn(grid: RegularGrid, mut f: impl FnMut(GridIndex, Point2) -> T) -> Self {
+        let mut data = Vec::with_capacity(grid.node_count());
+        for (idx, pos) in grid.nodes() {
+            data.push(f(idx, pos));
+        }
+        GridData { grid, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != grid.node_count()`.
+    pub fn from_vec(grid: RegularGrid, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            grid.node_count(),
+            "buffer length must match node count"
+        );
+        GridData { grid, data }
+    }
+
+    /// The underlying grid.
+    #[inline]
+    pub fn grid(&self) -> &RegularGrid {
+        &self.grid
+    }
+
+    /// Value at node `idx`.
+    #[inline]
+    pub fn get(&self, idx: GridIndex) -> &T {
+        &self.data[self.grid.flat(idx)]
+    }
+
+    /// Mutable value at node `idx`.
+    #[inline]
+    pub fn get_mut(&mut self, idx: GridIndex) -> &mut T {
+        let flat = self.grid.flat(idx);
+        &mut self.data[flat]
+    }
+
+    /// Sets the value at node `idx`.
+    #[inline]
+    pub fn set(&mut self, idx: GridIndex, value: T) {
+        let flat = self.grid.flat(idx);
+        self.data[flat] = value;
+    }
+
+    /// Raw row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Iterates `(index, value)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (GridIndex, &T)> {
+        self.data
+            .iter()
+            .enumerate()
+            .map(|(flat, v)| (self.grid.unflat(flat), v))
+    }
+
+    /// Applies `f` to every value, producing a new field on the same grid.
+    pub fn map<U: Clone>(&self, f: impl FnMut(&T) -> U) -> GridData<U> {
+        GridData {
+            grid: self.grid,
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+
+    /// Combines two fields on the same grid element-wise.
+    ///
+    /// # Panics
+    /// Panics when the grids differ.
+    pub fn zip_with<U: Clone, V: Clone>(
+        &self,
+        other: &GridData<U>,
+        mut f: impl FnMut(&T, &U) -> V,
+    ) -> GridData<V> {
+        assert_eq!(self.grid, other.grid, "fields must share the same grid");
+        GridData {
+            grid: self.grid,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| f(a, b))
+                .collect(),
+        }
+    }
+}
+
+impl GridData<f64> {
+    /// Bilinear sample of the field at an arbitrary point.
+    ///
+    /// Points outside the lattice are clamped to the boundary cells.
+    /// Returns `None` when the grid has fewer than 2 nodes on an axis.
+    pub fn sample_bilinear(&self, p: Point2) -> Option<f64> {
+        let (cell, u, v) = self.grid.locate(p)?;
+        let f00 = *self.get(cell);
+        let f10 = *self.get(GridIndex::new(cell.i + 1, cell.j));
+        let f01 = *self.get(GridIndex::new(cell.i, cell.j + 1));
+        let f11 = *self.get(GridIndex::new(cell.i + 1, cell.j + 1));
+        Some(crate::interp::bilinear::bilinear(f00, f10, f01, f11, u, v))
+    }
+
+    /// Minimum and maximum node values, ignoring NaNs.
+    ///
+    /// Returns `None` when every node is NaN or the field is empty.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        let mut it = self.data.iter().copied().filter(|v| !v.is_nan());
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v))))
+    }
+}
+
+impl GridData<bool> {
+    /// Number of `true` nodes.
+    pub fn count_true(&self) -> usize {
+        self.data.iter().filter(|&&b| b).count()
+    }
+
+    /// Returns `true` when no node is set.
+    pub fn is_empty_mask(&self) -> bool {
+        self.count_true() == 0
+    }
+
+    /// Element-wise AND of two masks on the same grid.
+    ///
+    /// This is the K-reader intersection step of VIRE's elimination.
+    pub fn and(&self, other: &GridData<bool>) -> GridData<bool> {
+        self.zip_with(other, |a, b| *a && *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn grid4() -> RegularGrid {
+        // The paper's testbed: 4x4 nodes, 1 m pitch.
+        RegularGrid::square(Point2::ORIGIN, 1.0, 4)
+    }
+
+    #[test]
+    fn node_positions() {
+        let g = grid4();
+        assert_eq!(g.position(GridIndex::new(0, 0)), Point2::ORIGIN);
+        assert_eq!(g.position(GridIndex::new(3, 0)), Point2::new(3.0, 0.0));
+        assert_eq!(g.position(GridIndex::new(1, 2)), Point2::new(1.0, 2.0));
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.cell_count(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_position_panics() {
+        grid4().position(GridIndex::new(4, 0));
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let g = grid4();
+        for idx in g.indices() {
+            assert_eq!(g.unflat(g.flat(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn bounds_cover_all_nodes() {
+        let g = grid4();
+        let b = g.bounds();
+        assert_eq!(b.min, Point2::ORIGIN);
+        assert_eq!(b.max, Point2::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn nearest_node_rounds_and_clamps() {
+        let g = grid4();
+        assert_eq!(g.nearest_node(Point2::new(0.4, 0.4)), GridIndex::new(0, 0));
+        assert_eq!(g.nearest_node(Point2::new(0.6, 1.4)), GridIndex::new(1, 1));
+        assert_eq!(
+            g.nearest_node(Point2::new(99.0, -99.0)),
+            GridIndex::new(3, 0)
+        );
+    }
+
+    #[test]
+    fn locate_returns_cell_and_fraction() {
+        let g = grid4();
+        let (cell, u, v) = g.locate(Point2::new(1.25, 2.75)).unwrap();
+        assert_eq!(cell, GridIndex::new(1, 2));
+        assert!(approx_eq(u, 0.25) && approx_eq(v, 0.75));
+    }
+
+    #[test]
+    fn locate_clamps_outside_points() {
+        let g = grid4();
+        let (cell, u, v) = g.locate(Point2::new(-1.0, 10.0)).unwrap();
+        assert_eq!(cell, GridIndex::new(0, 2));
+        assert!(approx_eq(u, 0.0) && approx_eq(v, 1.0));
+    }
+
+    #[test]
+    fn locate_on_single_row_grid_is_none() {
+        let g = RegularGrid::new(Point2::ORIGIN, 1.0, 1.0, 5, 1);
+        assert_eq!(g.locate(Point2::new(2.0, 0.0)), None);
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let g = grid4();
+        assert!(g.is_boundary(GridIndex::new(0, 2)));
+        assert!(g.is_boundary(GridIndex::new(3, 3)));
+        assert!(!g.is_boundary(GridIndex::new(1, 1)));
+        assert!(!g.is_boundary(GridIndex::new(2, 1)));
+    }
+
+    #[test]
+    fn neighbors4_counts() {
+        let g = grid4();
+        assert_eq!(g.neighbors4(GridIndex::new(0, 0)).count(), 2);
+        assert_eq!(g.neighbors4(GridIndex::new(1, 0)).count(), 3);
+        assert_eq!(g.neighbors4(GridIndex::new(1, 1)).count(), 4);
+    }
+
+    #[test]
+    fn refinement_matches_paper_virtual_grid() {
+        // 4x4 real grid refined with n = 10 -> 31x31 = 961 virtual nodes,
+        // the paper's N^2 = 900 operating point (~30^2).
+        let g = grid4().refined(10);
+        assert_eq!(g.nx(), 31);
+        assert_eq!(g.ny(), 31);
+        assert_eq!(g.node_count(), 961);
+        assert!(approx_eq(g.pitch_x(), 0.1));
+    }
+
+    #[test]
+    fn refinement_keeps_real_nodes_on_lattice() {
+        let coarse = grid4();
+        let fine = coarse.refined(5);
+        for idx in coarse.indices() {
+            let fine_idx = coarse.coarse_to_fine(idx, 5);
+            let a = coarse.position(idx);
+            let b = fine.position(fine_idx);
+            assert!(approx_eq(a.x, b.x) && approx_eq(a.y, b.y));
+        }
+    }
+
+    #[test]
+    fn refinement_by_one_is_identity() {
+        let g = grid4();
+        assert_eq!(g.refined(1), g);
+    }
+
+    #[test]
+    fn grid_data_from_fn_and_get() {
+        let g = grid4();
+        let f = GridData::from_fn(g, |idx, _| (idx.i + 10 * idx.j) as f64);
+        assert!(approx_eq(*f.get(GridIndex::new(2, 1)), 12.0));
+        assert_eq!(f.as_slice().len(), 16);
+    }
+
+    #[test]
+    fn grid_data_set_and_map() {
+        let g = grid4();
+        let mut f = GridData::filled(g, 0.0_f64);
+        f.set(GridIndex::new(1, 1), 5.0);
+        let doubled = f.map(|v| v * 2.0);
+        assert!(approx_eq(*doubled.get(GridIndex::new(1, 1)), 10.0));
+        assert!(approx_eq(*doubled.get(GridIndex::new(0, 0)), 0.0));
+    }
+
+    #[test]
+    fn bilinear_sample_reproduces_linear_field_exactly() {
+        // A bilinear interpolator must be exact on f(x, y) = 2x + 3y + 1.
+        let g = grid4();
+        let f = GridData::from_fn(g, |_, p| 2.0 * p.x + 3.0 * p.y + 1.0);
+        for &(x, y) in &[(0.5, 0.5), (1.3, 2.7), (0.0, 3.0), (2.99, 0.01)] {
+            let s = f.sample_bilinear(Point2::new(x, y)).unwrap();
+            assert!(
+                approx_eq(s, 2.0 * x + 3.0 * y + 1.0),
+                "sample at ({x}, {y}) = {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn bilinear_sample_at_nodes_equals_node_values() {
+        let g = grid4();
+        let f = GridData::from_fn(g, |idx, _| (idx.i * 7 + idx.j * 13) as f64);
+        for (idx, pos) in g.nodes() {
+            let s = f.sample_bilinear(pos).unwrap();
+            assert!(approx_eq(s, *f.get(idx)));
+        }
+    }
+
+    #[test]
+    fn min_max_ignores_nan() {
+        let g = RegularGrid::square(Point2::ORIGIN, 1.0, 2);
+        let f = GridData::from_vec(g, vec![1.0, f64::NAN, -3.0, 2.0]);
+        assert_eq!(f.min_max(), Some((-3.0, 2.0)));
+        let all_nan = GridData::filled(g, f64::NAN);
+        assert_eq!(all_nan.min_max(), None);
+    }
+
+    #[test]
+    fn bool_mask_ops() {
+        let g = RegularGrid::square(Point2::ORIGIN, 1.0, 2);
+        let a = GridData::from_vec(g, vec![true, true, false, false]);
+        let b = GridData::from_vec(g, vec![true, false, true, false]);
+        let both = a.and(&b);
+        assert_eq!(both.count_true(), 1);
+        assert!(*both.get(GridIndex::new(0, 0)));
+        assert!(!GridData::filled(g, true).is_empty_mask());
+        assert!(GridData::filled(g, false).is_empty_mask());
+    }
+
+    #[test]
+    #[should_panic(expected = "must share the same grid")]
+    fn zip_with_rejects_mismatched_grids() {
+        let a = GridData::filled(RegularGrid::square(Point2::ORIGIN, 1.0, 2), 0.0_f64);
+        let b = GridData::filled(RegularGrid::square(Point2::ORIGIN, 1.0, 3), 0.0_f64);
+        let _ = a.zip_with(&b, |x, y| x + y);
+    }
+
+    #[test]
+    fn iter_visits_every_node_once() {
+        let g = grid4();
+        let f = GridData::from_fn(g, |idx, _| g.flat(idx));
+        let mut seen = [false; 16];
+        for (idx, &v) in f.iter() {
+            assert_eq!(g.flat(idx), v);
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,173 @@
+//! Convex hulls and point-in-polygon tests.
+//!
+//! Used by the test suites: a k-NN weighted-centroid estimate (LANDMARC) and
+//! a VIRE weighted estimate are both convex combinations of selected
+//! reference positions, so they must lie inside the convex hull of those
+//! positions. These utilities let property tests assert that invariant.
+
+use crate::point::Point2;
+
+/// Convex hull of a point set via Andrew's monotone chain, returned in
+/// counter-clockwise order without the closing point.
+///
+/// Degenerate inputs are handled: fewer than 3 distinct points return the
+/// distinct points themselves (0, 1 or 2 of them); collinear sets return
+/// the two extreme points.
+pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| crate::approx_eq(a.x, b.x) && crate::approx_eq(a.y, b.y));
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let cross = |o: Point2, a: Point2, b: Point2| (a - o).cross(b - o);
+
+    let mut lower: Vec<Point2> = Vec::with_capacity(n);
+    for &p in &pts {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0 {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point2> = Vec::with_capacity(n);
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0 {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.len() < 3 {
+        // All points collinear: keep the two extremes.
+        return vec![pts[0], pts[n - 1]];
+    }
+    lower
+}
+
+/// Returns `true` when `p` lies inside or on the boundary of the convex
+/// polygon `hull` (counter-clockwise vertex order, as produced by
+/// [`convex_hull`]).
+///
+/// Hulls with fewer than 3 vertices degrade gracefully: 2 vertices test
+/// against the segment, 1 against the point, 0 is always `false`.
+pub fn hull_contains(hull: &[Point2], p: Point2, tol: f64) -> bool {
+    match hull.len() {
+        0 => false,
+        1 => hull[0].distance(p) <= tol,
+        2 => crate::segment::Segment::new(hull[0], hull[1]).distance_to_point(p) <= tol,
+        _ => hull.iter().enumerate().all(|(i, &a)| {
+            let b = hull[(i + 1) % hull.len()];
+            // For CCW polygons every interior point is left of every edge.
+            (b - a).cross(p - a) >= -tol
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Vec<Point2> {
+        vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ]
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let mut pts = square();
+        pts.push(Point2::new(1.0, 1.0));
+        pts.push(Point2::new(0.5, 1.5));
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        for corner in square() {
+            assert!(hull.contains(&corner));
+        }
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let hull = convex_hull(&square());
+        let mut area2 = 0.0;
+        for (i, &a) in hull.iter().enumerate() {
+            let b = hull[(i + 1) % hull.len()];
+            area2 += a.x * b.y - b.x * a.y;
+        }
+        assert!(area2 > 0.0, "signed area must be positive for CCW order");
+    }
+
+    #[test]
+    fn collinear_points_give_extremes() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(3.0, 3.0),
+            Point2::new(2.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 2);
+        assert_eq!(hull[0], Point2::new(0.0, 0.0));
+        assert_eq!(hull[1], Point2::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        let one = convex_hull(&[Point2::new(1.0, 2.0)]);
+        assert_eq!(one, vec![Point2::new(1.0, 2.0)]);
+        let dup = convex_hull(&[Point2::new(1.0, 2.0), Point2::new(1.0, 2.0)]);
+        assert_eq!(dup.len(), 1);
+    }
+
+    #[test]
+    fn containment_interior_boundary_exterior() {
+        let hull = convex_hull(&square());
+        assert!(hull_contains(&hull, Point2::new(1.0, 1.0), 1e-9));
+        assert!(hull_contains(&hull, Point2::new(0.0, 1.0), 1e-9)); // edge
+        assert!(hull_contains(&hull, Point2::new(2.0, 2.0), 1e-9)); // vertex
+        assert!(!hull_contains(&hull, Point2::new(2.1, 1.0), 1e-9));
+        assert!(!hull_contains(&hull, Point2::new(-0.01, -0.01), 1e-9));
+    }
+
+    #[test]
+    fn degenerate_containment() {
+        assert!(!hull_contains(&[], Point2::ORIGIN, 1e-9));
+        let pt = [Point2::new(1.0, 1.0)];
+        assert!(hull_contains(&pt, Point2::new(1.0, 1.0), 1e-9));
+        assert!(!hull_contains(&pt, Point2::new(1.1, 1.0), 1e-9));
+        let seg = [Point2::new(0.0, 0.0), Point2::new(2.0, 0.0)];
+        assert!(hull_contains(&seg, Point2::new(1.0, 0.0), 1e-9));
+        assert!(!hull_contains(&seg, Point2::new(1.0, 0.5), 1e-9));
+    }
+
+    #[test]
+    fn weighted_centroid_always_inside_hull() {
+        // The invariant the localizers rely on.
+        let refs = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let hull = convex_hull(&refs);
+        for w in [
+            [0.25, 0.25, 0.25, 0.25],
+            [0.9, 0.05, 0.03, 0.02],
+            [0.0, 0.0, 1.0, 0.0],
+        ] {
+            let c = Point2::weighted_centroid(&refs, &w).unwrap();
+            assert!(hull_contains(&hull, c, 1e-9), "centroid {c} escaped hull");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Bilinear interpolation on a unit cell.
+//!
+//! The paper interpolates virtual-tag RSSI first along horizontal grid
+//! lines, then along vertical lines (§4.2). For interior virtual tags that
+//! two-pass composition is exactly bilinear interpolation of the four
+//! surrounding real tags, which is what this module computes directly.
+
+/// Bilinear blend of the four cell-corner values.
+///
+/// `f00` is the value at `(0,0)` (south-west), `f10` at `(1,0)`, `f01` at
+/// `(0,1)`, `f11` at `(1,1)`; `u, v ∈ [0, 1]` are the fractional position
+/// inside the cell.
+#[inline]
+pub fn bilinear(f00: f64, f10: f64, f01: f64, f11: f64, u: f64, v: f64) -> f64 {
+    let bottom = f00 + (f10 - f00) * u;
+    let top = f01 + (f11 - f01) * u;
+    bottom + (top - bottom) * v
+}
+
+/// Bilinear blend expressed as the weight vector over the four corners.
+///
+/// Returns `[w00, w10, w01, w11]`; the weights are non-negative for
+/// `u, v ∈ [0, 1]` and always sum to 1.
+#[inline]
+pub fn bilinear_weights(u: f64, v: f64) -> [f64; 4] {
+    [
+        (1.0 - u) * (1.0 - v),
+        u * (1.0 - v),
+        (1.0 - u) * v,
+        u * v,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn corners_are_exact() {
+        let (a, b, c, d) = (-70.0, -75.0, -80.0, -85.0);
+        assert!(approx_eq(bilinear(a, b, c, d, 0.0, 0.0), a));
+        assert!(approx_eq(bilinear(a, b, c, d, 1.0, 0.0), b));
+        assert!(approx_eq(bilinear(a, b, c, d, 0.0, 1.0), c));
+        assert!(approx_eq(bilinear(a, b, c, d, 1.0, 1.0), d));
+    }
+
+    #[test]
+    fn center_is_mean_of_corners() {
+        let v = bilinear(1.0, 2.0, 3.0, 4.0, 0.5, 0.5);
+        assert!(approx_eq(v, 2.5));
+    }
+
+    #[test]
+    fn interior_values_bounded_by_corner_extremes() {
+        let (a, b, c, d) = (-90.0, -60.0, -75.0, -82.0);
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let (u, v) = (i as f64 / 10.0, j as f64 / 10.0);
+                let x = bilinear(a, b, c, d, u, v);
+                assert!((-90.0..=-60.0).contains(&x), "({u}, {v}) -> {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_two_pass_row_then_column_composition() {
+        // The paper's construction: horizontal interpolation on the bottom
+        // and top edges, then vertical interpolation between the results.
+        let (a, b, c, d) = (-71.5, -76.25, -79.0, -88.5);
+        let (u, v) = (0.3, 0.85);
+        let bottom = a + (b - a) * u;
+        let top = c + (d - c) * u;
+        let two_pass = bottom + (top - bottom) * v;
+        assert!(approx_eq(bilinear(a, b, c, d, u, v), two_pass));
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_match_blend() {
+        let corners = [-70.0, -75.0, -80.0, -85.0];
+        for &(u, v) in &[(0.0, 0.0), (0.3, 0.7), (1.0, 0.5), (0.25, 0.25)] {
+            let w = bilinear_weights(u, v);
+            let sum: f64 = w.iter().sum();
+            assert!(approx_eq(sum, 1.0));
+            assert!(w.iter().all(|&wi| wi >= 0.0));
+            let blended: f64 = w.iter().zip(&corners).map(|(wi, ci)| wi * ci).sum();
+            assert!(approx_eq(
+                blended,
+                bilinear(corners[0], corners[1], corners[2], corners[3], u, v)
+            ));
+        }
+    }
+}

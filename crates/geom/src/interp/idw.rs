@@ -1,0 +1,151 @@
+//! Inverse-distance weighting for scattered 2D samples.
+//!
+//! The paper's §6 relaxes the square-grid requirement: "for a closed and
+//! complex environment, we may put real reference tags around those
+//! obstacles". With reference tags off-lattice there is no row/column to
+//! interpolate along, so the virtual-grid builder falls back to Shepard's
+//! inverse-distance weighting over the scattered real tags.
+
+use crate::point::Point2;
+
+/// Shepard inverse-distance interpolator over scattered plane samples.
+#[derive(Debug, Clone)]
+pub struct Idw {
+    sites: Vec<Point2>,
+    values: Vec<f64>,
+    power: f64,
+}
+
+impl Idw {
+    /// Builds the interpolator.
+    ///
+    /// `power` is the distance exponent (2 is the classic choice; larger
+    /// values localize the influence of each sample). Returns `None` when
+    /// the inputs are empty, mismatched, or contain non-finite data, or when
+    /// `power` is not positive.
+    pub fn fit(sites: &[Point2], values: &[f64], power: f64) -> Option<Self> {
+        if sites.is_empty()
+            || sites.len() != values.len()
+            || !(power > 0.0 && power.is_finite())
+            || sites.iter().any(|p| !p.is_finite())
+            || values.iter().any(|v| !v.is_finite())
+        {
+            return None;
+        }
+        Some(Idw {
+            sites: sites.to_vec(),
+            values: values.to_vec(),
+            power,
+        })
+    }
+
+    /// Evaluates the interpolant at `p`.
+    ///
+    /// Exactly reproduces a sample value when `p` coincides with its site
+    /// (within 1 µm, far below any tag-placement precision).
+    pub fn eval(&self, p: Point2) -> f64 {
+        const SNAP: f64 = 1e-6;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (site, &value) in self.sites.iter().zip(&self.values) {
+            let d = site.distance(p);
+            if d < SNAP {
+                return value;
+            }
+            let w = d.powf(-self.power);
+            num += w * value;
+            den += w;
+        }
+        num / den
+    }
+
+    /// Number of sample sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Returns `true` when the interpolator holds no sites (never true for a
+    /// successfully fitted instance; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn square_samples() -> (Vec<Point2>, Vec<f64>) {
+        (
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(0.0, 1.0),
+                Point2::new(1.0, 1.0),
+            ],
+            vec![-70.0, -75.0, -80.0, -85.0],
+        )
+    }
+
+    #[test]
+    fn fit_rejects_bad_input() {
+        let (s, v) = square_samples();
+        assert!(Idw::fit(&[], &[], 2.0).is_none());
+        assert!(Idw::fit(&s, &v[..3], 2.0).is_none());
+        assert!(Idw::fit(&s, &v, 0.0).is_none());
+        assert!(Idw::fit(&s, &v, f64::NAN).is_none());
+        let bad = vec![f64::NAN, 0.0, 0.0, 0.0];
+        assert!(Idw::fit(&s, &bad, 2.0).is_none());
+    }
+
+    #[test]
+    fn reproduces_sites_exactly() {
+        let (s, v) = square_samples();
+        let f = Idw::fit(&s, &v, 2.0).unwrap();
+        for (site, value) in s.iter().zip(&v) {
+            assert!(approx_eq(f.eval(*site), *value));
+        }
+    }
+
+    #[test]
+    fn center_of_symmetric_square_is_mean() {
+        let (s, v) = square_samples();
+        let f = Idw::fit(&s, &v, 2.0).unwrap();
+        let mean = v.iter().sum::<f64>() / 4.0;
+        assert!(approx_eq(f.eval(Point2::new(0.5, 0.5)), mean));
+    }
+
+    #[test]
+    fn values_bounded_by_sample_extremes() {
+        let (s, v) = square_samples();
+        let f = Idw::fit(&s, &v, 3.0).unwrap();
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let p = Point2::new(i as f64 / 10.0, j as f64 / 10.0);
+                let x = f.eval(p);
+                assert!((-85.0..=-70.0).contains(&x), "{p} -> {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_power_localizes_influence() {
+        let (s, v) = square_samples();
+        let near_corner = Point2::new(0.1, 0.1);
+        let soft = Idw::fit(&s, &v, 1.0).unwrap().eval(near_corner);
+        let sharp = Idw::fit(&s, &v, 6.0).unwrap().eval(near_corner);
+        // With a sharper power the nearest sample (-70 at the origin)
+        // dominates more strongly.
+        assert!((sharp - -70.0).abs() < (soft - -70.0).abs());
+    }
+
+    #[test]
+    fn single_site_is_constant_field() {
+        let f = Idw::fit(&[Point2::new(2.0, 2.0)], &[-66.0], 2.0).unwrap();
+        assert!(approx_eq(f.eval(Point2::ORIGIN), -66.0));
+        assert!(approx_eq(f.eval(Point2::new(9.0, -4.0)), -66.0));
+        assert_eq!(f.len(), 1);
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Lagrange-form polynomial interpolation.
+//!
+//! Mathematically identical to the Newton form (there is exactly one
+//! interpolating polynomial), but evaluated via barycentric weights. The
+//! two implementations cross-check each other in the property tests.
+
+use super::{validate_samples, Interpolator1D};
+
+/// Interpolating polynomial in (second) barycentric Lagrange form.
+///
+/// Construction is O(n²) (barycentric weights), evaluation O(n) and
+/// numerically stable for moderate n.
+#[derive(Debug, Clone)]
+pub struct Lagrange {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Barycentric weights wᵢ = 1 / Πⱼ≠ᵢ (xᵢ − xⱼ).
+    weights: Vec<f64>,
+}
+
+impl Interpolator1D for Lagrange {
+    fn fit(xs: &[f64], ys: &[f64]) -> Option<Self> {
+        if !validate_samples(xs, ys, 1) {
+            return None;
+        }
+        let n = xs.len();
+        let mut weights = vec![1.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    weights[i] /= xs[i] - xs[j];
+                }
+            }
+        }
+        Some(Lagrange {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            weights,
+        })
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        // Exact hit on a knot: return the sample (the barycentric formula
+        // would divide by zero there).
+        for (i, &xi) in self.xs.iter().enumerate() {
+            if x == xi {
+                return self.ys[i];
+            }
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..self.xs.len() {
+            let t = self.weights[i] / (x - self.xs[i]);
+            num += t * self.ys[i];
+            den += t;
+        }
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::newton::Newton;
+    use crate::{approx_eq, approx_eq_tol};
+
+    #[test]
+    fn fit_rejects_bad_samples() {
+        assert!(Lagrange::fit(&[], &[]).is_none());
+        assert!(Lagrange::fit(&[1.0, 1.0], &[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn reproduces_knots_exactly() {
+        let xs = [0.0, 0.5, 1.25, 3.0];
+        let ys = [2.0, -1.0, 4.0, 0.0];
+        let f = Lagrange::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!(approx_eq(f.eval(*x), *y));
+        }
+    }
+
+    #[test]
+    fn exact_on_quadratic() {
+        let p = |x: f64| x * x - 3.0 * x + 2.0;
+        let xs = [0.0, 1.0, 2.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| p(x)).collect();
+        let f = Lagrange::fit(&xs, &ys).unwrap();
+        for &x in &[-1.0, 0.5, 1.5, 5.0] {
+            assert!(approx_eq_tol(f.eval(x), p(x), 1e-9));
+        }
+    }
+
+    #[test]
+    fn agrees_with_newton_form() {
+        let xs = [0.0, 1.0, 2.0, 3.5, 5.0];
+        let ys = [-62.0, -70.0, -74.5, -80.0, -88.0];
+        let lag = Lagrange::fit(&xs, &ys).unwrap();
+        let newt = Newton::fit(&xs, &ys).unwrap();
+        for k in 0..=50 {
+            let x = -1.0 + 0.14 * k as f64;
+            assert!(
+                approx_eq_tol(lag.eval(x), newt.eval(x), 1e-6),
+                "divergence at x = {x}: {} vs {}",
+                lag.eval(x),
+                newt.eval(x)
+            );
+        }
+    }
+
+    #[test]
+    fn single_point_is_constant() {
+        let f = Lagrange::fit(&[3.0], &[7.0]).unwrap();
+        assert!(approx_eq(f.eval(-10.0), 7.0));
+        assert!(approx_eq(f.eval(3.0), 7.0));
+    }
+}

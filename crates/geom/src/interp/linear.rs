@@ -1,0 +1,171 @@
+//! Piecewise-linear interpolation, including the paper's §4.2 formulas.
+
+use super::{validate_samples, Interpolator1D};
+
+/// Piecewise-linear interpolant over strictly increasing knots.
+///
+/// Outside the knot range the interpolant extrapolates linearly from the
+/// first/last segment, matching the behaviour needed at the sensing-area
+/// boundary.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Interpolator1D for Linear {
+    fn fit(xs: &[f64], ys: &[f64]) -> Option<Self> {
+        if !validate_samples(xs, ys, 2) {
+            return None;
+        }
+        Some(Linear {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+        })
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        // Find the segment: partition_point gives the first knot > x.
+        let hi = self.xs.partition_point(|&k| k <= x).clamp(1, n - 1);
+        let lo = hi - 1;
+        let (x0, x1) = (self.xs[lo], self.xs[hi]);
+        let (y0, y1) = (self.ys[lo], self.ys[hi]);
+        let t = (x - x0) / (x1 - x0);
+        y0 + (y1 - y0) * t
+    }
+}
+
+/// The paper's horizontal-line interpolation formula (§4.2):
+///
+/// ```text
+/// S_k(T_{a·n+p, b}) = [ p·S_k(T_{a+n, b}) + (n+1−p)·S_k(T_{a, b}) ] / (n+1)
+/// ```
+///
+/// `left` and `right` are the RSSI of the two adjacent *real* tags, `n` the
+/// refinement factor, and `p ∈ 0..=n` the virtual tag's offset from the left
+/// real tag. The paper indexes `p ∈ 0..n−1` for the strictly interior
+/// virtual tags; `p = 0` returns `left`-biased and `p = n` is accepted for
+/// convenience of lattice construction (note the paper's divisor is `n+1`).
+///
+/// The uniform-knot linear interpolation with divisor `n` (so that `p = n`
+/// reproduces `right` exactly) is provided by [`lerp_uniform`]; VIRE's
+/// virtual-grid builder uses `lerp_uniform`, which is the natural reading of
+/// "the n−1 virtual reference tags are equally placed between two adjacent
+/// real tags". `paper_weighting` is kept verbatim for comparison tests.
+#[inline]
+pub fn paper_weighting(left: f64, right: f64, n: usize, p: usize) -> f64 {
+    debug_assert!(p <= n);
+    let n = n as f64;
+    let p = p as f64;
+    (p * right + (n + 1.0 - p) * left) / (n + 1.0)
+}
+
+/// Uniform linear interpolation between two adjacent real tags: `p = 0`
+/// gives `left`, `p = n` gives `right`, and interior `p` are equally spaced.
+#[inline]
+pub fn lerp_uniform(left: f64, right: f64, n: usize, p: usize) -> f64 {
+    debug_assert!(n > 0 && p <= n);
+    let t = p as f64 / n as f64;
+    left + (right - left) * t
+}
+
+/// Scalar linear interpolation `a + (b − a)·t`.
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn fit_rejects_bad_samples() {
+        assert!(Linear::fit(&[0.0], &[1.0]).is_none());
+        assert!(Linear::fit(&[1.0, 0.0], &[1.0, 2.0]).is_none());
+        assert!(Linear::fit(&[0.0, 1.0], &[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn reproduces_knots_exactly() {
+        let xs = [0.0, 1.0, 2.5, 4.0];
+        let ys = [-70.0, -80.0, -75.0, -90.0];
+        let f = Linear::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!(approx_eq(f.eval(*x), *y));
+        }
+    }
+
+    #[test]
+    fn midpoints_are_averages() {
+        let f = Linear::fit(&[0.0, 2.0, 4.0], &[10.0, 20.0, 0.0]).unwrap();
+        assert!(approx_eq(f.eval(1.0), 15.0));
+        assert!(approx_eq(f.eval(3.0), 10.0));
+    }
+
+    #[test]
+    fn extrapolates_from_end_segments() {
+        let f = Linear::fit(&[0.0, 1.0], &[0.0, 2.0]).unwrap();
+        assert!(approx_eq(f.eval(2.0), 4.0));
+        assert!(approx_eq(f.eval(-1.0), -2.0));
+    }
+
+    #[test]
+    fn exact_on_linear_function() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        let f = Linear::fit(&xs, &ys).unwrap();
+        for &x in &[0.5, 3.25, 8.99, 9.0] {
+            assert!(approx_eq(f.eval(x), 3.0 * x - 7.0));
+        }
+    }
+
+    #[test]
+    fn lerp_uniform_hits_both_real_tags() {
+        assert!(approx_eq(lerp_uniform(-70.0, -80.0, 10, 0), -70.0));
+        assert!(approx_eq(lerp_uniform(-70.0, -80.0, 10, 10), -80.0));
+        assert!(approx_eq(lerp_uniform(-70.0, -80.0, 10, 5), -75.0));
+    }
+
+    #[test]
+    fn paper_weighting_matches_its_formula() {
+        // With n = 4, p = 2: (2·R + 3·L) / 5.
+        let v = paper_weighting(-60.0, -90.0, 4, 2);
+        assert!(approx_eq(v, (2.0 * -90.0 + 3.0 * -60.0) / 5.0));
+        // p = 0 reproduces a pure-left mix of (n+1-0)/(n+1) = 1.
+        assert!(approx_eq(paper_weighting(-60.0, -90.0, 4, 0), -60.0));
+    }
+
+    #[test]
+    fn paper_weighting_and_uniform_agree_at_left_endpoint_only() {
+        let (l, r, n) = (-65.0, -85.0, 5);
+        assert!(approx_eq(
+            paper_weighting(l, r, n, 0),
+            lerp_uniform(l, r, n, 0)
+        ));
+        // Interior points differ slightly: the paper's divisor is n+1.
+        let pw = paper_weighting(l, r, n, 3);
+        let lu = lerp_uniform(l, r, n, 3);
+        assert!((pw - lu).abs() > 0.1);
+    }
+
+    #[test]
+    fn lerp_uniform_is_monotone_between_endpoints() {
+        let (l, r, n) = (-60.0, -95.0, 8);
+        let mut prev = lerp_uniform(l, r, n, 0);
+        for p in 1..=n {
+            let cur = lerp_uniform(l, r, n, p);
+            assert!(cur <= prev, "descending RSSI must stay descending");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn scalar_lerp() {
+        assert!(approx_eq(lerp(2.0, 4.0, 0.5), 3.0));
+        assert!(approx_eq(lerp(2.0, 4.0, 0.0), 2.0));
+        assert!(approx_eq(lerp(2.0, 4.0, 1.0), 4.0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Newton divided-difference polynomial interpolation.
+//!
+//! The paper's §6 notes that the RSSI–distance relation is polynomial and
+//! suggests polynomial interpolation of the virtual grid as future work,
+//! while warning that it "may not be so exact after all, especially at the
+//! end points" (Runge's phenomenon). This kernel lets the reproduction test
+//! exactly that trade-off.
+
+use super::{validate_samples, Interpolator1D};
+
+/// Interpolating polynomial in Newton form.
+///
+/// Fitting `n` points produces the unique polynomial of degree `≤ n − 1`
+/// through them. Construction is O(n²), evaluation O(n) via Horner's rule
+/// on the nested Newton form.
+#[derive(Debug, Clone)]
+pub struct Newton {
+    /// Knot abscissae x₀..x_{n−1}.
+    xs: Vec<f64>,
+    /// Divided-difference coefficients c₀..c_{n−1}.
+    coeffs: Vec<f64>,
+}
+
+impl Interpolator1D for Newton {
+    fn fit(xs: &[f64], ys: &[f64]) -> Option<Self> {
+        if !validate_samples(xs, ys, 1) {
+            return None;
+        }
+        // Divided differences computed in place: after pass k, table[i]
+        // holds f[x_{i−k}, …, x_i]; we keep the leading entry of each pass.
+        let n = xs.len();
+        let mut table = ys.to_vec();
+        let mut coeffs = Vec::with_capacity(n);
+        coeffs.push(table[0]);
+        for k in 1..n {
+            for i in (k..n).rev() {
+                table[i] = (table[i] - table[i - 1]) / (xs[i] - xs[i - k]);
+            }
+            coeffs.push(table[k]);
+        }
+        Some(Newton {
+            xs: xs.to_vec(),
+            coeffs,
+        })
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        // Horner evaluation of the nested Newton form.
+        let n = self.coeffs.len();
+        let mut acc = self.coeffs[n - 1];
+        for k in (0..n - 1).rev() {
+            acc = acc * (x - self.xs[k]) + self.coeffs[k];
+        }
+        acc
+    }
+}
+
+impl Newton {
+    /// Degree of the interpolating polynomial (`points − 1`).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, approx_eq_tol};
+
+    #[test]
+    fn fit_rejects_bad_samples() {
+        assert!(Newton::fit(&[], &[]).is_none());
+        assert!(Newton::fit(&[0.0, 0.0], &[1.0, 2.0]).is_none());
+        assert!(Newton::fit(&[0.0, 1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn constant_through_single_point() {
+        let f = Newton::fit(&[2.0], &[-77.0]).unwrap();
+        assert!(approx_eq(f.eval(0.0), -77.0));
+        assert!(approx_eq(f.eval(100.0), -77.0));
+        assert_eq!(f.degree(), 0);
+    }
+
+    #[test]
+    fn reproduces_knots_exactly() {
+        let xs = [0.0, 1.0, 2.0, 4.0, 7.0];
+        let ys = [-60.0, -72.0, -69.5, -81.0, -90.0];
+        let f = Newton::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!(approx_eq_tol(f.eval(*x), *y, 1e-8));
+        }
+    }
+
+    #[test]
+    fn exact_on_cubic() {
+        let p = |x: f64| 2.0 * x.powi(3) - x * x + 5.0 * x - 3.0;
+        let xs = [-2.0, -1.0, 0.5, 1.5, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| p(x)).collect();
+        let f = Newton::fit(&xs, &ys).unwrap();
+        for &x in &[-1.5, 0.0, 2.0, 2.75] {
+            assert!(approx_eq_tol(f.eval(x), p(x), 1e-8));
+        }
+    }
+
+    #[test]
+    fn two_points_reduce_to_linear() {
+        let f = Newton::fit(&[0.0, 10.0], &[-60.0, -90.0]).unwrap();
+        assert!(approx_eq(f.eval(5.0), -75.0));
+        assert_eq!(f.degree(), 1);
+    }
+
+    #[test]
+    fn runge_phenomenon_visible_at_high_degree() {
+        // Interpolating 1/(1+25x^2) on 11 equispaced knots in [-1, 1] must
+        // overshoot near the ends — the failure mode the paper warns about.
+        let runge = |x: f64| 1.0 / (1.0 + 25.0 * x * x);
+        let xs: Vec<f64> = (0..11).map(|i| -1.0 + 0.2 * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| runge(x)).collect();
+        let f = Newton::fit(&xs, &ys).unwrap();
+        let x = 0.95; // between the last two knots
+        let err = (f.eval(x) - runge(x)).abs();
+        assert!(err > 0.5, "expected large endpoint error, got {err}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Natural cubic spline interpolation.
+//!
+//! The well-behaved nonlinear kernel for the paper's future-work question:
+//! "how much accuracy can be further achieved by using some novel nonlinear
+//! interpolation algorithms". Unlike a single high-degree polynomial, the
+//! spline does not suffer Runge oscillation at the sensing-area boundary.
+
+use super::{validate_samples, Interpolator1D};
+
+/// Natural cubic spline (second derivative zero at both ends).
+///
+/// Construction solves the tridiagonal moment system in O(n); evaluation is
+/// O(log n) via binary search for the containing segment. Outside the knot
+/// range the spline extrapolates with the end segments' cubic (consistent
+/// with the natural end conditions).
+#[derive(Debug, Clone)]
+pub struct CubicSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Second derivatives ("moments") at the knots.
+    m: Vec<f64>,
+}
+
+impl Interpolator1D for CubicSpline {
+    fn fit(xs: &[f64], ys: &[f64]) -> Option<Self> {
+        if !validate_samples(xs, ys, 2) {
+            return None;
+        }
+        let n = xs.len();
+        if n == 2 {
+            // Degenerates to the linear segment: zero moments.
+            return Some(CubicSpline {
+                xs: xs.to_vec(),
+                ys: ys.to_vec(),
+                m: vec![0.0; 2],
+            });
+        }
+
+        // Thomas algorithm on the (n−2)-unknown tridiagonal system for the
+        // interior moments; natural boundary moments are zero.
+        let h: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+        let mut sub = vec![0.0; n - 2]; // below-diagonal
+        let mut diag = vec![0.0; n - 2];
+        let mut sup = vec![0.0; n - 2]; // above-diagonal
+        let mut rhs = vec![0.0; n - 2];
+        for i in 1..n - 1 {
+            let k = i - 1;
+            sub[k] = h[i - 1];
+            diag[k] = 2.0 * (h[i - 1] + h[i]);
+            sup[k] = h[i];
+            rhs[k] = 6.0 * ((ys[i + 1] - ys[i]) / h[i] - (ys[i] - ys[i - 1]) / h[i - 1]);
+        }
+        // Forward sweep.
+        for k in 1..n - 2 {
+            let w = sub[k] / diag[k - 1];
+            diag[k] -= w * sup[k - 1];
+            rhs[k] -= w * rhs[k - 1];
+        }
+        // Back substitution.
+        let mut m = vec![0.0; n];
+        if n > 2 {
+            m[n - 2] = rhs[n - 3] / diag[n - 3];
+            for k in (0..n - 3).rev() {
+                m[k + 1] = (rhs[k] - sup[k] * m[k + 2]) / diag[k];
+            }
+        }
+        Some(CubicSpline {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            m,
+        })
+    }
+
+    fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        let hi = self.xs.partition_point(|&k| k <= x).clamp(1, n - 1);
+        let lo = hi - 1;
+        let h = self.xs[hi] - self.xs[lo];
+        let a = (self.xs[hi] - x) / h;
+        let b = (x - self.xs[lo]) / h;
+        a * self.ys[lo]
+            + b * self.ys[hi]
+            + ((a.powi(3) - a) * self.m[lo] + (b.powi(3) - b) * self.m[hi]) * h * h / 6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, approx_eq_tol};
+
+    #[test]
+    fn fit_rejects_bad_samples() {
+        assert!(CubicSpline::fit(&[0.0], &[1.0]).is_none());
+        assert!(CubicSpline::fit(&[0.0, 0.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn reproduces_knots_exactly() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 5.0];
+        let ys = [-60.0, -71.0, -68.0, -79.0, -85.0];
+        let f = CubicSpline::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!(approx_eq_tol(f.eval(*x), *y, 1e-9), "knot {x}");
+        }
+    }
+
+    #[test]
+    fn two_points_degenerate_to_linear() {
+        let f = CubicSpline::fit(&[0.0, 2.0], &[10.0, 20.0]).unwrap();
+        assert!(approx_eq(f.eval(1.0), 15.0));
+        assert!(approx_eq(f.eval(0.5), 12.5));
+    }
+
+    #[test]
+    fn exact_on_linear_data() {
+        // A natural spline through collinear points is that line.
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -5.0 * x + 2.0).collect();
+        let f = CubicSpline::fit(&xs, &ys).unwrap();
+        for &x in &[0.5, 3.3, 6.9] {
+            assert!(approx_eq_tol(f.eval(x), -5.0 * x + 2.0, 1e-9));
+        }
+    }
+
+    #[test]
+    fn smooth_approximation_of_sine() {
+        let xs: Vec<f64> = (0..=20).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.sin()).collect();
+        let f = CubicSpline::fit(&xs, &ys).unwrap();
+        for k in 0..100 {
+            let x = 0.05 + k as f64 * 0.0995;
+            // Natural end conditions cost accuracy near the ends where
+            // sin'' is nonzero, so the bound is looser than interior error.
+            assert!(
+                (f.eval(x) - x.sin()).abs() < 1e-2,
+                "x = {x}: {} vs {}",
+                f.eval(x),
+                x.sin()
+            );
+        }
+    }
+
+    #[test]
+    fn no_runge_oscillation_on_runge_function() {
+        // Contrast with the Newton test: the spline stays close at x = 0.95.
+        let runge = |x: f64| 1.0 / (1.0 + 25.0 * x * x);
+        let xs: Vec<f64> = (0..11).map(|i| -1.0 + 0.2 * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| runge(x)).collect();
+        let f = CubicSpline::fit(&xs, &ys).unwrap();
+        let err = (f.eval(0.95) - runge(0.95)).abs();
+        assert!(err < 0.05, "spline endpoint error should be small, got {err}");
+    }
+
+    #[test]
+    fn natural_end_moments_are_zero() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.0, 2.0, -1.0, 4.0];
+        let f = CubicSpline::fit(&xs, &ys).unwrap();
+        assert!(approx_eq(f.m[0], 0.0));
+        assert!(approx_eq(f.m[3], 0.0));
+    }
+}

@@ -1,0 +1,201 @@
+//! Connected-component labeling on boolean grid masks.
+//!
+//! VIRE's second weighting factor `w2` rewards "conjunctive" highlighted
+//! regions: after the K proximity maps are intersected, each surviving cell
+//! is weighted by the size of the 4-connected blob it belongs to ("the
+//! densest area has the largest weight", §4.3). This module labels those
+//! blobs.
+
+use crate::grid::{GridData, GridIndex};
+
+/// Labeling of a boolean mask into 4-connected components.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component id per node; `None` for unset (false) nodes.
+    labels: GridData<Option<u32>>,
+    /// Size (node count) of each component, indexed by id.
+    sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Labels the `true` cells of `mask` into 4-connected components using
+    /// an iterative flood fill (no recursion, safe for large virtual grids).
+    pub fn label(mask: &GridData<bool>) -> Self {
+        let grid = *mask.grid();
+        let mut labels: GridData<Option<u32>> = GridData::filled(grid, None);
+        let mut sizes = Vec::new();
+        let mut stack = Vec::new();
+
+        for idx in grid.indices() {
+            if !*mask.get(idx) || labels.get(idx).is_some() {
+                continue;
+            }
+            let id = sizes.len() as u32;
+            let mut size = 0usize;
+            stack.push(idx);
+            labels.set(idx, Some(id));
+            while let Some(cur) = stack.pop() {
+                size += 1;
+                for nb in grid.neighbors4(cur) {
+                    if *mask.get(nb) && labels.get(nb).is_none() {
+                        labels.set(nb, Some(id));
+                        stack.push(nb);
+                    }
+                }
+            }
+            sizes.push(size);
+        }
+
+        Components { labels, sizes }
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component id of node `idx`, or `None` when the node was unset.
+    pub fn component_of(&self, idx: GridIndex) -> Option<u32> {
+        *self.labels.get(idx)
+    }
+
+    /// Size (node count) of the component containing `idx`, or `None` when
+    /// the node was unset.
+    ///
+    /// This is VIRE's `n_ci` — the size of the conjunctive region a selected
+    /// virtual tag belongs to.
+    pub fn size_of_component_at(&self, idx: GridIndex) -> Option<usize> {
+        self.component_of(idx).map(|id| self.sizes[id as usize])
+    }
+
+    /// Size of component `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    pub fn size(&self, id: u32) -> usize {
+        self.sizes[id as usize]
+    }
+
+    /// Size of the largest component, or 0 when the mask was empty.
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total number of labeled (set) nodes.
+    pub fn total_set(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::RegularGrid;
+    use crate::point::Point2;
+
+    fn mask_from_rows(rows: &[&str]) -> GridData<bool> {
+        // Rows are listed top (max j) to bottom (j = 0); '#' = set.
+        let ny = rows.len();
+        let nx = rows[0].len();
+        let grid = RegularGrid::new(Point2::ORIGIN, 1.0, 1.0, nx, ny);
+        let mut mask = GridData::filled(grid, false);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), nx, "ragged mask rows");
+            let j = ny - 1 - r;
+            for (i, ch) in row.chars().enumerate() {
+                if ch == '#' {
+                    mask.set(GridIndex::new(i, j), true);
+                }
+            }
+        }
+        mask
+    }
+
+    #[test]
+    fn empty_mask_has_no_components() {
+        let mask = mask_from_rows(&["....", "....", "...."]);
+        let c = Components::label(&mask);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), 0);
+        assert_eq!(c.total_set(), 0);
+    }
+
+    #[test]
+    fn full_mask_is_one_component() {
+        let mask = mask_from_rows(&["###", "###"]);
+        let c = Components::label(&mask);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.largest(), 6);
+    }
+
+    #[test]
+    fn diagonal_cells_are_separate_under_4_connectivity() {
+        let mask = mask_from_rows(&["#.", ".#"]);
+        let c = Components::label(&mask);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.largest(), 1);
+    }
+
+    #[test]
+    fn paper_figure5_shape_two_blobs() {
+        // Fig. 5 sketch: a 2-cell blob in the upper part, a 4-cell blob in
+        // the lower part. The lower blob must be the larger "conjunctive"
+        // region (drives the w2 example in §4.3).
+        let mask = mask_from_rows(&[
+            ".##...", //
+            "......", //
+            ".####.", //
+            "......",
+        ]);
+        let c = Components::label(&mask);
+        assert_eq!(c.count(), 2);
+        let upper = c.size_of_component_at(GridIndex::new(1, 3)).unwrap();
+        let lower = c.size_of_component_at(GridIndex::new(1, 1)).unwrap();
+        assert_eq!(upper, 2);
+        assert_eq!(lower, 4);
+        assert!(lower > upper);
+    }
+
+    #[test]
+    fn component_ids_are_consistent_within_a_blob() {
+        let mask = mask_from_rows(&["##..##", "##..##"]);
+        let c = Components::label(&mask);
+        assert_eq!(c.count(), 2);
+        let a = c.component_of(GridIndex::new(0, 0)).unwrap();
+        assert_eq!(c.component_of(GridIndex::new(1, 1)), Some(a));
+        let b = c.component_of(GridIndex::new(4, 0)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(c.size(a), 4);
+        assert_eq!(c.size(b), 4);
+    }
+
+    #[test]
+    fn unset_nodes_have_no_component() {
+        let mask = mask_from_rows(&["#.", ".."]);
+        let c = Components::label(&mask);
+        assert_eq!(c.component_of(GridIndex::new(1, 0)), None);
+        assert_eq!(c.size_of_component_at(GridIndex::new(1, 1)), None);
+    }
+
+    #[test]
+    fn snake_shape_is_single_component() {
+        let mask = mask_from_rows(&[
+            "#####", //
+            "#....", //
+            "#####", //
+            "....#", //
+            "#####",
+        ]);
+        let c = Components::label(&mask);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.largest(), c.total_set());
+    }
+
+    #[test]
+    fn total_set_matches_mask_count() {
+        let mask = mask_from_rows(&["#.#.#", ".#.#.", "#.#.#"]);
+        let c = Components::label(&mask);
+        assert_eq!(c.total_set(), mask.count_true());
+        assert_eq!(c.count(), 8); // checkerboard: all isolated
+    }
+}

@@ -1,0 +1,61 @@
+//! # vire-geom
+//!
+//! 2D geometry substrate for the VIRE reproduction.
+//!
+//! Everything in the VIRE pipeline lives on a plane: reference tags form a
+//! regular lattice, readers sit at known coordinates, walls are line
+//! segments, and the virtual reference grid is a finer lattice interpolated
+//! from the real one. This crate provides those primitives:
+//!
+//! * [`Point2`] / [`Vec2`] — plane points and displacement vectors,
+//! * [`Aabb`] — axis-aligned boxes (sensing areas, rooms),
+//! * [`Segment`] — walls and reflector edges, with mirror-image support for
+//!   the image-method multipath model,
+//! * [`RegularGrid`] / [`GridData`] — lattices with index ⇄ coordinate maps
+//!   and layered scalar fields,
+//! * [`interp`] — the interpolation kernels used to synthesize virtual
+//!   reference tags (linear/bilinear per the paper, plus the polynomial and
+//!   spline variants the paper lists as future work),
+//! * [`label`] — connected-component labeling used by VIRE's `w2` density
+//!   weight ("conjunctive regions"),
+//! * [`hull`] — convex hulls and point-in-polygon tests used by the property
+//!   tests to check that estimates stay inside the selected references.
+//!
+//! The crate is dependency-free and entirely deterministic.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod aabb;
+pub mod hull;
+pub mod interp;
+pub mod label;
+pub mod point;
+pub mod polygon;
+pub mod segment;
+pub mod vec2;
+
+mod grid;
+
+pub use aabb::Aabb;
+pub use grid::{GridData, GridIndex, RegularGrid};
+pub use point::Point2;
+pub use polygon::Polygon;
+pub use segment::Segment;
+pub use vec2::Vec2;
+
+/// Crate-wide absolute tolerance for floating-point comparisons in tests and
+/// geometric predicates.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` are within [`EPS`] of each other.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// Returns `true` when `a` and `b` are within `tol` of each other.
+#[inline]
+pub fn approx_eq_tol(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

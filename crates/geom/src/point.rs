@@ -1,0 +1,278 @@
+//! Plane points.
+
+use crate::vec2::Vec2;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point on the 2D plane, in meters.
+///
+/// Coordinates follow the paper's testbed convention: the sensing-area
+/// origin is the south-west real reference tag, `x` grows east and `y`
+/// grows north.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// Easting in meters.
+    pub x: f64,
+    /// Northing in meters.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed, e.g. nearest-neighbour scans).
+    #[inline]
+    pub fn distance_sq(self, other: Point2) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    ///
+    /// `t` is *not* clamped; values outside `[0, 1]` extrapolate.
+    #[inline]
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        Point2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        self.lerp(other, 0.5)
+    }
+
+    /// Displacement vector from the origin to this point.
+    #[inline]
+    pub fn to_vec(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Returns `true` when both coordinates are finite (not NaN/±inf).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// The centroid (arithmetic mean) of a non-empty set of points.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn centroid(points: &[Point2]) -> Option<Point2> {
+        if points.is_empty() {
+            return None;
+        }
+        let n = points.len() as f64;
+        let (sx, sy) = points
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+        Some(Point2::new(sx / n, sy / n))
+    }
+
+    /// Weighted centroid `Σ wᵢ pᵢ / Σ wᵢ`.
+    ///
+    /// This is the final estimation step of both LANDMARC and VIRE.
+    /// Returns `None` when the slices differ in length, are empty, or the
+    /// total weight is zero / non-finite.
+    pub fn weighted_centroid(points: &[Point2], weights: &[f64]) -> Option<Point2> {
+        if points.is_empty() || points.len() != weights.len() {
+            return None;
+        }
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let mut sw = 0.0;
+        for (p, &w) in points.iter().zip(weights) {
+            sx += p.x * w;
+            sy += p.y * w;
+            sw += w;
+        }
+        if sw <= 0.0 || !sw.is_finite() {
+            return None;
+        }
+        Some(Point2::new(sx / sw, sy / sw))
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub<Vec2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign<Vec2> for Point2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl From<Point2> for (f64, f64) {
+    #[inline]
+    fn from(p: Point2) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert!(approx_eq(a.distance(b), 5.0));
+        assert!(approx_eq(a.distance_sq(b), 25.0));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point2::new(1.5, -2.0);
+        let b = Point2::new(-0.5, 7.25);
+        assert!(approx_eq(a.distance(b), b.distance(a)));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point2::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn lerp_extrapolates_outside_unit_interval() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 1.0);
+        assert_eq!(a.lerp(b, 2.0), Point2::new(2.0, 2.0));
+        assert_eq!(a.lerp(b, -1.0), Point2::new(-1.0, -1.0));
+    }
+
+    #[test]
+    fn point_minus_point_is_vector() {
+        let a = Point2::new(5.0, 1.0);
+        let b = Point2::new(2.0, 3.0);
+        assert_eq!(a - b, Vec2::new(3.0, -2.0));
+        assert_eq!(b + (a - b), a);
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ];
+        assert_eq!(Point2::centroid(&pts), Some(Point2::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        assert_eq!(Point2::centroid(&[]), None);
+    }
+
+    #[test]
+    fn weighted_centroid_equal_weights_matches_centroid() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(0.0, 4.0),
+        ];
+        let w = [1.0, 1.0, 1.0];
+        let wc = Point2::weighted_centroid(&pts, &w).unwrap();
+        let c = Point2::centroid(&pts).unwrap();
+        assert!(approx_eq(wc.x, c.x) && approx_eq(wc.y, c.y));
+    }
+
+    #[test]
+    fn weighted_centroid_pulls_toward_heavy_point() {
+        let pts = [Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)];
+        let wc = Point2::weighted_centroid(&pts, &[1.0, 9.0]).unwrap();
+        assert!(approx_eq(wc.x, 9.0));
+    }
+
+    #[test]
+    fn weighted_centroid_rejects_bad_input() {
+        let pts = [Point2::new(0.0, 0.0)];
+        assert_eq!(Point2::weighted_centroid(&pts, &[]), None);
+        assert_eq!(Point2::weighted_centroid(&[], &[]), None);
+        assert_eq!(Point2::weighted_centroid(&pts, &[0.0]), None);
+        assert_eq!(Point2::weighted_centroid(&pts, &[f64::NAN]), None);
+    }
+
+    #[test]
+    fn finite_detects_nan() {
+        assert!(Point2::new(1.0, 2.0).is_finite());
+        assert!(!Point2::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point2::new(1.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Point2::new(1.0, 2.5).to_string(), "(1.000, 2.500)");
+    }
+
+    #[test]
+    fn tuple_conversions_round_trip() {
+        let p: Point2 = (1.25, -3.5).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.25, -3.5));
+    }
+}

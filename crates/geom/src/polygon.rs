@@ -1,0 +1,192 @@
+//! Simple polygons: non-rectangular room outlines.
+//!
+//! The paper's environments are rectangles, but its §6 points at "closed
+//! and complex" environments; an L-shaped office or an angled hall needs a
+//! polygon outline. Edges become wall segments for the radio substrate.
+
+use crate::point::Point2;
+use crate::segment::Segment;
+
+/// A simple (non-self-intersecting) polygon given by its vertices in
+/// order (either winding).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point2>,
+}
+
+impl Polygon {
+    /// Creates a polygon.
+    ///
+    /// # Panics
+    /// Panics with fewer than 3 vertices or non-finite coordinates.
+    /// (Self-intersection is not checked — callers own that invariant.)
+    pub fn new(vertices: Vec<Point2>) -> Self {
+        assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
+        assert!(
+            vertices.iter().all(|p| p.is_finite()),
+            "polygon vertices must be finite"
+        );
+        Polygon { vertices }
+    }
+
+    /// The vertices.
+    pub fn vertices(&self) -> &[Point2] {
+        &self.vertices
+    }
+
+    /// Edges as segments, each vertex to the next, closing the loop.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |k| Segment::new(self.vertices[k], self.vertices[(k + 1) % n]))
+    }
+
+    /// Signed area (positive for counter-clockwise winding).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        (0..n)
+            .map(|k| {
+                let a = self.vertices[k];
+                let b = self.vertices[(k + 1) % n];
+                a.x * b.y - b.x * a.y
+            })
+            .sum::<f64>()
+            / 2.0
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Area centroid.
+    pub fn centroid(&self) -> Point2 {
+        let a6 = self.signed_area() * 6.0;
+        if a6.abs() < 1e-15 {
+            // Degenerate (collinear): fall back to the vertex mean.
+            return Point2::centroid(&self.vertices).expect("non-empty");
+        }
+        let n = self.vertices.len();
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for k in 0..n {
+            let p = self.vertices[k];
+            let q = self.vertices[(k + 1) % n];
+            let cross = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * cross;
+            cy += (p.y + q.y) * cross;
+        }
+        Point2::new(cx / a6, cy / a6)
+    }
+
+    /// Even-odd (ray-cast) point containment; boundary points count as
+    /// inside within a small tolerance.
+    pub fn contains(&self, p: Point2) -> bool {
+        // Boundary check first: ray casting is unstable exactly on edges.
+        for e in self.edges() {
+            if e.distance_to_point(p) < 1e-9 {
+                return true;
+            }
+        }
+        let n = self.vertices.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[j];
+            if (a.y > p.y) != (b.y > p.y) {
+                let x_cross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn l_shape() -> Polygon {
+        // An L: 4x4 square minus its 2x2 upper-right quadrant.
+        Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(4.0, 2.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(2.0, 4.0),
+            Point2::new(0.0, 4.0),
+        ])
+    }
+
+    #[test]
+    fn area_of_l_shape() {
+        assert!(approx_eq(l_shape().area(), 12.0));
+        // CCW winding gives positive signed area.
+        assert!(l_shape().signed_area() > 0.0);
+    }
+
+    #[test]
+    fn edges_close_the_loop() {
+        let p = l_shape();
+        let edges: Vec<Segment> = p.edges().collect();
+        assert_eq!(edges.len(), 6);
+        for k in 0..edges.len() {
+            assert_eq!(edges[k].b, edges[(k + 1) % edges.len()].a);
+        }
+        let perimeter: f64 = edges.iter().map(|e| e.length()).sum();
+        assert!(approx_eq(perimeter, 16.0));
+    }
+
+    #[test]
+    fn containment_respects_the_notch() {
+        let p = l_shape();
+        assert!(p.contains(Point2::new(1.0, 1.0))); // lower-left
+        assert!(p.contains(Point2::new(3.0, 1.0))); // lower-right
+        assert!(p.contains(Point2::new(1.0, 3.0))); // upper-left
+        assert!(!p.contains(Point2::new(3.0, 3.0))); // the notch
+        assert!(!p.contains(Point2::new(-0.5, 1.0)));
+        assert!(p.contains(Point2::new(0.0, 2.0))); // on an edge
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let sq = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ]);
+        let c = sq.centroid();
+        assert!(approx_eq(c.x, 1.0) && approx_eq(c.y, 1.0));
+    }
+
+    #[test]
+    fn centroid_of_l_shape_is_biased_into_the_mass() {
+        let c = l_shape().centroid();
+        // By symmetry of the L about y = x the centroid sits on it, pulled
+        // toward the filled corner.
+        assert!(approx_eq(c.x, c.y));
+        assert!(c.x < 2.0, "centroid {c} must sit in the thick corner");
+        assert!(l_shape().contains(c));
+    }
+
+    #[test]
+    fn winding_direction_does_not_change_area_or_containment() {
+        let mut rev = l_shape().vertices().to_vec();
+        rev.reverse();
+        let cw = Polygon::new(rev);
+        assert!(cw.signed_area() < 0.0);
+        assert!(approx_eq(cw.area(), 12.0));
+        assert!(cw.contains(Point2::new(1.0, 1.0)));
+        assert!(!cw.contains(Point2::new(3.0, 3.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn two_vertices_rejected() {
+        Polygon::new(vec![Point2::ORIGIN, Point2::new(1.0, 0.0)]);
+    }
+}

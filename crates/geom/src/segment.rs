@@ -1,0 +1,319 @@
+//! Line segments: walls, reflector edges, and mirror images.
+//!
+//! The multipath substrate in `vire-radio` uses the *image method*: for each
+//! reflecting wall the transmitter is mirrored across the wall's supporting
+//! line, and the reflected ray is valid only when the straight path from the
+//! image to the receiver actually crosses the wall segment. This module
+//! provides the geometric pieces: mirroring across a line, segment–segment
+//! intersection, and point–segment distance.
+
+use crate::point::Point2;
+use crate::vec2::Vec2;
+use std::fmt;
+
+/// A directed line segment from `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point2,
+    /// End point.
+    pub b: Point2,
+}
+
+/// Result of intersecting two segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SegmentIntersection {
+    /// The segments do not touch.
+    None,
+    /// The segments cross at a single point.
+    Point(Point2),
+    /// The segments are collinear and overlap along a sub-segment.
+    Collinear(Segment),
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    #[inline]
+    pub const fn new(a: Point2, b: Point2) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment direction vector `b - a` (not normalized).
+    #[inline]
+    pub fn dir(&self) -> Vec2 {
+        self.b - self.a
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.dir().norm()
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Point2 {
+        self.a.midpoint(self.b)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment (`0 → a`, `1 → b`).
+    #[inline]
+    pub fn at(&self, t: f64) -> Point2 {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Unit normal of the supporting line (+90° from the direction), or
+    /// `None` for a degenerate segment.
+    pub fn normal(&self) -> Option<Vec2> {
+        self.dir().normalized().map(Vec2::perp)
+    }
+
+    /// Mirrors point `p` across the segment's supporting line.
+    ///
+    /// This is the image-source construction used by the multipath model.
+    /// Degenerate segments (length ≈ 0) return `p` unchanged.
+    pub fn mirror(&self, p: Point2) -> Point2 {
+        let d = self.dir();
+        let len_sq = d.norm_sq();
+        if len_sq <= crate::EPS * crate::EPS {
+            return p;
+        }
+        let ap = p - self.a;
+        let proj = d * (ap.dot(d) / len_sq);
+        let foot = self.a + proj;
+        // Reflect: p' = 2·foot − p
+        Point2::new(2.0 * foot.x - p.x, 2.0 * foot.y - p.y)
+    }
+
+    /// Shortest distance from `p` to the segment (not the infinite line).
+    pub fn distance_to_point(&self, p: Point2) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// The point on the segment closest to `p`.
+    pub fn closest_point(&self, p: Point2) -> Point2 {
+        let d = self.dir();
+        let len_sq = d.norm_sq();
+        if len_sq <= crate::EPS * crate::EPS {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.at(t)
+    }
+
+    /// Intersects this segment with `other`.
+    ///
+    /// Endpoint touches count as intersections. Collinear overlaps are
+    /// reported as a sub-segment.
+    pub fn intersect(&self, other: &Segment) -> SegmentIntersection {
+        let r = self.dir();
+        let s = other.dir();
+        let qp = other.a - self.a;
+        let rxs = r.cross(s);
+        let qpxr = qp.cross(r);
+
+        if rxs.abs() <= crate::EPS {
+            if qpxr.abs() > crate::EPS {
+                return SegmentIntersection::None; // parallel, not collinear
+            }
+            // Collinear: project onto r and find the overlapping interval.
+            let r_len_sq = r.norm_sq();
+            if r_len_sq <= crate::EPS * crate::EPS {
+                // `self` is a point.
+                if other.distance_to_point(self.a) <= crate::EPS {
+                    return SegmentIntersection::Point(self.a);
+                }
+                return SegmentIntersection::None;
+            }
+            let t0 = qp.dot(r) / r_len_sq;
+            let t1 = t0 + s.dot(r) / r_len_sq;
+            let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+            let lo = lo.max(0.0);
+            let hi = hi.min(1.0);
+            if lo > hi + crate::EPS {
+                return SegmentIntersection::None;
+            }
+            if (hi - lo).abs() <= crate::EPS {
+                return SegmentIntersection::Point(self.at(lo));
+            }
+            return SegmentIntersection::Collinear(Segment::new(self.at(lo), self.at(hi)));
+        }
+
+        let t = qp.cross(s) / rxs;
+        let u = qpxr / rxs;
+        if (-crate::EPS..=1.0 + crate::EPS).contains(&t)
+            && (-crate::EPS..=1.0 + crate::EPS).contains(&u)
+        {
+            SegmentIntersection::Point(self.at(t.clamp(0.0, 1.0)))
+        } else {
+            SegmentIntersection::None
+        }
+    }
+
+    /// Returns `true` when the segments touch anywhere.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        !matches!(self.intersect(other), SegmentIntersection::None)
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point2::new(ax, ay), Point2::new(bx, by))
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert!(approx_eq(s.length(), 5.0));
+        assert_eq!(s.midpoint(), Point2::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn mirror_across_horizontal_line() {
+        let wall = seg(0.0, 1.0, 10.0, 1.0);
+        let p = Point2::new(3.0, 4.0);
+        let m = wall.mirror(p);
+        assert!(approx_eq(m.x, 3.0));
+        assert!(approx_eq(m.y, -2.0));
+    }
+
+    #[test]
+    fn mirror_across_vertical_line() {
+        let wall = seg(2.0, -5.0, 2.0, 5.0);
+        let m = wall.mirror(Point2::new(0.0, 1.0));
+        assert!(approx_eq(m.x, 4.0));
+        assert!(approx_eq(m.y, 1.0));
+    }
+
+    #[test]
+    fn mirror_across_diagonal_line() {
+        // The line y = x maps (a, b) to (b, a).
+        let wall = seg(0.0, 0.0, 1.0, 1.0);
+        let m = wall.mirror(Point2::new(3.0, 1.0));
+        assert!(approx_eq(m.x, 1.0));
+        assert!(approx_eq(m.y, 3.0));
+    }
+
+    #[test]
+    fn mirror_is_involution() {
+        let wall = seg(-1.0, 2.0, 4.0, -3.0);
+        let p = Point2::new(2.5, 7.0);
+        let mm = wall.mirror(wall.mirror(p));
+        assert!(approx_eq(mm.x, p.x) && approx_eq(mm.y, p.y));
+    }
+
+    #[test]
+    fn mirror_fixes_points_on_the_line() {
+        let wall = seg(0.0, 0.0, 5.0, 5.0);
+        let p = Point2::new(2.0, 2.0);
+        let m = wall.mirror(p);
+        assert!(approx_eq(m.x, p.x) && approx_eq(m.y, p.y));
+    }
+
+    #[test]
+    fn degenerate_segment_mirror_is_identity() {
+        let wall = seg(1.0, 1.0, 1.0, 1.0);
+        let p = Point2::new(5.0, -2.0);
+        assert_eq!(wall.mirror(p), p);
+    }
+
+    #[test]
+    fn closest_point_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.closest_point(Point2::new(-5.0, 3.0)), Point2::ORIGIN);
+        assert_eq!(
+            s.closest_point(Point2::new(15.0, -2.0)),
+            Point2::new(10.0, 0.0)
+        );
+        assert_eq!(s.closest_point(Point2::new(4.0, 7.0)), Point2::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn point_distance() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert!(approx_eq(s.distance_to_point(Point2::new(5.0, 3.0)), 3.0));
+        assert!(approx_eq(s.distance_to_point(Point2::new(13.0, 4.0)), 5.0));
+    }
+
+    #[test]
+    fn crossing_segments_intersect_at_point() {
+        let a = seg(0.0, 0.0, 2.0, 2.0);
+        let b = seg(0.0, 2.0, 2.0, 0.0);
+        match a.intersect(&b) {
+            SegmentIntersection::Point(p) => {
+                assert!(approx_eq(p.x, 1.0) && approx_eq(p.y, 1.0));
+            }
+            other => panic!("expected point intersection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn endpoint_touch_counts() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(1.0, 0.0, 1.0, 5.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let a = seg(0.0, 0.0, 5.0, 0.0);
+        let b = seg(0.0, 1.0, 5.0, 1.0);
+        assert_eq!(a.intersect(&b), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn collinear_overlap_is_reported() {
+        let a = seg(0.0, 0.0, 4.0, 0.0);
+        let b = seg(2.0, 0.0, 6.0, 0.0);
+        match a.intersect(&b) {
+            SegmentIntersection::Collinear(s) => {
+                assert!(approx_eq(s.a.x, 2.0));
+                assert!(approx_eq(s.b.x, 4.0));
+            }
+            other => panic!("expected collinear overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collinear_disjoint_does_not_intersect() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(3.0, 0.0, 5.0, 0.0);
+        assert_eq!(a.intersect(&b), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn collinear_touching_at_one_point() {
+        let a = seg(0.0, 0.0, 2.0, 0.0);
+        let b = seg(2.0, 0.0, 4.0, 0.0);
+        match a.intersect(&b) {
+            SegmentIntersection::Point(p) => assert!(approx_eq(p.x, 2.0)),
+            other => panic!("expected single-point touch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn near_miss_does_not_intersect() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(0.5, 0.001, 0.5, 1.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn normal_is_unit_and_orthogonal() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        let n = s.normal().unwrap();
+        assert!(approx_eq(n.norm(), 1.0));
+        assert!(approx_eq(n.dot(s.dir()), 0.0));
+        assert_eq!(seg(1.0, 1.0, 1.0, 1.0).normal(), None);
+    }
+}

@@ -1,0 +1,250 @@
+//! Displacement vectors on the plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2D displacement vector, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+    /// Unit vector along +x.
+    pub const X: Vec2 = Vec2 { x: 1.0, y: 0.0 };
+    /// Unit vector along +y.
+    pub const Y: Vec2 = Vec2 { x: 0.0, y: 1.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2D cross product (z component of the 3D cross product).
+    ///
+    /// Positive when `other` lies counter-clockwise of `self`.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Unit vector in the same direction, or `None` for (near-)zero vectors.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n <= crate::EPS {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Perpendicular vector, rotated +90° (counter-clockwise).
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Rotates the vector by `angle` radians counter-clockwise.
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Projects `self` onto `onto`; returns [`Vec2::ZERO`] if `onto` is zero.
+    pub fn project_onto(self, onto: Vec2) -> Vec2 {
+        let d = onto.norm_sq();
+        if d <= crate::EPS * crate::EPS {
+            Vec2::ZERO
+        } else {
+            onto * (self.dot(onto) / d)
+        }
+    }
+
+    /// Angle of the vector relative to +x, in radians within `(-π, π]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Returns `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn dot_and_cross_basics() {
+        assert!(approx_eq(Vec2::X.dot(Vec2::Y), 0.0));
+        assert!(approx_eq(Vec2::X.cross(Vec2::Y), 1.0));
+        assert!(approx_eq(Vec2::Y.cross(Vec2::X), -1.0));
+    }
+
+    #[test]
+    fn norm_of_3_4_is_5() {
+        assert!(approx_eq(Vec2::new(3.0, 4.0).norm(), 5.0));
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Vec2::new(10.0, -2.0).normalized().unwrap();
+        assert!(approx_eq(v.norm(), 1.0));
+        assert_eq!(Vec2::ZERO.normalized(), None);
+    }
+
+    #[test]
+    fn perp_is_ccw_quarter_turn() {
+        assert_eq!(Vec2::X.perp(), Vec2::Y);
+        let v = Vec2::new(2.0, 3.0);
+        assert!(approx_eq(v.dot(v.perp()), 0.0));
+        assert!(v.cross(v.perp()) > 0.0);
+    }
+
+    #[test]
+    fn rotation_by_half_pi_matches_perp() {
+        let v = Vec2::new(1.0, 2.0);
+        let r = v.rotated(FRAC_PI_2);
+        let p = v.perp();
+        assert!(approx_eq(r.x, p.x) && approx_eq(r.y, p.y));
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Vec2::new(-3.0, 1.5);
+        for k in 0..8 {
+            let a = k as f64 * PI / 4.0;
+            assert!(approx_eq(v.rotated(a).norm(), v.norm()));
+        }
+    }
+
+    #[test]
+    fn projection_onto_axis() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_eq!(v.project_onto(Vec2::X), Vec2::new(3.0, 0.0));
+        assert_eq!(v.project_onto(Vec2::ZERO), Vec2::ZERO);
+    }
+
+    #[test]
+    fn projection_residual_is_orthogonal() {
+        let v = Vec2::new(5.0, 2.0);
+        let onto = Vec2::new(1.0, 3.0);
+        let proj = v.project_onto(onto);
+        assert!(approx_eq((v - proj).dot(onto), 0.0));
+    }
+
+    #[test]
+    fn angle_of_axes() {
+        assert!(approx_eq(Vec2::X.angle(), 0.0));
+        assert!(approx_eq(Vec2::Y.angle(), FRAC_PI_2));
+        assert!(approx_eq(Vec2::new(-1.0, 0.0).angle(), PI));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let v = Vec2::new(1.0, -2.0);
+        assert_eq!(v * 2.0, Vec2::new(2.0, -4.0));
+        assert_eq!(2.0 * v, v * 2.0);
+        assert_eq!(v / 2.0, Vec2::new(0.5, -1.0));
+        assert_eq!(-v, Vec2::new(-1.0, 2.0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Reader antenna patterns.
+//!
+//! The paper's §6 asks about "the placement of these readers"; placement
+//! interacts with the antenna pattern — a corner reader usually wears a
+//! directional antenna pointed into the room. The cardioid model is the
+//! standard first-order directional pattern: full gain on boresight,
+//! rolling off to a bounded back-lobe.
+
+use vire_geom::Vec2;
+
+/// An antenna's azimuthal gain pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AntennaPattern {
+    /// Uniform gain in every direction.
+    Omni,
+    /// Cardioid: gain(θ) follows `(1 + cos θ)/2` in amplitude, where θ is
+    /// the angle off boresight; the power gain is floored at
+    /// `back_lobe_db` so the null is not infinitely deep.
+    Cardioid {
+        /// Boresight direction (need not be normalized).
+        boresight: Vec2,
+        /// Gain floor behind the antenna, dB (negative).
+        back_lobe_db: f64,
+    },
+}
+
+impl AntennaPattern {
+    /// A cardioid pointed along `boresight` with a −15 dB back lobe.
+    pub fn cardioid(boresight: Vec2) -> Self {
+        AntennaPattern::Cardioid {
+            boresight,
+            back_lobe_db: -15.0,
+        }
+    }
+
+    /// Gain (dB, ≤ 0) for a signal arriving from direction `arrival`
+    /// (the vector from the antenna toward the transmitter).
+    pub fn gain_db(&self, arrival: Vec2) -> f64 {
+        match *self {
+            AntennaPattern::Omni => 0.0,
+            AntennaPattern::Cardioid {
+                boresight,
+                back_lobe_db,
+            } => {
+                let (Some(b), Some(a)) = (boresight.normalized(), arrival.normalized()) else {
+                    return 0.0; // degenerate geometry: no attenuation
+                };
+                let cos_theta = b.dot(a).clamp(-1.0, 1.0);
+                let amplitude = (1.0 + cos_theta) / 2.0;
+                let power_db = 20.0 * amplitude.max(1e-6).log10();
+                power_db.max(back_lobe_db)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omni_is_flat() {
+        for k in 0..8 {
+            let a = Vec2::X.rotated(k as f64 * std::f64::consts::FRAC_PI_4);
+            assert_eq!(AntennaPattern::Omni.gain_db(a), 0.0);
+        }
+    }
+
+    #[test]
+    fn cardioid_boresight_is_unity() {
+        let p = AntennaPattern::cardioid(Vec2::X);
+        assert!(p.gain_db(Vec2::X).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cardioid_rolls_off_monotonically_to_the_back() {
+        let p = AntennaPattern::cardioid(Vec2::X);
+        let mut prev = 0.1;
+        for k in 0..=8 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let g = p.gain_db(Vec2::X.rotated(theta));
+            assert!(g <= prev + 1e-9, "gain must fall off boresight");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn cardioid_sides_are_minus_six_db() {
+        let p = AntennaPattern::cardioid(Vec2::X);
+        // θ = 90°: amplitude 1/2 → power −6.02 dB.
+        let g = p.gain_db(Vec2::Y);
+        assert!((g - -6.02).abs() < 0.01, "side gain {g}");
+    }
+
+    #[test]
+    fn back_lobe_is_floored() {
+        let p = AntennaPattern::cardioid(Vec2::X);
+        let g = p.gain_db(Vec2::new(-1.0, 0.0));
+        assert_eq!(g, -15.0);
+        let deep = AntennaPattern::Cardioid {
+            boresight: Vec2::X,
+            back_lobe_db: -40.0,
+        };
+        assert_eq!(deep.gain_db(Vec2::new(-1.0, 0.0)), -40.0);
+    }
+
+    #[test]
+    fn degenerate_directions_do_not_attenuate() {
+        let p = AntennaPattern::cardioid(Vec2::X);
+        assert_eq!(p.gain_db(Vec2::ZERO), 0.0);
+        let z = AntennaPattern::Cardioid {
+            boresight: Vec2::ZERO,
+            back_lobe_db: -15.0,
+        };
+        assert_eq!(z.gain_db(Vec2::X), 0.0);
+    }
+}

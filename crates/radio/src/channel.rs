@@ -1,0 +1,335 @@
+//! The composite RF channel.
+//!
+//! [`RfChannel`] assembles the substrate pieces into the measurement
+//! pipeline a reader sees:
+//!
+//! ```text
+//! RSSI = pathloss(‖tx−rx‖)              // log-distance mean
+//!      + multipath_gain(tx, rx)         // image-method wall ripple
+//!      + clutter(midpoint(tx, rx))      // deterministic furniture field
+//!      − obstruction_loss(tx, rx)       // through-obstacle attenuation
+//!      + N(0, σ_meas)                   // per-measurement noise
+//!      + spike(t)                       // human-movement transients
+//!      + interference(co-located tags)  // beacon collisions
+//! ```
+//!
+//! The first four terms are deterministic functions of geometry — they are
+//! the "environment" — so a reference tag and a tracking tag at the same
+//! position agree up to the small stochastic tail, exactly the property
+//! LANDMARC and VIRE exploit.
+
+use crate::field::{SinusoidField, SpatialField};
+use crate::interference::InterferenceModel;
+use crate::multipath::{ImageMethod, Reflector};
+use crate::noise::{GaussianNoise, SpikeNoise};
+use crate::pathloss::{LogDistance, PathLoss};
+use crate::Dbm;
+use vire_geom::{Point2, Segment};
+
+/// A lossy obstruction crossing the direct path (cabinet, partition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obstruction {
+    /// Obstruction footprint on the floor plan.
+    pub segment: Segment,
+    /// Attenuation added when the direct ray crosses it, dB.
+    pub loss_db: f64,
+}
+
+/// Everything needed to build an [`RfChannel`].
+#[derive(Debug, Clone)]
+pub struct ChannelParams {
+    /// Large-scale path loss.
+    pub pathloss: LogDistance,
+    /// Reflecting surfaces (walls, metal furniture edges).
+    pub reflectors: Vec<Reflector>,
+    /// Obstructions attenuating the direct ray.
+    pub obstructions: Vec<Obstruction>,
+    /// RMS amplitude of the deterministic clutter field, dB.
+    pub clutter_sigma_db: f64,
+    /// Spatial wavelength band of the clutter field, meters.
+    pub clutter_band: (f64, f64),
+    /// Per-measurement Gaussian noise σ, dB.
+    pub meas_sigma_db: f64,
+    /// Probability that a measurement is hit by a human-movement spike.
+    pub spike_prob: f64,
+    /// Spike magnitude range, dB.
+    pub spike_magnitude: (f64, f64),
+    /// Carrier wavelength, meters.
+    pub wavelength: f64,
+    /// Spatial aperture over which multipath power is averaged, meters —
+    /// models receiver bandwidth/antenna integration (see
+    /// [`ImageMethod::gain_db_smoothed`]). Zero disables the averaging.
+    pub multipath_aperture: f64,
+    /// Include second-order (double-bounce) reflections in the image
+    /// method. O(W²) per evaluation; off by default.
+    pub second_order_reflections: bool,
+    /// Master seed for all stochastic elements.
+    pub seed: u64,
+}
+
+impl ChannelParams {
+    /// A clean free-space channel: no walls, no clutter, no noise.
+    /// Useful as a test fixture and as the "theoretical" curve of Fig. 3.
+    pub fn ideal(pathloss: LogDistance) -> Self {
+        ChannelParams {
+            pathloss,
+            reflectors: Vec::new(),
+            obstructions: Vec::new(),
+            clutter_sigma_db: 0.0,
+            clutter_band: (0.5, 3.0),
+            meas_sigma_db: 0.0,
+            spike_prob: 0.0,
+            spike_magnitude: (0.0, 0.0),
+            wavelength: crate::carrier_wavelength(),
+            multipath_aperture: 0.0,
+            second_order_reflections: false,
+            seed: 0,
+        }
+    }
+}
+
+/// The assembled channel. See the module docs for the measurement equation.
+#[derive(Debug, Clone)]
+pub struct RfChannel {
+    pathloss: LogDistance,
+    multipath: ImageMethod,
+    multipath_aperture: f64,
+    obstructions: Vec<Obstruction>,
+    clutter: Option<SinusoidField>,
+    noise: GaussianNoise,
+    spike: SpikeNoise,
+    interference: InterferenceModel,
+}
+
+impl RfChannel {
+    /// Builds the channel from its parameters.
+    pub fn new(params: ChannelParams) -> Self {
+        let clutter = (params.clutter_sigma_db > 0.0).then(|| {
+            SinusoidField::new(
+                params.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                params.clutter_sigma_db,
+                params.clutter_band.0,
+                params.clutter_band.1,
+                16,
+            )
+        });
+        let mut multipath = ImageMethod::new(params.reflectors, params.wavelength);
+        if params.second_order_reflections {
+            multipath = multipath.with_second_order();
+        }
+        RfChannel {
+            pathloss: params.pathloss,
+            multipath,
+            multipath_aperture: params.multipath_aperture,
+            obstructions: params.obstructions,
+            clutter,
+            noise: GaussianNoise::new(params.seed.wrapping_add(1), params.meas_sigma_db),
+            spike: SpikeNoise::new(
+                params.seed.wrapping_add(2),
+                params.spike_prob,
+                params.spike_magnitude.0,
+                params.spike_magnitude.1,
+            ),
+            interference: InterferenceModel::paper_default(params.seed.wrapping_add(3)),
+        }
+    }
+
+    /// The deterministic (environment) part of the RSSI at this geometry.
+    ///
+    /// Two calls with the same `tx`/`rx` always return the same value —
+    /// this is the paper's "tags placed in the same position have similar
+    /// RSSI values" made exact.
+    pub fn mean_rssi(&self, tx: Point2, rx: Point2) -> Dbm {
+        let d = tx.distance(rx);
+        let mut rssi = self.pathloss.rssi_at(d)
+            + self
+                .multipath
+                .gain_db_smoothed(tx, rx, self.multipath_aperture);
+        if let Some(clutter) = &self.clutter {
+            // The clutter field perturbs the whole path; its value at the
+            // path midpoint is a deterministic surrogate that also differs
+            // across readers (different rx ⇒ different midpoint).
+            rssi += clutter.value(tx.midpoint(rx));
+        }
+        rssi -= self.obstruction_loss(tx, rx);
+        rssi
+    }
+
+    /// Total attenuation from obstructions the direct ray crosses.
+    pub fn obstruction_loss(&self, tx: Point2, rx: Point2) -> f64 {
+        let ray = Segment::new(tx, rx);
+        self.obstructions
+            .iter()
+            .filter(|o| ray.intersects(&o.segment))
+            .map(|o| o.loss_db)
+            .sum()
+    }
+
+    /// Draws one RSSI measurement: the deterministic mean plus the
+    /// stochastic tail (noise, spikes, beacon collisions).
+    ///
+    /// `co_located` is the number of tags transmitting from (nearly) the
+    /// same spot as `tx`, including the tag itself; pass 1 for a normally
+    /// spaced deployment.
+    pub fn measure(&mut self, tx: Point2, rx: Point2, co_located: usize) -> Dbm {
+        self.mean_rssi(tx, rx)
+            + self.noise.sample()
+            + self.spike.sample()
+            + self.interference.sample(co_located)
+    }
+
+    /// Convenience: `n` repeated measurements at the same geometry.
+    pub fn measure_n(&mut self, tx: Point2, rx: Point2, co_located: usize, n: usize) -> Vec<Dbm> {
+        (0..n).map(|_| self.measure(tx, rx, co_located)).collect()
+    }
+
+    /// Access to the multipath component (for inspection in experiments).
+    pub fn multipath(&self) -> &ImageMethod {
+        &self.multipath
+    }
+
+    /// Access to the path-loss component.
+    pub fn pathloss(&self) -> &LogDistance {
+        &self.pathloss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multipath::rectangular_room;
+
+    fn office_params(seed: u64) -> ChannelParams {
+        ChannelParams {
+            pathloss: LogDistance::new(-65.0, 2.7),
+            reflectors: rectangular_room(Point2::new(-2.0, -2.0), Point2::new(7.0, 7.0), 0.6),
+            obstructions: vec![Obstruction {
+                segment: Segment::new(Point2::new(3.0, -1.0), Point2::new(3.0, 1.0)),
+                loss_db: 6.0,
+            }],
+            clutter_sigma_db: 2.0,
+            clutter_band: (0.5, 3.0),
+            meas_sigma_db: 1.0,
+            spike_prob: 0.0,
+            spike_magnitude: (0.0, 0.0),
+            wavelength: crate::carrier_wavelength(),
+            multipath_aperture: 0.0,
+            second_order_reflections: false,
+            seed,
+        }
+    }
+
+    #[test]
+    fn ideal_channel_is_pure_pathloss() {
+        let pl = LogDistance::new(-65.0, 2.0);
+        let mut ch = RfChannel::new(ChannelParams::ideal(pl));
+        let tx = Point2::new(0.0, 0.0);
+        let rx = Point2::new(4.0, 0.0);
+        assert_eq!(ch.mean_rssi(tx, rx), pl.rssi_at(4.0));
+        // No stochastic terms: repeated measurements identical.
+        let a = ch.measure(tx, rx, 1);
+        let b = ch.measure(tx, rx, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_rssi_is_deterministic() {
+        let ch = RfChannel::new(office_params(5));
+        let tx = Point2::new(1.3, 2.1);
+        let rx = Point2::new(5.0, 5.0);
+        assert_eq!(ch.mean_rssi(tx, rx), ch.mean_rssi(tx, rx));
+    }
+
+    #[test]
+    fn same_position_same_mean_different_reader_different_mean() {
+        let ch = RfChannel::new(office_params(5));
+        let tag_a = Point2::new(2.0, 2.0);
+        let tag_b = Point2::new(2.0, 2.0);
+        let reader1 = Point2::new(-1.0, -1.0);
+        let reader2 = Point2::new(6.0, 6.0);
+        assert_eq!(ch.mean_rssi(tag_a, reader1), ch.mean_rssi(tag_b, reader1));
+        assert_ne!(ch.mean_rssi(tag_a, reader1), ch.mean_rssi(tag_a, reader2));
+    }
+
+    #[test]
+    fn measurements_scatter_around_mean() {
+        let mut ch = RfChannel::new(office_params(11));
+        let tx = Point2::new(1.0, 1.0);
+        let rx = Point2::new(5.0, 5.0);
+        let mean = ch.mean_rssi(tx, rx);
+        let samples = ch.measure_n(tx, rx, 1, 2000);
+        let avg = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((avg - mean).abs() < 0.1, "avg {avg} vs mean {mean}");
+        let sd = (samples.iter().map(|s| (s - avg).powi(2)).sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
+        assert!((sd - 1.0).abs() < 0.1, "σ {sd} should be ≈ 1.0");
+    }
+
+    #[test]
+    fn obstruction_attenuates_only_crossing_paths() {
+        let ch = RfChannel::new(office_params(0));
+        // Path crossing the obstruction at x = 3.
+        let blocked = ch.obstruction_loss(Point2::new(0.0, 0.0), Point2::new(6.0, 0.0));
+        assert_eq!(blocked, 6.0);
+        // Path passing above it.
+        let clear = ch.obstruction_loss(Point2::new(0.0, 2.0), Point2::new(6.0, 2.0));
+        assert_eq!(clear, 0.0);
+    }
+
+    #[test]
+    fn replay_with_same_seed_is_identical() {
+        let run = |seed| {
+            let mut ch = RfChannel::new(office_params(seed));
+            ch.measure_n(Point2::new(1.0, 1.0), Point2::new(4.0, 4.0), 1, 20)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn dense_tags_corrupt_measurements() {
+        let mut ch = RfChannel::new(office_params(3));
+        let tx = Point2::new(2.0, 0.0);
+        let rx = Point2::new(0.0, 0.0);
+        let sparse = ch.measure_n(tx, rx, 1, 500);
+        let dense = ch.measure_n(tx, rx, 20, 500);
+        let spread = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            (v.iter().map(|s| (s - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        assert!(
+            spread(&dense) > 3.0 * spread(&sparse),
+            "dense σ {} vs sparse σ {}",
+            spread(&dense),
+            spread(&sparse)
+        );
+    }
+
+    #[test]
+    fn closed_room_rssi_zigzags_with_distance() {
+        // The Fig. 3 shape: in a reflective room, mean RSSI vs distance is
+        // non-monotone even though the path-loss core is monotone.
+        let params = ChannelParams {
+            meas_sigma_db: 0.0,
+            clutter_sigma_db: 0.0,
+            ..office_params(1)
+        };
+        let ch = RfChannel::new(params);
+        let rx = Point2::new(0.0, 0.0);
+        let mut increases = 0;
+        let mut prev = ch.mean_rssi(Point2::new(0.5, 0.3), rx);
+        for k in 1..60 {
+            let d = 0.5 + 0.1 * k as f64;
+            let cur = ch.mean_rssi(Point2::new(d, 0.3), rx);
+            if cur > prev {
+                increases += 1;
+            }
+            prev = cur;
+        }
+        assert!(
+            increases >= 3,
+            "expected a zigzag (several local increases), saw {increases}"
+        );
+    }
+}

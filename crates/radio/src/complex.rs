@@ -1,0 +1,134 @@
+//! Minimal complex arithmetic for the image-method field sum.
+//!
+//! Only the operations the multipath model needs — we deliberately avoid an
+//! external complex-number dependency for four arithmetic operations.
+
+use std::ops::{Add, AddAssign, Mul};
+
+/// A complex number in Cartesian form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `r·e^{iθ}` in polar form.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex::new(r * c, r * s)
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Complex {
+        Complex::new(self.re * k, self.im * k)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, FRAC_PI_2);
+        assert!(close(z.re, 0.0) && close(z.im, 2.0));
+        assert!(close(z.abs(), 2.0));
+        assert!(close(z.arg(), FRAC_PI_2));
+    }
+
+    #[test]
+    fn multiplication_adds_phases() {
+        let a = Complex::from_polar(2.0, PI / 6.0);
+        let b = Complex::from_polar(3.0, PI / 3.0);
+        let p = a * b;
+        assert!(close(p.abs(), 6.0));
+        assert!(close(p.arg(), FRAC_PI_2));
+    }
+
+    #[test]
+    fn destructive_interference_cancels() {
+        let a = Complex::from_polar(1.0, 0.0);
+        let b = Complex::from_polar(1.0, PI);
+        assert!((a + b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructive_interference_doubles() {
+        let a = Complex::from_polar(1.0, 0.0);
+        let s = a + a;
+        assert!(close(s.abs(), 2.0));
+        assert!(close(s.abs_sq(), 4.0));
+    }
+
+    #[test]
+    fn scale_is_real_multiplication() {
+        let z = Complex::new(1.0, -2.0).scale(3.0);
+        assert_eq!(z, Complex::new(3.0, -6.0));
+    }
+}

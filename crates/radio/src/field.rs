@@ -1,0 +1,217 @@
+//! Deterministic spatial fields.
+//!
+//! Clutter that is too irregular to model wall-by-wall (office desks,
+//! chairs, cabling — the paper's Env3 furniture) is represented as a
+//! seeded, *deterministic* scalar field over the floor plan: a sum of
+//! random-direction sinusoids whose spatial wavelengths sit near the
+//! carrier wavelength. Determinism in position is essential — it preserves
+//! the paper's observation that tags at the same position read the same
+//! RSSI, while still decorrelating the field across positions (and across
+//! readers, which see different propagation paths and therefore get
+//! independently seeded fields).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vire_geom::Point2;
+
+/// A deterministic scalar field over the plane, in dB.
+pub trait SpatialField {
+    /// Field value at `p`, dB.
+    fn value(&self, p: Point2) -> f64;
+}
+
+/// The zero field.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroField;
+
+impl SpatialField for ZeroField {
+    fn value(&self, _p: Point2) -> f64 {
+        0.0
+    }
+}
+
+/// Sum-of-sinusoids field: `Σ aᵢ·sin(kᵢ·p + φᵢ)` with seeded random
+/// directions, spatial frequencies and phases.
+///
+/// `amplitude_db` sets the RMS amplitude of the summed field; individual
+/// component amplitudes are scaled so the RMS is amplitude-independent of
+/// the component count.
+#[derive(Debug, Clone)]
+pub struct SinusoidField {
+    components: Vec<SinComponent>,
+    bias: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SinComponent {
+    kx: f64,
+    ky: f64,
+    phase: f64,
+    amp: f64,
+}
+
+impl SinusoidField {
+    /// Creates a field.
+    ///
+    /// * `seed` — RNG seed; the same seed always produces the same field.
+    /// * `amplitude_db` — RMS amplitude of the field (its σ), dB.
+    /// * `min_wavelength`, `max_wavelength` — spatial period band, meters.
+    ///   For RF clutter pick a band around the carrier wavelength.
+    /// * `components` — number of sinusoids; 12–24 gives a convincingly
+    ///   irregular field.
+    ///
+    /// # Panics
+    /// Panics when the wavelength band is invalid or `components == 0`.
+    pub fn new(
+        seed: u64,
+        amplitude_db: f64,
+        min_wavelength: f64,
+        max_wavelength: f64,
+        components: usize,
+    ) -> Self {
+        assert!(components > 0, "need at least one component");
+        assert!(
+            min_wavelength > 0.0 && max_wavelength >= min_wavelength,
+            "invalid wavelength band"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Each sinusoid has RMS amp/√2; N of them sum (incoherently) to RMS
+        // amp·√(N/2). Scale so the total RMS equals amplitude_db.
+        let per_component = amplitude_db * (2.0 / components as f64).sqrt();
+        let comps = (0..components)
+            .map(|_| {
+                let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+                let wavelength = rng.gen_range(min_wavelength..=max_wavelength);
+                let k = std::f64::consts::TAU / wavelength;
+                SinComponent {
+                    kx: k * theta.cos(),
+                    ky: k * theta.sin(),
+                    phase: rng.gen_range(0.0..std::f64::consts::TAU),
+                    amp: per_component,
+                }
+            })
+            .collect();
+        SinusoidField {
+            components: comps,
+            bias: 0.0,
+        }
+    }
+
+    /// Adds a constant bias (dB) to every field value.
+    pub fn with_bias(mut self, bias_db: f64) -> Self {
+        self.bias = bias_db;
+        self
+    }
+}
+
+impl SpatialField for SinusoidField {
+    fn value(&self, p: Point2) -> f64 {
+        self.bias
+            + self
+                .components
+                .iter()
+                .map(|c| c.amp * (c.kx * p.x + c.ky * p.y + c.phase).sin())
+                .sum::<f64>()
+    }
+}
+
+/// A field scaled by a constant factor — used to derive weaker variants of
+/// a calibrated field without re-seeding.
+#[derive(Debug, Clone)]
+pub struct ScaledField<F> {
+    inner: F,
+    factor: f64,
+}
+
+impl<F: SpatialField> ScaledField<F> {
+    /// Wraps `inner`, multiplying its values by `factor`.
+    pub fn new(inner: F, factor: f64) -> Self {
+        ScaledField { inner, factor }
+    }
+}
+
+impl<F: SpatialField> SpatialField for ScaledField<F> {
+    fn value(&self, p: Point2) -> f64 {
+        self.factor * self.inner.value(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> SinusoidField {
+        SinusoidField::new(42, 2.0, 0.5, 3.0, 16)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = field();
+        let b = field();
+        for i in 0..50 {
+            let p = Point2::new(i as f64 * 0.37, i as f64 * -0.21);
+            assert_eq!(a.value(p), b.value(p));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_fields() {
+        let a = SinusoidField::new(1, 2.0, 0.5, 3.0, 16);
+        let b = SinusoidField::new(2, 2.0, 0.5, 3.0, 16);
+        let p = Point2::new(1.0, 1.0);
+        assert_ne!(a.value(p), b.value(p));
+    }
+
+    #[test]
+    fn rms_amplitude_close_to_requested() {
+        let f = SinusoidField::new(7, 3.0, 0.5, 2.0, 24);
+        let mut sum_sq = 0.0;
+        let n = 4000;
+        let mut rng_x = 0.0;
+        for i in 0..n {
+            rng_x += 0.177; // irrational-ish stride covers many periods
+            let p = Point2::new(rng_x, (i as f64 * 0.311) % 29.0);
+            sum_sq += f.value(p).powi(2);
+        }
+        let rms = (sum_sq / n as f64).sqrt();
+        assert!(
+            (rms - 3.0).abs() < 0.9,
+            "RMS {rms} should be near the requested 3.0 dB"
+        );
+    }
+
+    #[test]
+    fn zero_field_is_zero() {
+        assert_eq!(ZeroField.value(Point2::new(3.0, -2.0)), 0.0);
+    }
+
+    #[test]
+    fn bias_shifts_values() {
+        let base = field();
+        let biased = field().with_bias(5.0);
+        let p = Point2::new(0.3, 0.9);
+        assert!((biased.value(p) - base.value(p) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_field_scales() {
+        let f = field();
+        let half = ScaledField::new(field(), 0.5);
+        let p = Point2::new(2.0, 1.0);
+        assert!((half.value(p) - 0.5 * f.value(p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_varies_over_space() {
+        let f = field();
+        let v0 = f.value(Point2::new(0.0, 0.0));
+        let far = f.value(Point2::new(5.0, 5.0));
+        assert_ne!(v0, far);
+    }
+
+    #[test]
+    #[should_panic(expected = "wavelength band")]
+    fn invalid_band_panics() {
+        SinusoidField::new(0, 1.0, 2.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! # vire-radio
+//!
+//! RF propagation substrate for the VIRE reproduction.
+//!
+//! The paper evaluates VIRE on a physical testbed of RF Code active tags and
+//! readers in three rooms. This crate replaces that hardware with a
+//! physically-motivated channel model that reproduces the three empirical
+//! observations the algorithms depend on:
+//!
+//! 1. **Zigzag RSSI–distance curve** (paper Fig. 3): the mean received power
+//!    follows a log-distance law, but wall reflections create an
+//!    interference pattern so the curve is not monotone in detail. We model
+//!    this with the *image method* ([`multipath`]): each reflecting wall
+//!    contributes a mirrored ray whose phase depends on the excess path
+//!    length at the carrier wavelength (RF Code tags beacon at 303.8 MHz,
+//!    λ ≈ 0.99 m — room-scale ripple, matching the paper's remark that
+//!    Env3 is "filled with radio waves of similar wavelength").
+//! 2. **Same position ⇒ same RSSI** (§4.1): all position-dependent terms
+//!    (path loss, multipath, clutter fields) are deterministic functions of
+//!    the tag position; only a small per-measurement noise rides on top.
+//!    This is what makes reference-tag calibration work at all.
+//! 3. **Tag-density interference** (Fig. 4): beacon collisions corrupt RSSI
+//!    once too many tags transmit from the same spot ([`interference`]).
+//!
+//! The composite channel is assembled in [`channel::RfChannel`]. Every
+//! random element is seeded; a channel replayed with the same seed produces
+//! identical measurements.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod antenna;
+pub mod channel;
+pub mod complex;
+pub mod field;
+pub mod interference;
+pub mod multipath;
+pub mod noise;
+pub mod pathloss;
+pub mod quantize;
+pub mod stats;
+
+pub use antenna::AntennaPattern;
+pub use channel::{ChannelParams, RfChannel};
+pub use multipath::{ImageMethod, Reflector};
+pub use pathloss::{LogDistance, PathLoss};
+
+/// Received signal strength in dBm.
+///
+/// Kept as a plain `f64` alias: RSSI values flow through interpolation and
+/// weighting arithmetic constantly, and a newtype would force unwrapping at
+/// every arithmetic step for no added safety (all dBm in this codebase are
+/// produced by this crate).
+pub type Dbm = f64;
+
+/// Speed of light in m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// RF Code active-tag carrier frequency (Hz). The Spider III family used in
+/// LANDMARC-era deployments beacons at 303.8 MHz.
+pub const RF_CODE_FREQ_HZ: f64 = 303.8e6;
+
+/// Carrier wavelength (m) for [`RF_CODE_FREQ_HZ`] — about 0.99 m.
+pub fn carrier_wavelength() -> f64 {
+    SPEED_OF_LIGHT / RF_CODE_FREQ_HZ
+}
+
+/// Converts a power ratio to decibels.
+#[inline]
+pub fn ratio_to_db(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+/// Converts decibels to a power ratio.
+#[inline]
+pub fn db_to_ratio(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_is_about_one_meter() {
+        let l = carrier_wavelength();
+        assert!((0.9..1.1).contains(&l), "λ = {l}");
+    }
+
+    #[test]
+    fn db_ratio_round_trip() {
+        for &db in &[-30.0, -3.0, 0.0, 3.0, 10.0] {
+            let back = ratio_to_db(db_to_ratio(db));
+            assert!((back - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn db_landmarks() {
+        assert!((db_to_ratio(3.0) - 1.995).abs() < 0.01);
+        assert!((db_to_ratio(10.0) - 10.0).abs() < 1e-9);
+        assert!((ratio_to_db(100.0) - 20.0).abs() < 1e-12);
+    }
+}

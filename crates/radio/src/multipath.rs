@@ -1,0 +1,474 @@
+//! Image-method multipath model.
+//!
+//! Indoor walls reflect the beacon; the receiver sees the phasor sum of the
+//! direct ray and one mirrored ray per reflecting surface. Because the
+//! excess path length of each reflection varies with position on the scale
+//! of the carrier wavelength (~1 m at 303.8 MHz), the summed power ripples
+//! through space — the paper's "severe radio signal multi-path effects"
+//! that break LANDMARC in closed rooms.
+//!
+//! The model is entirely deterministic in the tag and reader positions,
+//! which preserves the paper's key empirical fact (§4.1): tags placed at
+//! the same position see the same RSSI.
+
+use crate::complex::Complex;
+use crate::{ratio_to_db, Dbm};
+use vire_geom::{Point2, Segment};
+
+/// A reflecting surface: a wall or large metallic obstacle edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reflector {
+    /// The surface footprint on the floor plan.
+    pub segment: Segment,
+    /// Amplitude reflection coefficient magnitude in `[0, 1]`.
+    /// Concrete ≈ 0.3–0.5, metal ≈ 0.8–0.95, drywall ≈ 0.1–0.25.
+    pub reflection: f64,
+}
+
+impl Reflector {
+    /// Creates a reflector.
+    ///
+    /// # Panics
+    /// Panics when `reflection` is outside `[0, 1]`.
+    pub fn new(segment: Segment, reflection: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&reflection),
+            "reflection coefficient must be within [0, 1]"
+        );
+        Reflector {
+            segment,
+            reflection,
+        }
+    }
+}
+
+/// First-order image-method multipath gain.
+///
+/// For a transmitter `tx` and receiver `rx`, the direct ray has unit
+/// amplitude reference and each valid reflected ray contributes
+/// `Γ · (d₀/dᵣ) · e^{jk(dᵣ−d₀)}` (amplitude scaled by the distance ratio,
+/// phase by the excess path, plus the π phase flip of reflection folded into
+/// a negative coefficient). The *gain* returned is the power of the sum
+/// relative to the direct ray alone, in dB — zero when no reflector is
+/// valid, positive under constructive and negative under destructive
+/// interference.
+#[derive(Debug, Clone)]
+pub struct ImageMethod {
+    reflectors: Vec<Reflector>,
+    wavelength: f64,
+    /// Gain floor (dB): deep fades are clipped here. Physical receivers
+    /// have a noise floor; an unclipped null would send RSSI to −∞.
+    pub fade_floor_db: f64,
+    /// Include second-order (double-bounce) images. Costs O(W²) per
+    /// evaluation; each double bounce carries Γ₁·Γ₂ ≤ 0.35 amplitude for
+    /// typical materials, so the default is off and the effect is studied
+    /// as an ablation.
+    pub second_order: bool,
+}
+
+impl ImageMethod {
+    /// Creates a model over the given reflectors at `wavelength` meters.
+    ///
+    /// # Panics
+    /// Panics when `wavelength` is not a positive finite number.
+    pub fn new(reflectors: Vec<Reflector>, wavelength: f64) -> Self {
+        assert!(
+            wavelength > 0.0 && wavelength.is_finite(),
+            "wavelength must be positive"
+        );
+        ImageMethod {
+            reflectors,
+            wavelength,
+            fade_floor_db: -25.0,
+            second_order: false,
+        }
+    }
+
+    /// Enables second-order (double-bounce) reflections.
+    pub fn with_second_order(mut self) -> Self {
+        self.second_order = true;
+        self
+    }
+
+    /// A model with no reflectors (free space): gain is identically 0 dB.
+    pub fn free_space(wavelength: f64) -> Self {
+        ImageMethod::new(Vec::new(), wavelength)
+    }
+
+    /// The reflectors in the model.
+    pub fn reflectors(&self) -> &[Reflector] {
+        &self.reflectors
+    }
+
+    /// Carrier wavelength in meters.
+    pub fn wavelength(&self) -> f64 {
+        self.wavelength
+    }
+
+    /// Multipath gain in dB at this tx→rx geometry (see type docs).
+    pub fn gain_db(&self, tx: Point2, rx: Point2) -> Dbm {
+        let d0 = tx.distance(rx).max(1e-3);
+        let k = std::f64::consts::TAU / self.wavelength; // wavenumber 2π/λ
+        let mut sum = Complex::ONE; // direct ray, unit amplitude, zero phase
+
+        for r in &self.reflectors {
+            if let Some(extra) = reflected_path_length(r.segment, tx, rx) {
+                let dr = extra.max(d0); // reflected path is never shorter
+                let amp = r.reflection * (d0 / dr);
+                // Reflection off a denser medium flips the phase (Γ < 0);
+                // fold the π shift into the excess-path phase.
+                let phase = k * (dr - d0) + std::f64::consts::PI;
+                sum += Complex::from_polar(amp, phase);
+            }
+        }
+
+        if self.second_order {
+            for (a, ra) in self.reflectors.iter().enumerate() {
+                for (b, rb) in self.reflectors.iter().enumerate() {
+                    if a == b {
+                        continue;
+                    }
+                    if let Some(dr) = double_bounce_path_length(ra.segment, rb.segment, tx, rx) {
+                        let dr = dr.max(d0);
+                        let amp = ra.reflection * rb.reflection * (d0 / dr);
+                        // Two π flips cancel: phase is pure excess path.
+                        let phase = k * (dr - d0);
+                        sum += Complex::from_polar(amp, phase);
+                    }
+                }
+            }
+        }
+
+        let gain = ratio_to_db(sum.abs_sq().max(1e-12));
+        gain.max(self.fade_floor_db)
+    }
+
+    /// Multipath gain averaged over a small spatial stencil around `tx`.
+    ///
+    /// A real receiver integrates over its antenna aperture and signal
+    /// bandwidth, and an RF Code tag is not a point source — deep
+    /// half-wavelength fringes are smeared out in measured RSSI. The
+    /// five-point stencil (center + 4 diagonal offsets at `aperture`
+    /// meters) averages received *power*, which attenuates sub-wavelength
+    /// fringes while preserving the room-scale interference structure.
+    pub fn gain_db_smoothed(&self, tx: Point2, rx: Point2, aperture: f64) -> Dbm {
+        if self.reflectors.is_empty() || aperture <= 0.0 {
+            return self.gain_db(tx, rx);
+        }
+        let d = aperture * std::f64::consts::FRAC_1_SQRT_2;
+        let stencil = [
+            tx,
+            Point2::new(tx.x + d, tx.y + d),
+            Point2::new(tx.x + d, tx.y - d),
+            Point2::new(tx.x - d, tx.y + d),
+            Point2::new(tx.x - d, tx.y - d),
+        ];
+        let mean_power: f64 = stencil
+            .iter()
+            .map(|&p| crate::db_to_ratio(self.gain_db(p, rx)))
+            .sum::<f64>()
+            / stencil.len() as f64;
+        ratio_to_db(mean_power.max(1e-12)).max(self.fade_floor_db)
+    }
+}
+
+/// Length of the single-bounce path tx → wall → rx, or `None` when the
+/// specular reflection point does not lie on the wall segment (no valid
+/// reflection) or either endpoint is on the wall's line.
+fn reflected_path_length(wall: Segment, tx: Point2, rx: Point2) -> Option<f64> {
+    let image = wall.mirror(tx);
+    // The reflected ray unfolds to the straight segment image→rx; it is
+    // valid iff that segment crosses the wall.
+    let unfolded = Segment::new(image, rx);
+    match unfolded.intersect(&wall) {
+        vire_geom::segment::SegmentIntersection::Point(_) => {
+            let len = image.distance(rx);
+            // Degenerate: tx on the wall line makes image == tx; the
+            // "reflection" would coincide with the direct ray.
+            let degenerate = (image - tx).norm_sq() < 1e-12;
+            (!degenerate && len > 1e-9).then_some(len)
+        }
+        _ => None,
+    }
+}
+
+/// Length of the double-bounce path tx → wall_a → wall_b → rx, or `None`
+/// when either specular point misses its wall segment.
+///
+/// Unfolding: mirror tx across wall_a (image T₁), then T₁ across wall_b
+/// (image T₁₂); the physical path length equals |T₁₂ − rx|. Validity walks
+/// the unfolded ray backwards: rx→T₁₂ must cross wall_b at P₂, and then
+/// P₂→T₁ must cross wall_a.
+fn double_bounce_path_length(
+    wall_a: Segment,
+    wall_b: Segment,
+    tx: Point2,
+    rx: Point2,
+) -> Option<f64> {
+    let t1 = wall_a.mirror(tx);
+    if (t1 - tx).norm_sq() < 1e-12 {
+        return None; // tx on wall_a's line: degenerate
+    }
+    let t12 = wall_b.mirror(t1);
+    if (t12 - t1).norm_sq() < 1e-12 {
+        return None;
+    }
+    // Last leg: rx back toward the double image must hit wall_b.
+    let p2 = match Segment::new(rx, t12).intersect(&wall_b) {
+        vire_geom::segment::SegmentIntersection::Point(p) => p,
+        _ => return None,
+    };
+    // Middle leg: from that bounce point toward the first image must hit
+    // wall_a.
+    match Segment::new(p2, t1).intersect(&wall_a) {
+        vire_geom::segment::SegmentIntersection::Point(_) => {}
+        _ => return None,
+    }
+    let len = t12.distance(rx);
+    (len > 1e-9).then_some(len)
+}
+
+/// Convenience: builds four [`Reflector`]s for the walls of a rectangular
+/// room, all with the same reflection coefficient.
+pub fn rectangular_room(min: Point2, max: Point2, reflection: f64) -> Vec<Reflector> {
+    let a = min;
+    let b = Point2::new(max.x, min.y);
+    let c = max;
+    let d = Point2::new(min.x, max.y);
+    [
+        Segment::new(a, b),
+        Segment::new(b, c),
+        Segment::new(c, d),
+        Segment::new(d, a),
+    ]
+    .into_iter()
+    .map(|s| Reflector::new(s, reflection))
+    .collect()
+}
+
+/// Two-ray sanity helper: gain of a single infinite wall at distance `h`
+/// behind the receiver, on the tx→rx axis — used by tests to compare against
+/// the closed-form two-ray solution.
+pub fn two_ray_gain_db(d_direct: f64, d_reflected: f64, reflection: f64, wavelength: f64) -> Dbm {
+    let k = std::f64::consts::TAU / wavelength;
+    let amp = reflection * (d_direct / d_reflected);
+    let phase = k * (d_reflected - d_direct) + std::f64::consts::PI;
+    let sum = Complex::ONE + Complex::from_polar(amp, phase);
+    ratio_to_db(sum.abs_sq().max(1e-12))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavelength() -> f64 {
+        crate::carrier_wavelength()
+    }
+
+    #[test]
+    fn no_reflectors_means_zero_gain() {
+        let m = ImageMethod::free_space(wavelength());
+        let g = m.gain_db(Point2::new(0.0, 0.0), Point2::new(5.0, 1.0));
+        assert!(g.abs() < 1e-9);
+    }
+
+    #[test]
+    fn reflection_changes_gain() {
+        let wall = Reflector::new(
+            Segment::new(Point2::new(-10.0, 3.0), Point2::new(10.0, 3.0)),
+            0.6,
+        );
+        let m = ImageMethod::new(vec![wall], wavelength());
+        let g = m.gain_db(Point2::new(0.0, 0.0), Point2::new(4.0, 0.0));
+        assert!(g.abs() > 1e-3, "wall reflection should perturb gain, g = {g}");
+        assert!(g >= m.fade_floor_db);
+    }
+
+    #[test]
+    fn reflection_invalid_when_specular_point_off_segment() {
+        // Short wall far to the side: the mirror ray cannot hit it.
+        let wall = Reflector::new(
+            Segment::new(Point2::new(100.0, 3.0), Point2::new(101.0, 3.0)),
+            0.9,
+        );
+        let m = ImageMethod::new(vec![wall], wavelength());
+        let g = m.gain_db(Point2::new(0.0, 0.0), Point2::new(4.0, 0.0));
+        assert!(g.abs() < 1e-9, "invalid reflection must contribute nothing");
+    }
+
+    #[test]
+    fn gain_is_deterministic_in_position() {
+        let walls = rectangular_room(Point2::new(-5.0, -5.0), Point2::new(5.0, 5.0), 0.5);
+        let m = ImageMethod::new(walls, wavelength());
+        let tx = Point2::new(1.2, -0.7);
+        let rx = Point2::new(-3.0, 2.0);
+        assert_eq!(m.gain_db(tx, rx), m.gain_db(tx, rx));
+    }
+
+    #[test]
+    fn closer_walls_produce_stronger_ripple() {
+        // Sample the gain along a line; the standard deviation of the gain
+        // must be larger in a small room than in a large one.
+        let lam = wavelength();
+        let small = ImageMethod::new(
+            rectangular_room(Point2::new(-1.0, -1.0), Point2::new(6.0, 6.0), 0.6),
+            lam,
+        );
+        let large = ImageMethod::new(
+            rectangular_room(Point2::new(-20.0, -20.0), Point2::new(25.0, 25.0), 0.6),
+            lam,
+        );
+        let rx = Point2::new(0.0, 0.0);
+        let spread = |m: &ImageMethod| {
+            let mut vals = Vec::new();
+            for i in 0..60 {
+                let tx = Point2::new(0.5 + i as f64 * 0.05, 1.0 + i as f64 * 0.03);
+                vals.push(m.gain_db(tx, rx));
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        assert!(
+            spread(&small) > 2.0 * spread(&large),
+            "small-room ripple {} should far exceed large-room {}",
+            spread(&small),
+            spread(&large)
+        );
+    }
+
+    #[test]
+    fn fade_floor_limits_destructive_nulls() {
+        let wall = Reflector::new(
+            Segment::new(Point2::new(-50.0, 2.0), Point2::new(50.0, 2.0)),
+            1.0,
+        );
+        let m = ImageMethod::new(vec![wall], wavelength());
+        // Scan many geometries; even at a perfect null the gain is clipped.
+        for i in 0..400 {
+            let rx = Point2::new(2.0 + i as f64 * 0.01, 0.0);
+            let g = m.gain_db(Point2::new(0.0, 0.0), rx);
+            assert!(g >= m.fade_floor_db);
+            assert!(g.is_finite());
+        }
+    }
+
+    #[test]
+    fn constructive_gain_bounded_by_6db_single_wall() {
+        // One reflected ray of amplitude ≤ 1 can at most double the field:
+        // |1 + 1|² = 4 → +6.02 dB.
+        let wall = Reflector::new(
+            Segment::new(Point2::new(-50.0, 2.0), Point2::new(50.0, 2.0)),
+            1.0,
+        );
+        let m = ImageMethod::new(vec![wall], wavelength());
+        for i in 0..400 {
+            let rx = Point2::new(1.0 + i as f64 * 0.02, 0.5);
+            let g = m.gain_db(Point2::new(0.0, 0.0), rx);
+            assert!(g <= 6.03, "single-wall gain exceeded +6 dB: {g}");
+        }
+    }
+
+    #[test]
+    fn rectangular_room_has_four_walls() {
+        let walls = rectangular_room(Point2::new(0.0, 0.0), Point2::new(4.0, 3.0), 0.4);
+        assert_eq!(walls.len(), 4);
+        let total_len: f64 = walls.iter().map(|w| w.segment.length()).sum();
+        assert!((total_len - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "reflection coefficient")]
+    fn reflector_rejects_out_of_range_coefficient() {
+        Reflector::new(
+            Segment::new(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)),
+            1.5,
+        );
+    }
+
+    #[test]
+    fn second_order_changes_the_field_in_a_closed_room() {
+        let lam = wavelength();
+        let walls = rectangular_room(Point2::new(-2.0, -2.0), Point2::new(5.0, 5.0), 0.6);
+        let first = ImageMethod::new(walls.clone(), lam);
+        let second = ImageMethod::new(walls, lam).with_second_order();
+        let tx = Point2::new(0.7, 1.3);
+        let rx = Point2::new(3.5, 2.8);
+        let (g1, g2) = (first.gain_db(tx, rx), second.gain_db(tx, rx));
+        assert!((g1 - g2).abs() > 1e-3, "double bounces should matter: {g1} vs {g2}");
+        assert!(g2.is_finite() && g2 >= second.fade_floor_db);
+    }
+
+    #[test]
+    fn second_order_is_a_perturbation_not_a_rewrite() {
+        // Γ² ≤ 0.36 for concrete: the double-bounce field shifts the gain
+        // by a few dB, it does not replace the first-order structure.
+        let lam = wavelength();
+        let walls = rectangular_room(Point2::new(-2.0, -2.0), Point2::new(5.0, 5.0), 0.55);
+        let first = ImageMethod::new(walls.clone(), lam);
+        let second = ImageMethod::new(walls, lam).with_second_order();
+        let rx = Point2::new(-1.0, -1.0);
+        let mut total_diff = 0.0;
+        let mut n = 0;
+        for i in 0..6 {
+            for j in 0..6 {
+                let tx = Point2::new(0.25 + i as f64 * 0.5, 0.25 + j as f64 * 0.5);
+                let (g1, g2) = (first.gain_db(tx, rx), second.gain_db(tx, rx));
+                if g1 > first.fade_floor_db + 1.0 {
+                    total_diff += (g1 - g2).abs();
+                    n += 1;
+                }
+            }
+        }
+        let mean_diff = total_diff / n as f64;
+        assert!(mean_diff < 6.0, "mean |Δ| {mean_diff:.2} dB too large");
+    }
+
+    #[test]
+    fn parallel_mirror_walls_produce_valid_double_bounce() {
+        // tx between two parallel walls: the classic corridor double image
+        // exists and its path is longer than the direct one.
+        let wall_a = Segment::new(Point2::new(-10.0, 2.0), Point2::new(10.0, 2.0));
+        let wall_b = Segment::new(Point2::new(-10.0, -2.0), Point2::new(10.0, -2.0));
+        let tx = Point2::new(0.0, 0.0);
+        let rx = Point2::new(4.0, 0.5);
+        let d = double_bounce_path_length(wall_a, wall_b, tx, rx)
+            .expect("corridor double bounce exists");
+        assert!(d > tx.distance(rx));
+    }
+
+    #[test]
+    fn double_bounce_invalid_when_walls_cannot_chain() {
+        // Both walls far on the same side, short: no valid specular chain.
+        let wall_a = Segment::new(Point2::new(50.0, 2.0), Point2::new(51.0, 2.0));
+        let wall_b = Segment::new(Point2::new(60.0, 3.0), Point2::new(61.0, 3.0));
+        assert!(double_bounce_path_length(
+            wall_a,
+            wall_b,
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn two_ray_matches_image_method_on_axis_geometry() {
+        // tx at origin, rx at (d, 0), wall along y = h above both: the
+        // reflected path length is the classic √(d² + 4h²)... computed via
+        // the image at (0, 2h).
+        let lam = wavelength();
+        let h = 2.0;
+        let d = 5.0;
+        let wall = Reflector::new(
+            Segment::new(Point2::new(-100.0, h), Point2::new(100.0, h)),
+            0.7,
+        );
+        let m = ImageMethod::new(vec![wall], lam);
+        let g_model = m.gain_db(Point2::new(0.0, 0.0), Point2::new(d, 0.0));
+        let d_ref = (d * d + 4.0 * h * h).sqrt();
+        let g_closed = two_ray_gain_db(d, d_ref, 0.7, lam);
+        assert!(
+            (g_model - g_closed).abs() < 1e-9,
+            "{g_model} vs {g_closed}"
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-measurement noise processes.
+//!
+//! Fast, position-independent fluctuations: receiver thermal noise and the
+//! transient spikes caused by people walking through the sensing area
+//! (paper §4.1, "a sudden change of the RSSI value occurred when a person
+//! walked through the testing region").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Gaussian measurement noise via the Box–Muller transform.
+///
+/// `rand` 0.8 exposes no normal distribution without `rand_distr`; the two
+/// lines of Box–Muller keep the dependency set to the approved list.
+#[derive(Debug, Clone)]
+pub struct GaussianNoise {
+    sigma: f64,
+    rng: SmallRng,
+    /// Cached second Box–Muller deviate.
+    spare: Option<f64>,
+}
+
+impl GaussianNoise {
+    /// Creates a noise source with standard deviation `sigma` (dB).
+    ///
+    /// # Panics
+    /// Panics when `sigma` is negative or non-finite.
+    pub fn new(seed: u64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        GaussianNoise {
+            sigma,
+            rng: SmallRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one noise sample (mean 0, std `sigma`).
+    pub fn sample(&mut self) -> f64 {
+        if self.sigma == 0.0 {
+            return 0.0;
+        }
+        self.sigma * self.standard_normal()
+    }
+
+    /// Draws a standard-normal deviate.
+    fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms → two independent normals.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// Transient spike process modeling human movement through the sensing
+/// area: with probability `spike_prob` a measurement is corrupted by a
+/// large negative excursion (bodies absorb; occasionally reflections add).
+#[derive(Debug, Clone)]
+pub struct SpikeNoise {
+    /// Probability that any given measurement is hit by a spike.
+    spike_prob: f64,
+    /// Spike magnitude range, dB (sampled uniformly; sign is 80 % negative).
+    magnitude: (f64, f64),
+    rng: SmallRng,
+}
+
+impl SpikeNoise {
+    /// Creates a spike process.
+    ///
+    /// # Panics
+    /// Panics when `spike_prob` is outside `[0, 1]` or the magnitude range
+    /// is invalid.
+    pub fn new(seed: u64, spike_prob: f64, min_magnitude: f64, max_magnitude: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&spike_prob),
+            "spike probability must be within [0, 1]"
+        );
+        assert!(
+            0.0 <= min_magnitude && min_magnitude <= max_magnitude,
+            "invalid magnitude range"
+        );
+        SpikeNoise {
+            spike_prob,
+            magnitude: (min_magnitude, max_magnitude),
+            rng: SmallRng::seed_from_u64(seed ^ 0x5eed_5eed),
+        }
+    }
+
+    /// A process that never spikes.
+    pub fn disabled() -> Self {
+        SpikeNoise::new(0, 0.0, 0.0, 0.0)
+    }
+
+    /// Draws the spike contribution for one measurement (usually zero).
+    pub fn sample(&mut self) -> f64 {
+        if self.spike_prob == 0.0 || self.rng.gen::<f64>() >= self.spike_prob {
+            return 0.0;
+        }
+        let mag = if self.magnitude.0 == self.magnitude.1 {
+            self.magnitude.0
+        } else {
+            self.rng.gen_range(self.magnitude.0..=self.magnitude.1)
+        };
+        // Bodies mostly absorb: 80 % of spikes are drops.
+        if self.rng.gen::<f64>() < 0.8 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_silent() {
+        let mut n = GaussianNoise::new(1, 0.0);
+        for _ in 0..100 {
+            assert_eq!(n.sample(), 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_stats_match_sigma() {
+        let mut n = GaussianNoise::new(7, 2.0);
+        let count = 20_000;
+        let samples: Vec<f64> = (0..count).map(|_| n.sample()).collect();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / count as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let a: Vec<f64> = {
+            let mut n = GaussianNoise::new(99, 1.5);
+            (0..50).map(|_| n.sample()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut n = GaussianNoise::new(99, 1.5);
+            (0..50).map(|_| n.sample()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = GaussianNoise::new(1, 1.0);
+        let mut b = GaussianNoise::new(2, 1.0);
+        let va: Vec<f64> = (0..10).map(|_| a.sample()).collect();
+        let vb: Vec<f64> = (0..10).map(|_| b.sample()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn negative_sigma_panics() {
+        GaussianNoise::new(0, -1.0);
+    }
+
+    #[test]
+    fn disabled_spikes_never_fire() {
+        let mut s = SpikeNoise::disabled();
+        for _ in 0..1000 {
+            assert_eq!(s.sample(), 0.0);
+        }
+    }
+
+    #[test]
+    fn spike_rate_is_approximately_prob() {
+        let mut s = SpikeNoise::new(3, 0.1, 5.0, 15.0);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| s.sample() != 0.0).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn spikes_are_mostly_negative_and_in_range() {
+        let mut s = SpikeNoise::new(5, 1.0, 5.0, 15.0);
+        let samples: Vec<f64> = (0..2000).map(|_| s.sample()).collect();
+        let neg = samples.iter().filter(|&&v| v < 0.0).count();
+        assert!(neg as f64 / samples.len() as f64 > 0.7);
+        for v in samples {
+            assert!((5.0..=15.0).contains(&v.abs()), "magnitude {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_spike_prob_panics() {
+        SpikeNoise::new(0, 1.5, 1.0, 2.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Large-scale path-loss models.
+//!
+//! The paper (§2) notes the inverse-square free-space law and that indoors
+//! "the relationship may change to a three or four power depending on the
+//! environment". The log-distance model captures exactly that: a reference
+//! power at 1 m plus a 10·γ·log₁₀(d) roll-off with an environment-dependent
+//! exponent γ.
+
+use crate::Dbm;
+
+/// A large-scale path-loss model: mean received power as a function of
+/// transmitter–receiver distance.
+pub trait PathLoss {
+    /// Mean RSSI (dBm) at distance `d` meters. `d` is clamped below to a
+    /// small positive value so co-located antennas do not produce +∞.
+    fn rssi_at(&self, d: f64) -> Dbm;
+}
+
+/// Log-distance path loss: `RSSI(d) = p_ref − 10·γ·log₁₀(d / d_ref)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDistance {
+    /// RSSI at the reference distance, dBm.
+    pub p_ref: Dbm,
+    /// Reference distance, meters (conventionally 1 m).
+    pub d_ref: f64,
+    /// Path-loss exponent γ: 2 in free space, 2.5–4 indoors.
+    pub exponent: f64,
+}
+
+impl LogDistance {
+    /// Minimum distance used in evaluation; closer ranges are clamped.
+    pub const MIN_DISTANCE: f64 = 0.05;
+
+    /// Creates a model with the given reference power at 1 m and exponent.
+    pub fn new(p_ref_at_1m: Dbm, exponent: f64) -> Self {
+        LogDistance {
+            p_ref: p_ref_at_1m,
+            d_ref: 1.0,
+            exponent,
+        }
+    }
+
+    /// Free-space model (γ = 2) with the given 1 m reference power.
+    pub fn free_space(p_ref_at_1m: Dbm) -> Self {
+        LogDistance::new(p_ref_at_1m, 2.0)
+    }
+
+    /// The distance at which this model predicts `rssi`, the inverse of
+    /// [`PathLoss::rssi_at`]. Used by the trilateration baseline.
+    pub fn distance_for(&self, rssi: Dbm) -> f64 {
+        self.d_ref * 10f64.powf((self.p_ref - rssi) / (10.0 * self.exponent))
+    }
+}
+
+impl PathLoss for LogDistance {
+    fn rssi_at(&self, d: f64) -> Dbm {
+        let d = d.max(Self::MIN_DISTANCE);
+        self.p_ref - 10.0 * self.exponent * (d / self.d_ref).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn reference_distance_returns_reference_power() {
+        let m = LogDistance::new(-65.0, 2.7);
+        assert!(close(m.rssi_at(1.0), -65.0));
+    }
+
+    #[test]
+    fn free_space_drops_6db_per_doubling() {
+        let m = LogDistance::free_space(-60.0);
+        let drop = m.rssi_at(2.0) - m.rssi_at(4.0);
+        assert!((drop - 6.02).abs() < 0.01);
+    }
+
+    #[test]
+    fn higher_exponent_decays_faster() {
+        let open = LogDistance::new(-65.0, 2.0);
+        let office = LogDistance::new(-65.0, 3.5);
+        assert!(office.rssi_at(10.0) < open.rssi_at(10.0));
+        assert!(close(office.rssi_at(1.0), open.rssi_at(1.0)));
+    }
+
+    #[test]
+    fn paper_fig3_range_is_plausible() {
+        // Fig. 3 spans roughly -65 dBm near the reader to about -100 dBm at
+        // 20 m. γ = 2.7 with -65 dBm at 1 m lands in that band.
+        let m = LogDistance::new(-65.0, 2.7);
+        let far = m.rssi_at(20.0);
+        assert!((-102.0..=-95.0).contains(&far), "rssi(20 m) = {far}");
+    }
+
+    #[test]
+    fn monotone_decreasing_in_distance() {
+        let m = LogDistance::new(-60.0, 3.0);
+        let mut prev = m.rssi_at(0.1);
+        for k in 1..200 {
+            let d = 0.1 + k as f64 * 0.1;
+            let cur = m.rssi_at(d);
+            assert!(cur < prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn zero_distance_is_clamped_finite() {
+        let m = LogDistance::new(-60.0, 2.0);
+        assert!(m.rssi_at(0.0).is_finite());
+        assert!(close(m.rssi_at(0.0), m.rssi_at(LogDistance::MIN_DISTANCE)));
+    }
+
+    #[test]
+    fn distance_inversion_round_trips() {
+        let m = LogDistance::new(-65.0, 2.7);
+        for &d in &[0.5, 1.0, 3.3, 10.0, 20.0] {
+            let r = m.rssi_at(d);
+            let back = m.distance_for(r);
+            assert!((back - d).abs() < 1e-9, "{d} -> {r} -> {back}");
+        }
+    }
+}

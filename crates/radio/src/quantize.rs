@@ -1,0 +1,174 @@
+//! Discrete power-level quantization.
+//!
+//! The original LANDMARC equipment could not report RSSI directly: readers
+//! exposed only eight discrete power levels (level 1 nearest … level 8
+//! farthest), and the authors estimated signal strength from those levels —
+//! one of the pitfalls §3.1 lists. The improved equipment reports dBm
+//! directly. This module emulates the old behaviour so the reproduction can
+//! quantify how much accuracy direct RSSI buys (an ablation the paper
+//! implies but does not plot).
+
+use crate::Dbm;
+
+/// Quantizer mapping continuous RSSI to the legacy 8 power levels and back.
+#[derive(Debug, Clone)]
+pub struct PowerLevelQuantizer {
+    /// Level boundaries in dBm, descending: a reading above
+    /// `boundaries[0]` is level 1; below `boundaries[6]` is level 8.
+    boundaries: [Dbm; 7],
+    /// Representative RSSI per level (dBm), used for the inverse map.
+    representatives: [Dbm; 8],
+}
+
+impl PowerLevelQuantizer {
+    /// Quantizer spanning `strongest..weakest` dBm in eight equal bands.
+    ///
+    /// # Panics
+    /// Panics unless `strongest > weakest` (dBm are negative; a strong
+    /// signal is the larger number).
+    pub fn uniform(strongest: Dbm, weakest: Dbm) -> Self {
+        assert!(
+            strongest > weakest,
+            "strongest must exceed weakest (e.g. -60 > -100)"
+        );
+        let step = (strongest - weakest) / 8.0;
+        let mut boundaries = [0.0; 7];
+        for (k, b) in boundaries.iter_mut().enumerate() {
+            *b = strongest - step * (k + 1) as f64;
+        }
+        let mut representatives = [0.0; 8];
+        for (k, r) in representatives.iter_mut().enumerate() {
+            *r = strongest - step * (k as f64 + 0.5);
+        }
+        PowerLevelQuantizer {
+            boundaries,
+            representatives,
+        }
+    }
+
+    /// Default calibration matching the Fig. 3 dynamic range
+    /// (−65 dBm near the reader, −100 dBm at the range limit).
+    pub fn paper_default() -> Self {
+        PowerLevelQuantizer::uniform(-65.0, -100.0)
+    }
+
+    /// Quantizes an RSSI reading to a power level in `1..=8`
+    /// (1 = strongest/nearest, 8 = weakest/farthest).
+    pub fn level(&self, rssi: Dbm) -> u8 {
+        for (k, &b) in self.boundaries.iter().enumerate() {
+            if rssi > b {
+                return (k + 1) as u8;
+            }
+        }
+        8
+    }
+
+    /// Representative RSSI for a level — the legacy pipeline's best
+    /// estimate of signal strength.
+    ///
+    /// # Panics
+    /// Panics when `level` is outside `1..=8`.
+    pub fn representative(&self, level: u8) -> Dbm {
+        assert!((1..=8).contains(&level), "power level must be 1..=8");
+        self.representatives[(level - 1) as usize]
+    }
+
+    /// Round-trips an RSSI through the quantizer: what the legacy
+    /// equipment would have reported.
+    pub fn degrade(&self, rssi: Dbm) -> Dbm {
+        self.representative(self.level(rssi))
+    }
+
+    /// Worst-case quantization error (half a band width).
+    pub fn max_error(&self) -> f64 {
+        // Bands are uniform; band width is the gap between representatives.
+        (self.representatives[0] - self.representatives[1]).abs() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_signal_is_level_1() {
+        let q = PowerLevelQuantizer::paper_default();
+        assert_eq!(q.level(-60.0), 1);
+        assert_eq!(q.level(-66.0), 1);
+    }
+
+    #[test]
+    fn weak_signal_is_level_8() {
+        let q = PowerLevelQuantizer::paper_default();
+        assert_eq!(q.level(-99.0), 8);
+        assert_eq!(q.level(-120.0), 8);
+    }
+
+    #[test]
+    fn levels_are_monotone_in_rssi() {
+        let q = PowerLevelQuantizer::paper_default();
+        let mut prev = q.level(-60.0);
+        for k in 0..100 {
+            let rssi = -60.0 - 0.45 * k as f64;
+            let cur = q.level(rssi);
+            assert!(cur >= prev, "level must not decrease as signal weakens");
+            prev = cur;
+        }
+        assert_eq!(prev, 8);
+    }
+
+    #[test]
+    fn all_eight_levels_reachable() {
+        let q = PowerLevelQuantizer::paper_default();
+        let mut seen = [false; 8];
+        for k in 0..400 {
+            let rssi = -64.0 - 0.1 * k as f64;
+            seen[(q.level(rssi) - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "levels seen: {seen:?}");
+    }
+
+    #[test]
+    fn representative_is_inside_its_band() {
+        let q = PowerLevelQuantizer::paper_default();
+        for level in 1..=8u8 {
+            let rep = q.representative(level);
+            assert_eq!(q.level(rep), level, "representative of {level} mapped back");
+        }
+    }
+
+    #[test]
+    fn degrade_error_bounded_by_max_error() {
+        let q = PowerLevelQuantizer::paper_default();
+        for k in 0..700 {
+            let rssi = -65.0 - 0.05 * k as f64;
+            let err = (q.degrade(rssi) - rssi).abs();
+            assert!(
+                err <= q.max_error() + 1e-9,
+                "rssi {rssi}: error {err} > {}",
+                q.max_error()
+            );
+        }
+    }
+
+    #[test]
+    fn degrade_is_idempotent() {
+        let q = PowerLevelQuantizer::paper_default();
+        for &rssi in &[-66.0, -72.5, -88.0, -99.9] {
+            let once = q.degrade(rssi);
+            assert_eq!(q.degrade(once), once);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power level")]
+    fn representative_rejects_level_0() {
+        PowerLevelQuantizer::paper_default().representative(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strongest")]
+    fn uniform_rejects_inverted_range() {
+        PowerLevelQuantizer::uniform(-100.0, -65.0);
+    }
+}

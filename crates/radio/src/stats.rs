@@ -1,0 +1,144 @@
+//! Channel characterization: empirical statistics of the simulated field.
+//!
+//! DESIGN.md §4 claims the substrate reproduces specific spatial
+//! statistics — strong but *smooth* distortion, closed rooms rougher than
+//! open areas. This module measures those statistics from a channel the
+//! same way a site survey would (probe lattice, sample, correlate), so the
+//! claims are checkable instead of asserted.
+
+use crate::channel::RfChannel;
+use crate::pathloss::PathLoss;
+use vire_geom::Point2;
+
+/// Empirical spatial statistics of a channel's deterministic field,
+/// measured against one reader over a probe lattice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelStats {
+    /// Standard deviation of the distortion (mean RSSI minus the pure
+    /// path-loss trend), dB.
+    pub distortion_sigma_db: f64,
+    /// Lag distance at which the distortion's spatial autocorrelation
+    /// first falls below 1/e, meters — the field's correlation length.
+    pub correlation_length_m: f64,
+    /// Probe count used.
+    pub probes: usize,
+}
+
+/// Surveys `channel` against a reader at `reader_pos` over a `side × side`
+/// probe lattice spanning `area_min..area_min + extent` (square).
+///
+/// # Panics
+/// Panics when `side < 8` (too few probes for a correlation estimate) or
+/// `extent` is not positive.
+pub fn survey(
+    channel: &RfChannel,
+    reader_pos: Point2,
+    area_min: Point2,
+    extent: f64,
+    side: usize,
+) -> ChannelStats {
+    assert!(side >= 8, "need at least an 8x8 probe lattice");
+    assert!(extent > 0.0, "extent must be positive");
+    let pitch = extent / (side - 1) as f64;
+
+    // Distortion = deterministic mean minus the path-loss trend.
+    let mut distortion = vec![0.0f64; side * side];
+    for j in 0..side {
+        for i in 0..side {
+            let p = Point2::new(area_min.x + i as f64 * pitch, area_min.y + j as f64 * pitch);
+            let trend = channel.pathloss().rssi_at(p.distance(reader_pos));
+            distortion[j * side + i] = channel.mean_rssi(p, reader_pos) - trend;
+        }
+    }
+    let n = distortion.len() as f64;
+    let mean = distortion.iter().sum::<f64>() / n;
+    let var = distortion.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n;
+    let sigma = var.sqrt();
+
+    // Isotropic autocorrelation along the x axis, averaged over rows.
+    let mut corr_len = extent; // default: longer than the surveyed area
+    if var > 1e-12 {
+        for lag in 1..side {
+            let mut acc = 0.0;
+            let mut count = 0usize;
+            for j in 0..side {
+                for i in 0..side - lag {
+                    let a = distortion[j * side + i] - mean;
+                    let b = distortion[j * side + i + lag] - mean;
+                    acc += a * b;
+                    count += 1;
+                }
+            }
+            let rho = acc / count as f64 / var;
+            if rho < (-1.0f64).exp() {
+                corr_len = lag as f64 * pitch;
+                break;
+            }
+        }
+    }
+
+    ChannelStats {
+        distortion_sigma_db: sigma,
+        correlation_length_m: corr_len,
+        probes: side * side,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelParams;
+    use crate::pathloss::LogDistance;
+
+    fn channel_with(clutter: f64, band: (f64, f64), seed: u64) -> RfChannel {
+        RfChannel::new(ChannelParams {
+            clutter_sigma_db: clutter,
+            clutter_band: band,
+            seed,
+            ..ChannelParams::ideal(LogDistance::new(-65.0, 2.7))
+        })
+    }
+
+    #[test]
+    fn ideal_channel_has_no_distortion() {
+        let ch = RfChannel::new(ChannelParams::ideal(LogDistance::new(-65.0, 2.0)));
+        let s = survey(&ch, Point2::new(-1.0, -1.0), Point2::ORIGIN, 3.0, 10);
+        assert!(s.distortion_sigma_db < 1e-9, "σ = {}", s.distortion_sigma_db);
+        assert_eq!(s.probes, 100);
+    }
+
+    #[test]
+    fn measured_sigma_tracks_configured_clutter() {
+        // The midpoint evaluation halves nothing about amplitude: measured
+        // distortion σ should be in the ballpark of the configured σ.
+        let ch = channel_with(4.0, (2.0, 5.0), 3);
+        let s = survey(&ch, Point2::new(-1.0, -1.0), Point2::ORIGIN, 3.0, 16);
+        assert!(
+            (1.5..=7.0).contains(&s.distortion_sigma_db),
+            "σ = {} for configured 4 dB",
+            s.distortion_sigma_db
+        );
+    }
+
+    #[test]
+    fn smoother_band_gives_longer_correlation() {
+        let rough = channel_with(3.0, (0.5, 1.0), 1);
+        let smooth = channel_with(3.0, (4.0, 8.0), 1);
+        let reader = Point2::new(-1.0, -1.0);
+        let s_rough = survey(&rough, reader, Point2::ORIGIN, 3.0, 20);
+        let s_smooth = survey(&smooth, reader, Point2::ORIGIN, 3.0, 20);
+        assert!(
+            s_smooth.correlation_length_m > s_rough.correlation_length_m,
+            "smooth {} should exceed rough {}",
+            s_smooth.correlation_length_m,
+            s_rough.correlation_length_m
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "8x8")]
+    fn tiny_survey_rejected() {
+        let ch = RfChannel::new(ChannelParams::ideal(LogDistance::new(-65.0, 2.0)));
+        survey(&ch, Point2::ORIGIN, Point2::ORIGIN, 3.0, 4);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the radio substrate.
+
+use proptest::prelude::*;
+use vire_geom::{Point2, Segment};
+use vire_radio::channel::{ChannelParams, RfChannel};
+use vire_radio::multipath::{rectangular_room, ImageMethod, Reflector};
+use vire_radio::pathloss::{LogDistance, PathLoss};
+use vire_radio::quantize::PowerLevelQuantizer;
+
+fn point_in_room() -> impl Strategy<Value = Point2> {
+    (-4.0..9.0f64, -4.0..9.0f64).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pathloss_monotone_decreasing(
+        p_ref in -80.0..-50.0f64,
+        gamma in 1.5..4.5f64,
+        d1 in 0.1..30.0f64,
+        d2 in 0.1..30.0f64,
+    ) {
+        let m = LogDistance::new(p_ref, gamma);
+        let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(m.rssi_at(near) >= m.rssi_at(far));
+    }
+
+    #[test]
+    fn pathloss_inversion_round_trips(
+        p_ref in -80.0..-50.0f64,
+        gamma in 1.5..4.5f64,
+        d in 0.1..30.0f64,
+    ) {
+        let m = LogDistance::new(p_ref, gamma);
+        let back = m.distance_for(m.rssi_at(d));
+        prop_assert!((back - d).abs() < 1e-6 * d.max(1.0));
+    }
+
+    #[test]
+    fn multipath_gain_within_physical_bounds(
+        tx in point_in_room(),
+        rx in point_in_room(),
+        reflect in 0.0..1.0f64,
+    ) {
+        prop_assume!(tx.distance(rx) > 0.05);
+        let walls = rectangular_room(Point2::new(-5.0, -5.0), Point2::new(10.0, 10.0), reflect);
+        let m = ImageMethod::new(walls, 0.987);
+        let g = m.gain_db(tx, rx);
+        // Four walls of amplitude <= 1 can at most quintuple the field:
+        // |1 + 4|^2 = 25 -> ~14 dB; fades clip at the floor.
+        prop_assert!(g.is_finite());
+        prop_assert!(g >= m.fade_floor_db - 1e-9);
+        prop_assert!(g <= 14.0);
+    }
+
+    #[test]
+    fn smoothed_gain_never_deepens_the_worst_fade(
+        tx in point_in_room(),
+        rx in point_in_room(),
+    ) {
+        prop_assume!(tx.distance(rx) > 0.05);
+        let walls = rectangular_room(Point2::new(-5.0, -5.0), Point2::new(10.0, 10.0), 0.7);
+        let m = ImageMethod::new(walls, 0.987);
+        let s = m.gain_db_smoothed(tx, rx, 0.25);
+        prop_assert!(s >= m.fade_floor_db - 1e-9);
+        prop_assert!(s.is_finite());
+    }
+
+    #[test]
+    fn mean_rssi_is_position_deterministic(
+        tx in point_in_room(),
+        rx in point_in_room(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(tx.distance(rx) > 0.05);
+        let params = ChannelParams {
+            reflectors: rectangular_room(Point2::new(-5.0, -5.0), Point2::new(10.0, 10.0), 0.5),
+            clutter_sigma_db: 3.0,
+            meas_sigma_db: 1.0,
+            seed,
+            ..ChannelParams::ideal(LogDistance::new(-65.0, 2.7))
+        };
+        let ch = RfChannel::new(params);
+        prop_assert_eq!(ch.mean_rssi(tx, rx), ch.mean_rssi(tx, rx));
+    }
+
+    #[test]
+    fn measurements_replay_identically(seed in any::<u64>()) {
+        let build = || {
+            let params = ChannelParams {
+                clutter_sigma_db: 2.0,
+                meas_sigma_db: 1.0,
+                seed,
+                ..ChannelParams::ideal(LogDistance::new(-65.0, 2.5))
+            };
+            RfChannel::new(params)
+        };
+        let mut a = build();
+        let mut b = build();
+        let tx = Point2::new(1.0, 2.0);
+        let rx = Point2::new(4.0, 0.0);
+        for _ in 0..16 {
+            prop_assert_eq!(a.measure(tx, rx, 1), b.measure(tx, rx, 1));
+        }
+    }
+
+    #[test]
+    fn quantizer_level_monotone_and_degrade_bounded(rssi in -120.0..-50.0f64) {
+        let q = PowerLevelQuantizer::paper_default();
+        let level = q.level(rssi);
+        prop_assert!((1..=8).contains(&level));
+        let weaker = q.level(rssi - 5.0);
+        prop_assert!(weaker >= level);
+        let degraded = q.degrade(rssi);
+        // In-band readings degrade by at most half a band; out-of-band
+        // readings clamp to the edge representatives.
+        if (-100.0..=-65.0).contains(&rssi) {
+            prop_assert!((degraded - rssi).abs() <= q.max_error() + 1e-9);
+        }
+        prop_assert_eq!(q.degrade(degraded), degraded);
+    }
+
+    #[test]
+    fn obstruction_loss_additive_and_nonnegative(
+        tx in point_in_room(),
+        rx in point_in_room(),
+    ) {
+        let params = ChannelParams {
+            obstructions: vec![
+                vire_radio::channel::Obstruction {
+                    segment: Segment::new(Point2::new(2.0, -10.0), Point2::new(2.0, 10.0)),
+                    loss_db: 4.0,
+                },
+                vire_radio::channel::Obstruction {
+                    segment: Segment::new(Point2::new(-10.0, 2.0), Point2::new(10.0, 2.0)),
+                    loss_db: 6.0,
+                },
+            ],
+            ..ChannelParams::ideal(LogDistance::new(-65.0, 2.0))
+        };
+        let ch = RfChannel::new(params);
+        let loss = ch.obstruction_loss(tx, rx);
+        prop_assert!([0.0, 4.0, 6.0, 10.0].iter().any(|&v| (loss - v).abs() < 1e-9),
+            "loss {loss} not a subset sum");
+    }
+
+    #[test]
+    fn reflector_validity_never_panics(
+        ax in -10.0..10.0f64, ay in -10.0..10.0f64,
+        bx in -10.0..10.0f64, by in -10.0..10.0f64,
+        tx in point_in_room(), rx in point_in_room(),
+    ) {
+        // Arbitrary wall geometry, including degenerate segments: the
+        // image method must stay finite and well-defined.
+        let wall = Reflector::new(
+            Segment::new(Point2::new(ax, ay), Point2::new(bx, by)),
+            0.8,
+        );
+        let m = ImageMethod::new(vec![wall], 0.987);
+        let g = m.gain_db(tx, rx);
+        prop_assert!(g.is_finite());
+    }
+}

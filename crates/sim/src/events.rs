@@ -1,0 +1,142 @@
+//! The simulation event queue.
+//!
+//! A simple time-ordered queue of beacon events. Ties are broken by a
+//! monotonically increasing sequence number so that replaying a seeded
+//! simulation is fully deterministic even when two tags beacon at the same
+//! instant.
+
+use crate::tag::TagId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled simulation event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// Tag `tag` emits a beacon at the scheduled time.
+    Beacon {
+        /// The beaconing tag.
+        tag: TagId,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time pops first,
+        // then the lowest sequence number.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at absolute simulation time `time` (seconds).
+    ///
+    /// # Panics
+    /// Panics when `time` is negative or non-finite.
+    pub fn schedule(&mut self, time: f64, event: Event) {
+        assert!(time >= 0.0 && time.is_finite(), "invalid event time {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Pops the earliest event, if any, as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, Event::Beacon { tag: TagId(3) });
+        q.schedule(1.0, Event::Beacon { tag: TagId(1) });
+        q.schedule(2.0, Event::Beacon { tag: TagId(2) });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for id in 0..10u32 {
+            q.schedule(5.0, Event::Beacon { tag: TagId(id) });
+        }
+        let ids: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|(_, Event::Beacon { tag })| tag.0)
+        })
+        .collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(2.5, Event::Beacon { tag: TagId(0) });
+        assert_eq!(q.peek_time(), Some(2.5));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid event time")]
+    fn negative_time_panics() {
+        EventQueue::new().schedule(-1.0, Event::Beacon { tag: TagId(0) });
+    }
+}

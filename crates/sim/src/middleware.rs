@@ -1,0 +1,179 @@
+//! The middleware server: collects readings, smooths them, and exports the
+//! localization data model.
+
+use crate::reader::ReaderId;
+use crate::smoothing::{Filter, SmoothingKind};
+use crate::tag::TagId;
+use std::collections::HashMap;
+use vire_core::{ReferenceRssiMap, TrackingReading};
+use vire_geom::{GridData, GridIndex, Point2, RegularGrid};
+
+/// One raw reading as reported by a reader.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reading {
+    /// Simulation time of the beacon, seconds.
+    pub time: f64,
+    /// The beaconing tag.
+    pub tag: TagId,
+    /// The reporting reader.
+    pub reader: ReaderId,
+    /// Raw RSSI, dBm.
+    pub rssi: f64,
+}
+
+/// The middleware: a smoothed RSSI table keyed by (tag, reader), plus an
+/// optional raw log for diagnostics.
+#[derive(Debug)]
+pub struct Middleware {
+    smoothing: SmoothingKind,
+    filters: HashMap<(TagId, ReaderId), Filter>,
+    log: Vec<Reading>,
+    keep_log: bool,
+}
+
+impl Middleware {
+    /// Creates a middleware with the given smoothing policy. `keep_log`
+    /// retains every raw reading (memory grows with simulated time).
+    pub fn new(smoothing: SmoothingKind, keep_log: bool) -> Self {
+        Middleware {
+            smoothing,
+            filters: HashMap::new(),
+            log: Vec::new(),
+            keep_log,
+        }
+    }
+
+    /// Ingests one reading.
+    pub fn ingest(&mut self, reading: Reading) {
+        self.filters
+            .entry((reading.tag, reading.reader))
+            .or_insert_with(|| self.smoothing.build())
+            .update(reading.rssi);
+        if self.keep_log {
+            self.log.push(reading);
+        }
+    }
+
+    /// Smoothed RSSI for a (tag, reader) pair, if any readings arrived.
+    pub fn rssi(&self, tag: TagId, reader: ReaderId) -> Option<f64> {
+        self.filters.get(&(tag, reader)).and_then(Filter::value)
+    }
+
+    /// Number of readings currently influencing a (tag, reader) estimate.
+    pub fn fill(&self, tag: TagId, reader: ReaderId) -> usize {
+        self.filters
+            .get(&(tag, reader))
+            .map_or(0, Filter::fill)
+    }
+
+    /// The raw reading log (empty unless `keep_log` was set).
+    pub fn log(&self) -> &[Reading] {
+        &self.log
+    }
+
+    /// Exports the reference calibration map.
+    ///
+    /// `reference_tags` maps each lattice node to the tag pinned there;
+    /// `readers` must be in dense [`ReaderId`] order. Returns `None` when
+    /// any (reference tag, reader) pair has no smoothed value yet — run
+    /// the simulation longer.
+    pub fn reference_map(
+        &self,
+        grid: RegularGrid,
+        reference_tags: &HashMap<GridIndex, TagId>,
+        readers: &[Point2],
+    ) -> Option<ReferenceRssiMap> {
+        let mut fields = Vec::with_capacity(readers.len());
+        for (k, _) in readers.iter().enumerate() {
+            let reader = ReaderId(k as u32);
+            let mut field = GridData::filled(grid, 0.0f64);
+            for idx in grid.indices() {
+                let tag = *reference_tags.get(&idx)?;
+                let value = self.rssi(tag, reader)?;
+                field.set(idx, value);
+            }
+            fields.push(field);
+        }
+        Some(ReferenceRssiMap::new(grid, readers.to_vec(), fields))
+    }
+
+    /// Exports one tracking tag's reading vector across `reader_count`
+    /// readers, or `None` when readings are missing.
+    pub fn tracking_reading(&self, tag: TagId, reader_count: usize) -> Option<TrackingReading> {
+        let rssi: Option<Vec<f64>> = (0..reader_count)
+            .map(|k| self.rssi(tag, ReaderId(k as u32)))
+            .collect();
+        Some(TrackingReading::new(rssi?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reading(tag: u32, reader: u32, rssi: f64) -> Reading {
+        Reading {
+            time: 0.0,
+            tag: TagId(tag),
+            reader: ReaderId(reader),
+            rssi,
+        }
+    }
+
+    #[test]
+    fn ingest_and_query() {
+        let mut mw = Middleware::new(SmoothingKind::MovingAverage(2), false);
+        mw.ingest(reading(1, 0, -70.0));
+        mw.ingest(reading(1, 0, -72.0));
+        assert_eq!(mw.rssi(TagId(1), ReaderId(0)), Some(-71.0));
+        assert_eq!(mw.rssi(TagId(1), ReaderId(1)), None);
+        assert_eq!(mw.fill(TagId(1), ReaderId(0)), 2);
+        assert_eq!(mw.fill(TagId(9), ReaderId(0)), 0);
+    }
+
+    #[test]
+    fn log_is_kept_only_when_requested() {
+        let mut quiet = Middleware::new(SmoothingKind::Raw, false);
+        quiet.ingest(reading(1, 0, -70.0));
+        assert!(quiet.log().is_empty());
+
+        let mut chatty = Middleware::new(SmoothingKind::Raw, true);
+        chatty.ingest(reading(1, 0, -70.0));
+        chatty.ingest(reading(2, 1, -80.0));
+        assert_eq!(chatty.log().len(), 2);
+        assert_eq!(chatty.log()[1].tag, TagId(2));
+    }
+
+    #[test]
+    fn reference_map_requires_full_coverage() {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 2);
+        let readers = vec![Point2::new(-1.0, -1.0)];
+        let mut tags = HashMap::new();
+        let mut mw = Middleware::new(SmoothingKind::Raw, false);
+        for (n, idx) in grid.indices().enumerate() {
+            tags.insert(idx, TagId(n as u32));
+        }
+        // Missing readings -> None.
+        assert!(mw.reference_map(grid, &tags, &readers).is_none());
+        // Fill three of four -> still None.
+        for n in 0..3u32 {
+            mw.ingest(reading(n, 0, -70.0 - n as f64));
+        }
+        assert!(mw.reference_map(grid, &tags, &readers).is_none());
+        // Complete -> Some, with values in the right cells.
+        mw.ingest(reading(3, 0, -73.0));
+        let map = mw.reference_map(grid, &tags, &readers).unwrap();
+        assert_eq!(map.rssi(0, GridIndex::new(0, 0)), -70.0);
+        assert_eq!(map.rssi(0, GridIndex::new(1, 1)), -73.0);
+    }
+
+    #[test]
+    fn tracking_reading_requires_all_readers() {
+        let mut mw = Middleware::new(SmoothingKind::Raw, false);
+        mw.ingest(reading(5, 0, -70.0));
+        assert!(mw.tracking_reading(TagId(5), 2).is_none());
+        mw.ingest(reading(5, 1, -75.0));
+        let t = mw.tracking_reading(TagId(5), 2).unwrap();
+        assert_eq!(t.rssi(), &[-70.0, -75.0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! RFID readers.
+
+use vire_geom::{Point2, Vec2};
+use vire_radio::antenna::AntennaPattern;
+
+/// Opaque reader identifier; readers are indexed densely from 0 in the
+/// order they appear in the deployment (the same order the localization
+/// data model uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReaderId(pub u32);
+
+impl std::fmt::Display for ReaderId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reader#{}", self.0)
+    }
+}
+
+/// An RFID reader.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reader {
+    /// Identifier (dense index).
+    pub id: ReaderId,
+    /// Antenna position.
+    pub position: Point2,
+    /// Sensitivity floor, dBm: beacons below this are not decoded. Active
+    /// RFID read range is hundreds of feet, so on a room-scale testbed the
+    /// floor rarely bites — but a dead-spot test can lower it.
+    pub sensitivity_dbm: f64,
+    /// Antenna gain pattern (omni by default; corner readers often wear
+    /// inward-pointing directional antennas — paper §6's reader-placement
+    /// future work).
+    pub antenna: AntennaPattern,
+}
+
+impl Reader {
+    /// A reader with the default −110 dBm sensitivity and an omni antenna.
+    pub fn new(id: ReaderId, position: Point2) -> Self {
+        Reader {
+            id,
+            position,
+            sensitivity_dbm: -110.0,
+            antenna: AntennaPattern::Omni,
+        }
+    }
+
+    /// Whether a beacon at `rssi` is decodable.
+    pub fn can_hear(&self, rssi: f64) -> bool {
+        rssi >= self.sensitivity_dbm
+    }
+
+    /// Antenna gain (dB) toward a transmitter at `tx`.
+    pub fn antenna_gain_db(&self, tx: Point2) -> f64 {
+        let arrival: Vec2 = tx - self.position;
+        self.antenna.gain_db(arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_gates_decoding() {
+        let r = Reader::new(ReaderId(0), Point2::ORIGIN);
+        assert!(r.can_hear(-80.0));
+        assert!(r.can_hear(-110.0));
+        assert!(!r.can_hear(-110.1));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ReaderId(3).to_string(), "reader#3");
+    }
+
+    #[test]
+    fn directional_reader_attenuates_off_boresight_tags() {
+        let mut r = Reader::new(ReaderId(0), Point2::ORIGIN);
+        assert_eq!(r.antenna_gain_db(Point2::new(1.0, 1.0)), 0.0);
+        r.antenna = AntennaPattern::cardioid(Vec2::new(1.0, 1.0));
+        assert!(r.antenna_gain_db(Point2::new(2.0, 2.0)).abs() < 1e-9);
+        assert!(r.antenna_gain_db(Point2::new(-2.0, -2.0)) <= -15.0 + 1e-9);
+    }
+}

@@ -1,0 +1,249 @@
+//! Middleware RSSI smoothing filters.
+//!
+//! Raw beacon readings carry per-measurement noise and the occasional
+//! human-movement spike (paper §4.1: "such a factor should be avoided or
+//! filtered out when designing the location sensing system"). The
+//! middleware smooths each (tag, reader) stream with one of these filters
+//! before the localization algorithms see it.
+
+use std::collections::VecDeque;
+
+/// Which filter the middleware applies per (tag, reader) stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SmoothingKind {
+    /// No smoothing: the last raw reading wins.
+    Raw,
+    /// Arithmetic mean over a sliding window of `n` readings.
+    MovingAverage(usize),
+    /// Exponentially weighted moving average with weight `alpha` on the
+    /// newest reading (`0 < alpha <= 1`).
+    Ewma(f64),
+    /// Median over a sliding window of `n` readings — robust to spikes.
+    Median(usize),
+}
+
+impl Default for SmoothingKind {
+    /// Median over 5 readings: robust and low-latency at a 2 s beacon
+    /// interval (10 s to fill the window).
+    fn default() -> Self {
+        SmoothingKind::Median(5)
+    }
+}
+
+impl SmoothingKind {
+    /// Instantiates the filter state.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (zero window, alpha outside `(0, 1]`).
+    pub fn build(self) -> Filter {
+        match self {
+            SmoothingKind::Raw => Filter::Raw { last: None },
+            SmoothingKind::MovingAverage(n) => {
+                assert!(n > 0, "window must be positive");
+                Filter::MovingAverage {
+                    window: VecDeque::with_capacity(n),
+                    cap: n,
+                }
+            }
+            SmoothingKind::Ewma(alpha) => {
+                assert!(
+                    alpha > 0.0 && alpha <= 1.0,
+                    "alpha must be within (0, 1], got {alpha}"
+                );
+                Filter::Ewma { alpha, state: None }
+            }
+            SmoothingKind::Median(n) => {
+                assert!(n > 0, "window must be positive");
+                Filter::Median {
+                    window: VecDeque::with_capacity(n),
+                    cap: n,
+                }
+            }
+        }
+    }
+}
+
+/// Filter state for one (tag, reader) stream.
+#[derive(Debug, Clone)]
+pub enum Filter {
+    /// See [`SmoothingKind::Raw`].
+    Raw {
+        /// Last reading.
+        last: Option<f64>,
+    },
+    /// See [`SmoothingKind::MovingAverage`].
+    MovingAverage {
+        /// Sliding window.
+        window: VecDeque<f64>,
+        /// Window capacity.
+        cap: usize,
+    },
+    /// See [`SmoothingKind::Ewma`].
+    Ewma {
+        /// Newest-reading weight.
+        alpha: f64,
+        /// Current smoothed value.
+        state: Option<f64>,
+    },
+    /// See [`SmoothingKind::Median`].
+    Median {
+        /// Sliding window.
+        window: VecDeque<f64>,
+        /// Window capacity.
+        cap: usize,
+    },
+}
+
+impl Filter {
+    /// Feeds one raw reading.
+    pub fn update(&mut self, x: f64) {
+        match self {
+            Filter::Raw { last } => *last = Some(x),
+            Filter::MovingAverage { window, cap } | Filter::Median { window, cap } => {
+                if window.len() == *cap {
+                    window.pop_front();
+                }
+                window.push_back(x);
+            }
+            Filter::Ewma { alpha, state } => {
+                *state = Some(match *state {
+                    None => x,
+                    Some(s) => *alpha * x + (1.0 - *alpha) * s,
+                });
+            }
+        }
+    }
+
+    /// Current smoothed value, or `None` before the first reading.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            Filter::Raw { last } => *last,
+            Filter::Ewma { state, .. } => *state,
+            Filter::MovingAverage { window, .. } => {
+                if window.is_empty() {
+                    None
+                } else {
+                    Some(window.iter().sum::<f64>() / window.len() as f64)
+                }
+            }
+            Filter::Median { window, .. } => {
+                if window.is_empty() {
+                    return None;
+                }
+                let mut sorted: Vec<f64> = window.iter().copied().collect();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mid = sorted.len() / 2;
+                Some(if sorted.len() % 2 == 1 {
+                    sorted[mid]
+                } else {
+                    (sorted[mid - 1] + sorted[mid]) / 2.0
+                })
+            }
+        }
+    }
+
+    /// Number of readings consumed so far that still influence the value
+    /// (window length; 1 for Raw/EWMA once primed).
+    pub fn fill(&self) -> usize {
+        match self {
+            Filter::Raw { last } => usize::from(last.is_some()),
+            Filter::Ewma { state, .. } => usize::from(state.is_some()),
+            Filter::MovingAverage { window, .. } | Filter::Median { window, .. } => window.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_tracks_last_value() {
+        let mut f = SmoothingKind::Raw.build();
+        assert_eq!(f.value(), None);
+        f.update(-70.0);
+        f.update(-75.0);
+        assert_eq!(f.value(), Some(-75.0));
+        assert_eq!(f.fill(), 1);
+    }
+
+    #[test]
+    fn moving_average_averages_the_window() {
+        let mut f = SmoothingKind::MovingAverage(3).build();
+        for x in [-70.0, -72.0, -74.0] {
+            f.update(x);
+        }
+        assert_eq!(f.value(), Some(-72.0));
+        // Window slides: oldest (-70) drops.
+        f.update(-76.0);
+        assert_eq!(f.value(), Some(-74.0));
+        assert_eq!(f.fill(), 3);
+    }
+
+    #[test]
+    fn ewma_converges_geometrically() {
+        let mut f = SmoothingKind::Ewma(0.5).build();
+        f.update(-80.0);
+        assert_eq!(f.value(), Some(-80.0)); // primes with first value
+        f.update(-70.0);
+        assert_eq!(f.value(), Some(-75.0));
+        f.update(-70.0);
+        assert_eq!(f.value(), Some(-72.5));
+    }
+
+    #[test]
+    fn median_rejects_single_spike() {
+        let mut f = SmoothingKind::Median(5).build();
+        for x in [-70.0, -70.5, -99.0 /* spike */, -70.2, -69.8] {
+            f.update(x);
+        }
+        let v = f.value().unwrap();
+        assert!((-71.0..=-69.0).contains(&v), "median {v} should ignore the spike");
+    }
+
+    #[test]
+    fn mean_is_dragged_by_spike_median_is_not() {
+        let feed = [-70.0, -70.0, -95.0, -70.0, -70.0];
+        let mut mean = SmoothingKind::MovingAverage(5).build();
+        let mut med = SmoothingKind::Median(5).build();
+        for x in feed {
+            mean.update(x);
+            med.update(x);
+        }
+        assert_eq!(med.value(), Some(-70.0));
+        assert!(mean.value().unwrap() < -74.0);
+    }
+
+    #[test]
+    fn median_of_even_window_interpolates() {
+        let mut f = SmoothingKind::Median(4).build();
+        for x in [-70.0, -72.0, -74.0, -76.0] {
+            f.update(x);
+        }
+        assert_eq!(f.value(), Some(-73.0));
+    }
+
+    #[test]
+    fn empty_filters_have_no_value() {
+        for kind in [
+            SmoothingKind::Raw,
+            SmoothingKind::MovingAverage(3),
+            SmoothingKind::Ewma(0.3),
+            SmoothingKind::Median(3),
+        ] {
+            assert_eq!(kind.build().value(), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        SmoothingKind::Ewma(1.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        SmoothingKind::Median(0).build();
+    }
+}

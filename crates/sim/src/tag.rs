@@ -1,0 +1,97 @@
+//! Active RFID tags.
+
+use vire_geom::{GridIndex, Point2};
+
+/// Opaque tag identifier, unique within one testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagId(pub u32);
+
+impl std::fmt::Display for TagId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tag#{}", self.0)
+    }
+}
+
+/// What a tag is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagRole {
+    /// A reference tag pinned to lattice node `GridIndex`.
+    Reference(GridIndex),
+    /// A reference tag at an arbitrary known position (paper §6:
+    /// non-square deployments, "real reference tags around obstacles").
+    ScatteredReference,
+    /// A tracking tag whose position we want to estimate.
+    Tracking,
+}
+
+/// An active RFID tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tag {
+    /// Identifier.
+    pub id: TagId,
+    /// True position on the floor plan.
+    pub position: Point2,
+    /// Role in the deployment.
+    pub role: TagRole,
+    /// Mean beacon interval, seconds (2 s on the improved equipment,
+    /// 7.5 s on the original LANDMARC hardware).
+    pub beacon_interval: f64,
+    /// Phase offset of the first beacon, seconds — tags are not
+    /// synchronized in reality.
+    pub phase: f64,
+    /// Per-tag transmit-gain offset, dB. The original LANDMARC paper's
+    /// "varying behaviors of tags" (§3.1): individual tags transmit
+    /// slightly hotter or colder, requiring "expensive and time-consuming
+    /// individual tag calibration". The improved equipment made "all tags
+    /// show very similar behavior" — gain 0.
+    pub gain_db: f64,
+}
+
+impl Tag {
+    /// Returns `true` for reference tags (lattice or scattered).
+    pub fn is_reference(&self) -> bool {
+        matches!(
+            self.role,
+            TagRole::Reference(_) | TagRole::ScatteredReference
+        )
+    }
+
+    /// The lattice node of a lattice-pinned reference tag.
+    pub fn grid_index(&self) -> Option<GridIndex> {
+        match self.role {
+            TagRole::Reference(idx) => Some(idx),
+            TagRole::ScatteredReference | TagRole::Tracking => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_predicates() {
+        let r = Tag {
+            id: TagId(1),
+            position: Point2::new(1.0, 2.0),
+            role: TagRole::Reference(GridIndex::new(1, 2)),
+            beacon_interval: 2.0,
+            phase: 0.3,
+            gain_db: 0.0,
+        };
+        assert!(r.is_reference());
+        assert_eq!(r.grid_index(), Some(GridIndex::new(1, 2)));
+
+        let t = Tag {
+            role: TagRole::Tracking,
+            ..r
+        };
+        assert!(!t.is_reference());
+        assert_eq!(t.grid_index(), None);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TagId(7).to_string(), "tag#7");
+    }
+}

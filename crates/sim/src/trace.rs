@@ -1,0 +1,307 @@
+//! Reading traces: export, import, and replay.
+//!
+//! The middleware's raw reading log can be saved as a JSON trace and later
+//! replayed into a fresh middleware — the bridge between this simulator
+//! and real-world data. A trace captured from physical RF Code readers in
+//! the same `(time, tag, reader, rssi)` schema drops straight into the
+//! localization pipeline; conversely, simulated traces can be shipped as
+//! reproducible datasets.
+
+use crate::middleware::{Middleware, Reading};
+use crate::reader::ReaderId;
+use crate::smoothing::SmoothingKind;
+use crate::tag::TagId;
+use serde::{Deserialize, Serialize};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+use vire_geom::Point2;
+
+/// Schema version of the trace format.
+pub const TRACE_VERSION: u32 = 1;
+
+/// One serialized reading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceReading {
+    /// Beacon time, seconds since trace start.
+    pub time: f64,
+    /// Tag identifier.
+    pub tag: u32,
+    /// Reader identifier (dense index).
+    pub reader: u32,
+    /// Raw RSSI, dBm.
+    pub rssi: f64,
+}
+
+impl From<Reading> for TraceReading {
+    fn from(r: Reading) -> Self {
+        TraceReading {
+            time: r.time,
+            tag: r.tag.0,
+            reader: r.reader.0,
+            rssi: r.rssi,
+        }
+    }
+}
+
+impl From<TraceReading> for Reading {
+    fn from(r: TraceReading) -> Self {
+        Reading {
+            time: r.time,
+            tag: TagId(r.tag),
+            reader: ReaderId(r.reader),
+            rssi: r.rssi,
+        }
+    }
+}
+
+/// A complete trace: deployment metadata plus the reading log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Format version ([`TRACE_VERSION`]).
+    pub version: u32,
+    /// Free-form description (environment name, capture notes).
+    pub description: String,
+    /// Reader positions, dense [`ReaderId`] order, meters.
+    pub readers: Vec<(f64, f64)>,
+    /// Reference tag ids and their known positions.
+    pub reference_tags: Vec<(u32, (f64, f64))>,
+    /// The reading log, time-ascending.
+    pub readings: Vec<TraceReading>,
+}
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// The trace's schema version is not supported.
+    Version(u32),
+    /// The trace violates an invariant (e.g. unordered readings).
+    Invalid(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O: {e}"),
+            TraceError::Json(e) => write!(f, "trace JSON: {e}"),
+            TraceError::Version(v) => {
+                write!(f, "unsupported trace version {v} (supported: {TRACE_VERSION})")
+            }
+            TraceError::Invalid(what) => write!(f, "invalid trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Json(e)
+    }
+}
+
+impl Trace {
+    /// Builds a trace from a reading log and deployment metadata.
+    pub fn new(
+        description: impl Into<String>,
+        readers: &[Point2],
+        reference_tags: &[(TagId, Point2)],
+        readings: &[Reading],
+    ) -> Self {
+        Trace {
+            version: TRACE_VERSION,
+            description: description.into(),
+            readers: readers.iter().map(|p| (p.x, p.y)).collect(),
+            reference_tags: reference_tags
+                .iter()
+                .map(|(id, p)| (id.0, (p.x, p.y)))
+                .collect(),
+            readings: readings.iter().map(|&r| r.into()).collect(),
+        }
+    }
+
+    /// Validates the trace invariants.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if self.version != TRACE_VERSION {
+            return Err(TraceError::Version(self.version));
+        }
+        if self.readers.is_empty() {
+            return Err(TraceError::Invalid("no readers".into()));
+        }
+        let reader_count = self.readers.len() as u32;
+        let mut last = f64::NEG_INFINITY;
+        for r in &self.readings {
+            if !r.rssi.is_finite() || !r.time.is_finite() {
+                return Err(TraceError::Invalid("non-finite reading".into()));
+            }
+            if r.time < last {
+                return Err(TraceError::Invalid(format!(
+                    "readings not time-ordered at t = {}",
+                    r.time
+                )));
+            }
+            last = r.time;
+            if r.reader >= reader_count {
+                return Err(TraceError::Invalid(format!(
+                    "reading references reader {} of {reader_count}",
+                    r.reader
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace is always serializable")
+    }
+
+    /// Parses and validates a JSON trace.
+    pub fn from_json(json: &str) -> Result<Trace, TraceError> {
+        let trace: Trace = serde_json::from_str(json)?;
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    /// Writes the trace to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads and validates a trace file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Trace, TraceError> {
+        let mut s = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut s)?;
+        Trace::from_json(&s)
+    }
+
+    /// Replays the trace into a fresh middleware with the given smoothing
+    /// policy, returning it ready for map/reading export.
+    pub fn replay(&self, smoothing: SmoothingKind) -> Middleware {
+        let mut mw = Middleware::new(smoothing, false);
+        for &r in &self.readings {
+            mw.ingest(r.into());
+        }
+        mw
+    }
+
+    /// Reader positions as points.
+    pub fn reader_positions(&self) -> Vec<Point2> {
+        self.readers.iter().map(|&(x, y)| Point2::new(x, y)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let readings = vec![
+            Reading {
+                time: 0.0,
+                tag: TagId(0),
+                reader: ReaderId(0),
+                rssi: -70.0,
+            },
+            Reading {
+                time: 1.0,
+                tag: TagId(0),
+                reader: ReaderId(1),
+                rssi: -75.0,
+            },
+            Reading {
+                time: 2.0,
+                tag: TagId(1),
+                reader: ReaderId(0),
+                rssi: -80.0,
+            },
+        ];
+        Trace::new(
+            "unit-test capture",
+            &[Point2::new(-1.0, -1.0), Point2::new(4.0, 4.0)],
+            &[(TagId(0), Point2::new(0.0, 0.0))],
+            &readings,
+        )
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let t = sample_trace();
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.description, t.description);
+        assert_eq!(back.readers, t.readers);
+        assert_eq!(back.reference_tags, t.reference_tags);
+        assert_eq!(back.readings, t.readings);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = sample_trace();
+        let path = std::env::temp_dir().join("vire_trace_test.json");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(back.readings.len(), 3);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn replay_feeds_the_middleware() {
+        let t = sample_trace();
+        let mw = t.replay(SmoothingKind::Raw);
+        assert_eq!(mw.rssi(TagId(0), ReaderId(0)), Some(-70.0));
+        assert_eq!(mw.rssi(TagId(1), ReaderId(0)), Some(-80.0));
+        assert_eq!(mw.rssi(TagId(9), ReaderId(0)), None);
+    }
+
+    #[test]
+    fn validation_rejects_unordered_readings() {
+        let mut t = sample_trace();
+        t.readings.swap(0, 2);
+        assert!(matches!(t.validate(), Err(TraceError::Invalid(_))));
+    }
+
+    #[test]
+    fn validation_rejects_unknown_reader() {
+        let mut t = sample_trace();
+        t.readings.push(TraceReading {
+            time: 3.0,
+            tag: 0,
+            reader: 9,
+            rssi: -70.0,
+        });
+        assert!(matches!(t.validate(), Err(TraceError::Invalid(_))));
+    }
+
+    #[test]
+    fn validation_rejects_wrong_version() {
+        let mut t = sample_trace();
+        t.version = 99;
+        assert!(matches!(t.validate(), Err(TraceError::Version(99))));
+    }
+
+    #[test]
+    fn validation_rejects_nan_rssi() {
+        let mut t = sample_trace();
+        t.readings[0].rssi = f64::NAN;
+        assert!(matches!(t.validate(), Err(TraceError::Invalid(_))));
+    }
+
+    #[test]
+    fn reader_positions_round_trip() {
+        let t = sample_trace();
+        assert_eq!(
+            t.reader_positions(),
+            vec![Point2::new(-1.0, -1.0), Point2::new(4.0, 4.0)]
+        );
+    }
+}

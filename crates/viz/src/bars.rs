@@ -1,0 +1,223 @@
+//! Grouped bar charts — the form the paper's Fig. 2(b) and Fig. 6 use.
+
+use crate::svg::{nice_ticks, LinearScale, Svg};
+
+/// One bar series (e.g. "VIRE"): a value per category.
+#[derive(Debug, Clone)]
+pub struct BarSeries {
+    /// Legend label.
+    pub label: String,
+    /// One value per category; NaN leaves a gap.
+    pub values: Vec<f64>,
+    /// CSS fill color.
+    pub color: String,
+}
+
+impl BarSeries {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, values: Vec<f64>, color: impl Into<String>) -> Self {
+        BarSeries {
+            label: label.into(),
+            values,
+            color: color.into(),
+        }
+    }
+}
+
+/// A grouped bar chart over shared categories.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    y_label: String,
+    categories: Vec<String>,
+    series: Vec<BarSeries>,
+    width: f64,
+    height: f64,
+}
+
+const MARGIN_LEFT: f64 = 62.0;
+const MARGIN_RIGHT: f64 = 18.0;
+const MARGIN_TOP: f64 = 34.0;
+const MARGIN_BOTTOM: f64 = 46.0;
+
+impl BarChart {
+    /// Starts a chart over the given category labels.
+    ///
+    /// # Panics
+    /// Panics when `categories` is empty.
+    pub fn new(
+        title: impl Into<String>,
+        y_label: impl Into<String>,
+        categories: Vec<String>,
+    ) -> Self {
+        assert!(!categories.is_empty(), "bar chart needs categories");
+        BarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            categories,
+            series: Vec::new(),
+            width: 560.0,
+            height: 360.0,
+        }
+    }
+
+    /// Adds a series.
+    ///
+    /// # Panics
+    /// Panics when the value count differs from the category count.
+    pub fn series(mut self, s: BarSeries) -> Self {
+        assert_eq!(
+            s.values.len(),
+            self.categories.len(),
+            "one value per category required"
+        );
+        self.series.push(s);
+        self
+    }
+
+    /// Renders to SVG.
+    ///
+    /// # Panics
+    /// Panics when no series was added or no value is finite.
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty(), "bar chart needs a series");
+        let max = self
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter())
+            .cloned()
+            .filter(|v| v.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max.is_finite(), "bar chart needs finite values");
+        let y_hi = (max * 1.1).max(1e-9);
+
+        let mut svg = Svg::new(self.width, self.height);
+        svg.background("white");
+        let plot_w = self.width - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = self.height - MARGIN_TOP - MARGIN_BOTTOM;
+        let ys = LinearScale::new(0.0, y_hi, MARGIN_TOP + plot_h, MARGIN_TOP);
+        let base_y = ys.map(0.0);
+
+        svg.text_anchored(
+            self.width / 2.0,
+            20.0,
+            13.0,
+            "#111111",
+            &self.title,
+            "middle",
+        );
+        svg.text(6.0, MARGIN_TOP - 10.0, 11.0, "#111111", &self.y_label);
+
+        for t in nice_ticks(0.0, y_hi, 6) {
+            let py = ys.map(t);
+            svg.dashed_line(MARGIN_LEFT, py, MARGIN_LEFT + plot_w, py, "#dddddd", 0.6);
+            svg.text_anchored(
+                MARGIN_LEFT - 6.0,
+                py + 3.0,
+                9.0,
+                "#333333",
+                &format!("{t:.2}"),
+                "end",
+            );
+        }
+
+        // Layout: per category a group of series-many bars with padding.
+        let n_cat = self.categories.len() as f64;
+        let n_ser = self.series.len() as f64;
+        let group_w = plot_w / n_cat;
+        let bar_w = group_w * 0.8 / n_ser;
+        for (c, cat) in self.categories.iter().enumerate() {
+            let group_x = MARGIN_LEFT + c as f64 * group_w + group_w * 0.1;
+            for (k, s) in self.series.iter().enumerate() {
+                let v = s.values[c];
+                if !v.is_finite() {
+                    continue;
+                }
+                let top = ys.map(v.max(0.0));
+                let x = group_x + k as f64 * bar_w;
+                svg.rect(x, top, bar_w * 0.92, base_y - top, &s.color, "none", 0.0);
+            }
+            svg.text_anchored(
+                group_x + group_w * 0.4,
+                base_y + 14.0,
+                9.0,
+                "#333333",
+                cat,
+                "middle",
+            );
+        }
+        svg.line(MARGIN_LEFT, base_y, MARGIN_LEFT + plot_w, base_y, "#333333", 1.0);
+
+        for (k, s) in self.series.iter().enumerate() {
+            let ly = MARGIN_TOP + 14.0 + 14.0 * k as f64;
+            let lx = MARGIN_LEFT + plot_w - 120.0;
+            svg.rect(lx, ly - 8.0, 10.0, 10.0, &s.color, "none", 0.0);
+            svg.text(lx + 14.0, ly, 10.0, "#111111", &s.label);
+        }
+        svg.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> BarChart {
+        BarChart::new(
+            "Fig. 6(c)",
+            "error (m)",
+            (1..=3).map(|t| t.to_string()).collect(),
+        )
+        .series(BarSeries::new("LANDMARC", vec![0.6, 0.7, 0.8], "#cc3311"))
+        .series(BarSeries::new("VIRE", vec![0.4, 0.2, 0.3], "#0077bb"))
+    }
+
+    #[test]
+    fn renders_one_bar_per_value() {
+        let s = demo().render();
+        // 6 data bars + background + 2 legend swatches.
+        assert_eq!(s.matches("<rect").count(), 9);
+        assert!(s.contains("LANDMARC") && s.contains("VIRE"));
+        assert!(s.contains("Fig. 6(c)"));
+    }
+
+    #[test]
+    fn nan_values_leave_gaps() {
+        let c = BarChart::new("gap", "y", vec!["a".into(), "b".into()])
+            .series(BarSeries::new("s", vec![1.0, f64::NAN], "#000"));
+        let s = c.render();
+        // 1 data bar + background + 1 legend swatch.
+        assert_eq!(s.matches("<rect").count(), 3);
+    }
+
+    #[test]
+    fn taller_values_give_taller_bars() {
+        let c = BarChart::new("h", "y", vec!["a".into(), "b".into()])
+            .series(BarSeries::new("s", vec![1.0, 2.0], "#0077bb"));
+        let s = c.render();
+        // Extract bar heights (skip background, which is the first rect,
+        // and the legend swatch, which is the last).
+        let heights: Vec<f64> = s
+            .match_indices("<rect")
+            .map(|(i, _)| {
+                let frag = &s[i..];
+                frag.split("height=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap()
+            })
+            .collect();
+        let bars = &heights[1..heights.len() - 1];
+        assert!(bars[1] > bars[0] * 1.8, "bars {bars:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per category")]
+    fn mismatched_values_rejected() {
+        let _ = BarChart::new("x", "y", vec!["a".into()])
+            .series(BarSeries::new("s", vec![1.0, 2.0], "#000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a series")]
+    fn empty_chart_rejected() {
+        let _ = BarChart::new("x", "y", vec!["a".into()]).render();
+    }
+}

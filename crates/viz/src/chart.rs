@@ -1,0 +1,296 @@
+//! Line/scatter charts with axes, ticks and a legend.
+
+use crate::svg::{nice_ticks, LinearScale, Svg};
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples; NaN y values break the line.
+    pub points: Vec<(f64, f64)>,
+    /// CSS color.
+    pub color: String,
+    /// Draw markers at the sample points.
+    pub markers: bool,
+}
+
+impl Series {
+    /// Creates a line series.
+    pub fn line(label: impl Into<String>, points: Vec<(f64, f64)>, color: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+            color: color.into(),
+            markers: false,
+        }
+    }
+
+    /// Creates a line series with point markers.
+    pub fn marked(
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+        color: impl Into<String>,
+    ) -> Self {
+        Series {
+            markers: true,
+            ..Series::line(label, points, color)
+        }
+    }
+}
+
+/// A 2D chart.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    width: f64,
+    height: f64,
+}
+
+const MARGIN_LEFT: f64 = 62.0;
+const MARGIN_RIGHT: f64 = 18.0;
+const MARGIN_TOP: f64 = 34.0;
+const MARGIN_BOTTOM: f64 = 46.0;
+
+impl Chart {
+    /// Starts a chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            width: 560.0,
+            height: 360.0,
+        }
+    }
+
+    /// Overrides the pixel size.
+    pub fn size(mut self, width: f64, height: f64) -> Self {
+        assert!(width > 120.0 && height > 120.0, "chart too small to label");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Data extent over all finite points, or `None` when empty.
+    fn extent(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut ext: Option<(f64, f64, f64, f64)> = None;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                ext = Some(match ext {
+                    None => (x, x, y, y),
+                    Some((x0, x1, y0, y1)) => (x0.min(x), x1.max(x), y0.min(y), y1.max(y)),
+                });
+            }
+        }
+        ext
+    }
+
+    /// Renders the chart to SVG.
+    ///
+    /// # Panics
+    /// Panics when no series holds any finite point.
+    pub fn render(&self) -> String {
+        let (x0, x1, y0, y1) = self.extent().expect("chart needs data");
+        // Pad degenerate ranges so scales stay valid.
+        let (x0, x1) = if (x1 - x0).abs() < 1e-12 {
+            (x0 - 1.0, x1 + 1.0)
+        } else {
+            (x0, x1)
+        };
+        let (y0, y1) = if (y1 - y0).abs() < 1e-12 {
+            (y0 - 1.0, y1 + 1.0)
+        } else {
+            // Headroom above the data.
+            (y0, y1 + (y1 - y0) * 0.08)
+        };
+
+        let mut svg = Svg::new(self.width, self.height);
+        svg.background("white");
+        let plot_w = self.width - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = self.height - MARGIN_TOP - MARGIN_BOTTOM;
+        let xs = LinearScale::new(x0, x1, MARGIN_LEFT, MARGIN_LEFT + plot_w);
+        let ys = LinearScale::new(y0, y1, MARGIN_TOP + plot_h, MARGIN_TOP);
+
+        // Frame and title.
+        svg.rect(
+            MARGIN_LEFT,
+            MARGIN_TOP,
+            plot_w,
+            plot_h,
+            "none",
+            "#333333",
+            1.0,
+        );
+        svg.text_anchored(
+            self.width / 2.0,
+            20.0,
+            13.0,
+            "#111111",
+            &self.title,
+            "middle",
+        );
+
+        // Ticks and grid.
+        for t in nice_ticks(x0, x1, 6) {
+            let px = xs.map(t);
+            svg.dashed_line(px, MARGIN_TOP, px, MARGIN_TOP + plot_h, "#dddddd", 0.6);
+            svg.text_anchored(
+                px,
+                MARGIN_TOP + plot_h + 14.0,
+                9.0,
+                "#333333",
+                &format_tick(t),
+                "middle",
+            );
+        }
+        for t in nice_ticks(y0, y1, 6) {
+            let py = ys.map(t);
+            svg.dashed_line(MARGIN_LEFT, py, MARGIN_LEFT + plot_w, py, "#dddddd", 0.6);
+            svg.text_anchored(
+                MARGIN_LEFT - 6.0,
+                py + 3.0,
+                9.0,
+                "#333333",
+                &format_tick(t),
+                "end",
+            );
+        }
+        svg.text_anchored(
+            MARGIN_LEFT + plot_w / 2.0,
+            self.height - 10.0,
+            11.0,
+            "#111111",
+            &self.x_label,
+            "middle",
+        );
+        svg.text(6.0, MARGIN_TOP - 10.0, 11.0, "#111111", &self.y_label);
+
+        // Series.
+        for s in &self.series {
+            // Split at NaNs so gaps break the line.
+            let mut run: Vec<(f64, f64)> = Vec::new();
+            let flush = |svg: &mut Svg, run: &mut Vec<(f64, f64)>| {
+                svg.polyline(run, &s.color, 1.8);
+                run.clear();
+            };
+            for &(x, y) in &s.points {
+                if x.is_finite() && y.is_finite() {
+                    run.push((xs.map(x), ys.map(y)));
+                } else {
+                    flush(&mut svg, &mut run);
+                }
+            }
+            flush(&mut svg, &mut run);
+            if s.markers {
+                for &(x, y) in &s.points {
+                    if x.is_finite() && y.is_finite() {
+                        svg.circle(xs.map(x), ys.map(y), 2.4, &s.color);
+                    }
+                }
+            }
+        }
+
+        // Legend.
+        for (k, s) in self.series.iter().enumerate() {
+            let ly = MARGIN_TOP + 14.0 + 14.0 * k as f64;
+            let lx = MARGIN_LEFT + 10.0;
+            svg.line(lx, ly - 3.0, lx + 18.0, ly - 3.0, &s.color, 2.0);
+            svg.text(lx + 24.0, ly, 10.0, "#111111", &s.label);
+        }
+
+        svg.render()
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 || v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Chart {
+        Chart::new("demo", "x", "y")
+            .series(Series::marked("a", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)], "#cc3311"))
+            .series(Series::line("b", vec![(0.0, 2.0), (2.0, 0.5)], "#0077bb"))
+    }
+
+    #[test]
+    fn renders_axes_series_and_legend() {
+        let s = demo().render();
+        assert!(s.contains("<svg"));
+        assert!(s.contains("demo"));
+        assert_eq!(s.matches("<polyline").count(), 2);
+        assert_eq!(s.matches("<circle").count(), 3); // markers on series a
+        assert!(s.contains(">a</text>") && s.contains(">b</text>"));
+    }
+
+    #[test]
+    fn nan_breaks_the_line() {
+        let c = Chart::new("gap", "x", "y").series(Series::line(
+            "g",
+            vec![(0.0, 1.0), (1.0, f64::NAN), (2.0, 1.0), (3.0, 2.0)],
+            "#000",
+        ));
+        let s = c.render();
+        // One pre-gap run has a single point (dropped), post-gap run drawn:
+        // exactly one polyline.
+        assert_eq!(s.matches("<polyline").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_chart_panics() {
+        let _ = Chart::new("empty", "x", "y").render();
+    }
+
+    #[test]
+    fn constant_series_still_renders() {
+        let c = Chart::new("flat", "x", "y")
+            .series(Series::line("f", vec![(0.0, 5.0), (1.0, 5.0)], "#000"));
+        let s = c.render();
+        assert!(s.contains("<polyline"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(250.0), "250");
+        assert_eq!(format_tick(2.5), "2.5");
+        assert_eq!(format_tick(0.25), "0.25");
+        assert_eq!(format_tick(-80.0), "-80");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_chart_rejected() {
+        let _ = Chart::new("t", "x", "y").size(50.0, 50.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Floor-plan rendering: environments, deployments, tags and estimates.
+
+use crate::svg::{LinearScale, Svg};
+use vire_env::{Deployment, Environment};
+use vire_geom::{Aabb, Point2};
+
+/// A floor-plan drawing in world (meter) coordinates.
+#[derive(Debug)]
+pub struct FloorPlan {
+    title: String,
+    bounds: Aabb,
+    px_per_meter: f64,
+    walls: Vec<(Point2, Point2)>,
+    obstacles: Vec<(Point2, Point2)>,
+    readers: Vec<Point2>,
+    references: Vec<Point2>,
+    tags: Vec<(Point2, String)>,
+    estimates: Vec<(Point2, Point2)>, // (estimate, truth) pairs
+}
+
+impl FloorPlan {
+    /// Starts a plan over `bounds` (world meters).
+    pub fn new(title: impl Into<String>, bounds: Aabb) -> Self {
+        FloorPlan {
+            title: title.into(),
+            bounds: bounds.inflated(0.5),
+            px_per_meter: 60.0,
+            walls: Vec::new(),
+            obstacles: Vec::new(),
+            readers: Vec::new(),
+            references: Vec::new(),
+            tags: Vec::new(),
+            estimates: Vec::new(),
+        }
+    }
+
+    /// Builds a plan pre-populated from an environment + deployment.
+    pub fn of(title: impl Into<String>, env: &Environment, deployment: &Deployment) -> Self {
+        let mut bounds = env.extent();
+        for r in &deployment.readers {
+            bounds = bounds.expanded_to(*r);
+        }
+        let mut plan = FloorPlan::new(title, bounds);
+        for w in &env.walls {
+            plan.walls.push((w.segment.a, w.segment.b));
+        }
+        for o in &env.obstacles {
+            plan.obstacles.push((o.segment.a, o.segment.b));
+        }
+        plan.readers = deployment.readers.clone();
+        plan.references = deployment.reference_positions();
+        plan
+    }
+
+    /// Adds a labeled tracking tag at its true position.
+    pub fn tag(&mut self, position: Point2, label: impl Into<String>) -> &mut Self {
+        self.tags.push((position, label.into()));
+        self
+    }
+
+    /// Adds an estimate with the true position it targets; rendered as a
+    /// cross connected to the truth by an error whisker.
+    pub fn estimate(&mut self, estimate: Point2, truth: Point2) -> &mut Self {
+        self.estimates.push((estimate, truth));
+        self
+    }
+
+    /// Adds an extra reference site (e.g. a scattered reference).
+    pub fn reference(&mut self, position: Point2) -> &mut Self {
+        self.references.push(position);
+        self
+    }
+
+    /// Renders to SVG. North (max y) is up.
+    pub fn render(&self) -> String {
+        let w_px = self.bounds.width() * self.px_per_meter;
+        let h_px = self.bounds.height() * self.px_per_meter + 24.0;
+        let mut svg = Svg::new(w_px.max(200.0), h_px.max(150.0));
+        svg.background("white");
+        let xs = LinearScale::new(self.bounds.min.x, self.bounds.max.x, 0.0, w_px);
+        let ys = LinearScale::new(self.bounds.min.y, self.bounds.max.y, h_px - 4.0, 24.0);
+        let map = |p: Point2| (xs.map(p.x), ys.map(p.y));
+
+        svg.text(6.0, 15.0, 12.0, "#111111", &self.title);
+
+        for &(a, b) in &self.walls {
+            let (x1, y1) = map(a);
+            let (x2, y2) = map(b);
+            svg.line(x1, y1, x2, y2, "#444444", 3.0);
+        }
+        for &(a, b) in &self.obstacles {
+            let (x1, y1) = map(a);
+            let (x2, y2) = map(b);
+            svg.line(x1, y1, x2, y2, "#886600", 4.0);
+        }
+        for &p in &self.references {
+            let (x, y) = map(p);
+            svg.circle(x, y, 3.0, "#0077bb");
+        }
+        for &p in &self.readers {
+            let (x, y) = map(p);
+            svg.rect(x - 5.0, y - 5.0, 10.0, 10.0, "#009988", "#005544", 1.0);
+        }
+        for (p, label) in &self.tags {
+            let (x, y) = map(*p);
+            svg.circle(x, y, 4.0, "#cc3311");
+            svg.text(x + 6.0, y - 4.0, 9.0, "#cc3311", label);
+        }
+        for &(est, truth) in &self.estimates {
+            let (ex, ey) = map(est);
+            let (tx, ty) = map(truth);
+            svg.dashed_line(tx, ty, ex, ey, "#ee7733", 1.0);
+            // Cross marker at the estimate.
+            svg.line(ex - 4.0, ey - 4.0, ex + 4.0, ey + 4.0, "#ee7733", 1.6);
+            svg.line(ex - 4.0, ey + 4.0, ex + 4.0, ey - 4.0, "#ee7733", 1.6);
+        }
+        svg.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vire_env::presets::env3;
+
+    #[test]
+    fn environment_plan_draws_all_geometry() {
+        let env = env3();
+        let dep = Deployment::paper_testbed();
+        let plan = FloorPlan::of("Env3", &env, &dep);
+        let s = plan.render();
+        // 4 walls as lines + 3 obstacles as lines = at least 7 <line>.
+        assert!(s.matches("<line").count() >= 7);
+        // 16 reference circles.
+        assert!(s.matches("<circle").count() >= 16);
+        // 4 reader squares (+1 background rect).
+        assert!(s.matches("<rect").count() >= 5);
+        assert!(s.contains("Env3"));
+    }
+
+    #[test]
+    fn tags_and_estimates_are_drawn() {
+        let env = env3();
+        let dep = Deployment::paper_testbed();
+        let mut plan = FloorPlan::of("t", &env, &dep);
+        plan.tag(Point2::new(1.5, 1.5), "asset");
+        plan.estimate(Point2::new(1.6, 1.4), Point2::new(1.5, 1.5));
+        let s = plan.render();
+        assert!(s.contains("asset"));
+        assert!(s.contains("stroke-dasharray")); // the error whisker
+    }
+
+    #[test]
+    fn north_is_up() {
+        // A point with a larger y must land at a smaller pixel y.
+        let plan = FloorPlan::new("axes", Aabb::new(Point2::ORIGIN, Point2::new(4.0, 4.0)));
+        let mut south = plan;
+        south.tag(Point2::new(2.0, 0.5), "S");
+        south.tag(Point2::new(2.0, 3.5), "N");
+        let s = south.render();
+        // Extract circle cy values in insertion order.
+        let cys: Vec<f64> = s
+            .match_indices("<circle")
+            .map(|(i, _)| {
+                let frag = &s[i..];
+                let cy = frag.split("cy=\"").nth(1).unwrap();
+                cy.split('"').next().unwrap().parse().unwrap()
+            })
+            .collect();
+        assert!(cys[0] > cys[1], "south tag must render below north tag");
+    }
+}

@@ -1,0 +1,31 @@
+//! # vire-viz
+//!
+//! Dependency-free SVG rendering for the VIRE reproduction:
+//!
+//! * [`svg`] — a minimal SVG document builder (the only drawing substrate
+//!   the crate needs; hand-rolled so the approved dependency set stays
+//!   untouched),
+//! * [`floorplan`] — environments, deployments, tags and estimates drawn
+//!   on the floor plan (the Fig. 1/Fig. 2(a) style diagrams),
+//! * [`chart`] — line/scatter charts with axes for the curve figures
+//!   (Fig. 3, 7, 8, the latency and CDF extensions),
+//! * [`bars`] — grouped bar charts (the Fig. 2(b)/Fig. 6 form),
+//! * [`raster`] — cell rasters for proximity maps and error heatmaps
+//!   (Fig. 5 and the heatmap extension).
+//!
+//! Everything renders to an SVG string; the `render_figures` example in
+//! the workspace root writes the full set to `target/figures/`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bars;
+pub mod chart;
+pub mod floorplan;
+pub mod raster;
+pub mod svg;
+
+pub use bars::{BarChart, BarSeries};
+pub use chart::{Chart, Series};
+pub use floorplan::FloorPlan;
+pub use svg::Svg;

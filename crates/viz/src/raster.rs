@@ -1,0 +1,99 @@
+//! Cell rasters: proximity maps (Fig. 5) and error heatmaps as SVG.
+
+use crate::svg::{LinearScale, Svg};
+use vire_geom::GridData;
+
+/// Renders a boolean mask (a proximity map or elimination result) as a
+/// cell raster; `true` cells are filled with `on_color`.
+pub fn mask_raster(title: &str, mask: &GridData<bool>, on_color: &str) -> String {
+    let grid = *mask.grid();
+    let cell = (480.0 / grid.nx().max(grid.ny()) as f64).clamp(2.0, 24.0);
+    let w = grid.nx() as f64 * cell;
+    let h = grid.ny() as f64 * cell + 24.0;
+    let mut svg = Svg::new(w.max(200.0), h);
+    svg.background("white");
+    svg.text(6.0, 15.0, 12.0, "#111111", title);
+    let ys = LinearScale::new(0.0, grid.ny() as f64, h - 4.0 - cell, 20.0);
+    for (idx, &set) in GridData::iter(mask) {
+        let x = idx.i as f64 * cell;
+        let y = ys.map(idx.j as f64);
+        let fill = if set { on_color } else { "#f2f2f2" };
+        svg.rect(x, y, cell - 0.5, cell - 0.5, fill, "none", 0.0);
+    }
+    svg.render()
+}
+
+/// Renders a scalar field (e.g. an error heatmap) with a white→red ramp
+/// scaled to the field's own finite range.
+pub fn scalar_raster(title: &str, field: &GridData<f64>) -> String {
+    let grid = *field.grid();
+    let (lo, hi) = field.min_max().unwrap_or((0.0, 1.0));
+    let span = (hi - lo).max(1e-9);
+    let cell = (480.0 / grid.nx().max(grid.ny()) as f64).clamp(2.0, 40.0);
+    let w = grid.nx() as f64 * cell;
+    let h = grid.ny() as f64 * cell + 24.0;
+    let mut svg = Svg::new(w.max(240.0), h);
+    svg.background("white");
+    svg.text(
+        6.0,
+        15.0,
+        12.0,
+        "#111111",
+        &format!("{title} ({lo:.2}..{hi:.2})"),
+    );
+    let ys = LinearScale::new(0.0, grid.ny() as f64, h - 4.0 - cell, 20.0);
+    for (idx, &v) in field.iter() {
+        let x = idx.i as f64 * cell;
+        let y = ys.map(idx.j as f64);
+        let fill = if v.is_finite() {
+            ramp((v - lo) / span)
+        } else {
+            "#bbbbbb".to_string()
+        };
+        svg.rect(x, y, cell - 0.5, cell - 0.5, &fill, "none", 0.0);
+    }
+    svg.render()
+}
+
+/// White→red color ramp for `t ∈ [0, 1]`.
+fn ramp(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    let g = (255.0 * (1.0 - 0.85 * t)).round() as u8;
+    let b = (255.0 * (1.0 - 0.95 * t)).round() as u8;
+    format!("#ff{g:02x}{b:02x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vire_geom::{GridIndex, Point2, RegularGrid};
+
+    #[test]
+    fn mask_raster_draws_one_rect_per_cell() {
+        let g = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let mut mask = GridData::filled(g, false);
+        mask.set(GridIndex::new(1, 1), true);
+        let s = mask_raster("m", &mask, "#0077bb");
+        // 16 cells + background.
+        assert_eq!(s.matches("<rect").count(), 17);
+        assert_eq!(s.matches("#0077bb").count(), 1);
+    }
+
+    #[test]
+    fn scalar_raster_scales_to_field_range() {
+        let g = RegularGrid::square(Point2::ORIGIN, 1.0, 3);
+        let f = GridData::from_fn(g, |idx, _| (idx.i + idx.j) as f64);
+        let s = scalar_raster("err", &f);
+        assert!(s.contains("(0.00..4.00)"));
+        assert_eq!(s.matches("<rect").count(), 10);
+    }
+
+    #[test]
+    fn ramp_endpoints() {
+        assert_eq!(ramp(0.0), "#ffffff");
+        assert!(ramp(1.0).starts_with("#ff"));
+        assert_ne!(ramp(1.0), "#ffffff");
+        assert_eq!(ramp(-5.0), ramp(0.0));
+        assert_eq!(ramp(7.0), ramp(1.0));
+    }
+}

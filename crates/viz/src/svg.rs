@@ -1,0 +1,307 @@
+//! A minimal SVG document builder.
+//!
+//! Covers exactly the elements the other modules draw with — lines,
+//! rectangles, circles, polylines, text — with attribute escaping and a
+//! proper XML header. No external dependencies.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct Svg {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escapes text content / attribute values.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+impl Svg {
+    /// Starts a document with the given pixel dimensions.
+    ///
+    /// # Panics
+    /// Panics on non-positive dimensions.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0,
+            "SVG dimensions must be positive"
+        );
+        Svg {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Document width, px.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height, px.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Fills the background with a solid color.
+    pub fn background(&mut self, color: &str) -> &mut Self {
+        let (w, h) = (self.width, self.height);
+        self.rect(0.0, 0.0, w, h, color, "none", 0.0)
+    }
+
+    /// Draws a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) -> &mut Self {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{}" stroke-width="{width:.2}"/>"#,
+            escape(stroke)
+        );
+        self
+    }
+
+    /// Draws a rectangle (x, y is the top-left corner).
+    #[allow(clippy::too_many_arguments)] // a rect IS seven numbers + paint
+    pub fn rect(
+        &mut self,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        fill: &str,
+        stroke: &str,
+        stroke_width: f64,
+    ) -> &mut Self {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{}" stroke="{}" stroke-width="{stroke_width:.2}"/>"#,
+            escape(fill),
+            escape(stroke)
+        );
+        self
+    }
+
+    /// Draws a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) -> &mut Self {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{}"/>"#,
+            escape(fill)
+        );
+        self
+    }
+
+    /// Draws an open polyline through the given pixel points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) -> &mut Self {
+        if points.len() < 2 {
+            return self;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{width:.2}"/>"#,
+            pts.join(" "),
+            escape(stroke)
+        );
+        self
+    }
+
+    /// Draws text anchored at its start.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, fill: &str, content: &str) -> &mut Self {
+        self.text_anchored(x, y, size, fill, content, "start")
+    }
+
+    /// Draws text with an explicit anchor (`start`/`middle`/`end`).
+    pub fn text_anchored(
+        &mut self,
+        x: f64,
+        y: f64,
+        size: f64,
+        fill: &str,
+        content: &str,
+        anchor: &str,
+    ) -> &mut Self {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" fill="{}" text-anchor="{}">{}</text>"#,
+            escape(fill),
+            escape(anchor),
+            escape(content)
+        );
+        self
+    }
+
+    /// Draws a dashed line.
+    pub fn dashed_line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        width: f64,
+    ) -> &mut Self {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{}" stroke-width="{width:.2}" stroke-dasharray="4 3"/>"#,
+            escape(stroke)
+        );
+        self
+    }
+
+    /// Serializes the document.
+    pub fn render(&self) -> String {
+        format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+
+    /// Number of drawn elements (for tests).
+    pub fn element_count(&self) -> usize {
+        self.body.lines().count()
+    }
+}
+
+/// Maps a value range onto a pixel range (used by charts and plans).
+#[derive(Debug, Clone, Copy)]
+pub struct LinearScale {
+    v0: f64,
+    v1: f64,
+    p0: f64,
+    p1: f64,
+}
+
+impl LinearScale {
+    /// A scale mapping `[v0, v1]` onto `[p0, p1]` (either may be
+    /// inverted — SVG's y axis grows downward).
+    ///
+    /// # Panics
+    /// Panics when the value range is degenerate.
+    pub fn new(v0: f64, v1: f64, p0: f64, p1: f64) -> Self {
+        assert!((v1 - v0).abs() > 1e-12, "degenerate value range");
+        LinearScale { v0, v1, p0, p1 }
+    }
+
+    /// Maps a value to pixels.
+    pub fn map(&self, v: f64) -> f64 {
+        self.p0 + (v - self.v0) / (self.v1 - self.v0) * (self.p1 - self.p0)
+    }
+
+    /// The value range covered.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.v0, self.v1)
+    }
+}
+
+/// Picks "nice" tick positions covering `[lo, hi]` with about `count`
+/// ticks (1/2/5 × 10^k steps).
+pub fn nice_ticks(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    debug_assert!(hi > lo && count >= 2);
+    let raw_step = (hi - lo) / count as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 1e-9 {
+        // Snap float drift onto the step lattice.
+        ticks.push((t / step).round() * step);
+        t += step;
+    }
+    ticks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_is_well_formed() {
+        let mut svg = Svg::new(100.0, 50.0);
+        svg.background("white")
+            .line(0.0, 0.0, 10.0, 10.0, "black", 1.0)
+            .circle(5.0, 5.0, 2.0, "red")
+            .text(1.0, 1.0, 10.0, "black", "hi");
+        let s = svg.render();
+        assert!(s.starts_with("<?xml"));
+        assert!(s.contains("<svg "));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert_eq!(s.matches("<line").count(), 1);
+        assert_eq!(s.matches("<circle").count(), 1);
+        assert_eq!(svg.element_count(), 4);
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut svg = Svg::new(10.0, 10.0);
+        svg.text(0.0, 0.0, 8.0, "black", "a < b & c > \"d\"");
+        let s = svg.render();
+        assert!(s.contains("a &lt; b &amp; c &gt; &quot;d&quot;"));
+        assert!(!s.contains("a < b"));
+    }
+
+    #[test]
+    fn short_polyline_is_skipped() {
+        let mut svg = Svg::new(10.0, 10.0);
+        svg.polyline(&[(1.0, 1.0)], "blue", 1.0);
+        assert_eq!(svg.element_count(), 0);
+        svg.polyline(&[(1.0, 1.0), (2.0, 2.0)], "blue", 1.0);
+        assert_eq!(svg.element_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn zero_size_rejected() {
+        Svg::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn linear_scale_maps_endpoints() {
+        let s = LinearScale::new(0.0, 10.0, 100.0, 200.0);
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(10.0), 200.0);
+        assert_eq!(s.map(5.0), 150.0);
+        // Inverted pixel range (SVG y).
+        let y = LinearScale::new(0.0, 1.0, 300.0, 0.0);
+        assert_eq!(y.map(0.0), 300.0);
+        assert_eq!(y.map(1.0), 0.0);
+        assert_eq!(s.domain(), (0.0, 10.0));
+    }
+
+    #[test]
+    fn nice_ticks_cover_range_with_round_steps() {
+        let t = nice_ticks(0.0, 4.0, 5);
+        assert!(t.contains(&0.0) && t.contains(&4.0));
+        for w in t.windows(2) {
+            assert!((w[1] - w[0] - 1.0).abs() < 1e-9);
+        }
+        let t2 = nice_ticks(-100.0, -60.0, 5);
+        assert!(t2.len() >= 3);
+        assert!(t2.iter().all(|&v| (-100.0..=-60.0).contains(&v)));
+    }
+
+    #[test]
+    fn nice_ticks_handle_small_ranges() {
+        let t = nice_ticks(0.0, 0.5, 5);
+        assert!(t.len() >= 4);
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the SVG renderer.
+
+use proptest::prelude::*;
+use vire_viz::chart::{Chart, Series};
+use vire_viz::svg::{nice_ticks, LinearScale, Svg};
+
+/// A rough well-formedness check: every opened tag closes, quotes balance.
+fn well_formed(svg: &str) -> bool {
+    svg.starts_with("<?xml")
+        && svg.trim_end().ends_with("</svg>")
+        && svg.matches('"').count() % 2 == 0
+        && svg.matches("<svg").count() == svg.matches("</svg>").count()
+        && svg.matches("<text").count() == svg.matches("</text>").count()
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_text_never_breaks_the_document(content in ".{0,60}") {
+        prop_assume!(!content.contains('\u{0}'));
+        let mut svg = Svg::new(200.0, 100.0);
+        svg.text(10.0, 10.0, 10.0, "black", &content);
+        prop_assert!(well_formed(&svg.render()), "broken for {content:?}");
+    }
+
+    #[test]
+    fn charts_render_well_formed_for_arbitrary_series(
+        ys in prop::collection::vec(-100.0..100.0f64, 2..30),
+        label in "[a-zA-Z<>&\" ]{1,20}",
+    ) {
+        let points: Vec<(f64, f64)> = ys.iter().enumerate().map(|(k, &y)| (k as f64, y)).collect();
+        let chart = Chart::new("prop", "x", "y").series(Series::marked(label, points, "#cc3311"));
+        let s = chart.render();
+        prop_assert!(well_formed(&s));
+        // All marker coordinates are inside the canvas.
+        for (i, _) in s.match_indices("<circle") {
+            let frag = &s[i..];
+            let cx: f64 = frag.split("cx=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
+            let cy: f64 = frag.split("cy=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
+            prop_assert!((0.0..=560.0).contains(&cx), "cx {cx}");
+            prop_assert!((0.0..=360.0).contains(&cy), "cy {cy}");
+        }
+    }
+
+    #[test]
+    fn linear_scale_is_affine(v in -100.0..100.0f64, w in -100.0..100.0f64) {
+        let s = LinearScale::new(-100.0, 100.0, 0.0, 500.0);
+        // Midpoint maps to midpoint — the affine property.
+        let mid = s.map((v + w) / 2.0);
+        prop_assert!((mid - (s.map(v) + s.map(w)) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nice_ticks_are_sorted_in_range_and_rounded(
+        lo in -50.0..50.0f64,
+        span in 0.1..200.0f64,
+    ) {
+        let hi = lo + span;
+        let ticks = nice_ticks(lo, hi, 6);
+        prop_assert!(!ticks.is_empty());
+        for w in ticks.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        for &t in &ticks {
+            prop_assert!(t >= lo - 1e-9 && t <= hi + 1e-9);
+        }
+        // Uniform spacing.
+        if ticks.len() >= 3 {
+            let step = ticks[1] - ticks[0];
+            for w in ticks.windows(2) {
+                prop_assert!((w[1] - w[0] - step).abs() < step * 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Office asset tracking in the hostile Env3 office.
+//!
+//! ```text
+//! cargo run --release --example office_asset_tracking
+//! ```
+//!
+//! The scenario the paper's introduction motivates: tagged assets
+//! scattered through a cluttered office, including one parked *outside*
+//! the reference lattice (the "Tag 9 problem"). Shows per-asset accuracy
+//! for LANDMARC, VIRE, and boundary-compensated VIRE.
+
+use vire::core::ext::BoundaryCompensatedVire;
+use vire::core::{Landmarc, Localizer, Vire, VireConfig};
+use vire::env::presets::env3;
+use vire::geom::Point2;
+use vire::sim::{Testbed, TestbedConfig};
+
+struct Asset {
+    name: &'static str,
+    position: Point2,
+}
+
+fn main() {
+    let assets = [
+        Asset { name: "laptop cart", position: Point2::new(0.8, 2.3) },
+        Asset { name: "projector", position: Point2::new(2.2, 1.4) },
+        Asset { name: "defibrillator", position: Point2::new(1.5, 0.5) },
+        Asset { name: "printer", position: Point2::new(2.9, 2.8) },
+        // Parked in the corridor nook, outside the reference lattice.
+        Asset { name: "wheelchair", position: Point2::new(3.3, 3.2) },
+    ];
+
+    let mut testbed = Testbed::new(TestbedConfig::paper(env3(), 21));
+    let ids: Vec<_> = assets
+        .iter()
+        .map(|a| testbed.add_tracking_tag(a.position))
+        .collect();
+    testbed.run_for(testbed.warmup_duration() * 2.0);
+
+    let map = testbed.reference_map().expect("warmed up");
+    let landmarc = Landmarc::default();
+    let vire = Vire::default();
+    let vire_b = BoundaryCompensatedVire::new(VireConfig::default(), 1);
+
+    println!(
+        "{:<14} {:>10} {:>10} {:>14}",
+        "asset", "LANDMARC", "VIRE", "VIRE+boundary"
+    );
+    let mut totals = [0.0f64; 3];
+    for (asset, id) in assets.iter().zip(&ids) {
+        let reading = testbed.tracking_reading(*id).expect("asset heard");
+        let errs: Vec<f64> = [&landmarc as &dyn Localizer, &vire, &vire_b]
+            .iter()
+            .map(|alg| {
+                alg.locate(&map, &reading)
+                    .map(|e| e.error(asset.position))
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        for (t, e) in totals.iter_mut().zip(&errs) {
+            *t += e;
+        }
+        println!(
+            "{:<14} {:>9.3}m {:>9.3}m {:>13.3}m",
+            asset.name, errs[0], errs[1], errs[2]
+        );
+    }
+    let n = assets.len() as f64;
+    println!(
+        "{:<14} {:>9.3}m {:>9.3}m {:>13.3}m",
+        "mean",
+        totals[0] / n,
+        totals[1] / n,
+        totals[2] / n
+    );
+    println!(
+        "\nVIRE cuts the mean error by {:.0}% over LANDMARC; the boundary\n\
+         extension mainly rescues the wheelchair parked outside the lattice.",
+        (1.0 - totals[1] / totals[0]) * 100.0
+    );
+}

@@ -1,0 +1,156 @@
+//! Renders the paper's figures as SVG images into `target/figures/`.
+//!
+//! ```text
+//! cargo run --release --example render_figures [-- --fast]
+//! ```
+//!
+//! Produces: the three environment floor plans with the tracking-tag
+//! placement (Fig. 1 + Fig. 2(a)), the LANDMARC bar chart (Fig. 2(b)),
+//! the RSSI-distance curve (Fig. 3), an elimination raster (Fig. 5), the
+//! VIRE-vs-LANDMARC grouped bars (Fig. 6(a-c)), the density and threshold
+//! sweeps (Fig. 7/8), and the error-heatmap extension.
+
+use std::fs;
+use std::path::Path;
+use vire::core::elimination::{eliminate, ThresholdMode};
+use vire::core::virtual_grid::{InterpolationKernel, VirtualGrid};
+use vire::core::Vire;
+use vire::env::presets::all_paper_environments;
+use vire::env::Deployment;
+use vire::exp::figures::{fig3, fig6, fig7, fig8, heatmap};
+use vire::exp::runner::collect_trial;
+use vire::geom::{GridData, Point2, RegularGrid};
+use vire::viz::{BarChart, BarSeries, Chart, FloorPlan, Series};
+
+fn write(dir: &Path, name: &str, svg: String) {
+    let path = dir.join(name);
+    fs::write(&path, svg).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let seeds: Vec<u64> = if fast { vec![1, 2] } else { (1..=10).collect() };
+    let dir = Path::new("target/figures");
+    fs::create_dir_all(dir).expect("create target/figures");
+
+    // Fig. 1 style floor plans + Fig. 2(a) tag placement.
+    let deployment = Deployment::paper_testbed();
+    for (k, env) in all_paper_environments().iter().enumerate() {
+        let mut plan = FloorPlan::of(env.name.clone(), env, &deployment);
+        for (no, &p) in Deployment::tracking_tags_fig2a().iter().enumerate() {
+            plan.tag(p, format!("{}", no + 1));
+        }
+        write(dir, &format!("fig1_env{}.svg", k + 1), plan.render());
+    }
+
+    // Fig. 3: RSSI vs distance.
+    let r3 = fig3::run_default();
+    let measured: Vec<(f64, f64)> = r3.points.iter().map(|p| (p.distance, p.mean)).collect();
+    let lo: Vec<(f64, f64)> = r3.points.iter().map(|p| (p.distance, p.min)).collect();
+    let hi: Vec<(f64, f64)> = r3.points.iter().map(|p| (p.distance, p.max)).collect();
+    let theory: Vec<(f64, f64)> = r3
+        .points
+        .iter()
+        .map(|p| (p.distance, p.theoretical))
+        .collect();
+    let chart = Chart::new("Fig. 3 — distance vs RSSI", "distance (m)", "RSSI (dBm)")
+        .series(Series::marked("measured mean", measured, "#cc3311"))
+        .series(Series::line("min", lo, "#ee99aa"))
+        .series(Series::line("max", hi, "#ee99aa"))
+        .series(Series::line("theoretical", theory, "#0077bb"));
+    write(dir, "fig3_rssi_distance.svg", chart.render());
+
+    // Fig. 5: elimination rasters for one tag in Env3.
+    let env3 = &all_paper_environments()[2];
+    let trial = collect_trial(env3, &[Point2::new(1.5, 1.5)], 7);
+    let grid = VirtualGrid::build(&trial.map, 10, InterpolationKernel::Linear);
+    if let Some(result) = eliminate(&grid, &trial.tags[0].reading, ThresholdMode::Fixed(3.0)) {
+        write(
+            dir,
+            "fig5_intersection.svg",
+            vire::viz::raster::mask_raster("Fig. 5 — surviving regions", &result.mask, "#0077bb"),
+        );
+    }
+
+    // Fig. 2(b): LANDMARC errors as grouped bars across environments.
+    let r2 = vire::exp::figures::fig2::run(&seeds);
+    let cats: Vec<String> = (1..=9).map(|t| t.to_string()).collect();
+    let chart = BarChart::new(
+        "Fig. 2(b) — LANDMARC estimation error",
+        "estimation error (m)",
+        cats.clone(),
+    )
+    .series(BarSeries::new("Env1", r2.errors[0].clone(), "#0077bb"))
+    .series(BarSeries::new("Env2", r2.errors[1].clone(), "#009988"))
+    .series(BarSeries::new("Env3", r2.errors[2].clone(), "#cc3311"));
+    write(dir, "fig2b_landmarc.svg", chart.render());
+
+    // Fig. 6: per-tag errors, one bar chart per environment (the paper's
+    // own form).
+    let r6 = fig6::run(&seeds);
+    for e in 0..3 {
+        let chart = BarChart::new(
+            format!("Fig. 6({}) — {}", ['a', 'b', 'c'][e], r6.environments[e]),
+            "estimation error (m)",
+            cats.clone(),
+        )
+        .series(BarSeries::new("LANDMARC", r6.landmarc[e].clone(), "#cc3311"))
+        .series(BarSeries::new("VIRE", r6.vire[e].clone(), "#0077bb"));
+        write(dir, &format!("fig6{}.svg", ['a', 'b', 'c'][e]), chart.render());
+    }
+
+    // Fig. 7: density sweep.
+    let r7 = fig7::run(&seeds);
+    let pts: Vec<(f64, f64)> = r7
+        .points
+        .iter()
+        .map(|p| (p.total_tags as f64, p.non_boundary_error))
+        .collect();
+    let chart = Chart::new(
+        "Fig. 7 — virtual reference tags vs accuracy (Env3)",
+        "N² (total reference tags)",
+        "estimation error (m)",
+    )
+    .series(Series::marked("VIRE", pts, "#0077bb"));
+    write(dir, "fig7_density.svg", chart.render());
+
+    // Fig. 8: threshold sweep.
+    let r8 = fig8::run(&seeds);
+    let pts: Vec<(f64, f64)> = r8
+        .points
+        .iter()
+        .map(|p| (p.threshold, p.non_boundary_error))
+        .collect();
+    let adaptive: Vec<(f64, f64)> = r8
+        .points
+        .iter()
+        .map(|p| (p.threshold, r8.adaptive_error))
+        .collect();
+    let chart = Chart::new(
+        "Fig. 8 — threshold vs accuracy (Env3, N²=961)",
+        "threshold (dB)",
+        "estimation error (m)",
+    )
+    .series(Series::marked("fixed threshold", pts, "#cc3311"))
+    .series(Series::line("adaptive", adaptive, "#0077bb"));
+    write(dir, "fig8_threshold.svg", chart.render());
+
+    // Extension: spatial error heatmap as a scalar raster.
+    let hm = heatmap::run(env3, &Vire::default(), 13, 0.4, 1);
+    let probe_grid = RegularGrid::new(
+        Point2::new(hm.origin.0, hm.origin.1),
+        hm.pitch,
+        hm.pitch,
+        hm.side,
+        hm.side,
+    );
+    let field = GridData::from_vec(probe_grid, hm.errors.clone());
+    write(
+        dir,
+        "heatmap_env3.svg",
+        vire::viz::raster::scalar_raster("VIRE error heatmap, Env3 (m)", &field),
+    );
+
+    println!("done — open target/figures/*.svg");
+}

@@ -1,0 +1,75 @@
+//! Regenerates every figure of the paper's evaluation plus this
+//! reproduction's ablations, printing the tables EXPERIMENTS.md records.
+//!
+//! ```text
+//! cargo run --release --example reproduce_all            # 10-seed default
+//! cargo run --release --example reproduce_all -- --fast  # 3 seeds
+//! ```
+
+use vire::exp::figures::{ablations, cdf, characterization, fig2, fig3, fig4, fig5, fig6, fig7, fig8, heatmap, latency};
+use vire::exp::report::to_json;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let seeds: Vec<u64> = if fast { vec![1, 2, 3] } else { (1..=10).collect() };
+    let json = std::env::args().any(|a| a == "--json");
+
+    println!("# VIRE reproduction — full evaluation (seeds: {seeds:?})\n");
+
+    let r2 = fig2::run(&seeds);
+    println!("{}", fig2::render(&r2));
+    let r3 = fig3::run_default();
+    println!("{}", fig3::render(&r3));
+    let r4 = fig4::run_default();
+    println!("{}", fig4::render(&r4));
+    let r5 = fig5::run_default();
+    println!("{}", fig5::render(&r5));
+    let r6 = fig6::run(&seeds);
+    println!("{}", fig6::render(&r6));
+    let r7 = fig7::run(&seeds);
+    println!("{}", fig7::render(&r7));
+    let r8 = fig8::run(&seeds);
+    println!("{}", fig8::render(&r8));
+
+    println!("# Extensions\n");
+    for env in vire::env::presets::all_paper_environments() {
+        let positions = if fast { 24 } else { 64 };
+        println!("{}", cdf::render(&cdf::run(&env, positions, 1)));
+    }
+
+    for env in vire::env::presets::all_paper_environments() {
+        let r = heatmap::run(&env, &vire::core::Vire::default(), 13, 0.4, 1);
+        println!("{}", heatmap::render(&r));
+    }
+    println!("{}", latency::render(&latency::run(&seeds)));
+    println!("{}", characterization::render(&characterization::run(1)));
+
+    println!("# Ablations\n");
+    for study in [
+        ablations::kernels(&seeds),
+        ablations::weighting(&seeds),
+        ablations::equipment(&seeds),
+        ablations::boundary(&seeds),
+        ablations::reader_count(&seeds),
+        ablations::smoothing(&seeds),
+        ablations::grid_spacing(&seeds),
+        ablations::channel_fidelity(&seeds),
+        ablations::landmarc_k(&seeds),
+        ablations::reader_placement(&seeds),
+    ] {
+        println!("{}", ablations::render(&study));
+    }
+
+    if json {
+        println!("# Machine-readable results\n");
+        println!("```json");
+        println!(
+            "{{\"fig2\": {}, \"fig6\": {}, \"fig7\": {}, \"fig8\": {}}}",
+            to_json(&r2),
+            to_json(&r6),
+            to_json(&r7),
+            to_json(&r8)
+        );
+        println!("```");
+    }
+}

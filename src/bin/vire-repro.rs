@@ -1,0 +1,195 @@
+//! `vire-repro` — command-line driver for the reproduction.
+//!
+//! ```text
+//! vire-repro <figure> [--seeds N] [--json]
+//! vire-repro all [--seeds N]
+//! vire-repro list
+//! ```
+//!
+//! Figures: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablations`.
+
+use std::process::ExitCode;
+use vire::exp::figures::{ablations, cdf, characterization, fig2, fig3, fig4, fig5, fig6, fig7, fig8, heatmap, latency};
+use vire::exp::report::to_json;
+
+struct Options {
+    command: String,
+    seeds: Vec<u64>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command; try `vire-repro list`")?;
+    let mut seeds: Vec<u64> = (1..=10).collect();
+    let mut json = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let n: u64 = args
+                    .next()
+                    .ok_or("--seeds needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+                if n == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+                seeds = (1..=n).collect();
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Options {
+        command,
+        seeds,
+        json,
+    })
+}
+
+fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
+    match name {
+        "fig2" => {
+            let r = fig2::run(seeds);
+            print!("{}", fig2::render(&r));
+            if json {
+                println!("{}", to_json(&r));
+            }
+        }
+        "fig3" => {
+            let r = fig3::run_default();
+            print!("{}", fig3::render(&r));
+            if json {
+                println!("{}", to_json(&r));
+            }
+        }
+        "fig4" => {
+            let r = fig4::run_default();
+            print!("{}", fig4::render(&r));
+            if json {
+                println!("{}", to_json(&r));
+            }
+        }
+        "fig5" => {
+            let r = fig5::run_default();
+            print!("{}", fig5::render(&r));
+            if json {
+                println!("{}", to_json(&r));
+            }
+        }
+        "fig6" => {
+            let r = fig6::run(seeds);
+            print!("{}", fig6::render(&r));
+            if json {
+                println!("{}", to_json(&r));
+            }
+        }
+        "fig7" => {
+            let r = fig7::run(seeds);
+            print!("{}", fig7::render(&r));
+            if json {
+                println!("{}", to_json(&r));
+            }
+        }
+        "fig8" => {
+            let r = fig8::run(seeds);
+            print!("{}", fig8::render(&r));
+            if json {
+                println!("{}", to_json(&r));
+            }
+        }
+        "cdf" => {
+            for env in vire::env::presets::all_paper_environments() {
+                let r = cdf::run(&env, 64, 1);
+                print!("{}", cdf::render(&r));
+                if json {
+                    println!("{}", to_json(&r));
+                }
+            }
+        }
+        "characterization" => {
+            let r = characterization::run(1);
+            print!("{}", characterization::render(&r));
+            if json {
+                println!("{}", to_json(&r));
+            }
+        }
+        "heatmap" => {
+            for env in vire::env::presets::all_paper_environments() {
+                let r = heatmap::run(&env, &vire::core::Vire::default(), 13, 0.4, 1);
+                print!("{}", heatmap::render(&r));
+                if json {
+                    println!("{}", to_json(&r));
+                }
+            }
+        }
+        "latency" => {
+            let r = latency::run(seeds);
+            print!("{}", latency::render(&r));
+            if json {
+                println!("{}", to_json(&r));
+            }
+        }
+        "ablations" => {
+            for study in [
+                ablations::kernels(seeds),
+                ablations::weighting(seeds),
+                ablations::equipment(seeds),
+                ablations::boundary(seeds),
+                ablations::reader_count(seeds),
+                ablations::smoothing(seeds),
+                ablations::grid_spacing(seeds),
+                ablations::channel_fidelity(seeds),
+                ablations::landmarc_k(seeds),
+                ablations::reader_placement(seeds),
+            ] {
+                print!("{}", ablations::render(&study));
+                if json {
+                    println!("{}", to_json(&study));
+                }
+            }
+        }
+        other => return Err(format!("unknown figure {other}; try `vire-repro list`")),
+    }
+    Ok(())
+}
+
+const ALL: [&str; 12] = [
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "cdf", "heatmap",
+    "latency", "characterization", "ablations",
+];
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("vire-repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match opts.command.as_str() {
+        "list" => {
+            println!("figures: {}", ALL.join(" "));
+            println!("usage:   vire-repro <figure|all> [--seeds N] [--json]");
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for name in ALL {
+                if let Err(e) = run_figure(name, &opts.seeds, opts.json) {
+                    eprintln!("vire-repro: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        figure => match run_figure(figure, &opts.seeds, opts.json) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("vire-repro: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

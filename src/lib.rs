@@ -1,0 +1,29 @@
+//! # vire — façade crate
+//!
+//! Re-exports the full VIRE reproduction workspace under one roof. See the
+//! README for the architecture overview; the layers are:
+//!
+//! * [`geom`] — plane geometry, grids, interpolation kernels,
+//! * [`radio`] — the simulated RF propagation substrate,
+//! * `env` — indoor environment models (the paper's Env1/Env2/Env3),
+//! * [`sim`] — the active-RFID discrete-event testbed,
+//! * [`core`] — the localization algorithms (LANDMARC, VIRE, baselines),
+//! * [`exp`] — the experiment harness reproducing every paper figure,
+//! * [`viz`] — SVG rendering of floor plans, charts and rasters.
+
+pub use vire_core as core;
+pub use vire_env as env;
+pub use vire_exp as exp;
+pub use vire_geom as geom;
+pub use vire_radio as radio;
+pub use vire_sim as sim;
+pub use vire_viz as viz;
+
+/// Convenience prelude importing the types most programs need.
+pub mod prelude {
+    pub use vire_core::{LandmarcConfig, Localizer, VireConfig};
+    pub use vire_env::presets::{env1, env2, env3, EnvironmentKind};
+    pub use vire_exp::metrics::estimation_error;
+    pub use vire_geom::{Point2, RegularGrid};
+    pub use vire_sim::{Testbed, TestbedConfig};
+}

@@ -1,0 +1,159 @@
+//! End-to-end integration: testbed simulation → middleware → every
+//! localizer, across all three paper environments, through the façade.
+
+use vire::core::ext::{BoundaryCompensatedVire, TwoPassVire};
+use vire::core::nearest::{KCentroid, NearestReference};
+use vire::core::trilateration::{Trilateration, TrilaterationConfig};
+use vire::core::{Landmarc, Localizer, Vire, VireConfig};
+use vire::env::presets::all_paper_environments;
+use vire::env::Deployment;
+use vire::geom::Point2;
+use vire::sim::{Testbed, TestbedConfig};
+
+fn warmed_testbed(env_index: usize, seed: u64, tags: &[Point2]) -> (Testbed, Vec<vire::sim::TagId>) {
+    let env = all_paper_environments()[env_index].clone();
+    let mut tb = Testbed::new(TestbedConfig::paper(env, seed));
+    let ids = tags.iter().map(|&p| tb.add_tracking_tag(p)).collect();
+    tb.run_for(tb.warmup_duration() * 2.0);
+    (tb, ids)
+}
+
+#[test]
+fn every_localizer_runs_on_every_environment() {
+    let truth = Point2::new(1.4, 1.7);
+    for env_index in 0..3 {
+        let (tb, ids) = warmed_testbed(env_index, 11, &[truth]);
+        let map = tb.reference_map().expect("warmed up");
+        let reading = tb.tracking_reading(ids[0]).expect("tag heard");
+
+        let algs: Vec<Box<dyn Localizer>> = vec![
+            Box::new(Landmarc::default()),
+            Box::new(Vire::default()),
+            Box::new(Vire::new(VireConfig::with_fixed_threshold(2.5))),
+            Box::new(TwoPassVire::new(2, 10, 1)),
+            Box::new(BoundaryCompensatedVire::new(VireConfig::default(), 1)),
+            Box::new(Trilateration::new(TrilaterationConfig::default())),
+            Box::new(NearestReference),
+            Box::new(KCentroid::default()),
+        ];
+        for alg in &algs {
+            let est = alg
+                .locate(&map, &reading)
+                .unwrap_or_else(|e| panic!("{} failed in env {env_index}: {e}", alg.name()));
+            assert!(est.position.is_finite(), "{}", alg.name());
+            assert!(
+                est.error(truth) < 3.0,
+                "{} error {:.3} implausible in env {env_index}",
+                alg.name(),
+                est.error(truth)
+            );
+        }
+    }
+}
+
+#[test]
+fn vire_beats_landmarc_on_the_paper_testbed() {
+    // Aggregate over the nine Fig. 2(a) tags and two seeds in each
+    // environment — the headline claim, end to end.
+    let tags = Deployment::tracking_tags_fig2a();
+    for env_index in 0..3 {
+        let mut landmarc_total = 0.0;
+        let mut vire_total = 0.0;
+        for seed in [3, 4] {
+            let (tb, ids) = warmed_testbed(env_index, seed, &tags);
+            let map = tb.reference_map().expect("warmed up");
+            for (truth, id) in tags.iter().zip(&ids) {
+                let reading = tb.tracking_reading(*id).expect("tag heard");
+                landmarc_total += Landmarc::default()
+                    .locate(&map, &reading)
+                    .unwrap()
+                    .error(*truth);
+                vire_total += Vire::default().locate(&map, &reading).unwrap().error(*truth);
+            }
+        }
+        assert!(
+            vire_total < landmarc_total,
+            "env {env_index}: VIRE {vire_total:.2} must beat LANDMARC {landmarc_total:.2}"
+        );
+    }
+}
+
+#[test]
+fn reference_methods_beat_trilateration_in_the_office() {
+    // The reason reference-tag methods exist: model-inversion ranging
+    // collapses under Env3 multipath.
+    let tags = Deployment::tracking_tags_fig2a();
+    let (tb, ids) = warmed_testbed(2, 9, &tags);
+    let map = tb.reference_map().expect("warmed up");
+    let mut tri_total = 0.0;
+    let mut vire_total = 0.0;
+    for (truth, id) in tags.iter().zip(&ids) {
+        let reading = tb.tracking_reading(*id).expect("tag heard");
+        tri_total += Trilateration::default()
+            .locate(&map, &reading)
+            .unwrap()
+            .error(*truth);
+        vire_total += Vire::default().locate(&map, &reading).unwrap().error(*truth);
+    }
+    assert!(
+        vire_total < tri_total,
+        "VIRE {vire_total:.2} must beat trilateration {tri_total:.2} in Env3"
+    );
+}
+
+#[test]
+fn facade_prelude_covers_the_quickstart_path() {
+    use vire::prelude::*;
+    let mut tb = Testbed::new(TestbedConfig::paper(env1(), 1));
+    let truth = Point2::new(2.0, 2.0);
+    let tag = tb.add_tracking_tag(truth);
+    tb.run_for(tb.warmup_duration() * 2.0);
+    let map = tb.reference_map().unwrap();
+    let reading = tb.tracking_reading(tag).unwrap();
+    let est = vire::core::Vire::new(VireConfig::default())
+        .locate(&map, &reading)
+        .unwrap();
+    assert!(estimation_error(est.position, truth) < 1.0);
+    // Exercise the remaining prelude items so the re-export set stays honest.
+    let _ = LandmarcConfig::default();
+    let _: &dyn Localizer = &vire::core::Landmarc::default();
+    let _ = env2();
+    let _ = env3();
+    let _ = EnvironmentKind::SemiOpen;
+    let _ = RegularGrid::square(Point2::ORIGIN, 1.0, 2);
+}
+
+#[test]
+fn moving_tag_is_tracked_through_a_turn() {
+    use vire::core::PositionTracker;
+    let env = all_paper_environments()[1].clone();
+    let mut tb = Testbed::new(TestbedConfig::paper(env, 8));
+    let tag = tb.add_tracking_tag(Point2::new(0.5, 0.5));
+    tb.run_for(tb.warmup_duration() * 2.0);
+    let map = tb.reference_map().unwrap();
+
+    let vire = Vire::default();
+    let mut tracker = PositionTracker::walking();
+    let mut total_err = 0.0;
+    let mut steps = 0;
+    for k in 1..=16 {
+        let t = k as f64 * 4.0;
+        let d = 0.15 * t;
+        let truth = if d <= 2.0 {
+            Point2::new(0.5 + d, 0.5)
+        } else {
+            Point2::new(2.5, 0.5 + (d - 2.0).min(2.0))
+        };
+        tb.move_tag(tag, truth);
+        tb.run_for(4.0);
+        let reading = tb.tracking_reading(tag).unwrap();
+        let raw = vire.locate(&map, &reading).unwrap().position;
+        let tracked = tracker.update(t, raw);
+        if k > 4 {
+            total_err += tracked.distance(truth);
+            steps += 1;
+        }
+    }
+    let mean = total_err / steps as f64;
+    assert!(mean < 0.8, "tracked walk error {mean:.3} m too large");
+}

@@ -1,0 +1,160 @@
+//! Failure injection: dead readers, impossible configurations, and the
+//! degraded-mode fallbacks.
+
+use vire::core::vire_alg::EmptyFallback;
+use vire::core::{
+    Landmarc, LandmarcConfig, LocalizeError, Localizer, ThresholdMode, Vire, VireConfig,
+};
+use vire::env::presets::env2;
+use vire::geom::Point2;
+use vire::sim::{Testbed, TestbedConfig};
+
+fn warmed() -> (vire::core::ReferenceRssiMap, vire::core::TrackingReading, Point2) {
+    let mut tb = Testbed::new(TestbedConfig::paper(env2(), 17));
+    let truth = Point2::new(1.6, 1.2);
+    let tag = tb.add_tracking_tag(truth);
+    tb.run_for(tb.warmup_duration() * 2.0);
+    (
+        tb.reference_map().unwrap(),
+        tb.tracking_reading(tag).unwrap(),
+        truth,
+    )
+}
+
+#[test]
+fn dead_reader_degrades_gracefully() {
+    let (map, reading, truth) = warmed();
+    for dead in 0..4 {
+        let map3 = map.without_reader(dead).expect("3 readers remain");
+        let reading3 = reading.without_reader(dead).expect("3 readings remain");
+        for alg in [&Landmarc::default() as &dyn Localizer, &Vire::default()] {
+            let est = alg
+                .locate(&map3, &reading3)
+                .unwrap_or_else(|e| panic!("{} with reader {dead} dead: {e}", alg.name()));
+            assert!(
+                est.error(truth) < 2.0,
+                "{} error {:.3} with reader {dead} dead",
+                alg.name(),
+                est.error(truth)
+            );
+        }
+    }
+}
+
+#[test]
+fn three_dead_readers_leave_one_and_algorithms_still_answer() {
+    // A single reader cannot triangulate, but reference comparison still
+    // produces a (poor) estimate rather than a crash.
+    let (map, reading, _) = warmed();
+    let mut map1 = map;
+    let mut reading1 = reading;
+    for _ in 0..3 {
+        map1 = map1.without_reader(0).unwrap();
+        reading1 = reading1.without_reader(0).unwrap();
+    }
+    assert_eq!(map1.reader_count(), 1);
+    assert!(Landmarc::default().locate(&map1, &reading1).is_ok());
+    assert!(Vire::default().locate(&map1, &reading1).is_ok());
+}
+
+#[test]
+fn reader_count_mismatch_is_a_typed_error() {
+    let (map, reading, _) = warmed();
+    let short = reading.without_reader(0).unwrap();
+    let err = Vire::default().locate(&map, &short).unwrap_err();
+    assert_eq!(err, LocalizeError::ReaderMismatch { map: 4, reading: 3 });
+    let err = Landmarc::default().locate(&map, &short).unwrap_err();
+    assert!(matches!(err, LocalizeError::ReaderMismatch { .. }));
+}
+
+#[test]
+fn impossible_fixed_threshold_falls_back_or_errors_as_configured() {
+    let (map, reading, _) = warmed();
+
+    let strict = Vire::new(VireConfig {
+        threshold: ThresholdMode::Fixed(1e-12),
+        fallback: EmptyFallback::Error,
+        ..VireConfig::default()
+    });
+    assert_eq!(
+        strict.locate(&map, &reading).unwrap_err(),
+        LocalizeError::AllEliminated
+    );
+
+    let graceful = Vire::new(VireConfig {
+        threshold: ThresholdMode::Fixed(1e-12),
+        fallback: EmptyFallback::Landmarc,
+        ..VireConfig::default()
+    });
+    let est = graceful.locate(&map, &reading).unwrap();
+    let lm = Landmarc::default().locate(&map, &reading).unwrap();
+    assert_eq!(est.position, lm.position, "fallback must equal LANDMARC");
+}
+
+#[test]
+fn absurd_k_values_are_typed_errors() {
+    let (map, reading, _) = warmed();
+    for k in [0usize, 17, 1000] {
+        let err = Landmarc::new(LandmarcConfig { k })
+            .locate(&map, &reading)
+            .unwrap_err();
+        assert!(matches!(err, LocalizeError::InsufficientData(_)), "k = {k}");
+    }
+}
+
+#[test]
+fn zero_refine_is_a_typed_error() {
+    let (map, reading, _) = warmed();
+    let cfg = VireConfig {
+        refine: 0,
+        ..VireConfig::default()
+    };
+    assert!(matches!(
+        Vire::new(cfg).locate(&map, &reading).unwrap_err(),
+        LocalizeError::InsufficientData(_)
+    ));
+}
+
+#[test]
+fn lowered_reader_sensitivity_creates_dead_spots_but_no_crash() {
+    // Readers that cannot hear the far reference tags never complete the
+    // calibration map; the testbed reports that as None, not a panic.
+    let env = env2();
+    let mut config = TestbedConfig::paper(env, 23);
+    config.deployment.readers = vec![
+        Point2::new(-30.0, -30.0),
+        Point2::new(33.0, -30.0),
+        Point2::new(33.0, 33.0),
+        Point2::new(-30.0, 33.0),
+    ];
+    let mut tb = Testbed::new(config);
+    tb.run_for(60.0);
+    // At ~45 m with γ = 2.4 the RSSI sits near the sensitivity floor;
+    // whether the map completes depends on fading, but a missing map is
+    // the worst allowed outcome.
+    let _ = tb.reference_map();
+}
+
+#[test]
+fn spiky_environment_still_localizes_with_median_smoothing() {
+    use vire::env::{EnvironmentBuilder, Material};
+    let env = EnvironmentBuilder::new("corridor rush hour")
+        .room(Point2::new(-3.0, -3.0), Point2::new(6.0, 6.0), Material::Concrete)
+        .pathloss_exponent(2.6)
+        .clutter(2.0)
+        .measurement_noise(1.0)
+        .spike_probability(0.25) // heavy foot traffic
+        .build();
+    let mut tb = Testbed::new(TestbedConfig::paper(env, 31));
+    let truth = Point2::new(1.5, 1.5);
+    let tag = tb.add_tracking_tag(truth);
+    tb.run_for(tb.warmup_duration() * 3.0);
+    let map = tb.reference_map().unwrap();
+    let reading = tb.tracking_reading(tag).unwrap();
+    let est = Vire::default().locate(&map, &reading).unwrap();
+    assert!(
+        est.error(truth) < 1.0,
+        "median smoothing should hold the error at {:.3}",
+        est.error(truth)
+    );
+}
