@@ -29,12 +29,8 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
 
-    group.bench_function("fig2_landmarc_3envs", |b| {
-        b.iter(|| fig2::run(&seeds[..1]))
-    });
-    group.bench_function("fig3_rssi_vs_distance", |b| {
-        b.iter(|| fig3::run(42, 20))
-    });
+    group.bench_function("fig2_landmarc_3envs", |b| b.iter(|| fig2::run(&seeds[..1])));
+    group.bench_function("fig3_rssi_vs_distance", |b| b.iter(|| fig3::run(42, 20)));
     group.bench_function("fig4_interference", |b| b.iter(|| fig4::run(11, 20)));
     group.bench_function("fig6_vire_vs_landmarc_3envs", |b| {
         b.iter(|| fig6::run(&seeds[..1]))

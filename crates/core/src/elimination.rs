@@ -16,7 +16,6 @@
 //! A fixed-threshold mode exists for the Fig. 8 sweep, where the threshold
 //! is the independent variable.
 
-use crate::proximity::{intersect, ProximityMap};
 use crate::types::TrackingReading;
 use crate::virtual_grid::VirtualGrid;
 use vire_geom::GridData;
@@ -75,29 +74,169 @@ impl EliminationResult {
     }
 }
 
-/// Runs elimination. Returns `None` when a **fixed** threshold eliminates
+/// Reusable buffers for the zero-allocation elimination core. In steady
+/// state ([`crate::PreparedVire`] holds one per scratch arena) no heap
+/// allocation happens per reading: every vector retains its capacity
+/// between calls.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ElimBuffers {
+    /// Per-node largest gap over readers, `max_k |s_k(node) − θ_k|`. The
+    /// joint survival test at a uniform threshold `t` is exactly
+    /// `maxgap < t`, which turns every common-threshold probe into a
+    /// scalar comparison against precomputed reductions of this plane.
+    maxgap: Vec<f64>,
+    /// `select_nth` scratch (a copy of `maxgap`, permuted).
+    quantile: Vec<f64>,
+    /// Per-reader best (smallest) gaps, for the phase-1 starting point.
+    best: Vec<f64>,
+    /// Surviving flat node indices, ascending, during phase 3.
+    list: Vec<u32>,
+    /// Per-survivor gaps, entry-major: `list_gaps[e * K + k]`.
+    list_gaps: Vec<f64>,
+    /// Combined candidate mask, row-major flat over the virtual grid.
+    pub(crate) mask: Vec<bool>,
+    /// Final per-reader thresholds.
+    pub(crate) thresholds: Vec<f64>,
+    /// Phase-3 reader ordering.
+    order: Vec<usize>,
+}
+
+/// Minimum of `|s − theta|` over an ascending-sorted plane. The minimum is
+/// achieved at a sorted neighbour of `theta`, so two candidates suffice;
+/// the gap itself is computed with the same `(s − θ).abs()` expression as
+/// a full scan, making the result bit-identical to a sequential fold.
+fn min_gap_sorted(sorted: &[f64], theta: f64) -> f64 {
+    let i = sorted.partition_point(|&s| s < theta);
+    let mut m = f64::INFINITY;
+    if i < sorted.len() {
+        m = m.min((sorted[i] - theta).abs());
+    }
+    if i > 0 {
+        m = m.min((sorted[i - 1] - theta).abs());
+    }
+    m
+}
+
+/// Minimum element of `vals`, reduced with lane-parallel accumulators.
+/// `min` over a fixed set is exact and order-independent (the inputs are
+/// finite), so this returns the same value as a sequential fold while
+/// letting the loop vectorize instead of serializing on the FP-min
+/// latency chain.
+fn min_value(vals: &[f64]) -> f64 {
+    let mut acc = [f64::INFINITY; 8];
+    let mut chunks = vals.chunks_exact(8);
+    for c in &mut chunks {
+        for (a, &v) in acc.iter_mut().zip(c) {
+            if v < *a {
+                *a = v;
+            }
+        }
+    }
+    let m = chunks
+        .remainder()
+        .iter()
+        .fold(f64::INFINITY, |m, &v| m.min(v));
+    acc.iter().fold(m, |m, &a| m.min(a))
+}
+
+/// `#{i : vals[i] < bound}` as a vectorizable bool-sum.
+fn count_below(vals: &[f64], bound: f64) -> usize {
+    vals.iter().map(|&v| usize::from(v < bound)).sum()
+}
+
+/// `#{i : |plane[i] − theta| < bound}` as a vectorizable bool-sum.
+fn count_gap_below(plane: &[f64], theta: f64, bound: f64) -> usize {
+    plane
+        .iter()
+        .map(|&s| usize::from((s - theta).abs() < bound))
+        .sum()
+}
+
+/// Allocation-free elimination over pre-flattened RSSI planes
+/// (`planes[k * nodes + flat]`, the layout [`crate::PreparedVire`] caches).
+/// On success the final mask and per-reader thresholds are left in `buf`
+/// and `true` is returned; `false` means a **fixed** threshold eliminated
 /// every region (adaptive mode always keeps at least one).
-pub fn eliminate(
-    grid: &VirtualGrid,
+///
+/// Bit-for-bit equivalent to the historical map-building implementation,
+/// but probes cost O(1) instead of a grid pass each:
+///
+/// * the joint survival test `∀k: |s_k − θ_k| < t` at a *uniform* `t`
+///   equals `max_k |s_k − θ_k| < t`, so one fused pass precomputes the
+///   per-node max-gap plane;
+/// * phase 1's "intersection still empty" probe is then
+///   `min(maxgap) ≥ t`, a scalar comparison;
+/// * phase 2's "count ≥ floor" probe is `Q < t` where `Q` is the
+///   floor-th smallest max-gap (one `select_nth`) — exact, because the
+///   survivor count at `t` is the rank of `t` in the max-gap plane;
+/// * phase 3 probes only the surviving candidate list (survivors are
+///   monotone under tightening, so pruning on accepted probes is exact).
+///
+/// The threshold sequences themselves are produced by the same repeated
+/// `+ step` / `− step` float arithmetic as the historical loops, so the
+/// resulting thresholds, mask, and downstream weights are bit-identical.
+pub(crate) fn eliminate_into(
+    planes: &[f64],
+    sorted: &[f64],
+    nodes: usize,
     reading: &TrackingReading,
     mode: ThresholdMode,
-) -> Option<EliminationResult> {
-    let k_readers = grid.reader_count();
-    debug_assert_eq!(k_readers, reading.reader_count());
+    buf: &mut ElimBuffers,
+) -> bool {
+    let k_readers = reading.reader_count();
+    debug_assert_eq!(planes.len(), k_readers * nodes);
+    // `sorted` is only consulted in adaptive mode; fixed-threshold callers
+    // may pass an empty slice.
+    debug_assert!(
+        matches!(mode, ThresholdMode::Fixed(_)) || sorted.len() == planes.len(),
+        "adaptive elimination needs the sorted planes"
+    );
+
+    // Max-gap plane: element-wise only (no cross-iteration dependency, and
+    // a plain compare instead of the NaN-aware `f64::max` intrinsic), so
+    // the pass vectorizes. Gaps are ≥ 0, so starting at 0 is exact for
+    // K ≥ 1.
+    buf.maxgap.clear();
+    buf.maxgap.resize(nodes, 0.0);
+    for k in 0..k_readers {
+        let theta = reading.at(k);
+        for (m, s) in buf
+            .maxgap
+            .iter_mut()
+            .zip(&planes[k * nodes..(k + 1) * nodes])
+        {
+            let g = (s - theta).abs();
+            if g > *m {
+                *m = g;
+            }
+        }
+    }
+    let ElimBuffers {
+        maxgap,
+        quantile,
+        best,
+        list,
+        list_gaps,
+        mask,
+        thresholds,
+        order,
+    } = buf;
+    let maxgap = maxgap.as_slice();
 
     match mode {
         ThresholdMode::Fixed(t) => {
-            let maps: Vec<ProximityMap> = (0..k_readers)
-                .map(|k| ProximityMap::build(grid, k, reading.at(k), t))
-                .collect();
-            let mask = intersect(&maps);
-            if mask.is_empty_mask() {
-                return None;
+            assert!(
+                t >= 0.0 && t.is_finite(),
+                "threshold must be non-negative and finite"
+            );
+            if !maxgap.iter().any(|&m| m < t) {
+                return false;
             }
-            Some(EliminationResult {
-                mask,
-                thresholds: vec![t; k_readers],
-            })
+            thresholds.clear();
+            thresholds.resize(k_readers, t);
+            mask.clear();
+            mask.extend(maxgap.iter().map(|&m| m < t));
+            true
         }
         ThresholdMode::Adaptive {
             step,
@@ -108,29 +247,19 @@ pub fn eliminate(
             assert!(step > 0.0 && min >= 0.0, "invalid adaptive parameters");
             // Clamp so a floor larger than the lattice cannot make the
             // growth loop unbounded.
-            let floor = min_candidates.max(1).min(grid.tag_count());
+            let floor = min_candidates.max(1).min(nodes);
             // Smallest per-reader gap: at threshold just above it, reader k
             // still highlights its best-matching region. The common start
             // is the largest of those, guaranteeing a non-empty map for
             // every reader (though not yet a non-empty intersection).
-            let best_gap = |k: usize| -> f64 {
-                grid.field(k)
-                    .as_slice()
-                    .iter()
-                    .map(|s| (s - reading.at(k)).abs())
-                    .fold(f64::INFINITY, f64::min)
-            };
-            let start = (0..k_readers)
-                .map(best_gap)
-                .fold(0.0f64, f64::max)
-                .max(min)
-                + step;
-
-            let build_all = |ts: &[f64]| -> Vec<ProximityMap> {
-                (0..k_readers)
-                    .map(|k| ProximityMap::build(grid, k, reading.at(k), ts[k]))
-                    .collect()
-            };
+            best.clear();
+            for k in 0..k_readers {
+                best.push(min_gap_sorted(
+                    &sorted[k * nodes..(k + 1) * nodes],
+                    reading.at(k),
+                ));
+            }
+            let start = best.iter().copied().fold(0.0f64, f64::max).max(min) + step;
 
             // Phase 1: grow the common threshold until the intersection is
             // non-empty (the per-reader floors guarantee each map alone is
@@ -140,53 +269,173 @@ pub fn eliminate(
             // and widening the threshold would only admit spurious regions.
             // The floor exists to stop the *shrinking* phases from
             // whittling an ample consistent region down to a noisy
-            // single-cell snap.
+            // single-cell snap. Empty intersection ⟺ no max-gap below t.
+            let tightest = min_value(maxgap);
             let mut t = start;
-            let mut maps = build_all(&vec![t; k_readers]);
-            let mut mask = intersect(&maps);
-            while mask.is_empty_mask() {
+            while tightest >= t {
                 t += step;
-                maps = build_all(&vec![t; k_readers]);
-                mask = intersect(&maps);
             }
 
             // Phase 2: shrink the common threshold while the candidate
-            // floor holds.
-            while t - step >= min {
-                let cand = t - step;
-                let cand_maps = build_all(&vec![cand; k_readers]);
-                let cand_mask = intersect(&cand_maps);
-                if cand_mask.count_true() < floor {
-                    break;
+            // floor holds. The first probe is a plain count pass (cheap,
+            // and in hostile conditions it already fails); only if it
+            // succeeds is the floor-th smallest max-gap selected to drive
+            // the remaining probes as scalar rank tests.
+            if t - step >= min && count_below(maxgap, t - step) >= floor {
+                t -= step;
+                quantile.clear();
+                quantile.extend_from_slice(maxgap);
+                let (_, &mut q, _) = quantile.select_nth_unstable_by(floor - 1, |a, b| {
+                    a.partial_cmp(b).expect("finite gaps")
+                });
+                while t - step >= min {
+                    let cand = t - step;
+                    if q >= cand {
+                        break;
+                    }
+                    t = cand;
                 }
-                t = cand;
-                maps = cand_maps;
-                mask = cand_mask;
             }
-            let mut thresholds = vec![t; k_readers];
+            thresholds.clear();
+            thresholds.resize(k_readers, t);
 
-            // Phase 3: per-reader tightening, largest area first.
+            // Phase 3: per-reader tightening, largest area first (area of
+            // each reader's own proximity map at the common threshold).
+            // Probes run over the surviving candidate list only: tightening
+            // never resurrects a node, so survivors at any accepted
+            // threshold vector are a subset of the current list, and the
+            // list is re-pruned after each accepted probe.
             if per_reader {
-                let mut order: Vec<usize> = (0..k_readers).collect();
-                order.sort_by_key(|&k| std::cmp::Reverse(maps[k].area()));
-                for k in order {
-                    while thresholds[k] - step >= min {
-                        let mut cand = thresholds.clone();
-                        cand[k] -= step;
-                        let cand_maps = build_all(&cand);
-                        let cand_mask = intersect(&cand_maps);
-                        if cand_mask.count_true() < floor {
-                            break;
+                order.clear();
+                order.extend(0..k_readers);
+                order.sort_by_key(|&k| {
+                    std::cmp::Reverse(count_gap_below(
+                        &planes[k * nodes..(k + 1) * nodes],
+                        reading.at(k),
+                        t,
+                    ))
+                });
+                // Materialize the survivors at the common threshold with
+                // their per-reader gaps (entry-major for contiguous probes).
+                list.clear();
+                list_gaps.clear();
+                for (flat, &m) in maxgap.iter().enumerate() {
+                    if m < t {
+                        list.push(flat as u32);
+                        for k in 0..k_readers {
+                            list_gaps.push((planes[k * nodes + flat] - reading.at(k)).abs());
                         }
-                        thresholds = cand;
-                        mask = cand_mask;
                     }
                 }
+                // While reader k's threshold is being tightened, every
+                // other reader's threshold is fixed and every list entry
+                // already satisfies it — so the joint survivor count at a
+                // probe is simply how many list entries have their k-gap
+                // below the probe: a rank test against the floor-th
+                // smallest k-gap, exactly like phase 2. (When the list is
+                // already below the floor, every probe fails and each
+                // reader's threshold stays — skip directly.)
+                if list.len() >= floor {
+                    for &k in order.iter() {
+                        quantile.clear();
+                        quantile.extend(list_gaps.iter().skip(k).step_by(k_readers));
+                        let (_, &mut qk, _) = quantile.select_nth_unstable_by(floor - 1, |a, b| {
+                            a.partial_cmp(b).expect("finite gaps")
+                        });
+                        let before = thresholds[k];
+                        while thresholds[k] - step >= min {
+                            let cand = thresholds[k] - step;
+                            if qk >= cand {
+                                break;
+                            }
+                            thresholds[k] = cand;
+                        }
+                        // One in-place compaction per reader (the accepted
+                        // survivor set only depends on the final value).
+                        if thresholds[k] < before {
+                            let keep = thresholds[k];
+                            let mut w = 0;
+                            for e in 0..list.len() {
+                                if list_gaps[e * k_readers + k] < keep {
+                                    list[w] = list[e];
+                                    list_gaps.copy_within(
+                                        e * k_readers..(e + 1) * k_readers,
+                                        w * k_readers,
+                                    );
+                                    w += 1;
+                                }
+                            }
+                            list.truncate(w);
+                            list_gaps.truncate(w * k_readers);
+                        }
+                    }
+                }
+                mask.clear();
+                mask.resize(nodes, false);
+                for &flat in list.iter() {
+                    mask[flat as usize] = true;
+                }
+            } else {
+                mask.clear();
+                mask.extend(maxgap.iter().map(|&m| m < t));
             }
-
-            Some(EliminationResult { mask, thresholds })
+            true
         }
     }
+}
+
+/// Flattens a grid's per-reader RSSI fields into the reader-major plane
+/// layout consumed by [`eliminate_into`] and the weighting core.
+pub(crate) fn flatten_planes(grid: &VirtualGrid) -> Vec<f64> {
+    let nodes = grid.tag_count();
+    let mut planes = Vec::with_capacity(grid.reader_count() * nodes);
+    for k in 0..grid.reader_count() {
+        planes.extend_from_slice(grid.field(k).as_slice());
+    }
+    planes
+}
+
+/// Per-reader ascending-sorted copy of the flattened planes — the
+/// reading-independent search structure [`eliminate_into`] uses for its
+/// phase-1 starting point. [`crate::PreparedVire`] builds this once per
+/// calibration map.
+pub(crate) fn sort_planes(planes: &[f64], k_readers: usize, nodes: usize) -> Vec<f64> {
+    debug_assert_eq!(planes.len(), k_readers * nodes);
+    let mut sorted = planes.to_vec();
+    for k in 0..k_readers {
+        sorted[k * nodes..(k + 1) * nodes]
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite RSSI"));
+    }
+    sorted
+}
+
+/// Runs elimination. Returns `None` when a **fixed** threshold eliminates
+/// every region (adaptive mode always keeps at least one).
+///
+/// One-shot convenience over [`eliminate_into`]; hot paths go through
+/// [`crate::PreparedVire`], which reuses the buffers across readings.
+pub fn eliminate(
+    grid: &VirtualGrid,
+    reading: &TrackingReading,
+    mode: ThresholdMode,
+) -> Option<EliminationResult> {
+    debug_assert_eq!(grid.reader_count(), reading.reader_count());
+    let planes = flatten_planes(grid);
+    // The fixed arm never consults the sorted planes — skip the sort.
+    let sorted = match mode {
+        ThresholdMode::Fixed(_) => Vec::new(),
+        ThresholdMode::Adaptive { .. } => {
+            sort_planes(&planes, grid.reader_count(), grid.tag_count())
+        }
+    };
+    let mut buf = ElimBuffers::default();
+    if !eliminate_into(&planes, &sorted, grid.tag_count(), reading, mode, &mut buf) {
+        return None;
+    }
+    Some(EliminationResult {
+        mask: GridData::from_vec(*grid.grid(), std::mem::take(&mut buf.mask)),
+        thresholds: std::mem::take(&mut buf.thresholds),
+    })
 }
 
 #[cfg(test)]

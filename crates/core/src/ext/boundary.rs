@@ -208,7 +208,10 @@ mod tests {
         let refs = map();
         let truth = Point2::new(3.3, 3.2);
         let reading = reading_at(truth);
-        let plain = Vire::default().locate(&refs, &reading).unwrap().error(truth);
+        let plain = Vire::default()
+            .locate(&refs, &reading)
+            .unwrap()
+            .error(truth);
         let comp = BoundaryCompensatedVire::new(VireConfig::default(), 1)
             .locate(&refs, &reading)
             .unwrap()
@@ -225,7 +228,10 @@ mod tests {
         for &(x, y) in &[(1.5, 1.5), (0.8, 2.1), (2.4, 1.2)] {
             let truth = Point2::new(x, y);
             let reading = reading_at(truth);
-            let plain = Vire::default().locate(&refs, &reading).unwrap().error(truth);
+            let plain = Vire::default()
+                .locate(&refs, &reading)
+                .unwrap()
+                .error(truth);
             let comp = BoundaryCompensatedVire::new(VireConfig::default(), 1)
                 .locate(&refs, &reading)
                 .unwrap()

@@ -6,7 +6,7 @@
 //! is their weighted centroid with weights `w_j ∝ 1/E_j²`. The paper under
 //! reproduction uses k = 4 ("an algorithm looking for the 4 nearest tags").
 
-use crate::localizer::{check_readers, Estimate, LocalizeError, Localizer};
+use crate::localizer::{Estimate, LocalizeError, Localizer};
 use crate::types::{ReferenceRssiMap, TrackingReading};
 use vire_geom::Point2;
 
@@ -62,52 +62,57 @@ impl Landmarc {
 /// references get zero weight and the matches share the mass equally
 /// (the limit of the formula as E → 0).
 pub(crate) fn inverse_square_weights(distances: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(distances.len());
+    inverse_square_weights_into(distances, &mut out);
+    out
+}
+
+/// Allocation-free core of [`inverse_square_weights`]: writes the weights
+/// into `out` (cleared first), reusing its capacity.
+pub(crate) fn inverse_square_weights_into(distances: &[f64], out: &mut Vec<f64>) {
     const EXACT: f64 = 1e-12;
-    let exact: Vec<bool> = distances.iter().map(|&e| e < EXACT).collect();
-    let n_exact = exact.iter().filter(|&&b| b).count();
+    out.clear();
+    let n_exact = distances.iter().filter(|&&e| e < EXACT).count();
     if n_exact > 0 {
         let share = 1.0 / n_exact as f64;
-        return exact
-            .into_iter()
-            .map(|is| if is { share } else { 0.0 })
-            .collect();
+        out.extend(
+            distances
+                .iter()
+                .map(|&e| if e < EXACT { share } else { 0.0 }),
+        );
+        return;
     }
-    let inv: Vec<f64> = distances.iter().map(|&e| 1.0 / (e * e)).collect();
-    let total: f64 = inv.iter().sum();
-    inv.into_iter().map(|v| v / total).collect()
+    out.extend(distances.iter().map(|&e| 1.0 / (e * e)));
+    let total: f64 = out.iter().sum();
+    for v in out.iter_mut() {
+        *v /= total;
+    }
 }
 
 impl Localizer for Landmarc {
+    /// One-shot localization: prepares the node-major signal cache for
+    /// `refs`, answers the single query, and discards it. Loops over many
+    /// readings against one map should use [`Landmarc::prepare`] — the
+    /// results are bit-identical (this method routes through the same
+    /// prepared core).
     fn locate(
         &self,
         refs: &ReferenceRssiMap,
         reading: &TrackingReading,
     ) -> Result<Estimate, LocalizeError> {
-        check_readers(refs, reading)?;
-        let total_refs = refs.grid().node_count();
-        if self.config.k == 0 || self.config.k > total_refs {
-            return Err(LocalizeError::InsufficientData(format!(
-                "k = {} with {total_refs} reference tags",
-                self.config.k
-            )));
-        }
-
-        let mut scored = Self::signal_distances(refs, reading);
-        // Partial selection of the k smallest E.
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        scored.truncate(self.config.k);
-
-        let distances: Vec<f64> = scored.iter().map(|(e, _)| *e).collect();
-        let positions: Vec<Point2> = scored.iter().map(|(_, p)| *p).collect();
-        let weights = inverse_square_weights(&distances);
-
-        Point2::weighted_centroid(&positions, &weights)
-            .map(|position| Estimate::new(position, self.config.k))
-            .ok_or(LocalizeError::DegenerateWeights)
+        use crate::prepared::PreparedLocalizer as _;
+        self.prepare(refs).locate(reading)
     }
 
     fn name(&self) -> &'static str {
         "LANDMARC"
+    }
+
+    fn prepare<'a>(
+        &'a self,
+        refs: &'a ReferenceRssiMap,
+    ) -> Box<dyn crate::prepared::PreparedLocalizer + 'a> {
+        Box::new(Landmarc::prepare(self, refs))
     }
 }
 
@@ -147,7 +152,9 @@ mod tests {
     fn exact_match_on_a_reference_tag() {
         let map = linear_map();
         let truth = Point2::new(2.0, 1.0); // a lattice node
-        let est = Landmarc::default().locate(&map, &reading_at(&map, truth)).unwrap();
+        let est = Landmarc::default()
+            .locate(&map, &reading_at(&map, truth))
+            .unwrap();
         assert!(est.error(truth) < 1e-9, "error {}", est.error(truth));
     }
 
@@ -155,7 +162,9 @@ mod tests {
     fn interior_tag_is_close() {
         let map = linear_map();
         let truth = Point2::new(1.5, 1.5);
-        let est = Landmarc::default().locate(&map, &reading_at(&map, truth)).unwrap();
+        let est = Landmarc::default()
+            .locate(&map, &reading_at(&map, truth))
+            .unwrap();
         assert!(est.error(truth) < 0.25, "error {}", est.error(truth));
         assert_eq!(est.contributors, 4);
     }
@@ -186,7 +195,10 @@ mod tests {
             .locate(&map, &reading_at(&map, outside_truth))
             .unwrap()
             .error(outside_truth);
-        assert!(outside > center + 0.2, "outside {outside} vs center {center}");
+        assert!(
+            outside > center + 0.2,
+            "outside {outside} vs center {center}"
+        );
     }
 
     #[test]

@@ -28,6 +28,17 @@
 //!   plot but any practitioner would ask about,
 //! * [`ext`] — the paper's §6 future-work items: nonlinear interpolation
 //!   kernels, boundary-tag compensation, and two-pass adaptive granularity.
+//!
+//! ## Prepared (two-phase) localization
+//!
+//! Hot loops should not rebuild the virtual grid per reading. The
+//! [`prepared`] module splits every localizer into a *prepare* phase
+//! (bind to one [`ReferenceRssiMap`], via [`Localizer::prepare`] or the
+//! concrete [`Vire::prepare`] / [`Landmarc::prepare`]) and a *query*
+//! phase ([`PreparedLocalizer::locate`] /
+//! [`PreparedLocalizer::locate_batch`]) that allocates nothing in steady
+//! state and can fan a batch across threads. See DESIGN.md §"Prepared
+//! localization".
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -38,6 +49,7 @@ pub mod kalman;
 pub mod landmarc;
 pub mod localizer;
 pub mod nearest;
+pub mod prepared;
 pub mod proximity;
 pub mod quality;
 pub mod scattered;
@@ -49,14 +61,18 @@ pub mod vire_alg;
 pub mod virtual_grid;
 pub mod weights;
 
+pub use kalman::KalmanTracker;
 pub use landmarc::{Landmarc, LandmarcConfig};
 pub use localizer::{Estimate, LocalizeError, Localizer};
+pub use prepared::{
+    locate_batch_parallel, PreparedLandmarc, PreparedLocalizer, PreparedVire, Unprepared,
+    VireScratch,
+};
 pub use quality::{FixQuality, ScoredLocate};
-pub use kalman::KalmanTracker;
-pub use service::{LocationService, ServiceConfig, TrackedEstimate};
 pub use scattered::{ScatteredLandmarc, ScatteredReferenceMap, ScatteredVire};
+pub use service::{LocationService, ServiceConfig, TrackedEstimate};
 pub use tracking::PositionTracker;
 pub use types::{ReferenceRssiMap, TrackingReading};
 pub use vire_alg::{ThresholdMode, Vire, VireConfig};
-pub use weights::{W1Mode, WeightingMode};
 pub use virtual_grid::InterpolationKernel;
+pub use weights::{W1Mode, WeightingMode};

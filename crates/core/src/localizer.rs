@@ -75,7 +75,12 @@ impl std::error::Error for LocalizeError {}
 
 /// A localization algorithm: maps a reference calibration map plus one
 /// tracking reading to a position estimate.
-pub trait Localizer {
+///
+/// `Sync` is a supertrait: localizers are immutable algorithm
+/// configurations, and the experiment harness and
+/// [`PreparedLocalizer::locate_batch`](crate::PreparedLocalizer::locate_batch)
+/// share them across scoped threads.
+pub trait Localizer: Sync {
     /// Estimates the tracking tag's position.
     fn locate(
         &self,
@@ -85,6 +90,22 @@ pub trait Localizer {
 
     /// Short human-readable algorithm name for reports.
     fn name(&self) -> &'static str;
+
+    /// Binds this localizer to one calibration map, returning a prepared
+    /// query object that amortizes per-map work (virtual-grid
+    /// interpolation, plane flattening) across many readings.
+    ///
+    /// The default implementation performs no precomputation — each
+    /// [`PreparedLocalizer::locate`](crate::PreparedLocalizer::locate)
+    /// call simply delegates to [`Localizer::locate`], so every localizer
+    /// gets the prepared/batch API for free. Algorithms with real per-map
+    /// setup (VIRE, LANDMARC) override this.
+    fn prepare<'a>(
+        &'a self,
+        refs: &'a ReferenceRssiMap,
+    ) -> Box<dyn crate::prepared::PreparedLocalizer + 'a> {
+        Box::new(crate::prepared::Unprepared::new(self, refs))
+    }
 }
 
 /// Validates the reader counts agree; shared by all implementations.

@@ -94,9 +94,8 @@ mod tests {
             .map(|r| GridData::from_fn(grid, |_, p| f(p, *r)))
             .collect();
         let map = ReferenceRssiMap::new(grid, readers.clone(), fields);
-        let make = move |p: Point2| {
-            TrackingReading::new(readers.iter().map(|r| f(p, *r)).collect())
-        };
+        let make =
+            move |p: Point2| TrackingReading::new(readers.iter().map(|r| f(p, *r)).collect());
         (map, make)
     }
 
@@ -115,7 +114,10 @@ mod tests {
         let (map, make) = setup();
         for &(x, y) in &[(0.5, 0.5), (1.3, 1.8), (2.2, 2.7)] {
             let truth = Point2::new(x, y);
-            let err = NearestReference.locate(&map, &make(truth)).unwrap().error(truth);
+            let err = NearestReference
+                .locate(&map, &make(truth))
+                .unwrap()
+                .error(truth);
             assert!(err <= (0.5f64.powi(2) * 2.0).sqrt() + 1e-9, "err {err}");
         }
     }
@@ -144,7 +146,10 @@ mod tests {
             lm_total += lm.locate(&map, &make(truth)).unwrap().error(truth);
             kc_total += kc.locate(&map, &make(truth)).unwrap().error(truth);
         }
-        assert!(lm_total < kc_total, "LANDMARC {lm_total} vs centroid {kc_total}");
+        assert!(
+            lm_total < kc_total,
+            "LANDMARC {lm_total} vs centroid {kc_total}"
+        );
     }
 
     #[test]

@@ -1,0 +1,591 @@
+//! Prepared (two-phase) localization: bind a localizer to one calibration
+//! map once, then answer many queries cheaply.
+//!
+//! The one-shot [`Localizer::locate`] API rebuilds everything per reading:
+//! VIRE re-interpolates the virtual grid and re-allocates elimination
+//! masks and weight buffers every call, even though none of that depends
+//! on the reading. This module splits the pipeline:
+//!
+//! * **prepare** — [`Vire::prepare`] / [`Landmarc::prepare`] do all
+//!   map-dependent work up front: the interpolated [`VirtualGrid`], the
+//!   per-reader RSSI planes flattened reader-major for cache-friendly
+//!   scans, and (for LANDMARC) node-major signal vectors plus positions.
+//! * **query** — [`PreparedVire::locate_with_scratch`] runs elimination
+//!   and weighting through a reusable [`VireScratch`] arena, so steady
+//!   state performs **zero heap allocation** per reading.
+//!
+//! [`PreparedLocalizer::locate_batch`] fans a slice of readings across
+//! scoped threads (each with its own thread-local scratch), preserving
+//! input order. Results are bit-identical to calling [`Localizer::locate`]
+//! per reading — the one-shot path is itself routed through the prepared
+//! implementation, so there is a single code path to trust.
+
+use std::cell::RefCell;
+
+use crate::elimination::{eliminate_into, flatten_planes, sort_planes, ElimBuffers, ThresholdMode};
+use crate::landmarc::{inverse_square_weights_into, Landmarc, LandmarcConfig};
+use crate::localizer::{check_readers, Estimate, LocalizeError, Localizer};
+use crate::types::{ReferenceRssiMap, TrackingReading};
+use crate::vire_alg::{EmptyFallback, Vire, VireConfig};
+use crate::virtual_grid::VirtualGrid;
+use crate::weights::{candidate_weights_into, WeightBuffers};
+use vire_geom::Point2;
+
+/// A localizer already bound to one calibration map. Queries borrow the
+/// prepared state immutably, so a single prepared instance can serve many
+/// threads at once (`Sync` is a supertrait).
+pub trait PreparedLocalizer: Sync {
+    /// Estimates the position for one tracking reading.
+    fn locate(&self, reading: &TrackingReading) -> Result<Estimate, LocalizeError>;
+
+    /// Short human-readable algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Localizes a batch of readings, preserving input order.
+    ///
+    /// The default fans the slice across scoped threads via
+    /// [`locate_batch_parallel`]; results are identical to calling
+    /// [`PreparedLocalizer::locate`] sequentially.
+    fn locate_batch(&self, readings: &[TrackingReading]) -> Vec<Result<Estimate, LocalizeError>> {
+        locate_batch_parallel(self, readings)
+    }
+}
+
+/// Fans `readings` across scoped threads in contiguous, order-preserving
+/// chunks (one per available core, capped by the batch size). Falls back
+/// to a sequential loop for batches too small to be worth a thread.
+pub fn locate_batch_parallel<P: PreparedLocalizer + ?Sized>(
+    prepared: &P,
+    readings: &[TrackingReading],
+) -> Vec<Result<Estimate, LocalizeError>> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(readings.len());
+    if threads <= 1 {
+        return readings.iter().map(|r| prepared.locate(r)).collect();
+    }
+    let chunk = readings.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = readings
+            .chunks(chunk)
+            .map(|chunk| {
+                scope.spawn(move || chunk.iter().map(|r| prepared.locate(r)).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("batch localization worker panicked"))
+            .collect()
+    })
+}
+
+/// The trivial prepared adapter behind [`Localizer::prepare`]'s default:
+/// holds the localizer and map and delegates every query to the one-shot
+/// path. No precomputation, but it still provides `locate_batch`.
+pub struct Unprepared<'a, L: ?Sized> {
+    inner: &'a L,
+    refs: &'a ReferenceRssiMap,
+}
+
+impl<'a, L: Localizer + ?Sized> Unprepared<'a, L> {
+    /// Binds `inner` to `refs` without precomputation.
+    pub fn new(inner: &'a L, refs: &'a ReferenceRssiMap) -> Self {
+        Unprepared { inner, refs }
+    }
+}
+
+impl<L: Localizer + ?Sized> PreparedLocalizer for Unprepared<'_, L> {
+    fn locate(&self, reading: &TrackingReading) -> Result<Estimate, LocalizeError> {
+        self.inner.locate(self.refs, reading)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Reusable per-thread scratch arena for [`PreparedVire`] queries:
+/// elimination gap planes and masks, candidate/weight buffers, and the
+/// centroid position buffer. After the first query every vector has its
+/// steady-state capacity, so subsequent queries allocate nothing.
+#[derive(Debug, Default, Clone)]
+pub struct VireScratch {
+    pub(crate) elim: ElimBuffers,
+    pub(crate) weights: WeightBuffers,
+    pub(crate) positions: Vec<Point2>,
+}
+
+impl VireScratch {
+    /// An empty scratch arena; buffers grow to steady-state size on first
+    /// use.
+    pub fn new() -> Self {
+        VireScratch::default()
+    }
+}
+
+thread_local! {
+    /// Scratch for the implicit-arena entry points
+    /// ([`PreparedLocalizer::locate`] on [`PreparedVire`], and the
+    /// one-shot [`Vire::locate`] which routes through it). One arena per
+    /// thread keeps `locate_batch` workers allocation-free without
+    /// synchronization.
+    static VIRE_SCRATCH: RefCell<VireScratch> = RefCell::new(VireScratch::new());
+}
+
+/// VIRE bound to one calibration map: owns the interpolated
+/// [`VirtualGrid`] plus the per-reader RSSI planes flattened reader-major
+/// (`planes[k * nodes + flat]`) so elimination and weighting scan
+/// contiguous memory.
+pub struct PreparedVire<'a> {
+    config: VireConfig,
+    refs: &'a ReferenceRssiMap,
+    grid: VirtualGrid,
+    planes: Vec<f64>,
+    /// Per-reader ascending-sorted copy of `planes` — elimination's
+    /// reading-independent search structure (nearest-gap lookups).
+    sorted: Vec<f64>,
+    /// Threshold mode with the auto candidate floor already resolved to
+    /// `refine²` (see `ThresholdMode::Adaptive::min_candidates`).
+    threshold: ThresholdMode,
+}
+
+impl<'a> PreparedVire<'a> {
+    pub(crate) fn build(
+        config: &VireConfig,
+        refs: &'a ReferenceRssiMap,
+    ) -> Result<Self, LocalizeError> {
+        if config.refine == 0 {
+            return Err(LocalizeError::InsufficientData(
+                "refinement factor must be >= 1".into(),
+            ));
+        }
+        let grid = VirtualGrid::build(refs, config.refine, config.kernel);
+        let planes = flatten_planes(&grid);
+        // The fixed-threshold arm never consults the sorted planes.
+        let sorted = match config.threshold {
+            ThresholdMode::Fixed(_) => Vec::new(),
+            ThresholdMode::Adaptive { .. } => {
+                sort_planes(&planes, grid.reader_count(), grid.tag_count())
+            }
+        };
+        // Resolve the auto candidate floor: one physical cell's worth of
+        // virtual regions (n²) keeps elimination from degenerating into a
+        // single-cell snap (see ThresholdMode::Adaptive::min_candidates).
+        let threshold = match config.threshold {
+            ThresholdMode::Adaptive {
+                step,
+                min,
+                per_reader,
+                min_candidates: 0,
+            } => ThresholdMode::Adaptive {
+                step,
+                min,
+                per_reader,
+                min_candidates: config.refine * config.refine,
+            },
+            other => other,
+        };
+        Ok(PreparedVire {
+            config: config.clone(),
+            refs,
+            grid,
+            planes,
+            sorted,
+            threshold,
+        })
+    }
+
+    /// The cached virtual grid.
+    pub fn grid(&self) -> &VirtualGrid {
+        &self.grid
+    }
+
+    /// The configuration this instance was prepared with.
+    pub fn config(&self) -> &VireConfig {
+        &self.config
+    }
+
+    /// The calibration map this instance is bound to.
+    pub fn refs(&self) -> &ReferenceRssiMap {
+        self.refs
+    }
+
+    /// Localizes one reading through an explicit scratch arena — the
+    /// fully allocation-free entry point for callers managing their own
+    /// scratch. [`PreparedLocalizer::locate`] is the implicit
+    /// (thread-local scratch) equivalent.
+    pub fn locate_with_scratch(
+        &self,
+        reading: &TrackingReading,
+        scratch: &mut VireScratch,
+    ) -> Result<Estimate, LocalizeError> {
+        self.locate_core(reading, scratch).map(|(est, _)| est)
+    }
+
+    /// Query core shared by every VIRE entry point (prepared, batch, and
+    /// the one-shot [`Vire::locate_with_diagnostics`]). Returns the final
+    /// thresholds alongside the estimate so the diagnostic path can
+    /// materialize an `EliminationResult` without a second run; the bool
+    /// is false when the fallback path produced the estimate (no
+    /// elimination diagnostics exist).
+    pub(crate) fn locate_core(
+        &self,
+        reading: &TrackingReading,
+        scratch: &mut VireScratch,
+    ) -> Result<(Estimate, bool), LocalizeError> {
+        check_readers(self.refs, reading)?;
+        let nodes = self.grid.tag_count();
+
+        if !eliminate_into(
+            &self.planes,
+            &self.sorted,
+            nodes,
+            reading,
+            self.threshold,
+            &mut scratch.elim,
+        ) {
+            return match self.config.fallback {
+                EmptyFallback::Error => Err(LocalizeError::AllEliminated),
+                EmptyFallback::Landmarc => {
+                    let est =
+                        Landmarc::new(LandmarcConfig::default()).locate(self.refs, reading)?;
+                    Ok((est, false))
+                }
+            };
+        }
+
+        if !candidate_weights_into(
+            &self.planes,
+            nodes,
+            self.grid.grid().nx(),
+            reading,
+            &scratch.elim.mask,
+            self.config.weighting,
+            self.config.w1,
+            &mut scratch.weights,
+        ) {
+            return Err(LocalizeError::DegenerateWeights);
+        }
+
+        let fine = self.grid.grid();
+        scratch.positions.clear();
+        scratch.positions.extend(
+            scratch
+                .weights
+                .candidates
+                .iter()
+                .map(|&flat| fine.position(fine.unflat(flat))),
+        );
+        let position = Point2::weighted_centroid(&scratch.positions, &scratch.weights.weights)
+            .ok_or(LocalizeError::DegenerateWeights)?;
+
+        let estimate = Estimate {
+            position,
+            contributors: scratch.weights.candidates.len(),
+            threshold: scratch.elim.thresholds.iter().copied().reduce(f64::max),
+        };
+        Ok((estimate, true))
+    }
+
+    /// Runs `f` with this thread's scratch arena borrowed mutably.
+    pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut VireScratch) -> R) -> R {
+        VIRE_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+    }
+}
+
+impl PreparedLocalizer for PreparedVire<'_> {
+    fn locate(&self, reading: &TrackingReading) -> Result<Estimate, LocalizeError> {
+        Self::with_thread_scratch(|scratch| self.locate_with_scratch(reading, scratch))
+    }
+
+    fn name(&self) -> &'static str {
+        "VIRE"
+    }
+}
+
+/// LANDMARC bound to one calibration map: node-major signal vectors
+/// (`signals[flat * K + k]`) plus node positions, so each query scans one
+/// contiguous buffer instead of re-collecting per-node signal vectors.
+pub struct PreparedLandmarc<'a> {
+    config: LandmarcConfig,
+    refs: &'a ReferenceRssiMap,
+    signals: Vec<f64>,
+    positions: Vec<Point2>,
+}
+
+/// Scratch for [`PreparedLandmarc`] queries: scored nodes plus the
+/// neighbour distance/position/weight buffers.
+#[derive(Debug, Default)]
+struct LandmarcScratch {
+    scored: Vec<(f64, Point2)>,
+    distances: Vec<f64>,
+    positions: Vec<Point2>,
+    weights: Vec<f64>,
+}
+
+thread_local! {
+    static LANDMARC_SCRATCH: RefCell<LandmarcScratch> = RefCell::new(LandmarcScratch::default());
+}
+
+impl<'a> PreparedLandmarc<'a> {
+    pub(crate) fn build(config: LandmarcConfig, refs: &'a ReferenceRssiMap) -> Self {
+        let grid = refs.grid();
+        let k_readers = refs.reader_count();
+        let mut signals = Vec::with_capacity(grid.node_count() * k_readers);
+        let mut positions = Vec::with_capacity(grid.node_count());
+        for idx in grid.indices() {
+            for k in 0..k_readers {
+                signals.push(refs.rssi(k, idx));
+            }
+            positions.push(grid.position(idx));
+        }
+        PreparedLandmarc {
+            config,
+            refs,
+            signals,
+            positions,
+        }
+    }
+
+    /// The calibration map this instance is bound to.
+    pub fn refs(&self) -> &ReferenceRssiMap {
+        self.refs
+    }
+}
+
+impl PreparedLocalizer for PreparedLandmarc<'_> {
+    fn locate(&self, reading: &TrackingReading) -> Result<Estimate, LocalizeError> {
+        check_readers(self.refs, reading)?;
+        let total_refs = self.positions.len();
+        if self.config.k == 0 || self.config.k > total_refs {
+            return Err(LocalizeError::InsufficientData(format!(
+                "k = {} with {total_refs} reference tags",
+                self.config.k
+            )));
+        }
+        let k_readers = self.refs.reader_count();
+
+        LANDMARC_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            // Same accumulation as `TrackingReading::signal_distance`:
+            // Σ_k (θ_k − S_k)², k ascending, then sqrt — node order is the
+            // grid's row-major order, as in `Landmarc::signal_distances`.
+            scratch.scored.clear();
+            for (flat, &pos) in self.positions.iter().enumerate() {
+                let base = flat * k_readers;
+                let e = (0..k_readers)
+                    .map(|k| (reading.at(k) - self.signals[base + k]).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                scratch.scored.push((e, pos));
+            }
+            // Partial selection of the k smallest E (stable, as before).
+            scratch
+                .scored
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            scratch.scored.truncate(self.config.k);
+
+            scratch.distances.clear();
+            scratch.positions.clear();
+            for &(e, p) in &scratch.scored {
+                scratch.distances.push(e);
+                scratch.positions.push(p);
+            }
+            inverse_square_weights_into(&scratch.distances, &mut scratch.weights);
+
+            Point2::weighted_centroid(&scratch.positions, &scratch.weights)
+                .map(|position| Estimate::new(position, self.config.k))
+                .ok_or(LocalizeError::DegenerateWeights)
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "LANDMARC"
+    }
+}
+
+impl Vire {
+    /// Binds this VIRE configuration to one calibration map, building the
+    /// virtual grid and flattened RSSI planes once. Errors when the
+    /// configuration is degenerate (`refine == 0`).
+    pub fn prepare<'a>(
+        &self,
+        refs: &'a ReferenceRssiMap,
+    ) -> Result<PreparedVire<'a>, LocalizeError> {
+        PreparedVire::build(self.config(), refs)
+    }
+}
+
+impl Landmarc {
+    /// Binds this LANDMARC configuration to one calibration map, caching
+    /// node-major signal vectors and node positions.
+    pub fn prepare<'a>(&self, refs: &'a ReferenceRssiMap) -> PreparedLandmarc<'a> {
+        PreparedLandmarc::build(LandmarcConfig { k: self.k() }, refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vire_geom::{GridData, RegularGrid};
+
+    fn readers() -> Vec<Point2> {
+        vec![
+            Point2::new(-1.0, -1.0),
+            Point2::new(4.0, -1.0),
+            Point2::new(4.0, 4.0),
+            Point2::new(-1.0, 4.0),
+        ]
+    }
+
+    fn rssi_at(p: Point2, r: Point2) -> f64 {
+        -60.0 - 22.0 * (p.distance(r).max(0.1)).log10()
+    }
+
+    fn map() -> ReferenceRssiMap {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let fields = readers()
+            .iter()
+            .map(|r| GridData::from_fn(grid, |_, p| rssi_at(p, *r)))
+            .collect();
+        ReferenceRssiMap::new(grid, readers(), fields)
+    }
+
+    fn reading_at(p: Point2) -> TrackingReading {
+        TrackingReading::new(readers().iter().map(|r| rssi_at(p, *r)).collect())
+    }
+
+    fn sample_readings() -> Vec<TrackingReading> {
+        [
+            (0.7, 2.2),
+            (2.3, 2.4),
+            (2.5, 1.3),
+            (1.4, 0.6),
+            (1.5, 1.5),
+            (0.2, 0.3),
+            (3.1, 2.8),
+        ]
+        .iter()
+        .map(|&(x, y)| reading_at(Point2::new(x, y)))
+        .collect()
+    }
+
+    #[test]
+    fn prepared_vire_matches_one_shot_exactly() {
+        let refs = map();
+        let vire = Vire::default();
+        let prepared = vire.prepare(&refs).unwrap();
+        for reading in sample_readings() {
+            let one_shot = vire.locate(&refs, &reading).unwrap();
+            let fast = prepared.locate(&reading).unwrap();
+            assert_eq!(one_shot, fast);
+        }
+    }
+
+    #[test]
+    fn prepared_landmarc_matches_one_shot_exactly() {
+        let refs = map();
+        let lm = Landmarc::default();
+        let prepared = lm.prepare(&refs);
+        for reading in sample_readings() {
+            assert_eq!(
+                lm.locate(&refs, &reading).unwrap(),
+                prepared.locate(&reading).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_in_order() {
+        let refs = map();
+        let vire = Vire::default();
+        let prepared = vire.prepare(&refs).unwrap();
+        let readings = sample_readings();
+        let batch = prepared.locate_batch(&readings);
+        assert_eq!(batch.len(), readings.len());
+        for (reading, batched) in readings.iter().zip(&batch) {
+            assert_eq!(
+                &prepared.locate(reading).unwrap(),
+                batched.as_ref().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_scratch_reuse_matches_implicit() {
+        let refs = map();
+        let prepared = Vire::default().prepare(&refs).unwrap();
+        let mut scratch = VireScratch::new();
+        for reading in sample_readings() {
+            assert_eq!(
+                prepared
+                    .locate_with_scratch(&reading, &mut scratch)
+                    .unwrap(),
+                prepared.locate(&reading).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn prepare_on_degenerate_config_errors_like_locate() {
+        let refs = map();
+        let vire = Vire::new(VireConfig {
+            refine: 0,
+            ..VireConfig::default()
+        });
+        assert!(matches!(
+            vire.prepare(&refs),
+            Err(LocalizeError::InsufficientData(_))
+        ));
+        // The trait-level prepare falls back to the unprepared adapter,
+        // which reports the same error per reading as the one-shot path.
+        let boxed = Localizer::prepare(&vire, &refs);
+        assert_eq!(
+            boxed
+                .locate(&reading_at(Point2::new(1.0, 1.0)))
+                .unwrap_err(),
+            vire.locate(&refs, &reading_at(Point2::new(1.0, 1.0)))
+                .unwrap_err()
+        );
+    }
+
+    #[test]
+    fn default_prepare_adapter_delegates() {
+        let refs = map();
+        let lm = Landmarc::default();
+        let adapter = Unprepared::new(&lm, &refs);
+        let reading = reading_at(Point2::new(1.2, 2.1));
+        assert_eq!(adapter.name(), "LANDMARC");
+        assert_eq!(
+            adapter.locate(&reading).unwrap(),
+            lm.locate(&refs, &reading).unwrap()
+        );
+    }
+
+    #[test]
+    fn prepared_errors_match_one_shot_on_reader_mismatch() {
+        let refs = map();
+        let prepared = Vire::default().prepare(&refs).unwrap();
+        let short = TrackingReading::new(vec![-70.0]);
+        assert_eq!(
+            prepared.locate(&short).unwrap_err(),
+            Vire::default().locate(&refs, &short).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn batch_propagates_per_reading_errors_in_place() {
+        let refs = map();
+        let prepared = Vire::default().prepare(&refs).unwrap();
+        let readings = vec![
+            reading_at(Point2::new(1.5, 1.5)),
+            TrackingReading::new(vec![-70.0]),
+            reading_at(Point2::new(2.0, 2.0)),
+        ];
+        let out = prepared.locate_batch(&readings);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(LocalizeError::ReaderMismatch { .. })));
+        assert!(out[2].is_ok());
+    }
+}

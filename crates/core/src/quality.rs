@@ -89,10 +89,7 @@ impl Vire {
             residual += w * reading.signal_distance(&grid.signal_vector(idx));
             spread_sq += w * grid.grid().position(idx).distance_sq(estimate.position);
         }
-        Ok((
-            estimate,
-            FixQuality::combine(residual, spread_sq.sqrt()),
-        ))
+        Ok((estimate, FixQuality::combine(residual, spread_sq.sqrt())))
     }
 }
 
@@ -213,7 +210,11 @@ mod tests {
         let (_, q) = vire
             .locate_scored(&refs, &reading_at(Point2::new(1.5, 1.5)))
             .unwrap();
-        assert!(q.score < 0.6, "fallback score {:.3} should be modest", q.score);
+        assert!(
+            q.score < 0.6,
+            "fallback score {:.3} should be modest",
+            q.score
+        );
         assert!(q.spread_m >= 1.0, "fallback spread is a full cell");
     }
 }

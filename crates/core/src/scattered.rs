@@ -137,14 +137,18 @@ impl ScatteredVire {
         }
         let nx = (b.width() / self.config.virtual_pitch).round() as usize + 1;
         let ny = (b.height() / self.config.virtual_pitch).round() as usize + 1;
-        let grid = RegularGrid::new(b.min, self.config.virtual_pitch, self.config.virtual_pitch, nx, ny);
+        let grid = RegularGrid::new(
+            b.min,
+            self.config.virtual_pitch,
+            self.config.virtual_pitch,
+            nx,
+            ny,
+        );
 
         let fields: Result<Vec<GridData<f64>>, LocalizeError> = (0..refs.reader_count())
             .map(|k| {
                 let idw = Idw::fit(refs.sites(), &refs.rssi[k], self.config.idw_power)
-                    .ok_or_else(|| {
-                        LocalizeError::InsufficientData("IDW fit failed".into())
-                    })?;
+                    .ok_or_else(|| LocalizeError::InsufficientData("IDW fit failed".into()))?;
                 Ok(GridData::from_fn(grid, |_, p| idw.eval(p)))
             })
             .collect();
@@ -166,9 +170,14 @@ impl ScatteredVire {
         let grid = self.virtual_grid(refs)?;
         let result =
             eliminate(&grid, reading, self.config.threshold).ok_or(LocalizeError::AllEliminated)?;
-        let (candidates, weights) =
-            candidate_weights(&grid, reading, &result.mask, self.config.weighting, self.config.w1)
-                .ok_or(LocalizeError::DegenerateWeights)?;
+        let (candidates, weights) = candidate_weights(
+            &grid,
+            reading,
+            &result.mask,
+            self.config.weighting,
+            self.config.w1,
+        )
+        .ok_or(LocalizeError::DegenerateWeights)?;
         let positions: Vec<Point2> = candidates
             .iter()
             .map(|&idx| grid.grid().position(idx))
@@ -359,7 +368,9 @@ mod tests {
         let refs = ScatteredReferenceMap::new(sites, vec![Point2::ORIGIN], rssi_rows);
         let reading = TrackingReading::new(vec![-70.0]);
         assert!(matches!(
-            ScatteredVire::default().locate(&refs, &reading).unwrap_err(),
+            ScatteredVire::default()
+                .locate(&refs, &reading)
+                .unwrap_err(),
             LocalizeError::InsufficientData(_)
         ));
     }

@@ -55,6 +55,10 @@ pub struct LocationService<L: Localizer> {
     localizer: L,
     config: ServiceConfig,
     tracks: HashMap<TagKey, Track>,
+    /// Time of the last full stale sweep; sweeps are amortized to at most
+    /// one HashMap scan per `stale_after` interval instead of one per
+    /// snapshot.
+    last_sweep: f64,
 }
 
 #[derive(Debug)]
@@ -70,6 +74,7 @@ impl<L: Localizer> LocationService<L> {
             localizer,
             config,
             tracks: HashMap::new(),
+            last_sweep: f64::NEG_INFINITY,
         }
     }
 
@@ -77,7 +82,8 @@ impl<L: Localizer> LocationService<L> {
     ///
     /// Localizes the reading, folds it into the tag's track (creating the
     /// track on first sight), and returns the tracked output. Stale tracks
-    /// are evicted opportunistically.
+    /// are evicted opportunistically (amortized; see
+    /// [`LocationService::process_snapshot_batch`] for the batch path).
     pub fn observe(
         &mut self,
         time: f64,
@@ -86,8 +92,46 @@ impl<L: Localizer> LocationService<L> {
         reading: &TrackingReading,
     ) -> Result<TrackedEstimate, LocalizeError> {
         let raw = self.localizer.locate(refs, reading)?;
-        self.evict_stale(time);
+        self.maybe_sweep(time);
+        Ok(self.fold(time, tag, raw))
+    }
 
+    /// Processes one snapshot covering many tags at absolute time `time`.
+    ///
+    /// The readings are localized **in parallel** through the localizer's
+    /// prepared form ([`Localizer::prepare`] +
+    /// [`crate::PreparedLocalizer::locate_batch`]) — the per-map work
+    /// (e.g. VIRE's virtual-grid interpolation) happens once for the
+    /// whole batch — then the results are folded into the per-tag Kalman
+    /// tracks sequentially, in input order. Output order matches input
+    /// order; each element is exactly what [`LocationService::observe`]
+    /// would have returned for that tag at the same `time`.
+    pub fn process_snapshot_batch(
+        &mut self,
+        time: f64,
+        refs: &ReferenceRssiMap,
+        snapshots: &[(TagKey, TrackingReading)],
+    ) -> Vec<Result<TrackedEstimate, LocalizeError>> {
+        let readings: Vec<TrackingReading> = snapshots.iter().map(|(_, r)| r.clone()).collect();
+        let raws = self.localizer.prepare(refs).locate_batch(&readings);
+        self.maybe_sweep(time);
+        raws.into_iter()
+            .zip(snapshots)
+            .map(|(raw, &(tag, _))| raw.map(|raw| self.fold(time, tag, raw)))
+            .collect()
+    }
+
+    /// Folds one raw estimate into the tag's track (creating the track on
+    /// first sight) and produces the tracked output.
+    fn fold(&mut self, time: f64, tag: TagKey, raw: Estimate) -> TrackedEstimate {
+        // Safety net for the amortized sweep: a returning tag whose own
+        // track went stale gets a fresh filter immediately, even when the
+        // next full sweep hasn't run yet.
+        if let Some(track) = self.tracks.get(&tag) {
+            if time - track.last_update > self.config.stale_after {
+                self.tracks.remove(&tag);
+            }
+        }
         let track = self.tracks.entry(tag).or_insert_with(|| Track {
             filter: KalmanTracker::new(self.config.process_noise, self.config.measurement_noise),
             last_update: f64::NEG_INFINITY,
@@ -102,12 +146,12 @@ impl<L: Localizer> LocationService<L> {
             track.filter.position().unwrap_or(raw.position)
         };
 
-        Ok(TrackedEstimate {
+        TrackedEstimate {
             position,
             velocity: track.filter.velocity().unwrap_or(Vec2::ZERO),
             sigma: track.filter.position_sigma().unwrap_or((0.0, 0.0)),
             raw,
-        })
+        }
     }
 
     /// Latest filtered position of a tag, if tracked.
@@ -135,10 +179,17 @@ impl<L: Localizer> LocationService<L> {
         &self.localizer
     }
 
-    fn evict_stale(&mut self, now: f64) {
+    /// Full stale sweep, amortized: scans the track map at most once per
+    /// `stale_after` interval. Tags observed in between are checked
+    /// individually in [`LocationService::fold`], so per-snapshot cost no
+    /// longer grows with the number of tracked tags.
+    fn maybe_sweep(&mut self, now: f64) {
+        if now - self.last_sweep < self.config.stale_after {
+            return;
+        }
         let horizon = self.config.stale_after;
-        self.tracks
-            .retain(|_, t| now - t.last_update <= horizon);
+        self.tracks.retain(|_, t| now - t.last_update <= horizon);
+        self.last_sweep = now;
     }
 }
 
@@ -190,8 +241,10 @@ mod tests {
     fn tracks_are_per_tag() {
         let refs = map();
         let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
-        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(0.6, 0.6))).unwrap();
-        svc.observe(0.0, 2, &refs, &reading_at(Point2::new(2.4, 2.4))).unwrap();
+        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(0.6, 0.6)))
+            .unwrap();
+        svc.observe(0.0, 2, &refs, &reading_at(Point2::new(2.4, 2.4)))
+            .unwrap();
         let p1 = svc.position(1).unwrap();
         let p2 = svc.position(2).unwrap();
         assert!(p1.distance(p2) > 1.0, "tags must not share state");
@@ -205,11 +258,78 @@ mod tests {
             ..ServiceConfig::default()
         };
         let mut svc = LocationService::new(Vire::default(), cfg);
-        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(1.0, 1.0))).unwrap();
+        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(1.0, 1.0)))
+            .unwrap();
         // A later observation of another tag triggers eviction.
-        svc.observe(30.0, 2, &refs, &reading_at(Point2::new(2.0, 2.0))).unwrap();
+        svc.observe(30.0, 2, &refs, &reading_at(Point2::new(2.0, 2.0)))
+            .unwrap();
         assert_eq!(svc.position(1), None, "tag 1 went stale");
         assert!(svc.position(2).is_some());
+    }
+
+    #[test]
+    fn evicted_tags_recreate_fresh_tracks() {
+        let refs = map();
+        let cfg = ServiceConfig {
+            stale_after: 10.0,
+            ..ServiceConfig::default()
+        };
+        let mut svc = LocationService::new(Vire::default(), cfg);
+        // Build up a moving track for tag 1 so its filter carries velocity.
+        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(0.5, 0.5)))
+            .unwrap();
+        svc.observe(5.0, 1, &refs, &reading_at(Point2::new(1.0, 1.0)))
+            .unwrap();
+        // Keep the service busy with tag 2; the sweep at t = 12 keeps
+        // tag 1 (12 − 5 = 7 ≤ 10) and stamps last_sweep = 12, so no full
+        // sweep runs again before t = 22.
+        svc.observe(12.0, 2, &refs, &reading_at(Point2::new(2.0, 2.0)))
+            .unwrap();
+        // Tag 1 returns at t = 16: stale (16 − 5 = 11 > 10) but the next
+        // amortized sweep is not due yet — the per-tag check must still
+        // hand it a fresh track, not resume the old filter.
+        let out = svc
+            .observe(16.0, 1, &refs, &reading_at(Point2::new(2.5, 2.5)))
+            .unwrap();
+        assert_eq!(
+            out.position, out.raw.position,
+            "a fresh track primes on the measurement"
+        );
+        assert_eq!(out.velocity, Vec2::ZERO, "stale velocity must not leak");
+    }
+
+    #[test]
+    fn batch_matches_sequential_observes() {
+        let refs = map();
+        let spots = [(1u32, 0.6, 0.6), (2u32, 2.4, 2.4), (3u32, 1.5, 0.9)];
+        let snapshots: Vec<(TagKey, TrackingReading)> = spots
+            .iter()
+            .map(|&(tag, x, y)| (tag, reading_at(Point2::new(x, y))))
+            .collect();
+
+        let mut batch_svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        let mut seq_svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        for time in [0.0, 1.0, 2.0] {
+            let batched = batch_svc.process_snapshot_batch(time, &refs, &snapshots);
+            for ((tag, reading), out) in snapshots.iter().zip(batched) {
+                let sequential = seq_svc.observe(time, *tag, &refs, reading).unwrap();
+                assert_eq!(out.unwrap(), sequential);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_propagates_errors_without_touching_tracks() {
+        let refs = map();
+        let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        let snapshots = vec![
+            (1u32, reading_at(Point2::new(1.0, 1.0))),
+            (2u32, TrackingReading::new(vec![-70.0])),
+        ];
+        let out = svc.process_snapshot_batch(0.0, &refs, &snapshots);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+        assert_eq!(svc.tracked_tags(), vec![1]);
     }
 
     #[test]
@@ -231,7 +351,8 @@ mod tests {
     fn forget_and_predict() {
         let refs = map();
         let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
-        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(1.0, 2.0))).unwrap();
+        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(1.0, 2.0)))
+            .unwrap();
         assert!(svc.predict(1, 2.0).is_some());
         svc.forget(1);
         assert_eq!(svc.predict(1, 2.0), None);

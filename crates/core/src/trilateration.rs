@@ -77,7 +77,8 @@ impl Localizer for Trilateration {
         for k in 1..anchors.len() {
             let ak = anchors[k];
             let row = [2.0 * (ak.x - a0.x), 2.0 * (ak.y - a0.y)];
-            let b = (r0 * r0 - ranges[k] * ranges[k]) + (ak.x * ak.x - a0.x * a0.x)
+            let b = (r0 * r0 - ranges[k] * ranges[k])
+                + (ak.x * ak.x - a0.x * a0.x)
                 + (ak.y * ak.y - a0.y * a0.y);
             ata[0][0] += row[0] * row[0];
             ata[0][1] += row[0] * row[1];
@@ -139,7 +140,10 @@ mod tests {
         let refs = map_with_readers(square_readers());
         let truth = Point2::new(1.7, 2.2);
         let reading = TrackingReading::new(
-            square_readers().iter().map(|r| ideal_rssi(truth, *r)).collect(),
+            square_readers()
+                .iter()
+                .map(|r| ideal_rssi(truth, *r))
+                .collect(),
         );
         let est = Trilateration::default().locate(&refs, &reading).unwrap();
         assert!(est.error(truth) < 1e-6, "error {}", est.error(truth));
@@ -167,8 +171,7 @@ mod tests {
             .collect();
         let refs = ReferenceRssiMap::new(grid, readers.clone(), fields);
         let truth = Point2::new(0.8, 2.4);
-        let reading =
-            TrackingReading::new(readers.iter().map(|r| gen(truth, *r)).collect());
+        let reading = TrackingReading::new(readers.iter().map(|r| gen(truth, *r)).collect());
         let err = Trilateration::default()
             .locate(&refs, &reading)
             .unwrap()
@@ -185,9 +188,10 @@ mod tests {
         ];
         let refs = map_with_readers(readers.clone());
         let truth = Point2::new(1.5, 1.5);
-        let reading =
-            TrackingReading::new(readers.iter().map(|r| ideal_rssi(truth, *r)).collect());
-        let err = Trilateration::default().locate(&refs, &reading).unwrap_err();
+        let reading = TrackingReading::new(readers.iter().map(|r| ideal_rssi(truth, *r)).collect());
+        let err = Trilateration::default()
+            .locate(&refs, &reading)
+            .unwrap_err();
         assert!(matches!(err, LocalizeError::InsufficientData(_)));
     }
 
@@ -196,7 +200,9 @@ mod tests {
         let readers = vec![Point2::new(0.0, 0.0), Point2::new(4.0, 0.0)];
         let refs = map_with_readers(readers.clone());
         let reading = TrackingReading::new(vec![-70.0, -72.0]);
-        let err = Trilateration::default().locate(&refs, &reading).unwrap_err();
+        let err = Trilateration::default()
+            .locate(&refs, &reading)
+            .unwrap_err();
         assert!(matches!(err, LocalizeError::InsufficientData(_)));
     }
 }

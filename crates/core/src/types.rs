@@ -80,7 +80,9 @@ impl ReferenceRssiMap {
     /// The signal-space vector (one RSSI per reader) of the reference tag
     /// at node `idx`.
     pub fn signal_vector(&self, idx: GridIndex) -> Vec<f64> {
-        (0..self.reader_count()).map(|k| self.rssi(k, idx)).collect()
+        (0..self.reader_count())
+            .map(|k| self.rssi(k, idx))
+            .collect()
     }
 
     /// Builds a copy with reader `k` removed — the dead-reader failure
@@ -251,6 +253,8 @@ mod tests {
         let t = TrackingReading::new(vec![-70.0, -75.0, -80.0]);
         let t2 = t.without_reader(1).unwrap();
         assert_eq!(t2.rssi(), &[-70.0, -80.0]);
-        assert!(TrackingReading::new(vec![-70.0]).without_reader(0).is_none());
+        assert!(TrackingReading::new(vec![-70.0])
+            .without_reader(0)
+            .is_none());
     }
 }

@@ -1,23 +1,30 @@
 //! The assembled VIRE localizer (paper §4).
 //!
-//! Pipeline per tracking reading:
+//! The pipeline is split into a **prepare** phase and a **query** phase
+//! (see [`crate::prepared`]):
 //!
-//! 1. build the virtual reference grid (interpolation, §4.2),
-//! 2. build one proximity map per reader and run elimination (§4.3),
+//! 1. *prepare, once per calibration map:* build the virtual reference
+//!    grid (interpolation, §4.2) and flatten its per-reader RSSI planes,
+//! 2. *query, per tracking reading:* run proximity-based elimination
+//!    (§4.3) over the cached planes,
 //! 3. weight the surviving virtual tags by `w1·w2`,
 //! 4. estimate `(x, y) = Σ wᵢ (xᵢ, yᵢ)`.
+//!
+//! The one-shot [`Localizer::locate`] API is retained — it prepares,
+//! queries once, and discards — so both paths share one implementation
+//! and produce bit-identical estimates.
 //!
 //! When a **fixed** threshold eliminates everything, the configured
 //! fallback applies: error out, or degrade gracefully to LANDMARC on the
 //! real reference tags (the behaviour a deployment would want).
 
-use crate::elimination::{eliminate, EliminationResult};
-use crate::landmarc::{Landmarc, LandmarcConfig};
+use crate::elimination::EliminationResult;
 use crate::localizer::{check_readers, Estimate, LocalizeError, Localizer};
+use crate::prepared::{PreparedLocalizer, PreparedVire, Unprepared};
 use crate::types::{ReferenceRssiMap, TrackingReading};
-use crate::virtual_grid::{InterpolationKernel, VirtualGrid};
-use crate::weights::{candidate_weights, W1Mode, WeightingMode};
-use vire_geom::Point2;
+use crate::virtual_grid::InterpolationKernel;
+use crate::weights::{W1Mode, WeightingMode};
+use vire_geom::GridData;
 
 pub use crate::elimination::ThresholdMode;
 pub use crate::weights::WeightingMode as VireWeighting;
@@ -127,71 +134,27 @@ impl Vire {
 
     /// Runs the pipeline, also returning the elimination diagnostics
     /// (used by the experiment harness to render Fig. 5-style maps).
+    ///
+    /// One-shot: prepares the virtual grid for `refs`, answers the single
+    /// query, and discards the preparation. Loops over many readings
+    /// against one map should use [`Vire::prepare`] instead and query the
+    /// returned [`PreparedVire`] — the results are bit-identical (this
+    /// method routes through the same prepared core).
     pub fn locate_with_diagnostics(
         &self,
         refs: &ReferenceRssiMap,
         reading: &TrackingReading,
     ) -> Result<(Estimate, Option<EliminationResult>), LocalizeError> {
         check_readers(refs, reading)?;
-        if self.config.refine == 0 {
-            return Err(LocalizeError::InsufficientData(
-                "refinement factor must be >= 1".into(),
-            ));
-        }
-
-        let grid = VirtualGrid::build(refs, self.config.refine, self.config.kernel);
-        // Resolve the auto candidate floor: one physical cell's worth of
-        // virtual regions (n²) keeps elimination from degenerating into a
-        // single-cell snap (see ThresholdMode::Adaptive::min_candidates).
-        let threshold = match self.config.threshold {
-            ThresholdMode::Adaptive {
-                step,
-                min,
-                per_reader,
-                min_candidates: 0,
-            } => ThresholdMode::Adaptive {
-                step,
-                min,
-                per_reader,
-                min_candidates: self.config.refine * self.config.refine,
-            },
-            other => other,
-        };
-        let Some(result) = eliminate(&grid, reading, threshold) else {
-            return match self.config.fallback {
-                EmptyFallback::Error => Err(LocalizeError::AllEliminated),
-                EmptyFallback::Landmarc => {
-                    let est = Landmarc::new(LandmarcConfig::default()).locate(refs, reading)?;
-                    Ok((est, None))
-                }
-            };
-        };
-
-        let Some((candidates, weights)) =
-            candidate_weights(&grid, reading, &result.mask, self.config.weighting, self.config.w1)
-        else {
-            return Err(LocalizeError::DegenerateWeights);
-        };
-
-        let positions: Vec<Point2> = candidates
-            .iter()
-            .map(|&idx| grid.grid().position(idx))
-            .collect();
-        let position = Point2::weighted_centroid(&positions, &weights)
-            .ok_or(LocalizeError::DegenerateWeights)?;
-
-        let estimate = Estimate {
-            position,
-            contributors: candidates.len(),
-            threshold: Some(
-                result
-                    .thresholds
-                    .iter()
-                    .cloned()
-                    .fold(f64::NEG_INFINITY, f64::max),
-            ),
-        };
-        Ok((estimate, Some(result)))
+        let prepared = self.prepare(refs)?;
+        PreparedVire::with_thread_scratch(|scratch| {
+            let (estimate, eliminated) = prepared.locate_core(reading, scratch)?;
+            let diag = eliminated.then(|| EliminationResult {
+                mask: GridData::from_vec(*prepared.grid().grid(), scratch.elim.mask.clone()),
+                thresholds: scratch.elim.thresholds.clone(),
+            });
+            Ok((estimate, diag))
+        })
     }
 }
 
@@ -201,18 +164,31 @@ impl Localizer for Vire {
         refs: &ReferenceRssiMap,
         reading: &TrackingReading,
     ) -> Result<Estimate, LocalizeError> {
-        self.locate_with_diagnostics(refs, reading).map(|(e, _)| e)
+        check_readers(refs, reading)?;
+        let prepared = self.prepare(refs)?;
+        PreparedVire::with_thread_scratch(|scratch| prepared.locate_with_scratch(reading, scratch))
     }
 
     fn name(&self) -> &'static str {
         "VIRE"
+    }
+
+    fn prepare<'a>(&'a self, refs: &'a ReferenceRssiMap) -> Box<dyn PreparedLocalizer + 'a> {
+        // A degenerate configuration (refine = 0) cannot be prepared; the
+        // unprepared adapter surfaces the same per-reading error as the
+        // one-shot path.
+        match Vire::prepare(self, refs) {
+            Ok(prepared) => Box::new(prepared),
+            Err(_) => Box::new(Unprepared::new(self, refs)),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vire_geom::{GridData, RegularGrid};
+    use crate::landmarc::Landmarc;
+    use vire_geom::{GridData, Point2, RegularGrid};
 
     fn readers() -> Vec<Point2> {
         vec![
@@ -310,7 +286,9 @@ mod tests {
             .unwrap();
         assert!(diag.is_none(), "fallback path carries no elimination diag");
         // Must equal plain LANDMARC.
-        let lm = Landmarc::default().locate(&refs, &reading_at(truth)).unwrap();
+        let lm = Landmarc::default()
+            .locate(&refs, &reading_at(truth))
+            .unwrap();
         assert_eq!(est.position, lm.position);
     }
 

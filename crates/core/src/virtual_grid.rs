@@ -145,7 +145,9 @@ impl VirtualGrid {
 
     /// Signal vector (one RSSI per reader) of virtual tag `idx`.
     pub fn signal_vector(&self, idx: GridIndex) -> Vec<f64> {
-        (0..self.reader_count()).map(|k| self.rssi(k, idx)).collect()
+        (0..self.reader_count())
+            .map(|k| self.rssi(k, idx))
+            .collect()
     }
 }
 
@@ -169,9 +171,7 @@ fn interpolate_field(
         .collect();
     let mut intermediate = vec![vec![0.0f64; fnx]; cny];
     for (j, row_out) in intermediate.iter_mut().enumerate() {
-        let row_vals: Vec<f64> = (0..cnx)
-            .map(|i| *field.get(GridIndex::new(i, j)))
-            .collect();
+        let row_vals: Vec<f64> = (0..cnx).map(|i| *field.get(GridIndex::new(i, j))).collect();
         interpolate_line(&coarse_xs, &row_vals, &fine_xs, n, kernel, row_out);
     }
 

@@ -11,10 +11,9 @@
 //!
 //! The combined weight is `w = w1·w2`, renormalized.
 
-use crate::landmarc::inverse_square_weights;
+use crate::landmarc::inverse_square_weights_into;
 use crate::virtual_grid::VirtualGrid;
 use crate::TrackingReading;
-use vire_geom::label::Components;
 use vire_geom::{GridData, GridIndex};
 
 /// How the signal-agreement factor `w1` is computed.
@@ -79,10 +78,196 @@ impl WeightingMode {
     }
 }
 
+/// Reusable buffers for the zero-allocation weighting core. Held inside
+/// [`crate::VireScratch`]; every vector retains its capacity between
+/// readings.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct WeightBuffers {
+    /// Surviving candidates as flat (row-major) node indices, ascending.
+    pub(crate) candidates: Vec<usize>,
+    /// Per-candidate scores: signal distances (inverse-square mode) or raw
+    /// discrepancies (paper mode), before normalization.
+    scores: Vec<f64>,
+    /// Signal-agreement factor per candidate.
+    w1: Vec<f64>,
+    /// Density factor per candidate.
+    w2: Vec<f64>,
+    /// Final normalized weights, aligned with `candidates`.
+    pub(crate) weights: Vec<f64>,
+    /// Connected-component label per node (0 = background / unvisited).
+    labels: Vec<u32>,
+    /// Size of each component, indexed by label − 1.
+    comp_sizes: Vec<usize>,
+    /// Flood-fill work stack.
+    stack: Vec<usize>,
+}
+
+/// 4-connected component labelling on a flat mask — the allocation-free
+/// equivalent of `vire_geom::label::Components::label`. Component *sizes*
+/// are what w2 consumes, and those are invariant to traversal order, so
+/// this produces weights identical to the grid-based labelling.
+fn label_components(mask: &[bool], nx: usize, buf: &mut WeightBuffers) {
+    let nodes = mask.len();
+    buf.labels.clear();
+    buf.labels.resize(nodes, 0);
+    buf.comp_sizes.clear();
+    // Seeding from the candidate list (all masked flats, ascending) visits
+    // seeds in the same order as scanning every node, without the scan.
+    let WeightBuffers {
+        candidates,
+        labels,
+        comp_sizes,
+        stack,
+        ..
+    } = buf;
+    for &seed in candidates.iter() {
+        if labels[seed] != 0 {
+            continue;
+        }
+        let label = comp_sizes.len() as u32 + 1;
+        let mut size = 0usize;
+        stack.clear();
+        stack.push(seed);
+        labels[seed] = label;
+        while let Some(flat) = stack.pop() {
+            size += 1;
+            let i = flat % nx;
+            // 4-neighbourhood in flat coordinates.
+            if i > 0 && mask[flat - 1] && labels[flat - 1] == 0 {
+                labels[flat - 1] = label;
+                stack.push(flat - 1);
+            }
+            if i + 1 < nx && mask[flat + 1] && labels[flat + 1] == 0 {
+                labels[flat + 1] = label;
+                stack.push(flat + 1);
+            }
+            if flat >= nx && mask[flat - nx] && labels[flat - nx] == 0 {
+                labels[flat - nx] = label;
+                stack.push(flat - nx);
+            }
+            if flat + nx < nodes && mask[flat + nx] && labels[flat + nx] == 0 {
+                labels[flat + nx] = label;
+                stack.push(flat + nx);
+            }
+        }
+        comp_sizes.push(size);
+    }
+}
+
+/// Allocation-free weighting over pre-flattened RSSI planes
+/// (`planes[k * nodes + flat]`) and a flat candidate mask. On success the
+/// candidate flat indices and their normalized weights are left in `buf`
+/// and `true` is returned; `false` corresponds to the `None` cases of
+/// [`candidate_weights`] (empty mask or degenerate weights).
+///
+/// Bit-for-bit equivalent to the historical implementation: candidates
+/// enumerate in the same row-major order, every per-candidate sum runs
+/// k-ascending, and normalization divides in the same order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn candidate_weights_into(
+    planes: &[f64],
+    nodes: usize,
+    nx: usize,
+    reading: &TrackingReading,
+    mask: &[bool],
+    mode: WeightingMode,
+    w1_mode: W1Mode,
+    buf: &mut WeightBuffers,
+) -> bool {
+    debug_assert_eq!(mask.len(), nodes);
+    let k_readers = reading.reader_count();
+    debug_assert_eq!(planes.len(), k_readers * nodes);
+
+    buf.candidates.clear();
+    buf.candidates.extend((0..nodes).filter(|&flat| mask[flat]));
+    if buf.candidates.is_empty() {
+        return false;
+    }
+
+    match w1_mode {
+        W1Mode::InverseSquare => {
+            // Same accumulation as `TrackingReading::signal_distance`:
+            // Σ_k (θ_k − s_k)², k ascending, then sqrt.
+            buf.scores.clear();
+            for &flat in &buf.candidates {
+                let e = (0..k_readers)
+                    .map(|k| (reading.at(k) - planes[k * nodes + flat]).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                buf.scores.push(e);
+            }
+            inverse_square_weights_into(&buf.scores, &mut buf.w1);
+        }
+        W1Mode::PaperDiscrepancy => {
+            // The paper's w1 formula with magnitudes, normalized over the
+            // candidates: `w1ᵢ ∝ Σ_k |S_k(Tᵢ) − θ_k| / (K·|S_k(Tᵢ)|)`.
+            // When every discrepancy is zero the weights degrade to
+            // uniform.
+            let k_f = k_readers as f64;
+            buf.scores.clear();
+            for &flat in &buf.candidates {
+                let raw = (0..k_readers)
+                    .map(|k| {
+                        let s = planes[k * nodes + flat];
+                        (s - reading.at(k)).abs() / (k_f * s.abs().max(1e-9))
+                    })
+                    .sum::<f64>();
+                buf.scores.push(raw);
+            }
+            let total: f64 = buf.scores.iter().sum();
+            buf.w1.clear();
+            if total <= 0.0 {
+                buf.w1
+                    .resize(buf.candidates.len(), 1.0 / buf.candidates.len() as f64);
+            } else {
+                buf.w1.extend(buf.scores.iter().map(|w| w / total));
+            }
+        }
+    }
+
+    // w2: conjunctive-region size, normalized over candidates.
+    label_components(mask, nx, buf);
+    buf.w2.clear();
+    let mut size_total = 0.0f64;
+    for &flat in &buf.candidates {
+        let size = buf.comp_sizes[buf.labels[flat] as usize - 1] as f64;
+        buf.w2.push(size);
+        size_total += size;
+    }
+    if size_total <= 0.0 {
+        return false;
+    }
+    for s in buf.w2.iter_mut() {
+        *s /= size_total;
+    }
+
+    buf.weights.clear();
+    match mode {
+        WeightingMode::W1Only => buf.weights.extend_from_slice(&buf.w1),
+        WeightingMode::W2Only => buf.weights.extend_from_slice(&buf.w2),
+        WeightingMode::Combined => buf
+            .weights
+            .extend(buf.w1.iter().zip(&buf.w2).map(|(a, b)| a * b)),
+    }
+
+    let total: f64 = buf.weights.iter().sum();
+    if !(total > 0.0 && total.is_finite()) {
+        return false;
+    }
+    for w in buf.weights.iter_mut() {
+        *w /= total;
+    }
+    true
+}
+
 /// Computes the per-candidate weights over the surviving mask.
 ///
 /// Returns `(candidate_indices, weights)`; weights are normalized to sum
 /// to 1. Returns `None` when the mask is empty or the weights degenerate.
+///
+/// One-shot convenience over [`candidate_weights_into`]; hot paths go
+/// through [`crate::PreparedVire`], which reuses the buffers across
+/// readings.
 pub fn candidate_weights(
     grid: &VirtualGrid,
     reading: &TrackingReading,
@@ -90,72 +275,27 @@ pub fn candidate_weights(
     mode: WeightingMode,
     w1_mode: W1Mode,
 ) -> Option<(Vec<GridIndex>, Vec<f64>)> {
-    let candidates: Vec<GridIndex> = mask
-        .iter()
-        .filter_map(|(idx, &set)| set.then_some(idx))
-        .collect();
-    if candidates.is_empty() {
+    let planes = crate::elimination::flatten_planes(grid);
+    let nx = grid.grid().nx();
+    let mut buf = WeightBuffers::default();
+    if !candidate_weights_into(
+        &planes,
+        grid.tag_count(),
+        nx,
+        reading,
+        mask.as_slice(),
+        mode,
+        w1_mode,
+        &mut buf,
+    ) {
         return None;
     }
-
-    let w1 = match w1_mode {
-        W1Mode::InverseSquare => {
-            let distances: Vec<f64> = candidates
-                .iter()
-                .map(|&idx| reading.signal_distance(&grid.signal_vector(idx)))
-                .collect();
-            inverse_square_weights(&distances)
-        }
-        W1Mode::PaperDiscrepancy => paper_w1(grid, reading, &candidates),
-    };
-
-    // w2: conjunctive-region size, normalized over candidates.
-    let components = Components::label(mask);
-    let sizes: Vec<f64> = candidates
+    let candidates = buf
+        .candidates
         .iter()
-        .map(|&idx| components.size_of_component_at(idx).unwrap_or(0) as f64)
+        .map(|&flat| GridIndex::new(flat % nx, flat / nx))
         .collect();
-    let size_total: f64 = sizes.iter().sum();
-    let w2: Vec<f64> = if size_total > 0.0 {
-        sizes.iter().map(|s| s / size_total).collect()
-    } else {
-        return None;
-    };
-
-    let combined: Vec<f64> = match mode {
-        WeightingMode::W1Only => w1,
-        WeightingMode::W2Only => w2,
-        WeightingMode::Combined => w1.iter().zip(&w2).map(|(a, b)| a * b).collect(),
-    };
-
-    let total: f64 = combined.iter().sum();
-    if !(total > 0.0 && total.is_finite()) {
-        return None;
-    }
-    let weights = combined.into_iter().map(|w| w / total).collect();
-    Some((candidates, weights))
-}
-
-/// The paper's w1 formula with magnitudes, normalized over the candidates:
-/// `w1ᵢ ∝ Σ_k |S_k(Tᵢ) − θ_k| / (K·|S_k(Tᵢ)|)`. When every discrepancy is
-/// zero (all exact matches) the weights degrade to uniform.
-fn paper_w1(grid: &VirtualGrid, reading: &TrackingReading, candidates: &[GridIndex]) -> Vec<f64> {
-    let k_readers = grid.reader_count() as f64;
-    let raw: Vec<f64> = candidates
-        .iter()
-        .map(|&idx| {
-            let sv = grid.signal_vector(idx);
-            sv.iter()
-                .zip(reading.rssi())
-                .map(|(&s, &theta)| (s - theta).abs() / (k_readers * s.abs().max(1e-9)))
-                .sum::<f64>()
-        })
-        .collect();
-    let total: f64 = raw.iter().sum();
-    if total <= 0.0 {
-        return vec![1.0 / candidates.len() as f64; candidates.len()];
-    }
-    raw.into_iter().map(|w| w / total).collect()
+    Some((candidates, std::mem::take(&mut buf.weights)))
 }
 
 #[cfg(test)]
@@ -205,7 +345,8 @@ mod tests {
             ],
         );
         for mode in WeightingMode::ALL {
-            let (cands, w) = candidate_weights(&vg, &reading, &mask, mode, W1Mode::InverseSquare).unwrap();
+            let (cands, w) =
+                candidate_weights(&vg, &reading, &mask, mode, W1Mode::InverseSquare).unwrap();
             assert_eq!(cands.len(), 4);
             assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12, "{mode:?}");
             assert!(w.iter().all(|&x| x >= 0.0));
@@ -216,7 +357,14 @@ mod tests {
     fn empty_mask_returns_none() {
         let (vg, reading) = setup();
         let mask = GridData::filled(*vg.grid(), false);
-        assert!(candidate_weights(&vg, &reading, &mask, WeightingMode::Combined, W1Mode::InverseSquare).is_none());
+        assert!(candidate_weights(
+            &vg,
+            &reading,
+            &mask,
+            WeightingMode::Combined,
+            W1Mode::InverseSquare
+        )
+        .is_none());
     }
 
     #[test]
@@ -234,7 +382,14 @@ mod tests {
         let mut all = blob.to_vec();
         all.push(lone);
         let mask = mask_with(&vg, &all);
-        let (cands, w) = candidate_weights(&vg, &reading, &mask, WeightingMode::W2Only, W1Mode::InverseSquare).unwrap();
+        let (cands, w) = candidate_weights(
+            &vg,
+            &reading,
+            &mask,
+            WeightingMode::W2Only,
+            W1Mode::InverseSquare,
+        )
+        .unwrap();
         let lone_pos = cands.iter().position(|&c| c == lone).unwrap();
         let blob_pos = cands.iter().position(|&c| c == blob[0]).unwrap();
         assert!(
@@ -255,7 +410,14 @@ mod tests {
         let near = GridIndex::new(6, 6);
         let far = GridIndex::new(0, 0);
         let mask = mask_with(&vg, &[near, far]);
-        let (cands, w) = candidate_weights(&vg, &reading, &mask, WeightingMode::W1Only, W1Mode::InverseSquare).unwrap();
+        let (cands, w) = candidate_weights(
+            &vg,
+            &reading,
+            &mask,
+            WeightingMode::W1Only,
+            W1Mode::InverseSquare,
+        )
+        .unwrap();
         let near_pos = cands.iter().position(|&c| c == near).unwrap();
         let far_pos = cands.iter().position(|&c| c == far).unwrap();
         assert!(w[near_pos] > w[far_pos]);
@@ -270,9 +432,30 @@ mod tests {
             GridIndex::new(12, 12),
         ];
         let mask = mask_with(&vg, &idxs);
-        let (c, comb) = candidate_weights(&vg, &reading, &mask, WeightingMode::Combined, W1Mode::InverseSquare).unwrap();
-        let (_, w1) = candidate_weights(&vg, &reading, &mask, WeightingMode::W1Only, W1Mode::InverseSquare).unwrap();
-        let (_, w2) = candidate_weights(&vg, &reading, &mask, WeightingMode::W2Only, W1Mode::InverseSquare).unwrap();
+        let (c, comb) = candidate_weights(
+            &vg,
+            &reading,
+            &mask,
+            WeightingMode::Combined,
+            W1Mode::InverseSquare,
+        )
+        .unwrap();
+        let (_, w1) = candidate_weights(
+            &vg,
+            &reading,
+            &mask,
+            WeightingMode::W1Only,
+            W1Mode::InverseSquare,
+        )
+        .unwrap();
+        let (_, w2) = candidate_weights(
+            &vg,
+            &reading,
+            &mask,
+            WeightingMode::W2Only,
+            W1Mode::InverseSquare,
+        )
+        .unwrap();
         let raw: Vec<f64> = w1.iter().zip(&w2).map(|(a, b)| a * b).collect();
         let total: f64 = raw.iter().sum();
         for i in 0..c.len() {

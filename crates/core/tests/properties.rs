@@ -5,7 +5,10 @@ use vire_core::elimination::{eliminate, ThresholdMode};
 use vire_core::ext::extend_reference_map;
 use vire_core::virtual_grid::{InterpolationKernel, VirtualGrid};
 use vire_core::weights::{candidate_weights, W1Mode, WeightingMode};
-use vire_core::{Landmarc, LandmarcConfig, Localizer, ReferenceRssiMap, TrackingReading, Vire};
+use vire_core::{
+    Landmarc, LandmarcConfig, Localizer, PreparedLocalizer, ReferenceRssiMap, TrackingReading,
+    Vire, VireConfig,
+};
 use vire_geom::hull::{convex_hull, hull_contains};
 use vire_geom::{GridData, Point2, RegularGrid};
 
@@ -20,7 +23,11 @@ fn readers() -> Vec<Point2> {
 
 /// A synthetic reference map whose RSSI is log-distance plus a smooth
 /// position-dependent perturbation parameterized by `(ax, ay, amp)`.
-fn map_with_field(ax: f64, ay: f64, amp: f64) -> (ReferenceRssiMap, impl Fn(Point2) -> TrackingReading) {
+fn map_with_field(
+    ax: f64,
+    ay: f64,
+    amp: f64,
+) -> (ReferenceRssiMap, impl Fn(Point2) -> TrackingReading) {
     let rs = readers();
     let field = move |p: Point2, r: Point2| -> f64 {
         -62.0 - 24.0 * p.distance(r).max(0.1).log10() + amp * (ax * p.x + ay * p.y).sin()
@@ -216,5 +223,59 @@ proptest! {
         prop_assert!(e.error(b) >= 0.0);
         prop_assert!((e.error(b) - b.distance(a)).abs() < 1e-12);
         prop_assert_eq!(e.error(a), 0.0);
+    }
+
+    #[test]
+    fn prepared_vire_bit_identical_to_one_shot_for_all_kernels(
+        p in interior_point(),
+        (ax, ay, amp) in field_params(),
+        refine in 2usize..8,
+    ) {
+        let (map, make) = map_with_field(ax, ay, amp);
+        let reading = make(p);
+        for kernel in InterpolationKernel::ALL {
+            let vire = Vire::new(VireConfig {
+                refine,
+                kernel,
+                ..VireConfig::default()
+            });
+            let one_shot = vire.locate(&map, &reading).unwrap();
+            let prepared = vire.prepare(&map).unwrap();
+            let fast = prepared.locate(&reading).unwrap();
+            // Bit identity, not approximate equality: the one-shot path
+            // routes through the prepared core, so every float must match.
+            prop_assert_eq!(one_shot, fast, "{:?}", kernel);
+        }
+    }
+
+    #[test]
+    fn prepared_landmarc_bit_identical_to_one_shot(
+        p in interior_point(),
+        (ax, ay, amp) in field_params(),
+        k in 1usize..16,
+    ) {
+        let (map, make) = map_with_field(ax, ay, amp);
+        let reading = make(p);
+        let lm = Landmarc::new(LandmarcConfig { k });
+        let prepared = lm.prepare(&map);
+        prop_assert_eq!(
+            lm.locate(&map, &reading).unwrap(),
+            prepared.locate(&reading).unwrap()
+        );
+    }
+
+    #[test]
+    fn locate_batch_matches_sequential_order_and_values(
+        ps in proptest::collection::vec(interior_point(), 1..12),
+        (ax, ay, amp) in field_params(),
+    ) {
+        let (map, make) = map_with_field(ax, ay, amp);
+        let readings: Vec<TrackingReading> = ps.iter().map(|&p| make(p)).collect();
+        let prepared = Vire::default().prepare(&map).unwrap();
+        let batch = prepared.locate_batch(&readings);
+        prop_assert_eq!(batch.len(), readings.len());
+        for (reading, batched) in readings.iter().zip(batch) {
+            prop_assert_eq!(prepared.locate(reading), batched);
+        }
     }
 }

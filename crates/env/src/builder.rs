@@ -11,7 +11,6 @@ use crate::presets::{Environment, EnvironmentKind};
 use crate::wall::{rectangular_room, Wall};
 use vire_geom::{Point2, Segment};
 
-
 /// Builder producing an [`Environment`].
 #[derive(Debug, Clone)]
 pub struct EnvironmentBuilder {
@@ -162,8 +161,16 @@ mod tests {
     #[test]
     fn builder_accumulates_geometry() {
         let e = EnvironmentBuilder::new("warehouse")
-            .room(Point2::new(0.0, 0.0), Point2::new(20.0, 12.0), Material::Metal)
-            .wall(Point2::new(10.0, 0.0), Point2::new(10.0, 6.0), Material::Drywall)
+            .room(
+                Point2::new(0.0, 0.0),
+                Point2::new(20.0, 12.0),
+                Material::Metal,
+            )
+            .wall(
+                Point2::new(10.0, 0.0),
+                Point2::new(10.0, 6.0),
+                Material::Drywall,
+            )
             .obstacle(Point2::new(5.0, 5.0), Point2::new(6.0, 5.0), Material::Wood)
             .pathloss_exponent(2.8)
             .clutter(1.5)

@@ -145,7 +145,10 @@ mod tests {
                 .iter()
                 .map(|c| c.distance(*reader))
                 .fold(f64::INFINITY, f64::min);
-            assert!((nearest - 1.0).abs() < 1e-9, "reader at {reader}: {nearest}");
+            assert!(
+                (nearest - 1.0).abs() < 1e-9,
+                "reader at {reader}: {nearest}"
+            );
         }
     }
 
@@ -179,7 +182,10 @@ mod tests {
         let tags = Deployment::tracking_tags_fig2a();
         for no in 6..=8usize {
             let p = tags[no - 1];
-            assert!(area.contains(p) && !area.contains_strict(p), "tag {no} at {p}");
+            assert!(
+                area.contains(p) && !area.contains_strict(p),
+                "tag {no} at {p}"
+            );
             assert!(!Deployment::is_non_boundary_tag(no));
         }
         // Tag 9 is outside the lattice.

@@ -59,7 +59,11 @@ mod tests {
 
     #[test]
     fn rectangular_room_walls_close_the_loop() {
-        let walls = rectangular_room(Point2::new(0.0, 0.0), Point2::new(4.0, 3.0), Material::Concrete);
+        let walls = rectangular_room(
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 3.0),
+            Material::Concrete,
+        );
         assert_eq!(walls.len(), 4);
         for k in 0..4 {
             let end = walls[k].segment.b;

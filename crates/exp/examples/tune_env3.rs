@@ -23,9 +23,21 @@ fn main() {
     ];
     for (sigma, lo, hi, gamma) in combos {
         let env = EnvironmentBuilder::new("env3-cand")
-            .room(Point2::new(-2.0, -2.0), Point2::new(5.0, 5.0), Material::Concrete)
-            .obstacle(Point2::new(4.4, 0.5), Point2::new(4.4, 2.0), Material::Metal)
-            .obstacle(Point2::new(0.5, 4.6), Point2::new(2.5, 4.6), Material::Metal)
+            .room(
+                Point2::new(-2.0, -2.0),
+                Point2::new(5.0, 5.0),
+                Material::Concrete,
+            )
+            .obstacle(
+                Point2::new(4.4, 0.5),
+                Point2::new(4.4, 2.0),
+                Material::Metal,
+            )
+            .obstacle(
+                Point2::new(0.5, 4.6),
+                Point2::new(2.5, 4.6),
+                Material::Metal,
+            )
             .pathloss_exponent(gamma)
             .clutter(sigma)
             .clutter_band(lo, hi)

@@ -16,9 +16,7 @@ use crate::runner::{collect_trial_with, default_seeds, mean_errors_over_seeds, t
 use crate::sweep::parallel_sweep;
 use serde::{Deserialize, Serialize};
 use vire_core::ext::BoundaryCompensatedVire;
-use vire_core::{
-    InterpolationKernel, Landmarc, Localizer, Vire, VireConfig, WeightingMode,
-};
+use vire_core::{InterpolationKernel, Landmarc, Localizer, Vire, VireConfig, WeightingMode};
 use vire_env::presets::{env1, env3, Environment};
 use vire_env::{Deployment, EnvironmentBuilder};
 use vire_geom::Point2;
@@ -367,20 +365,19 @@ pub fn reader_placement(seeds: &[u64]) -> AblationResult {
                 let mut tb = vire_sim::Testbed::new(config);
                 if *directional {
                     for (k, &r) in readers.iter().enumerate() {
-                        tb.set_reader_antenna(
-                            k,
-                            AntennaPattern::cardioid(center - r),
-                        );
+                        tb.set_reader_antenna(k, AntennaPattern::cardioid(center - r));
                     }
                 }
                 let ids: Vec<_> = positions.iter().map(|&p| tb.add_tracking_tag(p)).collect();
                 tb.run_for(tb.warmup_duration() * 2.0);
                 let map = tb.reference_map().expect("warmed up");
+                // One map per seed/layout: prepare once, query per tag.
+                let prepared = Localizer::prepare(&vire, &map);
                 ids.iter()
                     .zip(&positions)
                     .map(|(&id, &truth)| {
                         tb.tracking_reading(id)
-                            .and_then(|r| vire.locate(&map, &r).ok())
+                            .and_then(|r| prepared.locate(&r).ok())
                             .map(|e| e.error(truth))
                             .unwrap_or(f64::NAN)
                     })
@@ -509,7 +506,12 @@ mod tests {
         let r = reader_placement(&SEEDS);
         assert_eq!(r.variants.len(), 3);
         for v in &r.variants {
-            assert!(v.error.is_finite() && v.error < 1.5, "{}: {}", v.name, v.error);
+            assert!(
+                v.error.is_finite() && v.error < 1.5,
+                "{}: {}",
+                v.name,
+                v.error
+            );
         }
     }
 

@@ -139,7 +139,12 @@ mod tests {
         let vire = get("VIRE");
         let lm = get("LANDMARC");
         let tri = get("trilateration");
-        assert!(vire.mean < lm.mean, "VIRE {} vs LANDMARC {}", vire.mean, lm.mean);
+        assert!(
+            vire.mean < lm.mean,
+            "VIRE {} vs LANDMARC {}",
+            vire.mean,
+            lm.mean
+        );
         assert!(lm.mean < tri.mean, "LANDMARC must beat trilateration");
         // Median ordering too, not just the mean.
         assert!(vire.quantiles[0] <= lm.quantiles[0] + 0.05);

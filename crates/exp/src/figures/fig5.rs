@@ -153,11 +153,7 @@ mod tests {
         let position = Deployment::tracking_tags_fig2a()[0];
         let trial = crate::runner::collect_trial(&env3(), &[position], 7);
         let grid = VirtualGrid::build(&trial.map, 10, InterpolationKernel::Linear);
-        let combined = eliminate(
-            &grid,
-            &trial.tags[0].reading,
-            ThresholdMode::Fixed(3.0),
-        );
+        let combined = eliminate(&grid, &trial.tags[0].reading, ThresholdMode::Fixed(3.0));
         if let Some(result) = combined {
             let mut worst = 0.0f64;
             for (idx, &set) in result.mask.iter() {

@@ -82,7 +82,11 @@ pub fn run_default() -> Fig6Result {
 /// Renders one environment's panel as a text table.
 pub fn render_env(result: &Fig6Result, e: usize) -> String {
     let mut t = Table::new(
-        format!("Fig. 6({}) — {}", ['a', 'b', 'c'][e], result.environments[e]),
+        format!(
+            "Fig. 6({}) — {}",
+            ['a', 'b', 'c'][e],
+            result.environments[e]
+        ),
         &["tag", "LANDMARC (m)", "VIRE (m)", "reduction"],
     );
     let imp = result.improvements(e);

@@ -96,7 +96,10 @@ pub fn render(result: &Fig8Result) -> String {
         &["threshold (dB)", "non-boundary error (m)"],
     );
     for p in &result.points {
-        t.row(vec![format!("{:.2}", p.threshold), fmt3(p.non_boundary_error)]);
+        t.row(vec![
+            format!("{:.2}", p.threshold),
+            fmt3(p.non_boundary_error),
+        ]);
     }
     format!(
         "{}best fixed: {:.2} dB -> {:.3} m; adaptive: {:.3} m\n{}\n",

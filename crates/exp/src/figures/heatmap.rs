@@ -76,7 +76,13 @@ pub fn run(
     let sensing = vire_env::Deployment::paper_testbed().sensing_area();
     let area = sensing.inflated(margin);
     let pitch = area.width() / (side - 1) as f64;
-    let probes = RegularGrid::new(area.min, pitch, area.height() / (side - 1) as f64, side, side);
+    let probes = RegularGrid::new(
+        area.min,
+        pitch,
+        area.height() / (side - 1) as f64,
+        side,
+        side,
+    );
     let positions: Vec<Point2> = probes.nodes().map(|(_, p)| p).collect();
 
     // Batch probes across trials to keep co-location interference off.
@@ -100,7 +106,12 @@ pub fn run(
 /// scaled to the map's own error range) with north on top.
 pub fn render(result: &HeatmapResult) -> String {
     const SHADES: [char; 9] = ['.', ':', '-', '=', '+', '*', '#', '%', '@'];
-    let finite: Vec<f64> = result.errors.iter().cloned().filter(|e| e.is_finite()).collect();
+    let finite: Vec<f64> = result
+        .errors
+        .iter()
+        .cloned()
+        .filter(|e| e.is_finite())
+        .collect();
     let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(1e-9);

@@ -78,12 +78,15 @@ fn convergence(legacy: bool, times: &[f64], seeds: &[u64]) -> Vec<f64> {
                         Some(m) => m,
                         None => return f64::NAN,
                     };
+                    // The map changes per time point, so prepare per point
+                    // and share across the tags.
+                    let prepared = Localizer::prepare(&vire, &map);
                     let errs: Vec<f64> = ids
                         .iter()
                         .zip(&positions)
                         .filter_map(|(&id, &truth)| {
                             let reading = tb.tracking_reading(id)?;
-                            Some(vire.locate(&map, &reading).ok()?.error(truth))
+                            Some(prepared.locate(&reading).ok()?.error(truth))
                         })
                         .collect();
                     if errs.len() == positions.len() {

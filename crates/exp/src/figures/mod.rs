@@ -3,6 +3,9 @@
 //! or series the paper plots. The per-experiment index in DESIGN.md maps
 //! figure numbers to these modules.
 
+pub mod ablations;
+pub mod cdf;
+pub mod characterization;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
@@ -10,9 +13,6 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
-pub mod ablations;
-pub mod cdf;
-pub mod characterization;
 pub mod heatmap;
 pub mod latency;
 

@@ -58,13 +58,18 @@ pub fn collect_trial_with(config: TestbedConfig, positions: &[Point2]) -> TrialD
 /// Per-tag estimation errors of `localizer` on one trial. Failed locates
 /// (e.g. all-eliminated without fallback) surface as `f64::NAN` so callers
 /// can count failures instead of silently dropping them.
+///
+/// The localizer is prepared once against the trial's map
+/// ([`Localizer::prepare`]), so per-map work such as VIRE's virtual-grid
+/// interpolation is not repeated for every tag.
 pub fn trial_errors(localizer: &dyn Localizer, trial: &TrialData) -> Vec<f64> {
+    let prepared = localizer.prepare(&trial.map);
     trial
         .tags
         .iter()
         .map(|t| {
-            localizer
-                .locate(&trial.map, &t.reading)
+            prepared
+                .locate(&t.reading)
                 .map(|e| estimation_error(e.position, t.truth))
                 .unwrap_or(f64::NAN)
         })

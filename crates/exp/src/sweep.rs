@@ -12,10 +12,7 @@ where
     F: Fn(&P) -> R + Sync,
 {
     crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = params
-            .iter()
-            .map(|p| scope.spawn(|_| f(p)))
-            .collect();
+        let handles: Vec<_> = params.iter().map(|p| scope.spawn(|_| f(p))).collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     })
     .expect("sweep thread panicked")

@@ -77,7 +77,10 @@ impl RegularGrid {
     /// positive finite number (a grid with a single node per axis is allowed
     /// and ignores that axis' pitch).
     pub fn new(origin: Point2, pitch_x: f64, pitch_y: f64, nx: usize, ny: usize) -> Self {
-        assert!(nx > 0 && ny > 0, "grid must have at least one node per axis");
+        assert!(
+            nx > 0 && ny > 0,
+            "grid must have at least one node per axis"
+        );
         assert!(
             pitch_x > 0.0 && pitch_x.is_finite() && pitch_y > 0.0 && pitch_y.is_finite(),
             "grid pitch must be positive and finite"

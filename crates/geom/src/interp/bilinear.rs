@@ -23,12 +23,7 @@ pub fn bilinear(f00: f64, f10: f64, f01: f64, f11: f64, u: f64, v: f64) -> f64 {
 /// `u, v ∈ [0, 1]` and always sum to 1.
 #[inline]
 pub fn bilinear_weights(u: f64, v: f64) -> [f64; 4] {
-    [
-        (1.0 - u) * (1.0 - v),
-        u * (1.0 - v),
-        (1.0 - u) * v,
-        u * v,
-    ]
+    [(1.0 - u) * (1.0 - v), u * (1.0 - v), (1.0 - u) * v, u * v]
 }
 
 #[cfg(test)]

@@ -149,7 +149,10 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|&x| runge(x)).collect();
         let f = CubicSpline::fit(&xs, &ys).unwrap();
         let err = (f.eval(0.95) - runge(0.95)).abs();
-        assert!(err < 0.05, "spline endpoint error should be small, got {err}");
+        assert!(
+            err < 0.05,
+            "spline endpoint error should be small, got {err}"
+        );
     }
 
     #[test]

@@ -235,7 +235,10 @@ mod tests {
             s.closest_point(Point2::new(15.0, -2.0)),
             Point2::new(10.0, 0.0)
         );
-        assert_eq!(s.closest_point(Point2::new(4.0, 7.0)), Point2::new(4.0, 0.0));
+        assert_eq!(
+            s.closest_point(Point2::new(4.0, 7.0)),
+            Point2::new(4.0, 0.0)
+        );
     }
 
     #[test]

@@ -260,9 +260,8 @@ mod tests {
         let samples = ch.measure_n(tx, rx, 1, 2000);
         let avg = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((avg - mean).abs() < 0.1, "avg {avg} vs mean {mean}");
-        let sd = (samples.iter().map(|s| (s - avg).powi(2)).sum::<f64>()
-            / samples.len() as f64)
-            .sqrt();
+        let sd =
+            (samples.iter().map(|s| (s - avg).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
         assert!((sd - 1.0).abs() < 0.1, "σ {sd} should be ≈ 1.0");
     }
 

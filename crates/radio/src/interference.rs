@@ -86,7 +86,8 @@ impl InterferenceModel {
         let mag = if self.corruption_db.0 == self.corruption_db.1 {
             self.corruption_db.0
         } else {
-            self.rng.gen_range(self.corruption_db.0..=self.corruption_db.1)
+            self.rng
+                .gen_range(self.corruption_db.0..=self.corruption_db.1)
         };
         // Collisions mostly destroy power (partial beacon capture), but a
         // constructive overlap occasionally reads hot.
@@ -159,7 +160,10 @@ mod tests {
     #[test]
     fn mostly_negative_perturbations() {
         let mut m = InterferenceModel::paper_default(9);
-        let hits: Vec<f64> = (0..5000).map(|_| m.sample(25)).filter(|&v| v != 0.0).collect();
+        let hits: Vec<f64> = (0..5000)
+            .map(|_| m.sample(25))
+            .filter(|&v| v != 0.0)
+            .collect();
         let neg = hits.iter().filter(|&&v| v < 0.0).count();
         assert!(neg as f64 / hits.len() as f64 > 0.75);
     }

@@ -280,7 +280,10 @@ mod tests {
         );
         let m = ImageMethod::new(vec![wall], wavelength());
         let g = m.gain_db(Point2::new(0.0, 0.0), Point2::new(4.0, 0.0));
-        assert!(g.abs() > 1e-3, "wall reflection should perturb gain, g = {g}");
+        assert!(
+            g.abs() > 1e-3,
+            "wall reflection should perturb gain, g = {g}"
+        );
         assert!(g >= m.fade_floor_db);
     }
 
@@ -394,7 +397,10 @@ mod tests {
         let tx = Point2::new(0.7, 1.3);
         let rx = Point2::new(3.5, 2.8);
         let (g1, g2) = (first.gain_db(tx, rx), second.gain_db(tx, rx));
-        assert!((g1 - g2).abs() > 1e-3, "double bounces should matter: {g1} vs {g2}");
+        assert!(
+            (g1 - g2).abs() > 1e-3,
+            "double bounces should matter: {g1} vs {g2}"
+        );
         assert!(g2.is_finite() && g2 >= second.fade_floor_db);
     }
 
@@ -466,9 +472,6 @@ mod tests {
         let g_model = m.gain_db(Point2::new(0.0, 0.0), Point2::new(d, 0.0));
         let d_ref = (d * d + 4.0 * h * h).sqrt();
         let g_closed = two_ray_gain_db(d, d_ref, 0.7, lam);
-        assert!(
-            (g_model - g_closed).abs() < 1e-9,
-            "{g_model} vs {g_closed}"
-        );
+        assert!((g_model - g_closed).abs() < 1e-9, "{g_model} vs {g_closed}");
     }
 }

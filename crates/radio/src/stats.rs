@@ -103,7 +103,11 @@ mod tests {
     fn ideal_channel_has_no_distortion() {
         let ch = RfChannel::new(ChannelParams::ideal(LogDistance::new(-65.0, 2.0)));
         let s = survey(&ch, Point2::new(-1.0, -1.0), Point2::ORIGIN, 3.0, 10);
-        assert!(s.distortion_sigma_db < 1e-9, "σ = {}", s.distortion_sigma_db);
+        assert!(
+            s.distortion_sigma_db < 1e-9,
+            "σ = {}",
+            s.distortion_sigma_db
+        );
         assert_eq!(s.probes, 100);
     }
 
@@ -111,12 +115,17 @@ mod tests {
     fn measured_sigma_tracks_configured_clutter() {
         // The midpoint evaluation halves nothing about amplitude: measured
         // distortion σ should be in the ballpark of the configured σ.
-        let ch = channel_with(4.0, (2.0, 5.0), 3);
-        let s = survey(&ch, Point2::new(-1.0, -1.0), Point2::ORIGIN, 3.0, 16);
+        // Averaged over seeds so no single field realization decides.
+        let mean_sigma = (0..8u64)
+            .map(|seed| {
+                let ch = channel_with(4.0, (2.0, 5.0), seed);
+                survey(&ch, Point2::new(-1.0, -1.0), Point2::ORIGIN, 3.0, 16).distortion_sigma_db
+            })
+            .sum::<f64>()
+            / 8.0;
         assert!(
-            (1.5..=7.0).contains(&s.distortion_sigma_db),
-            "σ = {} for configured 4 dB",
-            s.distortion_sigma_db
+            (1.5..=7.0).contains(&mean_sigma),
+            "mean σ = {mean_sigma} for configured 4 dB"
         );
     }
 

@@ -115,10 +115,8 @@ mod tests {
         for id in 0..10u32 {
             q.schedule(5.0, Event::Beacon { tag: TagId(id) });
         }
-        let ids: Vec<u32> = std::iter::from_fn(|| {
-            q.pop().map(|(_, Event::Beacon { tag })| tag.0)
-        })
-        .collect();
+        let ids: Vec<u32> =
+            std::iter::from_fn(|| q.pop().map(|(_, Event::Beacon { tag })| tag.0)).collect();
         assert_eq!(ids, (0..10).collect::<Vec<u32>>());
     }
 

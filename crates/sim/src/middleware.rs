@@ -61,9 +61,7 @@ impl Middleware {
 
     /// Number of readings currently influencing a (tag, reader) estimate.
     pub fn fill(&self, tag: TagId, reader: ReaderId) -> usize {
-        self.filters
-            .get(&(tag, reader))
-            .map_or(0, Filter::fill)
+        self.filters.get(&(tag, reader)).map_or(0, Filter::fill)
     }
 
     /// The raw reading log (empty unless `keep_log` was set).

@@ -198,7 +198,10 @@ mod tests {
             f.update(x);
         }
         let v = f.value().unwrap();
-        assert!((-71.0..=-69.0).contains(&v), "median {v} should ignore the spike");
+        assert!(
+            (-71.0..=-69.0).contains(&v),
+            "median {v} should ignore the spike"
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl std::fmt::Display for TraceError {
             TraceError::Io(e) => write!(f, "trace I/O: {e}"),
             TraceError::Json(e) => write!(f, "trace JSON: {e}"),
             TraceError::Version(v) => {
-                write!(f, "unsupported trace version {v} (supported: {TRACE_VERSION})")
+                write!(
+                    f,
+                    "unsupported trace version {v} (supported: {TRACE_VERSION})"
+                )
             }
             TraceError::Invalid(what) => write!(f, "invalid trace: {what}"),
         }
@@ -197,7 +200,10 @@ impl Trace {
 
     /// Reader positions as points.
     pub fn reader_positions(&self) -> Vec<Point2> {
-        self.readers.iter().map(|&(x, y)| Point2::new(x, y)).collect()
+        self.readers
+            .iter()
+            .map(|&(x, y)| Point2::new(x, y))
+            .collect()
     }
 }
 

@@ -146,7 +146,14 @@ impl BarChart {
                 "middle",
             );
         }
-        svg.line(MARGIN_LEFT, base_y, MARGIN_LEFT + plot_w, base_y, "#333333", 1.0);
+        svg.line(
+            MARGIN_LEFT,
+            base_y,
+            MARGIN_LEFT + plot_w,
+            base_y,
+            "#333333",
+            1.0,
+        );
 
         for (k, s) in self.series.iter().enumerate() {
             let ly = MARGIN_TOP + 14.0 + 14.0 * k as f64;
@@ -183,8 +190,11 @@ mod tests {
 
     #[test]
     fn nan_values_leave_gaps() {
-        let c = BarChart::new("gap", "y", vec!["a".into(), "b".into()])
-            .series(BarSeries::new("s", vec![1.0, f64::NAN], "#000"));
+        let c = BarChart::new("gap", "y", vec!["a".into(), "b".into()]).series(BarSeries::new(
+            "s",
+            vec![1.0, f64::NAN],
+            "#000",
+        ));
         let s = c.render();
         // 1 data bar + background + 1 legend swatch.
         assert_eq!(s.matches("<rect").count(), 3);
@@ -192,8 +202,11 @@ mod tests {
 
     #[test]
     fn taller_values_give_taller_bars() {
-        let c = BarChart::new("h", "y", vec!["a".into(), "b".into()])
-            .series(BarSeries::new("s", vec![1.0, 2.0], "#0077bb"));
+        let c = BarChart::new("h", "y", vec!["a".into(), "b".into()]).series(BarSeries::new(
+            "s",
+            vec![1.0, 2.0],
+            "#0077bb",
+        ));
         let s = c.render();
         // Extract bar heights (skip background, which is the first rect,
         // and the legend swatch, which is the last).
@@ -201,7 +214,14 @@ mod tests {
             .match_indices("<rect")
             .map(|(i, _)| {
                 let frag = &s[i..];
-                frag.split("height=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap()
+                frag.split("height=\"")
+                    .nth(1)
+                    .unwrap()
+                    .split('"')
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap()
             })
             .collect();
         let bars = &heights[1..heights.len() - 1];
@@ -211,8 +231,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "one value per category")]
     fn mismatched_values_rejected() {
-        let _ = BarChart::new("x", "y", vec!["a".into()])
-            .series(BarSeries::new("s", vec![1.0, 2.0], "#000"));
+        let _ = BarChart::new("x", "y", vec!["a".into()]).series(BarSeries::new(
+            "s",
+            vec![1.0, 2.0],
+            "#000",
+        ));
     }
 
     #[test]

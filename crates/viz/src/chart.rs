@@ -17,7 +17,11 @@ pub struct Series {
 
 impl Series {
     /// Creates a line series.
-    pub fn line(label: impl Into<String>, points: Vec<(f64, f64)>, color: impl Into<String>) -> Self {
+    pub fn line(
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+        color: impl Into<String>,
+    ) -> Self {
         Series {
             label: label.into(),
             points,
@@ -238,7 +242,11 @@ mod tests {
 
     fn demo() -> Chart {
         Chart::new("demo", "x", "y")
-            .series(Series::marked("a", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)], "#cc3311"))
+            .series(Series::marked(
+                "a",
+                vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)],
+                "#cc3311",
+            ))
             .series(Series::line("b", vec![(0.0, 2.0), (2.0, 0.5)], "#0077bb"))
     }
 
@@ -273,8 +281,11 @@ mod tests {
 
     #[test]
     fn constant_series_still_renders() {
-        let c = Chart::new("flat", "x", "y")
-            .series(Series::line("f", vec![(0.0, 5.0), (1.0, 5.0)], "#000"));
+        let c = Chart::new("flat", "x", "y").series(Series::line(
+            "f",
+            vec![(0.0, 5.0), (1.0, 5.0)],
+            "#000",
+        ));
         let s = c.render();
         assert!(s.contains("<polyline"));
     }

@@ -56,7 +56,15 @@ impl Svg {
     }
 
     /// Draws a line segment.
-    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) -> &mut Self {
+    pub fn line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        width: f64,
+    ) -> &mut Self {
         let _ = writeln!(
             self.body,
             r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{}" stroke-width="{width:.2}"/>"#,

@@ -33,9 +33,7 @@ fn main() {
     // corner would transiently poison the velocity estimate and the
     // prediction would overshoot until it re-converges.
     let speed = 0.05; // m/s along each axis
-    let waypoint = |t: f64| -> Point2 {
-        Point2::new(0.3 + speed * t, 0.3 + speed * t)
-    };
+    let waypoint = |t: f64| -> Point2 { Point2::new(0.3 + speed * t, 0.3 + speed * t) };
 
     // Median-of-5 at a 2 s beacon interval: the window center trails the
     // newest reading by about (5 − 1)/2 beacons = 4 s.

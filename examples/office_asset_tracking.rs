@@ -22,12 +22,27 @@ struct Asset {
 
 fn main() {
     let assets = [
-        Asset { name: "laptop cart", position: Point2::new(0.8, 2.3) },
-        Asset { name: "projector", position: Point2::new(2.2, 1.4) },
-        Asset { name: "defibrillator", position: Point2::new(1.5, 0.5) },
-        Asset { name: "printer", position: Point2::new(2.9, 2.8) },
+        Asset {
+            name: "laptop cart",
+            position: Point2::new(0.8, 2.3),
+        },
+        Asset {
+            name: "projector",
+            position: Point2::new(2.2, 1.4),
+        },
+        Asset {
+            name: "defibrillator",
+            position: Point2::new(1.5, 0.5),
+        },
+        Asset {
+            name: "printer",
+            position: Point2::new(2.9, 2.8),
+        },
         // Parked in the corridor nook, outside the reference lattice.
-        Asset { name: "wheelchair", position: Point2::new(3.3, 3.2) },
+        Asset {
+            name: "wheelchair",
+            position: Point2::new(3.3, 3.2),
+        },
     ];
 
     let mut testbed = Testbed::new(TestbedConfig::paper(env3(), 21));

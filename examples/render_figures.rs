@@ -95,9 +95,17 @@ fn main() {
             "estimation error (m)",
             cats.clone(),
         )
-        .series(BarSeries::new("LANDMARC", r6.landmarc[e].clone(), "#cc3311"))
+        .series(BarSeries::new(
+            "LANDMARC",
+            r6.landmarc[e].clone(),
+            "#cc3311",
+        ))
         .series(BarSeries::new("VIRE", r6.vire[e].clone(), "#0077bb"));
-        write(dir, &format!("fig6{}.svg", ['a', 'b', 'c'][e]), chart.render());
+        write(
+            dir,
+            &format!("fig6{}.svg", ['a', 'b', 'c'][e]),
+            chart.render(),
+        );
     }
 
     // Fig. 7: density sweep.

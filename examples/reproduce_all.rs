@@ -6,12 +6,18 @@
 //! cargo run --release --example reproduce_all -- --fast  # 3 seeds
 //! ```
 
-use vire::exp::figures::{ablations, cdf, characterization, fig2, fig3, fig4, fig5, fig6, fig7, fig8, heatmap, latency};
+use vire::exp::figures::{
+    ablations, cdf, characterization, fig2, fig3, fig4, fig5, fig6, fig7, fig8, heatmap, latency,
+};
 use vire::exp::report::to_json;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
-    let seeds: Vec<u64> = if fast { vec![1, 2, 3] } else { (1..=10).collect() };
+    let seeds: Vec<u64> = if fast {
+        vec![1, 2, 3]
+    } else {
+        (1..=10).collect()
+    };
     let json = std::env::args().any(|a| a == "--json");
 
     println!("# VIRE reproduction — full evaluation (seeds: {seeds:?})\n");

@@ -32,7 +32,11 @@ fn main() {
             Point2::new(9.0, 9.0),
             Material::Concrete,
         )
-        .obstacle(Point2::new(2.0, 4.5), Point2::new(4.0, 4.5), Material::Metal)
+        .obstacle(
+            Point2::new(2.0, 4.5),
+            Point2::new(4.0, 4.5),
+            Material::Metal,
+        )
         .reference_power(-55.0) // high-power pallet tags
         .pathloss_exponent(2.6)
         .clutter(2.5)

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything CI runs, runnable offline from any directory.
+#
+#   scripts/check.sh          # build + tests + clippy + fmt
+#
+# Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Vendored-dependency workspaces must never hit the network.
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "tier-1: all checks passed"

@@ -9,7 +9,9 @@
 //! Figures: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablations`.
 
 use std::process::ExitCode;
-use vire::exp::figures::{ablations, cdf, characterization, fig2, fig3, fig4, fig5, fig6, fig7, fig8, heatmap, latency};
+use vire::exp::figures::{
+    ablations, cdf, characterization, fig2, fig3, fig4, fig5, fig6, fig7, fig8, heatmap, latency,
+};
 use vire::exp::report::to_json;
 
 struct Options {
@@ -20,7 +22,9 @@ struct Options {
 
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
-    let command = args.next().ok_or("missing command; try `vire-repro list`")?;
+    let command = args
+        .next()
+        .ok_or("missing command; try `vire-repro list`")?;
     let mut seeds: Vec<u64> = (1..=10).collect();
     let mut json = false;
     while let Some(arg) = args.next() {
@@ -155,8 +159,18 @@ fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
 }
 
 const ALL: [&str; 12] = [
-    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "cdf", "heatmap",
-    "latency", "characterization", "ablations",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "cdf",
+    "heatmap",
+    "latency",
+    "characterization",
+    "ablations",
 ];
 
 fn main() -> ExitCode {

@@ -1,9 +1,7 @@
 //! Integration tests for the future-work extensions: scattered
 //! references, the location service, and trace export/replay.
 
-use vire::core::{
-    LocationService, Localizer, ScatteredVire, ServiceConfig, Vire,
-};
+use vire::core::{Localizer, LocationService, ScatteredVire, ServiceConfig, Vire};
 use vire::env::presets::{env2, env3};
 use vire::geom::Point2;
 use vire::sim::{SmoothingKind, Testbed, TestbedConfig};
@@ -35,7 +33,10 @@ fn scattered_references_improve_obstacle_shadow_accuracy() {
     let mut ring_err = 0.0;
     for (&id, &truth) in ids.iter().zip(&truths) {
         let reading = tb.tracking_reading(id).unwrap();
-        grid_err += Vire::default().locate(&lattice, &reading).unwrap().error(truth);
+        grid_err += Vire::default()
+            .locate(&lattice, &reading)
+            .unwrap()
+            .error(truth);
         ring_err += ScatteredVire::default()
             .locate(&scattered, &reading)
             .unwrap()

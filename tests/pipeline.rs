@@ -10,7 +10,11 @@ use vire::env::Deployment;
 use vire::geom::Point2;
 use vire::sim::{Testbed, TestbedConfig};
 
-fn warmed_testbed(env_index: usize, seed: u64, tags: &[Point2]) -> (Testbed, Vec<vire::sim::TagId>) {
+fn warmed_testbed(
+    env_index: usize,
+    seed: u64,
+    tags: &[Point2],
+) -> (Testbed, Vec<vire::sim::TagId>) {
     let env = all_paper_environments()[env_index].clone();
     let mut tb = Testbed::new(TestbedConfig::paper(env, seed));
     let ids = tags.iter().map(|&p| tb.add_tracking_tag(p)).collect();
@@ -68,7 +72,10 @@ fn vire_beats_landmarc_on_the_paper_testbed() {
                     .locate(&map, &reading)
                     .unwrap()
                     .error(*truth);
-                vire_total += Vire::default().locate(&map, &reading).unwrap().error(*truth);
+                vire_total += Vire::default()
+                    .locate(&map, &reading)
+                    .unwrap()
+                    .error(*truth);
             }
         }
         assert!(
@@ -93,7 +100,10 @@ fn reference_methods_beat_trilateration_in_the_office() {
             .locate(&map, &reading)
             .unwrap()
             .error(*truth);
-        vire_total += Vire::default().locate(&map, &reading).unwrap().error(*truth);
+        vire_total += Vire::default()
+            .locate(&map, &reading)
+            .unwrap()
+            .error(*truth);
     }
     assert!(
         vire_total < tri_total,

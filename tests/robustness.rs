@@ -9,7 +9,11 @@ use vire::env::presets::env2;
 use vire::geom::Point2;
 use vire::sim::{Testbed, TestbedConfig};
 
-fn warmed() -> (vire::core::ReferenceRssiMap, vire::core::TrackingReading, Point2) {
+fn warmed() -> (
+    vire::core::ReferenceRssiMap,
+    vire::core::TrackingReading,
+    Point2,
+) {
     let mut tb = Testbed::new(TestbedConfig::paper(env2(), 17));
     let truth = Point2::new(1.6, 1.2);
     let tag = tb.add_tracking_tag(truth);
@@ -139,7 +143,11 @@ fn lowered_reader_sensitivity_creates_dead_spots_but_no_crash() {
 fn spiky_environment_still_localizes_with_median_smoothing() {
     use vire::env::{EnvironmentBuilder, Material};
     let env = EnvironmentBuilder::new("corridor rush hour")
-        .room(Point2::new(-3.0, -3.0), Point2::new(6.0, 6.0), Material::Concrete)
+        .room(
+            Point2::new(-3.0, -3.0),
+            Point2::new(6.0, 6.0),
+            Material::Concrete,
+        )
         .pathloss_exponent(2.6)
         .clutter(2.0)
         .measurement_noise(1.0)

@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Mirrors real criterion's execution model for `harness = false` bench
+//! targets: when cargo passes `--bench` (i.e. `cargo bench`), each
+//! closure is warmed up and timed and a mean per-iteration figure is
+//! printed; otherwise (i.e. `cargo test`) every benchmark body runs
+//! exactly once as a smoke test. Statistical analysis, plots, and HTML
+//! reports are out of scope.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Warm-up budget per benchmark in bench mode.
+const WARM_UP: Duration = Duration::from_millis(80);
+/// Measurement budget per benchmark in bench mode.
+const MEASURE: Duration = Duration::from_millis(320);
+
+/// Top-level harness handle.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.bench_mode, &id.into().id, &mut f);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this harness uses fixed budgets.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs (bench mode) or smoke-tests (test mode) one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(self.criterion.bench_mode, &label, &mut f);
+        self
+    }
+
+    /// Like [`Self::bench_function`] with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(self.criterion.bench_mode, &label, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (markers only; nothing buffered).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a single benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] runs the payload.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Mean nanoseconds per iteration, filled in bench mode.
+    mean_ns: f64,
+}
+
+enum BenchMode {
+    /// `cargo test`: run the payload once.
+    Smoke,
+    /// `cargo bench`: warm up, then time.
+    Measure,
+}
+
+impl Bencher {
+    /// Runs the benchmark payload per the active mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BenchMode::Smoke => {
+                black_box(f());
+            }
+            BenchMode::Measure => {
+                // Warm-up: discover the per-call cost.
+                let start = Instant::now();
+                let mut calls: u64 = 0;
+                while start.elapsed() < WARM_UP {
+                    black_box(f());
+                    calls += 1;
+                }
+                let per_call = WARM_UP.as_secs_f64() / calls as f64;
+                // Measure in batches sized to the budget.
+                let batch = ((MEASURE.as_secs_f64() / 8.0 / per_call).ceil() as u64).max(1);
+                let mut best = f64::INFINITY;
+                let mut total = 0.0;
+                let mut batches = 0u32;
+                let measure_start = Instant::now();
+                while measure_start.elapsed() < MEASURE {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        black_box(f());
+                    }
+                    let ns = t.elapsed().as_secs_f64() * 1e9 / batch as f64;
+                    best = best.min(ns);
+                    total += ns;
+                    batches += 1;
+                }
+                self.mean_ns = total / f64::from(batches.max(1));
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(bench_mode: bool, label: &str, f: &mut F) {
+    if bench_mode {
+        let mut b = Bencher {
+            mode: BenchMode::Measure,
+            mean_ns: f64::NAN,
+        };
+        f(&mut b);
+        println!("{label:<48} time: [{}]", human_ns(b.mean_ns));
+    } else {
+        let mut b = Bencher {
+            mode: BenchMode::Smoke,
+            mean_ns: f64::NAN,
+        };
+        f(&mut b);
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one group runner, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_payload_once() {
+        let mut runs = 0u32;
+        let mut b = Bencher {
+            mode: BenchMode::Smoke,
+            mean_ns: f64::NAN,
+        };
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("distances", 961).id, "distances/961");
+        assert_eq!(BenchmarkId::from_parameter(16).id, "16");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_ns(12.5), "12.50 ns");
+        assert_eq!(human_ns(1.5e4), "15.000 µs");
+        assert_eq!(human_ns(2.5e7), "25.000 ms");
+    }
+}

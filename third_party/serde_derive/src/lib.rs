@@ -1,0 +1,187 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Expands `#[derive(Serialize)]` / `#[derive(Deserialize)]` for plain,
+//! non-generic, named-field structs — the only shapes this workspace
+//! derives. The input is parsed by hand (no `syn`/`quote`, which are not
+//! available offline): attributes are skipped, the struct name and field
+//! names are collected, and the impl is emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the workspace's value-tree `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives the workspace's value-tree `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let parsed = match parse_struct(input) {
+        Ok(p) => p,
+        Err(msg) => return error(&msg),
+    };
+    let name = &parsed.name;
+    let mut out = String::new();
+    match which {
+        Trait::Serialize => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![\n"
+            ));
+            for f in &parsed.fields {
+                out.push_str(&format!(
+                    "(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            out.push_str("])\n}\n}\n");
+        }
+        Trait::Deserialize => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if v.as_object().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"expected object for {name}\")));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            ));
+            for f in &parsed.fields {
+                out.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(match v.get({f:?}) {{\n\
+                     ::std::option::Option::Some(x) => x,\n\
+                     ::std::option::Option::None => &::serde::Value::Null,\n\
+                     }})?,\n"
+                ));
+            }
+            out.push_str("})\n}\n}\n");
+        }
+    }
+    out.parse().unwrap()
+}
+
+struct Parsed {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and its named fields from a derive input.
+fn parse_struct(input: TokenStream) -> Result<Parsed, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (doc comments arrive as `#[doc = ...]`) and
+    // visibility up to the `struct` keyword.
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // The following bracket group is the attribute body.
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute".to_string()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Optional `(crate)` / `(super)` restriction.
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("this vendored serde derive supports only structs".to_string());
+            }
+            Some(_) => {}
+            None => return Err("no `struct` found in derive input".to_string()),
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing struct name".to_string()),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("this vendored serde derive does not support generics".to_string());
+        }
+        _ => {
+            return Err("this vendored serde derive supports only named-field structs".to_string());
+        }
+    };
+    let fields = parse_fields(body.stream())?;
+    Ok(Parsed { name, fields })
+}
+
+/// Collects field names from the brace-group token stream of a struct.
+fn parse_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    'fields: loop {
+        // Field attributes / doc comments, then optional visibility.
+        loop {
+            match tokens.peek() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                        _ => return Err("malformed field attribute".to_string()),
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if matches!(
+                        tokens.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        tokens.next();
+                    }
+                }
+                Some(_) => break,
+            }
+        }
+        let field = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+            None => break,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma. Parenthesized and
+        // bracketed types arrive as single groups; only `<...>` nesting
+        // exposes inner commas, so track angle depth.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => continue 'fields,
+                    _ => {}
+                }
+            }
+        }
+        break;
+    }
+    Ok(fields)
+}
