@@ -1,0 +1,191 @@
+//! Streaming-pipeline throughput: incremental `drive` vs full-table
+//! re-export.
+//!
+//! Both paths consume the same engine → bus → middleware-stage stream.
+//! The *incremental* path polls [`LocationService::drive`], which
+//! refreshes only changed calibration cells and localizes only tags whose
+//! smoothed RSSI moved; the *full* path re-exports the whole reference
+//! table and re-localizes every tracking tag on every snapshot (the
+//! pre-pipeline behavior). In bench mode a machine-readable summary is
+//! written to `target/pipeline_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use vire_core::{LocationService, ServiceConfig, Vire};
+use vire_env::presets::env2;
+use vire_env::Deployment;
+use vire_sim::{TagId, Testbed, TestbedConfig};
+
+/// One beacon period per polling snapshot (the paper's 2 s equipment).
+const INTERVAL: f64 = 2.0;
+
+fn warmed_testbed(seed: u64) -> (Testbed, Vec<TagId>) {
+    let mut tb = Testbed::new(TestbedConfig::paper(env2(), seed));
+    let ids: Vec<TagId> = Deployment::tracking_tags_fig2a()
+        .iter()
+        .map(|&p| tb.add_tracking_tag(p))
+        .collect();
+    tb.run_for(tb.warmup_duration() * 2.0);
+    (tb, ids)
+}
+
+fn service() -> LocationService<Vire> {
+    LocationService::new(Vire::default(), ServiceConfig::default())
+}
+
+/// One full-path snapshot: whole-table export + re-localize every tag.
+fn full_snapshot(tb: &Testbed, svc: &mut LocationService<Vire>, ids: &[TagId]) -> usize {
+    let map = tb.reference_map().expect("warmed up");
+    let snapshots: Vec<(u32, _)> = ids
+        .iter()
+        .map(|&id| (id.0, tb.tracking_reading(id).expect("warmed up")))
+        .collect();
+    svc.process_snapshot_batch(tb.clock(), &map, &snapshots)
+        .len()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_per_snapshot");
+
+    let (mut tb, _) = warmed_testbed(42);
+    let mut svc = service();
+    let _ = svc.drive(tb.stage_mut()); // prime the cached calibration map
+    group.bench_function("incremental_drive", |b| {
+        b.iter(|| {
+            tb.run_for(INTERVAL);
+            black_box(svc.drive(tb.stage_mut()).len())
+        })
+    });
+
+    let (mut tb, ids) = warmed_testbed(42);
+    let mut svc = service();
+    group.bench_function("full_reexport", |b| {
+        b.iter(|| {
+            tb.run_for(INTERVAL);
+            black_box(full_snapshot(&tb, &mut svc, &ids))
+        })
+    });
+    group.finish();
+}
+
+/// Per-snapshot consume cost over `snapshots` polling steps. Each `step`
+/// call advances the simulation itself (outside the measurement), then
+/// returns the elapsed time of just the polling call under test plus how
+/// many tags it localized.
+fn measure_ns(snapshots: usize, mut step: impl FnMut() -> (Duration, usize)) -> (f64, usize) {
+    let mut total = Duration::ZERO;
+    let mut localized = 0usize;
+    for _ in 0..snapshots {
+        let (elapsed, n) = step();
+        total += elapsed;
+        localized += n;
+    }
+    (total.as_secs_f64() * 1e9 / snapshots as f64, localized)
+}
+
+/// Runs `f` under a wall-clock timer.
+fn timed(f: impl FnOnce() -> usize) -> (Duration, usize) {
+    let t0 = Instant::now();
+    let n = black_box(f());
+    (t0.elapsed(), n)
+}
+
+#[derive(Serialize)]
+struct Summary {
+    group: String,
+    fixture: String,
+    snapshots: usize,
+    interval_s: f64,
+    incremental_ns_per_snapshot: f64,
+    full_ns_per_snapshot: f64,
+    speedup: f64,
+    incremental_localized: usize,
+    full_localized: usize,
+}
+
+/// Times both per-snapshot paths directly (the polling call only; sim
+/// stepping happens outside the timer) and emits
+/// `target/pipeline_throughput.json`. Only runs under `cargo bench`: the
+/// criterion bodies above already smoke both paths in `cargo test` mode.
+fn emit_json_summary(_c: &mut Criterion) {
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    const SNAPSHOTS: usize = 200;
+
+    // Bit-identity sanity check rides along: for the same seed and
+    // snapshot, the raw estimate of every changed tag must equal the
+    // full path's raw estimate for that tag.
+    let (mut tb_a, _) = warmed_testbed(42);
+    let (mut tb_b, ids_b) = warmed_testbed(42);
+    let mut svc_a = service();
+    let mut svc_b = service();
+    for _ in 0..5 {
+        tb_a.run_for(INTERVAL);
+        tb_b.run_for(INTERVAL);
+        let changed = svc_a.drive(tb_a.stage_mut());
+        let map = tb_b.reference_map().expect("warmed up");
+        let snapshots: Vec<(u32, _)> = ids_b
+            .iter()
+            .map(|&id| (id.0, tb_b.tracking_reading(id).expect("warmed up")))
+            .collect();
+        let full = svc_b.process_snapshot_batch(tb_b.clock(), &map, &snapshots);
+        for (tag, result) in &changed {
+            let j = snapshots
+                .iter()
+                .position(|(t, _)| t == tag)
+                .expect("changed tag is tracked");
+            assert_eq!(
+                result.as_ref().unwrap().raw,
+                full[j].as_ref().unwrap().raw,
+                "pipeline estimate must be bit-identical for tag {tag}"
+            );
+        }
+    }
+
+    let (mut tb, _) = warmed_testbed(7);
+    let mut svc = service();
+    let _ = svc.drive(tb.stage_mut());
+    let (incremental_ns, incremental_localized) = measure_ns(SNAPSHOTS, || {
+        tb.run_for(INTERVAL);
+        timed(|| svc.drive(tb.stage_mut()).len())
+    });
+
+    let (mut tb, ids) = warmed_testbed(7);
+    let mut svc = service();
+    let (full_ns, full_localized) = measure_ns(SNAPSHOTS, || {
+        tb.run_for(INTERVAL);
+        timed(|| full_snapshot(&tb, &mut svc, &ids))
+    });
+
+    let summary = Summary {
+        group: "pipeline_per_snapshot".into(),
+        fixture: "env2 seed 7, Fig. 2(a) tags, 2 s snapshots".into(),
+        snapshots: SNAPSHOTS,
+        interval_s: INTERVAL,
+        incremental_ns_per_snapshot: incremental_ns,
+        full_ns_per_snapshot: full_ns,
+        speedup: full_ns / incremental_ns,
+        incremental_localized,
+        full_localized,
+    };
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target");
+    let path = format!("{out}/pipeline_throughput.json");
+    std::fs::create_dir_all(out).expect("target dir");
+    let body = serde_json::to_string_pretty(&summary).expect("serialize summary");
+    std::fs::write(&path, body + "\n").expect("write summary");
+    println!("pipeline_throughput summary -> {path}");
+    println!(
+        "  incremental {:>10.0} ns/snapshot ({} locates)  full {:>10.0} ns/snapshot ({} locates)  speedup {:>5.1}x",
+        summary.incremental_ns_per_snapshot,
+        summary.incremental_localized,
+        summary.full_ns_per_snapshot,
+        summary.full_localized,
+        summary.speedup,
+    );
+}
+
+criterion_group!(benches, bench_pipeline, emit_json_summary);
+criterion_main!(benches);

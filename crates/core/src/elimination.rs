@@ -412,7 +412,7 @@ pub(crate) fn sort_planes(planes: &[f64], k_readers: usize, nodes: usize) -> Vec
 /// Runs elimination. Returns `None` when a **fixed** threshold eliminates
 /// every region (adaptive mode always keeps at least one).
 ///
-/// One-shot convenience over [`eliminate_into`]; hot paths go through
+/// One-shot convenience over the internal `eliminate_into`; hot paths go through
 /// [`crate::PreparedVire`], which reuses the buffers across readings.
 pub fn eliminate(
     grid: &VirtualGrid,

@@ -49,6 +49,7 @@ pub mod kalman;
 pub mod landmarc;
 pub mod localizer;
 pub mod nearest;
+pub mod pipeline;
 pub mod prepared;
 pub mod proximity;
 pub mod quality;
@@ -64,6 +65,7 @@ pub mod weights;
 pub use kalman::KalmanTracker;
 pub use landmarc::{Landmarc, LandmarcConfig};
 pub use localizer::{Estimate, LocalizeError, Localizer};
+pub use pipeline::SnapshotSource;
 pub use prepared::{
     locate_batch_parallel, PreparedLandmarc, PreparedLocalizer, PreparedVire, Unprepared,
     VireScratch,

@@ -1,0 +1,40 @@
+//! The pipeline-stage contract between a streaming middleware and the
+//! location service.
+//!
+//! The paper's deployment is a chain of decoupled stages: readers feed an
+//! event stream into a middleware, and the location server consumes the
+//! middleware's smoothed table at its own pace (§4.1). [`SnapshotSource`]
+//! is the seam between the last two stages: anything that maintains a
+//! smoothed calibration table and can say *which tracking tags changed*
+//! can drive [`LocationService::drive`](crate::LocationService::drive)
+//! incrementally. The `vire-sim` crate implements it for its bus-fed
+//! `MiddlewareStage`; a real deployment would implement it over a live
+//! reader gateway.
+
+use crate::service::TagKey;
+use crate::types::{ReferenceRssiMap, TrackingReading};
+
+/// A middleware-side pipeline stage the location service can poll.
+///
+/// Implementations own the smoothed RSSI state and expose it
+/// *incrementally*: [`SnapshotSource::changed_readings`] drains only the
+/// tracking tags whose smoothed value moved since the last drain, and
+/// [`SnapshotSource::reference_map`] refreshes only the calibration cells
+/// that changed. Both are cheap when nothing happened — the property that
+/// lets a service poll a mostly-idle deployment at high frequency.
+pub trait SnapshotSource {
+    /// Timestamp of the newest ingested event, seconds. Estimates
+    /// produced from the current state carry this time.
+    fn snapshot_time(&self) -> f64;
+
+    /// The reference calibration map, refreshed in place so only changed
+    /// cells are touched. `None` while calibration coverage is still
+    /// incomplete (some reference tag unheard by some reader).
+    fn reference_map(&mut self) -> Option<&ReferenceRssiMap>;
+
+    /// Drains the tracking tags whose smoothed RSSI changed since the
+    /// previous drain, with their current reading vectors, in
+    /// first-dirtied order. Tags without full reader coverage yet are
+    /// retained for a later drain rather than returned or dropped.
+    fn changed_readings(&mut self) -> Vec<(TagKey, TrackingReading)>;
+}

@@ -127,7 +127,7 @@ impl VireScratch {
 thread_local! {
     /// Scratch for the implicit-arena entry points
     /// ([`PreparedLocalizer::locate`] on [`PreparedVire`], and the
-    /// one-shot [`Vire::locate`] which routes through it). One arena per
+    /// one-shot `Vire::locate` which routes through it). One arena per
     /// thread keeps `locate_batch` workers allocation-free without
     /// synchronization.
     static VIRE_SCRATCH: RefCell<VireScratch> = RefCell::new(VireScratch::new());

@@ -52,7 +52,7 @@ impl FixQuality {
 impl Vire {
     /// Localizes and scores the fix.
     ///
-    /// Falls back like [`Vire::locate`]; fallback fixes get the worst
+    /// Falls back like `Vire::locate`; fallback fixes get the worst
     /// possible diagnostics available (no candidate cloud to measure), so
     /// their score is conservatively low.
     pub fn locate_scored(

@@ -8,6 +8,7 @@
 
 use crate::kalman::KalmanTracker;
 use crate::localizer::{Estimate, LocalizeError, Localizer};
+use crate::pipeline::SnapshotSource;
 use crate::types::{ReferenceRssiMap, TrackingReading};
 use std::collections::HashMap;
 use vire_geom::{Point2, Vec2};
@@ -118,6 +119,45 @@ impl<L: Localizer> LocationService<L> {
         raws.into_iter()
             .zip(snapshots)
             .map(|(raw, &(tag, _))| raw.map(|raw| self.fold(time, tag, raw)))
+            .collect()
+    }
+
+    /// Drives the service one step from a streaming pipeline stage.
+    ///
+    /// This is the incremental counterpart of
+    /// [`LocationService::process_snapshot_batch`]: instead of localizing
+    /// every tag on every snapshot, it asks the stage which tracking tags'
+    /// smoothed RSSI actually changed since the last call
+    /// ([`SnapshotSource::changed_readings`]) and localizes **only
+    /// those**, through the prepared localizer and parallel batch fan-out.
+    /// Tags whose readings did not move keep their existing tracks
+    /// untouched (their Kalman state still answers
+    /// [`LocationService::position`] / [`LocationService::predict`]).
+    ///
+    /// Returns one `(tag, result)` per changed tag, in the stage's
+    /// first-dirtied order; empty when nothing changed or the stage's
+    /// calibration map is still incomplete (in which case nothing is
+    /// drained — changed tags stay pending for the next call).
+    pub fn drive(
+        &mut self,
+        stage: &mut dyn SnapshotSource,
+    ) -> Vec<(TagKey, Result<TrackedEstimate, LocalizeError>)> {
+        if stage.reference_map().is_none() {
+            return Vec::new();
+        }
+        let time = stage.snapshot_time();
+        let snapshots = stage.changed_readings();
+        if snapshots.is_empty() {
+            return Vec::new();
+        }
+        let refs = stage
+            .reference_map()
+            .expect("map completeness checked above");
+        let results = self.process_snapshot_batch(time, refs, &snapshots);
+        snapshots
+            .into_iter()
+            .map(|(tag, _)| tag)
+            .zip(results)
             .collect()
     }
 
@@ -345,6 +385,85 @@ mod tests {
             .unwrap();
         assert_eq!(out.position, before);
         assert_eq!(svc.position(1), Some(before));
+    }
+
+    /// A hand-driven pipeline stage for exercising `drive` without the
+    /// simulator.
+    struct MockStage {
+        time: f64,
+        map: ReferenceRssiMap,
+        dirty: Vec<(TagKey, TrackingReading)>,
+        complete: bool,
+    }
+
+    impl SnapshotSource for MockStage {
+        fn snapshot_time(&self) -> f64 {
+            self.time
+        }
+        fn reference_map(&mut self) -> Option<&ReferenceRssiMap> {
+            self.complete.then_some(&self.map)
+        }
+        fn changed_readings(&mut self) -> Vec<(TagKey, TrackingReading)> {
+            std::mem::take(&mut self.dirty)
+        }
+    }
+
+    #[test]
+    fn drive_localizes_only_changed_tags_and_matches_observe() {
+        let mut stage = MockStage {
+            time: 0.0,
+            map: map(),
+            dirty: vec![
+                (1, reading_at(Point2::new(0.6, 0.6))),
+                (2, reading_at(Point2::new(2.4, 2.4))),
+            ],
+            complete: true,
+        };
+        let mut driven = LocationService::new(Vire::default(), ServiceConfig::default());
+        let mut reference = LocationService::new(Vire::default(), ServiceConfig::default());
+
+        let out = driven.drive(&mut stage);
+        assert_eq!(out.len(), 2);
+        for (tag, result) in &out {
+            let expect = reference
+                .observe(0.0, *tag, &map(), &stage_reading(*tag))
+                .unwrap();
+            assert_eq!(result.as_ref().unwrap(), &expect, "tag {tag}");
+        }
+
+        // Nothing dirty -> nothing localized, but tracks persist.
+        stage.time = 2.0;
+        assert!(driven.drive(&mut stage).is_empty());
+        assert!(driven.position(1).is_some());
+
+        // Only tag 2 changes -> only tag 2 is localized.
+        stage.dirty = vec![(2, reading_at(Point2::new(2.0, 2.0)))];
+        let out = driven.drive(&mut stage);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+    }
+
+    fn stage_reading(tag: TagKey) -> TrackingReading {
+        match tag {
+            1 => reading_at(Point2::new(0.6, 0.6)),
+            2 => reading_at(Point2::new(2.4, 2.4)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn drive_waits_for_a_complete_map_without_draining() {
+        let mut stage = MockStage {
+            time: 0.0,
+            map: map(),
+            dirty: vec![(1, reading_at(Point2::new(1.0, 1.0)))],
+            complete: false,
+        };
+        let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        assert!(svc.drive(&mut stage).is_empty());
+        assert_eq!(stage.dirty.len(), 1, "pending tags must not be drained");
+        stage.complete = true;
+        assert_eq!(svc.drive(&mut stage).len(), 1);
     }
 
     #[test]

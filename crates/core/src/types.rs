@@ -77,6 +77,19 @@ impl ReferenceRssiMap {
         *self.per_reader[k].get(idx)
     }
 
+    /// Overwrites the RSSI of the reference tag at node `idx` seen by
+    /// reader `k` — the incremental-update hook the streaming pipeline
+    /// uses to refresh only the calibration cells whose smoothed value
+    /// actually changed, instead of re-exporting the whole table.
+    ///
+    /// # Panics
+    /// Panics when `k` or `idx` is out of range or `value` is non-finite
+    /// (the constructor's invariant).
+    pub fn set_rssi(&mut self, k: usize, idx: GridIndex, value: f64) {
+        assert!(value.is_finite(), "reference RSSI must be finite");
+        self.per_reader[k].set(idx, value);
+    }
+
     /// The signal-space vector (one RSSI per reader) of the reference tag
     /// at node `idx`.
     pub fn signal_vector(&self, idx: GridIndex) -> Vec<f64> {
@@ -193,6 +206,25 @@ mod tests {
         assert_eq!(m.rssi(0, idx), -72.0);
         assert_eq!(m.rssi(1, idx), -78.0);
         assert_eq!(m.signal_vector(idx), vec![-72.0, -78.0]);
+    }
+
+    #[test]
+    fn set_rssi_touches_only_the_named_cell() {
+        let mut m = tiny_map();
+        let idx = GridIndex::new(1, 1);
+        let other = GridIndex::new(0, 0);
+        let before_other = m.rssi(0, other);
+        let before_k1 = m.rssi(1, idx);
+        m.set_rssi(0, idx, -99.5);
+        assert_eq!(m.rssi(0, idx), -99.5);
+        assert_eq!(m.rssi(0, other), before_other);
+        assert_eq!(m.rssi(1, idx), before_k1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn set_rssi_rejects_non_finite() {
+        tiny_map().set_rssi(0, GridIndex::new(0, 0), f64::NAN);
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //!
 //! * [`metrics`] — estimation error, summary statistics, CDFs,
 //! * [`runner`] — drives the `vire-sim` testbed to produce calibration
-//!   maps and tracking readings, with multi-seed averaging and a
-//!   crossbeam-parallel seed runner,
+//!   maps and tracking readings, with multi-seed averaging, a
+//!   crossbeam-parallel seed runner, and a streaming runner
+//!   ([`runner::stream_trial`]) that polls the engine → bus → middleware
+//!   pipeline incrementally,
 //! * [`sweep`] — generic parallel parameter sweeps,
 //! * [`report`] — fixed-width text tables and JSON export of results,
 //! * [`figures`] — one module per paper figure (2–8) plus this
@@ -25,4 +27,4 @@ pub mod runner;
 pub mod sweep;
 
 pub use metrics::{estimation_error, ErrorStats};
-pub use runner::{collect_trial, TrialData, TrialTag};
+pub use runner::{collect_trial, stream_trial, StreamStep, TrialData, TrialTag};

@@ -1,8 +1,11 @@
 //! Drives the testbed to produce localization inputs, with multi-seed
-//! averaging and a crossbeam-parallel runner.
+//! averaging, a crossbeam-parallel runner, and a streaming runner that
+//! polls the bus pipeline incrementally.
 
 use crate::metrics::estimation_error;
-use vire_core::{Localizer, ReferenceRssiMap, TrackingReading};
+use vire_core::{
+    LocalizeError, Localizer, LocationService, ReferenceRssiMap, TrackedEstimate, TrackingReading,
+};
 use vire_env::Environment;
 use vire_geom::Point2;
 use vire_sim::{Testbed, TestbedConfig};
@@ -53,6 +56,49 @@ pub fn collect_trial_with(config: TestbedConfig, positions: &[Point2]) -> TrialD
         })
         .collect();
     TrialData { map, tags }
+}
+
+/// One polling step of a streaming run: what
+/// [`vire_core::LocationService::drive`] produced at that snapshot.
+#[derive(Debug, Clone)]
+pub struct StreamStep {
+    /// Simulated time of the snapshot, seconds.
+    pub time: f64,
+    /// One entry per tracking tag whose smoothed reading changed since
+    /// the previous step (empty when the deployment was quiet).
+    pub estimates: Vec<(u32, Result<TrackedEstimate, LocalizeError>)>,
+}
+
+/// Runs a trial through the streaming pipeline: builds the testbed,
+/// places tracking tags at `positions`, then alternates `run_for(interval)`
+/// with [`vire_core::LocationService::drive`] for `snapshots` polling
+/// steps — the engine → bus → middleware-stage → service data path,
+/// localizing only tags whose smoothed RSSI changed at each step.
+///
+/// Returns one [`StreamStep`] per poll plus the tag ids assigned to
+/// `positions` (in order), so callers can join estimates to ground truth.
+pub fn stream_trial<L: Localizer>(
+    config: TestbedConfig,
+    positions: &[Point2],
+    service: &mut LocationService<L>,
+    snapshots: usize,
+    interval: f64,
+) -> (Vec<StreamStep>, Vec<u32>) {
+    let mut tb = Testbed::new(config);
+    let ids: Vec<u32> = positions
+        .iter()
+        .map(|&p| tb.add_tracking_tag(p).0)
+        .collect();
+    let steps = (0..snapshots)
+        .map(|_| {
+            tb.run_for(interval);
+            StreamStep {
+                time: tb.clock(),
+                estimates: service.drive(tb.stage_mut()),
+            }
+        })
+        .collect();
+    (steps, ids)
 }
 
 /// Per-tag estimation errors of `localizer` on one trial. Failed locates
@@ -179,6 +225,35 @@ mod tests {
         let avg = average_ignoring_nan(&rows, 2);
         assert_eq!(avg[0], 2.0);
         assert!(avg[1].is_nan());
+    }
+
+    #[test]
+    fn stream_trial_produces_estimates_for_tracked_tags() {
+        use vire_core::{ServiceConfig, Vire};
+        let positions = [Point2::new(1.5, 1.5), Point2::new(0.5, 2.5)];
+        let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        let (steps, ids) = stream_trial(
+            TestbedConfig::paper(env1(), 11),
+            &positions,
+            &mut svc,
+            20,
+            2.0,
+        );
+        assert_eq!(steps.len(), 20);
+        assert_eq!(ids.len(), 2);
+        let all: Vec<&(u32, _)> = steps.iter().flat_map(|s| &s.estimates).collect();
+        assert!(!all.is_empty(), "warmed-up pipeline must localize");
+        for (tag, result) in &steps.last().unwrap().estimates {
+            let truth = positions[ids.iter().position(|i| i == tag).unwrap()];
+            let est = result.as_ref().expect("well-covered tags localize");
+            assert!(
+                est.position.distance(truth) < 1.5,
+                "tag {tag} error too large"
+            );
+        }
+        // Only registered tracking tags ever appear (reference tags feed
+        // the calibration map instead).
+        assert!(all.iter().all(|(tag, _)| ids.contains(tag)));
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! End-to-end acceptance: a seeded scenario run through the streaming bus
+//! pipeline produces bit-identical raw `Estimate`s to the direct-call
+//! path (full map export + one-shot `Localizer::locate`).
+
+use vire_core::{Localizer, LocationService, ServiceConfig, Vire};
+use vire_env::presets::env2;
+use vire_env::Deployment;
+use vire_exp::stream_trial;
+use vire_sim::{TagId, Testbed, TestbedConfig};
+
+const SEED: u64 = 42;
+const SNAPSHOTS: usize = 25;
+const INTERVAL: f64 = 2.0;
+
+#[test]
+fn streamed_estimates_are_bit_identical_to_direct_path() {
+    // Streaming path: engine → bus → middleware stage → service.drive.
+    let positions = Deployment::tracking_tags_fig2a();
+    let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+    let (steps, ids) = stream_trial(
+        TestbedConfig::paper(env2(), SEED),
+        &positions,
+        &mut svc,
+        SNAPSHOTS,
+        INTERVAL,
+    );
+
+    // Direct path: an identical seeded testbed stepped in lockstep; at
+    // each snapshot, export the full calibration map and locate one-shot.
+    let mut tb = Testbed::new(TestbedConfig::paper(env2(), SEED));
+    let direct_ids: Vec<u32> = positions
+        .iter()
+        .map(|&p| tb.add_tracking_tag(p).0)
+        .collect();
+    assert_eq!(ids, direct_ids, "same deployment must assign the same ids");
+    let vire = Vire::default();
+
+    let mut compared = 0usize;
+    for step in &steps {
+        tb.run_for(INTERVAL);
+        assert_eq!(step.time, tb.clock(), "testbeds drifted out of lockstep");
+        if step.estimates.is_empty() {
+            continue;
+        }
+        let map = tb.reference_map().expect("estimates imply full coverage");
+        for (tag, result) in &step.estimates {
+            let reading = tb
+                .tracking_reading(TagId(*tag))
+                .expect("estimates imply readings");
+            let direct = vire.locate(&map, &reading);
+            match (result, direct) {
+                (Ok(streamed), Ok(direct)) => {
+                    assert_eq!(
+                        streamed.raw, direct,
+                        "tag {tag} at t={}: streamed raw estimate differs from direct locate",
+                        step.time
+                    );
+                    compared += 1;
+                }
+                (Err(streamed), Err(direct)) => assert_eq!(streamed, &direct),
+                (streamed, direct) => {
+                    panic!("tag {tag}: outcome mismatch: {streamed:?} vs {direct:?}")
+                }
+            }
+        }
+    }
+    assert!(
+        compared >= positions.len(),
+        "expected estimates to compare, got {compared}"
+    );
+}

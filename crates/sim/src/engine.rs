@@ -2,12 +2,14 @@
 
 use crate::events::{Event, EventQueue};
 use crate::middleware::{Middleware, Reading};
+use crate::pipeline::MiddlewareStage;
 use crate::reader::{Reader, ReaderId};
 use crate::smoothing::SmoothingKind;
 use crate::tag::{Tag, TagId, TagRole};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use vire_bus::{BusRead, EventBus, ReaderToken};
 use vire_core::{ReferenceRssiMap, TrackingReading};
 use vire_env::{Deployment, Environment};
 use vire_geom::{GridIndex, Point2};
@@ -43,6 +45,11 @@ pub struct TestbedConfig {
     /// "varying behaviors of tags" pitfall). 0 models the improved
     /// equipment; ~1.5 the original generation before calibration.
     pub tag_gain_sigma: f64,
+    /// Capacity of the reading event bus: how many decoded readings are
+    /// retained for external subscribers ([`Testbed::subscribe`]) before
+    /// the oldest are overwritten. Slow subscribers observe the loss as an
+    /// explicit lag count rather than stalling the pipeline.
+    pub event_capacity: usize,
 }
 
 impl TestbedConfig {
@@ -60,6 +67,7 @@ impl TestbedConfig {
             keep_log: false,
             collision_radius: 0.3,
             tag_gain_sigma: 0.0,
+            event_capacity: 4096,
         }
     }
 
@@ -96,7 +104,12 @@ pub struct Testbed {
     readers: Vec<Reader>,
     tags: Vec<Tag>,
     reference_tags: HashMap<GridIndex, TagId>,
-    middleware: Middleware,
+    /// Every decoded reading is published here; the middleware stage and
+    /// any external subscriber consume it through their own cursors.
+    bus: EventBus<Reading>,
+    /// The bus-subscribed middleware stage (pumped after every beacon, so
+    /// it never lags the engine).
+    stage: MiddlewareStage,
     queue: EventQueue,
     clock: f64,
     rng: SmallRng,
@@ -120,6 +133,10 @@ impl Testbed {
             (0.0..1.0).contains(&config.beacon_jitter_frac),
             "jitter fraction must be within [0, 1)"
         );
+        assert!(
+            config.event_capacity >= config.deployment.readers.len(),
+            "event bus must hold at least one beacon's readings"
+        );
         let channel = RfChannel::new(config.environment.channel_params(config.seed));
         let readers: Vec<Reader> = config
             .deployment
@@ -131,13 +148,21 @@ impl Testbed {
         let quantizer = config
             .legacy_power_levels
             .then(PowerLevelQuantizer::paper_default);
+        let bus = EventBus::with_capacity(config.event_capacity);
+        let stage = MiddlewareStage::new(
+            Middleware::new(config.smoothing, config.keep_log),
+            config.deployment.reference_grid,
+            config.deployment.readers.clone(),
+            bus.reader(),
+        );
         let mut testbed = Testbed {
-            middleware: Middleware::new(config.smoothing, config.keep_log),
             rng: SmallRng::seed_from_u64(config.seed ^ 0x0bea_c017),
             channel,
             readers,
             tags: Vec::new(),
             reference_tags: HashMap::new(),
+            bus,
+            stage,
             queue: EventQueue::new(),
             clock: 0.0,
             quantizer,
@@ -150,6 +175,7 @@ impl Testbed {
         for (idx, pos) in nodes {
             let id = testbed.register_tag(pos, TagRole::Reference(idx));
             testbed.reference_tags.insert(idx, id);
+            testbed.stage.pin_reference(idx, id);
         }
         testbed
     }
@@ -269,6 +295,10 @@ impl Testbed {
             let (time, Event::Beacon { tag }) = self.queue.pop().expect("peeked");
             self.clock = time;
             self.process_beacon(tag);
+            // Pump the middleware stage after every beacon: the engine's
+            // own consumer never falls behind the bus, so the smoothed
+            // table matches the direct-call path bit for bit.
+            self.stage.pump(&self.bus);
             // Reschedule the next beacon with jitter.
             let tag_info = self.tags[tag.0 as usize];
             let jitter = if self.config.beacon_jitter_frac > 0.0 {
@@ -298,7 +328,7 @@ impl Testbed {
                 rssi = q.degrade(rssi);
             }
             if reader.can_hear(rssi) {
-                self.middleware.ingest(Reading {
+                self.bus.publish(Reading {
                     time: self.clock,
                     tag: tag_id,
                     reader: reader.id,
@@ -315,7 +345,53 @@ impl Testbed {
 
     /// The middleware (read access for diagnostics).
     pub fn middleware(&self) -> &Middleware {
-        &self.middleware
+        self.stage.middleware()
+    }
+
+    /// The bus-subscribed middleware pipeline stage. Mutable access is
+    /// what [`vire_core::LocationService::drive`] needs to poll the stage
+    /// incrementally:
+    ///
+    /// ```
+    /// use vire_core::{LocationService, ServiceConfig, Vire};
+    /// use vire_env::presets::env2;
+    /// use vire_geom::Point2;
+    /// use vire_sim::{Testbed, TestbedConfig};
+    ///
+    /// let mut tb = Testbed::new(TestbedConfig::paper(env2(), 7));
+    /// tb.add_tracking_tag(Point2::new(1.3, 1.7));
+    /// let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+    /// tb.run_for(tb.warmup_duration() * 2.0);
+    /// let estimates = svc.drive(tb.stage_mut());
+    /// assert!(!estimates.is_empty());
+    /// ```
+    pub fn stage_mut(&mut self) -> &mut MiddlewareStage {
+        &mut self.stage
+    }
+
+    /// The middleware pipeline stage (read access).
+    pub fn stage(&self) -> &MiddlewareStage {
+        &self.stage
+    }
+
+    /// Registers an external subscriber on the reading bus. The returned
+    /// token observes every reading decoded after this call; drain it with
+    /// [`Testbed::events`]. A subscriber that falls more than the
+    /// configured [`TestbedConfig::event_capacity`] behind loses the
+    /// oldest readings and sees the loss as an explicit lag count.
+    pub fn subscribe(&self) -> ReaderToken {
+        self.bus.reader()
+    }
+
+    /// Drains the readings published since `token` last read (see
+    /// [`Testbed::subscribe`]).
+    pub fn events(&self, token: &mut ReaderToken) -> BusRead<'_, Reading> {
+        self.bus.read(token)
+    }
+
+    /// The reading event bus itself (diagnostics: capacity, totals).
+    pub fn bus(&self) -> &EventBus<Reading> {
+        &self.bus
     }
 
     /// All tags (reference + tracking).
@@ -335,7 +411,8 @@ impl Testbed {
     /// first beacon.
     fn rssi_or_floor(&self, tag: TagId, k: usize) -> Option<f64> {
         let reader = self.readers[k];
-        self.middleware
+        self.stage
+            .middleware()
             .rssi(tag, reader.id)
             .or_else(|| (self.beacon_counts[tag.0 as usize] > 0).then_some(reader.sensitivity_dbm))
     }
@@ -385,7 +462,7 @@ impl Testbed {
             description,
             &self.config.deployment.readers,
             &reference_tags,
-            self.middleware.log(),
+            self.stage.middleware().log_readings().copied(),
         )
     }
 

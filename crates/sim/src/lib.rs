@@ -16,6 +16,11 @@
 //! * [`middleware`] — the reading store and its export into the
 //!   `vire-core` data model ([`vire_core::ReferenceRssiMap`] +
 //!   [`vire_core::TrackingReading`]),
+//! * [`pipeline`] — the streaming data path: the engine publishes every
+//!   decoded reading to a `vire-bus` event channel, and the bus-subscribed
+//!   [`MiddlewareStage`] smooths per event with incremental dirty-cell
+//!   tracking, implementing [`vire_core::SnapshotSource`] so
+//!   [`vire_core::LocationService::drive`] localizes only what changed,
 //! * [`engine`] — [`Testbed`]: wires a deployment, an environment, and a
 //!   channel together and runs simulated time,
 //! * [`trace`] — JSON reading traces: export simulated captures as
@@ -30,6 +35,7 @@
 pub mod engine;
 pub mod events;
 pub mod middleware;
+pub mod pipeline;
 pub mod reader;
 pub mod smoothing;
 pub mod tag;
@@ -37,7 +43,9 @@ pub mod trace;
 
 pub use engine::{Testbed, TestbedConfig};
 pub use middleware::{Middleware, Reading};
+pub use pipeline::{MiddlewareStage, PumpStats};
 pub use reader::ReaderId;
-pub use smoothing::SmoothingKind;
+pub use smoothing::{SmoothingError, SmoothingKind};
 pub use tag::{TagId, TagRole};
 pub use trace::Trace;
+pub use vire_bus::{BusRead, EventBus, ReaderToken};

@@ -4,7 +4,7 @@
 use crate::reader::ReaderId;
 use crate::smoothing::{Filter, SmoothingKind};
 use crate::tag::TagId;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use vire_core::{ReferenceRssiMap, TrackingReading};
 use vire_geom::{GridData, GridIndex, Point2, RegularGrid};
 
@@ -21,37 +21,71 @@ pub struct Reading {
     pub rssi: f64,
 }
 
+/// Default raw-log retention when logging is enabled: enough for hours of
+/// the paper testbed (16 reference + tens of tracking tags × 4 readers at
+/// 2 s beacons ≈ 100 readings/s) without unbounded growth.
+pub const DEFAULT_LOG_CAPACITY: usize = 262_144;
+
 /// The middleware: a smoothed RSSI table keyed by (tag, reader), plus an
 /// optional raw log for diagnostics.
+///
+/// The log is a bounded ring: when it reaches its configured capacity the
+/// **oldest reading is evicted** for each new one, so memory stays flat no
+/// matter how long the simulation runs. [`Middleware::log_evicted`] counts
+/// what was dropped.
 #[derive(Debug)]
 pub struct Middleware {
     smoothing: SmoothingKind,
     filters: HashMap<(TagId, ReaderId), Filter>,
-    log: Vec<Reading>,
-    keep_log: bool,
+    log: VecDeque<Reading>,
+    /// Maximum retained readings; 0 disables logging entirely.
+    log_capacity: usize,
+    /// Readings evicted from the front of the full ring.
+    log_evicted: u64,
 }
 
 impl Middleware {
     /// Creates a middleware with the given smoothing policy. `keep_log`
-    /// retains every raw reading (memory grows with simulated time).
+    /// retains raw readings up to [`DEFAULT_LOG_CAPACITY`] (oldest evicted
+    /// first); see [`Middleware::with_log_capacity`] to size the ring.
     pub fn new(smoothing: SmoothingKind, keep_log: bool) -> Self {
+        Middleware::with_log_capacity(smoothing, if keep_log { DEFAULT_LOG_CAPACITY } else { 0 })
+    }
+
+    /// Creates a middleware retaining at most `log_capacity` raw readings
+    /// (0 disables the log). When the ring is full, each new reading
+    /// evicts the oldest one.
+    pub fn with_log_capacity(smoothing: SmoothingKind, log_capacity: usize) -> Self {
         Middleware {
             smoothing,
             filters: HashMap::new(),
-            log: Vec::new(),
-            keep_log,
+            log: VecDeque::new(),
+            log_capacity,
+            log_evicted: 0,
         }
     }
 
     /// Ingests one reading.
-    pub fn ingest(&mut self, reading: Reading) {
-        self.filters
+    ///
+    /// Returns `true` when the smoothed value of the `(tag, reader)`
+    /// stream changed (bit-exact comparison) — the dirty signal the
+    /// incremental pipeline stage uses to re-export only touched cells.
+    pub fn ingest(&mut self, reading: Reading) -> bool {
+        let filter = self
+            .filters
             .entry((reading.tag, reading.reader))
-            .or_insert_with(|| self.smoothing.build())
-            .update(reading.rssi);
-        if self.keep_log {
-            self.log.push(reading);
+            .or_insert_with(|| self.smoothing.build());
+        let before = filter.value().map(f64::to_bits);
+        filter.update(reading.rssi);
+        let changed = filter.value().map(f64::to_bits) != before;
+        if self.log_capacity > 0 {
+            if self.log.len() == self.log_capacity {
+                self.log.pop_front();
+                self.log_evicted += 1;
+            }
+            self.log.push_back(reading);
         }
+        changed
     }
 
     /// Smoothed RSSI for a (tag, reader) pair, if any readings arrived.
@@ -64,9 +98,26 @@ impl Middleware {
         self.filters.get(&(tag, reader)).map_or(0, Filter::fill)
     }
 
-    /// The raw reading log (empty unless `keep_log` was set).
-    pub fn log(&self) -> &[Reading] {
-        &self.log
+    /// The retained raw readings, oldest first (empty unless logging was
+    /// enabled). When the ring overflowed, this is the most recent
+    /// [`Middleware::log_capacity`] readings only.
+    pub fn log_readings(&self) -> impl ExactSizeIterator<Item = &Reading> + '_ {
+        self.log.iter()
+    }
+
+    /// Number of readings currently retained in the log ring.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Configured log ring capacity (0 = logging disabled).
+    pub fn log_capacity(&self) -> usize {
+        self.log_capacity
+    }
+
+    /// Number of readings evicted from the full log ring so far.
+    pub fn log_evicted(&self) -> u64 {
+        self.log_evicted
     }
 
     /// Exports the reference calibration map.
@@ -133,13 +184,48 @@ mod tests {
     fn log_is_kept_only_when_requested() {
         let mut quiet = Middleware::new(SmoothingKind::Raw, false);
         quiet.ingest(reading(1, 0, -70.0));
-        assert!(quiet.log().is_empty());
+        assert_eq!(quiet.log_len(), 0);
+        assert_eq!(quiet.log_capacity(), 0);
 
         let mut chatty = Middleware::new(SmoothingKind::Raw, true);
         chatty.ingest(reading(1, 0, -70.0));
         chatty.ingest(reading(2, 1, -80.0));
-        assert_eq!(chatty.log().len(), 2);
-        assert_eq!(chatty.log()[1].tag, TagId(2));
+        assert_eq!(chatty.log_len(), 2);
+        assert_eq!(chatty.log_readings().nth(1).unwrap().tag, TagId(2));
+        assert_eq!(chatty.log_capacity(), DEFAULT_LOG_CAPACITY);
+    }
+
+    #[test]
+    fn full_log_ring_evicts_oldest_first() {
+        let mut mw = Middleware::with_log_capacity(SmoothingKind::Raw, 3);
+        for n in 0..5u32 {
+            mw.ingest(reading(n, 0, -70.0 - n as f64));
+        }
+        // Capacity 3: readings from tags 0 and 1 were evicted.
+        assert_eq!(mw.log_len(), 3);
+        assert_eq!(mw.log_evicted(), 2);
+        let tags: Vec<u32> = mw.log_readings().map(|r| r.tag.0).collect();
+        assert_eq!(tags, vec![2, 3, 4], "oldest evicted, order preserved");
+        // The smoothed table is unaffected by log eviction.
+        assert_eq!(mw.rssi(TagId(0), ReaderId(0)), Some(-70.0));
+    }
+
+    #[test]
+    fn ingest_reports_smoothed_value_changes() {
+        let mut mw = Middleware::new(SmoothingKind::MovingAverage(2), false);
+        assert!(mw.ingest(reading(1, 0, -70.0)), "first value is a change");
+        assert!(!mw.ingest(reading(1, 0, -70.0)), "mean unchanged");
+        assert!(mw.ingest(reading(1, 0, -90.0)), "mean moves to -80");
+        // Another stream is independent.
+        assert!(mw.ingest(reading(1, 1, -55.0)));
+        // A median window absorbing a spike reports no change.
+        let mut med = Middleware::new(SmoothingKind::Median(3), false);
+        med.ingest(reading(2, 0, -70.0));
+        med.ingest(reading(2, 0, -70.0));
+        assert!(
+            !med.ingest(reading(2, 0, -95.0)),
+            "median rejects the spike"
+        );
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! The bus-subscribed middleware pipeline stage.
+//!
+//! The streaming data path is `engine → bus → middleware stage → location
+//! service`: the engine publishes every decoded [`Reading`] to a
+//! [`vire_bus::EventBus`], and a [`MiddlewareStage`] subscribed with its
+//! own [`vire_bus::ReaderToken`] consumes the stream at its own pace —
+//! applying the smoothing filters per event and tracking exactly which
+//! `(tag, reader)` cells changed, so downstream exports touch only dirty
+//! state:
+//!
+//! * [`MiddlewareStage::reference_map`] refreshes the cached calibration
+//!   map in place, rewriting only the cells whose smoothed value moved,
+//! * [`MiddlewareStage::changed_readings`] drains only the tracking tags
+//!   whose reading vector changed since the last drain.
+//!
+//! The stage implements [`vire_core::SnapshotSource`], so
+//! [`vire_core::LocationService::drive`] can poll it incrementally —
+//! localizing nothing when the deployment is quiet.
+
+use crate::middleware::{Middleware, Reading};
+use crate::reader::ReaderId;
+use crate::tag::TagId;
+use std::collections::{HashMap, HashSet};
+use vire_bus::{EventBus, ReaderToken};
+use vire_core::{ReferenceRssiMap, SnapshotSource, TrackingReading};
+use vire_geom::{GridIndex, Point2, RegularGrid};
+
+/// What one [`MiddlewareStage::pump`] call consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PumpStats {
+    /// Events ingested from the bus.
+    pub events: usize,
+    /// Events whose smoothed `(tag, reader)` value changed.
+    pub changed: usize,
+    /// Events lost to ring overwriting before this pump (the stage fell
+    /// more than the bus capacity behind).
+    pub lagged: u64,
+}
+
+/// A middleware consuming [`Reading`] events from a bus, with incremental
+/// dirty-cell tracking. See the [module docs](self).
+#[derive(Debug)]
+pub struct MiddlewareStage {
+    middleware: Middleware,
+    token: ReaderToken,
+    /// Timestamp of the newest ingested reading.
+    clock: f64,
+    /// Total events lost across all pumps.
+    lagged_total: u64,
+    grid: RegularGrid,
+    readers: Vec<Point2>,
+    /// Lattice node -> pinned reference tag (for full exports).
+    reference_tags: HashMap<GridIndex, TagId>,
+    /// Reference tag -> its lattice node (for dirty classification).
+    reference_cells: HashMap<TagId, GridIndex>,
+    /// Last exported calibration map, updated in place.
+    cached_map: Option<ReferenceRssiMap>,
+    /// Changed reference cells not yet applied to `cached_map`.
+    dirty_ref_cells: Vec<(GridIndex, ReaderId)>,
+    /// Tracking tags with changed readings, in first-dirtied order.
+    dirty_tracking: Vec<TagId>,
+    dirty_tracking_set: HashSet<TagId>,
+}
+
+impl MiddlewareStage {
+    /// Wraps `middleware` as a pipeline stage reading from the bus
+    /// position captured in `token`. `grid` and `readers` describe the
+    /// deployment; pin reference tags with
+    /// [`MiddlewareStage::pin_reference`].
+    pub fn new(
+        middleware: Middleware,
+        grid: RegularGrid,
+        readers: Vec<Point2>,
+        token: ReaderToken,
+    ) -> Self {
+        MiddlewareStage {
+            middleware,
+            token,
+            clock: 0.0,
+            lagged_total: 0,
+            grid,
+            readers,
+            reference_tags: HashMap::new(),
+            reference_cells: HashMap::new(),
+            cached_map: None,
+            dirty_ref_cells: Vec::new(),
+            dirty_tracking: Vec::new(),
+            dirty_tracking_set: HashSet::new(),
+        }
+    }
+
+    /// Declares `tag` as the reference tag pinned to lattice node `idx`.
+    /// Readings from pinned tags feed the calibration map instead of the
+    /// tracking dirty set.
+    pub fn pin_reference(&mut self, idx: GridIndex, tag: TagId) {
+        self.reference_tags.insert(idx, tag);
+        self.reference_cells.insert(tag, idx);
+    }
+
+    /// Drains every new event from the bus through the smoothing filters,
+    /// recording which cells changed. Returns what was consumed.
+    pub fn pump(&mut self, bus: &EventBus<Reading>) -> PumpStats {
+        let read = bus.read(&mut self.token);
+        let mut stats = PumpStats {
+            lagged: read.lagged(),
+            ..PumpStats::default()
+        };
+        self.lagged_total += stats.lagged;
+        for &reading in read {
+            stats.events += 1;
+            if reading.time > self.clock {
+                self.clock = reading.time;
+            }
+            if !self.middleware.ingest(reading) {
+                continue;
+            }
+            stats.changed += 1;
+            if let Some(&cell) = self.reference_cells.get(&reading.tag) {
+                self.dirty_ref_cells.push((cell, reading.reader));
+            } else if self.dirty_tracking_set.insert(reading.tag) {
+                self.dirty_tracking.push(reading.tag);
+            }
+        }
+        stats
+    }
+
+    /// The wrapped middleware (smoothed table, raw log ring).
+    pub fn middleware(&self) -> &Middleware {
+        &self.middleware
+    }
+
+    /// Timestamp of the newest ingested reading, seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Total events this stage lost to bus overwriting (0 when it always
+    /// kept up).
+    pub fn lagged_total(&self) -> u64 {
+        self.lagged_total
+    }
+
+    /// Number of tracking tags currently marked dirty.
+    pub fn pending_tracking(&self) -> usize {
+        self.dirty_tracking.len()
+    }
+
+    /// The reference calibration map, refreshed incrementally.
+    ///
+    /// The first successful call performs a full export; afterwards only
+    /// the `(cell, reader)` entries whose smoothed value changed are
+    /// rewritten in the cached map. `None` while some (reference tag,
+    /// reader) pair has no smoothed value yet.
+    pub fn reference_map(&mut self) -> Option<&ReferenceRssiMap> {
+        match &mut self.cached_map {
+            None => {
+                self.cached_map =
+                    self.middleware
+                        .reference_map(self.grid, &self.reference_tags, &self.readers);
+                if self.cached_map.is_some() {
+                    // The full export already reflects every pending change.
+                    self.dirty_ref_cells.clear();
+                }
+            }
+            Some(map) => {
+                for (cell, reader) in self.dirty_ref_cells.drain(..) {
+                    let tag = self.reference_tags[&cell];
+                    let value = self
+                        .middleware
+                        .rssi(tag, reader)
+                        .expect("a dirty cell was ingested at least once");
+                    map.set_rssi(reader.0 as usize, cell, value);
+                }
+            }
+        }
+        self.cached_map.as_ref()
+    }
+
+    /// Drains the tracking tags whose smoothed reading changed since the
+    /// last drain, in first-dirtied order. Tags not yet heard by every
+    /// reader stay pending instead of being returned or dropped.
+    pub fn changed_readings(&mut self) -> Vec<(u32, TrackingReading)> {
+        let reader_count = self.readers.len();
+        let mut out = Vec::with_capacity(self.dirty_tracking.len());
+        let mut pending = Vec::new();
+        for tag in std::mem::take(&mut self.dirty_tracking) {
+            match self.middleware.tracking_reading(tag, reader_count) {
+                Some(reading) => {
+                    self.dirty_tracking_set.remove(&tag);
+                    out.push((tag.0, reading));
+                }
+                None => pending.push(tag),
+            }
+        }
+        self.dirty_tracking = pending;
+        out
+    }
+}
+
+impl SnapshotSource for MiddlewareStage {
+    fn snapshot_time(&self) -> f64 {
+        self.clock
+    }
+
+    fn reference_map(&mut self) -> Option<&ReferenceRssiMap> {
+        MiddlewareStage::reference_map(self)
+    }
+
+    fn changed_readings(&mut self) -> Vec<(u32, TrackingReading)> {
+        MiddlewareStage::changed_readings(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smoothing::SmoothingKind;
+
+    fn reading(time: f64, tag: u32, reader: u32, rssi: f64) -> Reading {
+        Reading {
+            time,
+            tag: TagId(tag),
+            reader: ReaderId(reader),
+            rssi,
+        }
+    }
+
+    /// 2×2 lattice with tags 0–3 pinned, one reader, tag 10 tracking.
+    fn stage_and_bus() -> (MiddlewareStage, EventBus<Reading>) {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 2);
+        let bus = EventBus::with_capacity(64);
+        let mut stage = MiddlewareStage::new(
+            Middleware::new(SmoothingKind::Raw, false),
+            grid,
+            vec![Point2::new(-1.0, -1.0)],
+            bus.reader(),
+        );
+        for (n, idx) in grid.indices().enumerate() {
+            stage.pin_reference(idx, TagId(n as u32));
+        }
+        (stage, bus)
+    }
+
+    #[test]
+    fn pump_applies_smoothing_and_tracks_clock() {
+        let (mut stage, mut bus) = stage_and_bus();
+        bus.publish(reading(1.0, 0, 0, -70.0));
+        bus.publish(reading(3.0, 10, 0, -80.0));
+        let stats = stage.pump(&bus);
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.changed, 2);
+        assert_eq!(stats.lagged, 0);
+        assert_eq!(stage.clock(), 3.0);
+        assert_eq!(stage.middleware().rssi(TagId(0), ReaderId(0)), Some(-70.0));
+        // Repeating the identical reading changes nothing.
+        bus.publish(reading(4.0, 0, 0, -70.0));
+        let stats = stage.pump(&bus);
+        assert_eq!(stats.events, 1);
+        assert_eq!(stats.changed, 0);
+    }
+
+    #[test]
+    fn reference_map_is_incrementally_refreshed() {
+        let (mut stage, mut bus) = stage_and_bus();
+        // Incomplete coverage -> None.
+        bus.publish(reading(0.0, 0, 0, -70.0));
+        stage.pump(&bus);
+        assert!(stage.reference_map().is_none());
+        // Complete coverage -> full export.
+        for n in 1..4u32 {
+            bus.publish(reading(0.5, n, 0, -70.0 - n as f64));
+        }
+        stage.pump(&bus);
+        let map = stage.reference_map().expect("complete");
+        assert_eq!(map.rssi(0, GridIndex::new(0, 0)), -70.0);
+        // A changed cell is rewritten in place; untouched cells keep
+        // their values.
+        bus.publish(reading(1.0, 0, 0, -90.0));
+        stage.pump(&bus);
+        let map = stage.reference_map().expect("still complete");
+        assert_eq!(map.rssi(0, GridIndex::new(0, 0)), -90.0);
+        assert_eq!(map.rssi(0, GridIndex::new(1, 1)), -73.0);
+    }
+
+    #[test]
+    fn changed_readings_drains_only_dirty_tracking_tags() {
+        let (mut stage, mut bus) = stage_and_bus();
+        bus.publish(reading(0.0, 10, 0, -75.0));
+        bus.publish(reading(0.0, 11, 0, -85.0));
+        stage.pump(&bus);
+        let changed = stage.changed_readings();
+        assert_eq!(changed.len(), 2);
+        assert_eq!(changed[0].0, 10, "first-dirtied order");
+        assert_eq!(changed[0].1.rssi(), &[-75.0]);
+        // Drained: nothing pending until a value changes again.
+        assert!(stage.changed_readings().is_empty());
+        bus.publish(reading(1.0, 11, 0, -80.0));
+        stage.pump(&bus);
+        let changed = stage.changed_readings();
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].0, 11);
+    }
+
+    #[test]
+    fn partially_heard_tracking_tags_stay_pending() {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 2);
+        let bus_readers = vec![Point2::new(-1.0, -1.0), Point2::new(2.0, 2.0)];
+        let mut bus = EventBus::with_capacity(16);
+        let mut stage = MiddlewareStage::new(
+            Middleware::new(SmoothingKind::Raw, false),
+            grid,
+            bus_readers,
+            bus.reader(),
+        );
+        // Tag 5 heard by reader 0 only: no complete reading vector yet.
+        bus.publish(reading(0.0, 5, 0, -70.0));
+        stage.pump(&bus);
+        assert!(stage.changed_readings().is_empty());
+        assert_eq!(stage.pending_tracking(), 1);
+        // Reader 1 decodes it -> the reading completes and drains.
+        bus.publish(reading(1.0, 5, 1, -72.0));
+        stage.pump(&bus);
+        let changed = stage.changed_readings();
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].1.rssi(), &[-70.0, -72.0]);
+        assert_eq!(stage.pending_tracking(), 0);
+    }
+
+    #[test]
+    fn lag_is_recorded_not_fatal() {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 2);
+        let mut bus = EventBus::with_capacity(2);
+        let mut stage = MiddlewareStage::new(
+            Middleware::new(SmoothingKind::Raw, false),
+            grid,
+            vec![Point2::new(-1.0, -1.0)],
+            bus.reader(),
+        );
+        for n in 0..5 {
+            bus.publish(reading(n as f64, 10, 0, -70.0 - n as f64));
+        }
+        let stats = stage.pump(&bus);
+        assert_eq!(stats.lagged, 3);
+        assert_eq!(stats.events, 2);
+        assert_eq!(stage.lagged_total(), 3);
+        // The survivors were still applied.
+        assert_eq!(stage.middleware().rssi(TagId(10), ReaderId(0)), Some(-74.0));
+    }
+}

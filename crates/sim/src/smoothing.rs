@@ -30,36 +30,68 @@ impl Default for SmoothingKind {
     }
 }
 
+/// Why a [`SmoothingKind`] carries parameters no filter can run with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SmoothingError {
+    /// A sliding-window filter was configured with a zero-length window.
+    ZeroWindow,
+    /// EWMA weight outside `(0, 1]` (carries the offending alpha).
+    InvalidAlpha(f64),
+}
+
+impl std::fmt::Display for SmoothingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmoothingError::ZeroWindow => write!(f, "window must be positive"),
+            SmoothingError::InvalidAlpha(alpha) => {
+                write!(f, "alpha must be within (0, 1], got {alpha}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmoothingError {}
+
 impl SmoothingKind {
+    /// Instantiates the filter state, rejecting invalid parameters (zero
+    /// window, alpha outside `(0, 1]`) instead of panicking.
+    pub fn try_build(self) -> Result<Filter, SmoothingError> {
+        match self {
+            SmoothingKind::Raw => Ok(Filter::Raw { last: None }),
+            SmoothingKind::MovingAverage(n) => {
+                if n == 0 {
+                    return Err(SmoothingError::ZeroWindow);
+                }
+                Ok(Filter::MovingAverage {
+                    window: VecDeque::with_capacity(n),
+                    cap: n,
+                })
+            }
+            SmoothingKind::Ewma(alpha) => {
+                if !(alpha > 0.0 && alpha <= 1.0) {
+                    return Err(SmoothingError::InvalidAlpha(alpha));
+                }
+                Ok(Filter::Ewma { alpha, state: None })
+            }
+            SmoothingKind::Median(n) => {
+                if n == 0 {
+                    return Err(SmoothingError::ZeroWindow);
+                }
+                Ok(Filter::Median {
+                    window: VecDeque::with_capacity(n),
+                    cap: n,
+                })
+            }
+        }
+    }
+
     /// Instantiates the filter state.
     ///
     /// # Panics
-    /// Panics on invalid parameters (zero window, alpha outside `(0, 1]`).
+    /// Panics on invalid parameters (zero window, alpha outside `(0, 1]`);
+    /// use [`SmoothingKind::try_build`] to handle them as values.
     pub fn build(self) -> Filter {
-        match self {
-            SmoothingKind::Raw => Filter::Raw { last: None },
-            SmoothingKind::MovingAverage(n) => {
-                assert!(n > 0, "window must be positive");
-                Filter::MovingAverage {
-                    window: VecDeque::with_capacity(n),
-                    cap: n,
-                }
-            }
-            SmoothingKind::Ewma(alpha) => {
-                assert!(
-                    alpha > 0.0 && alpha <= 1.0,
-                    "alpha must be within (0, 1], got {alpha}"
-                );
-                Filter::Ewma { alpha, state: None }
-            }
-            SmoothingKind::Median(n) => {
-                assert!(n > 0, "window must be positive");
-                Filter::Median {
-                    window: VecDeque::with_capacity(n),
-                    cap: n,
-                }
-            }
-        }
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -248,5 +280,79 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_panics() {
         SmoothingKind::Median(0).build();
+    }
+
+    #[test]
+    fn try_build_reports_invalid_parameters_as_values() {
+        assert_eq!(
+            SmoothingKind::MovingAverage(0).try_build().unwrap_err(),
+            SmoothingError::ZeroWindow
+        );
+        assert_eq!(
+            SmoothingKind::Median(0).try_build().unwrap_err(),
+            SmoothingError::ZeroWindow
+        );
+        assert_eq!(
+            SmoothingKind::Ewma(0.0).try_build().unwrap_err(),
+            SmoothingError::InvalidAlpha(0.0)
+        );
+        assert_eq!(
+            SmoothingKind::Ewma(1.5).try_build().unwrap_err(),
+            SmoothingError::InvalidAlpha(1.5)
+        );
+        assert!(SmoothingKind::Ewma(f64::NAN).try_build().is_err());
+        // Valid parameters still build.
+        assert!(SmoothingKind::Raw.try_build().is_ok());
+        assert!(SmoothingKind::MovingAverage(1).try_build().is_ok());
+        assert!(SmoothingKind::Ewma(1.0).try_build().is_ok());
+        // Error messages match what `build` panics with.
+        assert_eq!(
+            SmoothingError::ZeroWindow.to_string(),
+            "window must be positive"
+        );
+        assert!(SmoothingError::InvalidAlpha(2.0).to_string().contains("2"));
+    }
+
+    #[test]
+    fn window_of_one_tracks_last_value_like_raw() {
+        for kind in [SmoothingKind::MovingAverage(1), SmoothingKind::Median(1)] {
+            let mut f = kind.build();
+            let mut raw = SmoothingKind::Raw.build();
+            for x in [-70.0, -90.5, -61.25] {
+                f.update(x);
+                raw.update(x);
+                assert_eq!(f.value(), raw.value(), "{kind:?} window 1 == Raw");
+                assert_eq!(f.fill(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_full_window_then_one_more_slides() {
+        let mut f = SmoothingKind::MovingAverage(3).build();
+        // One short of full: averages what's there.
+        f.update(-70.0);
+        f.update(-74.0);
+        assert_eq!(f.fill(), 2);
+        assert_eq!(f.value(), Some(-72.0));
+        // Exactly full.
+        f.update(-78.0);
+        assert_eq!(f.fill(), 3);
+        assert_eq!(f.value(), Some(-74.0));
+        // One past full: the window slides, fill stays at capacity.
+        f.update(-82.0);
+        assert_eq!(f.fill(), 3);
+        assert_eq!(f.value(), Some(-78.0));
+    }
+
+    #[test]
+    fn ewma_alpha_one_equals_raw() {
+        let mut ewma = SmoothingKind::Ewma(1.0).build();
+        let mut raw = SmoothingKind::Raw.build();
+        for x in [-70.0, -95.0, -62.5, -80.0] {
+            ewma.update(x);
+            raw.update(x);
+            assert_eq!(ewma.value(), raw.value(), "alpha = 1 keeps no history");
+        }
     }
 }

@@ -112,12 +112,14 @@ impl From<serde_json::Error> for TraceError {
 }
 
 impl Trace {
-    /// Builds a trace from a reading log and deployment metadata.
+    /// Builds a trace from a reading log and deployment metadata. The
+    /// readings may come from any source — a slice, the middleware's
+    /// bounded log ring, or a live bus read.
     pub fn new(
         description: impl Into<String>,
         readers: &[Point2],
         reference_tags: &[(TagId, Point2)],
-        readings: &[Reading],
+        readings: impl IntoIterator<Item = Reading>,
     ) -> Self {
         Trace {
             version: TRACE_VERSION,
@@ -127,7 +129,7 @@ impl Trace {
                 .iter()
                 .map(|(id, p)| (id.0, (p.x, p.y)))
                 .collect(),
-            readings: readings.iter().map(|&r| r.into()).collect(),
+            readings: readings.into_iter().map(Into::into).collect(),
         }
     }
 
@@ -236,7 +238,7 @@ mod tests {
             "unit-test capture",
             &[Point2::new(-1.0, -1.0), Point2::new(4.0, 4.0)],
             &[(TagId(0), Point2::new(0.0, 0.0))],
-            &readings,
+            readings,
         )
     }
 

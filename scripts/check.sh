@@ -16,10 +16,16 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo test (vire-bus)"
+cargo test -q -p vire-bus
+
 echo "==> cargo clippy"
 cargo clippy --workspace -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
+
+echo "==> cargo doc"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "tier-1: all checks passed"

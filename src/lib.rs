@@ -3,6 +3,8 @@
 //! Re-exports the full VIRE reproduction workspace under one roof. See the
 //! README for the architecture overview; the layers are:
 //!
+//! * [`bus`] — the single-writer multi-reader event channel the
+//!   streaming pipeline rides on,
 //! * [`geom`] — plane geometry, grids, interpolation kernels,
 //! * [`radio`] — the simulated RF propagation substrate,
 //! * `env` — indoor environment models (the paper's Env1/Env2/Env3),
@@ -11,6 +13,7 @@
 //! * [`exp`] — the experiment harness reproducing every paper figure,
 //! * [`viz`] — SVG rendering of floor plans, charts and rasters.
 
+pub use vire_bus as bus;
 pub use vire_core as core;
 pub use vire_env as env;
 pub use vire_exp as exp;
