@@ -403,8 +403,13 @@ pub(crate) fn sort_planes(planes: &[f64], k_readers: usize, nodes: usize) -> Vec
     debug_assert_eq!(planes.len(), k_readers * nodes);
     let mut sorted = planes.to_vec();
     for k in 0..k_readers {
-        sorted[k * nodes..(k + 1) * nodes]
-            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite RSSI"));
+        // Total order (not partial_cmp) so the sorted bytes are a pure
+        // function of the value multiset: the incremental plane repair
+        // (`sorted_vec`) can then reproduce a from-scratch sort
+        // bit-for-bit. Values are finite, so the numeric order is the
+        // same; only bit-equal-but-distinct pairs (±0.0) get a fixed
+        // relative position.
+        sorted[k * nodes..(k + 1) * nodes].sort_unstable_by(f64::total_cmp);
     }
     sorted
 }

@@ -1,0 +1,588 @@
+//! Persistent prepared localizers with dirty-cell patching.
+//!
+//! [`crate::PreparedVire`] borrows its calibration map, so it cannot
+//! outlive one [`crate::service::LocationService::drive`] call — every
+//! snapshot re-interpolates the virtual grid and re-sorts the elimination
+//! planes even when a single calibration cell moved. This module provides
+//! the **owned** counterparts that survive across snapshots:
+//!
+//! * [`PreparedVireOwned`] — owns a mirror of the calibration map, the
+//!   [`VireState`](crate::prepared) planes, and a
+//!   [`GridPatcher`]. On
+//!   [`sync`](OwnedPreparedLocalizer::sync) it re-interpolates only the
+//!   kernel-support region of each changed cell, patches the flattened
+//!   reader-major planes in place, and repairs the sorted planes by a
+//!   chunked merge — producing state **bit-identical** to a from-scratch
+//!   prepare (pinned by property tests in `tests/incremental.rs`).
+//! * [`PreparedLandmarcOwned`] — the same lifecycle for the LANDMARC
+//!   baseline, where a dirty cell is an O(1) write into the node-major
+//!   signal table.
+//!
+//! Sync resolves what changed in this order: an `(id, epoch)` match means
+//! *nothing* (reuse as-is); the map's change journal yields the exact
+//! dirty cells; a caller-supplied hint (the
+//! [`SnapshotSource::take_dirty_cells`](crate::pipeline::SnapshotSource::take_dirty_cells)
+//! seam) narrows the scan when the journal has been truncated; otherwise a
+//! full bit-diff of the coarse map against the owned mirror — still only
+//! `readers × nodes` comparisons — recovers the dirty set for maps of
+//! unknown provenance. When more than about a sixth of the coarse cells
+//! moved, the patch touches most fine rows and columns anyway and the
+//! sorted-plane merge dominates, so sync rebuilds instead (the two paths
+//! are bit-identical, so the cutover is invisible).
+
+use crate::landmarc::{Landmarc, LandmarcConfig};
+use crate::localizer::{Estimate, LocalizeError, Localizer};
+use crate::prepared::{PreparedLocalizer, PreparedVire, VireScratch, VireState};
+use crate::sorted_vec;
+use crate::types::{ReferenceRssiMap, TrackingReading};
+use crate::vire_alg::{Vire, VireConfig};
+use crate::virtual_grid::GridPatcher;
+use vire_geom::GridIndex;
+
+/// One changed calibration entry: `(reader, coarse lattice node)`.
+pub type DirtyCell = (usize, GridIndex);
+
+/// What [`OwnedPreparedLocalizer::sync`] did to the prepared state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// The map was bit-identical to the synced state; nothing touched.
+    Reused,
+    /// The given number of dirty coarse cells were patched in place.
+    Patched(usize),
+    /// Too many cells moved (or the lattice changed shape); the state was
+    /// rebuilt from scratch.
+    Rebuilt,
+}
+
+/// A prepared localizer that owns its state and can follow a calibration
+/// map across snapshots, patching instead of rebuilding.
+///
+/// `sync` must leave the state bit-identical to preparing against `refs`
+/// from scratch — callers (the service layer) choose freely between
+/// keeping an instance hot and re-preparing, and results never differ.
+pub trait OwnedPreparedLocalizer: PreparedLocalizer + Send {
+    /// Brings the prepared state up to date with `refs`.
+    ///
+    /// `hint` is an optional superset of the cells changed since the last
+    /// sync (pass `&[]` when unknown); sources that track their own dirty
+    /// sets (see
+    /// [`SnapshotSource::take_dirty_cells`](crate::pipeline::SnapshotSource::take_dirty_cells))
+    /// thread it here so truncated-journal syncs stay O(hint) instead of
+    /// O(map).
+    fn sync(&mut self, refs: &ReferenceRssiMap, hint: &[DirtyCell]) -> SyncOutcome;
+}
+
+/// Figures out which coarse cells differ between `mirror` (the owned copy
+/// synced at `synced_epoch` of map `source_id`) and `refs`, writing the
+/// deduplicated set into `out`. Every entry is a real bit-difference.
+fn discover_dirty(
+    mirror: &ReferenceRssiMap,
+    refs: &ReferenceRssiMap,
+    source_id: u64,
+    synced_epoch: u64,
+    hint: &[DirtyCell],
+    out: &mut Vec<DirtyCell>,
+) {
+    out.clear();
+    let differs =
+        |k: usize, idx: GridIndex| mirror.rssi(k, idx).to_bits() != refs.rssi(k, idx).to_bits();
+    if refs.id() == source_id {
+        if let Some(changes) = refs.changes_since(synced_epoch) {
+            // Journal entries can cancel out (A→B→A) or repeat; keep only
+            // real net differences, once each.
+            out.extend(changes);
+            out.sort_unstable_by_key(|&(k, idx)| (k, idx.j, idx.i));
+            out.dedup();
+            out.retain(|&(k, idx)| differs(k, idx));
+            return;
+        }
+        if !hint.is_empty() {
+            // Journal truncated but the source vouches for the hint.
+            out.extend(hint.iter().copied());
+            out.sort_unstable_by_key(|&(k, idx)| (k, idx.j, idx.i));
+            out.dedup();
+            out.retain(|&(k, idx)| differs(k, idx));
+            return;
+        }
+    }
+    // Unknown provenance (fresh map identity, or a stale journal with no
+    // hint): bit-diff the whole coarse table — readers × nodes loads.
+    for k in 0..refs.reader_count() {
+        for idx in refs.grid().indices() {
+            if differs(k, idx) {
+                out.push((k, idx));
+            }
+        }
+    }
+}
+
+/// Whether the two maps span the same lattice and reader set — the
+/// precondition for patching rather than rebuilding.
+fn same_shape(a: &ReferenceRssiMap, b: &ReferenceRssiMap) -> bool {
+    a.grid() == b.grid() && a.readers() == b.readers()
+}
+
+/// VIRE prepared state that survives across snapshots.
+///
+/// Owns everything [`PreparedVire`] borrows: a mirror of the calibration
+/// map, the virtual grid, the flattened reader-major planes, the sorted
+/// planes, and the [`GridPatcher`] retaining the horizontal-pass
+/// intermediates. [`sync`](OwnedPreparedLocalizer::sync) patches all of
+/// them in place for small dirty sets.
+pub struct PreparedVireOwned {
+    state: VireState,
+    patcher: GridPatcher,
+    /// Owned mirror of the source map, bit-identical to it as of
+    /// (`source_id`, `synced_epoch`).
+    refs: ReferenceRssiMap,
+    source_id: u64,
+    synced_epoch: u64,
+    /// Per-reader plane-repair batches (old/new values) + merge scratch.
+    removed: Vec<Vec<f64>>,
+    inserted: Vec<Vec<f64>>,
+    survivors: Vec<f64>,
+    dirty_scratch: Vec<DirtyCell>,
+}
+
+impl PreparedVireOwned {
+    /// Builds the owned prepared state bound to `refs` (cloned into an
+    /// internal mirror). Errors when the configuration is degenerate
+    /// (`refine == 0`).
+    pub fn build(config: &VireConfig, refs: &ReferenceRssiMap) -> Result<Self, LocalizeError> {
+        let mirror = refs.clone();
+        let (state, patcher) = VireState::build_with_patcher(config, &mirror)?;
+        let k = mirror.reader_count();
+        Ok(PreparedVireOwned {
+            state,
+            patcher,
+            refs: mirror,
+            source_id: refs.id(),
+            synced_epoch: refs.epoch(),
+            removed: vec![Vec::new(); k],
+            inserted: vec![Vec::new(); k],
+            survivors: Vec::new(),
+            dirty_scratch: Vec::new(),
+        })
+    }
+
+    /// The flattened reader-major RSSI planes — for bit-identity tests.
+    pub fn planes(&self) -> &[f64] {
+        &self.state.planes
+    }
+
+    /// The per-reader sorted planes (empty under a fixed threshold) — for
+    /// bit-identity tests.
+    pub fn sorted_planes(&self) -> &[f64] {
+        &self.state.sorted
+    }
+
+    /// The cached virtual grid.
+    pub fn grid(&self) -> &crate::virtual_grid::VirtualGrid {
+        &self.state.grid
+    }
+
+    /// The owned mirror of the calibration map.
+    pub fn refs(&self) -> &ReferenceRssiMap {
+        &self.refs
+    }
+
+    /// Localizes through an explicit scratch arena (see
+    /// [`PreparedVire::locate_with_scratch`]).
+    pub fn locate_with_scratch(
+        &self,
+        reading: &TrackingReading,
+        scratch: &mut VireScratch,
+    ) -> Result<Estimate, LocalizeError> {
+        self.state
+            .locate_core(&self.refs, reading, scratch)
+            .map(|(est, _)| est)
+    }
+
+    /// Applies `new_values` for the given dirty cells and patches the
+    /// prepared state in place — **always** the patch path, regardless of
+    /// batch size (the [`sync`](OwnedPreparedLocalizer::sync) entry point
+    /// adds the rebuild heuristic on top). `dirty` pairs with bit-new
+    /// values already written into the internal mirror by the caller via
+    /// [`Self::set_mirror_rssi`], or more commonly arrives from `sync`.
+    ///
+    /// After the call, `planes`, `sorted_planes`, and the virtual grid are
+    /// bit-identical to a from-scratch prepare against the mirror.
+    pub fn apply_dirty(&mut self, dirty: &[DirtyCell]) {
+        let k_readers = self.refs.reader_count();
+        let nodes = self.state.grid.tag_count();
+        for batch in self.removed.iter_mut().chain(self.inserted.iter_mut()) {
+            batch.clear();
+        }
+        let VireState {
+            grid,
+            planes,
+            sorted,
+            ..
+        } = &mut self.state;
+        let removed = &mut self.removed;
+        let inserted = &mut self.inserted;
+        self.patcher
+            .patch(grid, &self.refs, dirty, |k, flat, old, new| {
+                planes[k * nodes + flat] = new;
+                removed[k].push(old);
+                inserted[k].push(new);
+            });
+        if sorted.is_empty() {
+            return; // Fixed threshold: no sorted planes to repair.
+        }
+        for k in 0..k_readers {
+            if removed[k].is_empty() {
+                continue;
+            }
+            let segment = &mut sorted[k * nodes..(k + 1) * nodes];
+            if removed[k].len() <= 8 {
+                // Few moves: per-entry rotate is cheaper than a merge.
+                for (&old, &new) in removed[k].iter().zip(&inserted[k]) {
+                    let hit = sorted_vec::replace(segment, old, new);
+                    debug_assert!(hit, "stale sorted plane");
+                }
+            } else {
+                sorted_vec::merge_replace(
+                    segment,
+                    &mut removed[k],
+                    &mut inserted[k],
+                    &mut self.survivors,
+                );
+            }
+        }
+    }
+
+    /// Writes one mirror cell (testing hook for driving [`Self::apply_dirty`]
+    /// directly). Returns whether the bits changed.
+    pub fn set_mirror_rssi(&mut self, k: usize, idx: GridIndex, value: f64) -> bool {
+        self.refs.set_rssi(k, idx, value)
+    }
+
+    fn rebuild(&mut self, refs: &ReferenceRssiMap) {
+        self.refs = refs.clone();
+        let (state, patcher) = VireState::build_with_patcher(&self.state.config, &self.refs)
+            .expect("refine was validated when this instance was built");
+        self.state = state;
+        self.patcher = patcher;
+        let k = self.refs.reader_count();
+        self.removed = vec![Vec::new(); k];
+        self.inserted = vec![Vec::new(); k];
+    }
+}
+
+impl PreparedLocalizer for PreparedVireOwned {
+    fn locate(&self, reading: &TrackingReading) -> Result<Estimate, LocalizeError> {
+        PreparedVire::with_thread_scratch(|scratch| self.locate_with_scratch(reading, scratch))
+    }
+
+    fn name(&self) -> &'static str {
+        "VIRE"
+    }
+}
+
+impl OwnedPreparedLocalizer for PreparedVireOwned {
+    fn sync(&mut self, refs: &ReferenceRssiMap, hint: &[DirtyCell]) -> SyncOutcome {
+        if refs.id() == self.source_id && refs.epoch() == self.synced_epoch {
+            return SyncOutcome::Reused;
+        }
+        if !same_shape(&self.refs, refs) {
+            self.rebuild(refs);
+            self.source_id = refs.id();
+            self.synced_epoch = refs.epoch();
+            return SyncOutcome::Rebuilt;
+        }
+        let mut dirty = std::mem::take(&mut self.dirty_scratch);
+        discover_dirty(
+            &self.refs,
+            refs,
+            self.source_id,
+            self.synced_epoch,
+            hint,
+            &mut dirty,
+        );
+        let outcome = if dirty.is_empty() {
+            SyncOutcome::Reused
+        } else if 6 * dirty.len() >= refs.reader_count() * refs.grid().node_count() {
+            // Break-even: spread dirty cells touch whole fine rows *and*
+            // columns, so the interpolation saving collapses quickly while
+            // the sorted-plane merge still pays per changed fine value —
+            // measured on the default map (bench `incremental_prepare`),
+            // patching loses to rebuild beyond roughly a sixth of the
+            // coarse table.
+            self.rebuild(refs);
+            SyncOutcome::Rebuilt
+        } else {
+            for &(k, idx) in &dirty {
+                self.refs.set_rssi(k, idx, refs.rssi(k, idx));
+            }
+            self.apply_dirty(&dirty);
+            SyncOutcome::Patched(dirty.len())
+        };
+        self.source_id = refs.id();
+        self.synced_epoch = refs.epoch();
+        self.dirty_scratch = dirty;
+        outcome
+    }
+}
+
+impl Vire {
+    /// Builds an owned, snapshot-persistent prepared instance (see
+    /// [`PreparedVireOwned`]), or `None` when the configuration cannot be
+    /// prepared (`refine == 0` falls back to the per-call path).
+    pub fn prepare_owned_vire(&self, refs: &ReferenceRssiMap) -> Option<PreparedVireOwned> {
+        PreparedVireOwned::build(self.config(), refs).ok()
+    }
+}
+
+/// LANDMARC prepared state that survives across snapshots: a dirty
+/// calibration cell is one write into the node-major signal table
+/// (`signals[flat * K + k]`).
+pub struct PreparedLandmarcOwned {
+    config: LandmarcConfig,
+    refs: ReferenceRssiMap,
+    signals: Vec<f64>,
+    source_id: u64,
+    synced_epoch: u64,
+    dirty_scratch: Vec<DirtyCell>,
+}
+
+impl PreparedLandmarcOwned {
+    /// Builds the owned prepared state bound to `refs` (cloned).
+    pub fn build(config: LandmarcConfig, refs: &ReferenceRssiMap) -> Self {
+        let mirror = refs.clone();
+        let grid = *mirror.grid();
+        let k_readers = mirror.reader_count();
+        let mut signals = Vec::with_capacity(grid.node_count() * k_readers);
+        for idx in grid.indices() {
+            for k in 0..k_readers {
+                signals.push(mirror.rssi(k, idx));
+            }
+        }
+        PreparedLandmarcOwned {
+            config,
+            refs: mirror,
+            signals,
+            source_id: refs.id(),
+            synced_epoch: refs.epoch(),
+            dirty_scratch: Vec::new(),
+        }
+    }
+
+    /// The node-major signal table — for bit-identity tests.
+    pub fn signals(&self) -> &[f64] {
+        &self.signals
+    }
+}
+
+impl PreparedLocalizer for PreparedLandmarcOwned {
+    fn locate(&self, reading: &TrackingReading) -> Result<Estimate, LocalizeError> {
+        // Same query path as the borrowed PreparedLandmarc: delegate to a
+        // stack temporary over our own tables would duplicate code; route
+        // through the one-shot algorithm on the mirror instead, which is
+        // bit-identical (PreparedLandmarc is itself pinned to it by test).
+        Landmarc::new(self.config).locate(&self.refs, reading)
+    }
+
+    fn name(&self) -> &'static str {
+        "LANDMARC"
+    }
+}
+
+impl OwnedPreparedLocalizer for PreparedLandmarcOwned {
+    fn sync(&mut self, refs: &ReferenceRssiMap, hint: &[DirtyCell]) -> SyncOutcome {
+        if refs.id() == self.source_id && refs.epoch() == self.synced_epoch {
+            return SyncOutcome::Reused;
+        }
+        if !same_shape(&self.refs, refs) {
+            *self = PreparedLandmarcOwned::build(self.config, refs);
+            return SyncOutcome::Rebuilt;
+        }
+        let mut dirty = std::mem::take(&mut self.dirty_scratch);
+        discover_dirty(
+            &self.refs,
+            refs,
+            self.source_id,
+            self.synced_epoch,
+            hint,
+            &mut dirty,
+        );
+        let k_readers = self.refs.reader_count();
+        let outcome = if dirty.is_empty() {
+            SyncOutcome::Reused
+        } else {
+            for &(k, idx) in &dirty {
+                let value = refs.rssi(k, idx);
+                self.refs.set_rssi(k, idx, value);
+                self.signals[self.refs.grid().flat(idx) * k_readers + k] = value;
+            }
+            SyncOutcome::Patched(dirty.len())
+        };
+        self.source_id = refs.id();
+        self.synced_epoch = refs.epoch();
+        self.dirty_scratch = dirty;
+        outcome
+    }
+}
+
+impl Landmarc {
+    /// Builds an owned, snapshot-persistent prepared instance (see
+    /// [`PreparedLandmarcOwned`]).
+    pub fn prepare_owned_landmarc(&self, refs: &ReferenceRssiMap) -> PreparedLandmarcOwned {
+        PreparedLandmarcOwned::build(LandmarcConfig { k: self.k() }, refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vire_geom::{GridData, Point2, RegularGrid};
+
+    fn readers() -> Vec<Point2> {
+        vec![
+            Point2::new(-1.0, -1.0),
+            Point2::new(4.0, -1.0),
+            Point2::new(4.0, 4.0),
+        ]
+    }
+
+    fn rssi_at(p: Point2, r: Point2) -> f64 {
+        -60.0 - 22.0 * (p.distance(r).max(0.1)).log10()
+    }
+
+    fn map() -> ReferenceRssiMap {
+        let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 4);
+        let fields = readers()
+            .iter()
+            .map(|r| GridData::from_fn(grid, |_, p| rssi_at(p, *r)))
+            .collect();
+        ReferenceRssiMap::new(grid, readers(), fields)
+    }
+
+    fn assert_matches_fresh(owned: &PreparedVireOwned, refs: &ReferenceRssiMap) {
+        let fresh = Vire::default().prepare(refs).unwrap();
+        let bits = |s: &[f64]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(owned.planes()), bits(fresh.planes()));
+        assert_eq!(bits(owned.sorted_planes()), bits(fresh.sorted_planes()));
+    }
+
+    #[test]
+    fn sync_reuses_on_identical_epoch() {
+        let refs = map();
+        let mut owned = Vire::default().prepare_owned_vire(&refs).unwrap();
+        assert_eq!(owned.sync(&refs, &[]), SyncOutcome::Reused);
+    }
+
+    #[test]
+    fn sync_patches_via_the_journal_and_matches_fresh() {
+        let mut refs = map();
+        let mut owned = Vire::default().prepare_owned_vire(&refs).unwrap();
+        let cell = GridIndex::new(1, 2);
+        refs.set_rssi(0, cell, refs.rssi(0, cell) - 4.0);
+        assert_eq!(owned.sync(&refs, &[]), SyncOutcome::Patched(1));
+        assert_matches_fresh(&owned, &refs);
+        // Second sync: nothing new.
+        assert_eq!(owned.sync(&refs, &[]), SyncOutcome::Reused);
+    }
+
+    #[test]
+    fn sync_patches_a_fresh_identity_via_full_diff() {
+        let mut refs = map();
+        let mut owned = Vire::default().prepare_owned_vire(&refs).unwrap();
+        // A clone has a new id and empty journal; change two cells.
+        let mut other = refs.clone();
+        other.set_rssi(1, GridIndex::new(3, 3), -88.25);
+        other.set_rssi(2, GridIndex::new(0, 0), -86.5);
+        assert_eq!(owned.sync(&other, &[]), SyncOutcome::Patched(2));
+        assert_matches_fresh(&owned, &other);
+        // Content-identical re-export (another fresh id): reused.
+        let reexport = other.clone();
+        assert_eq!(owned.sync(&reexport, &[]), SyncOutcome::Reused);
+        // And the original map now differs from the synced state.
+        refs.set_rssi(0, GridIndex::new(2, 2), -70.125);
+        let out = owned.sync(&refs, &[]);
+        assert!(matches!(out, SyncOutcome::Patched(_)), "{out:?}");
+        assert_matches_fresh(&owned, &refs);
+    }
+
+    #[test]
+    fn sync_rebuilds_on_bulk_change_and_matches_fresh() {
+        let mut refs = map();
+        let mut owned = Vire::default().prepare_owned_vire(&refs).unwrap();
+        for k in 0..refs.reader_count() {
+            for idx in refs.grid().indices().collect::<Vec<_>>() {
+                let v = refs.rssi(k, idx);
+                refs.set_rssi(k, idx, v - 1.5);
+            }
+        }
+        assert_eq!(owned.sync(&refs, &[]), SyncOutcome::Rebuilt);
+        assert_matches_fresh(&owned, &refs);
+    }
+
+    #[test]
+    fn sync_rebuilds_on_lattice_change() {
+        let refs = map();
+        let mut owned = Vire::default().prepare_owned_vire(&refs).unwrap();
+        let smaller = refs.without_reader(2).unwrap();
+        assert_eq!(owned.sync(&smaller, &[]), SyncOutcome::Rebuilt);
+        assert_matches_fresh(&owned, &smaller);
+    }
+
+    #[test]
+    fn owned_locate_matches_borrowed_prepare() {
+        let mut refs = map();
+        let mut owned = Vire::default().prepare_owned_vire(&refs).unwrap();
+        refs.set_rssi(1, GridIndex::new(2, 1), -84.75);
+        owned.sync(&refs, &[]);
+        let fresh = Vire::default().prepare(&refs).unwrap();
+        let reading = TrackingReading::new(
+            readers()
+                .iter()
+                .map(|r| rssi_at(Point2::new(1.3, 2.2), *r))
+                .collect(),
+        );
+        assert_eq!(
+            owned.locate(&reading).unwrap(),
+            fresh.locate(&reading).unwrap()
+        );
+    }
+
+    #[test]
+    fn landmarc_owned_patches_signal_table() {
+        let mut refs = map();
+        let mut owned = Landmarc::default().prepare_owned_landmarc(&refs);
+        let cell = GridIndex::new(1, 1);
+        refs.set_rssi(2, cell, -91.0);
+        assert_eq!(owned.sync(&refs, &[]), SyncOutcome::Patched(1));
+        let fresh = Landmarc::default().prepare(&refs);
+        let reading = TrackingReading::new(
+            readers()
+                .iter()
+                .map(|r| rssi_at(Point2::new(2.2, 0.8), *r))
+                .collect(),
+        );
+        assert_eq!(
+            owned.locate(&reading).unwrap(),
+            fresh.locate(&reading).unwrap()
+        );
+        // The patched signal table matches a rebuilt one exactly.
+        let rebuilt = Landmarc::default().prepare_owned_landmarc(&refs);
+        let bits = |s: &[f64]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(owned.signals()), bits(rebuilt.signals()));
+    }
+
+    #[test]
+    fn hint_path_is_used_when_the_journal_is_gone() {
+        let mut refs = map();
+        let mut owned = Vire::default().prepare_owned_vire(&refs).unwrap();
+        // Overflow the journal (capacity 2 × 3 × 16 = 96) with churn on
+        // one cell, netting out to a small real change set.
+        let cell = GridIndex::new(2, 3);
+        for step in 0..120 {
+            refs.set_rssi(0, cell, -75.0 - (step % 7) as f64 * 0.25);
+        }
+        assert!(refs.changes_since(0).is_none());
+        let hint = vec![(0usize, cell)];
+        assert_eq!(owned.sync(&refs, &hint), SyncOutcome::Patched(1));
+        assert_matches_fresh(&owned, &refs);
+    }
+}

@@ -114,6 +114,13 @@ impl Localizer for Landmarc {
     ) -> Box<dyn crate::prepared::PreparedLocalizer + 'a> {
         Box::new(Landmarc::prepare(self, refs))
     }
+
+    fn prepare_owned(
+        &self,
+        refs: &ReferenceRssiMap,
+    ) -> Option<Box<dyn crate::incremental::OwnedPreparedLocalizer>> {
+        Some(Box::new(self.prepare_owned_landmarc(refs)))
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@
 
 pub mod elimination;
 pub mod ext;
+pub mod incremental;
 pub mod kalman;
 pub mod landmarc;
 pub mod localizer;
@@ -55,6 +56,7 @@ pub mod proximity;
 pub mod quality;
 pub mod scattered;
 pub mod service;
+pub mod sorted_vec;
 pub mod tracking;
 pub mod trilateration;
 pub mod types;
@@ -62,6 +64,9 @@ pub mod vire_alg;
 pub mod virtual_grid;
 pub mod weights;
 
+pub use incremental::{
+    DirtyCell, OwnedPreparedLocalizer, PreparedLandmarcOwned, PreparedVireOwned, SyncOutcome,
+};
 pub use kalman::KalmanTracker;
 pub use landmarc::{Landmarc, LandmarcConfig};
 pub use localizer::{Estimate, LocalizeError, Localizer};
@@ -72,7 +77,7 @@ pub use prepared::{
 };
 pub use quality::{FixQuality, ScoredLocate};
 pub use scattered::{ScatteredLandmarc, ScatteredReferenceMap, ScatteredVire};
-pub use service::{LocationService, ServiceConfig, TrackedEstimate};
+pub use service::{LocationService, ServiceConfig, SyncStats, TrackedEstimate};
 pub use tracking::PositionTracker;
 pub use types::{ReferenceRssiMap, TrackingReading};
 pub use vire_alg::{ThresholdMode, Vire, VireConfig};

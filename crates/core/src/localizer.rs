@@ -106,6 +106,22 @@ pub trait Localizer: Sync {
     ) -> Box<dyn crate::prepared::PreparedLocalizer + 'a> {
         Box::new(crate::prepared::Unprepared::new(self, refs))
     }
+
+    /// Binds this localizer to a *copy* of the calibration map, returning
+    /// an owned prepared instance that outlives the source map and can be
+    /// kept in [`sync`](crate::incremental::OwnedPreparedLocalizer::sync)
+    /// with later calibration snapshots by patching only the dirty cells.
+    ///
+    /// Returns `None` when the algorithm has no incremental path (the
+    /// default) or the configuration cannot be prepared; callers fall back
+    /// to per-snapshot [`Localizer::prepare`].
+    fn prepare_owned(
+        &self,
+        refs: &ReferenceRssiMap,
+    ) -> Option<Box<dyn crate::incremental::OwnedPreparedLocalizer>> {
+        let _ = refs;
+        None
+    }
 }
 
 /// Validates the reader counts agree; shared by all implementations.

@@ -11,6 +11,7 @@
 //! `MiddlewareStage`; a real deployment would implement it over a live
 //! reader gateway.
 
+use crate::incremental::DirtyCell;
 use crate::service::TagKey;
 use crate::types::{ReferenceRssiMap, TrackingReading};
 
@@ -37,4 +38,19 @@ pub trait SnapshotSource {
     /// first-dirtied order. Tags without full reader coverage yet are
     /// retained for a later drain rather than returned or dropped.
     fn changed_readings(&mut self) -> Vec<(TagKey, TrackingReading)>;
+
+    /// Drains the calibration cells whose smoothed RSSI changed since the
+    /// previous drain, as `(reader, cell)` pairs.
+    ///
+    /// A service keeping an incrementally-patched prepared localizer
+    /// feeds this to
+    /// [`OwnedPreparedLocalizer::sync`](crate::incremental::OwnedPreparedLocalizer::sync)
+    /// as a dirty *hint*, which rescues the exact-patch path when the
+    /// map's own change journal has been truncated. Sources that do not
+    /// track cell-level changes keep the default (empty) — consumers then
+    /// fall back to journal or full-diff discovery, so the hint is purely
+    /// an optimization and never affects results.
+    fn take_dirty_cells(&mut self) -> Vec<DirtyCell> {
+        Vec::new()
+    }
 }

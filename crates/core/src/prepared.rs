@@ -20,6 +20,7 @@
 //! per reading — the one-shot path is itself routed through the prepared
 //! implementation, so there is a single code path to trust.
 
+use std::borrow::Borrow;
 use std::cell::RefCell;
 
 use crate::elimination::{eliminate_into, flatten_planes, sort_planes, ElimBuffers, ThresholdMode};
@@ -27,7 +28,7 @@ use crate::landmarc::{inverse_square_weights_into, Landmarc, LandmarcConfig};
 use crate::localizer::{check_readers, Estimate, LocalizeError, Localizer};
 use crate::types::{ReferenceRssiMap, TrackingReading};
 use crate::vire_alg::{EmptyFallback, Vire, VireConfig};
-use crate::virtual_grid::VirtualGrid;
+use crate::virtual_grid::{GridPatcher, VirtualGrid};
 use crate::weights::{candidate_weights_into, WeightBuffers};
 use vire_geom::Point2;
 
@@ -49,28 +50,52 @@ pub trait PreparedLocalizer: Sync {
     fn locate_batch(&self, readings: &[TrackingReading]) -> Vec<Result<Estimate, LocalizeError>> {
         locate_batch_parallel(self, readings)
     }
+
+    /// Localizes a batch given by reference, preserving input order — the
+    /// clone-free sibling of [`PreparedLocalizer::locate_batch`] for
+    /// callers whose readings live inside a larger structure (the
+    /// snapshot-driven service path). Same fan-out, same results.
+    fn locate_batch_refs(
+        &self,
+        readings: &[&TrackingReading],
+    ) -> Vec<Result<Estimate, LocalizeError>> {
+        locate_batch_parallel(self, readings)
+    }
 }
 
-/// Fans `readings` across scoped threads in contiguous, order-preserving
-/// chunks (one per available core, capped by the batch size). Falls back
-/// to a sequential loop for batches too small to be worth a thread.
-pub fn locate_batch_parallel<P: PreparedLocalizer + ?Sized>(
+/// Fans `readings` (owned or by reference) across scoped threads in
+/// contiguous, order-preserving chunks (one per available core, capped by
+/// the batch size). Falls back to a sequential loop for batches too small
+/// to be worth a thread.
+pub fn locate_batch_parallel<P, R>(
     prepared: &P,
-    readings: &[TrackingReading],
-) -> Vec<Result<Estimate, LocalizeError>> {
+    readings: &[R],
+) -> Vec<Result<Estimate, LocalizeError>>
+where
+    P: PreparedLocalizer + ?Sized,
+    R: Borrow<TrackingReading> + Sync,
+{
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(readings.len());
     if threads <= 1 {
-        return readings.iter().map(|r| prepared.locate(r)).collect();
+        return readings
+            .iter()
+            .map(|r| prepared.locate(r.borrow()))
+            .collect();
     }
     let chunk = readings.len().div_ceil(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = readings
             .chunks(chunk)
             .map(|chunk| {
-                scope.spawn(move || chunk.iter().map(|r| prepared.locate(r)).collect::<Vec<_>>())
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|r| prepared.locate(r.borrow()))
+                        .collect::<Vec<_>>()
+                })
             })
             .collect();
         handles
@@ -133,34 +158,27 @@ thread_local! {
     static VIRE_SCRATCH: RefCell<VireScratch> = RefCell::new(VireScratch::new());
 }
 
-/// VIRE bound to one calibration map: owns the interpolated
-/// [`VirtualGrid`] plus the per-reader RSSI planes flattened reader-major
-/// (`planes[k * nodes + flat]`) so elimination and weighting scan
-/// contiguous memory.
-pub struct PreparedVire<'a> {
-    config: VireConfig,
-    refs: &'a ReferenceRssiMap,
-    grid: VirtualGrid,
-    planes: Vec<f64>,
+/// The map-bound VIRE state shared by the borrowed [`PreparedVire`] and
+/// the owned incremental [`crate::incremental::PreparedVireOwned`]: the
+/// interpolated [`VirtualGrid`], the per-reader RSSI planes flattened
+/// reader-major (`planes[k * nodes + flat]`), the per-reader sorted
+/// planes, and the resolved threshold mode.
+pub(crate) struct VireState {
+    pub(crate) config: VireConfig,
+    pub(crate) grid: VirtualGrid,
+    pub(crate) planes: Vec<f64>,
     /// Per-reader ascending-sorted copy of `planes` — elimination's
     /// reading-independent search structure (nearest-gap lookups).
-    sorted: Vec<f64>,
+    /// Ordered by [`f64::total_cmp`], so the bytes are a pure function of
+    /// each plane's value multiset (the incremental repair relies on it).
+    pub(crate) sorted: Vec<f64>,
     /// Threshold mode with the auto candidate floor already resolved to
     /// `refine²` (see `ThresholdMode::Adaptive::min_candidates`).
-    threshold: ThresholdMode,
+    pub(crate) threshold: ThresholdMode,
 }
 
-impl<'a> PreparedVire<'a> {
-    pub(crate) fn build(
-        config: &VireConfig,
-        refs: &'a ReferenceRssiMap,
-    ) -> Result<Self, LocalizeError> {
-        if config.refine == 0 {
-            return Err(LocalizeError::InsufficientData(
-                "refinement factor must be >= 1".into(),
-            ));
-        }
-        let grid = VirtualGrid::build(refs, config.refine, config.kernel);
+impl VireState {
+    fn from_grid(config: &VireConfig, grid: VirtualGrid) -> Self {
         let planes = flatten_planes(&grid);
         // The fixed-threshold arm never consults the sorted planes.
         let sorted = match config.threshold {
@@ -186,55 +204,54 @@ impl<'a> PreparedVire<'a> {
             },
             other => other,
         };
-        Ok(PreparedVire {
+        VireState {
             config: config.clone(),
-            refs,
             grid,
             planes,
             sorted,
             threshold,
-        })
+        }
     }
 
-    /// The cached virtual grid.
-    pub fn grid(&self) -> &VirtualGrid {
-        &self.grid
+    fn check_refine(config: &VireConfig) -> Result<(), LocalizeError> {
+        if config.refine == 0 {
+            return Err(LocalizeError::InsufficientData(
+                "refinement factor must be >= 1".into(),
+            ));
+        }
+        Ok(())
     }
 
-    /// The configuration this instance was prepared with.
-    pub fn config(&self) -> &VireConfig {
-        &self.config
+    pub(crate) fn build(
+        config: &VireConfig,
+        refs: &ReferenceRssiMap,
+    ) -> Result<Self, LocalizeError> {
+        Self::check_refine(config)?;
+        let grid = VirtualGrid::build(refs, config.refine, config.kernel);
+        Ok(Self::from_grid(config, grid))
     }
 
-    /// The calibration map this instance is bound to.
-    pub fn refs(&self) -> &ReferenceRssiMap {
-        self.refs
+    /// Builds the state along with the [`GridPatcher`] the incremental
+    /// path uses to re-interpolate dirty regions in place.
+    pub(crate) fn build_with_patcher(
+        config: &VireConfig,
+        refs: &ReferenceRssiMap,
+    ) -> Result<(Self, GridPatcher), LocalizeError> {
+        Self::check_refine(config)?;
+        let (grid, patcher) = VirtualGrid::build_with_patcher(refs, config.refine, config.kernel);
+        Ok((Self::from_grid(config, grid), patcher))
     }
 
-    /// Localizes one reading through an explicit scratch arena — the
-    /// fully allocation-free entry point for callers managing their own
-    /// scratch. [`PreparedLocalizer::locate`] is the implicit
-    /// (thread-local scratch) equivalent.
-    pub fn locate_with_scratch(
-        &self,
-        reading: &TrackingReading,
-        scratch: &mut VireScratch,
-    ) -> Result<Estimate, LocalizeError> {
-        self.locate_core(reading, scratch).map(|(est, _)| est)
-    }
-
-    /// Query core shared by every VIRE entry point (prepared, batch, and
-    /// the one-shot [`Vire::locate_with_diagnostics`]). Returns the final
-    /// thresholds alongside the estimate so the diagnostic path can
-    /// materialize an `EliminationResult` without a second run; the bool
-    /// is false when the fallback path produced the estimate (no
-    /// elimination diagnostics exist).
+    /// Query core shared by every VIRE entry point. `refs` supplies the
+    /// reader count check and the LANDMARC fallback; it must be the map
+    /// this state was built from (bit-identical values).
     pub(crate) fn locate_core(
         &self,
+        refs: &ReferenceRssiMap,
         reading: &TrackingReading,
         scratch: &mut VireScratch,
     ) -> Result<(Estimate, bool), LocalizeError> {
-        check_readers(self.refs, reading)?;
+        check_readers(refs, reading)?;
         let nodes = self.grid.tag_count();
 
         if !eliminate_into(
@@ -248,8 +265,7 @@ impl<'a> PreparedVire<'a> {
             return match self.config.fallback {
                 EmptyFallback::Error => Err(LocalizeError::AllEliminated),
                 EmptyFallback::Landmarc => {
-                    let est =
-                        Landmarc::new(LandmarcConfig::default()).locate(self.refs, reading)?;
+                    let est = Landmarc::new(LandmarcConfig::default()).locate(refs, reading)?;
                     Ok((est, false))
                 }
             };
@@ -286,6 +302,80 @@ impl<'a> PreparedVire<'a> {
             threshold: scratch.elim.thresholds.iter().copied().reduce(f64::max),
         };
         Ok((estimate, true))
+    }
+}
+
+/// VIRE bound to one calibration map: owns the interpolated
+/// [`VirtualGrid`] plus the per-reader RSSI planes flattened reader-major
+/// (`planes[k * nodes + flat]`) so elimination and weighting scan
+/// contiguous memory.
+pub struct PreparedVire<'a> {
+    refs: &'a ReferenceRssiMap,
+    state: VireState,
+}
+
+impl<'a> PreparedVire<'a> {
+    pub(crate) fn build(
+        config: &VireConfig,
+        refs: &'a ReferenceRssiMap,
+    ) -> Result<Self, LocalizeError> {
+        Ok(PreparedVire {
+            refs,
+            state: VireState::build(config, refs)?,
+        })
+    }
+
+    /// The cached virtual grid.
+    pub fn grid(&self) -> &VirtualGrid {
+        &self.state.grid
+    }
+
+    /// The configuration this instance was prepared with.
+    pub fn config(&self) -> &VireConfig {
+        &self.state.config
+    }
+
+    /// The calibration map this instance is bound to.
+    pub fn refs(&self) -> &ReferenceRssiMap {
+        self.refs
+    }
+
+    /// The flattened reader-major RSSI planes (`planes[k * nodes + flat]`)
+    /// — exposed so bit-identity tests can compare prepared states.
+    pub fn planes(&self) -> &[f64] {
+        &self.state.planes
+    }
+
+    /// The per-reader ascending-sorted planes (empty under a fixed
+    /// threshold) — exposed for bit-identity tests.
+    pub fn sorted_planes(&self) -> &[f64] {
+        &self.state.sorted
+    }
+
+    /// Localizes one reading through an explicit scratch arena — the
+    /// fully allocation-free entry point for callers managing their own
+    /// scratch. [`PreparedLocalizer::locate`] is the implicit
+    /// (thread-local scratch) equivalent.
+    pub fn locate_with_scratch(
+        &self,
+        reading: &TrackingReading,
+        scratch: &mut VireScratch,
+    ) -> Result<Estimate, LocalizeError> {
+        self.locate_core(reading, scratch).map(|(est, _)| est)
+    }
+
+    /// Query core shared by every VIRE entry point (prepared, batch, and
+    /// the one-shot [`Vire::locate_with_diagnostics`]). Returns the final
+    /// thresholds alongside the estimate so the diagnostic path can
+    /// materialize an `EliminationResult` without a second run; the bool
+    /// is false when the fallback path produced the estimate (no
+    /// elimination diagnostics exist).
+    pub(crate) fn locate_core(
+        &self,
+        reading: &TrackingReading,
+        scratch: &mut VireScratch,
+    ) -> Result<(Estimate, bool), LocalizeError> {
+        self.state.locate_core(self.refs, reading, scratch)
     }
 
     /// Runs `f` with this thread's scratch arena borrowed mutably.

@@ -6,11 +6,13 @@
 //! "location sensing system" the paper's introduction motivates, assembled
 //! from the pieces.
 
+use crate::incremental::{DirtyCell, OwnedPreparedLocalizer, SyncOutcome};
 use crate::kalman::KalmanTracker;
 use crate::localizer::{Estimate, LocalizeError, Localizer};
 use crate::pipeline::SnapshotSource;
 use crate::types::{ReferenceRssiMap, TrackingReading};
 use std::collections::HashMap;
+use std::fmt;
 use vire_geom::{Point2, Vec2};
 
 /// A tag key in the service (the deployment's tag identifier).
@@ -50,8 +52,23 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Counters describing how [`LocationService::drive`] maintained its
+/// cached prepared localizer across calibration snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Drives where the calibration map was bit-identical to the synced
+    /// state, so the prepared localizer was reused untouched.
+    pub reused: u64,
+    /// Drives that patched dirty calibration cells in place.
+    pub patched: u64,
+    /// Total dirty cells patched across all patch drives.
+    pub patched_cells: u64,
+    /// Drives that rebuilt the prepared state from scratch (bulk change
+    /// or lattice/reader reshape).
+    pub rebuilt: u64,
+}
+
 /// The location service over localizer `L`.
-#[derive(Debug)]
 pub struct LocationService<L: Localizer> {
     localizer: L,
     config: ServiceConfig,
@@ -60,6 +77,34 @@ pub struct LocationService<L: Localizer> {
     /// one HashMap scan per `stale_after` interval instead of one per
     /// snapshot.
     last_sweep: f64,
+    /// Owned prepared state persisted across [`LocationService::drive`]
+    /// calls and kept in sync with the source map by dirty-cell patching.
+    /// `None` until the first drive, or when the localizer has no
+    /// incremental path (then each drive prepares against the borrowed
+    /// map, as before).
+    prepared: Option<Box<dyn OwnedPreparedLocalizer>>,
+    /// Changed readings drained from the stage but not yet localized
+    /// (the calibration map was still incomplete). First-dirtied order;
+    /// one slot per tag (a re-dirtied tag updates its reading in place).
+    pending: Vec<(TagKey, TrackingReading)>,
+    /// Dirty calibration cells drained from the stage but not yet fed to
+    /// [`OwnedPreparedLocalizer::sync`].
+    pending_dirty: Vec<DirtyCell>,
+    sync_stats: SyncStats,
+}
+
+impl<L: Localizer + fmt::Debug> fmt::Debug for LocationService<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocationService")
+            .field("localizer", &self.localizer)
+            .field("config", &self.config)
+            .field("tracks", &self.tracks)
+            .field("last_sweep", &self.last_sweep)
+            .field("prepared", &self.prepared.as_ref().map(|p| p.name()))
+            .field("pending", &self.pending)
+            .field("sync_stats", &self.sync_stats)
+            .finish()
+    }
 }
 
 #[derive(Debug)]
@@ -76,6 +121,10 @@ impl<L: Localizer> LocationService<L> {
             config,
             tracks: HashMap::new(),
             last_sweep: f64::NEG_INFINITY,
+            prepared: None,
+            pending: Vec::new(),
+            pending_dirty: Vec::new(),
+            sync_stats: SyncStats::default(),
         }
     }
 
@@ -113,8 +162,10 @@ impl<L: Localizer> LocationService<L> {
         refs: &ReferenceRssiMap,
         snapshots: &[(TagKey, TrackingReading)],
     ) -> Vec<Result<TrackedEstimate, LocalizeError>> {
-        let readings: Vec<TrackingReading> = snapshots.iter().map(|(_, r)| r.clone()).collect();
-        let raws = self.localizer.prepare(refs).locate_batch(&readings);
+        // Borrow the readings out of the snapshot slice instead of cloning
+        // their RSSI vectors: the prepared batch path only needs `&T`.
+        let readings: Vec<&TrackingReading> = snapshots.iter().map(|(_, r)| r).collect();
+        let raws = self.localizer.prepare(refs).locate_batch_refs(&readings);
         self.maybe_sweep(time);
         raws.into_iter()
             .zip(snapshots)
@@ -134,31 +185,84 @@ impl<L: Localizer> LocationService<L> {
     /// untouched (their Kalman state still answers
     /// [`LocationService::position`] / [`LocationService::predict`]).
     ///
-    /// Returns one `(tag, result)` per changed tag, in the stage's
-    /// first-dirtied order; empty when nothing changed or the stage's
-    /// calibration map is still incomplete (in which case nothing is
-    /// drained — changed tags stay pending for the next call).
+    /// Across calls, the service keeps an **owned prepared localizer**
+    /// ([`Localizer::prepare_owned`]) alive instead of re-preparing per
+    /// snapshot: when the calibration map is unchanged the cached state is
+    /// reused outright, and when a few calibration cells moved it is
+    /// patched in place ([`OwnedPreparedLocalizer::sync`], fed the stage's
+    /// [`SnapshotSource::take_dirty_cells`] hint) — bit-identical to a
+    /// rebuild at a fraction of the cost. [`LocationService::sync_stats`]
+    /// reports which path each drive took.
+    ///
+    /// Returns one `(tag, result)` per changed tag, in first-dirtied
+    /// order; empty when nothing changed or the stage's calibration map is
+    /// still incomplete. Drained readings are stashed inside the service
+    /// while the map is incomplete and localized on the first drive after
+    /// it completes (a tag re-dirtied meanwhile just refreshes its stashed
+    /// reading).
     pub fn drive(
         &mut self,
         stage: &mut dyn SnapshotSource,
     ) -> Vec<(TagKey, Result<TrackedEstimate, LocalizeError>)> {
-        if stage.reference_map().is_none() {
-            return Vec::new();
-        }
         let time = stage.snapshot_time();
-        let snapshots = stage.changed_readings();
-        if snapshots.is_empty() {
+        // Drain the stage exactly once per call, before the map borrow
+        // below pins `stage`.
+        let drained = stage.changed_readings();
+        self.pending_dirty.extend(stage.take_dirty_cells());
+        self.stash_pending(drained);
+        if self.pending.is_empty() {
             return Vec::new();
         }
-        let refs = stage
-            .reference_map()
-            .expect("map completeness checked above");
-        let results = self.process_snapshot_batch(time, refs, &snapshots);
+        let Some(refs) = stage.reference_map() else {
+            return Vec::new();
+        };
+        let snapshots = std::mem::take(&mut self.pending);
+        let hint = std::mem::take(&mut self.pending_dirty);
+
+        if self.prepared.is_none() {
+            self.prepared = self.localizer.prepare_owned(refs);
+        }
+        let readings: Vec<&TrackingReading> = snapshots.iter().map(|(_, r)| r).collect();
+        let raws = match self.prepared.as_mut() {
+            Some(prepared) => {
+                match prepared.sync(refs, &hint) {
+                    SyncOutcome::Reused => self.sync_stats.reused += 1,
+                    SyncOutcome::Patched(cells) => {
+                        self.sync_stats.patched += 1;
+                        self.sync_stats.patched_cells += cells as u64;
+                    }
+                    SyncOutcome::Rebuilt => self.sync_stats.rebuilt += 1,
+                }
+                prepared.locate_batch_refs(&readings)
+            }
+            // No incremental path for this localizer: prepare against the
+            // borrowed map for this drive only, as before.
+            None => self.localizer.prepare(refs).locate_batch_refs(&readings),
+        };
+        drop(readings);
+        self.maybe_sweep(time);
         snapshots
             .into_iter()
-            .map(|(tag, _)| tag)
-            .zip(results)
+            .zip(raws)
+            .map(|((tag, _), raw)| (tag, raw.map(|raw| self.fold(time, tag, raw))))
             .collect()
+    }
+
+    /// Folds freshly drained readings into the pending stash: first-dirtied
+    /// order, one slot per tag, newest reading wins.
+    fn stash_pending(&mut self, drained: Vec<(TagKey, TrackingReading)>) {
+        for (tag, reading) in drained {
+            match self.pending.iter_mut().find(|(t, _)| *t == tag) {
+                Some(slot) => slot.1 = reading,
+                None => self.pending.push((tag, reading)),
+            }
+        }
+    }
+
+    /// How [`LocationService::drive`] maintained its cached prepared
+    /// localizer so far (reused / patched / rebuilt counters).
+    pub fn sync_stats(&self) -> SyncStats {
+        self.sync_stats
     }
 
     /// Folds one raw estimate into the tag's track (creating the track on
@@ -452,7 +556,7 @@ mod tests {
     }
 
     #[test]
-    fn drive_waits_for_a_complete_map_without_draining() {
+    fn drive_stashes_readings_until_the_map_completes() {
         let mut stage = MockStage {
             time: 0.0,
             map: map(),
@@ -461,9 +565,53 @@ mod tests {
         };
         let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
         assert!(svc.drive(&mut stage).is_empty());
-        assert_eq!(stage.dirty.len(), 1, "pending tags must not be drained");
+        assert!(stage.dirty.is_empty(), "readings move into the service");
+        // The tag re-dirties while the map is still incomplete: the stash
+        // keeps one slot and the newest reading.
+        stage.dirty = vec![(1, reading_at(Point2::new(1.5, 1.5)))];
+        assert!(svc.drive(&mut stage).is_empty());
         stage.complete = true;
-        assert_eq!(svc.drive(&mut stage).len(), 1);
+        let out = svc.drive(&mut stage);
+        assert_eq!(out.len(), 1, "stashed tag localizes once the map is up");
+        let expect = LocationService::new(Vire::default(), ServiceConfig::default())
+            .observe(0.0, 1, &map(), &reading_at(Point2::new(1.5, 1.5)))
+            .unwrap();
+        assert_eq!(out[0].1.as_ref().unwrap(), &expect, "newest reading wins");
+    }
+
+    #[test]
+    fn drive_patches_cached_state_on_calibration_change() {
+        let mut stage = MockStage {
+            time: 0.0,
+            map: map(),
+            dirty: vec![(1, reading_at(Point2::new(0.6, 0.6)))],
+            complete: true,
+        };
+        let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        svc.drive(&mut stage);
+        assert_eq!(svc.sync_stats().reused, 1, "first drive binds the map");
+
+        // One calibration cell moves; the next drive must patch, not
+        // rebuild, and the estimate must match a service localizing
+        // against the updated map from scratch.
+        let cell = stage.map.grid().unflat(5);
+        stage.map.set_rssi(2, cell, -64.25);
+        stage.time = 1.0;
+        stage.dirty = vec![(2, reading_at(Point2::new(2.4, 2.4)))];
+        let out = svc.drive(&mut stage);
+        assert_eq!(svc.sync_stats().patched, 1);
+        assert_eq!(svc.sync_stats().patched_cells, 1);
+        assert_eq!(svc.sync_stats().rebuilt, 0);
+        let expect = LocationService::new(Vire::default(), ServiceConfig::default())
+            .observe(1.0, 2, &stage.map, &reading_at(Point2::new(2.4, 2.4)))
+            .unwrap();
+        assert_eq!(out[0].1.as_ref().unwrap(), &expect);
+
+        // An unchanged map on the next drive is reused outright.
+        stage.time = 2.0;
+        stage.dirty = vec![(2, reading_at(Point2::new(2.0, 2.0)))];
+        svc.drive(&mut stage);
+        assert_eq!(svc.sync_stats().reused, 2);
     }
 
     #[test]

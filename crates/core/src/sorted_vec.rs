@@ -1,0 +1,313 @@
+//! Maintenance of ascending-sorted RSSI planes.
+//!
+//! The elimination phase keeps each reader's virtual-tag RSSI plane sorted
+//! (see `elimination`). The incremental prepared-state path must *repair*
+//! those planes when a few values change, rather than re-sorting the whole
+//! plane. This module is the shared micro-utility: single-value
+//! insert/remove/replace for sparse updates, and a chunked
+//! [`merge_replace`] for the bulk case where a dirty coarse cell moves
+//! hundreds of fine samples at once.
+//!
+//! All order comparisons use [`f64::total_cmp`], making the sorted
+//! sequence a pure function of the value *multiset* (every bit pattern has
+//! one place, `-0.0` before `+0.0`): repairing a plane incrementally then
+//! yields exactly the bytes a from-scratch sort would. NaNs are rejected —
+//! planes are built from finite RSSI (the `ReferenceRssiMap` invariant)
+//! and a NaN would silently poison threshold selection.
+
+use std::cmp::Ordering;
+
+fn assert_finite(value: f64) {
+    assert!(!value.is_nan(), "sorted planes must stay NaN-free");
+}
+
+/// First index whose value is not less than `value` in total order — the
+/// insertion point that keeps the plane sorted.
+pub fn lower_bound(plane: &[f64], value: f64) -> usize {
+    plane.partition_point(|s| s.total_cmp(&value) == Ordering::Less)
+}
+
+/// Index of an element bit-identical to `value`, or `None`. With
+/// duplicates, the first occurrence.
+pub fn position_of(plane: &[f64], value: f64) -> Option<usize> {
+    let p = lower_bound(plane, value);
+    (p < plane.len() && plane[p].to_bits() == value.to_bits()).then_some(p)
+}
+
+/// Inserts `value` at its sorted position.
+///
+/// # Panics
+/// Panics when `value` is NaN.
+pub fn insert(plane: &mut Vec<f64>, value: f64) {
+    assert_finite(value);
+    let p = lower_bound(plane, value);
+    plane.insert(p, value);
+}
+
+/// Removes one occurrence bit-identical to `value`. Returns `false` (and
+/// leaves the plane untouched) when no such element exists.
+pub fn remove(plane: &mut Vec<f64>, value: f64) -> bool {
+    match position_of(plane, value) {
+        Some(p) => {
+            plane.remove(p);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Replaces one occurrence of `old` (bit-identical match) with `new`,
+/// shifting the elements in between — the length never changes. Returns
+/// `false` when `old` is absent.
+///
+/// O(distance between the two positions); prefer [`merge_replace`] when
+/// many values move at once.
+///
+/// # Panics
+/// Panics when `new` is NaN.
+pub fn replace(plane: &mut [f64], old: f64, new: f64) -> bool {
+    assert_finite(new);
+    let Some(i) = position_of(plane, old) else {
+        return false;
+    };
+    match new.total_cmp(&old) {
+        Ordering::Equal => {}
+        Ordering::Greater => {
+            let j = lower_bound(plane, new);
+            plane.copy_within(i + 1..j, i);
+            plane[j - 1] = new;
+        }
+        Ordering::Less => {
+            let j = lower_bound(plane, new);
+            plane.copy_within(j..i, j + 1);
+            plane[j] = new;
+        }
+    }
+    true
+}
+
+/// Applies a batch of same-length removals and insertions in one merge
+/// sweep: the plane ends bit-identical to sorting `plane − removed +
+/// inserted` from scratch, in O(plane + batch·log batch) instead of one
+/// [`replace`] rotate per value.
+///
+/// `removed` and `inserted` are scratch space and come back sorted;
+/// `survivors` is reusable scratch. Every `removed` value must be present
+/// bit-identically (one plane element is consumed per entry).
+///
+/// # Panics
+/// Panics when the batch lengths differ, an `inserted` value is NaN, or a
+/// `removed` value has no bit-identical element in the plane.
+pub fn merge_replace(
+    plane: &mut [f64],
+    removed: &mut [f64],
+    inserted: &mut [f64],
+    survivors: &mut Vec<f64>,
+) {
+    assert_eq!(
+        removed.len(),
+        inserted.len(),
+        "replacement batches must pair up"
+    );
+    if removed.is_empty() {
+        return;
+    }
+    inserted.iter().copied().for_each(assert_finite);
+    removed.sort_unstable_by(f64::total_cmp);
+    inserted.sort_unstable_by(f64::total_cmp);
+
+    // Pass 1: survivors = plane − removed (both sorted, one sweep).
+    survivors.clear();
+    survivors.reserve(plane.len() - removed.len());
+    let mut r = 0;
+    for &v in plane.iter() {
+        if r < removed.len() && v.to_bits() == removed[r].to_bits() {
+            r += 1;
+        } else {
+            survivors.push(v);
+        }
+    }
+    assert_eq!(r, removed.len(), "a removed value was not in the plane");
+
+    // Pass 2: merge survivors with inserted back into the plane.
+    let (mut s, mut i) = (0, 0);
+    for slot in plane.iter_mut() {
+        let take_survivor = i >= inserted.len()
+            || (s < survivors.len() && survivors[s].total_cmp(&inserted[i]) != Ordering::Greater);
+        if take_survivor {
+            *slot = survivors[s];
+            s += 1;
+        } else {
+            *slot = inserted[i];
+            i += 1;
+        }
+    }
+}
+
+/// Whether the plane is ascending in total order — the repair invariant.
+pub fn is_sorted(plane: &[f64]) -> bool {
+    plane
+        .windows(2)
+        .all(|w| w[0].total_cmp(&w[1]) != Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_unstable_by(f64::total_cmp);
+        v
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn insert_keeps_order_including_duplicates() {
+        let mut p = vec![-80.0, -70.0, -70.0, -60.0];
+        insert(&mut p, -70.0);
+        insert(&mut p, -90.0);
+        insert(&mut p, -55.0);
+        assert_eq!(p, vec![-90.0, -80.0, -70.0, -70.0, -70.0, -60.0, -55.0]);
+        assert!(is_sorted(&p));
+    }
+
+    #[test]
+    fn insert_into_empty_plane() {
+        let mut p = Vec::new();
+        insert(&mut p, -70.0);
+        assert_eq!(p, vec![-70.0]);
+    }
+
+    #[test]
+    fn remove_takes_one_duplicate_only() {
+        let mut p = vec![-80.0, -70.0, -70.0, -60.0];
+        assert!(remove(&mut p, -70.0));
+        assert_eq!(p, vec![-80.0, -70.0, -60.0]);
+        assert!(!remove(&mut p, -75.0), "absent value refused");
+        assert_eq!(p, vec![-80.0, -70.0, -60.0]);
+        assert!(!remove(&mut Vec::new(), -70.0), "empty plane refused");
+    }
+
+    #[test]
+    fn replace_moves_in_both_directions() {
+        let mut p = vec![-90.0, -80.0, -70.0, -60.0];
+        assert!(replace(&mut p, -80.0, -65.0)); // rightward
+        assert_eq!(p, vec![-90.0, -70.0, -65.0, -60.0]);
+        assert!(replace(&mut p, -65.0, -95.0)); // leftward
+        assert_eq!(p, vec![-95.0, -90.0, -70.0, -60.0]);
+        assert!(replace(&mut p, -70.0, -70.0)); // no movement
+        assert_eq!(p, vec![-95.0, -90.0, -70.0, -60.0]);
+        assert!(!replace(&mut p, -1.0, -2.0), "absent old value refused");
+    }
+
+    #[test]
+    fn replace_handles_signed_zero_bit_exactly() {
+        // -0.0 sorts before +0.0 under total_cmp; replacement must match
+        // the exact bit pattern, not the == equality that conflates them.
+        let mut p = vec![-1.0, -0.0, 0.0, 1.0];
+        assert!(replace(&mut p, 0.0, 2.0));
+        assert_eq!(bits(&p), bits(&[-1.0, -0.0, 1.0, 2.0]));
+        assert!(replace(&mut p, -0.0, -2.0));
+        assert_eq!(bits(&p), bits(&[-2.0, -1.0, 1.0, 2.0]));
+    }
+
+    #[test]
+    fn merge_replace_matches_full_resort() {
+        let base = vec![-90.0, -85.0, -80.0, -80.0, -70.0, -60.0, -55.0];
+        let mut plane = sorted(base.clone());
+        let mut removed = vec![-80.0, -55.0, -90.0];
+        let mut inserted = vec![-100.0, -58.5, -80.0];
+        let mut scratch = Vec::new();
+        merge_replace(&mut plane, &mut removed, &mut inserted, &mut scratch);
+        let expect = sorted(vec![-85.0, -80.0, -70.0, -60.0, -100.0, -58.5, -80.0]);
+        assert_eq!(bits(&plane), bits(&expect));
+        assert!(is_sorted(&plane));
+    }
+
+    #[test]
+    fn merge_replace_empty_batch_is_a_no_op() {
+        let mut plane = vec![-80.0, -70.0];
+        merge_replace(&mut plane, &mut [], &mut [], &mut Vec::new());
+        assert_eq!(plane, vec![-80.0, -70.0]);
+    }
+
+    #[test]
+    fn merge_replace_whole_plane_turnover() {
+        let mut plane = sorted(vec![-90.0, -80.0, -70.0]);
+        let mut removed = plane.clone();
+        let mut inserted = vec![-65.0, -95.0, -75.0];
+        merge_replace(&mut plane, &mut removed, &mut inserted, &mut Vec::new());
+        assert_eq!(bits(&plane), bits(&[-95.0, -75.0, -65.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the plane")]
+    fn merge_replace_rejects_phantom_removal() {
+        let mut plane = vec![-80.0, -70.0];
+        merge_replace(&mut plane, &mut [-75.0], &mut [-60.0], &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn merge_replace_rejects_length_mismatch() {
+        let mut plane = vec![-80.0, -70.0];
+        merge_replace(&mut plane, &mut [-80.0], &mut [], &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN-free")]
+    fn insert_rejects_nan() {
+        insert(&mut vec![-70.0], f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN-free")]
+    fn merge_replace_rejects_nan_insertion() {
+        let mut plane = vec![-80.0, -70.0];
+        merge_replace(&mut plane, &mut [-80.0], &mut [f64::NAN], &mut Vec::new());
+    }
+
+    #[test]
+    fn randomized_repairs_match_resort() {
+        // Deterministic LCG; no external RNG needed.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut plane = sorted(
+            (0..64)
+                .map(|_| -90.0 + (next() % 4000) as f64 / 100.0)
+                .collect(),
+        );
+        let mut mirror = plane.clone();
+        let mut scratch = Vec::new();
+        for _ in 0..200 {
+            let i = (next() as usize) % mirror.len();
+            let old = mirror[i];
+            let new = -90.0 + (next() % 4000) as f64 / 100.0;
+            mirror[i] = new;
+            assert!(replace(&mut plane, old, new));
+            mirror = sorted(mirror);
+            assert_eq!(bits(&plane), bits(&mirror));
+        }
+        // One bulk repair covering a third of the plane.
+        let mut removed: Vec<f64> = mirror.iter().step_by(3).copied().collect();
+        let mut inserted: Vec<f64> = removed.iter().map(|v| v - 0.125).collect();
+        let mut expect = mirror.clone();
+        for (r, i) in removed.iter().zip(&inserted) {
+            let p = expect
+                .iter()
+                .position(|v| v.to_bits() == r.to_bits())
+                .unwrap();
+            expect[p] = *i;
+        }
+        merge_replace(&mut plane, &mut removed, &mut inserted, &mut scratch);
+        assert_eq!(bits(&plane), bits(&sorted(expect)));
+    }
+}

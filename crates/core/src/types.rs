@@ -1,6 +1,15 @@
 //! The data model shared by every localizer.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use vire_geom::{GridData, GridIndex, Point2, RegularGrid};
+
+/// Monotonic source of map identities; never reused within a process.
+static NEXT_MAP_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_map_id() -> u64 {
+    NEXT_MAP_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Smoothed RSSI of every real reference tag as heard by every reader.
 ///
@@ -9,11 +18,51 @@ use vire_geom::{GridData, GridIndex, Point2, RegularGrid};
 /// positions are carried along for baselines that need geometry
 /// (trilateration) and for diagnostics; LANDMARC and VIRE themselves only
 /// compare signal values.
-#[derive(Debug, Clone)]
+///
+/// # Identity, epoch, and change journal
+///
+/// Each map carries a process-unique [`id`](ReferenceRssiMap::id) (fresh
+/// on construction and on clone) and an [`epoch`](ReferenceRssiMap::epoch)
+/// counter bumped by every [`set_rssi`](ReferenceRssiMap::set_rssi) call
+/// that actually changes the stored bits. A bounded journal remembers
+/// which `(reader, node)` entries each epoch step touched, so a consumer
+/// holding prepared state derived from `(id, epoch)` can ask
+/// [`changes_since`](ReferenceRssiMap::changes_since) for the exact cells
+/// to re-interpolate instead of rebuilding from scratch. The journal keeps
+/// the most recent `2 × readers × nodes` changes; when a consumer has
+/// fallen further behind, `changes_since` returns `None` and the consumer
+/// must rebuild.
+#[derive(Debug)]
 pub struct ReferenceRssiMap {
     grid: RegularGrid,
     readers: Vec<Point2>,
     per_reader: Vec<GridData<f64>>,
+    id: u64,
+    epoch: u64,
+    /// `(reader, flat node)` per bit-changing `set_rssi`, oldest first.
+    /// Entry `m` from the front moved the epoch from `journal_base + m` to
+    /// `journal_base + m + 1`; `journal_base + journal.len() == epoch`.
+    journal: VecDeque<(u32, u32)>,
+    journal_base: u64,
+    journal_capacity: usize,
+}
+
+impl Clone for ReferenceRssiMap {
+    /// Clones the RSSI data under a **fresh identity**: the copy starts at
+    /// epoch 0 with an empty journal, so prepared state derived from the
+    /// original never mistakes the clone for the map it was built from.
+    fn clone(&self) -> Self {
+        ReferenceRssiMap {
+            grid: self.grid,
+            readers: self.readers.clone(),
+            per_reader: self.per_reader.clone(),
+            id: fresh_map_id(),
+            epoch: 0,
+            journal: VecDeque::new(),
+            journal_base: 0,
+            journal_capacity: self.journal_capacity,
+        }
+    }
 }
 
 impl ReferenceRssiMap {
@@ -37,11 +86,55 @@ impl ReferenceRssiMap {
                 "reference RSSI must be finite"
             );
         }
+        let journal_capacity = 2 * readers.len() * grid.node_count();
         ReferenceRssiMap {
             grid,
             readers,
             per_reader,
+            id: fresh_map_id(),
+            epoch: 0,
+            journal: VecDeque::new(),
+            journal_base: 0,
+            journal_capacity,
         }
+    }
+
+    /// The process-unique identity of this map instance. Fresh on
+    /// construction and on clone; stable across [`set_rssi`] calls.
+    ///
+    /// [`set_rssi`]: ReferenceRssiMap::set_rssi
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The number of bit-changing [`set_rssi`] calls applied so far.
+    /// `(id, epoch)` pins the exact RSSI contents: two observations of the
+    /// same map with equal id and epoch hold bit-identical data.
+    ///
+    /// [`set_rssi`]: ReferenceRssiMap::set_rssi
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The `(reader, node)` entries changed since epoch `since`, oldest
+    /// first, or `None` when the journal no longer reaches back that far
+    /// (the caller must rebuild). `since` equal to the current epoch
+    /// yields an empty iterator. Entries may repeat when the same cell
+    /// changed more than once.
+    pub fn changes_since(
+        &self,
+        since: u64,
+    ) -> Option<impl Iterator<Item = (usize, GridIndex)> + '_> {
+        if since > self.epoch || since < self.journal_base {
+            return None;
+        }
+        let skip = (since - self.journal_base) as usize;
+        Some(
+            self.journal
+                .iter()
+                .skip(skip)
+                .map(|&(k, flat)| (k as usize, self.grid.unflat(flat as usize))),
+        )
     }
 
     /// The reference lattice.
@@ -82,12 +175,27 @@ impl ReferenceRssiMap {
     /// uses to refresh only the calibration cells whose smoothed value
     /// actually changed, instead of re-exporting the whole table.
     ///
+    /// Returns `true` when the stored bits changed; only then does the
+    /// [`epoch`](ReferenceRssiMap::epoch) advance and the change land in
+    /// the journal. Writing the bit-identical value is a no-op.
+    ///
     /// # Panics
     /// Panics when `k` or `idx` is out of range or `value` is non-finite
     /// (the constructor's invariant).
-    pub fn set_rssi(&mut self, k: usize, idx: GridIndex, value: f64) {
+    pub fn set_rssi(&mut self, k: usize, idx: GridIndex, value: f64) -> bool {
         assert!(value.is_finite(), "reference RSSI must be finite");
+        if self.per_reader[k].get(idx).to_bits() == value.to_bits() {
+            return false;
+        }
         self.per_reader[k].set(idx, value);
+        self.epoch += 1;
+        if self.journal.len() == self.journal_capacity {
+            self.journal.pop_front();
+            self.journal_base += 1;
+        }
+        self.journal
+            .push_back((k as u32, self.grid.flat(idx) as u32));
+        true
     }
 
     /// The signal-space vector (one RSSI per reader) of the reference tag
@@ -111,11 +219,7 @@ impl ReferenceRssiMap {
         readers.remove(k);
         let mut per_reader = self.per_reader.clone();
         per_reader.remove(k);
-        Some(ReferenceRssiMap {
-            grid: self.grid,
-            readers,
-            per_reader,
-        })
+        Some(ReferenceRssiMap::new(self.grid, readers, per_reader))
     }
 }
 
@@ -225,6 +329,63 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn set_rssi_rejects_non_finite() {
         tiny_map().set_rssi(0, GridIndex::new(0, 0), f64::NAN);
+    }
+
+    #[test]
+    fn epoch_advances_only_on_bit_changes() {
+        let mut m = tiny_map();
+        assert_eq!(m.epoch(), 0);
+        let idx = GridIndex::new(0, 1);
+        let same = m.rssi(0, idx);
+        assert!(!m.set_rssi(0, idx, same), "identical bits are a no-op");
+        assert_eq!(m.epoch(), 0);
+        assert!(m.set_rssi(0, idx, same - 1.0));
+        assert!(m.set_rssi(1, GridIndex::new(1, 0), -55.25));
+        assert_eq!(m.epoch(), 2);
+    }
+
+    #[test]
+    fn changes_since_replays_the_journal() {
+        let mut m = tiny_map();
+        let a = GridIndex::new(0, 1);
+        let b = GridIndex::new(1, 0);
+        m.set_rssi(0, a, -91.0);
+        m.set_rssi(1, b, -92.0);
+        m.set_rssi(0, a, -93.0);
+        let all: Vec<_> = m.changes_since(0).unwrap().collect();
+        assert_eq!(all, vec![(0, a), (1, b), (0, a)]);
+        let tail: Vec<_> = m.changes_since(2).unwrap().collect();
+        assert_eq!(tail, vec![(0, a)]);
+        assert_eq!(m.changes_since(3).unwrap().count(), 0);
+        assert!(m.changes_since(4).is_none(), "future epoch is unknowable");
+    }
+
+    #[test]
+    fn journal_truncation_forces_rebuild_answer() {
+        let mut m = tiny_map();
+        // Capacity is 2 × readers × nodes = 16 for the tiny map; overflow it.
+        let idx = GridIndex::new(0, 0);
+        for step in 0..20 {
+            m.set_rssi(0, idx, -71.0 - step as f64 * 0.5);
+        }
+        assert_eq!(m.epoch(), 20);
+        assert!(m.changes_since(0).is_none(), "history truncated");
+        assert!(m.changes_since(3).is_none());
+        assert_eq!(m.changes_since(4).unwrap().count(), 16);
+    }
+
+    #[test]
+    fn clone_gets_a_fresh_identity() {
+        let mut m = tiny_map();
+        m.set_rssi(0, GridIndex::new(0, 0), -99.0);
+        let c = m.clone();
+        assert_ne!(m.id(), c.id());
+        assert_eq!(c.epoch(), 0);
+        assert_eq!(c.changes_since(0).unwrap().count(), 0);
+        // Data still matches bit-for-bit.
+        assert_eq!(c.rssi(0, GridIndex::new(0, 0)), -99.0);
+        // without_reader is a new identity too.
+        assert_ne!(m.without_reader(0).unwrap().id(), m.id());
     }
 
     #[test]

@@ -182,6 +182,14 @@ impl Localizer for Vire {
             Err(_) => Box::new(Unprepared::new(self, refs)),
         }
     }
+
+    fn prepare_owned(
+        &self,
+        refs: &ReferenceRssiMap,
+    ) -> Option<Box<dyn crate::incremental::OwnedPreparedLocalizer>> {
+        self.prepare_owned_vire(refs)
+            .map(|p| Box::new(p) as Box<dyn crate::incremental::OwnedPreparedLocalizer>)
+    }
 }
 
 #[cfg(test)]

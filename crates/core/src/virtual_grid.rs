@@ -15,6 +15,7 @@ use crate::types::ReferenceRssiMap;
 use vire_geom::interp::linear::{lerp_uniform, paper_weighting};
 use vire_geom::interp::newton::Newton;
 use vire_geom::interp::spline::CubicSpline;
+use vire_geom::interp::window::{full_line_support, local_knot_support};
 use vire_geom::interp::Interpolator1D;
 use vire_geom::{GridData, GridIndex, RegularGrid};
 
@@ -56,6 +57,17 @@ impl InterpolationKernel {
             InterpolationKernel::Polynomial => "polynomial",
         }
     }
+
+    /// Whether a changed knot moves only the fine samples in its two
+    /// adjacent cells (piecewise-linear kernels). The spline's tridiagonal
+    /// solve and the full-degree polynomial couple every knot, so any
+    /// change re-shapes the whole line.
+    pub fn is_local(self) -> bool {
+        matches!(
+            self,
+            InterpolationKernel::Linear | InterpolationKernel::PaperLinear
+        )
+    }
 }
 
 /// The virtual reference grid: per-reader RSSI fields on the fine lattice.
@@ -89,6 +101,57 @@ impl VirtualGrid {
             per_reader,
             refine: n,
         }
+    }
+
+    /// Builds the virtual grid along with a [`GridPatcher`] that can later
+    /// re-interpolate only the region reached by changed calibration
+    /// cells, instead of rebuilding every field.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn build_with_patcher(
+        refs: &ReferenceRssiMap,
+        n: usize,
+        kernel: InterpolationKernel,
+    ) -> (Self, GridPatcher) {
+        assert!(n > 0, "refinement factor must be at least 1");
+        let coarse = *refs.grid();
+        let fine = coarse.refined(n);
+        let (coarse_xs, fine_xs, coarse_ys, fine_ys) = axis_positions(&coarse, &fine);
+        let mut intermediates = Vec::with_capacity(refs.reader_count());
+        let mut per_reader = Vec::with_capacity(refs.reader_count());
+        for field in refs.fields() {
+            let mut inter = vec![0.0f64; coarse.ny() * fine.nx()];
+            horizontal_pass(field, &coarse_xs, &fine_xs, n, kernel, &mut inter);
+            let mut out = GridData::filled(fine, 0.0f64);
+            vertical_pass(&inter, &coarse_ys, &fine_ys, n, kernel, &mut out);
+            intermediates.push(inter);
+            per_reader.push(out);
+        }
+        let grid = VirtualGrid {
+            fine,
+            per_reader,
+            refine: n,
+        };
+        let patcher = GridPatcher {
+            coarse,
+            fine,
+            n,
+            kernel,
+            coarse_xs,
+            fine_xs,
+            coarse_ys,
+            fine_ys,
+            intermediates,
+            row_vals: Vec::new(),
+            row_out: Vec::new(),
+            col_vals: Vec::new(),
+            col_out: Vec::new(),
+            dirty_rows: Vec::new(),
+            changed_cols: Vec::new(),
+            row_windows: Vec::new(),
+        };
+        (grid, patcher)
     }
 
     /// Wraps pre-computed per-reader RSSI fields as a virtual grid.
@@ -138,6 +201,11 @@ impl VirtualGrid {
         &self.per_reader[k]
     }
 
+    /// Mutable RSSI field of reader `k` — the [`GridPatcher`] write path.
+    pub(crate) fn field_mut(&mut self, k: usize) -> &mut GridData<f64> {
+        &mut self.per_reader[k]
+    }
+
     /// RSSI of virtual tag `idx` at reader `k`.
     pub fn rssi(&self, k: usize, idx: GridIndex) -> f64 {
         *self.per_reader[k].get(idx)
@@ -151,6 +219,73 @@ impl VirtualGrid {
     }
 }
 
+/// The coarse and fine abscissae of both axes: `(coarse_xs, fine_xs,
+/// coarse_ys, fine_ys)`.
+fn axis_positions(
+    coarse: &RegularGrid,
+    fine: &RegularGrid,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let coarse_xs = (0..coarse.nx())
+        .map(|i| coarse.position(GridIndex::new(i, 0)).x)
+        .collect();
+    let fine_xs = (0..fine.nx())
+        .map(|i| fine.position(GridIndex::new(i, 0)).x)
+        .collect();
+    let coarse_ys = (0..coarse.ny())
+        .map(|j| coarse.position(GridIndex::new(0, j)).y)
+        .collect();
+    let fine_ys = (0..fine.ny())
+        .map(|j| fine.position(GridIndex::new(0, j)).y)
+        .collect();
+    (coarse_xs, fine_xs, coarse_ys, fine_ys)
+}
+
+/// Pass 1 of the separable sweep: per coarse row `j`, interpolate along x
+/// into `intermediate[j * fnx ..][.. fnx]` (a flat `cny × fnx` buffer).
+fn horizontal_pass(
+    field: &GridData<f64>,
+    coarse_xs: &[f64],
+    fine_xs: &[f64],
+    n: usize,
+    kernel: InterpolationKernel,
+    intermediate: &mut [f64],
+) {
+    let cnx = coarse_xs.len();
+    let mut row_vals = vec![0.0f64; cnx];
+    for (j, row_out) in intermediate.chunks_exact_mut(fine_xs.len()).enumerate() {
+        for (i, v) in row_vals.iter_mut().enumerate() {
+            *v = *field.get(GridIndex::new(i, j));
+        }
+        interpolate_line(coarse_xs, &row_vals, fine_xs, n, kernel, row_out);
+    }
+}
+
+/// Pass 2: per fine column `fi`, interpolate the intermediate's column
+/// along y into the output field.
+fn vertical_pass(
+    intermediate: &[f64],
+    coarse_ys: &[f64],
+    fine_ys: &[f64],
+    n: usize,
+    kernel: InterpolationKernel,
+    out: &mut GridData<f64>,
+) {
+    let cny = coarse_ys.len();
+    let fny = fine_ys.len();
+    let fnx = intermediate.len() / cny;
+    let mut col_vals = vec![0.0f64; cny];
+    let mut col_out = vec![0.0f64; fny];
+    for fi in 0..fnx {
+        for (j, v) in col_vals.iter_mut().enumerate() {
+            *v = intermediate[j * fnx + fi];
+        }
+        interpolate_line(coarse_ys, &col_vals, fine_ys, n, kernel, &mut col_out);
+        for (fj, &v) in col_out.iter().enumerate() {
+            out.set(GridIndex::new(fi, fj), v);
+        }
+    }
+}
+
 /// Row pass then column pass for one reader's field.
 fn interpolate_field(
     coarse: &RegularGrid,
@@ -159,42 +294,194 @@ fn interpolate_field(
     n: usize,
     kernel: InterpolationKernel,
 ) -> GridData<f64> {
-    let (cnx, cny) = (coarse.nx(), coarse.ny());
-    let (fnx, fny) = (fine.nx(), fine.ny());
-
-    // Pass 1: horizontal. intermediate[j][fi] for coarse rows j.
-    let coarse_xs: Vec<f64> = (0..cnx)
-        .map(|i| coarse.position(GridIndex::new(i, 0)).x)
-        .collect();
-    let fine_xs: Vec<f64> = (0..fnx)
-        .map(|i| fine.position(GridIndex::new(i, 0)).x)
-        .collect();
-    let mut intermediate = vec![vec![0.0f64; fnx]; cny];
-    for (j, row_out) in intermediate.iter_mut().enumerate() {
-        let row_vals: Vec<f64> = (0..cnx).map(|i| *field.get(GridIndex::new(i, j))).collect();
-        interpolate_line(&coarse_xs, &row_vals, &fine_xs, n, kernel, row_out);
-    }
-
-    // Pass 2: vertical, per fine column.
-    let coarse_ys: Vec<f64> = (0..cny)
-        .map(|j| coarse.position(GridIndex::new(0, j)).y)
-        .collect();
-    let fine_ys: Vec<f64> = (0..fny)
-        .map(|j| fine.position(GridIndex::new(0, j)).y)
-        .collect();
+    let (coarse_xs, fine_xs, coarse_ys, fine_ys) = axis_positions(coarse, fine);
+    let mut intermediate = vec![0.0f64; coarse.ny() * fine.nx()];
+    horizontal_pass(field, &coarse_xs, &fine_xs, n, kernel, &mut intermediate);
     let mut out = GridData::filled(*fine, 0.0f64);
-    let mut col_vals = vec![0.0f64; cny];
-    let mut col_out = vec![0.0f64; fny];
-    for fi in 0..fnx {
-        for (v, row) in col_vals.iter_mut().zip(&intermediate) {
-            *v = row[fi];
-        }
-        interpolate_line(&coarse_ys, &col_vals, &fine_ys, n, kernel, &mut col_out);
-        for (fj, &v) in col_out.iter().enumerate() {
-            out.set(GridIndex::new(fi, fj), v);
+    vertical_pass(&intermediate, &coarse_ys, &fine_ys, n, kernel, &mut out);
+    out
+}
+
+/// Extends `ranges` (sorted by start, disjoint) with `[lo, hi]`, merging
+/// overlapping or adjacent windows. Starts must arrive non-decreasing.
+fn push_merged(ranges: &mut Vec<(usize, usize)>, lo: usize, hi: usize) {
+    if let Some(last) = ranges.last_mut() {
+        if lo <= last.1 + 1 {
+            last.1 = last.1.max(hi);
+            return;
         }
     }
-    out
+    ranges.push((lo, hi));
+}
+
+/// Incremental re-interpolation of a [`VirtualGrid`].
+///
+/// Built alongside the grid by [`VirtualGrid::build_with_patcher`], the
+/// patcher retains each reader's horizontal-pass intermediate (the flat
+/// `cny × fnx` row-sweep output). When calibration cells change,
+/// [`GridPatcher::patch`] replays the separable sweep only where the
+/// change can reach:
+///
+/// 1. **Horizontal** — every dirty coarse row is re-interpolated in full
+///    (O(fnx) per row) and bit-diffed against the retained intermediate;
+///    the diff yields the fine *columns* whose vertical inputs moved.
+/// 2. **Vertical** — only those columns are re-interpolated, and the
+///    write-back diff is restricted to the union of the dirty rows'
+///    y-axis support windows ([`local_knot_support`]; whole column under
+///    global kernels).
+///
+/// Because both passes re-run the exact `interpolate_line` a fresh
+/// [`VirtualGrid::build`] would run on the same inputs, and every sample
+/// outside the replayed region is a function of unchanged inputs only,
+/// the patched grid is **bit-identical** to a from-scratch rebuild.
+#[derive(Debug)]
+pub struct GridPatcher {
+    coarse: RegularGrid,
+    fine: RegularGrid,
+    n: usize,
+    kernel: InterpolationKernel,
+    coarse_xs: Vec<f64>,
+    fine_xs: Vec<f64>,
+    coarse_ys: Vec<f64>,
+    fine_ys: Vec<f64>,
+    /// Horizontal-pass output per reader, flattened `[j * fnx + fi]`.
+    intermediates: Vec<Vec<f64>>,
+    row_vals: Vec<f64>,
+    row_out: Vec<f64>,
+    col_vals: Vec<f64>,
+    col_out: Vec<f64>,
+    dirty_rows: Vec<usize>,
+    changed_cols: Vec<usize>,
+    row_windows: Vec<(usize, usize)>,
+}
+
+impl GridPatcher {
+    /// The kernel the grid was interpolated with.
+    pub fn kernel(&self) -> InterpolationKernel {
+        self.kernel
+    }
+
+    /// Re-interpolates `grid` in place after the calibration cells named
+    /// in `dirty` changed in `refs`, reporting every fine-lattice value
+    /// that moved as `on_change(reader, flat_fine_node, old, new)`.
+    ///
+    /// `dirty` entries are `(reader, coarse node)` pairs; duplicates are
+    /// fine, and `refs` must already hold the **new** values for all of
+    /// them. Entries sharing a coarse row are coalesced — the whole row is
+    /// replayed once — so only the row coordinate of each entry matters.
+    ///
+    /// The patched grid (and the reported change set, applied to any
+    /// mirror of the fields) is bit-identical to rebuilding from `refs`.
+    ///
+    /// # Panics
+    /// Panics when `refs` or `grid` does not match the lattice/readers
+    /// this patcher was built for, or a dirty index is out of range.
+    pub fn patch(
+        &mut self,
+        grid: &mut VirtualGrid,
+        refs: &ReferenceRssiMap,
+        dirty: &[(usize, GridIndex)],
+        mut on_change: impl FnMut(usize, usize, f64, f64),
+    ) {
+        assert_eq!(refs.grid(), &self.coarse, "reference lattice mismatch");
+        assert_eq!(grid.grid(), &self.fine, "virtual lattice mismatch");
+        assert_eq!(
+            refs.reader_count(),
+            self.intermediates.len(),
+            "reader count mismatch"
+        );
+        assert_eq!(grid.reader_count(), self.intermediates.len());
+        let (cnx, cny) = (self.coarse.nx(), self.coarse.ny());
+        let fnx = self.fine.nx();
+
+        for k in 0..self.intermediates.len() {
+            self.dirty_rows.clear();
+            self.dirty_rows.extend(
+                dirty
+                    .iter()
+                    .filter(|&&(dk, _)| dk == k)
+                    .map(|&(_, idx)| idx.j),
+            );
+            if self.dirty_rows.is_empty() {
+                continue;
+            }
+            self.dirty_rows.sort_unstable();
+            self.dirty_rows.dedup();
+
+            // Pass 1: replay dirty rows, bit-diff against the retained
+            // intermediate to find the columns whose inputs moved.
+            self.changed_cols.clear();
+            let inter = &mut self.intermediates[k];
+            for &j in &self.dirty_rows {
+                assert!(j < cny, "dirty row out of range");
+                self.row_vals.clear();
+                self.row_vals
+                    .extend((0..cnx).map(|i| refs.rssi(k, GridIndex::new(i, j))));
+                self.row_out.resize(fnx, 0.0);
+                interpolate_line(
+                    &self.coarse_xs,
+                    &self.row_vals,
+                    &self.fine_xs,
+                    self.n,
+                    self.kernel,
+                    &mut self.row_out,
+                );
+                let row = &mut inter[j * fnx..(j + 1) * fnx];
+                for (fi, (slot, &new)) in row.iter_mut().zip(&self.row_out).enumerate() {
+                    if slot.to_bits() != new.to_bits() {
+                        *slot = new;
+                        self.changed_cols.push(fi);
+                    }
+                }
+            }
+            self.changed_cols.sort_unstable();
+            self.changed_cols.dedup();
+            if self.changed_cols.is_empty() {
+                continue;
+            }
+
+            // Fine rows the change can reach: union of the dirty rows'
+            // y-axis support windows (whole column under global kernels).
+            self.row_windows.clear();
+            if self.kernel.is_local() {
+                for &j in &self.dirty_rows {
+                    let w = local_knot_support(j, cny, self.n);
+                    push_merged(&mut self.row_windows, *w.start(), *w.end());
+                }
+            } else {
+                let w = full_line_support(cny, self.n);
+                self.row_windows.push((*w.start(), *w.end()));
+            }
+
+            // Pass 2: replay each changed column, write bit-diffs through.
+            let inter = &self.intermediates[k];
+            let field = grid.field_mut(k);
+            for &fi in &self.changed_cols {
+                self.col_vals.clear();
+                self.col_vals.extend((0..cny).map(|j| inter[j * fnx + fi]));
+                self.col_out.resize(self.fine_ys.len(), 0.0);
+                interpolate_line(
+                    &self.coarse_ys,
+                    &self.col_vals,
+                    &self.fine_ys,
+                    self.n,
+                    self.kernel,
+                    &mut self.col_out,
+                );
+                for &(lo, hi) in &self.row_windows {
+                    for fj in lo..=hi {
+                        let idx = GridIndex::new(fi, fj);
+                        let old = *field.get(idx);
+                        let new = self.col_out[fj];
+                        if old.to_bits() != new.to_bits() {
+                            field.set(idx, new);
+                            on_change(k, self.fine.flat(idx), old, new);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Evaluates the 1D kernel over one grid line.
@@ -383,5 +670,103 @@ mod tests {
         let names: std::collections::HashSet<_> =
             InterpolationKernel::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), 4);
+    }
+
+    fn grids_bit_identical(a: &VirtualGrid, b: &VirtualGrid) -> bool {
+        (0..a.reader_count()).all(|k| {
+            a.field(k)
+                .as_slice()
+                .iter()
+                .zip(b.field(k).as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+        })
+    }
+
+    #[test]
+    fn build_with_patcher_matches_plain_build() {
+        let refs = map_with(|p| -70.0 - 1.3 * p.x + 0.4 * p.y * p.y);
+        for kernel in InterpolationKernel::ALL {
+            let plain = VirtualGrid::build(&refs, 5, kernel);
+            let (with, _) = VirtualGrid::build_with_patcher(&refs, 5, kernel);
+            assert!(grids_bit_identical(&plain, &with), "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn patch_matches_rebuild_for_all_kernels() {
+        let mut refs = map_with(|p| -65.0 - 2.1 * p.x - 0.8 * p.y);
+        let dirty = vec![
+            (0usize, GridIndex::new(1, 2)),
+            (1usize, GridIndex::new(3, 0)),
+            (0usize, GridIndex::new(2, 2)), // same row as the first entry
+        ];
+        for kernel in InterpolationKernel::ALL {
+            let (mut grid, mut patcher) = VirtualGrid::build_with_patcher(&refs, 4, kernel);
+            for &(k, idx) in &dirty {
+                let old = refs.rssi(k, idx);
+                refs.set_rssi(k, idx, old - 3.75);
+            }
+            patcher.patch(&mut grid, &refs, &dirty, |_, _, _, _| {});
+            let fresh = VirtualGrid::build(&refs, 4, kernel);
+            assert!(grids_bit_identical(&grid, &fresh), "{kernel:?}");
+            // Roll the map back for the next kernel.
+            for &(k, idx) in &dirty {
+                let v = refs.rssi(k, idx);
+                refs.set_rssi(k, idx, v + 3.75);
+            }
+        }
+    }
+
+    #[test]
+    fn patch_reports_the_exact_change_set() {
+        let mut refs = map_with(|p| -70.0 - 1.5 * p.x + 0.6 * p.y);
+        let (mut grid, mut patcher) =
+            VirtualGrid::build_with_patcher(&refs, 3, InterpolationKernel::Linear);
+        let before = grid.clone();
+        let cell = GridIndex::new(2, 1);
+        refs.set_rssi(0, cell, refs.rssi(0, cell) + 2.5);
+        let mut changes = Vec::new();
+        patcher.patch(&mut grid, &refs, &[(0, cell)], |k, flat, old, new| {
+            changes.push((k, flat, old, new))
+        });
+        assert!(!changes.is_empty());
+        // Replaying the change set onto the old grid reproduces the new one,
+        // and every reported `old` matches what was there.
+        let mut replay = before.clone();
+        for &(k, flat, old, new) in &changes {
+            let idx = replay.grid().unflat(flat);
+            assert_eq!(replay.rssi(k, idx).to_bits(), old.to_bits());
+            replay.field_mut(k).set(idx, new);
+        }
+        assert!(grids_bit_identical(&replay, &grid));
+        // Reader 1 was untouched.
+        assert!(changes.iter().all(|&(k, ..)| k == 0));
+        // A no-op patch (map unchanged) reports nothing.
+        let mut noop = Vec::new();
+        patcher.patch(&mut grid, &refs, &[(0, cell)], |k, flat, old, new| {
+            noop.push((k, flat, old, new))
+        });
+        assert!(noop.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "reference lattice mismatch")]
+    fn patch_rejects_foreign_map() {
+        let refs = map_with(|p| -70.0 - p.x);
+        let (mut grid, mut patcher) =
+            VirtualGrid::build_with_patcher(&refs, 2, InterpolationKernel::Linear);
+        let other_grid = RegularGrid::square(Point2::ORIGIN, 2.0, 4);
+        let readers = vec![Point2::new(-1.0, -1.0), Point2::new(4.0, 4.0)];
+        let fields = readers
+            .iter()
+            .map(|_| GridData::filled(other_grid, -70.0))
+            .collect();
+        let other = ReferenceRssiMap::new(other_grid, readers, fields);
+        patcher.patch(
+            &mut grid,
+            &other,
+            &[(0, GridIndex::new(0, 0))],
+            |_, _, _, _| {},
+        );
     }
 }

@@ -1,0 +1,118 @@
+//! Support windows for windowed re-interpolation.
+//!
+//! When one knot of a refined grid line changes, a kernel with **local
+//! support** (piecewise-linear) only moves the fine samples in the cells
+//! adjacent to that knot; a **global** kernel (full-degree polynomial,
+//! natural cubic spline — its tridiagonal solve couples every knot) moves
+//! the whole line. These helpers compute the inclusive fine-index window
+//! that must be re-evaluated per changed knot, letting callers patch
+//! refined fields in O(kernel footprint) instead of O(line length).
+//!
+//! Conventions match the refined-lattice layout of
+//! [`RegularGrid::refined`](crate::RegularGrid::refined): a line with
+//! `knot_count` knots refined by factor `n` has `(knot_count − 1) · n + 1`
+//! fine samples, and fine index `c · n + p` lies in coarse cell `c` at
+//! offset `p`.
+
+use std::ops::RangeInclusive;
+
+/// Number of fine samples on a line with `knot_count` knots refined by
+/// factor `n`.
+///
+/// # Panics
+/// Panics when `knot_count == 0` or `n == 0`.
+pub fn fine_len(knot_count: usize, n: usize) -> usize {
+    assert!(knot_count > 0, "need at least one knot");
+    assert!(n > 0, "refinement factor must be at least 1");
+    (knot_count - 1) * n + 1
+}
+
+/// Inclusive fine-index window affected by changing knot `knot`, for a
+/// kernel whose value at a fine sample depends only on the two knots
+/// bounding its cell (piecewise-linear interpolation).
+///
+/// The window is the closed superset `[(knot − 1) · n, (knot + 1) · n]`
+/// clamped to the line: the two cells incident to the knot, including both
+/// cell-boundary samples. Boundary samples coincide with knots and may be
+/// unchanged; callers that patch by value should diff after re-evaluation.
+///
+/// # Panics
+/// Panics when `knot >= knot_count` or either count is zero.
+pub fn local_knot_support(knot: usize, knot_count: usize, n: usize) -> RangeInclusive<usize> {
+    let last = fine_len(knot_count, n) - 1;
+    assert!(knot < knot_count, "knot {knot} out of {knot_count}");
+    let lo = knot.saturating_sub(1) * n;
+    let hi = ((knot + 1) * n).min(last);
+    lo..=hi
+}
+
+/// Inclusive fine-index window affected by changing any knot under a
+/// kernel with **global** support (polynomial, natural cubic spline): the
+/// entire line.
+///
+/// # Panics
+/// Panics when `knot_count == 0` or `n == 0`.
+pub fn full_line_support(knot_count: usize, n: usize) -> RangeInclusive<usize> {
+    0..=(fine_len(knot_count, n) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fine_len_matches_refined_lattice() {
+        assert_eq!(fine_len(4, 10), 31);
+        assert_eq!(fine_len(2, 1), 2);
+        assert_eq!(fine_len(1, 5), 1);
+    }
+
+    #[test]
+    fn interior_knot_covers_both_cells() {
+        // 4 knots, n = 10: knot 1 touches cells 0 and 1 → fine [0, 20].
+        assert_eq!(local_knot_support(1, 4, 10), 0..=20);
+        assert_eq!(local_knot_support(2, 4, 10), 10..=30);
+    }
+
+    #[test]
+    fn boundary_knots_clamp_to_line() {
+        assert_eq!(local_knot_support(0, 4, 10), 0..=10);
+        assert_eq!(local_knot_support(3, 4, 10), 20..=30);
+        // Two knots: every knot covers the single cell.
+        assert_eq!(local_knot_support(0, 2, 4), 0..=4);
+        assert_eq!(local_knot_support(1, 2, 4), 0..=4);
+    }
+
+    #[test]
+    fn single_knot_line_is_one_sample() {
+        assert_eq!(local_knot_support(0, 1, 7), 0..=0);
+    }
+
+    #[test]
+    fn full_line_support_covers_everything() {
+        assert_eq!(full_line_support(4, 10), 0..=30);
+        assert_eq!(full_line_support(1, 3), 0..=0);
+    }
+
+    #[test]
+    fn local_window_is_superset_of_true_linear_support() {
+        // For every fine sample s in cell c = min(s / n, knots − 2), the
+        // linear value depends on knots c and c + 1; check each such s is
+        // inside the reported window of both.
+        let (knots, n) = (5, 6);
+        let fine = fine_len(knots, n);
+        for s in 0..fine {
+            let c = (s / n).min(knots - 2);
+            for k in [c, c + 1] {
+                let w = local_knot_support(k, knots, n);
+                assert!(w.contains(&s), "sample {s} outside window of knot {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_knot_panics() {
+        local_knot_support(4, 4, 2);
+    }
+}

@@ -11,7 +11,11 @@
 //! * [`MiddlewareStage::reference_map`] refreshes the cached calibration
 //!   map in place, rewriting only the cells whose smoothed value moved,
 //! * [`MiddlewareStage::changed_readings`] drains only the tracking tags
-//!   whose reading vector changed since the last drain.
+//!   whose reading vector changed since the last drain,
+//! * [`MiddlewareStage::take_dirty_cells`] drains the calibration cells
+//!   whose cached-map value bit-changed, feeding the service's
+//!   incremental prepared-state patching
+//!   ([`vire_core::incremental`]).
 //!
 //! The stage implements [`vire_core::SnapshotSource`], so
 //! [`vire_core::LocationService::drive`] can poll it incrementally —
@@ -22,7 +26,7 @@ use crate::reader::ReaderId;
 use crate::tag::TagId;
 use std::collections::{HashMap, HashSet};
 use vire_bus::{EventBus, ReaderToken};
-use vire_core::{ReferenceRssiMap, SnapshotSource, TrackingReading};
+use vire_core::{DirtyCell, ReferenceRssiMap, SnapshotSource, TrackingReading};
 use vire_geom::{GridIndex, Point2, RegularGrid};
 
 /// What one [`MiddlewareStage::pump`] call consumed.
@@ -57,6 +61,10 @@ pub struct MiddlewareStage {
     cached_map: Option<ReferenceRssiMap>,
     /// Changed reference cells not yet applied to `cached_map`.
     dirty_ref_cells: Vec<(GridIndex, ReaderId)>,
+    /// Cells whose `cached_map` value bit-changed, not yet drained by
+    /// [`MiddlewareStage::take_dirty_cells`]; `service_dirty_set` dedups.
+    service_dirty: Vec<DirtyCell>,
+    service_dirty_set: HashSet<DirtyCell>,
     /// Tracking tags with changed readings, in first-dirtied order.
     dirty_tracking: Vec<TagId>,
     dirty_tracking_set: HashSet<TagId>,
@@ -84,6 +92,8 @@ impl MiddlewareStage {
             reference_cells: HashMap::new(),
             cached_map: None,
             dirty_ref_cells: Vec::new(),
+            service_dirty: Vec::new(),
+            service_dirty_set: HashSet::new(),
             dirty_tracking: Vec::new(),
             dirty_tracking_set: HashSet::new(),
         }
@@ -152,28 +162,55 @@ impl MiddlewareStage {
     /// rewritten in the cached map. `None` while some (reference tag,
     /// reader) pair has no smoothed value yet.
     pub fn reference_map(&mut self) -> Option<&ReferenceRssiMap> {
-        match &mut self.cached_map {
-            None => {
-                self.cached_map =
-                    self.middleware
-                        .reference_map(self.grid, &self.reference_tags, &self.readers);
-                if self.cached_map.is_some() {
-                    // The full export already reflects every pending change.
-                    self.dirty_ref_cells.clear();
-                }
+        if self.cached_map.is_none() {
+            self.cached_map =
+                self.middleware
+                    .reference_map(self.grid, &self.reference_tags, &self.readers);
+            if self.cached_map.is_some() {
+                // The full export already reflects every pending change,
+                // and a consumer binding to this brand-new map has no
+                // prior state a dirty hint could patch.
+                self.dirty_ref_cells.clear();
             }
-            Some(map) => {
-                for (cell, reader) in self.dirty_ref_cells.drain(..) {
-                    let tag = self.reference_tags[&cell];
-                    let value = self
-                        .middleware
-                        .rssi(tag, reader)
-                        .expect("a dirty cell was ingested at least once");
-                    map.set_rssi(reader.0 as usize, cell, value);
-                }
-            }
+        } else {
+            self.flush_ref_cells();
         }
         self.cached_map.as_ref()
+    }
+
+    /// Applies pending reference-cell changes to the cached map, recording
+    /// the cells whose value actually bit-changed for
+    /// [`MiddlewareStage::take_dirty_cells`].
+    fn flush_ref_cells(&mut self) {
+        let Some(map) = self.cached_map.as_mut() else {
+            return;
+        };
+        for (cell, reader) in self.dirty_ref_cells.drain(..) {
+            let tag = self.reference_tags[&cell];
+            let value = self
+                .middleware
+                .rssi(tag, reader)
+                .expect("a dirty cell was ingested at least once");
+            let k = reader.0 as usize;
+            if map.set_rssi(k, cell, value) && self.service_dirty_set.insert((k, cell)) {
+                self.service_dirty.push((k, cell));
+            }
+        }
+    }
+
+    /// Drains the calibration cells whose cached-map value bit-changed
+    /// since the last drain, as `(reader, cell)` pairs — the
+    /// [`SnapshotSource::take_dirty_cells`] seam.
+    ///
+    /// Pending reference changes are flushed into the cached map first, so
+    /// the returned set is **complete** up to this call: a consumer that
+    /// patches its prepared state by exactly these cells ends up
+    /// bit-identical to rebuilding against
+    /// [`MiddlewareStage::reference_map`].
+    pub fn take_dirty_cells(&mut self) -> Vec<DirtyCell> {
+        self.flush_ref_cells();
+        self.service_dirty_set.clear();
+        std::mem::take(&mut self.service_dirty)
     }
 
     /// Drains the tracking tags whose smoothed reading changed since the
@@ -208,6 +245,10 @@ impl SnapshotSource for MiddlewareStage {
 
     fn changed_readings(&mut self) -> Vec<(u32, TrackingReading)> {
         MiddlewareStage::changed_readings(self)
+    }
+
+    fn take_dirty_cells(&mut self) -> Vec<DirtyCell> {
+        MiddlewareStage::take_dirty_cells(self)
     }
 }
 
@@ -324,6 +365,39 @@ mod tests {
         assert_eq!(changed.len(), 1);
         assert_eq!(changed[0].1.rssi(), &[-70.0, -72.0]);
         assert_eq!(stage.pending_tracking(), 0);
+    }
+
+    #[test]
+    fn take_dirty_cells_reports_each_bit_changed_cell_once() {
+        let (mut stage, mut bus) = stage_and_bus();
+        for n in 0..4u32 {
+            bus.publish(reading(0.0, n, 0, -70.0 - n as f64));
+        }
+        stage.pump(&bus);
+        assert!(stage.reference_map().is_some());
+        assert!(
+            stage.take_dirty_cells().is_empty(),
+            "a fresh full export has no deltas to report"
+        );
+        // Two updates to one cell plus one to another, drained without an
+        // intervening reference_map() call: the drain flushes them itself
+        // and coalesces the repeat.
+        bus.publish(reading(1.0, 0, 0, -90.0));
+        bus.publish(reading(2.0, 0, 0, -91.0));
+        bus.publish(reading(2.0, 1, 0, -75.0));
+        stage.pump(&bus);
+        let dirty = stage.take_dirty_cells();
+        assert_eq!(dirty.len(), 2);
+        assert!(dirty.contains(&(0, GridIndex::new(0, 0))));
+        assert!(dirty.contains(&(0, GridIndex::new(1, 0))));
+        // The flush already applied the changes to the cached map.
+        let map = stage.reference_map().expect("still complete");
+        assert_eq!(map.rssi(0, GridIndex::new(0, 0)), -91.0);
+        assert!(stage.take_dirty_cells().is_empty(), "drained");
+        // Re-publishing the identical value dirties nothing.
+        bus.publish(reading(3.0, 0, 0, -91.0));
+        stage.pump(&bus);
+        assert!(stage.take_dirty_cells().is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use vire_viz::svg::{nice_ticks, LinearScale, Svg};
 fn well_formed(svg: &str) -> bool {
     svg.starts_with("<?xml")
         && svg.trim_end().ends_with("</svg>")
-        && svg.matches('"').count() % 2 == 0
+        && svg.matches('"').count().is_multiple_of(2)
         && svg.matches("<svg").count() == svg.matches("</svg>").count()
         && svg.matches("<text").count() == svg.matches("</text>").count()
 }

@@ -19,8 +19,11 @@ cargo test -q --workspace
 echo "==> cargo test (vire-bus)"
 cargo test -q -p vire-bus
 
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
 echo "==> cargo clippy"
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
