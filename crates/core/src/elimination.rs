@@ -16,9 +16,10 @@
 //! A fixed-threshold mode exists for the Fig. 8 sweep, where the threshold
 //! is the independent variable.
 
+use crate::kernels;
 use crate::types::TrackingReading;
 use crate::virtual_grid::VirtualGrid;
-use vire_geom::GridData;
+use vire_geom::{bitgrid, BitGrid};
 
 /// How the elimination threshold is chosen.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,16 +62,17 @@ impl Default for ThresholdMode {
 /// Result of the elimination stage.
 #[derive(Debug, Clone)]
 pub struct EliminationResult {
-    /// Combined candidate mask on the virtual grid.
-    pub mask: GridData<bool>,
+    /// Combined candidate mask on the virtual grid, packed 64 regions per
+    /// word ([`BitGrid`]).
+    pub mask: BitGrid,
     /// Final per-reader thresholds (equal in fixed/common modes).
     pub thresholds: Vec<f64>,
 }
 
 impl EliminationResult {
-    /// Number of surviving candidate regions.
+    /// Number of surviving candidate regions — a word-wise popcount.
     pub fn candidates(&self) -> usize {
-        self.mask.count_true()
+        self.mask.count_ones()
     }
 }
 
@@ -93,8 +95,10 @@ pub(crate) struct ElimBuffers {
     list: Vec<u32>,
     /// Per-survivor gaps, entry-major: `list_gaps[e * K + k]`.
     list_gaps: Vec<f64>,
-    /// Combined candidate mask, row-major flat over the virtual grid.
-    pub(crate) mask: Vec<bool>,
+    /// Combined candidate mask, packed 64 row-major nodes per word (the
+    /// [`bitgrid`] layout: node `flat` is bit `flat % 64` of word
+    /// `flat / 64`; tail bits stay zero).
+    pub(crate) mask: Vec<u64>,
     /// Final per-reader thresholds.
     pub(crate) thresholds: Vec<f64>,
     /// Phase-3 reader ordering.
@@ -152,6 +156,20 @@ fn count_gap_below(plane: &[f64], theta: f64, bound: f64) -> usize {
         .sum()
 }
 
+/// Packs `vals[i] < bound` into bitset words: 64 comparisons per output
+/// word, tail bits zero. Every word is fully overwritten, so the buffer
+/// needs no clearing between calls.
+fn write_below_mask(vals: &[f64], bound: f64, words: &mut [u64]) {
+    debug_assert_eq!(words.len(), bitgrid::words_for(vals.len()));
+    for (word, chunk) in words.iter_mut().zip(vals.chunks(bitgrid::WORD_BITS)) {
+        let mut bits = 0u64;
+        for (b, &v) in chunk.iter().enumerate() {
+            bits |= u64::from(v < bound) << b;
+        }
+        *word = bits;
+    }
+}
+
 /// Allocation-free elimination over pre-flattened RSSI planes
 /// (`planes[k * nodes + flat]`, the layout [`crate::PreparedVire`] caches).
 /// On success the final mask and per-reader thresholds are left in `buf`
@@ -192,50 +210,43 @@ pub(crate) fn eliminate_into(
         "adaptive elimination needs the sorted planes"
     );
 
-    // Max-gap plane: element-wise only (no cross-iteration dependency, and
-    // a plain compare instead of the NaN-aware `f64::max` intrinsic), so
-    // the pass vectorizes. Gaps are ≥ 0, so starting at 0 is exact for
-    // K ≥ 1.
-    buf.maxgap.clear();
-    buf.maxgap.resize(nodes, 0.0);
-    for k in 0..k_readers {
-        let theta = reading.at(k);
-        for (m, s) in buf
-            .maxgap
-            .iter_mut()
-            .zip(&planes[k * nodes..(k + 1) * nodes])
-        {
-            let g = (s - theta).abs();
-            if g > *m {
-                *m = g;
-            }
-        }
-    }
-    let ElimBuffers {
-        maxgap,
-        quantile,
-        best,
-        list,
-        list_gaps,
-        mask,
-        thresholds,
-        order,
-    } = buf;
-    let maxgap = maxgap.as_slice();
-
     match mode {
         ThresholdMode::Fixed(t) => {
             assert!(
                 t >= 0.0 && t.is_finite(),
                 "threshold must be non-negative and finite"
             );
-            if !maxgap.iter().any(|&m| m < t) {
+            let mask = &mut buf.mask;
+            bitgrid::ensure_words(mask, nodes);
+            // Each reader's threshold comparison emits word bitmasks; the
+            // K-reader intersection is then a word-wise AND, with no
+            // max-gap plane materialized at all. Equivalent to the
+            // historical `max_k gap < t` test since `∀k: gap_k < t`
+            // ⟺ `max_k gap_k < t` for finite gaps.
+            bitgrid::fill_ones(mask, nodes);
+            if k_readers == 0 {
+                // Degenerate zero-reader case: the max-gap plane is all
+                // zeros, so every node survives iff `0 < t`.
+                if t <= 0.0 {
+                    mask.fill(0);
+                }
+            }
+            for k in 0..k_readers {
+                let theta = reading.at(k);
+                let plane = &planes[k * nodes..(k + 1) * nodes];
+                for (word, chunk) in mask.iter_mut().zip(plane.chunks(bitgrid::WORD_BITS)) {
+                    let mut bits = 0u64;
+                    for (b, &s) in chunk.iter().enumerate() {
+                        bits |= u64::from((s - theta).abs() < t) << b;
+                    }
+                    *word &= bits;
+                }
+            }
+            if mask.iter().all(|&w| w == 0) {
                 return false;
             }
-            thresholds.clear();
-            thresholds.resize(k_readers, t);
-            mask.clear();
-            mask.extend(maxgap.iter().map(|&m| m < t));
+            buf.thresholds.clear();
+            buf.thresholds.resize(k_readers, t);
             true
         }
         ThresholdMode::Adaptive {
@@ -245,6 +256,21 @@ pub(crate) fn eliminate_into(
             min_candidates,
         } => {
             assert!(step > 0.0 && min >= 0.0, "invalid adaptive parameters");
+            // Max-gap plane via the lane-chunked kernel: gaps are ≥ 0, so
+            // starting at 0 is exact for K ≥ 1, and the per-node compare
+            // order matches a scalar node-at-a-time fold bit-for-bit.
+            kernels::max_gap_into(planes, nodes, reading.rssi(), &mut buf.maxgap);
+            let ElimBuffers {
+                maxgap,
+                quantile,
+                best,
+                list,
+                list_gaps,
+                mask,
+                thresholds,
+                order,
+            } = buf;
+            let maxgap = maxgap.as_slice();
             // Clamp so a floor larger than the lattice cannot make the
             // growth loop unbounded.
             let floor = min_candidates.max(1).min(nodes);
@@ -370,14 +396,18 @@ pub(crate) fn eliminate_into(
                         }
                     }
                 }
-                mask.clear();
-                mask.resize(nodes, false);
+                // The word buffer is sized once (a no-op resize in steady
+                // state) and zero-filled per reading — no per-iteration
+                // `clear`/`resize` churn — then the survivor list scatters
+                // its bits.
+                bitgrid::ensure_words(mask, nodes);
+                mask.fill(0);
                 for &flat in list.iter() {
-                    mask[flat as usize] = true;
+                    bitgrid::set_bit(mask, flat as usize);
                 }
             } else {
-                mask.clear();
-                mask.extend(maxgap.iter().map(|&m| m < t));
+                bitgrid::ensure_words(mask, nodes);
+                write_below_mask(maxgap, t, mask);
             }
             true
         }
@@ -438,7 +468,7 @@ pub fn eliminate(
         return None;
     }
     Some(EliminationResult {
-        mask: GridData::from_vec(*grid.grid(), std::mem::take(&mut buf.mask)),
+        mask: BitGrid::from_words(*grid.grid(), std::mem::take(&mut buf.mask)),
         thresholds: std::mem::take(&mut buf.thresholds),
     })
 }
@@ -480,7 +510,7 @@ mod tests {
         let result = eliminate(&vg, &reading, ThresholdMode::Fixed(2.0)).unwrap();
         assert!(result.candidates() > 0);
         let nearest = vg.grid().nearest_node(truth);
-        assert!(*result.mask.get(nearest), "true region must survive");
+        assert!(result.mask.get(nearest), "true region must survive");
         assert_eq!(result.thresholds, vec![2.0; 4]);
     }
 
@@ -503,7 +533,7 @@ mod tests {
         let result = eliminate(&vg, &reading, ThresholdMode::default()).unwrap();
         // The surviving mask's candidates should cluster around the truth:
         // every candidate within 1 m on this noise-free field.
-        for (idx, &set) in result.mask.iter() {
+        for (idx, set) in result.mask.iter() {
             if set {
                 let p = vg.grid().position(idx);
                 assert!(

@@ -15,8 +15,8 @@
 //!   chunked merge — producing state **bit-identical** to a from-scratch
 //!   prepare (pinned by property tests in `tests/incremental.rs`).
 //! * [`PreparedLandmarcOwned`] — the same lifecycle for the LANDMARC
-//!   baseline, where a dirty cell is an O(1) write into the node-major
-//!   signal table.
+//!   baseline, where a dirty cell is an O(1) write into the reader-major
+//!   signal planes.
 //!
 //! Sync resolves what changed in this order: an `(id, epoch)` match means
 //! *nothing* (reuse as-is); the map's change journal yields the exact
@@ -31,13 +31,16 @@
 //! are bit-identical, so the cutover is invisible).
 
 use crate::landmarc::{Landmarc, LandmarcConfig};
-use crate::localizer::{Estimate, LocalizeError, Localizer};
-use crate::prepared::{PreparedLocalizer, PreparedVire, VireScratch, VireState};
+use crate::localizer::{Estimate, LocalizeError};
+use crate::prepared::{
+    landmarc_locate_core, landmarc_planes, with_landmarc_scratch, PreparedLocalizer, PreparedVire,
+    VireScratch, VireState,
+};
 use crate::sorted_vec;
 use crate::types::{ReferenceRssiMap, TrackingReading};
 use crate::vire_alg::{Vire, VireConfig};
 use crate::virtual_grid::GridPatcher;
-use vire_geom::GridIndex;
+use vire_geom::{GridIndex, Point2};
 
 /// One changed calibration entry: `(reader, coarse lattice node)`.
 pub type DirtyCell = (usize, GridIndex);
@@ -335,12 +338,14 @@ impl Vire {
 }
 
 /// LANDMARC prepared state that survives across snapshots: a dirty
-/// calibration cell is one write into the node-major signal table
-/// (`signals[flat * K + k]`).
+/// calibration cell is one write into the reader-major signal planes
+/// (`planes[k * nodes + flat]`, the same layout the borrowed
+/// [`crate::PreparedLandmarc`] feeds the vector kernels).
 pub struct PreparedLandmarcOwned {
     config: LandmarcConfig,
     refs: ReferenceRssiMap,
-    signals: Vec<f64>,
+    planes: Vec<f64>,
+    positions: Vec<Point2>,
     source_id: u64,
     synced_epoch: u64,
     dirty_scratch: Vec<DirtyCell>,
@@ -350,37 +355,38 @@ impl PreparedLandmarcOwned {
     /// Builds the owned prepared state bound to `refs` (cloned).
     pub fn build(config: LandmarcConfig, refs: &ReferenceRssiMap) -> Self {
         let mirror = refs.clone();
-        let grid = *mirror.grid();
-        let k_readers = mirror.reader_count();
-        let mut signals = Vec::with_capacity(grid.node_count() * k_readers);
-        for idx in grid.indices() {
-            for k in 0..k_readers {
-                signals.push(mirror.rssi(k, idx));
-            }
-        }
+        let (planes, positions) = landmarc_planes(&mirror);
         PreparedLandmarcOwned {
             config,
             refs: mirror,
-            signals,
+            planes,
+            positions,
             source_id: refs.id(),
             synced_epoch: refs.epoch(),
             dirty_scratch: Vec::new(),
         }
     }
 
-    /// The node-major signal table — for bit-identity tests.
-    pub fn signals(&self) -> &[f64] {
-        &self.signals
+    /// The reader-major signal planes — for bit-identity tests.
+    pub fn planes(&self) -> &[f64] {
+        &self.planes
     }
 }
 
 impl PreparedLocalizer for PreparedLandmarcOwned {
     fn locate(&self, reading: &TrackingReading) -> Result<Estimate, LocalizeError> {
-        // Same query path as the borrowed PreparedLandmarc: delegate to a
-        // stack temporary over our own tables would duplicate code; route
-        // through the one-shot algorithm on the mirror instead, which is
-        // bit-identical (PreparedLandmarc is itself pinned to it by test).
-        Landmarc::new(self.config).locate(&self.refs, reading)
+        crate::localizer::check_readers(&self.refs, reading)?;
+        // Same kernel core as the borrowed PreparedLandmarc, over the
+        // owned planes — no per-call table rebuild.
+        with_landmarc_scratch(|scratch| {
+            landmarc_locate_core(
+                &self.planes,
+                &self.positions,
+                self.config.k,
+                reading,
+                scratch,
+            )
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -406,14 +412,14 @@ impl OwnedPreparedLocalizer for PreparedLandmarcOwned {
             hint,
             &mut dirty,
         );
-        let k_readers = self.refs.reader_count();
+        let nodes = self.refs.grid().node_count();
         let outcome = if dirty.is_empty() {
             SyncOutcome::Reused
         } else {
             for &(k, idx) in &dirty {
                 let value = refs.rssi(k, idx);
                 self.refs.set_rssi(k, idx, value);
-                self.signals[self.refs.grid().flat(idx) * k_readers + k] = value;
+                self.planes[k * nodes + self.refs.grid().flat(idx)] = value;
             }
             SyncOutcome::Patched(dirty.len())
         };
@@ -564,10 +570,10 @@ mod tests {
             owned.locate(&reading).unwrap(),
             fresh.locate(&reading).unwrap()
         );
-        // The patched signal table matches a rebuilt one exactly.
+        // The patched signal planes match a rebuilt instance exactly.
         let rebuilt = Landmarc::default().prepare_owned_landmarc(&refs);
         let bits = |s: &[f64]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
-        assert_eq!(bits(owned.signals()), bits(rebuilt.signals()));
+        assert_eq!(bits(owned.planes()), bits(rebuilt.planes()));
     }
 
     #[test]

@@ -53,6 +53,30 @@ impl Landmarc {
             })
             .collect()
     }
+
+    /// Computes `(E_j², position_j)` for every reference tag, unsorted —
+    /// the sqrt-free sibling of [`Landmarc::signal_distances`] for callers
+    /// that only rank by distance (`sqrt` is monotone, so ordering by `E²`
+    /// is exact; take `sqrt` of a winner if its `E` is needed).
+    pub fn signal_distances_sq(
+        refs: &ReferenceRssiMap,
+        reading: &TrackingReading,
+    ) -> Vec<(f64, Point2)> {
+        refs.grid()
+            .indices()
+            .map(|idx| {
+                // Same k-ascending accumulation as
+                // `TrackingReading::signal_distance`, minus the final sqrt.
+                let esq = (0..reading.reader_count())
+                    .map(|k| {
+                        let d = reading.at(k) - refs.rssi(k, idx);
+                        d * d
+                    })
+                    .sum::<f64>();
+                (esq, refs.grid().position(idx))
+            })
+            .collect()
+    }
 }
 
 /// Converts signal distances of the selected neighbours into normalized
@@ -90,7 +114,7 @@ pub(crate) fn inverse_square_weights_into(distances: &[f64], out: &mut Vec<f64>)
 }
 
 impl Localizer for Landmarc {
-    /// One-shot localization: prepares the node-major signal cache for
+    /// One-shot localization: prepares the reader-major signal planes for
     /// `refs`, answers the single query, and discards it. Loops over many
     /// readings against one map should use [`Landmarc::prepare`] — the
     /// results are bit-identical (this method routes through the same

@@ -47,6 +47,7 @@ pub mod elimination;
 pub mod ext;
 pub mod incremental;
 pub mod kalman;
+pub mod kernels;
 pub mod landmarc;
 pub mod localizer;
 pub mod nearest;

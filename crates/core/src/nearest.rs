@@ -22,7 +22,9 @@ impl Localizer for NearestReference {
         reading: &TrackingReading,
     ) -> Result<Estimate, LocalizeError> {
         check_readers(refs, reading)?;
-        let scored = Landmarc::signal_distances(refs, reading);
+        // Rank by E² — sqrt is monotone, so the argmin is the same tag and
+        // the sqrt never needs to run (only the position is reported).
+        let scored = Landmarc::signal_distances_sq(refs, reading);
         let best = scored
             .into_iter()
             .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
@@ -62,7 +64,9 @@ impl Localizer for KCentroid {
                 self.k
             )));
         }
-        let mut scored = Landmarc::signal_distances(refs, reading);
+        // Rank by E² (sqrt-free): the centroid is unweighted, so only the
+        // selection order matters and E² orders identically to E.
+        let mut scored = Landmarc::signal_distances_sq(refs, reading);
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let positions: Vec<Point2> = scored.iter().take(self.k).map(|(_, p)| *p).collect();
         Point2::centroid(&positions)

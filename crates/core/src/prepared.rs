@@ -9,7 +9,8 @@
 //! * **prepare** — [`Vire::prepare`] / [`Landmarc::prepare`] do all
 //!   map-dependent work up front: the interpolated [`VirtualGrid`], the
 //!   per-reader RSSI planes flattened reader-major for cache-friendly
-//!   scans, and (for LANDMARC) node-major signal vectors plus positions.
+//!   scans, and (for LANDMARC) the same reader-major planes plus
+//!   positions.
 //! * **query** — [`PreparedVire::locate_with_scratch`] runs elimination
 //!   and weighting through a reusable [`VireScratch`] arena, so steady
 //!   state performs **zero heap allocation** per reading.
@@ -24,6 +25,7 @@ use std::borrow::Borrow;
 use std::cell::RefCell;
 
 use crate::elimination::{eliminate_into, flatten_planes, sort_planes, ElimBuffers, ThresholdMode};
+use crate::kernels;
 use crate::landmarc::{inverse_square_weights_into, Landmarc, LandmarcConfig};
 use crate::localizer::{check_readers, Estimate, LocalizeError, Localizer};
 use crate::types::{ReferenceRssiMap, TrackingReading};
@@ -394,21 +396,24 @@ impl PreparedLocalizer for PreparedVire<'_> {
     }
 }
 
-/// LANDMARC bound to one calibration map: node-major signal vectors
-/// (`signals[flat * K + k]`) plus node positions, so each query scans one
-/// contiguous buffer instead of re-collecting per-node signal vectors.
+/// LANDMARC bound to one calibration map: reader-major RSSI planes
+/// (`planes[k * nodes + flat]`, the same layout VIRE's prepared state
+/// uses) plus node positions, so each query runs the lane-chunked
+/// squared-E-distance kernel over contiguous plane memory.
 pub struct PreparedLandmarc<'a> {
     config: LandmarcConfig,
     refs: &'a ReferenceRssiMap,
-    signals: Vec<f64>,
+    planes: Vec<f64>,
     positions: Vec<Point2>,
 }
 
-/// Scratch for [`PreparedLandmarc`] queries: scored nodes plus the
-/// neighbour distance/position/weight buffers.
+/// Scratch for LANDMARC queries (borrowed and owned-incremental alike):
+/// the kernel's squared-distance plane, the `(e², flat)` selection pairs,
+/// and the winner distance/position/weight buffers.
 #[derive(Debug, Default)]
-struct LandmarcScratch {
-    scored: Vec<(f64, Point2)>,
+pub(crate) struct LandmarcScratch {
+    esq: Vec<f64>,
+    scored: Vec<(f64, u32)>,
     distances: Vec<f64>,
     positions: Vec<Point2>,
     weights: Vec<f64>,
@@ -418,22 +423,81 @@ thread_local! {
     static LANDMARC_SCRATCH: RefCell<LandmarcScratch> = RefCell::new(LandmarcScratch::default());
 }
 
+/// Runs `f` with this thread's LANDMARC scratch borrowed mutably.
+pub(crate) fn with_landmarc_scratch<R>(f: impl FnOnce(&mut LandmarcScratch) -> R) -> R {
+    LANDMARC_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// LANDMARC query core over reader-major planes, shared by
+/// [`PreparedLandmarc`] and [`crate::incremental::PreparedLandmarcOwned`].
+///
+/// The per-node E-distance plane comes from the vector kernel in squared
+/// form; selection of the `k_select` nearest runs on `(e², flat)` — exact
+/// because `sqrt` is monotone, with the flat-index tie-break reproducing
+/// the historical stable sort — and the square root is taken only for the
+/// winners before the inverse-square weighting.
+pub(crate) fn landmarc_locate_core(
+    planes: &[f64],
+    positions: &[Point2],
+    k_select: usize,
+    reading: &TrackingReading,
+    scratch: &mut LandmarcScratch,
+) -> Result<Estimate, LocalizeError> {
+    let total_refs = positions.len();
+    if k_select == 0 || k_select > total_refs {
+        return Err(LocalizeError::InsufficientData(format!(
+            "k = {k_select} with {total_refs} reference tags"
+        )));
+    }
+    // Same per-node accumulation as `TrackingReading::signal_distance`:
+    // Σ_k (θ_k − S_k)², k ascending; node order is the grid's row-major
+    // order, as in `Landmarc::signal_distances`.
+    kernels::edist_sq_into(planes, total_refs, reading.rssi(), &mut scratch.esq);
+    scratch.scored.clear();
+    scratch.scored.extend(
+        scratch
+            .esq
+            .iter()
+            .enumerate()
+            .map(|(flat, &e)| (e, flat as u32)),
+    );
+    kernels::select_k_smallest(&mut scratch.scored, k_select);
+
+    scratch.distances.clear();
+    scratch.positions.clear();
+    for &(esq, flat) in scratch.scored.iter() {
+        // Deferred sqrt: e = √(Σ d²) bit-matches the historical per-node
+        // sqrt because the sum ran in the same order.
+        scratch.distances.push(esq.sqrt());
+        scratch.positions.push(positions[flat as usize]);
+    }
+    inverse_square_weights_into(&scratch.distances, &mut scratch.weights);
+
+    Point2::weighted_centroid(&scratch.positions, &scratch.weights)
+        .map(|position| Estimate::new(position, k_select))
+        .ok_or(LocalizeError::DegenerateWeights)
+}
+
+/// Flattens a calibration map's per-reader fields into the reader-major
+/// plane layout (`planes[k * nodes + flat]`) with matching row-major node
+/// positions.
+pub(crate) fn landmarc_planes(refs: &ReferenceRssiMap) -> (Vec<f64>, Vec<Point2>) {
+    let grid = refs.grid();
+    let mut planes = Vec::with_capacity(refs.reader_count() * grid.node_count());
+    for k in 0..refs.reader_count() {
+        planes.extend_from_slice(refs.field(k).as_slice());
+    }
+    let positions = grid.indices().map(|idx| grid.position(idx)).collect();
+    (planes, positions)
+}
+
 impl<'a> PreparedLandmarc<'a> {
     pub(crate) fn build(config: LandmarcConfig, refs: &'a ReferenceRssiMap) -> Self {
-        let grid = refs.grid();
-        let k_readers = refs.reader_count();
-        let mut signals = Vec::with_capacity(grid.node_count() * k_readers);
-        let mut positions = Vec::with_capacity(grid.node_count());
-        for idx in grid.indices() {
-            for k in 0..k_readers {
-                signals.push(refs.rssi(k, idx));
-            }
-            positions.push(grid.position(idx));
-        }
+        let (planes, positions) = landmarc_planes(refs);
         PreparedLandmarc {
             config,
             refs,
-            signals,
+            planes,
             positions,
         }
     }
@@ -447,46 +511,14 @@ impl<'a> PreparedLandmarc<'a> {
 impl PreparedLocalizer for PreparedLandmarc<'_> {
     fn locate(&self, reading: &TrackingReading) -> Result<Estimate, LocalizeError> {
         check_readers(self.refs, reading)?;
-        let total_refs = self.positions.len();
-        if self.config.k == 0 || self.config.k > total_refs {
-            return Err(LocalizeError::InsufficientData(format!(
-                "k = {} with {total_refs} reference tags",
-                self.config.k
-            )));
-        }
-        let k_readers = self.refs.reader_count();
-
-        LANDMARC_SCRATCH.with(|cell| {
-            let scratch = &mut *cell.borrow_mut();
-            // Same accumulation as `TrackingReading::signal_distance`:
-            // Σ_k (θ_k − S_k)², k ascending, then sqrt — node order is the
-            // grid's row-major order, as in `Landmarc::signal_distances`.
-            scratch.scored.clear();
-            for (flat, &pos) in self.positions.iter().enumerate() {
-                let base = flat * k_readers;
-                let e = (0..k_readers)
-                    .map(|k| (reading.at(k) - self.signals[base + k]).powi(2))
-                    .sum::<f64>()
-                    .sqrt();
-                scratch.scored.push((e, pos));
-            }
-            // Partial selection of the k smallest E (stable, as before).
-            scratch
-                .scored
-                .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-            scratch.scored.truncate(self.config.k);
-
-            scratch.distances.clear();
-            scratch.positions.clear();
-            for &(e, p) in &scratch.scored {
-                scratch.distances.push(e);
-                scratch.positions.push(p);
-            }
-            inverse_square_weights_into(&scratch.distances, &mut scratch.weights);
-
-            Point2::weighted_centroid(&scratch.positions, &scratch.weights)
-                .map(|position| Estimate::new(position, self.config.k))
-                .ok_or(LocalizeError::DegenerateWeights)
+        with_landmarc_scratch(|scratch| {
+            landmarc_locate_core(
+                &self.planes,
+                &self.positions,
+                self.config.k,
+                reading,
+                scratch,
+            )
         })
     }
 
@@ -509,7 +541,7 @@ impl Vire {
 
 impl Landmarc {
     /// Binds this LANDMARC configuration to one calibration map, caching
-    /// node-major signal vectors and node positions.
+    /// reader-major signal planes and node positions.
     pub fn prepare<'a>(&self, refs: &'a ReferenceRssiMap) -> PreparedLandmarc<'a> {
         PreparedLandmarc::build(LandmarcConfig { k: self.k() }, refs)
     }

@@ -3,14 +3,18 @@
 //! "Each reader will maintain its own proximity map … the reader will mark
 //! those regions as '1' (or highlighted) if the difference of RSSI values
 //! between the region and tracking tag is smaller than a threshold."
+//!
+//! Maps are stored as packed [`BitGrid`] masks: the threshold compare emits
+//! one `u64` word per 64 virtual tags, the K-reader intersection is a
+//! word-wise AND, and the highlighted area is a popcount.
 
 use crate::virtual_grid::VirtualGrid;
-use vire_geom::{GridData, GridIndex};
+use vire_geom::{bitgrid, BitGrid, GridIndex};
 
 /// One reader's proximity map over the virtual grid.
 #[derive(Debug, Clone)]
 pub struct ProximityMap {
-    mask: GridData<bool>,
+    mask: BitGrid,
     threshold: f64,
 }
 
@@ -26,13 +30,21 @@ impl ProximityMap {
             threshold >= 0.0 && threshold.is_finite(),
             "threshold must be non-negative and finite"
         );
-        let field = grid.field(k);
-        let mask = field.map(|&s| (s - tracking_rssi).abs() < threshold);
+        let field = grid.field(k).as_slice();
+        let mut words = vec![0u64; bitgrid::words_for(field.len())];
+        for (word, chunk) in words.iter_mut().zip(field.chunks(bitgrid::WORD_BITS)) {
+            let mut bits = 0u64;
+            for (b, &s) in chunk.iter().enumerate() {
+                bits |= u64::from((s - tracking_rssi).abs() < threshold) << b;
+            }
+            *word = bits;
+        }
+        let mask = BitGrid::from_words(*grid.grid(), words);
         ProximityMap { mask, threshold }
     }
 
     /// The highlight mask.
-    pub fn mask(&self) -> &GridData<bool> {
+    pub fn mask(&self) -> &BitGrid {
         &self.mask
     }
 
@@ -44,26 +56,26 @@ impl ProximityMap {
     /// Number of highlighted regions — the "area" the adaptive threshold
     /// algorithm compares across readers.
     pub fn area(&self) -> usize {
-        self.mask.count_true()
+        self.mask.count_ones()
     }
 
     /// Whether a region is highlighted.
     pub fn is_highlighted(&self, idx: GridIndex) -> bool {
-        *self.mask.get(idx)
+        self.mask.get(idx)
     }
 }
 
 /// Intersects K proximity maps into the combined candidate mask
 /// ("an intersection function is applied to indicate the most probable
-/// regions from the K readers").
+/// regions from the K readers") — a word-wise AND over the packed masks.
 ///
 /// # Panics
 /// Panics when `maps` is empty.
-pub fn intersect(maps: &[ProximityMap]) -> GridData<bool> {
+pub fn intersect(maps: &[ProximityMap]) -> BitGrid {
     assert!(!maps.is_empty(), "need at least one proximity map");
     let mut acc = maps[0].mask().clone();
     for m in &maps[1..] {
-        acc = acc.and(m.mask());
+        acc.and_assign(m.mask());
     }
     acc
 }
@@ -126,6 +138,18 @@ mod tests {
     }
 
     #[test]
+    fn mask_matches_scalar_grid_data_build() {
+        // The word-chunked build must agree bit-for-bit with the obvious
+        // per-node map over `GridData<bool>`.
+        let g = vg();
+        for &(theta, t) in &[(-74.0, 1.5), (-60.0, 0.3), (-80.0, 6.0)] {
+            let m = ProximityMap::build(&g, 0, theta, t);
+            let scalar = g.field(0).map(|&s| (s - theta).abs() < t);
+            assert_eq!(m.mask().to_grid_data().as_slice(), scalar.as_slice());
+        }
+    }
+
+    #[test]
     fn intersection_shrinks_the_candidate_set() {
         let g = vg();
         // Tracking tag at (1.5, 1.5): true RSSI per reader via the same
@@ -136,11 +160,11 @@ mod tests {
         let m0 = ProximityMap::build(&g, 0, theta0, 2.0);
         let m1 = ProximityMap::build(&g, 1, theta1, 2.0);
         let both = intersect(&[m0.clone(), m1.clone()]);
-        assert!(both.count_true() <= m0.area().min(m1.area()));
-        assert!(both.count_true() > 0, "true position must survive");
+        assert!(both.count_ones() <= m0.area().min(m1.area()));
+        assert!(both.count_ones() > 0, "true position must survive");
         // The intersection must contain the virtual tag nearest the truth.
         let nearest = g.grid().nearest_node(p);
-        assert!(*both.get(nearest));
+        assert!(both.get(nearest));
     }
 
     #[test]

@@ -66,10 +66,13 @@ impl Vire {
             // from the LANDMARC residual alone with a spread penalty of a
             // full cell.
             let grid_pitch = refs.grid().pitch_x();
-            let best = crate::landmarc::Landmarc::signal_distances(refs, reading)
+            // sqrt-free scan: sqrt is monotone (and correctly rounded), so
+            // √(min E²) is bitwise the same as min √(E²) — one sqrt total.
+            let best = crate::landmarc::Landmarc::signal_distances_sq(refs, reading)
                 .into_iter()
-                .map(|(e, _)| e)
-                .fold(f64::INFINITY, f64::min);
+                .map(|(esq, _)| esq)
+                .fold(f64::INFINITY, f64::min)
+                .sqrt();
             return Ok((estimate, FixQuality::combine(best, grid_pitch)));
         };
 

@@ -24,7 +24,7 @@ use crate::prepared::{PreparedLocalizer, PreparedVire, Unprepared};
 use crate::types::{ReferenceRssiMap, TrackingReading};
 use crate::virtual_grid::InterpolationKernel;
 use crate::weights::{W1Mode, WeightingMode};
-use vire_geom::GridData;
+use vire_geom::BitGrid;
 
 pub use crate::elimination::ThresholdMode;
 pub use crate::weights::WeightingMode as VireWeighting;
@@ -150,7 +150,7 @@ impl Vire {
         PreparedVire::with_thread_scratch(|scratch| {
             let (estimate, eliminated) = prepared.locate_core(reading, scratch)?;
             let diag = eliminated.then(|| EliminationResult {
-                mask: GridData::from_vec(*prepared.grid().grid(), scratch.elim.mask.clone()),
+                mask: BitGrid::from_words(*prepared.grid().grid(), scratch.elim.mask.clone()),
                 thresholds: scratch.elim.thresholds.clone(),
             });
             Ok((estimate, diag))

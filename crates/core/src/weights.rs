@@ -14,7 +14,7 @@
 use crate::landmarc::inverse_square_weights_into;
 use crate::virtual_grid::VirtualGrid;
 use crate::TrackingReading;
-use vire_geom::{GridData, GridIndex};
+use vire_geom::{bitgrid, BitGrid, GridIndex};
 
 /// How the signal-agreement factor `w1` is computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -102,12 +102,12 @@ pub(crate) struct WeightBuffers {
     stack: Vec<usize>,
 }
 
-/// 4-connected component labelling on a flat mask — the allocation-free
-/// equivalent of `vire_geom::label::Components::label`. Component *sizes*
-/// are what w2 consumes, and those are invariant to traversal order, so
-/// this produces weights identical to the grid-based labelling.
-fn label_components(mask: &[bool], nx: usize, buf: &mut WeightBuffers) {
-    let nodes = mask.len();
+/// 4-connected component labelling on a packed bitset mask — the
+/// allocation-free equivalent of `vire_geom::label::Components::label`.
+/// Component *sizes* are what w2 consumes, and those are invariant to
+/// traversal order, so this produces weights identical to the grid-based
+/// labelling.
+fn label_components(mask: &[u64], nx: usize, nodes: usize, buf: &mut WeightBuffers) {
     buf.labels.clear();
     buf.labels.resize(nodes, 0);
     buf.comp_sizes.clear();
@@ -133,19 +133,19 @@ fn label_components(mask: &[bool], nx: usize, buf: &mut WeightBuffers) {
             size += 1;
             let i = flat % nx;
             // 4-neighbourhood in flat coordinates.
-            if i > 0 && mask[flat - 1] && labels[flat - 1] == 0 {
+            if i > 0 && bitgrid::get_bit(mask, flat - 1) && labels[flat - 1] == 0 {
                 labels[flat - 1] = label;
                 stack.push(flat - 1);
             }
-            if i + 1 < nx && mask[flat + 1] && labels[flat + 1] == 0 {
+            if i + 1 < nx && bitgrid::get_bit(mask, flat + 1) && labels[flat + 1] == 0 {
                 labels[flat + 1] = label;
                 stack.push(flat + 1);
             }
-            if flat >= nx && mask[flat - nx] && labels[flat - nx] == 0 {
+            if flat >= nx && bitgrid::get_bit(mask, flat - nx) && labels[flat - nx] == 0 {
                 labels[flat - nx] = label;
                 stack.push(flat - nx);
             }
-            if flat + nx < nodes && mask[flat + nx] && labels[flat + nx] == 0 {
+            if flat + nx < nodes && bitgrid::get_bit(mask, flat + nx) && labels[flat + nx] == 0 {
                 labels[flat + nx] = label;
                 stack.push(flat + nx);
             }
@@ -155,31 +155,33 @@ fn label_components(mask: &[bool], nx: usize, buf: &mut WeightBuffers) {
 }
 
 /// Allocation-free weighting over pre-flattened RSSI planes
-/// (`planes[k * nodes + flat]`) and a flat candidate mask. On success the
-/// candidate flat indices and their normalized weights are left in `buf`
-/// and `true` is returned; `false` corresponds to the `None` cases of
-/// [`candidate_weights`] (empty mask or degenerate weights).
+/// (`planes[k * nodes + flat]`) and a packed candidate mask in the
+/// [`bitgrid`] word layout. On success the candidate flat indices and
+/// their normalized weights are left in `buf` and `true` is returned;
+/// `false` corresponds to the `None` cases of [`candidate_weights`]
+/// (empty mask or degenerate weights).
 ///
-/// Bit-for-bit equivalent to the historical implementation: candidates
-/// enumerate in the same row-major order, every per-candidate sum runs
-/// k-ascending, and normalization divides in the same order.
+/// Bit-for-bit equivalent to the historical implementation: candidate
+/// iteration walks `trailing_zeros` word by word, which enumerates the
+/// same ascending row-major order as a full scan; every per-candidate sum
+/// runs k-ascending, and normalization divides in the same order.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn candidate_weights_into(
     planes: &[f64],
     nodes: usize,
     nx: usize,
     reading: &TrackingReading,
-    mask: &[bool],
+    mask: &[u64],
     mode: WeightingMode,
     w1_mode: W1Mode,
     buf: &mut WeightBuffers,
 ) -> bool {
-    debug_assert_eq!(mask.len(), nodes);
+    debug_assert_eq!(mask.len(), bitgrid::words_for(nodes));
     let k_readers = reading.reader_count();
     debug_assert_eq!(planes.len(), k_readers * nodes);
 
     buf.candidates.clear();
-    buf.candidates.extend((0..nodes).filter(|&flat| mask[flat]));
+    buf.candidates.extend(bitgrid::iter_ones(mask));
     if buf.candidates.is_empty() {
         return false;
     }
@@ -226,7 +228,7 @@ pub(crate) fn candidate_weights_into(
     }
 
     // w2: conjunctive-region size, normalized over candidates.
-    label_components(mask, nx, buf);
+    label_components(mask, nx, nodes, buf);
     buf.w2.clear();
     let mut size_total = 0.0f64;
     for &flat in &buf.candidates {
@@ -271,7 +273,7 @@ pub(crate) fn candidate_weights_into(
 pub fn candidate_weights(
     grid: &VirtualGrid,
     reading: &TrackingReading,
-    mask: &GridData<bool>,
+    mask: &BitGrid,
     mode: WeightingMode,
     w1_mode: W1Mode,
 ) -> Option<(Vec<GridIndex>, Vec<f64>)> {
@@ -283,7 +285,7 @@ pub fn candidate_weights(
         grid.tag_count(),
         nx,
         reading,
-        mask.as_slice(),
+        mask.words(),
         mode,
         w1_mode,
         &mut buf,
@@ -324,8 +326,8 @@ mod tests {
         (vg, reading)
     }
 
-    fn mask_with(grid: &VirtualGrid, indices: &[GridIndex]) -> GridData<bool> {
-        let mut m = GridData::filled(*grid.grid(), false);
+    fn mask_with(grid: &VirtualGrid, indices: &[GridIndex]) -> BitGrid {
+        let mut m = BitGrid::empty(*grid.grid());
         for &idx in indices {
             m.set(idx, true);
         }
@@ -356,7 +358,7 @@ mod tests {
     #[test]
     fn empty_mask_returns_none() {
         let (vg, reading) = setup();
-        let mask = GridData::filled(*vg.grid(), false);
+        let mask = BitGrid::empty(*vg.grid());
         assert!(candidate_weights(
             &vg,
             &reading,

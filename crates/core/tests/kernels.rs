@@ -1,0 +1,282 @@
+//! Property tests pinning the vectorized data plane to its scalar
+//! specification: the lane-chunked max-gap and E-distance kernels, the
+//! packed fixed-threshold elimination mask, and the full LANDMARC / VIRE
+//! paths must all be **bit-identical** to naive node-at-a-time scalar
+//! oracles, for every interpolation kernel and for node counts that leave
+//! ragged vector tails.
+
+use proptest::prelude::*;
+use vire_core::elimination::{eliminate, ThresholdMode};
+use vire_core::kernels::{edist_sq_into, max_gap_into, select_k_smallest};
+use vire_core::virtual_grid::VirtualGrid;
+use vire_core::{
+    InterpolationKernel, Landmarc, LandmarcConfig, Localizer, PreparedLocalizer, ReferenceRssiMap,
+    TrackingReading, Vire, VireConfig,
+};
+use vire_geom::{GridData, Point2, RegularGrid};
+
+const READERS: usize = 3;
+const MAX_SIDE: usize = 6;
+
+fn readers() -> Vec<Point2> {
+    vec![
+        Point2::new(-1.0, -1.0),
+        Point2::new(6.0, -1.0),
+        Point2::new(6.0, 6.0),
+    ]
+}
+
+/// A calibration map over a `side × side` lattice: a smooth log-distance
+/// falloff per reader plus one independent perturbation per cell, so no
+/// two generated planes share structure.
+fn map_with(side: usize, noise: &[f64]) -> ReferenceRssiMap {
+    let rs = readers();
+    let grid = RegularGrid::square(Point2::ORIGIN, 1.0, side);
+    let fields = rs
+        .iter()
+        .enumerate()
+        .map(|(k, r)| {
+            let mut flat = 0;
+            GridData::from_fn(grid, |_, p| {
+                let v =
+                    -62.0 - 24.0 * p.distance(*r).max(0.1).log10() + noise[k * side * side + flat];
+                flat += 1;
+                v
+            })
+        })
+        .collect();
+    ReferenceRssiMap::new(grid, rs, fields)
+}
+
+/// Map geometry + perturbations + a tracking reading. Sides 3–6 with odd
+/// refines give virtual lattices from 25 to 1156 nodes — many of them not
+/// multiples of the lane width, so the scalar tail path is always
+/// exercised.
+fn workload() -> impl Strategy<Value = (usize, Vec<f64>, Vec<f64>)> {
+    (3..=MAX_SIDE).prop_flat_map(|side| {
+        (
+            Just(side),
+            prop::collection::vec(-3.0..3.0f64, READERS * side * side),
+            prop::collection::vec(-92.0..-58.0f64, READERS),
+        )
+    })
+}
+
+fn all_kernels() -> [InterpolationKernel; 4] {
+    [
+        InterpolationKernel::Linear,
+        InterpolationKernel::PaperLinear,
+        InterpolationKernel::CubicSpline,
+        InterpolationKernel::Polynomial,
+    ]
+}
+
+/// Reader-major flattening of a virtual grid's planes, independent of the
+/// library's own `flatten_planes` (re-derived here so the tests do not
+/// trust the code under test).
+fn flatten(grid: &VirtualGrid) -> Vec<f64> {
+    let mut planes = Vec::new();
+    for k in 0..grid.reader_count() {
+        planes.extend_from_slice(grid.field(k).as_slice());
+    }
+    planes
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The §4.3 max-gap kernel: `out[i] = max_k |s_k(i) − θ_k|` must match
+    /// a node-at-a-time scalar fold to the last bit on every interpolation
+    /// kernel and every (odd) virtual lattice size.
+    #[test]
+    fn max_gap_kernel_is_bit_identical_to_scalar((side, noise, thetas) in workload(), refine in 1usize..6) {
+        let map = map_with(side, &noise);
+        for kernel in all_kernels() {
+            let grid = VirtualGrid::build(&map, refine, kernel);
+            let planes = flatten(&grid);
+            let nodes = grid.tag_count();
+            let mut out = Vec::new();
+            max_gap_into(&planes, nodes, &thetas, &mut out);
+            let oracle: Vec<f64> = (0..nodes)
+                .map(|i| {
+                    let mut m = 0.0f64;
+                    for (k, &theta) in thetas.iter().enumerate() {
+                        let g = (planes[k * nodes + i] - theta).abs();
+                        if g > m {
+                            m = g;
+                        }
+                    }
+                    m
+                })
+                .collect();
+            prop_assert_eq!(bits(&out), bits(&oracle), "kernel {:?}, {} nodes", kernel, nodes);
+        }
+    }
+
+    /// The LANDMARC E-distance kernel: `out[i] = Σ_k (θ_k − s_k(i))²` in
+    /// ascending-k order, bit-identical to the scalar fold — and its sqrt
+    /// bit-identical to the historical `signal_distance`.
+    #[test]
+    fn edist_kernel_is_bit_identical_to_scalar((side, noise, thetas) in workload()) {
+        let map = map_with(side, &noise);
+        let reading = TrackingReading::new(thetas.clone());
+        let nodes = side * side;
+        let mut planes = Vec::new();
+        for k in 0..READERS {
+            planes.extend_from_slice(map.field(k).as_slice());
+        }
+        let mut out = Vec::new();
+        edist_sq_into(&planes, nodes, &thetas, &mut out);
+        for (flat, idx) in map.grid().indices().enumerate() {
+            let mut esq = 0.0f64;
+            for (k, &theta) in thetas.iter().enumerate() {
+                let d = theta - map.rssi(k, idx);
+                esq += d * d;
+            }
+            prop_assert_eq!(out[flat].to_bits(), esq.to_bits(), "node {}", flat);
+            // Deferred sqrt equals the historical eager per-node sqrt.
+            let e = reading.signal_distance(&map.signal_vector(idx));
+            prop_assert_eq!(out[flat].sqrt().to_bits(), e.to_bits(), "sqrt at node {}", flat);
+        }
+    }
+
+    /// The packed fixed-threshold elimination: the word-wise AND mask must
+    /// agree bit-for-bit with the obvious per-node `∀k: gap < t` test, and
+    /// come back `None` exactly when the oracle mask is all-false.
+    #[test]
+    fn fixed_eliminate_mask_matches_scalar_oracle(
+        (side, noise, thetas) in workload(),
+        refine in 1usize..5,
+        threshold in 0.0..10.0f64,
+    ) {
+        let map = map_with(side, &noise);
+        let reading = TrackingReading::new(thetas.clone());
+        for kernel in all_kernels() {
+            let grid = VirtualGrid::build(&map, refine, kernel);
+            let oracle: Vec<bool> = grid
+                .grid()
+                .indices()
+                .map(|idx| {
+                    (0..READERS).all(|k| (grid.rssi(k, idx) - thetas[k]).abs() < threshold)
+                })
+                .collect();
+            let result = eliminate(&grid, &reading, ThresholdMode::Fixed(threshold));
+            match result {
+                None => prop_assert!(oracle.iter().all(|&b| !b), "kernel {:?}", kernel),
+                Some(r) => {
+                    prop_assert!(oracle.iter().any(|&b| b));
+                    let unpacked = r.mask.to_grid_data();
+                    prop_assert_eq!(unpacked.as_slice(), oracle.as_slice());
+                    prop_assert_eq!(r.candidates(), oracle.iter().filter(|&&b| b).count());
+                    prop_assert_eq!(r.thresholds, vec![threshold; READERS]);
+                }
+            }
+        }
+    }
+
+    /// The full LANDMARC path over the vector kernels must reproduce a
+    /// from-scratch scalar oracle bit-for-bit: scalar E² per node, k-NN
+    /// selection by `(E², node index)`, sqrt on the winners only, 1/E²
+    /// weights, weighted centroid.
+    #[test]
+    fn prepared_landmarc_is_bit_identical_to_scalar_oracle(
+        (side, noise, thetas) in workload(),
+        k_select in 1usize..8,
+    ) {
+        let map = map_with(side, &noise);
+        let reading = TrackingReading::new(thetas.clone());
+        prop_assume!(k_select <= side * side);
+
+        // Scalar oracle, node-at-a-time.
+        let mut scored: Vec<(f64, u32)> = map
+            .grid()
+            .indices()
+            .enumerate()
+            .map(|(flat, idx)| {
+                let mut esq = 0.0f64;
+                for (k, &theta) in thetas.iter().enumerate() {
+                    let d = theta - map.rssi(k, idx);
+                    esq += d * d;
+                }
+                (esq, flat as u32)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        scored.truncate(k_select);
+        let distances: Vec<f64> = scored.iter().map(|&(esq, _)| esq.sqrt()).collect();
+        let positions: Vec<Point2> = scored
+            .iter()
+            .map(|&(_, flat)| {
+                let idx = map.grid().indices().nth(flat as usize).unwrap();
+                map.grid().position(idx)
+            })
+            .collect();
+        // Inline 1/E² weighting with the library's exact-match rule.
+        const EXACT: f64 = 1e-12;
+        let n_exact = distances.iter().filter(|&&e| e < EXACT).count();
+        let weights: Vec<f64> = if n_exact > 0 {
+            distances
+                .iter()
+                .map(|&e| if e < EXACT { 1.0 / n_exact as f64 } else { 0.0 })
+                .collect()
+        } else {
+            let raw: Vec<f64> = distances.iter().map(|&e| 1.0 / (e * e)).collect();
+            let total: f64 = raw.iter().sum();
+            raw.iter().map(|w| w / total).collect()
+        };
+        let oracle = Point2::weighted_centroid(&positions, &weights).unwrap();
+
+        let lm = Landmarc::new(LandmarcConfig { k: k_select });
+        let prepared = lm.prepare(&map).locate(&reading).unwrap();
+        prop_assert_eq!(prepared.position.x.to_bits(), oracle.x.to_bits());
+        prop_assert_eq!(prepared.position.y.to_bits(), oracle.y.to_bits());
+        // The one-shot path routes through the same core.
+        let one_shot = Localizer::locate(&lm, &map, &reading).unwrap();
+        prop_assert_eq!(one_shot, prepared);
+    }
+
+    /// `select_k_smallest` is exactly a stable sort by value + truncate.
+    #[test]
+    fn select_k_smallest_matches_stable_sort(
+        values in prop::collection::vec(0.0..100.0f64, 1..200),
+        k in 0usize..210,
+    ) {
+        let base: Vec<(f64, u32)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let mut fast = base.clone();
+        select_k_smallest(&mut fast, k);
+        let mut slow = base;
+        slow.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        slow.truncate(k.min(values.len()));
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// The three VIRE entry points — one-shot, prepared, owned-prepared —
+    /// must produce identical estimates for every interpolation kernel
+    /// (they share one vectorized core; this pins that the wiring stays
+    /// shared).
+    #[test]
+    fn vire_paths_agree_bitwise((side, noise, thetas) in workload()) {
+        let map = map_with(side, &noise);
+        let reading = TrackingReading::new(thetas);
+        for kernel in all_kernels() {
+            let config = VireConfig { kernel, refine: 3, ..VireConfig::default() };
+            let vire = Vire::new(config.clone());
+            let one_shot = Localizer::locate(&vire, &map, &reading);
+            let prepared = Localizer::prepare(&vire, &map).locate(&reading);
+            let owned = vire
+                .prepare_owned(&map)
+                .expect("non-degenerate config")
+                .locate(&reading);
+            prop_assert_eq!(&one_shot, &prepared, "prepared diverged, kernel {:?}", kernel);
+            prop_assert_eq!(&one_shot, &owned, "owned diverged, kernel {:?}", kernel);
+        }
+    }
+}

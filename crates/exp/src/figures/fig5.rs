@@ -13,7 +13,7 @@ use vire_core::virtual_grid::{InterpolationKernel, VirtualGrid};
 use vire_core::TrackingReading;
 use vire_env::presets::env3;
 use vire_env::Deployment;
-use vire_geom::{GridData, GridIndex, Point2};
+use vire_geom::{BitGrid, GridIndex, Point2};
 
 /// The rendered elimination snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,7 +33,7 @@ pub struct Fig5Result {
 /// Renders a boolean mask as ASCII, downsampling to at most `cols`
 /// characters per row. `#` = highlighted, `.` = not; the row order puts
 /// north (max y) on top like a floor plan.
-fn ascii_mask(mask: &GridData<bool>, cols: usize) -> String {
+fn ascii_mask(mask: &BitGrid, cols: usize) -> String {
     let grid = *mask.grid();
     let stride = grid.nx().div_ceil(cols).max(1);
     let mut out = String::new();
@@ -47,7 +47,7 @@ fn ascii_mask(mask: &GridData<bool>, cols: usize) -> String {
             let mut any = false;
             for dj in 0..stride.min(grid.ny() - j) {
                 for di in 0..stride.min(grid.nx() - i) {
-                    if *mask.get(GridIndex::new(i + di, j + dj)) {
+                    if mask.get(GridIndex::new(i + di, j + dj)) {
                         any = true;
                     }
                 }
@@ -156,7 +156,7 @@ mod tests {
         let combined = eliminate(&grid, &trial.tags[0].reading, ThresholdMode::Fixed(3.0));
         if let Some(result) = combined {
             let mut worst = 0.0f64;
-            for (idx, &set) in result.mask.iter() {
+            for (idx, set) in result.mask.iter() {
                 if set {
                     worst = worst.max(grid.grid().position(idx).distance(position));
                 }

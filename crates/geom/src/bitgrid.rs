@@ -1,0 +1,382 @@
+//! Packed bitset masks over a regular lattice.
+//!
+//! [`BitGrid`] stores one bit per grid node in `u64` words, replacing
+//! `GridData<bool>` on the elimination hot path: threshold comparisons
+//! emit whole word bitmasks, the K-reader intersection is a word-wise
+//! AND, counting candidates is a popcount, and iterating them walks
+//! `trailing_zeros`. Node `flat` maps to bit `flat % 64` of word
+//! `flat / 64`; bits past the node count in the last word are always
+//! zero, so popcounts and word-wise combinators never need a tail mask.
+//!
+//! The free functions at the bottom operate on bare `&[u64]` word
+//! slices so that scratch buffers in hot loops can reuse the same bit
+//! layout without carrying a grid around.
+
+use crate::grid::{GridData, GridIndex, RegularGrid};
+
+/// Bits per packed word.
+pub const WORD_BITS: usize = 64;
+
+/// A boolean field over a [`RegularGrid`], packed 64 nodes per `u64`.
+///
+/// Semantically equivalent to `GridData<bool>` (row-major node order,
+/// same grid binding) but 8× denser and with O(words) set algebra.
+///
+/// ```
+/// use vire_geom::{BitGrid, GridIndex, Point2, RegularGrid};
+/// let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 9); // 81 nodes, 2 words
+/// let mut mask = BitGrid::empty(grid);
+/// mask.set(GridIndex::new(4, 4), true);
+/// assert_eq!(mask.count_ones(), 1);
+/// assert_eq!(mask.iter_ones().next(), Some(grid.flat(GridIndex::new(4, 4))));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitGrid {
+    grid: RegularGrid,
+    words: Vec<u64>,
+}
+
+impl BitGrid {
+    /// All-clear mask over `grid`.
+    pub fn empty(grid: RegularGrid) -> Self {
+        BitGrid {
+            grid,
+            words: vec![0; words_for(grid.node_count())],
+        }
+    }
+
+    /// Mask over `grid` with every node set to `value`.
+    pub fn filled(grid: RegularGrid, value: bool) -> Self {
+        let mut mask = BitGrid::empty(grid);
+        mask.fill(value);
+        mask
+    }
+
+    /// Wraps a packed word buffer produced by the free-function helpers.
+    ///
+    /// Tail bits past the node count are cleared, so callers may hand in
+    /// scratch words without masking the last word themselves.
+    ///
+    /// # Panics
+    /// Panics when `words.len() != words_for(grid.node_count())`.
+    pub fn from_words(grid: RegularGrid, mut words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            words_for(grid.node_count()),
+            "word buffer length must match node count"
+        );
+        mask_tail(&mut words, grid.node_count());
+        BitGrid { grid, words }
+    }
+
+    /// Packs an unpacked boolean field.
+    pub fn from_grid_data(data: &GridData<bool>) -> Self {
+        let grid = *data.grid();
+        let mut words = vec![0u64; words_for(grid.node_count())];
+        for (wi, chunk) in data.as_slice().chunks(WORD_BITS).enumerate() {
+            let mut bits = 0u64;
+            for (b, &set) in chunk.iter().enumerate() {
+                bits |= u64::from(set) << b;
+            }
+            words[wi] = bits;
+        }
+        BitGrid { grid, words }
+    }
+
+    /// Unpacks into a `GridData<bool>` (for viz and other consumers of
+    /// the unpacked representation).
+    pub fn to_grid_data(&self) -> GridData<bool> {
+        let nodes = self.grid.node_count();
+        let data = (0..nodes).map(|flat| self.get_flat(flat)).collect();
+        GridData::from_vec(self.grid, data)
+    }
+
+    /// The underlying grid.
+    #[inline]
+    pub fn grid(&self) -> &RegularGrid {
+        &self.grid
+    }
+
+    /// Number of nodes covered by the mask (set or not).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.grid.node_count()
+    }
+
+    /// The packed words, row-major nodes at 64 per word.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Bit at node `idx`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range.
+    #[inline]
+    pub fn get(&self, idx: GridIndex) -> bool {
+        assert!(
+            self.grid.contains_index(idx),
+            "grid index {idx} out of range"
+        );
+        self.get_flat(self.grid.flat(idx))
+    }
+
+    /// Bit at flattened node offset `flat`.
+    #[inline]
+    pub fn get_flat(&self, flat: usize) -> bool {
+        debug_assert!(flat < self.node_count());
+        get_bit(&self.words, flat)
+    }
+
+    /// Sets the bit at node `idx`.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range.
+    #[inline]
+    pub fn set(&mut self, idx: GridIndex, value: bool) {
+        assert!(
+            self.grid.contains_index(idx),
+            "grid index {idx} out of range"
+        );
+        self.set_flat(self.grid.flat(idx), value);
+    }
+
+    /// Sets the bit at flattened node offset `flat`.
+    #[inline]
+    pub fn set_flat(&mut self, flat: usize, value: bool) {
+        debug_assert!(flat < self.node_count());
+        let word = &mut self.words[flat / WORD_BITS];
+        let bit = 1u64 << (flat % WORD_BITS);
+        if value {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
+    }
+
+    /// Sets every node to `value`, preserving the zero tail.
+    pub fn fill(&mut self, value: bool) {
+        if value {
+            fill_ones(&mut self.words, self.grid.node_count());
+        } else {
+            self.words.fill(0);
+        }
+    }
+
+    /// Number of set nodes — a word-wise popcount.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        popcount(&self.words)
+    }
+
+    /// Returns `true` when no node is set.
+    #[inline]
+    pub fn is_empty_mask(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Word-wise AND with `other`, in place.
+    ///
+    /// This is the K-reader intersection step of VIRE's elimination.
+    ///
+    /// # Panics
+    /// Panics when the grids differ.
+    pub fn and_assign(&mut self, other: &BitGrid) {
+        assert_eq!(self.grid, other.grid, "masks must share the same grid");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Word-wise AND of two masks on the same grid.
+    ///
+    /// # Panics
+    /// Panics when the grids differ.
+    pub fn and(&self, other: &BitGrid) -> BitGrid {
+        let mut out = self.clone();
+        out.and_assign(other);
+        out
+    }
+
+    /// Flattened offsets of the set nodes, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        iter_ones(&self.words)
+    }
+
+    /// Iterates `(index, set)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (GridIndex, bool)> + '_ {
+        (0..self.node_count()).map(move |flat| (self.grid.unflat(flat), self.get_flat(flat)))
+    }
+}
+
+/// Number of `u64` words needed to hold `len` bits.
+#[inline]
+pub const fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+/// Resizes `words` to exactly cover `len` bits, zeroing any new words.
+///
+/// A no-op when already sized, so hot loops can call this once per
+/// reading without reallocating.
+#[inline]
+pub fn ensure_words(words: &mut Vec<u64>, len: usize) {
+    words.resize(words_for(len), 0);
+}
+
+/// Bit `i` of a packed word slice.
+#[inline]
+pub fn get_bit(words: &[u64], i: usize) -> bool {
+    words[i / WORD_BITS] >> (i % WORD_BITS) & 1 != 0
+}
+
+/// Sets bit `i` of a packed word slice.
+#[inline]
+pub fn set_bit(words: &mut [u64], i: usize) {
+    words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+}
+
+/// Sets the first `len` bits and clears the tail of the last word.
+pub fn fill_ones(words: &mut [u64], len: usize) {
+    debug_assert_eq!(words.len(), words_for(len));
+    words.fill(!0u64);
+    mask_tail(words, len);
+}
+
+/// Clears bits at and past `len` in the last word.
+#[inline]
+pub fn mask_tail(words: &mut [u64], len: usize) {
+    let rem = len % WORD_BITS;
+    if rem != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << rem) - 1;
+        }
+    }
+}
+
+/// Total set bits — one `count_ones` per word.
+#[inline]
+pub fn popcount(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Ascending bit offsets of the set bits, via `trailing_zeros`.
+pub fn iter_ones(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &word)| {
+        let mut rest = word;
+        std::iter::from_fn(move || {
+            if rest == 0 {
+                None
+            } else {
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * WORD_BITS + bit)
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point2;
+
+    fn grid(nodes_x: usize, nodes_y: usize) -> RegularGrid {
+        RegularGrid::new(Point2::ORIGIN, 1.0, 1.0, nodes_x, nodes_y)
+    }
+
+    #[test]
+    fn single_node_grid() {
+        let mut mask = BitGrid::empty(grid(1, 1));
+        assert_eq!(mask.count_ones(), 0);
+        assert!(mask.is_empty_mask());
+        mask.set(GridIndex::new(0, 0), true);
+        assert_eq!(mask.count_ones(), 1);
+        assert!(mask.get(GridIndex::new(0, 0)));
+        assert_eq!(mask.words().len(), 1);
+    }
+
+    #[test]
+    fn edge_word_counts_stay_exact() {
+        // 63, 64 and 65 nodes: below, at and above a word boundary.
+        for (nx, ny, words) in [(63, 1, 1), (64, 1, 1), (13, 5, 2), (9, 9, 2)] {
+            let g = grid(nx, ny);
+            let full = BitGrid::filled(g, true);
+            assert_eq!(full.words().len(), words);
+            assert_eq!(full.count_ones(), g.node_count());
+            assert_eq!(full.iter_ones().count(), g.node_count());
+            let clear = BitGrid::filled(g, false);
+            assert!(clear.is_empty_mask());
+            assert_eq!(clear.count_ones(), 0);
+        }
+    }
+
+    #[test]
+    fn fill_keeps_tail_zero() {
+        let g = grid(13, 5); // 65 nodes: one tail bit used in word 1.
+        let mut mask = BitGrid::empty(g);
+        mask.fill(true);
+        assert_eq!(mask.words()[1], 1);
+        mask.fill(false);
+        assert_eq!(mask.words(), &[0, 0]);
+    }
+
+    #[test]
+    fn from_words_masks_the_tail() {
+        let g = grid(5, 2); // 10 nodes in one word.
+        let mask = BitGrid::from_words(g, vec![!0u64]);
+        assert_eq!(mask.count_ones(), 10);
+        assert_eq!(mask.words()[0], (1 << 10) - 1);
+    }
+
+    #[test]
+    fn round_trip_through_grid_data() {
+        let g = grid(11, 7);
+        let data = GridData::from_fn(g, |idx, _| (idx.i * 3 + idx.j) % 4 == 0);
+        let mask = BitGrid::from_grid_data(&data);
+        assert_eq!(mask.to_grid_data(), data);
+        assert_eq!(mask.count_ones(), data.count_true());
+        for (idx, &set) in data.iter() {
+            assert_eq!(mask.get(idx), set);
+        }
+    }
+
+    #[test]
+    fn and_matches_unpacked_and() {
+        let g = grid(9, 9);
+        let a = GridData::from_fn(g, |idx, _| idx.i % 2 == 0);
+        let b = GridData::from_fn(g, |idx, _| idx.j % 3 == 0);
+        let packed = BitGrid::from_grid_data(&a).and(&BitGrid::from_grid_data(&b));
+        assert_eq!(packed.to_grid_data(), a.and(&b));
+    }
+
+    #[test]
+    fn iter_ones_ascends_and_matches_mask() {
+        let g = grid(10, 8);
+        let data = GridData::from_fn(g, |idx, _| (idx.i + idx.j) % 5 == 0);
+        let mask = BitGrid::from_grid_data(&data);
+        let ones: Vec<usize> = mask.iter_ones().collect();
+        assert!(ones.windows(2).all(|w| w[0] < w[1]));
+        let expected: Vec<usize> = data
+            .iter()
+            .filter(|(_, &set)| set)
+            .map(|(idx, _)| g.flat(idx))
+            .collect();
+        assert_eq!(ones, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the same grid")]
+    fn and_rejects_mismatched_grids() {
+        let a = BitGrid::empty(grid(4, 4));
+        let b = BitGrid::empty(grid(4, 5));
+        let _ = a.and(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        BitGrid::empty(grid(4, 4)).get(GridIndex::new(4, 0));
+    }
+}

@@ -13,6 +13,8 @@
 //!   the image-method multipath model,
 //! * [`RegularGrid`] / [`GridData`] — lattices with index ⇄ coordinate maps
 //!   and layered scalar fields,
+//! * [`BitGrid`] — packed one-bit-per-node masks with word-wise set algebra
+//!   for the elimination hot path,
 //! * [`interp`] — the interpolation kernels used to synthesize virtual
 //!   reference tags (linear/bilinear per the paper, plus the polynomial and
 //!   spline variants the paper lists as future work),
@@ -27,6 +29,7 @@
 #![warn(clippy::all)]
 
 pub mod aabb;
+pub mod bitgrid;
 pub mod hull;
 pub mod interp;
 pub mod label;
@@ -38,6 +41,7 @@ pub mod vec2;
 mod grid;
 
 pub use aabb::Aabb;
+pub use bitgrid::BitGrid;
 pub use grid::{GridData, GridIndex, RegularGrid};
 pub use point::Point2;
 pub use polygon::Polygon;

@@ -9,7 +9,7 @@ use vire_geom::interp::newton::Newton;
 use vire_geom::interp::spline::CubicSpline;
 use vire_geom::interp::Interpolator1D;
 use vire_geom::label::Components;
-use vire_geom::{GridData, Point2, RegularGrid, Segment};
+use vire_geom::{bitgrid, BitGrid, GridData, Point2, RegularGrid, Segment};
 
 fn finite_coord() -> impl Strategy<Value = f64> {
     -50.0..50.0f64
@@ -246,6 +246,86 @@ proptest! {
         let sampled = f.sample_bilinear(Point2::new(px, py)).unwrap();
         let expect = c0 + cx * px + cy * py;
         prop_assert!((sampled - expect).abs() < 1e-9);
+    }
+}
+
+/// Boolean fields on grids whose node counts straddle the 64-bit word
+/// boundary (1..=130 nodes), so tail words get real coverage.
+fn bool_field() -> impl Strategy<Value = GridData<bool>> {
+    (1usize..14, 1usize..10).prop_flat_map(|(nx, ny)| {
+        prop::collection::vec(any::<bool>(), nx * ny).prop_map(move |bits| {
+            GridData::from_vec(RegularGrid::new(Point2::ORIGIN, 1.0, 1.0, nx, ny), bits)
+        })
+    })
+}
+
+proptest! {
+    /// Packing and unpacking a mask is lossless for any node count,
+    /// including counts that are not a multiple of 64.
+    #[test]
+    fn bitgrid_round_trips_grid_data(data in bool_field()) {
+        let mask = BitGrid::from_grid_data(&data);
+        prop_assert_eq!(mask.to_grid_data(), data.clone());
+        for (idx, &set) in data.iter() {
+            prop_assert_eq!(mask.get(idx), set);
+        }
+    }
+
+    /// Popcount equals the naive per-node count, and the word buffer keeps
+    /// its zero tail so popcounts never over-count.
+    #[test]
+    fn bitgrid_popcount_matches_naive_count(data in bool_field()) {
+        let mask = BitGrid::from_grid_data(&data);
+        prop_assert_eq!(mask.count_ones(), data.count_true());
+        prop_assert_eq!(mask.is_empty_mask(), data.is_empty_mask());
+        let nodes = mask.node_count();
+        let tail = nodes % bitgrid::WORD_BITS;
+        if tail != 0 {
+            prop_assert_eq!(mask.words().last().unwrap() >> tail, 0);
+        }
+    }
+
+    /// `iter_ones` yields exactly the set flats, ascending.
+    #[test]
+    fn bitgrid_iter_ones_matches_set_nodes(data in bool_field()) {
+        let mask = BitGrid::from_grid_data(&data);
+        let ones: Vec<usize> = mask.iter_ones().collect();
+        prop_assert!(ones.windows(2).all(|w| w[0] < w[1]));
+        let expected: Vec<usize> = data
+            .iter()
+            .filter(|(_, &set)| set)
+            .map(|(idx, _)| data.grid().flat(idx))
+            .collect();
+        prop_assert_eq!(ones, expected);
+    }
+
+    /// Word-wise AND agrees with the unpacked element-wise AND.
+    #[test]
+    fn bitgrid_and_matches_grid_data_and(
+        a in bool_field(),
+        flips in prop::collection::vec(any::<bool>(), 130),
+    ) {
+        // Derive `b` on the same grid by flipping a prefix pattern of `a`.
+        let mut i = 0;
+        let b = a.map(|&set| {
+            let out = set ^ flips[i % flips.len()];
+            i += 1;
+            out
+        });
+        let packed = BitGrid::from_grid_data(&a).and(&BitGrid::from_grid_data(&b));
+        prop_assert_eq!(packed.to_grid_data(), a.and(&b));
+    }
+
+    /// All-set and all-clear fills preserve the tail invariant on any size.
+    #[test]
+    fn bitgrid_fill_is_exact(nx in 1usize..14, ny in 1usize..10) {
+        let g = RegularGrid::new(Point2::ORIGIN, 1.0, 1.0, nx, ny);
+        let full = BitGrid::filled(g, true);
+        prop_assert_eq!(full.count_ones(), g.node_count());
+        prop_assert_eq!(full.iter_ones().count(), g.node_count());
+        let clear = BitGrid::filled(g, false);
+        prop_assert_eq!(clear.count_ones(), 0);
+        prop_assert!(clear.is_empty_mask());
     }
 }
 

@@ -69,7 +69,11 @@ fn main() {
         write(
             dir,
             "fig5_intersection.svg",
-            vire::viz::raster::mask_raster("Fig. 5 — surviving regions", &result.mask, "#0077bb"),
+            vire::viz::raster::mask_raster(
+                "Fig. 5 — surviving regions",
+                &result.mask.to_grid_data(),
+                "#0077bb",
+            ),
         );
     }
 

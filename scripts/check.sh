@@ -19,16 +19,29 @@ cargo test -q --workspace
 echo "==> cargo test (vire-bus)"
 cargo test -q -p vire-bus
 
+echo "==> cargo test (vire-geom)"
+cargo test -p vire-geom -q
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy (vire-geom)"
+cargo clippy -p vire-geom --all-targets -- -D warnings
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo doc"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Refresh the committed BENCH_*.json copies when bench summaries exist in
+# target/ (benches themselves are not part of tier-1).
+if ls target/*.json >/dev/null 2>&1; then
+  echo "==> collect bench summaries"
+  scripts/collect_bench.sh
+fi
 
 echo "tier-1: all checks passed"

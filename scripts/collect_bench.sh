@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Collects the machine-readable bench summaries out of target/ into
+# version-controlled BENCH_*.json files at the repo root, so perf numbers
+# travel with the commit that produced them.
+#
+#   scripts/collect_bench.sh   # copies whichever summaries exist
+#
+# Summaries are produced by `cargo bench -p vire-bench --bench <name>`;
+# missing ones are skipped silently (benches are not part of tier-1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+collected=0
+for name in prepared_vs_rebuild pipeline_throughput incremental_prepare kernels; do
+  src="target/${name}.json"
+  if [[ -f "$src" ]]; then
+    cp "$src" "BENCH_${name}.json"
+    echo "collected $src -> BENCH_${name}.json"
+    collected=$((collected + 1))
+  fi
+done
+
+if [[ "$collected" -eq 0 ]]; then
+  echo "no bench summaries in target/ — run e.g. 'cargo bench -p vire-bench --bench kernels' first"
+fi
