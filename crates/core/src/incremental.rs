@@ -262,6 +262,16 @@ impl PreparedVireOwned {
     }
 
     fn rebuild(&mut self, refs: &ReferenceRssiMap) {
+        if same_shape(&self.refs, refs) {
+            // The cutover path out of `sync`: too many cells moved for
+            // patching, but the lattice is unchanged. Adopt the new values
+            // into the existing mirror and re-interpolate into the
+            // existing grid/plane buffers — a steady-state rebuild costs
+            // no allocation beyond interpolation scratch.
+            self.refs.copy_values_from(refs);
+            self.state.rebuild_in_place(&self.refs, &mut self.patcher);
+            return;
+        }
         self.refs = refs.clone();
         let (state, patcher) = VireState::build_with_patcher(&self.state.config, &self.refs)
             .expect("refine was validated when this instance was built");

@@ -244,6 +244,32 @@ impl VireState {
         Ok((Self::from_grid(config, grid), patcher))
     }
 
+    /// Rebuilds the state from `refs` **in place**, reusing the virtual
+    /// grid's field buffers, the flattened planes, and the sorted planes
+    /// — bit-identical to a fresh [`Self::build_with_patcher`], without
+    /// its allocations. `patcher` must be the one built alongside this
+    /// state, and `refs` must span the same lattice and reader set the
+    /// state was built for (the patcher asserts both).
+    ///
+    /// The config-derived parts (`config`, resolved `threshold`, whether
+    /// the sorted planes exist at all) are untouched: they depend only on
+    /// the configuration, never on the map contents.
+    pub(crate) fn rebuild_in_place(&mut self, refs: &ReferenceRssiMap, patcher: &mut GridPatcher) {
+        patcher.rebuild(&mut self.grid, refs);
+        let nodes = self.grid.tag_count();
+        debug_assert_eq!(self.planes.len(), self.grid.reader_count() * nodes);
+        for k in 0..self.grid.reader_count() {
+            self.planes[k * nodes..(k + 1) * nodes].copy_from_slice(self.grid.field(k).as_slice());
+        }
+        if !self.sorted.is_empty() {
+            // Same total-order sort `sort_planes` runs on a fresh build.
+            self.sorted.copy_from_slice(&self.planes);
+            for k in 0..self.grid.reader_count() {
+                self.sorted[k * nodes..(k + 1) * nodes].sort_unstable_by(f64::total_cmp);
+            }
+        }
+    }
+
     /// Query core shared by every VIRE entry point. `refs` supplies the
     /// reader count check and the LANDMARC fallback; it must be the map
     /// this state was built from (bit-identical values).

@@ -198,6 +198,29 @@ impl ReferenceRssiMap {
         true
     }
 
+    /// Overwrites every RSSI value with `other`'s, in place — the bulk
+    /// counterpart of [`set_rssi`](ReferenceRssiMap::set_rssi), used when
+    /// a consumer's mirror has fallen so far behind that per-cell patching
+    /// loses to wholesale adoption (the rebuild cutover in
+    /// [`crate::incremental`]).
+    ///
+    /// Keeps this map's identity but resets the epoch and clears the
+    /// journal: the history no longer describes how the contents came to
+    /// be, so consumers tracking `(id, epoch)` pairs must re-pin.
+    ///
+    /// # Panics
+    /// Panics when the lattices or reader sets differ.
+    pub fn copy_values_from(&mut self, other: &ReferenceRssiMap) {
+        assert_eq!(self.grid, other.grid, "lattice mismatch");
+        assert_eq!(self.readers, other.readers, "reader set mismatch");
+        for (dst, src) in self.per_reader.iter_mut().zip(&other.per_reader) {
+            dst.as_mut_slice().copy_from_slice(src.as_slice());
+        }
+        self.epoch = 0;
+        self.journal.clear();
+        self.journal_base = 0;
+    }
+
     /// The signal-space vector (one RSSI per reader) of the reference tag
     /// at node `idx`.
     pub fn signal_vector(&self, idx: GridIndex) -> Vec<f64> {
@@ -372,6 +395,34 @@ mod tests {
         assert!(m.changes_since(0).is_none(), "history truncated");
         assert!(m.changes_since(3).is_none());
         assert_eq!(m.changes_since(4).unwrap().count(), 16);
+    }
+
+    #[test]
+    fn copy_values_from_adopts_bits_and_resets_history() {
+        let mut mirror = tiny_map();
+        let mut source = mirror.clone();
+        source.set_rssi(0, GridIndex::new(1, 0), -97.125);
+        source.set_rssi(1, GridIndex::new(0, 1), -55.5);
+        // Give the mirror some history first; the copy must wipe it.
+        mirror.set_rssi(0, GridIndex::new(0, 0), -64.0);
+        let id_before = mirror.id();
+        mirror.copy_values_from(&source);
+        assert_eq!(mirror.id(), id_before, "identity survives");
+        assert_eq!(mirror.epoch(), 0, "epoch resets");
+        assert_eq!(mirror.changes_since(0).unwrap().count(), 0);
+        for k in 0..source.reader_count() {
+            for idx in source.grid().indices().collect::<Vec<_>>() {
+                assert_eq!(mirror.rssi(k, idx).to_bits(), source.rssi(k, idx).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reader set mismatch")]
+    fn copy_values_from_rejects_different_readers() {
+        let mut mirror = tiny_map();
+        let source = mirror.without_reader(0).unwrap();
+        mirror.copy_values_from(&source);
     }
 
     #[test]

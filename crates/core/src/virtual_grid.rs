@@ -361,6 +361,49 @@ impl GridPatcher {
         self.kernel
     }
 
+    /// Re-interpolates **every** reader's field of `grid` from `refs` in
+    /// place, refreshing the retained intermediates as it goes.
+    ///
+    /// This is the patcher's bulk path: when so many calibration cells
+    /// changed that per-cell patching loses (the rebuild cutover in
+    /// [`crate::incremental`]), the sweep is replayed wholesale — the same
+    /// `horizontal_pass`/`vertical_pass` a fresh
+    /// [`VirtualGrid::build_with_patcher`] runs, so the result is
+    /// bit-identical to it — but into the existing field and intermediate
+    /// buffers instead of reallocating them every rebuild.
+    ///
+    /// # Panics
+    /// Panics when `refs` or `grid` does not match the lattice/readers
+    /// this patcher was built for.
+    pub fn rebuild(&mut self, grid: &mut VirtualGrid, refs: &ReferenceRssiMap) {
+        assert_eq!(refs.grid(), &self.coarse, "reference lattice mismatch");
+        assert_eq!(grid.grid(), &self.fine, "virtual lattice mismatch");
+        assert_eq!(
+            refs.reader_count(),
+            self.intermediates.len(),
+            "reader count mismatch"
+        );
+        assert_eq!(grid.reader_count(), self.intermediates.len());
+        for (k, inter) in self.intermediates.iter_mut().enumerate() {
+            horizontal_pass(
+                refs.field(k),
+                &self.coarse_xs,
+                &self.fine_xs,
+                self.n,
+                self.kernel,
+                inter,
+            );
+            vertical_pass(
+                inter,
+                &self.coarse_ys,
+                &self.fine_ys,
+                self.n,
+                self.kernel,
+                grid.field_mut(k),
+            );
+        }
+    }
+
     /// Re-interpolates `grid` in place after the calibration cells named
     /// in `dirty` changed in `refs`, reporting every fine-lattice value
     /// that moved as `on_change(reader, flat_fine_node, old, new)`.
@@ -714,6 +757,40 @@ mod tests {
                 let v = refs.rssi(k, idx);
                 refs.set_rssi(k, idx, v + 3.75);
             }
+        }
+    }
+
+    #[test]
+    fn patcher_rebuild_matches_fresh_build_for_all_kernels() {
+        let mut refs = map_with(|p| -68.0 - 1.9 * p.x + 0.3 * p.y * p.y);
+        for kernel in InterpolationKernel::ALL {
+            let (mut grid, mut patcher) = VirtualGrid::build_with_patcher(&refs, 4, kernel);
+            // Bulk change: every cell of every reader moves.
+            for k in 0..refs.reader_count() {
+                for idx in refs.grid().indices().collect::<Vec<_>>() {
+                    let v = refs.rssi(k, idx);
+                    refs.set_rssi(k, idx, v - 2.25);
+                }
+            }
+            patcher.rebuild(&mut grid, &refs);
+            let fresh = VirtualGrid::build(&refs, 4, kernel);
+            assert!(grids_bit_identical(&grid, &fresh), "{kernel:?}");
+            // The intermediates were refreshed too: a follow-up patch
+            // starts from consistent state and still matches fresh.
+            let cell = GridIndex::new(1, 1);
+            refs.set_rssi(0, cell, refs.rssi(0, cell) + 1.5);
+            patcher.patch(&mut grid, &refs, &[(0, cell)], |_, _, _, _| {});
+            let fresh2 = VirtualGrid::build(&refs, 4, kernel);
+            assert!(grids_bit_identical(&grid, &fresh2), "{kernel:?} post-patch");
+            // Roll back for the next kernel.
+            for k in 0..refs.reader_count() {
+                for idx in refs.grid().indices().collect::<Vec<_>>() {
+                    let v = refs.rssi(k, idx);
+                    refs.set_rssi(k, idx, v + 2.25);
+                }
+            }
+            let v = refs.rssi(0, cell);
+            refs.set_rssi(0, cell, v - 1.5);
         }
     }
 

@@ -12,12 +12,12 @@
 //! * reader count (§6: "the effects with more readers"),
 //! * smoothing filter under human-movement disturbance (§4.1).
 
-use crate::runner::{collect_trial_with, default_seeds, mean_errors_over_seeds, trial_errors};
+use crate::runner::{collect_trial_with, default_seeds, trial_errors, TrialSet};
 use crate::sweep::parallel_sweep;
 use serde::{Deserialize, Serialize};
 use vire_core::ext::BoundaryCompensatedVire;
 use vire_core::{InterpolationKernel, Landmarc, Localizer, Vire, VireConfig, WeightingMode};
-use vire_env::presets::{env1, env3, Environment};
+use vire_env::presets::{env1, env3};
 use vire_env::{Deployment, EnvironmentBuilder};
 use vire_geom::Point2;
 use vire_sim::{SmoothingKind, TestbedConfig};
@@ -62,15 +62,15 @@ fn non_boundary_positions() -> Vec<Point2> {
     Deployment::tracking_tags_fig2a()[..5].to_vec()
 }
 
-fn mean_of(env: &Environment, loc: &(dyn Localizer + Sync), seeds: &[u64]) -> f64 {
-    let positions = non_boundary_positions();
-    let e = mean_errors_over_seeds(env, &positions, loc, seeds);
+/// Mean error of `loc` over an already-collected trial set.
+fn mean_over(set: &TrialSet, loc: &(dyn Localizer + Sync)) -> f64 {
+    let e = set.mean_errors(loc);
     e.iter().sum::<f64>() / e.len() as f64
 }
 
 /// Interpolation-kernel ablation in Env3.
 pub fn kernels(seeds: &[u64]) -> AblationResult {
-    let env = env3();
+    let set = TrialSet::collect(&env3(), &non_boundary_positions(), seeds);
     let variants = parallel_sweep(&InterpolationKernel::ALL, |&kernel| {
         let vire = Vire::new(VireConfig {
             kernel,
@@ -78,7 +78,7 @@ pub fn kernels(seeds: &[u64]) -> AblationResult {
         });
         VariantError {
             name: kernel.name().to_string(),
-            error: mean_of(&env, &vire, seeds),
+            error: mean_over(&set, &vire),
         }
     });
     AblationResult {
@@ -89,7 +89,7 @@ pub fn kernels(seeds: &[u64]) -> AblationResult {
 
 /// Weighting-mode ablation in Env3.
 pub fn weighting(seeds: &[u64]) -> AblationResult {
-    let env = env3();
+    let set = TrialSet::collect(&env3(), &non_boundary_positions(), seeds);
     let variants = parallel_sweep(&WeightingMode::ALL, |&mode| {
         let vire = Vire::new(VireConfig {
             weighting: mode,
@@ -97,7 +97,7 @@ pub fn weighting(seeds: &[u64]) -> AblationResult {
         });
         VariantError {
             name: mode.name().to_string(),
-            error: mean_of(&env, &vire, seeds),
+            error: mean_over(&set, &vire),
         }
     });
     AblationResult {
@@ -162,20 +162,17 @@ pub fn boundary(seeds: &[u64]) -> AblationResult {
     ];
     let plain = Vire::default();
     let comp = BoundaryCompensatedVire::new(VireConfig::default(), 1);
-    let mean = |loc: &(dyn Localizer + Sync)| -> f64 {
-        let e = mean_errors_over_seeds(&env, &positions, loc, seeds);
-        e.iter().sum::<f64>() / e.len() as f64
-    };
+    let set = TrialSet::collect(&env, &positions, seeds);
     AblationResult {
         title: "Boundary compensation (outside-lattice tags, Env3)".into(),
         variants: vec![
             VariantError {
                 name: "VIRE".into(),
-                error: mean(&plain),
+                error: mean_over(&set, &plain),
             },
             VariantError {
                 name: "VIRE+boundary".into(),
-                error: mean(&comp),
+                error: mean_over(&set, &comp),
             },
         ],
     }
@@ -295,11 +292,12 @@ pub fn grid_spacing(seeds: &[u64]) -> AblationResult {
 pub fn landmarc_k(seeds: &[u64]) -> AblationResult {
     let env = env3();
     let ks = [1usize, 2, 3, 4, 6, 8, 16];
+    let set = TrialSet::collect(&env, &non_boundary_positions(), seeds);
     let variants = parallel_sweep(&ks, |&k| {
         let lm = Landmarc::new(vire_core::LandmarcConfig { k });
         VariantError {
             name: format!("k = {k}"),
-            error: mean_of(&env, &lm, seeds),
+            error: mean_over(&set, &lm),
         }
     });
     AblationResult {
@@ -317,8 +315,9 @@ pub fn channel_fidelity(seeds: &[u64]) -> AblationResult {
     env2nd.second_order_reflections = true;
     let configs = [("1st-order channel", env3()), ("2nd-order channel", env2nd)];
     let variants = parallel_sweep(&configs, |(label, env)| {
-        let vire = mean_of(env, &Vire::default(), seeds);
-        let lm = mean_of(env, &Landmarc::default(), seeds);
+        let set = TrialSet::collect(env, &non_boundary_positions(), seeds);
+        let vire = mean_over(&set, &Vire::default());
+        let lm = mean_over(&set, &Landmarc::default());
         VariantError {
             name: format!("{label}: VIRE {vire:.3} / LM {lm:.3}"),
             error: vire / lm, // ratio < 1 means VIRE still wins

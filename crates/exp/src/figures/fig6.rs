@@ -10,7 +10,7 @@
 
 use crate::metrics::improvement_percent;
 use crate::report::{fmt3, fmt_pct, Table};
-use crate::runner::{default_seeds, mean_errors_over_seeds};
+use crate::runner::{default_seeds, TrialSet};
 use serde::{Deserialize, Serialize};
 use vire_core::{Landmarc, Vire, VireConfig};
 use vire_env::presets::all_paper_environments;
@@ -54,14 +54,14 @@ pub fn run_with_config(seeds: &[u64], config: VireConfig) -> Fig6Result {
     let landmarc_alg = Landmarc::default();
     let vire_alg = Vire::new(config);
     let envs = all_paper_environments();
-    let landmarc = envs
+    // One simulated trial set per environment, shared by both curves:
+    // simulation dominates the cost and the inputs are identical.
+    let sets: Vec<TrialSet> = envs
         .iter()
-        .map(|env| mean_errors_over_seeds(env, &positions, &landmarc_alg, seeds))
+        .map(|env| TrialSet::collect(env, &positions, seeds))
         .collect();
-    let vire = envs
-        .iter()
-        .map(|env| mean_errors_over_seeds(env, &positions, &vire_alg, seeds))
-        .collect();
+    let landmarc = sets.iter().map(|s| s.mean_errors(&landmarc_alg)).collect();
+    let vire = sets.iter().map(|s| s.mean_errors(&vire_alg)).collect();
     Fig6Result {
         environments: envs.iter().map(|e| e.name.clone()).collect(),
         landmarc,

@@ -4,7 +4,7 @@
 //! N² grows toward ~600, improves only marginally to ~900, and is flat
 //! beyond (the paper settles on N² = 900 and reports a ~0.5 m plateau).
 
-use crate::runner::{default_seeds, mean_errors_over_seeds};
+use crate::runner::{default_seeds, TrialSet};
 use crate::sweep::parallel_sweep;
 use serde::{Deserialize, Serialize};
 use vire_core::{Vire, VireConfig};
@@ -47,9 +47,12 @@ pub const REFINE_SWEEP: [usize; 9] = [1, 2, 3, 4, 5, 6, 8, 10, 13];
 pub fn run(seeds: &[u64]) -> Fig7Result {
     let env = env3();
     let positions: Vec<_> = Deployment::tracking_tags_fig2a()[..5].to_vec();
+    // Every sweep point localizes the same simulated trials; collect them
+    // once instead of re-simulating per refinement factor.
+    let set = TrialSet::collect(&env, &positions, seeds);
     let points = parallel_sweep(&REFINE_SWEEP, |&n| {
         let vire = Vire::new(VireConfig::with_refine(n));
-        let errors = mean_errors_over_seeds(&env, &positions, &vire, seeds);
+        let errors = set.mean_errors(&vire);
         let mean = errors.iter().sum::<f64>() / errors.len() as f64;
         DensityPoint {
             refine: n,

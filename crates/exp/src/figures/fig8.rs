@@ -5,7 +5,7 @@
 //! is too small, the real positions may be swept" — with the minimum near
 //! a moderate threshold (the paper finds 1–1.5).
 
-use crate::runner::{default_seeds, mean_errors_over_seeds};
+use crate::runner::{default_seeds, TrialSet};
 use crate::sweep::parallel_sweep;
 use serde::{Deserialize, Serialize};
 use vire_core::vire_alg::EmptyFallback;
@@ -57,6 +57,9 @@ pub fn threshold_sweep() -> Vec<f64> {
 pub fn run(seeds: &[u64]) -> Fig8Result {
     let env = env3();
     let positions: Vec<_> = Deployment::tracking_tags_fig2a()[..5].to_vec();
+    // One trial set feeds all 24 fixed-threshold points plus the adaptive
+    // run — the simulation inputs are identical across the sweep.
+    let set = TrialSet::collect(&env, &positions, seeds);
     let sweep = threshold_sweep();
     let points = parallel_sweep(&sweep, |&t| {
         // Fall back to LANDMARC when a small threshold empties the
@@ -68,7 +71,7 @@ pub fn run(seeds: &[u64]) -> Fig8Result {
             ..VireConfig::default()
         };
         let vire = Vire::new(cfg);
-        let errors = mean_errors_over_seeds(&env, &positions, &vire, seeds);
+        let errors = set.mean_errors(&vire);
         ThresholdPoint {
             threshold: t,
             non_boundary_error: errors.iter().sum::<f64>() / errors.len() as f64,
@@ -76,7 +79,7 @@ pub fn run(seeds: &[u64]) -> Fig8Result {
     });
 
     let adaptive = Vire::default();
-    let adaptive_errors = mean_errors_over_seeds(&env, &positions, &adaptive, seeds);
+    let adaptive_errors = set.mean_errors(&adaptive);
     Fig8Result {
         points,
         adaptive_error: adaptive_errors.iter().sum::<f64>() / adaptive_errors.len() as f64,

@@ -122,8 +122,75 @@ pub fn trial_errors(localizer: &dyn Localizer, trial: &TrialData) -> Vec<f64> {
         .collect()
 }
 
-/// Runs `seeds.len()` trials in parallel (crossbeam scoped threads, one per
-/// seed) and returns the per-tag errors averaged across seeds.
+/// One fixture's trials — one [`TrialData`] per seed, collected **once**
+/// and shared across every localizer curve evaluated on it.
+///
+/// Figure reproduction sweeps many localizer variants (algorithms, refine
+/// factors, thresholds) over the *same* `(environment, positions, seeds)`
+/// fixture; simulation dominates the cost, so re-simulating per curve is
+/// pure waste. Collect the set once, then call
+/// [`TrialSet::mean_errors`] per variant — the numbers are identical to
+/// [`mean_errors_over_seeds`] (which is now a thin wrapper over this
+/// type) because the simulation is seed-deterministic.
+#[derive(Debug, Clone)]
+pub struct TrialSet {
+    trials: Vec<TrialData>,
+    tag_count: usize,
+}
+
+impl TrialSet {
+    /// Collects one trial per seed in parallel (crossbeam scoped threads,
+    /// one per seed) with the paper testbed configuration.
+    pub fn collect(env: &Environment, positions: &[Point2], seeds: &[u64]) -> Self {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let trials: Vec<TrialData> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .map(|&seed| scope.spawn(move |_| collect_trial(env, positions, seed)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("trial collector thread panicked");
+        TrialSet {
+            trials,
+            tag_count: positions.len(),
+        }
+    }
+
+    /// The collected trials, in seed order.
+    pub fn trials(&self) -> &[TrialData] {
+        &self.trials
+    }
+
+    /// Number of tracking tags per trial.
+    pub fn tag_count(&self) -> usize {
+        self.tag_count
+    }
+
+    /// Per-tag errors of `localizer`, averaged across the set's trials
+    /// (crossbeam-parallel, one thread per trial). NaN errors (failed
+    /// locates) are excluded from a tag's average; a tag that fails on
+    /// every trial yields NaN.
+    pub fn mean_errors(&self, localizer: &(dyn Localizer + Sync)) -> Vec<f64> {
+        let per_seed: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .trials
+                .iter()
+                .map(|trial| scope.spawn(move |_| trial_errors(localizer, trial)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("error evaluator thread panicked");
+        average_ignoring_nan(&per_seed, self.tag_count)
+    }
+}
+
+/// Runs `seeds.len()` trials in parallel and returns the per-tag errors
+/// averaged across seeds.
+///
+/// Collecting is delegated to [`TrialSet`]; callers evaluating several
+/// localizers on the same fixture should collect the set once and reuse
+/// it instead of calling this per curve.
 ///
 /// NaN errors (failed locates) are excluded from a tag's average; a tag
 /// that fails on every seed yields NaN.
@@ -133,22 +200,7 @@ pub fn mean_errors_over_seeds(
     localizer: &(dyn Localizer + Sync),
     seeds: &[u64],
 ) -> Vec<f64> {
-    assert!(!seeds.is_empty(), "need at least one seed");
-    let per_seed: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                scope.spawn(move |_| {
-                    let trial = collect_trial(env, positions, seed);
-                    trial_errors(localizer, &trial)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("seed runner thread panicked");
-
-    average_ignoring_nan(&per_seed, positions.len())
+    TrialSet::collect(env, positions, seeds).mean_errors(localizer)
 }
 
 /// Column-wise mean of `rows`, skipping NaN entries.

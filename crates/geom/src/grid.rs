@@ -355,6 +355,13 @@ impl<T: Clone> GridData<T> {
         &self.data
     }
 
+    /// Mutable raw row-major slice — the bulk-overwrite path for callers
+    /// that refill a field in place instead of allocating a new one.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     /// Iterates `(index, value)` pairs in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (GridIndex, &T)> {
         self.data

@@ -1,0 +1,266 @@
+//! Memoized deterministic link budgets.
+//!
+//! [`RfChannel::mean_rssi`](crate::RfChannel::mean_rssi) is a pure
+//! function of geometry — aperture-smoothed image-method multipath,
+//! the clutter field, obstruction ray tests — and it is by far the most
+//! expensive term of a measurement. A testbed with static tags evaluates
+//! it with the *same arguments* on every beacon of every (tag, reader)
+//! link. [`LinkBudgetCache`] memoizes the result per link, splitting the
+//! channel into a deterministic **link-budget plane** (computed once per
+//! link, invalidated only when geometry changes) and the cheap stochastic
+//! tail drawn per beacon
+//! ([`RfChannel::sample_with_mean`](crate::RfChannel::sample_with_mean)).
+//!
+//! The cache is a dense `transmitters × receivers` table indexed by the
+//! caller's own integer ids (a simulator's tag and reader indices). It
+//! stores the two deterministic f64 terms **separately** (channel mean
+//! and receiver antenna gain) so a consumer can reproduce the exact
+//! floating-point summation order of the uncached measurement path —
+//! memoization must be `f64::to_bits`-invisible.
+
+use crate::Dbm;
+
+/// The deterministic part of one (transmitter, receiver) link.
+///
+/// Terms are kept separate (not pre-summed) so the consumer controls the
+/// floating-point addition order and cached results stay bit-identical
+/// to recomputation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    /// Deterministic channel mean at this geometry
+    /// ([`crate::RfChannel::mean_rssi`]), dBm.
+    pub mean_dbm: Dbm,
+    /// Receiver-side antenna gain toward the transmitter, dB.
+    pub rx_gain_db: f64,
+}
+
+/// Hit/miss/invalidation counters for a [`LinkBudgetCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkBudgetStats {
+    /// Lookups answered from the memo table.
+    pub hits: u64,
+    /// Lookups that had to evaluate the deterministic plane.
+    pub misses: u64,
+    /// Link entries dropped by targeted invalidation (not counting
+    /// [`LinkBudgetCache::clear`]).
+    pub invalidated: u64,
+}
+
+/// Dense memo table of [`LinkBudget`]s, one slot per
+/// `(transmitter, receiver)` link.
+///
+/// Rows are transmitters (grown on demand), columns receivers (fixed at
+/// construction). Invalidation is exact: a moved transmitter drops one
+/// row ([`invalidate_tx`](LinkBudgetCache::invalidate_tx)), a swapped
+/// receiver antenna drops one column
+/// ([`invalidate_rx`](LinkBudgetCache::invalidate_rx)), and any broader
+/// environment change drops everything
+/// ([`clear`](LinkBudgetCache::clear)).
+#[derive(Debug, Clone)]
+pub struct LinkBudgetCache {
+    receivers: usize,
+    slots: Vec<Option<LinkBudget>>,
+    stats: LinkBudgetStats,
+}
+
+impl LinkBudgetCache {
+    /// An empty cache over `receivers` columns.
+    pub fn new(receivers: usize) -> Self {
+        LinkBudgetCache {
+            receivers,
+            slots: Vec::new(),
+            stats: LinkBudgetStats::default(),
+        }
+    }
+
+    /// Number of receiver columns.
+    pub fn receivers(&self) -> usize {
+        self.receivers
+    }
+
+    /// Number of transmitter rows currently allocated.
+    pub fn transmitters(&self) -> usize {
+        self.slots.len().checked_div(self.receivers).unwrap_or(0)
+    }
+
+    /// Lookup counters accumulated so far.
+    pub fn stats(&self) -> LinkBudgetStats {
+        self.stats
+    }
+
+    /// Number of filled link entries.
+    pub fn cached_links(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Grows the table to cover transmitter rows `0..tx_count` (new slots
+    /// empty). Shrinking is not supported; smaller counts are a no-op.
+    pub fn ensure_transmitters(&mut self, tx_count: usize) {
+        let want = tx_count * self.receivers;
+        if self.slots.len() < want {
+            self.slots.resize(want, None);
+        }
+    }
+
+    fn slot_index(&self, tx: usize, rx: usize) -> usize {
+        assert!(rx < self.receivers, "receiver index out of range");
+        tx * self.receivers + rx
+    }
+
+    /// The cached budget for link `(tx, rx)`, if present. Does not touch
+    /// the hit/miss counters.
+    pub fn get(&self, tx: usize, rx: usize) -> Option<LinkBudget> {
+        self.slots.get(self.slot_index(tx, rx)).copied().flatten()
+    }
+
+    /// Stores `budget` for link `(tx, rx)`, growing the table as needed.
+    pub fn insert(&mut self, tx: usize, rx: usize, budget: LinkBudget) {
+        self.ensure_transmitters(tx + 1);
+        let slot = self.slot_index(tx, rx);
+        self.slots[slot] = Some(budget);
+    }
+
+    /// The budget for link `(tx, rx)`, evaluating `fill` and memoizing the
+    /// result on the first call for this link.
+    pub fn get_or_insert_with(
+        &mut self,
+        tx: usize,
+        rx: usize,
+        fill: impl FnOnce() -> LinkBudget,
+    ) -> LinkBudget {
+        self.ensure_transmitters(tx + 1);
+        let slot = self.slot_index(tx, rx);
+        match self.slots[slot] {
+            Some(budget) => {
+                self.stats.hits += 1;
+                budget
+            }
+            None => {
+                self.stats.misses += 1;
+                let budget = fill();
+                self.slots[slot] = Some(budget);
+                budget
+            }
+        }
+    }
+
+    /// Drops every link of transmitter `tx` (it moved). Unknown rows are a
+    /// no-op.
+    pub fn invalidate_tx(&mut self, tx: usize) {
+        let start = tx * self.receivers;
+        if start >= self.slots.len() {
+            return;
+        }
+        for slot in &mut self.slots[start..start + self.receivers] {
+            if slot.take().is_some() {
+                self.stats.invalidated += 1;
+            }
+        }
+    }
+
+    /// Drops every link of receiver `rx` (its antenna changed).
+    ///
+    /// # Panics
+    /// Panics when `rx` is out of range.
+    pub fn invalidate_rx(&mut self, rx: usize) {
+        assert!(rx < self.receivers, "receiver index out of range");
+        for slot in self.slots.iter_mut().skip(rx).step_by(self.receivers) {
+            if slot.take().is_some() {
+                self.stats.invalidated += 1;
+            }
+        }
+    }
+
+    /// Drops every cached link (the environment itself changed). Counters
+    /// survive; the dropped links are not counted as targeted
+    /// invalidations.
+    pub fn clear(&mut self) {
+        self.slots.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget(v: f64) -> LinkBudget {
+        LinkBudget {
+            mean_dbm: v,
+            rx_gain_db: v / 2.0,
+        }
+    }
+
+    #[test]
+    fn memoizes_per_link() {
+        let mut cache = LinkBudgetCache::new(3);
+        let mut evals = 0;
+        for _ in 0..4 {
+            let b = cache.get_or_insert_with(2, 1, || {
+                evals += 1;
+                budget(-70.0)
+            });
+            assert_eq!(b, budget(-70.0));
+        }
+        assert_eq!(evals, 1, "deterministic plane evaluated once per link");
+        assert_eq!(cache.stats().hits, 3);
+        assert_eq!(cache.stats().misses, 1);
+        // A different link is its own slot.
+        cache.get_or_insert_with(2, 2, || budget(-80.0));
+        assert_eq!(cache.get(2, 2), Some(budget(-80.0)));
+        assert_eq!(cache.get(2, 0), None);
+    }
+
+    #[test]
+    fn invalidate_tx_drops_exactly_one_row() {
+        let mut cache = LinkBudgetCache::new(2);
+        for tx in 0..3 {
+            for rx in 0..2 {
+                cache.insert(tx, rx, budget(-(tx as f64) - rx as f64));
+            }
+        }
+        cache.invalidate_tx(1);
+        assert_eq!(cache.get(1, 0), None);
+        assert_eq!(cache.get(1, 1), None);
+        assert_eq!(cache.get(0, 0), Some(budget(0.0)));
+        assert_eq!(cache.get(2, 1), Some(budget(-3.0)));
+        assert_eq!(cache.stats().invalidated, 2);
+        // Invalidating an unknown row is harmless.
+        cache.invalidate_tx(99);
+        assert_eq!(cache.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn invalidate_rx_drops_exactly_one_column() {
+        let mut cache = LinkBudgetCache::new(2);
+        for tx in 0..3 {
+            for rx in 0..2 {
+                cache.insert(tx, rx, budget(tx as f64 + 10.0 * rx as f64));
+            }
+        }
+        cache.invalidate_rx(0);
+        for tx in 0..3 {
+            assert_eq!(cache.get(tx, 0), None);
+            assert!(cache.get(tx, 1).is_some());
+        }
+        assert_eq!(cache.stats().invalidated, 3);
+        assert_eq!(cache.cached_links(), 3);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut cache = LinkBudgetCache::new(4);
+        cache.insert(0, 3, budget(-1.0));
+        cache.insert(5, 0, budget(-2.0));
+        assert_eq!(cache.cached_links(), 2);
+        cache.clear();
+        assert_eq!(cache.cached_links(), 0);
+        assert_eq!(cache.transmitters(), 6, "capacity survives a clear");
+    }
+
+    #[test]
+    #[should_panic(expected = "receiver index")]
+    fn receiver_out_of_range_panics() {
+        let mut cache = LinkBudgetCache::new(2);
+        cache.insert(0, 2, budget(0.0));
+    }
+}

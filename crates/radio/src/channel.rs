@@ -172,15 +172,47 @@ impl RfChannel {
     /// same spot as `tx`, including the tag itself; pass 1 for a normally
     /// spaced deployment.
     pub fn measure(&mut self, tx: Point2, rx: Point2, co_located: usize) -> Dbm {
-        self.mean_rssi(tx, rx)
-            + self.noise.sample()
-            + self.spike.sample()
-            + self.interference.sample(co_located)
+        let mean = self.mean_rssi(tx, rx);
+        self.sample_with_mean(mean, co_located)
     }
 
-    /// Convenience: `n` repeated measurements at the same geometry.
+    /// Draws one measurement around an already-known deterministic mean:
+    /// the stochastic tail (noise, spike, collision draws, in the exact
+    /// order [`RfChannel::measure`] uses) rides on `mean`.
+    ///
+    /// This is the query half of the link-budget split: callers that
+    /// memoized [`RfChannel::mean_rssi`] per link (see
+    /// [`crate::budget::LinkBudgetCache`]) pay only the cheap random draws
+    /// per beacon. Feeding the mean the channel would compute itself makes
+    /// the result `f64::to_bits`-identical to [`RfChannel::measure`].
+    pub fn sample_with_mean(&mut self, mean: Dbm, co_located: usize) -> Dbm {
+        mean + self.noise.sample() + self.spike.sample() + self.interference.sample(co_located)
+    }
+
+    /// `n` repeated measurements at the same geometry, appended to `out`
+    /// (which is cleared first). The deterministic mean is evaluated once
+    /// and only the stochastic tail is drawn per repeat; results are
+    /// bit-identical to `n` [`RfChannel::measure`] calls.
+    pub fn measure_into(
+        &mut self,
+        tx: Point2,
+        rx: Point2,
+        co_located: usize,
+        n: usize,
+        out: &mut Vec<Dbm>,
+    ) {
+        out.clear();
+        out.reserve(n);
+        let mean = self.mean_rssi(tx, rx);
+        out.extend((0..n).map(|_| self.sample_with_mean(mean, co_located)));
+    }
+
+    /// Convenience: `n` repeated measurements at the same geometry. Reuse
+    /// a buffer via [`RfChannel::measure_into`] on hot paths.
     pub fn measure_n(&mut self, tx: Point2, rx: Point2, co_located: usize, n: usize) -> Vec<Dbm> {
-        (0..n).map(|_| self.measure(tx, rx, co_located)).collect()
+        let mut out = Vec::new();
+        self.measure_into(tx, rx, co_located, n, &mut out);
+        out
     }
 
     /// Access to the multipath component (for inspection in experiments).
@@ -284,6 +316,33 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn measure_into_is_bit_identical_to_repeated_measure() {
+        let tx = Point2::new(1.1, 0.7);
+        let rx = Point2::new(4.2, 3.9);
+        let mut loop_ch = RfChannel::new(office_params(23));
+        let by_loop: Vec<f64> = (0..64).map(|_| loop_ch.measure(tx, rx, 12)).collect();
+        let mut batch_ch = RfChannel::new(office_params(23));
+        let mut out = vec![0.0; 3]; // stale contents must be discarded
+        batch_ch.measure_into(tx, rx, 12, 64, &mut out);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&by_loop), bits(&out));
+    }
+
+    #[test]
+    fn sample_with_mean_matches_measure() {
+        let tx = Point2::new(0.4, 2.2);
+        let rx = Point2::new(5.0, 5.0);
+        let mut direct = RfChannel::new(office_params(31));
+        let mut split = RfChannel::new(office_params(31));
+        let mean = split.mean_rssi(tx, rx);
+        for _ in 0..32 {
+            let a = direct.measure(tx, rx, 1);
+            let b = split.sample_with_mean(mean, 1);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![warn(clippy::all)]
 
 pub mod antenna;
+pub mod budget;
 pub mod channel;
 pub mod complex;
 pub mod field;
@@ -41,6 +42,7 @@ pub mod quantize;
 pub mod stats;
 
 pub use antenna::AntennaPattern;
+pub use budget::{LinkBudget, LinkBudgetCache, LinkBudgetStats};
 pub use channel::{ChannelParams, RfChannel};
 pub use multipath::{ImageMethod, Reflector};
 pub use pathloss::{LogDistance, PathLoss};

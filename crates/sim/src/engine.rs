@@ -14,7 +14,7 @@ use vire_core::{ReferenceRssiMap, TrackingReading};
 use vire_env::{Deployment, Environment};
 use vire_geom::{GridIndex, Point2};
 use vire_radio::quantize::PowerLevelQuantizer;
-use vire_radio::RfChannel;
+use vire_radio::{LinkBudget, LinkBudgetCache, LinkBudgetStats, RfChannel};
 
 /// Testbed configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +50,12 @@ pub struct TestbedConfig {
     /// the oldest are overwritten. Slow subscribers observe the loss as an
     /// explicit lag count rather than stalling the pipeline.
     pub event_capacity: usize,
+    /// Memoize the deterministic link budget (channel mean + receiver
+    /// antenna gain) per (tag, reader) link, so repeated beacons pay only
+    /// the stochastic tail. Results are `f64::to_bits`-identical either
+    /// way (pinned by `tests/channel_cache.rs`); disabling is useful only
+    /// as the reference arm of that comparison.
+    pub link_budget_cache: bool,
 }
 
 impl TestbedConfig {
@@ -68,6 +74,7 @@ impl TestbedConfig {
             collision_radius: 0.3,
             tag_gain_sigma: 0.0,
             event_capacity: 4096,
+            link_budget_cache: true,
         }
     }
 
@@ -114,6 +121,9 @@ pub struct Testbed {
     clock: f64,
     rng: SmallRng,
     quantizer: Option<PowerLevelQuantizer>,
+    /// Memoized deterministic link budgets, one slot per (tag, reader)
+    /// link; `None` when [`TestbedConfig::link_budget_cache`] is off.
+    budget_cache: Option<LinkBudgetCache>,
     /// Beacons emitted per tag (indexed by `TagId`). Distinguishes "not
     /// yet beaconed" from "beaconed but below reader sensitivity".
     beacon_counts: Vec<u64>,
@@ -155,6 +165,9 @@ impl Testbed {
             config.deployment.readers.clone(),
             bus.reader(),
         );
+        let budget_cache = config
+            .link_budget_cache
+            .then(|| LinkBudgetCache::new(readers.len()));
         let mut testbed = Testbed {
             rng: SmallRng::seed_from_u64(config.seed ^ 0x0bea_c017),
             channel,
@@ -166,6 +179,7 @@ impl Testbed {
             queue: EventQueue::new(),
             clock: 0.0,
             quantizer,
+            budget_cache,
             beacon_counts: Vec::new(),
             config,
         };
@@ -177,7 +191,69 @@ impl Testbed {
             testbed.reference_tags.insert(idx, id);
             testbed.stage.pin_reference(idx, id);
         }
+        // Warm the whole reference lattice's link budgets in one batch
+        // (fans across scoped threads when the lattice is large enough).
+        let ids: Vec<TagId> = testbed.tags.iter().map(|t| t.id).collect();
+        testbed.warm_links(&ids);
         testbed
+    }
+
+    /// Fills the link-budget cache for `ids` across every reader in one
+    /// batch, fanning across scoped threads when the batch is large enough
+    /// to pay for spawning. Each budget is a pure function of geometry, so
+    /// parallel evaluation stores bit-identical values to sequential.
+    fn warm_links(&mut self, ids: &[TagId]) {
+        let Some(cache) = self.budget_cache.as_mut() else {
+            return;
+        };
+        cache.ensure_transmitters(self.tags.len());
+        let channel = &self.channel;
+        let readers = &self.readers;
+        let tags = &self.tags;
+        let link_row = |id: TagId| -> Vec<LinkBudget> {
+            let pos = tags[id.0 as usize].position;
+            readers
+                .iter()
+                .map(|r| LinkBudget {
+                    mean_dbm: channel.mean_rssi(pos, r.position),
+                    rx_gain_db: r.antenna_gain_db(pos),
+                })
+                .collect()
+        };
+        const PARALLEL_MIN_TAGS: usize = 8;
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let rows: Vec<(TagId, Vec<LinkBudget>)> = if ids.len() >= PARALLEL_MIN_TAGS && threads > 1 {
+            let link_row = &link_row;
+            let chunk = ids.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ids
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter()
+                                .map(|&id| (id, link_row(id)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("warm worker panicked"))
+                    .collect()
+            })
+        } else {
+            ids.iter().map(|&id| (id, link_row(id))).collect()
+        };
+        for (id, budgets) in rows {
+            for (k, budget) in budgets.into_iter().enumerate() {
+                cache.insert(id.0 as usize, k, budget);
+            }
+        }
+    }
+
+    /// Link-budget cache counters; `None` when the cache is disabled.
+    pub fn link_budget_stats(&self) -> Option<LinkBudgetStats> {
+        self.budget_cache.as_ref().map(|c| c.stats())
     }
 
     fn register_tag(&mut self, position: Point2, role: TagRole) -> TagId {
@@ -210,9 +286,12 @@ impl Testbed {
     }
 
     /// Adds a tracking tag at `position`; beacons start within one
-    /// interval of the current clock.
+    /// interval of the current clock. Registration warms the tag's link
+    /// budgets for every reader in one batch.
     pub fn add_tracking_tag(&mut self, position: Point2) -> TagId {
-        self.register_tag(position, TagRole::Tracking)
+        let id = self.register_tag(position, TagRole::Tracking);
+        self.warm_links(&[id]);
+        id
     }
 
     /// Moves a tracking tag to a new position (the paper's §6 mobility
@@ -230,13 +309,21 @@ impl Testbed {
             "reference tags cannot move"
         );
         tag.position = position;
+        // The deterministic plane of every link this tag transmits on just
+        // changed; drop exactly that row and re-warm it at the new spot.
+        if let Some(cache) = &mut self.budget_cache {
+            cache.invalidate_tx(id.0 as usize);
+        }
+        self.warm_links(&[id]);
     }
 
     /// Adds a reference tag at an arbitrary known position (a scattered,
     /// non-lattice deployment — paper §6). Export the calibration data
     /// with [`Testbed::scattered_reference_map`].
     pub fn add_scattered_reference(&mut self, position: Point2) -> TagId {
-        self.register_tag(position, TagRole::ScatteredReference)
+        let id = self.register_tag(position, TagRole::ScatteredReference);
+        self.warm_links(&[id]);
+        id
     }
 
     /// Exports the calibration map over every reference tag — lattice and
@@ -266,6 +353,11 @@ impl Testbed {
     /// Panics when `k` is out of range.
     pub fn set_reader_antenna(&mut self, k: usize, antenna: vire_radio::antenna::AntennaPattern) {
         self.readers[k].antenna = antenna;
+        // Every link into this reader now has a different receive gain;
+        // drop exactly that column (refilled lazily on the next beacons).
+        if let Some(cache) = &mut self.budget_cache {
+            cache.invalidate_rx(k);
+        }
     }
 
     /// Number of tags within the collision radius of `position`
@@ -319,11 +411,27 @@ impl Testbed {
         let co_located = self.co_located_count(tag.position);
         for k in 0..self.readers.len() {
             let reader = self.readers[k];
-            let mut rssi = self
-                .channel
-                .measure(tag.position, reader.position, co_located)
+            // The deterministic plane comes from the memo table (filled at
+            // registration, re-filled lazily after invalidation); only the
+            // stochastic tail is drawn per beacon. The summation order
+            // matches the uncached expression term for term, so both paths
+            // are f64::to_bits-identical.
+            let budget = match self.budget_cache.as_mut() {
+                Some(cache) => {
+                    let channel = &self.channel;
+                    cache.get_or_insert_with(tag_id.0 as usize, k, || LinkBudget {
+                        mean_dbm: channel.mean_rssi(tag.position, reader.position),
+                        rx_gain_db: reader.antenna_gain_db(tag.position),
+                    })
+                }
+                None => LinkBudget {
+                    mean_dbm: self.channel.mean_rssi(tag.position, reader.position),
+                    rx_gain_db: reader.antenna_gain_db(tag.position),
+                },
+            };
+            let mut rssi = self.channel.sample_with_mean(budget.mean_dbm, co_located)
                 + tag.gain_db
-                + reader.antenna_gain_db(tag.position);
+                + budget.rx_gain_db;
             if let Some(q) = &self.quantizer {
                 rssi = q.degrade(rssi);
             }

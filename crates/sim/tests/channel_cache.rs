@@ -1,0 +1,216 @@
+//! Bit-identity pins for the memoized link-budget plane.
+//!
+//! The cache is a pure performance device: a testbed with
+//! `link_budget_cache` on must be `f64::to_bits`-indistinguishable from
+//! one with it off, across every preset environment and both equipment
+//! configs. These tests also give the invalidation paths teeth — a
+//! stale-cache bug (skipping `move_tag` / `set_reader_antenna`
+//! invalidation) shows up as a bitwise mismatch against a testbed that
+//! had the final geometry from the start.
+
+use proptest::prelude::*;
+use vire_env::presets::{all_paper_environments, env2};
+use vire_geom::Point2;
+use vire_sim::middleware::Reading;
+use vire_sim::{Testbed, TestbedConfig};
+
+/// Tracking-tag spots kept > 0.3 m (the collision radius) away from the
+/// 1 m lattice nodes and from each other, so the interference model draws
+/// no RNG samples regardless of position and streams stay aligned.
+const SPARSE_SPOTS: [(f64, f64); 3] = [(1.3, 1.7), (2.6, 0.7), (0.4, 2.55)];
+
+fn config(env_idx: usize, legacy: bool, seed: u64) -> TestbedConfig {
+    let env = all_paper_environments()[env_idx].clone();
+    if legacy {
+        TestbedConfig::legacy(env, seed)
+    } else {
+        TestbedConfig::paper(env, seed)
+    }
+}
+
+/// Runs one scripted scenario and returns every decoded reading plus the
+/// final calibration table, for bitwise comparison.
+fn run_scenario(
+    mut cfg: TestbedConfig,
+    cached: bool,
+    tag_count: usize,
+) -> (Vec<Reading>, Vec<u64>) {
+    cfg.link_budget_cache = cached;
+    let mut tb = Testbed::new(cfg);
+    let mut token = tb.subscribe();
+    let mut readings = Vec::new();
+    for &(x, y) in SPARSE_SPOTS.iter().take(tag_count) {
+        tb.add_tracking_tag(Point2::new(x, y));
+    }
+    let step = tb.warmup_duration();
+    for _ in 0..3 {
+        tb.run_for(step);
+        readings.extend(tb.events(&mut token).copied());
+    }
+    let map_bits: Vec<u64> = tb
+        .reference_map()
+        .expect("warmed up")
+        .fields()
+        .iter()
+        .flat_map(|f| f.as_slice().iter().map(|v| v.to_bits()))
+        .collect();
+    (readings, map_bits)
+}
+
+fn assert_bit_identical(a: &[Reading], b: &[Reading], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: reading counts differ");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.time.to_bits(), rb.time.to_bits(), "{label}: time @{i}");
+        assert_eq!(ra.tag, rb.tag, "{label}: tag @{i}");
+        assert_eq!(ra.reader, rb.reader, "{label}: reader @{i}");
+        assert_eq!(
+            ra.rssi.to_bits(),
+            rb.rssi.to_bits(),
+            "{label}: rssi @{i} ({} vs {})",
+            ra.rssi,
+            rb.rssi
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance pin: cached and uncached testbeds replay to
+    /// bit-identical reading streams and middleware RSSI tables across
+    /// Env1/Env2/Env3 and both equipment configs.
+    #[test]
+    fn cached_testbed_is_bit_identical_to_uncached(
+        env_idx in 0usize..3,
+        legacy in any::<bool>(),
+        seed in 0u64..1_000,
+        tag_count in 1usize..=3,
+    ) {
+        let cached = run_scenario(config(env_idx, legacy, seed), true, tag_count);
+        let uncached = run_scenario(config(env_idx, legacy, seed), false, tag_count);
+        prop_assert_eq!(cached.0.len(), uncached.0.len());
+        for (ra, rb) in cached.0.iter().zip(&uncached.0) {
+            prop_assert_eq!(ra.time.to_bits(), rb.time.to_bits());
+            prop_assert_eq!(ra.tag, rb.tag);
+            prop_assert_eq!(ra.reader, rb.reader);
+            prop_assert_eq!(ra.rssi.to_bits(), rb.rssi.to_bits());
+        }
+        prop_assert_eq!(&cached.1, &uncached.1, "reference map bits differ");
+    }
+}
+
+/// Collects `(time, rssi_bits)` of one tag's readings after `cutoff`.
+fn tail_of(readings: &[Reading], tag: vire_sim::tag::TagId, cutoff: f64) -> Vec<Reading> {
+    readings
+        .iter()
+        .filter(|r| r.tag == tag && r.time > cutoff)
+        .copied()
+        .collect()
+}
+
+/// `move_tag` mid-run must produce, from the move instant onward, the
+/// exact stream a testbed would produce with the tag at the new position
+/// all along — and a different stream from one where the tag never moved.
+/// A stale cache (skipped invalidation) fails the first assertion; a
+/// cache that somehow bled into the RNG fails the second.
+#[test]
+fn move_tag_matches_testbed_built_at_new_position() {
+    let p_old = Point2::new(1.3, 1.7);
+    let p_new = Point2::new(2.6, 0.7);
+    let t_pre = 30.0;
+    let t_post = 30.0;
+
+    let run = |start: Point2, moved: Option<Point2>| -> (vire_sim::tag::TagId, Vec<Reading>) {
+        let mut tb = Testbed::new(TestbedConfig::paper(env2(), 41));
+        let mut token = tb.subscribe();
+        let id = tb.add_tracking_tag(start);
+        let mut readings = Vec::new();
+        tb.run_for(t_pre);
+        readings.extend(tb.events(&mut token).copied());
+        if let Some(p) = moved {
+            tb.move_tag(id, p);
+        }
+        tb.run_for(t_post);
+        readings.extend(tb.events(&mut token).copied());
+        (id, readings)
+    };
+
+    let (id_a, moved) = run(p_old, Some(p_new));
+    let (id_b, always_new) = run(p_new, None);
+    let (id_c, never_moved) = run(p_old, None);
+    assert_eq!(id_a, id_b);
+    assert_eq!(id_a, id_c);
+
+    let tail_moved = tail_of(&moved, id_a, t_pre);
+    let tail_new = tail_of(&always_new, id_b, t_pre);
+    let tail_stale = tail_of(&never_moved, id_c, t_pre);
+    assert!(!tail_moved.is_empty(), "tag must beacon after the move");
+    assert_bit_identical(&tail_moved, &tail_new, "post-move vs built-at-new");
+    // Teeth: with invalidation skipped, the cached P_old budget would make
+    // the moved stream equal the never-moved one instead.
+    let stale_bits: Vec<u64> = tail_stale.iter().map(|r| r.rssi.to_bits()).collect();
+    let moved_bits: Vec<u64> = tail_moved.iter().map(|r| r.rssi.to_bits()).collect();
+    assert_ne!(
+        moved_bits, stale_bits,
+        "post-move readings must reflect the new position"
+    );
+}
+
+/// `set_reader_antenna` mid-run must produce, from the swap onward, the
+/// exact stream of a testbed that had the new antenna from t = 0.
+#[test]
+fn antenna_swap_matches_testbed_built_with_new_antenna() {
+    use vire_radio::antenna::AntennaPattern;
+    let pattern = || AntennaPattern::cardioid(vire_geom::Vec2::new(1.0, 1.0));
+    let t_pre = 30.0;
+    let t_post = 30.0;
+
+    let run = |swap_at_start: bool, swap_mid: bool| -> Vec<Reading> {
+        let mut tb = Testbed::new(TestbedConfig::paper(env2(), 43));
+        let mut token = tb.subscribe();
+        tb.add_tracking_tag(Point2::new(1.3, 1.7));
+        if swap_at_start {
+            tb.set_reader_antenna(0, pattern());
+        }
+        let mut readings = Vec::new();
+        tb.run_for(t_pre);
+        readings.extend(tb.events(&mut token).copied());
+        if swap_mid {
+            tb.set_reader_antenna(0, pattern());
+        }
+        tb.run_for(t_post);
+        readings.extend(tb.events(&mut token).copied());
+        readings
+    };
+
+    let swapped_mid = run(false, true);
+    let from_start = run(true, false);
+    let never = run(false, false);
+
+    let after = |rs: &[Reading]| -> Vec<Reading> {
+        rs.iter().filter(|r| r.time > t_pre).copied().collect()
+    };
+    let tail_mid = after(&swapped_mid);
+    let tail_start = after(&from_start);
+    let tail_never = after(&never);
+    assert!(!tail_mid.is_empty());
+    assert_bit_identical(&tail_mid, &tail_start, "post-swap vs built-with-antenna");
+    let mid_bits: Vec<u64> = tail_mid.iter().map(|r| r.rssi.to_bits()).collect();
+    let never_bits: Vec<u64> = tail_never.iter().map(|r| r.rssi.to_bits()).collect();
+    assert_ne!(
+        mid_bits, never_bits,
+        "reader-0 readings must reflect the antenna swap"
+    );
+}
+
+/// Registration-time warming covers every link: a run with no geometry
+/// mutation never misses in the cache.
+#[test]
+fn warmed_cache_never_misses() {
+    let mut tb = Testbed::new(TestbedConfig::paper(env2(), 7));
+    tb.add_tracking_tag(Point2::new(1.3, 1.7));
+    tb.run_for(tb.warmup_duration() * 2.0);
+    let stats = tb.link_budget_stats().expect("cache on by default");
+    assert_eq!(stats.misses, 0, "warming must cover every link");
+    assert!(stats.hits > 0, "beacons must hit the memo table");
+}

@@ -22,6 +22,11 @@ cargo test -q -p vire-bus
 echo "==> cargo test (vire-geom)"
 cargo test -p vire-geom -q
 
+# The link-budget cache must be invisible: cached and uncached testbeds
+# bit-identical across every preset environment and config (proptest).
+echo "==> cargo test (channel-cache bit-identity)"
+cargo test -q -p vire-sim --test channel_cache
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
@@ -42,6 +47,28 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 if ls target/*.json >/dev/null 2>&1; then
   echo "==> collect bench summaries"
   scripts/collect_bench.sh
+fi
+
+# Every tracked bench summary must report its optimized path ahead of the
+# baseline: any `*speedup*` field below 1.0 is a committed regression.
+# (Diagnostic ratios that legitimately straddle 1.0 — e.g. sync-vs-prepare
+# at the rebuild cutover — are named `*_ratio`, not `speedup`.)
+echo "==> bench speedup gate"
+fail=0
+for f in BENCH_*.json; do
+  [[ -f "$f" ]] || continue
+  while read -r field value; do
+    ok=$(awk -v v="$value" 'BEGIN { print (v >= 1.0) ? 1 : 0 }')
+    if [[ "$ok" != 1 ]]; then
+      echo "REGRESSION: $f reports $field = $value (< 1.0)" >&2
+      fail=1
+    fi
+  done < <(grep -o '"[A-Za-z_]*speedup[A-Za-z_]*"[[:space:]]*:[[:space:]]*[0-9.eE+-]*' "$f" \
+    | sed 's/"\([A-Za-z_]*\)"[[:space:]]*:[[:space:]]*/\1 /')
+done
+if [[ "$fail" -ne 0 ]]; then
+  echo "bench speedup gate failed" >&2
+  exit 1
 fi
 
 echo "tier-1: all checks passed"
