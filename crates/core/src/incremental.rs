@@ -304,6 +304,25 @@ impl OwnedPreparedLocalizer for PreparedVireOwned {
             self.synced_epoch = refs.epoch();
             return SyncOutcome::Rebuilt;
         }
+        // Early cutover: every journal entry is one epoch step, so when
+        // the map identity matches and the journal still reaches back to
+        // the synced epoch, `epoch - synced_epoch` counts the pending
+        // changes without materializing them. If even that raw count (an
+        // upper bound on the deduplicated dirty set) crosses the rebuild
+        // break-even, skip `discover_dirty` entirely — the journal
+        // replay, sort, dedup, and mirror compare it performs are pure
+        // overhead on a sync that was going to rebuild anyway, and
+        // rebuild-vs-patch is a perf choice only (both bit-identical).
+        if refs.id() == self.source_id
+            && refs.changes_since(self.synced_epoch).is_some()
+            && 6 * (refs.epoch() - self.synced_epoch) as usize
+                >= refs.reader_count() * refs.grid().node_count()
+        {
+            self.rebuild(refs);
+            self.source_id = refs.id();
+            self.synced_epoch = refs.epoch();
+            return SyncOutcome::Rebuilt;
+        }
         let mut dirty = std::mem::take(&mut self.dirty_scratch);
         discover_dirty(
             &self.refs,

@@ -45,6 +45,7 @@
 
 pub mod elimination;
 pub mod ext;
+pub mod fabric;
 pub mod incremental;
 pub mod kalman;
 pub mod kernels;
@@ -52,6 +53,7 @@ pub mod landmarc;
 pub mod localizer;
 pub mod nearest;
 pub mod pipeline;
+pub mod pool;
 pub mod prepared;
 pub mod proximity;
 pub mod quality;
@@ -65,6 +67,7 @@ pub mod vire_alg;
 pub mod virtual_grid;
 pub mod weights;
 
+pub use fabric::{plan_waves, ShardAccess, StageAccess, ZoneFabric, ZoneStats};
 pub use incremental::{
     DirtyCell, OwnedPreparedLocalizer, PreparedLandmarcOwned, PreparedVireOwned, SyncOutcome,
 };
@@ -72,13 +75,14 @@ pub use kalman::KalmanTracker;
 pub use landmarc::{Landmarc, LandmarcConfig};
 pub use localizer::{Estimate, LocalizeError, Localizer};
 pub use pipeline::SnapshotSource;
+pub use pool::WorkerPool;
 pub use prepared::{
     locate_batch_parallel, PreparedLandmarc, PreparedLocalizer, PreparedVire, Unprepared,
     VireScratch,
 };
 pub use quality::{FixQuality, ScoredLocate};
 pub use scattered::{ScatteredLandmarc, ScatteredReferenceMap, ScatteredVire};
-pub use service::{LocationService, ServiceConfig, SyncStats, TrackedEstimate};
+pub use service::{LocationService, ServiceConfig, SyncStats, TagKey, TrackedEstimate};
 pub use tracking::PositionTracker;
 pub use types::{ReferenceRssiMap, TrackingReading};
 pub use vire_alg::{ThresholdMode, Vire, VireConfig};

@@ -65,10 +65,12 @@ pub trait PreparedLocalizer: Sync {
     }
 }
 
-/// Fans `readings` (owned or by reference) across scoped threads in
-/// contiguous, order-preserving chunks (one per available core, capped by
-/// the batch size). Falls back to a sequential loop for batches too small
-/// to be worth a thread.
+/// Fans `readings` (owned or by reference) across the persistent
+/// [`WorkerPool`](crate::pool::WorkerPool) in contiguous, order-preserving
+/// chunks (one per pool lane, capped by the batch size). Each index writes
+/// its own pre-allocated output slot, so results are bit-identical to a
+/// sequential loop — which is exactly what runs when the pool has no
+/// workers or the batch is a single reading.
 pub fn locate_batch_parallel<P, R>(
     prepared: &P,
     readings: &[R],
@@ -77,34 +79,28 @@ where
     P: PreparedLocalizer + ?Sized,
     R: Borrow<TrackingReading> + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(readings.len());
-    if threads <= 1 {
+    let pool = crate::pool::WorkerPool::global();
+    let lanes = (pool.workers() + 1).min(readings.len());
+    if lanes <= 1 {
         return readings
             .iter()
             .map(|r| prepared.locate(r.borrow()))
             .collect();
     }
-    let chunk = readings.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = readings
-            .chunks(chunk)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|r| prepared.locate(r.borrow()))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("batch localization worker panicked"))
-            .collect()
-    })
+    let chunk = readings.len().div_ceil(lanes);
+    // Placeholder value only; every slot is overwritten below.
+    let mut out: Vec<Result<Estimate, LocalizeError>> =
+        vec![Err(LocalizeError::AllEliminated); readings.len()];
+    // One pool index per contiguous chunk, so each lane reuses its
+    // thread-local scratch across the whole chunk instead of per reading.
+    let mut chunks: Vec<&mut [Result<Estimate, LocalizeError>]> = out.chunks_mut(chunk).collect();
+    pool.for_each_mut(&mut chunks, |c, slots| {
+        for (slot, reading) in slots.iter_mut().zip(&readings[c * chunk..]) {
+            *slot = prepared.locate(reading.borrow());
+        }
+    });
+    drop(chunks);
+    out
 }
 
 /// The trivial prepared adapter behind [`Localizer::prepare`]'s default:

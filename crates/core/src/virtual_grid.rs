@@ -206,6 +206,13 @@ impl VirtualGrid {
         &mut self.per_reader[k]
     }
 
+    /// All per-reader fields mutably — the [`GridPatcher::rebuild`]
+    /// fan-out path, which re-interpolates each reader's plane on its own
+    /// worker-pool lane and therefore needs disjoint `&mut` access.
+    pub(crate) fn fields_mut(&mut self) -> &mut [GridData<f64>] {
+        &mut self.per_reader
+    }
+
     /// RSSI of virtual tag `idx` at reader `k`.
     pub fn rssi(&self, k: usize, idx: GridIndex) -> f64 {
         *self.per_reader[k].get(idx)
@@ -384,24 +391,24 @@ impl GridPatcher {
             "reader count mismatch"
         );
         assert_eq!(grid.reader_count(), self.intermediates.len());
-        for (k, inter) in self.intermediates.iter_mut().enumerate() {
-            horizontal_pass(
-                refs.field(k),
-                &self.coarse_xs,
-                &self.fine_xs,
-                self.n,
-                self.kernel,
-                inter,
-            );
-            vertical_pass(
-                inter,
-                &self.coarse_ys,
-                &self.fine_ys,
-                self.n,
-                self.kernel,
-                grid.field_mut(k),
-            );
-        }
+        // One reader's plane per worker-pool lane: each lane owns reader
+        // k's intermediate and output field exclusively, reads only
+        // shared positions/kernel state, and the passes themselves are
+        // the sequential code verbatim — so the rebuild stays bit-
+        // identical at any worker count (and runs inline on one core).
+        let mut lanes: Vec<(&mut Vec<f64>, &mut GridData<f64>)> = self
+            .intermediates
+            .iter_mut()
+            .zip(grid.fields_mut().iter_mut())
+            .collect();
+        let (coarse_xs, fine_xs) = (&self.coarse_xs, &self.fine_xs);
+        let (coarse_ys, fine_ys) = (&self.coarse_ys, &self.fine_ys);
+        let (n, kernel) = (self.n, self.kernel);
+        crate::pool::WorkerPool::global().for_each_mut(&mut lanes, |k, lane| {
+            let (inter, field) = (&mut *lane.0, &mut *lane.1);
+            horizontal_pass(refs.field(k), coarse_xs, fine_xs, n, kernel, inter);
+            vertical_pass(inter, coarse_ys, fine_ys, n, kernel, field);
+        });
     }
 
     /// Re-interpolates `grid` in place after the calibration cells named

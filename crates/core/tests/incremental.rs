@@ -95,14 +95,21 @@ proptest! {
                     batch.iter().map(|&(k, i, j, _)| (k, i, j)).collect();
                 cells.sort_unstable();
                 cells.dedup();
+                let epoch_before = map.epoch();
                 for &(k, i, j, value) in batch {
                     map.set_rssi(k, GridIndex::new(i, j), value);
                 }
+                // Journal length since the last sync (bit-changing writes,
+                // duplicates included) — the early-cutover trigger that
+                // skips `discover_dirty` when a rebuild is certain.
+                let pending = (map.epoch() - epoch_before) as usize;
                 let outcome = owned.sync(&map, &[]);
-                // Below the cutover (6·dirty < 48 coarse cells) sync must
-                // stay on the patch path; at or above it, rebuilding is
-                // also bit-identical, so only the outcome flag differs.
-                if 6 * cells.len() < 48 {
+                // Below both cutovers (6·dirty < 48 coarse cells on the
+                // deduplicated set, and 6·journal-length < 48 on the raw
+                // pending count) sync must stay on the patch path; at or
+                // above either, rebuilding is also bit-identical, so only
+                // the outcome flag differs.
+                if 6 * cells.len() < 48 && 6 * pending < 48 {
                     prop_assert!(outcome != SyncOutcome::Rebuilt);
                 }
             }

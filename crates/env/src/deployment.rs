@@ -65,6 +65,23 @@ impl Deployment {
         self.reference_grid.bounds()
     }
 
+    /// The same deployment shifted by `offset` — lattice and readers
+    /// alike. Lays identical zones side by side in a campus coordinate
+    /// frame (multi-zone deployments).
+    pub fn translated(&self, offset: vire_geom::Vec2) -> Self {
+        let g = &self.reference_grid;
+        Deployment {
+            reference_grid: RegularGrid::new(
+                g.origin() + offset,
+                g.pitch_x(),
+                g.pitch_y(),
+                g.nx(),
+                g.ny(),
+            ),
+            readers: self.readers.iter().map(|&r| r + offset).collect(),
+        }
+    }
+
     /// Positions of all real reference tags, row-major.
     pub fn reference_positions(&self) -> Vec<Point2> {
         self.reference_grid.nodes().map(|(_, p)| p).collect()

@@ -4,6 +4,7 @@
 //! figure numbers to these modules.
 
 pub mod ablations;
+pub mod campus;
 pub mod cdf;
 pub mod characterization;
 pub mod fig2;

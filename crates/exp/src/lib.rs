@@ -6,7 +6,7 @@
 //! * [`metrics`] — estimation error, summary statistics, CDFs,
 //! * [`runner`] — drives the `vire-sim` testbed to produce calibration
 //!   maps and tracking readings, with multi-seed averaging, a
-//!   crossbeam-parallel seed runner, and a streaming runner
+//!   worker-pool-parallel seed runner, and a streaming runner
 //!   ([`runner::stream_trial`]) that polls the engine → bus → middleware
 //!   pipeline incrementally,
 //! * [`sweep`] — generic parallel parameter sweeps,

@@ -1,5 +1,5 @@
 //! Drives the testbed to produce localization inputs, with multi-seed
-//! averaging, a crossbeam-parallel runner, and a streaming runner that
+//! averaging, a worker-pool-parallel runner, and a streaming runner that
 //! polls the bus pipeline incrementally.
 
 use crate::metrics::estimation_error;
@@ -139,20 +139,18 @@ pub struct TrialSet {
 }
 
 impl TrialSet {
-    /// Collects one trial per seed in parallel (crossbeam scoped threads,
-    /// one per seed) with the paper testbed configuration.
+    /// Collects one trial per seed on the persistent worker pool (one pool
+    /// index per seed, each filling its own pre-sized slot, so the trials
+    /// land in seed order regardless of worker count) with the paper
+    /// testbed configuration.
     pub fn collect(env: &Environment, positions: &[Point2], seeds: &[u64]) -> Self {
         assert!(!seeds.is_empty(), "need at least one seed");
-        let trials: Vec<TrialData> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .iter()
-                .map(|&seed| scope.spawn(move |_| collect_trial(env, positions, seed)))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("trial collector thread panicked");
+        let mut slots: Vec<Option<TrialData>> = vec![None; seeds.len()];
+        vire_core::WorkerPool::global().for_each_mut(&mut slots, |i, slot| {
+            *slot = Some(collect_trial(env, positions, seeds[i]));
+        });
         TrialSet {
-            trials,
+            trials: slots.into_iter().map(|t| t.expect("slot filled")).collect(),
             tag_count: positions.len(),
         }
     }
@@ -168,19 +166,15 @@ impl TrialSet {
     }
 
     /// Per-tag errors of `localizer`, averaged across the set's trials
-    /// (crossbeam-parallel, one thread per trial). NaN errors (failed
-    /// locates) are excluded from a tag's average; a tag that fails on
-    /// every trial yields NaN.
+    /// (worker-pool-parallel, one pool index per trial). NaN errors
+    /// (failed locates) are excluded from a tag's average; a tag that
+    /// fails on every trial yields NaN.
     pub fn mean_errors(&self, localizer: &(dyn Localizer + Sync)) -> Vec<f64> {
-        let per_seed: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .trials
-                .iter()
-                .map(|trial| scope.spawn(move |_| trial_errors(localizer, trial)))
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("error evaluator thread panicked");
+        let mut per_seed: Vec<Vec<f64>> = vec![Vec::new(); self.trials.len()];
+        let trials = &self.trials;
+        vire_core::WorkerPool::global().for_each_mut(&mut per_seed, |i, slot| {
+            *slot = trial_errors(localizer, &trials[i]);
+        });
         average_ignoring_nan(&per_seed, self.tag_count)
     }
 }

@@ -44,22 +44,42 @@ pub struct LinkBudgetStats {
     /// Link entries dropped by targeted invalidation (not counting
     /// [`LinkBudgetCache::clear`]).
     pub invalidated: u64,
+    /// Transmitter rows returned to the free list by
+    /// [`LinkBudgetCache::release_tx`] (a despawned tag).
+    pub released_rows: u64,
+    /// Freed rows handed back out to new transmitters instead of growing
+    /// the table — the reclamation the churn test pins.
+    pub reclaimed_rows: u64,
 }
 
 /// Dense memo table of [`LinkBudget`]s, one slot per
 /// `(transmitter, receiver)` link.
 ///
-/// Rows are transmitters (grown on demand), columns receivers (fixed at
-/// construction). Invalidation is exact: a moved transmitter drops one
-/// row ([`invalidate_tx`](LinkBudgetCache::invalidate_tx)), a swapped
+/// Columns are receivers (fixed at construction); transmitter ids map
+/// through an indirection table onto storage rows, allocated on first
+/// use. Invalidation is exact: a moved transmitter drops one row
+/// ([`invalidate_tx`](LinkBudgetCache::invalidate_tx)), a swapped
 /// receiver antenna drops one column
 /// ([`invalidate_rx`](LinkBudgetCache::invalidate_rx)), and any broader
 /// environment change drops everything
 /// ([`clear`](LinkBudgetCache::clear)).
+///
+/// Transmitter ids in a simulator are typically dense and never reused
+/// (a despawned tag's id stays dead), which with a flat `tx × rx` table
+/// leaked the dead tag's row forever. [`release_tx`] unmaps the id and
+/// returns its storage row to a free list, so the table is bounded by
+/// the *peak live* transmitter count, not the total ever created.
+///
+/// [`release_tx`]: LinkBudgetCache::release_tx
 #[derive(Debug, Clone)]
 pub struct LinkBudgetCache {
     receivers: usize,
+    /// Row-major storage: `rows × receivers` slots.
     slots: Vec<Option<LinkBudget>>,
+    /// Transmitter id → storage row. `None` = never used or released.
+    tx_rows: Vec<Option<usize>>,
+    /// Released storage rows awaiting reuse (their slots already empty).
+    free_rows: Vec<usize>,
     stats: LinkBudgetStats,
 }
 
@@ -69,6 +89,8 @@ impl LinkBudgetCache {
         LinkBudgetCache {
             receivers,
             slots: Vec::new(),
+            tx_rows: Vec::new(),
+            free_rows: Vec::new(),
             stats: LinkBudgetStats::default(),
         }
     }
@@ -78,9 +100,21 @@ impl LinkBudgetCache {
         self.receivers
     }
 
-    /// Number of transmitter rows currently allocated.
+    /// Number of transmitter ids covered by the mapping table (not all of
+    /// them necessarily back a storage row).
     pub fn transmitters(&self) -> usize {
+        self.tx_rows.len()
+    }
+
+    /// Number of storage rows allocated (live + free) — the footprint the
+    /// churn test bounds by the peak live transmitter count.
+    pub fn allocated_rows(&self) -> usize {
         self.slots.len().checked_div(self.receivers).unwrap_or(0)
+    }
+
+    /// Number of storage rows currently mapped to a transmitter.
+    pub fn live_rows(&self) -> usize {
+        self.allocated_rows() - self.free_rows.len()
     }
 
     /// Lookup counters accumulated so far.
@@ -93,30 +127,57 @@ impl LinkBudgetCache {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
-    /// Grows the table to cover transmitter rows `0..tx_count` (new slots
-    /// empty). Shrinking is not supported; smaller counts are a no-op.
+    /// Grows the mapping table to cover transmitter ids `0..tx_count`.
+    /// Storage rows are allocated lazily on first insert per id;
+    /// shrinking is not supported, smaller counts are a no-op.
     pub fn ensure_transmitters(&mut self, tx_count: usize) {
-        let want = tx_count * self.receivers;
-        if self.slots.len() < want {
-            self.slots.resize(want, None);
+        if self.tx_rows.len() < tx_count {
+            self.tx_rows.resize(tx_count, None);
         }
     }
 
-    fn slot_index(&self, tx: usize, rx: usize) -> usize {
+    fn slot_index(&self, row: usize, rx: usize) -> usize {
         assert!(rx < self.receivers, "receiver index out of range");
-        tx * self.receivers + rx
+        row * self.receivers + rx
+    }
+
+    /// The storage row of id `tx`, reusing a freed row or growing the
+    /// table when the id has none yet.
+    fn row_for(&mut self, tx: usize) -> usize {
+        self.ensure_transmitters(tx + 1);
+        if let Some(row) = self.tx_rows[tx] {
+            return row;
+        }
+        let row = match self.free_rows.pop() {
+            Some(row) => {
+                self.stats.reclaimed_rows += 1;
+                row
+            }
+            None => {
+                let row = self.allocated_rows();
+                self.slots.resize((row + 1) * self.receivers, None);
+                row
+            }
+        };
+        self.tx_rows[tx] = Some(row);
+        row
     }
 
     /// The cached budget for link `(tx, rx)`, if present. Does not touch
     /// the hit/miss counters.
+    ///
+    /// # Panics
+    /// Panics when `rx` is out of range (a mapped `tx` is required for
+    /// the check to be reached; unmapped ids short-circuit to `None`).
     pub fn get(&self, tx: usize, rx: usize) -> Option<LinkBudget> {
-        self.slots.get(self.slot_index(tx, rx)).copied().flatten()
+        let row = (*self.tx_rows.get(tx)?)?;
+        self.slots.get(self.slot_index(row, rx)).copied().flatten()
     }
 
     /// Stores `budget` for link `(tx, rx)`, growing the table as needed.
     pub fn insert(&mut self, tx: usize, rx: usize, budget: LinkBudget) {
-        self.ensure_transmitters(tx + 1);
-        let slot = self.slot_index(tx, rx);
+        let row = self.row_for(tx);
+        let slot = self.slot_index(row, rx);
         self.slots[slot] = Some(budget);
     }
 
@@ -128,8 +189,8 @@ impl LinkBudgetCache {
         rx: usize,
         fill: impl FnOnce() -> LinkBudget,
     ) -> LinkBudget {
-        self.ensure_transmitters(tx + 1);
-        let slot = self.slot_index(tx, rx);
+        let row = self.row_for(tx);
+        let slot = self.slot_index(row, rx);
         match self.slots[slot] {
             Some(budget) => {
                 self.stats.hits += 1;
@@ -144,18 +205,33 @@ impl LinkBudgetCache {
         }
     }
 
-    /// Drops every link of transmitter `tx` (it moved). Unknown rows are a
-    /// no-op.
+    /// Drops every link of transmitter `tx` (it moved). The id keeps its
+    /// storage row; unknown/unmapped ids are a no-op.
     pub fn invalidate_tx(&mut self, tx: usize) {
-        let start = tx * self.receivers;
-        if start >= self.slots.len() {
+        let Some(Some(row)) = self.tx_rows.get(tx).copied() else {
             return;
-        }
+        };
+        let start = row * self.receivers;
         for slot in &mut self.slots[start..start + self.receivers] {
             if slot.take().is_some() {
                 self.stats.invalidated += 1;
             }
         }
+    }
+
+    /// Unmaps transmitter `tx` (it despawned) and returns its storage row
+    /// to the free list for the next new transmitter. Unknown/unmapped
+    /// ids are a no-op. Freed entries are dropped immediately, so a
+    /// reused row can never leak the dead transmitter's budgets.
+    pub fn release_tx(&mut self, tx: usize) {
+        let Some(Some(row)) = self.tx_rows.get(tx).copied() else {
+            return;
+        };
+        let start = row * self.receivers;
+        self.slots[start..start + self.receivers].fill(None);
+        self.tx_rows[tx] = None;
+        self.free_rows.push(row);
+        self.stats.released_rows += 1;
     }
 
     /// Drops every link of receiver `rx` (its antenna changed).
@@ -262,5 +338,59 @@ mod tests {
     fn receiver_out_of_range_panics() {
         let mut cache = LinkBudgetCache::new(2);
         cache.insert(0, 2, budget(0.0));
+    }
+
+    #[test]
+    fn released_rows_are_reused_not_leaked() {
+        let mut cache = LinkBudgetCache::new(4);
+        // Churn: tags spawn with ever-increasing dense ids, live briefly,
+        // despawn. At most 3 are alive at once.
+        let mut next_id = 0usize;
+        for _round in 0..50 {
+            let live: Vec<usize> = (0..3).map(|n| next_id + n).collect();
+            next_id += 3;
+            for &tx in &live {
+                for rx in 0..4 {
+                    cache.insert(tx, rx, budget(-(tx as f64) - rx as f64));
+                }
+            }
+            for &tx in &live {
+                assert!(cache.get(tx, 0).is_some());
+                cache.release_tx(tx);
+                assert_eq!(cache.get(tx, 0), None, "released row must read empty");
+            }
+        }
+        // 150 distinct transmitter ids ever, but never more than 3 rows
+        // of storage: the footprint is bounded by peak liveness.
+        assert_eq!(cache.transmitters(), 150);
+        assert_eq!(cache.allocated_rows(), 3);
+        assert_eq!(cache.live_rows(), 0);
+        assert_eq!(cache.stats().released_rows, 150);
+        assert_eq!(cache.stats().reclaimed_rows, 147);
+    }
+
+    #[test]
+    fn release_is_idempotent_and_row_reuse_is_clean() {
+        let mut cache = LinkBudgetCache::new(2);
+        cache.insert(0, 0, budget(-1.0));
+        cache.insert(0, 1, budget(-2.0));
+        cache.release_tx(0);
+        cache.release_tx(0); // second release: no-op
+        assert_eq!(cache.stats().released_rows, 1);
+        assert_eq!(cache.free_rows.len(), 1);
+        // The next transmitter reuses row 0 and must not see stale data.
+        let mut evals = 0;
+        cache.get_or_insert_with(7, 1, || {
+            evals += 1;
+            budget(-9.0)
+        });
+        assert_eq!(evals, 1, "reused row must miss, not hit stale entries");
+        assert_eq!(cache.stats().reclaimed_rows, 1);
+        assert_eq!(cache.allocated_rows(), 1);
+        assert_eq!(cache.get(7, 0), None);
+        assert_eq!(cache.get(7, 1), Some(budget(-9.0)));
+        // The released id reads empty even though its old row is live
+        // again under a different owner.
+        assert_eq!(cache.get(0, 0), None);
     }
 }

@@ -134,6 +134,41 @@ impl RfChannel {
         }
     }
 
+    /// Replaces the deterministic geometry (path loss, reflectors,
+    /// obstructions, clutter field, aperture, reflection order) from
+    /// `params` while **keeping the stochastic streams** (noise, spike,
+    /// interference) exactly where they are.
+    ///
+    /// This is the environment-mutation seam: a testbed that adds a wall
+    /// or obstacle mid-run changes [`RfChannel::mean_rssi`] from the next
+    /// measurement on, but the random tail continues its original seeded
+    /// sequence — so two simulations applying the same mutation at the
+    /// same point stay bit-identical afterwards, which is what the
+    /// stale-cache teeth tests compare. The stochastic parameters in
+    /// `params` (`meas_sigma_db`, `spike_prob`, `spike_magnitude`) are
+    /// ignored here by design; `seed` only re-derives the *deterministic*
+    /// clutter field, exactly as [`RfChannel::new`] does.
+    pub fn adopt_geometry(&mut self, params: &ChannelParams) {
+        let clutter = (params.clutter_sigma_db > 0.0).then(|| {
+            SinusoidField::new(
+                params.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                params.clutter_sigma_db,
+                params.clutter_band.0,
+                params.clutter_band.1,
+                16,
+            )
+        });
+        let mut multipath = ImageMethod::new(params.reflectors.clone(), params.wavelength);
+        if params.second_order_reflections {
+            multipath = multipath.with_second_order();
+        }
+        self.pathloss = params.pathloss;
+        self.multipath = multipath;
+        self.multipath_aperture = params.multipath_aperture;
+        self.obstructions = params.obstructions.clone();
+        self.clutter = clutter;
+    }
+
     /// The deterministic (environment) part of the RSSI at this geometry.
     ///
     /// Two calls with the same `tx`/`rx` always return the same value —
@@ -362,6 +397,39 @@ mod tests {
             spread(&dense),
             spread(&sparse)
         );
+    }
+
+    #[test]
+    fn adopt_geometry_swaps_the_mean_but_not_the_streams() {
+        let tx = Point2::new(0.0, 0.0);
+        let rx = Point2::new(6.0, 0.0);
+        let mut ch = RfChannel::new(office_params(13));
+        // Burn a few draws so the streams are mid-sequence, not at seed.
+        for _ in 0..5 {
+            ch.measure(tx, rx, 2);
+        }
+        let mut twin = ch.clone();
+        let mut mutated = office_params(13);
+        mutated.obstructions.push(Obstruction {
+            segment: Segment::new(Point2::new(5.0, -1.0), Point2::new(5.0, 1.0)),
+            loss_db: 9.0,
+        });
+        ch.adopt_geometry(&mutated);
+        // Deterministic plane: bit-identical to a channel built fresh
+        // from the mutated parameters.
+        let fresh = RfChannel::new(mutated.clone());
+        assert_eq!(
+            ch.mean_rssi(tx, rx).to_bits(),
+            fresh.mean_rssi(tx, rx).to_bits()
+        );
+        assert_eq!(ch.obstruction_loss(tx, rx), 6.0 + 9.0);
+        // Stochastic tail: continues exactly where the twin (which kept
+        // the old geometry) continues — adopt touched no rng state.
+        for _ in 0..20 {
+            let a = ch.sample_with_mean(0.0, 3);
+            let b = twin.sample_with_mean(0.0, 3);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -10,8 +10,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use vire_bus::{BusRead, EventBus, ReaderToken};
-use vire_core::{ReferenceRssiMap, TrackingReading};
-use vire_env::{Deployment, Environment};
+use vire_core::{DirtyCell, ReferenceRssiMap, SnapshotSource, TrackingReading};
+use vire_env::{Deployment, Environment, Obstacle, Wall};
 use vire_geom::{GridIndex, Point2};
 use vire_radio::quantize::PowerLevelQuantizer;
 use vire_radio::{LinkBudget, LinkBudgetCache, LinkBudgetStats, RfChannel};
@@ -127,6 +127,10 @@ pub struct Testbed {
     /// Beacons emitted per tag (indexed by `TagId`). Distinguishes "not
     /// yet beaconed" from "beaconed but below reader sensitivity".
     beacon_counts: Vec<u64>,
+    /// Liveness per tag (indexed by `TagId`). A removed tag's pending
+    /// beacon is dropped unsent and never rescheduled; `TagId`s are never
+    /// reused, but the cache storage row behind a dead tag is.
+    alive: Vec<bool>,
 }
 
 impl Testbed {
@@ -181,6 +185,7 @@ impl Testbed {
             quantizer,
             budget_cache,
             beacon_counts: Vec::new(),
+            alive: Vec::new(),
             config,
         };
         // Pin one reference tag to every lattice node.
@@ -199,9 +204,11 @@ impl Testbed {
     }
 
     /// Fills the link-budget cache for `ids` across every reader in one
-    /// batch, fanning across scoped threads when the batch is large enough
-    /// to pay for spawning. Each budget is a pure function of geometry, so
-    /// parallel evaluation stores bit-identical values to sequential.
+    /// batch, fanning across the persistent worker pool (which runs the
+    /// batch inline when it is tiny or the pool has no workers). Each pool
+    /// index fills its own pre-sized slot and each budget is a pure
+    /// function of geometry, so parallel evaluation stores bit-identical
+    /// values to sequential regardless of worker count.
     fn warm_links(&mut self, ids: &[TagId]) {
         let Some(cache) = self.budget_cache.as_mut() else {
             return;
@@ -210,42 +217,21 @@ impl Testbed {
         let channel = &self.channel;
         let readers = &self.readers;
         let tags = &self.tags;
-        let link_row = |id: TagId| -> Vec<LinkBudget> {
-            let pos = tags[id.0 as usize].position;
-            readers
-                .iter()
-                .map(|r| LinkBudget {
-                    mean_dbm: channel.mean_rssi(pos, r.position),
-                    rx_gain_db: r.antenna_gain_db(pos),
-                })
-                .collect()
-        };
-        const PARALLEL_MIN_TAGS: usize = 8;
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let rows: Vec<(TagId, Vec<LinkBudget>)> = if ids.len() >= PARALLEL_MIN_TAGS && threads > 1 {
-            let link_row = &link_row;
-            let chunk = ids.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = ids
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move || {
-                            part.iter()
-                                .map(|&id| (id, link_row(id)))
-                                .collect::<Vec<_>>()
-                        })
+        let mut rows: Vec<Option<Vec<LinkBudget>>> = vec![None; ids.len()];
+        vire_core::WorkerPool::global().for_each_mut(&mut rows, |i, slot| {
+            let pos = tags[ids[i].0 as usize].position;
+            *slot = Some(
+                readers
+                    .iter()
+                    .map(|r| LinkBudget {
+                        mean_dbm: channel.mean_rssi(pos, r.position),
+                        rx_gain_db: r.antenna_gain_db(pos),
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("warm worker panicked"))
-                    .collect()
-            })
-        } else {
-            ids.iter().map(|&id| (id, link_row(id))).collect()
-        };
-        for (id, budgets) in rows {
-            for (k, budget) in budgets.into_iter().enumerate() {
+                    .collect(),
+            );
+        });
+        for (&id, budgets) in ids.iter().zip(rows) {
+            for (k, budget) in budgets.expect("every slot filled").into_iter().enumerate() {
                 cache.insert(id.0 as usize, k, budget);
             }
         }
@@ -254,6 +240,12 @@ impl Testbed {
     /// Link-budget cache counters; `None` when the cache is disabled.
     pub fn link_budget_stats(&self) -> Option<LinkBudgetStats> {
         self.budget_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The link-budget cache itself (diagnostics: row occupancy under tag
+    /// churn); `None` when the cache is disabled.
+    pub fn link_budget_cache(&self) -> Option<&LinkBudgetCache> {
+        self.budget_cache.as_ref()
     }
 
     fn register_tag(&mut self, position: Point2, role: TagRole) -> TagId {
@@ -280,6 +272,7 @@ impl Testbed {
             gain_db,
         });
         self.beacon_counts.push(0);
+        self.alive.push(true);
         self.queue
             .schedule(self.clock + phase, Event::Beacon { tag: id });
         id
@@ -315,6 +308,32 @@ impl Testbed {
             cache.invalidate_tx(id.0 as usize);
         }
         self.warm_links(&[id]);
+    }
+
+    /// Retires a tracking tag: its pending beacon is dropped at the next
+    /// scheduled slot (never rescheduled), it stops counting toward
+    /// co-location interference, and its link-budget storage row is
+    /// released for reuse by future tags, so long-running tag churn keeps
+    /// the cache footprint bounded by the peak *live* population. The
+    /// middleware keeps the tag's last smoothed readings; removing the
+    /// same tag twice is a no-op. `TagId`s are never reused.
+    ///
+    /// # Panics
+    /// Panics when `id` is unknown or names a reference tag (the lattice
+    /// calibration must stay complete).
+    pub fn remove_tracking_tag(&mut self, id: TagId) {
+        let tag = self.tags.get(id.0 as usize).expect("unknown tag id");
+        assert!(
+            matches!(tag.role, TagRole::Tracking),
+            "reference tags cannot be removed"
+        );
+        if !self.alive[id.0 as usize] {
+            return;
+        }
+        self.alive[id.0 as usize] = false;
+        if let Some(cache) = &mut self.budget_cache {
+            cache.release_tx(id.0 as usize);
+        }
     }
 
     /// Adds a reference tag at an arbitrary known position (a scattered,
@@ -360,6 +379,46 @@ impl Testbed {
         }
     }
 
+    /// Erects a wall at runtime (a door closing, a partition rolled in).
+    /// The channel's deterministic geometry is rebuilt in place and every
+    /// memoized link budget is dropped — a stale mean would otherwise pin
+    /// readings to the pre-wall propagation forever.
+    pub fn add_wall(&mut self, wall: Wall) {
+        self.config.environment.walls.push(wall);
+        self.adopt_environment();
+    }
+
+    /// Places an obstacle at runtime (furniture moved into the aisle).
+    /// Adds both its reflective face and its through-loss to the channel
+    /// and invalidates the link-budget cache like [`Testbed::add_wall`].
+    pub fn add_obstacle(&mut self, obstacle: Obstacle) {
+        self.config.environment.obstacles.push(obstacle);
+        self.adopt_environment();
+    }
+
+    /// Re-tunes the unresolved-clutter disturbance process (RMS amplitude
+    /// in dB, spatial band in meters) at runtime. The clutter field is
+    /// part of the deterministic mean plane, so the memoized budgets are
+    /// dropped along with the rest of the geometry.
+    pub fn set_clutter(&mut self, sigma_db: f64, band: (f64, f64)) {
+        self.config.environment.clutter_sigma_db = sigma_db;
+        self.config.environment.clutter_band = band;
+        self.adopt_environment();
+    }
+
+    /// Applies the mutated environment: rebuilds the channel's
+    /// deterministic geometry (the stochastic streams keep their state, so
+    /// the draw sequence stays aligned with an unmutated twin) and clears
+    /// the whole link-budget cache — any mean may have moved. Budgets
+    /// refill lazily on the next beacons.
+    fn adopt_environment(&mut self) {
+        let params = self.config.environment.channel_params(self.config.seed);
+        self.channel.adopt_geometry(&params);
+        if let Some(cache) = &mut self.budget_cache {
+            cache.clear();
+        }
+    }
+
     /// Number of tags within the collision radius of `position`
     /// (co-location count for the interference model). A non-positive
     /// radius disables the interference model entirely — used to emulate
@@ -371,7 +430,10 @@ impl Testbed {
         }
         self.tags
             .iter()
-            .filter(|t| t.position.distance(position) <= self.config.collision_radius)
+            .filter(|t| {
+                self.alive[t.id.0 as usize]
+                    && t.position.distance(position) <= self.config.collision_radius
+            })
             .count()
     }
 
@@ -386,6 +448,11 @@ impl Testbed {
             }
             let (time, Event::Beacon { tag }) = self.queue.pop().expect("peeked");
             self.clock = time;
+            if !self.alive[tag.0 as usize] {
+                // The tag was removed: drop its pending beacon without
+                // rescheduling, which retires it from the event queue.
+                continue;
+            }
             self.process_beacon(tag);
             // Pump the middleware stage after every beacon: the engine's
             // own consumer never falls behind the bus, so the smoothed
@@ -583,6 +650,32 @@ impl Testbed {
             SmoothingKind::MovingAverage(n) | SmoothingKind::Median(n) => n,
         };
         self.config.beacon_interval * (window as f64 + 2.0)
+    }
+}
+
+/// A [`Testbed`] is itself a snapshot source, delegating to its embedded
+/// (always-pumped) middleware stage. This is what lets a
+/// [`vire_core::ZoneFabric`] drive a whole slice of zone testbeds
+/// directly: `fabric.drive(campus.zones_mut())`. Note the inherent
+/// [`Testbed::reference_map`] (a from-scratch export with the dead-spot
+/// floor) remains distinct from the trait's incremental
+/// [`SnapshotSource::reference_map`], which is `None` until the stage has
+/// complete smoothed coverage.
+impl SnapshotSource for Testbed {
+    fn snapshot_time(&self) -> f64 {
+        self.stage.clock()
+    }
+
+    fn reference_map(&mut self) -> Option<&ReferenceRssiMap> {
+        self.stage.reference_map()
+    }
+
+    fn changed_readings(&mut self) -> Vec<(u32, TrackingReading)> {
+        self.stage.changed_readings()
+    }
+
+    fn take_dirty_cells(&mut self) -> Vec<DirtyCell> {
+        self.stage.take_dirty_cells()
     }
 }
 

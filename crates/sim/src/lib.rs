@@ -22,7 +22,12 @@
 //!   tracking, implementing [`vire_core::SnapshotSource`] so
 //!   [`vire_core::LocationService::drive`] localizes only what changed,
 //! * [`engine`] — [`Testbed`]: wires a deployment, an environment, and a
-//!   channel together and runs simulated time,
+//!   channel together and runs simulated time; it is itself a
+//!   [`vire_core::SnapshotSource`], so zone fabrics drive testbeds
+//!   directly,
+//! * [`multizone`] — [`MultiZoneTestbed`]: a campus of independent zone
+//!   testbeds with position-based tag routing, the simulation side of
+//!   [`vire_core::ZoneFabric`],
 //! * [`trace`] — JSON reading traces: export simulated captures as
 //!   reproducible datasets, or replay real middleware logs into the
 //!   localization pipeline.
@@ -35,6 +40,7 @@
 pub mod engine;
 pub mod events;
 pub mod middleware;
+pub mod multizone;
 pub mod pipeline;
 pub mod reader;
 pub mod smoothing;
@@ -43,9 +49,10 @@ pub mod trace;
 
 pub use engine::{Testbed, TestbedConfig};
 pub use middleware::{Middleware, Reading};
+pub use multizone::MultiZoneTestbed;
 pub use pipeline::{MiddlewareStage, PumpStats};
 pub use reader::ReaderId;
 pub use smoothing::{SmoothingError, SmoothingKind};
 pub use tag::{TagId, TagRole};
 pub use trace::Trace;
-pub use vire_bus::{BusRead, EventBus, ReaderToken};
+pub use vire_bus::{BusRead, EventBus, ReaderToken, ShardReaderToken, ShardedBus};

@@ -214,3 +214,157 @@ fn warmed_cache_never_misses() {
     assert_eq!(stats.misses, 0, "warming must cover every link");
     assert!(stats.hits > 0, "beacons must hit the memo table");
 }
+
+/// Shared teeth harness for the runtime environment mutators: applying
+/// `mutate` mid-run must produce, from that instant onward, the exact
+/// stream of a testbed that had the final environment from t = 0 — and a
+/// different stream from one that was never mutated. A stale link-budget
+/// cache (a mutator that forgets to clear it) keeps serving the pre-mutation
+/// means and fails the first assertion by matching the never-mutated arm.
+fn assert_mutator_has_teeth(mutate: impl Fn(&mut Testbed), label: &str) {
+    let t_pre = 30.0;
+    let t_post = 30.0;
+    let run = |at_start: bool, mid: bool| -> Vec<Reading> {
+        let mut tb = Testbed::new(TestbedConfig::paper(env2(), 47));
+        let mut token = tb.subscribe();
+        tb.add_tracking_tag(Point2::new(1.3, 1.7));
+        if at_start {
+            mutate(&mut tb);
+        }
+        let mut readings = Vec::new();
+        tb.run_for(t_pre);
+        readings.extend(tb.events(&mut token).copied());
+        if mid {
+            mutate(&mut tb);
+        }
+        tb.run_for(t_post);
+        readings.extend(tb.events(&mut token).copied());
+        readings
+    };
+    let mutated_mid = run(false, true);
+    let from_start = run(true, false);
+    let never = run(false, false);
+    let after = |rs: &[Reading]| -> Vec<Reading> {
+        rs.iter().filter(|r| r.time > t_pre).copied().collect()
+    };
+    let tail_mid = after(&mutated_mid);
+    let tail_start = after(&from_start);
+    let tail_never = after(&never);
+    assert!(!tail_mid.is_empty(), "{label}: tags must beacon after it");
+    assert_bit_identical(&tail_mid, &tail_start, label);
+    let mid_bits: Vec<u64> = tail_mid.iter().map(|r| r.rssi.to_bits()).collect();
+    let never_bits: Vec<u64> = tail_never.iter().map(|r| r.rssi.to_bits()).collect();
+    assert_ne!(
+        mid_bits, never_bits,
+        "{label}: readings must reflect the mutation"
+    );
+}
+
+#[test]
+fn add_wall_invalidates_the_memoized_budgets() {
+    use vire_env::{Material, Wall};
+    use vire_geom::Segment;
+    // A metal partition through the middle of the testbed: strong new
+    // reflections on most tag-reader links.
+    assert_mutator_has_teeth(
+        |tb| {
+            tb.add_wall(Wall::new(
+                Segment::new(Point2::new(1.5, -0.5), Point2::new(1.5, 3.5)),
+                Material::Metal,
+            ));
+        },
+        "add_wall mid-run vs built-with-wall",
+    );
+}
+
+#[test]
+fn add_obstacle_invalidates_the_memoized_budgets() {
+    use vire_env::{Material, Obstacle};
+    use vire_geom::Segment;
+    // A metal cabinet between the tag at (1.3, 1.7) and the SW reader:
+    // its through-loss attenuates that link directly.
+    assert_mutator_has_teeth(
+        |tb| {
+            tb.add_obstacle(Obstacle::new(
+                Segment::new(Point2::new(0.0, 1.2), Point2::new(1.2, 0.0)),
+                Material::Metal,
+            ));
+        },
+        "add_obstacle mid-run vs built-with-obstacle",
+    );
+}
+
+#[test]
+fn set_clutter_invalidates_the_memoized_budgets() {
+    // Doubling the disturbance field's RMS amplitude moves the
+    // deterministic mean at every position.
+    let sigma = env2().clutter_sigma_db;
+    assert!(sigma > 0.0, "env2 must carry a clutter field");
+    assert_mutator_has_teeth(
+        |tb| tb.set_clutter(2.0 * sigma, (2.0, 6.0)),
+        "set_clutter mid-run vs built-with-clutter",
+    );
+}
+
+/// Tag churn: rounds of add + remove keep the cache's storage bounded by
+/// the peak live population (rows are released and reused), ids keep
+/// growing, and removed tags stop beaconing.
+#[test]
+fn tag_churn_keeps_cache_rows_bounded_and_silences_removed_tags() {
+    let mut tb = Testbed::new(TestbedConfig::paper(env2(), 11));
+    let mut token = tb.subscribe();
+    let lattice_rows = tb.link_budget_cache().expect("cache on").allocated_rows();
+    let mut removed = Vec::new();
+    for round in 0..10 {
+        let ids: Vec<_> = (0..3)
+            .map(|i| tb.add_tracking_tag(Point2::new(0.4 + i as f64, 2.55)))
+            .collect();
+        tb.run_for(5.0);
+        for id in ids {
+            tb.remove_tracking_tag(id);
+            removed.push(id);
+        }
+        let _ = round;
+    }
+    let cache = tb.link_budget_cache().expect("cache on");
+    assert_eq!(
+        cache.allocated_rows(),
+        lattice_rows + 3,
+        "row storage must stay at the peak live population"
+    );
+    assert_eq!(cache.transmitters(), 16 + 30, "tag ids are never reused");
+    let stats = tb.link_budget_stats().unwrap();
+    assert_eq!(stats.released_rows, 30);
+    assert_eq!(stats.reclaimed_rows, 27, "9 later rounds reuse 3 rows each");
+    // Silence: no reading from any removed tag after its removal.
+    let _ = tb.events(&mut token);
+    tb.run_for(60.0);
+    let tail: Vec<Reading> = tb.events(&mut token).copied().collect();
+    assert!(
+        tail.iter().all(|r| !removed.contains(&r.tag)),
+        "removed tags must stop beaconing"
+    );
+    // Reference lattice is untouched and keeps calibrating.
+    assert!(tb.reference_map().is_some());
+}
+
+/// Removing a tag is idempotent and re-adding after removal reuses the
+/// freed storage row without perturbing live tags' readings.
+#[test]
+fn remove_is_idempotent_and_reuses_rows() {
+    let mut tb = Testbed::new(TestbedConfig::paper(env2(), 13));
+    let a = tb.add_tracking_tag(Point2::new(1.3, 1.7));
+    let rows_with_a = tb.link_budget_cache().unwrap().allocated_rows();
+    tb.remove_tracking_tag(a);
+    tb.remove_tracking_tag(a);
+    assert_eq!(tb.link_budget_stats().unwrap().released_rows, 1);
+    let b = tb.add_tracking_tag(Point2::new(2.6, 0.7));
+    assert_ne!(a, b, "ids are never reused");
+    assert_eq!(
+        tb.link_budget_cache().unwrap().allocated_rows(),
+        rows_with_a,
+        "the replacement tag must reuse the freed row"
+    );
+    tb.run_for(tb.warmup_duration());
+    assert!(tb.tracking_reading(b).is_some());
+}

@@ -27,6 +27,11 @@ cargo test -p vire-geom -q
 echo "==> cargo test (channel-cache bit-identity)"
 cargo test -q -p vire-sim --test channel_cache
 
+# The zone fabric is pure orchestration: a fabric-driven shard must be
+# bit-identical to that zone's standalone service, on every kernel.
+echo "==> cargo test (zone-fabric shard bit-identity)"
+cargo test -q -p vire-sim --test fabric
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 

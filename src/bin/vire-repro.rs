@@ -6,11 +6,13 @@
 //! vire-repro list
 //! ```
 //!
-//! Figures: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablations`.
+//! Figures: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablations`, plus the
+//! multi-zone `campus` extension.
 
 use std::process::ExitCode;
 use vire::exp::figures::{
-    ablations, cdf, characterization, fig2, fig3, fig4, fig5, fig6, fig7, fig8, heatmap, latency,
+    ablations, campus, cdf, characterization, fig2, fig3, fig4, fig5, fig6, fig7, fig8, heatmap,
+    latency,
 };
 use vire::exp::report::to_json;
 
@@ -134,6 +136,15 @@ fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
                 println!("{}", to_json(&r));
             }
         }
+        "campus" => {
+            // Zones scale with the seed budget's intent: a fixed 4-zone
+            // campus driven for 6 fabric rounds, deterministic in seed 1.
+            let r = campus::run(4, 6, seeds.first().copied().unwrap_or(1));
+            print!("{}", campus::render(&r));
+            if json {
+                println!("{}", to_json(&r));
+            }
+        }
         "ablations" => {
             for study in [
                 ablations::kernels(seeds),
@@ -158,7 +169,7 @@ fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
     Ok(())
 }
 
-const ALL: [&str; 12] = [
+const ALL: [&str; 13] = [
     "fig2",
     "fig3",
     "fig4",
@@ -170,6 +181,7 @@ const ALL: [&str; 12] = [
     "heatmap",
     "latency",
     "characterization",
+    "campus",
     "ablations",
 ];
 
