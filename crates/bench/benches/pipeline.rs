@@ -38,9 +38,9 @@ fn service() -> LocationService<Vire> {
 /// One full-path snapshot: whole-table export + re-localize every tag.
 fn full_snapshot(tb: &Testbed, svc: &mut LocationService<Vire>, ids: &[TagId]) -> usize {
     let map = tb.reference_map().expect("warmed up");
-    let snapshots: Vec<(u32, _)> = ids
+    let snapshots: Vec<(TagId, _)> = ids
         .iter()
-        .map(|&id| (id.0, tb.tracking_reading(id).expect("warmed up")))
+        .map(|&id| (id, tb.tracking_reading(id).expect("warmed up")))
         .collect();
     svc.process_snapshot_batch(tb.clock(), &map, &snapshots)
         .len()
@@ -127,9 +127,9 @@ fn emit_json_summary(_c: &mut Criterion) {
         tb_b.run_for(INTERVAL);
         let changed = svc_a.drive(tb_a.stage_mut());
         let map = tb_b.reference_map().expect("warmed up");
-        let snapshots: Vec<(u32, _)> = ids_b
+        let snapshots: Vec<(TagId, _)> = ids_b
             .iter()
-            .map(|&id| (id.0, tb_b.tracking_reading(id).expect("warmed up")))
+            .map(|&id| (id, tb_b.tracking_reading(id).expect("warmed up")))
             .collect();
         let full = svc_b.process_snapshot_batch(tb_b.clock(), &map, &snapshots);
         for (tag, result) in &changed {

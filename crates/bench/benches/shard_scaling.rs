@@ -134,7 +134,7 @@ fn zone_stages(zones: usize) -> Vec<BenchStage> {
         .enumerate()
         .map(|(t, &p)| {
             let rssi = readers.iter().map(|&r| rssi_at(p, r)).collect();
-            (t as TagKey, TrackingReading::new(rssi))
+            (TagKey::first(t as u32), TrackingReading::new(rssi))
         })
         .collect();
     (0..zones)
@@ -158,7 +158,7 @@ fn union_stage(zones: usize) -> BenchStage {
         .map(|(k, t, campus)| {
             let rssi = readers.iter().map(|&r| rssi_at(campus, r)).collect();
             (
-                (k * TAGS_PER_ZONE + t) as TagKey,
+                TagKey::first((k * TAGS_PER_ZONE + t) as u32),
                 TrackingReading::new(rssi),
             )
         })

@@ -1,0 +1,134 @@
+//! Steady-state churn: locate throughput and bounded memory.
+//!
+//! Drives the production-churn workload (`vire_exp::figures::churn`) —
+//! a multi-zone campus with ≥ 1000 tag spawn/despawn events per simulated
+//! minute — and measures two things:
+//!
+//! * **Throughput**: wall-clock locate rate while the roster turns over;
+//!   churn must not degrade the steady-state drive path.
+//! * **Memory**: the generational slab reuses freed tag slots, so the
+//!   link-budget cache's row table (and every other per-tag table) stays
+//!   at the peak-live high-water mark. The gated `speedup` is the
+//!   no-reuse baseline's row count over the slab's — the storage the
+//!   pre-generational grow-only discipline would have leaked.
+//!
+//! In bench mode (`cargo bench -p vire-bench --bench tag_churn`) writes
+//! `target/tag_churn.json` for `scripts/collect_bench.sh`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use vire_exp::figures::churn::{self, ChurnConfig};
+
+/// The measured schedule: the workload's default production rate.
+fn schedule() -> ChurnConfig {
+    ChurnConfig::default()
+}
+
+/// A short schedule for the per-iteration Criterion loop.
+fn short_schedule() -> ChurnConfig {
+    ChurnConfig {
+        rounds: 6,
+        ..ChurnConfig::default()
+    }
+}
+
+fn bench_tag_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tag_churn");
+    group.sample_size(10);
+    group.bench_function("campus_churn_6_rounds", |b| {
+        b.iter(|| black_box(churn::run(black_box(short_schedule()))))
+    });
+    group.finish();
+}
+
+/// The `target/tag_churn.json` document. `speedup` (gated ≥ 1.0 by
+/// `scripts/check.sh`) is the bounded-memory win: rows a grow-only
+/// allocator would hold over rows the slab actually holds at the end of
+/// the run. `locates_per_sec` is the steady-state throughput; the
+/// `events_per_minute` floor (≥ 1000) is asserted here, not gated.
+#[derive(Serialize)]
+struct Summary {
+    group: String,
+    fixture: String,
+    speedup: f64,
+    locates_per_sec: f64,
+    events_per_minute: f64,
+    locates: usize,
+    mean_error_m: f64,
+    slab_slots: usize,
+    cache_rows: usize,
+    no_reuse_rows: usize,
+    reused_slots: u64,
+    wall_seconds: f64,
+}
+
+/// Runs the full schedule once under the wall clock and emits the JSON
+/// summary. Only runs under `cargo bench` (`--bench` flag), mirroring the
+/// other bench summaries.
+fn emit_json_summary(_c: &mut Criterion) {
+    if !std::env::args().any(|a| a == "--bench") {
+        return;
+    }
+    let cfg = schedule();
+    let start = Instant::now();
+    let result = churn::run(cfg);
+    let wall = start.elapsed().as_secs_f64();
+
+    assert!(
+        result.events_per_minute >= 1000.0,
+        "schedule must model production churn: {:.0} events/min",
+        result.events_per_minute
+    );
+    assert!(
+        result.cache_rows < result.no_reuse_rows,
+        "slot reuse must undercut the grow-only baseline ({} vs {})",
+        result.cache_rows,
+        result.no_reuse_rows
+    );
+    assert_eq!(
+        result.slab_slots, result.cache_rows,
+        "cache rows are slot-indexed: one row per slab slot"
+    );
+
+    let summary = Summary {
+        group: "tag_churn".into(),
+        fixture: format!(
+            "{} paper zones, {} spawns+removals/zone/round, {} rounds of {} s, \
+             lifetime {} rounds, seed {}",
+            cfg.zone_count, cfg.batch_per_zone, cfg.rounds, cfg.step, cfg.lifetime_rounds, cfg.seed
+        ),
+        speedup: result.no_reuse_rows as f64 / result.cache_rows as f64,
+        locates_per_sec: result.locates as f64 / wall,
+        events_per_minute: result.events_per_minute,
+        locates: result.locates,
+        mean_error_m: result.mean_error,
+        slab_slots: result.slab_slots,
+        cache_rows: result.cache_rows,
+        no_reuse_rows: result.no_reuse_rows,
+        reused_slots: result.reused_slots,
+        wall_seconds: wall,
+    };
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target");
+    let path = format!("{out}/tag_churn.json");
+    std::fs::create_dir_all(out).expect("target dir");
+    let body = serde_json::to_string_pretty(&summary).expect("serialize summary");
+    std::fs::write(&path, body + "\n").expect("write summary");
+    println!("tag_churn summary -> {path}");
+    println!(
+        "  {:.0} events/min, {} locates in {:.2} s ({:.0}/s), mean error {:.3} m",
+        summary.events_per_minute,
+        summary.locates,
+        summary.wall_seconds,
+        summary.locates_per_sec,
+        summary.mean_error_m,
+    );
+    println!(
+        "  rows: slab {} vs no-reuse {} ({:.1}x bounded-memory win, {} slot reuses)",
+        summary.cache_rows, summary.no_reuse_rows, summary.speedup, summary.reused_slots,
+    );
+}
+
+criterion_group!(benches, bench_tag_churn, emit_json_summary);
+criterion_main!(benches);

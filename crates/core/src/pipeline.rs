@@ -39,6 +39,18 @@ pub trait SnapshotSource {
     /// retained for a later drain rather than returned or dropped.
     fn changed_readings(&mut self) -> Vec<(TagKey, TrackingReading)>;
 
+    /// Drains the tracking tags removed upstream since the previous
+    /// drain. [`LocationService::drive`](crate::LocationService::drive)
+    /// evicts each one's Kalman track and pending reading **immediately**
+    /// — before the same drive's changed readings are processed — instead
+    /// of letting them linger until the stale-track sweep. The key's
+    /// generation scopes the eviction: a newer lifetime already occupying
+    /// the slot is never disturbed by a late removal event. Sources
+    /// without removal tracking keep the default (empty).
+    fn removed_tags(&mut self) -> Vec<TagKey> {
+        Vec::new()
+    }
+
     /// Drains the calibration cells whose smoothed RSSI changed since the
     /// previous drain, as `(reader, cell)` pairs.
     ///

@@ -13,10 +13,19 @@ use crate::pipeline::SnapshotSource;
 use crate::types::{ReferenceRssiMap, TrackingReading};
 use std::collections::HashMap;
 use std::fmt;
-use vire_geom::{Point2, Vec2};
+use vire_geom::{Point2, TagHandle, Vec2};
 
 /// A tag key in the service (the deployment's tag identifier).
-pub type TagKey = u32;
+///
+/// An alias of [`vire_geom::TagHandle`]: the key carries both the dense
+/// slot index and the slot's lifetime generation. The service keys its
+/// tracks by slot and records each track's generation, so a reading from
+/// a slot's **newer** lifetime drops the dead lifetime's Kalman track and
+/// starts fresh, while a straggler reading from an **older** lifetime can
+/// never resurrect or disturb the current track. Fixed-population
+/// deployments only ever see generation 0, where the key behaves exactly
+/// like the historical dense integer id.
+pub type TagKey = TagHandle;
 
 /// One tracked output.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,7 +81,9 @@ pub struct SyncStats {
 pub struct LocationService<L: Localizer> {
     localizer: L,
     config: ServiceConfig,
-    tracks: HashMap<TagKey, Track>,
+    /// Kalman tracks keyed by slot index; each track remembers which
+    /// lifetime (generation) of the slot it belongs to.
+    tracks: HashMap<u32, Track>,
     /// Time of the last full stale sweep; sweeps are amortized to at most
     /// one HashMap scan per `stale_after` interval instead of one per
     /// snapshot.
@@ -109,6 +120,8 @@ impl<L: Localizer + fmt::Debug> fmt::Debug for LocationService<L> {
 
 #[derive(Debug)]
 struct Track {
+    /// Lifetime of the slot this track belongs to.
+    generation: u32,
     filter: KalmanTracker,
     last_update: f64,
 }
@@ -205,6 +218,12 @@ impl<L: Localizer> LocationService<L> {
         stage: &mut dyn SnapshotSource,
     ) -> Vec<(TagKey, Result<TrackedEstimate, LocalizeError>)> {
         let time = stage.snapshot_time();
+        // Removals first: a tag despawned upstream must be evicted before
+        // its slot's next lifetime (possibly drained in this same call)
+        // claims the track.
+        for removed in stage.removed_tags() {
+            self.evict(removed);
+        }
         // Drain the stage exactly once per call, before the map borrow
         // below pins `stage`.
         let drained = stage.changed_readings();
@@ -249,14 +268,36 @@ impl<L: Localizer> LocationService<L> {
     }
 
     /// Folds freshly drained readings into the pending stash: first-dirtied
-    /// order, one slot per tag, newest reading wins.
+    /// order, one slot per tag slot index, newest reading wins. Across
+    /// lifetimes of one slot the **newest generation** wins: a reading
+    /// from a newer lifetime replaces a stashed older one outright, and a
+    /// straggler from an older lifetime is dropped rather than clobbering
+    /// the current occupant's reading.
     fn stash_pending(&mut self, drained: Vec<(TagKey, TrackingReading)>) {
         for (tag, reading) in drained {
-            match self.pending.iter_mut().find(|(t, _)| *t == tag) {
-                Some(slot) => slot.1 = reading,
+            match self.pending.iter_mut().find(|(t, _)| t.index == tag.index) {
+                Some(slot) if slot.0.generation == tag.generation => slot.1 = reading,
+                Some(slot) if slot.0.generation < tag.generation => *slot = (tag, reading),
+                Some(_) => {} // stale lifetime: drop the straggler
                 None => self.pending.push((tag, reading)),
             }
         }
+    }
+
+    /// Evicts everything the service holds for `tag`'s lifetime — its
+    /// Kalman track and any stashed pending reading — in response to an
+    /// upstream removal event ([`SnapshotSource::removed_tags`]). State
+    /// belonging to a **newer** lifetime of the same slot survives: a
+    /// late-arriving removal of a dead generation must not disturb the
+    /// slot's current occupant.
+    pub fn evict(&mut self, tag: TagKey) {
+        if let Some(track) = self.tracks.get(&tag.index) {
+            if track.generation <= tag.generation {
+                self.tracks.remove(&tag.index);
+            }
+        }
+        self.pending
+            .retain(|(t, _)| t.index != tag.index || t.generation > tag.generation);
     }
 
     /// How [`LocationService::drive`] maintained its cached prepared
@@ -268,15 +309,33 @@ impl<L: Localizer> LocationService<L> {
     /// Folds one raw estimate into the tag's track (creating the track on
     /// first sight) and produces the tracked output.
     fn fold(&mut self, time: f64, tag: TagKey, raw: Estimate) -> TrackedEstimate {
-        // Safety net for the amortized sweep: a returning tag whose own
-        // track went stale gets a fresh filter immediately, even when the
-        // next full sweep hasn't run yet.
-        if let Some(track) = self.tracks.get(&tag) {
-            if time - track.last_update > self.config.stale_after {
-                self.tracks.remove(&tag);
+        if let Some(track) = self.tracks.get(&tag.index) {
+            if track.generation > tag.generation {
+                // A straggler from a dead lifetime of this slot: it must
+                // never fold into (or resurrect over) the current
+                // occupant's track. Answer it statelessly, primed on its
+                // own measurement like a first sight.
+                return TrackedEstimate {
+                    position: raw.position,
+                    velocity: Vec2::ZERO,
+                    sigma: (0.0, 0.0),
+                    raw,
+                };
+            }
+            // A newer lifetime claims the slot: the dead tag's track is
+            // dropped and the re-entering tag starts fresh. For the same
+            // lifetime, the amortized sweep's safety net still applies: a
+            // returning tag whose own track went stale gets a fresh
+            // filter immediately, even when the next full sweep hasn't
+            // run yet.
+            if track.generation < tag.generation
+                || time - track.last_update > self.config.stale_after
+            {
+                self.tracks.remove(&tag.index);
             }
         }
-        let track = self.tracks.entry(tag).or_insert_with(|| Track {
+        let track = self.tracks.entry(tag.index).or_insert_with(|| Track {
+            generation: tag.generation,
             filter: KalmanTracker::new(self.config.process_noise, self.config.measurement_noise),
             last_update: f64::NEG_INFINITY,
         });
@@ -298,24 +357,41 @@ impl<L: Localizer> LocationService<L> {
         }
     }
 
-    /// Latest filtered position of a tag, if tracked.
+    /// The slot's track when it belongs to exactly `tag`'s lifetime.
+    fn track_of(&self, tag: TagKey) -> Option<&Track> {
+        self.tracks
+            .get(&tag.index)
+            .filter(|t| t.generation == tag.generation)
+    }
+
+    /// Latest filtered position of a tag, if this exact lifetime is
+    /// tracked (another generation of the slot answers `None`).
     pub fn position(&self, tag: TagKey) -> Option<Point2> {
-        self.tracks.get(&tag).and_then(|t| t.filter.position())
+        self.track_of(tag).and_then(|t| t.filter.position())
     }
 
     /// Dead-reckoned position `dt` seconds past a tag's last update.
     pub fn predict(&self, tag: TagKey, dt: f64) -> Option<Point2> {
-        self.tracks.get(&tag).and_then(|t| t.filter.predict(dt))
+        self.track_of(tag).and_then(|t| t.filter.predict(dt))
     }
 
-    /// Drops a tag's track.
+    /// Drops a tag's track (this lifetime or an older one; a newer
+    /// lifetime of the slot is left untouched).
     pub fn forget(&mut self, tag: TagKey) {
-        self.tracks.remove(&tag);
+        if let Some(track) = self.tracks.get(&tag.index) {
+            if track.generation <= tag.generation {
+                self.tracks.remove(&tag.index);
+            }
+        }
     }
 
-    /// Currently tracked tag keys (unordered).
+    /// Currently tracked tag keys (unordered), each carrying the
+    /// generation its track belongs to.
     pub fn tracked_tags(&self) -> Vec<TagKey> {
-        self.tracks.keys().copied().collect()
+        self.tracks
+            .iter()
+            .map(|(&index, t)| TagKey::new(index, t.generation))
+            .collect()
     }
 
     /// The wrapped localizer.
@@ -369,15 +445,19 @@ mod tests {
         TrackingReading::new(readers().iter().map(|r| rssi(p, *r)).collect())
     }
 
+    fn key(n: u32) -> TagKey {
+        TagKey::first(n)
+    }
+
     #[test]
     fn observe_creates_and_updates_tracks() {
         let refs = map();
         let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
         let truth = Point2::new(1.4, 1.7);
-        let out = svc.observe(0.0, 7, &refs, &reading_at(truth)).unwrap();
+        let out = svc.observe(0.0, key(7), &refs, &reading_at(truth)).unwrap();
         assert!(out.position.distance(truth) < 0.3);
-        assert_eq!(svc.tracked_tags(), vec![7]);
-        let out2 = svc.observe(2.0, 7, &refs, &reading_at(truth)).unwrap();
+        assert_eq!(svc.tracked_tags(), vec![key(7)]);
+        let out2 = svc.observe(2.0, key(7), &refs, &reading_at(truth)).unwrap();
         assert!(out2.sigma.0 <= out.sigma.0, "uncertainty must not grow");
     }
 
@@ -385,12 +465,12 @@ mod tests {
     fn tracks_are_per_tag() {
         let refs = map();
         let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
-        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(0.6, 0.6)))
+        svc.observe(0.0, key(1), &refs, &reading_at(Point2::new(0.6, 0.6)))
             .unwrap();
-        svc.observe(0.0, 2, &refs, &reading_at(Point2::new(2.4, 2.4)))
+        svc.observe(0.0, key(2), &refs, &reading_at(Point2::new(2.4, 2.4)))
             .unwrap();
-        let p1 = svc.position(1).unwrap();
-        let p2 = svc.position(2).unwrap();
+        let p1 = svc.position(key(1)).unwrap();
+        let p2 = svc.position(key(2)).unwrap();
         assert!(p1.distance(p2) > 1.0, "tags must not share state");
     }
 
@@ -402,13 +482,13 @@ mod tests {
             ..ServiceConfig::default()
         };
         let mut svc = LocationService::new(Vire::default(), cfg);
-        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(1.0, 1.0)))
+        svc.observe(0.0, key(1), &refs, &reading_at(Point2::new(1.0, 1.0)))
             .unwrap();
         // A later observation of another tag triggers eviction.
-        svc.observe(30.0, 2, &refs, &reading_at(Point2::new(2.0, 2.0)))
+        svc.observe(30.0, key(2), &refs, &reading_at(Point2::new(2.0, 2.0)))
             .unwrap();
-        assert_eq!(svc.position(1), None, "tag 1 went stale");
-        assert!(svc.position(2).is_some());
+        assert_eq!(svc.position(key(1)), None, "tag 1 went stale");
+        assert!(svc.position(key(2)).is_some());
     }
 
     #[test]
@@ -420,20 +500,20 @@ mod tests {
         };
         let mut svc = LocationService::new(Vire::default(), cfg);
         // Build up a moving track for tag 1 so its filter carries velocity.
-        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(0.5, 0.5)))
+        svc.observe(0.0, key(1), &refs, &reading_at(Point2::new(0.5, 0.5)))
             .unwrap();
-        svc.observe(5.0, 1, &refs, &reading_at(Point2::new(1.0, 1.0)))
+        svc.observe(5.0, key(1), &refs, &reading_at(Point2::new(1.0, 1.0)))
             .unwrap();
         // Keep the service busy with tag 2; the sweep at t = 12 keeps
         // tag 1 (12 − 5 = 7 ≤ 10) and stamps last_sweep = 12, so no full
         // sweep runs again before t = 22.
-        svc.observe(12.0, 2, &refs, &reading_at(Point2::new(2.0, 2.0)))
+        svc.observe(12.0, key(2), &refs, &reading_at(Point2::new(2.0, 2.0)))
             .unwrap();
         // Tag 1 returns at t = 16: stale (16 − 5 = 11 > 10) but the next
         // amortized sweep is not due yet — the per-tag check must still
         // hand it a fresh track, not resume the old filter.
         let out = svc
-            .observe(16.0, 1, &refs, &reading_at(Point2::new(2.5, 2.5)))
+            .observe(16.0, key(1), &refs, &reading_at(Point2::new(2.5, 2.5)))
             .unwrap();
         assert_eq!(
             out.position, out.raw.position,
@@ -448,7 +528,7 @@ mod tests {
         let spots = [(1u32, 0.6, 0.6), (2u32, 2.4, 2.4), (3u32, 1.5, 0.9)];
         let snapshots: Vec<(TagKey, TrackingReading)> = spots
             .iter()
-            .map(|&(tag, x, y)| (tag, reading_at(Point2::new(x, y))))
+            .map(|&(tag, x, y)| (key(tag), reading_at(Point2::new(x, y))))
             .collect();
 
         let mut batch_svc = LocationService::new(Vire::default(), ServiceConfig::default());
@@ -467,13 +547,13 @@ mod tests {
         let refs = map();
         let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
         let snapshots = vec![
-            (1u32, reading_at(Point2::new(1.0, 1.0))),
-            (2u32, TrackingReading::new(vec![-70.0])),
+            (key(1), reading_at(Point2::new(1.0, 1.0))),
+            (key(2), TrackingReading::new(vec![-70.0])),
         ];
         let out = svc.process_snapshot_batch(0.0, &refs, &snapshots);
         assert!(out[0].is_ok());
         assert!(out[1].is_err());
-        assert_eq!(svc.tracked_tags(), vec![1]);
+        assert_eq!(svc.tracked_tags(), vec![key(1)]);
     }
 
     #[test]
@@ -481,14 +561,15 @@ mod tests {
         let refs = map();
         let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
         let truth = Point2::new(1.5, 1.5);
-        svc.observe(10.0, 1, &refs, &reading_at(truth)).unwrap();
-        let before = svc.position(1).unwrap();
+        svc.observe(10.0, key(1), &refs, &reading_at(truth))
+            .unwrap();
+        let before = svc.position(key(1)).unwrap();
         // A duplicate at an earlier time must not disturb the track.
         let out = svc
-            .observe(5.0, 1, &refs, &reading_at(Point2::new(0.2, 0.2)))
+            .observe(5.0, key(1), &refs, &reading_at(Point2::new(0.2, 0.2)))
             .unwrap();
         assert_eq!(out.position, before);
-        assert_eq!(svc.position(1), Some(before));
+        assert_eq!(svc.position(key(1)), Some(before));
     }
 
     /// A hand-driven pipeline stage for exercising `drive` without the
@@ -518,8 +599,8 @@ mod tests {
             time: 0.0,
             map: map(),
             dirty: vec![
-                (1, reading_at(Point2::new(0.6, 0.6))),
-                (2, reading_at(Point2::new(2.4, 2.4))),
+                (key(1), reading_at(Point2::new(0.6, 0.6))),
+                (key(2), reading_at(Point2::new(2.4, 2.4))),
             ],
             complete: true,
         };
@@ -538,17 +619,17 @@ mod tests {
         // Nothing dirty -> nothing localized, but tracks persist.
         stage.time = 2.0;
         assert!(driven.drive(&mut stage).is_empty());
-        assert!(driven.position(1).is_some());
+        assert!(driven.position(key(1)).is_some());
 
         // Only tag 2 changes -> only tag 2 is localized.
-        stage.dirty = vec![(2, reading_at(Point2::new(2.0, 2.0)))];
+        stage.dirty = vec![(key(2), reading_at(Point2::new(2.0, 2.0)))];
         let out = driven.drive(&mut stage);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].0, 2);
+        assert_eq!(out[0].0, key(2));
     }
 
     fn stage_reading(tag: TagKey) -> TrackingReading {
-        match tag {
+        match tag.index {
             1 => reading_at(Point2::new(0.6, 0.6)),
             2 => reading_at(Point2::new(2.4, 2.4)),
             _ => unreachable!(),
@@ -560,7 +641,7 @@ mod tests {
         let mut stage = MockStage {
             time: 0.0,
             map: map(),
-            dirty: vec![(1, reading_at(Point2::new(1.0, 1.0)))],
+            dirty: vec![(key(1), reading_at(Point2::new(1.0, 1.0)))],
             complete: false,
         };
         let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
@@ -568,13 +649,13 @@ mod tests {
         assert!(stage.dirty.is_empty(), "readings move into the service");
         // The tag re-dirties while the map is still incomplete: the stash
         // keeps one slot and the newest reading.
-        stage.dirty = vec![(1, reading_at(Point2::new(1.5, 1.5)))];
+        stage.dirty = vec![(key(1), reading_at(Point2::new(1.5, 1.5)))];
         assert!(svc.drive(&mut stage).is_empty());
         stage.complete = true;
         let out = svc.drive(&mut stage);
         assert_eq!(out.len(), 1, "stashed tag localizes once the map is up");
         let expect = LocationService::new(Vire::default(), ServiceConfig::default())
-            .observe(0.0, 1, &map(), &reading_at(Point2::new(1.5, 1.5)))
+            .observe(0.0, key(1), &map(), &reading_at(Point2::new(1.5, 1.5)))
             .unwrap();
         assert_eq!(out[0].1.as_ref().unwrap(), &expect, "newest reading wins");
     }
@@ -584,7 +665,7 @@ mod tests {
         let mut stage = MockStage {
             time: 0.0,
             map: map(),
-            dirty: vec![(1, reading_at(Point2::new(0.6, 0.6)))],
+            dirty: vec![(key(1), reading_at(Point2::new(0.6, 0.6)))],
             complete: true,
         };
         let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
@@ -597,19 +678,19 @@ mod tests {
         let cell = stage.map.grid().unflat(5);
         stage.map.set_rssi(2, cell, -64.25);
         stage.time = 1.0;
-        stage.dirty = vec![(2, reading_at(Point2::new(2.4, 2.4)))];
+        stage.dirty = vec![(key(2), reading_at(Point2::new(2.4, 2.4)))];
         let out = svc.drive(&mut stage);
         assert_eq!(svc.sync_stats().patched, 1);
         assert_eq!(svc.sync_stats().patched_cells, 1);
         assert_eq!(svc.sync_stats().rebuilt, 0);
         let expect = LocationService::new(Vire::default(), ServiceConfig::default())
-            .observe(1.0, 2, &stage.map, &reading_at(Point2::new(2.4, 2.4)))
+            .observe(1.0, key(2), &stage.map, &reading_at(Point2::new(2.4, 2.4)))
             .unwrap();
         assert_eq!(out[0].1.as_ref().unwrap(), &expect);
 
         // An unchanged map on the next drive is reused outright.
         stage.time = 2.0;
-        stage.dirty = vec![(2, reading_at(Point2::new(2.0, 2.0)))];
+        stage.dirty = vec![(key(2), reading_at(Point2::new(2.0, 2.0)))];
         svc.drive(&mut stage);
         assert_eq!(svc.sync_stats().reused, 2);
     }
@@ -618,11 +699,11 @@ mod tests {
     fn forget_and_predict() {
         let refs = map();
         let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
-        svc.observe(0.0, 1, &refs, &reading_at(Point2::new(1.0, 2.0)))
+        svc.observe(0.0, key(1), &refs, &reading_at(Point2::new(1.0, 2.0)))
             .unwrap();
-        assert!(svc.predict(1, 2.0).is_some());
-        svc.forget(1);
-        assert_eq!(svc.predict(1, 2.0), None);
+        assert!(svc.predict(key(1), 2.0).is_some());
+        svc.forget(key(1));
+        assert_eq!(svc.predict(key(1), 2.0), None);
         assert!(svc.tracked_tags().is_empty());
     }
 
@@ -631,7 +712,7 @@ mod tests {
         let refs = map();
         let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
         let short = TrackingReading::new(vec![-70.0]);
-        assert!(svc.observe(0.0, 1, &refs, &short).is_err());
+        assert!(svc.observe(0.0, key(1), &refs, &short).is_err());
         assert!(svc.tracked_tags().is_empty());
     }
 }

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use vire_core::{LocationService, ServiceConfig, Vire, ZoneFabric};
 use vire_env::Deployment;
 use vire_geom::Point2;
-use vire_sim::MultiZoneTestbed;
+use vire_sim::{MultiZoneTestbed, TagId};
 
 /// One zone's outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -51,7 +51,7 @@ pub fn run(zone_count: usize, drives: usize, seed: u64) -> CampusResult {
     // The paper's non-boundary tags (1-5), registered through campus
     // routing; ground truth is read back in each zone's local frame.
     let spots: Vec<Point2> = Deployment::tracking_tags_fig2a()[..5].to_vec();
-    let mut truths: Vec<Vec<(u32, Point2)>> = vec![Vec::new(); zone_count];
+    let mut truths: Vec<Vec<(TagId, Point2)>> = vec![Vec::new(); zone_count];
     for (k, truth) in truths.iter_mut().enumerate() {
         let origin = campus.regions()[k].min;
         for &p in &spots {
@@ -59,7 +59,7 @@ pub fn run(zone_count: usize, drives: usize, seed: u64) -> CampusResult {
                 .add_tracking_tag(Point2::new(origin.x + p.x, origin.y + p.y))
                 .expect("non-boundary tags are covered");
             assert_eq!(routed, k);
-            truth.push((id.0, campus.zone(k).tag_position(id)));
+            truth.push((id, campus.zone(k).tag_position(id)));
         }
     }
     let mut fabric = ZoneFabric::new(
@@ -69,7 +69,7 @@ pub fn run(zone_count: usize, drives: usize, seed: u64) -> CampusResult {
     );
     let step = campus.warmup_duration();
     // Last successful estimate per (zone, tag).
-    let mut last: Vec<std::collections::HashMap<u32, Point2>> =
+    let mut last: Vec<std::collections::HashMap<TagId, Point2>> =
         vec![std::collections::HashMap::new(); zone_count];
     for _ in 0..drives {
         campus.run_for(step);

@@ -7,6 +7,7 @@ pub mod ablations;
 pub mod campus;
 pub mod cdf;
 pub mod characterization;
+pub mod churn;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

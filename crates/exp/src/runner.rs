@@ -8,7 +8,7 @@ use vire_core::{
 };
 use vire_env::Environment;
 use vire_geom::Point2;
-use vire_sim::{Testbed, TestbedConfig};
+use vire_sim::{TagId, Testbed, TestbedConfig};
 
 /// One tracking tag's ground truth and smoothed reading.
 #[derive(Debug, Clone)]
@@ -65,8 +65,9 @@ pub struct StreamStep {
     /// Simulated time of the snapshot, seconds.
     pub time: f64,
     /// One entry per tracking tag whose smoothed reading changed since
-    /// the previous step (empty when the deployment was quiet).
-    pub estimates: Vec<(u32, Result<TrackedEstimate, LocalizeError>)>,
+    /// the previous step (empty when the deployment was quiet), keyed by
+    /// generational handle so churned lifetimes stay distinct.
+    pub estimates: Vec<(TagId, Result<TrackedEstimate, LocalizeError>)>,
 }
 
 /// Runs a trial through the streaming pipeline: builds the testbed,
@@ -75,7 +76,7 @@ pub struct StreamStep {
 /// steps — the engine → bus → middleware-stage → service data path,
 /// localizing only tags whose smoothed RSSI changed at each step.
 ///
-/// Returns one [`StreamStep`] per poll plus the tag ids assigned to
+/// Returns one [`StreamStep`] per poll plus the tag handles assigned to
 /// `positions` (in order), so callers can join estimates to ground truth.
 pub fn stream_trial<L: Localizer>(
     config: TestbedConfig,
@@ -83,12 +84,9 @@ pub fn stream_trial<L: Localizer>(
     service: &mut LocationService<L>,
     snapshots: usize,
     interval: f64,
-) -> (Vec<StreamStep>, Vec<u32>) {
+) -> (Vec<StreamStep>, Vec<TagId>) {
     let mut tb = Testbed::new(config);
-    let ids: Vec<u32> = positions
-        .iter()
-        .map(|&p| tb.add_tracking_tag(p).0)
-        .collect();
+    let ids: Vec<TagId> = positions.iter().map(|&p| tb.add_tracking_tag(p)).collect();
     let steps = (0..snapshots)
         .map(|_| {
             tb.run_for(interval);
@@ -287,7 +285,7 @@ mod tests {
         );
         assert_eq!(steps.len(), 20);
         assert_eq!(ids.len(), 2);
-        let all: Vec<&(u32, _)> = steps.iter().flat_map(|s| &s.estimates).collect();
+        let all: Vec<&(TagId, _)> = steps.iter().flat_map(|s| &s.estimates).collect();
         assert!(!all.is_empty(), "warmed-up pipeline must localize");
         for (tag, result) in &steps.last().unwrap().estimates {
             let truth = positions[ids.iter().position(|i| i == tag).unwrap()];

@@ -31,10 +31,7 @@ fn streamed_estimates_are_bit_identical_to_direct_path() {
     // Direct path: an identical seeded testbed stepped in lockstep; at
     // each snapshot, export the full calibration map and locate one-shot.
     let mut tb = Testbed::new(TestbedConfig::paper(env2(), SEED));
-    let direct_ids: Vec<u32> = positions
-        .iter()
-        .map(|&p| tb.add_tracking_tag(p).0)
-        .collect();
+    let direct_ids: Vec<TagId> = positions.iter().map(|&p| tb.add_tracking_tag(p)).collect();
     assert_eq!(ids, direct_ids, "same deployment must assign the same ids");
     let vire = Vire::default();
 
@@ -47,9 +44,7 @@ fn streamed_estimates_are_bit_identical_to_direct_path() {
         }
         let map = tb.reference_map().expect("estimates imply full coverage");
         for (tag, result) in &step.estimates {
-            let reading = tb
-                .tracking_reading(TagId(*tag))
-                .expect("estimates imply readings");
+            let reading = tb.tracking_reading(*tag).expect("estimates imply readings");
             let direct = vire.locate(&map, &reading);
             match (result, direct) {
                 (Ok(streamed), Ok(direct)) => {

@@ -1,0 +1,356 @@
+//! Generational identity: slab-allocated handles with slot reuse.
+//!
+//! A long-running deployment sees tags spawn, despawn, and re-enter
+//! continuously. Identifying a tag by a bare integer forces a choice
+//! between two failure modes: never reuse integers and every table keyed
+//! by them grows without bound, or reuse them and a re-entering tag is
+//! silently married to a dead tag's cached state (Kalman track, link
+//! budgets, pending readings). [`TagHandle`] resolves the dilemma the way
+//! ECS sparse-set allocators do: identity is a **slot index** (dense,
+//! reused, bounded by the peak live population) paired with a
+//! **generation counter** (bumped every time the slot is released), so a
+//! stale handle compares unequal to the slot's current occupant and every
+//! generation-checked lookup turns slot reuse into a guaranteed miss
+//! instead of a stale hit.
+//!
+//! [`HandleAllocator`] is the slab behind the handles: `alloc` pops a
+//! freed slot (keeping its bumped generation) or grows the slab by one,
+//! `release` bumps the slot's generation and pushes it onto the free
+//! list, and [`HandleAllocator::is_live`] answers the one question every
+//! consumer asks — *is this exact lifetime still alive?* Iteration is
+//! dense⇄sparse: slots are dense integers suitable for direct indexing
+//! into parallel `Vec` storage, while [`HandleAllocator::iter_live`]
+//! walks only the live subset in slot order.
+
+use std::fmt;
+
+/// A generational tag identity: a dense slot index plus the lifetime
+/// counter of that slot.
+///
+/// Two handles are equal only when both the slot **and** the generation
+/// match — a handle held across a despawn/respawn of its slot is stale
+/// and compares unequal to the slot's new occupant. Order (`Ord`) is
+/// slot-major, then generation, so fixed-population code that sorted by
+/// the old integer ids sorts identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagHandle {
+    /// Dense slot index, reused across lifetimes.
+    pub index: u32,
+    /// Lifetime counter of the slot; 0 for the slot's first occupant.
+    pub generation: u32,
+}
+
+impl TagHandle {
+    /// A handle for slot `index` at generation `generation`.
+    pub const fn new(index: u32, generation: u32) -> Self {
+        TagHandle { index, generation }
+    }
+
+    /// The first-lifetime handle of slot `index` (generation 0) — what a
+    /// fixed-population deployment allocates for every tag, and the
+    /// compatibility constructor for pre-generational integer ids.
+    pub const fn first(index: u32) -> Self {
+        TagHandle {
+            index,
+            generation: 0,
+        }
+    }
+
+    /// The slot index as a `usize`, for direct indexing into slot-major
+    /// storage.
+    pub const fn slot(self) -> usize {
+        self.index as usize
+    }
+
+    /// Packs the handle into one `u64` (`generation` in the high word) —
+    /// the wire/bus representation. Packing preserves equality and the
+    /// slot-major order of [`TagHandle`]'s `Ord` only within a
+    /// generation; use it as an opaque key.
+    pub const fn pack(self) -> u64 {
+        ((self.generation as u64) << 32) | self.index as u64
+    }
+
+    /// Unpacks a [`TagHandle::pack`] representation.
+    pub const fn unpack(raw: u64) -> Self {
+        TagHandle {
+            index: raw as u32,
+            generation: (raw >> 32) as u32,
+        }
+    }
+}
+
+impl fmt::Display for TagHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // First lifetimes print like the historical integer ids so logs
+        // and fixed-population reports read unchanged.
+        if self.generation == 0 {
+            write!(f, "tag#{}", self.index)
+        } else {
+            write!(f, "tag#{}.g{}", self.index, self.generation)
+        }
+    }
+}
+
+/// Churn counters for a [`HandleAllocator`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HandleStats {
+    /// Handles ever allocated (lifetimes started).
+    pub allocated: u64,
+    /// Handles released (lifetimes ended).
+    pub released: u64,
+    /// Allocations served by reusing a freed slot instead of growing the
+    /// slab — the reuse a churn workload's bounded-memory claim rests on.
+    pub reused_slots: u64,
+}
+
+/// Slab allocator of [`TagHandle`]s with free-list slot reuse.
+///
+/// Slots are dense `u32` indices; parallel storage (`Vec<T>` per
+/// attribute) indexes by [`TagHandle::slot`] and is bounded by
+/// [`HandleAllocator::slot_count`], the **high-water mark of concurrently
+/// live handles** — not by the total number of lifetimes ever started.
+///
+/// ```
+/// use vire_geom::HandleAllocator;
+///
+/// let mut slab = HandleAllocator::new();
+/// let a = slab.alloc();
+/// assert!(slab.is_live(a));
+/// slab.release(a);
+/// let b = slab.alloc(); // reuses a's slot at the next generation
+/// assert_eq!(b.index, a.index);
+/// assert_ne!(b, a);
+/// assert!(!slab.is_live(a), "stale handles never read as live");
+/// assert!(slab.is_live(b));
+/// assert_eq!(slab.slot_count(), 1, "storage bounded by peak liveness");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HandleAllocator {
+    /// Current generation per slot (bumped on release).
+    generations: Vec<u32>,
+    /// Liveness per slot.
+    live: Vec<bool>,
+    /// Released slots awaiting reuse.
+    free: Vec<u32>,
+    stats: HandleStats,
+}
+
+impl HandleAllocator {
+    /// An empty slab.
+    pub fn new() -> Self {
+        HandleAllocator::default()
+    }
+
+    /// Allocates a handle: reuses the most recently freed slot (at its
+    /// bumped generation) or grows the slab by one slot at generation 0.
+    pub fn alloc(&mut self) -> TagHandle {
+        self.stats.allocated += 1;
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.stats.reused_slots += 1;
+                index
+            }
+            None => {
+                let index = self.generations.len() as u32;
+                self.generations.push(0);
+                self.live.push(false);
+                index
+            }
+        };
+        self.live[index as usize] = true;
+        TagHandle {
+            index,
+            generation: self.generations[index as usize],
+        }
+    }
+
+    /// Releases a live handle: bumps the slot's generation (so the
+    /// released handle is immediately stale) and queues the slot for
+    /// reuse. Returns `false` — a no-op — for handles that are already
+    /// stale or were never allocated, making double-release harmless.
+    pub fn release(&mut self, handle: TagHandle) -> bool {
+        if !self.is_live(handle) {
+            return false;
+        }
+        let slot = handle.slot();
+        self.live[slot] = false;
+        self.generations[slot] = self.generations[slot].wrapping_add(1);
+        self.free.push(handle.index);
+        self.stats.released += 1;
+        true
+    }
+
+    /// Whether this exact lifetime is alive: the slot exists, is live,
+    /// and its current generation matches the handle's.
+    pub fn is_live(&self, handle: TagHandle) -> bool {
+        let slot = handle.slot();
+        slot < self.generations.len()
+            && self.live[slot]
+            && self.generations[slot] == handle.generation
+    }
+
+    /// Whether `index` names an allocated slot (live or released).
+    pub fn contains_index(&self, index: u32) -> bool {
+        (index as usize) < self.generations.len()
+    }
+
+    /// The current generation of slot `index`, if the slot exists. For a
+    /// released slot this is the generation its *next* occupant will get.
+    pub fn generation(&self, index: u32) -> Option<u32> {
+        self.generations.get(index as usize).copied()
+    }
+
+    /// The live handle currently occupying slot `index`, if any.
+    pub fn current(&self, index: u32) -> Option<TagHandle> {
+        let slot = index as usize;
+        (*self.live.get(slot)?).then(|| TagHandle {
+            index,
+            generation: self.generations[slot],
+        })
+    }
+
+    /// Total slots ever allocated — the slab's high-water mark and the
+    /// length every parallel storage `Vec` is bounded by.
+    pub fn slot_count(&self) -> usize {
+        self.generations.len()
+    }
+
+    /// Number of currently live handles.
+    pub fn live_count(&self) -> usize {
+        self.slot_count() - self.free.len()
+    }
+
+    /// Churn counters.
+    pub fn stats(&self) -> HandleStats {
+        self.stats
+    }
+
+    /// Iterates the live handles in slot order (dense⇄sparse: positions
+    /// in the iteration are not stable across churn, but each yielded
+    /// handle indexes its slot-major storage directly).
+    pub fn iter_live(&self) -> impl Iterator<Item = TagHandle> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|&(_, &live)| live)
+            .map(|(slot, _)| TagHandle {
+                index: slot as u32,
+                generation: self.generations[slot],
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_population_allocates_dense_generation_zero() {
+        let mut slab = HandleAllocator::new();
+        let handles: Vec<TagHandle> = (0..5).map(|_| slab.alloc()).collect();
+        for (n, h) in handles.iter().enumerate() {
+            assert_eq!(h.index, n as u32);
+            assert_eq!(h.generation, 0);
+            assert!(slab.is_live(*h));
+        }
+        assert_eq!(slab.slot_count(), 5);
+        assert_eq!(slab.live_count(), 5);
+        assert_eq!(slab.stats().reused_slots, 0);
+    }
+
+    #[test]
+    fn release_bumps_generation_and_reuses_slot() {
+        let mut slab = HandleAllocator::new();
+        let a = slab.alloc();
+        let b = slab.alloc();
+        assert!(slab.release(a));
+        assert!(!slab.is_live(a));
+        assert!(slab.is_live(b));
+        assert_eq!(slab.live_count(), 1);
+
+        let c = slab.alloc();
+        assert_eq!(c.index, a.index, "freed slot is reused");
+        assert_eq!(c.generation, a.generation + 1);
+        assert!(slab.is_live(c));
+        assert!(!slab.is_live(a), "the old lifetime stays dead");
+        assert_eq!(slab.slot_count(), 2, "no growth on reuse");
+        assert_eq!(slab.stats().reused_slots, 1);
+    }
+
+    #[test]
+    fn double_release_and_stale_release_are_noops() {
+        let mut slab = HandleAllocator::new();
+        let a = slab.alloc();
+        assert!(slab.release(a));
+        assert!(!slab.release(a), "double release");
+        let b = slab.alloc();
+        assert_eq!(b.index, a.index);
+        assert!(!slab.release(a), "stale handle cannot release the reuser");
+        assert!(slab.is_live(b));
+        assert_eq!(slab.stats().released, 1);
+    }
+
+    #[test]
+    fn storage_is_bounded_by_peak_liveness() {
+        let mut slab = HandleAllocator::new();
+        let mut live: Vec<TagHandle> = Vec::new();
+        for round in 0..100 {
+            // Peak of 4 concurrently live handles, 300 lifetimes total.
+            while live.len() < 4 {
+                live.push(slab.alloc());
+            }
+            // Release a varying prefix to exercise free-list ordering.
+            for h in live.drain(..1 + round % 3) {
+                assert!(slab.release(h));
+            }
+        }
+        assert_eq!(slab.slot_count(), 4, "high-water mark, not total");
+        assert!(slab.stats().allocated > 100);
+        assert_eq!(
+            slab.stats().reused_slots,
+            slab.stats().allocated - 4,
+            "every allocation after the peak reuses a slot"
+        );
+    }
+
+    #[test]
+    fn iter_live_walks_slot_order() {
+        let mut slab = HandleAllocator::new();
+        let handles: Vec<TagHandle> = (0..4).map(|_| slab.alloc()).collect();
+        slab.release(handles[1]);
+        let live: Vec<u32> = slab.iter_live().map(|h| h.index).collect();
+        assert_eq!(live, vec![0, 2, 3]);
+        let re = slab.alloc(); // slot 1, generation 1
+        let live: Vec<TagHandle> = slab.iter_live().collect();
+        assert_eq!(live[1], re);
+        assert_eq!(live[1].generation, 1);
+    }
+
+    #[test]
+    fn current_reports_the_live_occupant() {
+        let mut slab = HandleAllocator::new();
+        let a = slab.alloc();
+        assert_eq!(slab.current(a.index), Some(a));
+        slab.release(a);
+        assert_eq!(slab.current(a.index), None);
+        let b = slab.alloc();
+        assert_eq!(slab.current(a.index), Some(b));
+        assert_eq!(slab.generation(a.index), Some(1));
+        assert_eq!(slab.generation(99), None);
+        assert!(slab.contains_index(0));
+        assert!(!slab.contains_index(1), "reuse never grew a second slot");
+    }
+
+    #[test]
+    fn pack_round_trips() {
+        let h = TagHandle::new(0xDEAD_BEEF, 0x1234_5678);
+        assert_eq!(TagHandle::unpack(h.pack()), h);
+        assert_eq!(TagHandle::first(7).pack(), 7);
+    }
+
+    #[test]
+    fn display_matches_historical_ids_at_generation_zero() {
+        assert_eq!(TagHandle::first(7).to_string(), "tag#7");
+        assert_eq!(TagHandle::new(7, 2).to_string(), "tag#7.g2");
+    }
+}

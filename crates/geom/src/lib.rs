@@ -21,7 +21,9 @@
 //! * [`label`] — connected-component labeling used by VIRE's `w2` density
 //!   weight ("conjunctive regions"),
 //! * [`hull`] — convex hulls and point-in-polygon tests used by the property
-//!   tests to check that estimates stay inside the selected references.
+//!   tests to check that estimates stay inside the selected references,
+//! * [`handle`] — generational tag identity ([`TagHandle`]) and the slab
+//!   allocator ([`HandleAllocator`]) behind churn-safe slot reuse.
 //!
 //! The crate is dependency-free and entirely deterministic.
 
@@ -30,6 +32,7 @@
 
 pub mod aabb;
 pub mod bitgrid;
+pub mod handle;
 pub mod hull;
 pub mod interp;
 pub mod label;
@@ -43,6 +46,7 @@ mod grid;
 pub use aabb::Aabb;
 pub use bitgrid::BitGrid;
 pub use grid::{GridData, GridIndex, RegularGrid};
+pub use handle::{HandleAllocator, HandleStats, TagHandle};
 pub use point::Point2;
 pub use polygon::Polygon;
 pub use segment::Segment;

@@ -11,14 +11,22 @@
 //! tail drawn per beacon
 //! ([`RfChannel::sample_with_mean`](crate::RfChannel::sample_with_mean)).
 //!
-//! The cache is a dense `transmitters × receivers` table indexed by the
-//! caller's own integer ids (a simulator's tag and reader indices). It
-//! stores the two deterministic f64 terms **separately** (channel mean
-//! and receiver antenna gain) so a consumer can reproduce the exact
+//! The cache is a dense `rows × receivers` table. Rows are keyed by a
+//! [`TagHandle`]: the handle's slot index picks the row directly (slots
+//! are dense and reused, so storage is bounded by the peak live
+//! transmitter count) and the handle's **generation** is recorded as the
+//! row's owner. A lookup whose generation does not match the row's owner
+//! is a guaranteed miss — a slab slot reused by a new tag can never read
+//! the dead tag's budgets. This replaces the earlier grow-only id →
+//! row indirection: the slab *is* the row allocator.
+//!
+//! The two deterministic f64 terms are stored **separately** (channel
+//! mean and receiver antenna gain) so a consumer can reproduce the exact
 //! floating-point summation order of the uncached measurement path —
 //! memoization must be `f64::to_bits`-invisible.
 
 use crate::Dbm;
+use vire_geom::TagHandle;
 
 /// The deterministic part of one (transmitter, receiver) link.
 ///
@@ -44,42 +52,51 @@ pub struct LinkBudgetStats {
     /// Link entries dropped by targeted invalidation (not counting
     /// [`LinkBudgetCache::clear`]).
     pub invalidated: u64,
-    /// Transmitter rows returned to the free list by
-    /// [`LinkBudgetCache::release_tx`] (a despawned tag).
+    /// Transmitter rows vacated by [`LinkBudgetCache::release_tx`]
+    /// (a despawned tag).
     pub released_rows: u64,
-    /// Freed rows handed back out to new transmitters instead of growing
-    /// the table — the reclamation the churn test pins.
+    /// Rows handed to a **new generation** of their slot instead of
+    /// growing the table — whether the previous owner released cleanly
+    /// or was taken over by generation mismatch. The reclamation the
+    /// churn test pins.
     pub reclaimed_rows: u64,
+}
+
+/// Per-row ownership: which lifetime of the slot the cached budgets
+/// belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowOwner {
+    /// Never claimed by any transmitter.
+    Untouched,
+    /// Previously owned, vacated by release; slots already empty.
+    Vacant,
+    /// Owned by the slot lifetime with this generation.
+    Owned(u32),
 }
 
 /// Dense memo table of [`LinkBudget`]s, one slot per
 /// `(transmitter, receiver)` link.
 ///
-/// Columns are receivers (fixed at construction); transmitter ids map
-/// through an indirection table onto storage rows, allocated on first
-/// use. Invalidation is exact: a moved transmitter drops one row
+/// Columns are receivers (fixed at construction); rows are transmitter
+/// **slab slots** ([`TagHandle::index`]), claimed per generation on
+/// first use. Invalidation is exact: a moved transmitter drops one row
 /// ([`invalidate_tx`](LinkBudgetCache::invalidate_tx)), a swapped
 /// receiver antenna drops one column
 /// ([`invalidate_rx`](LinkBudgetCache::invalidate_rx)), and any broader
 /// environment change drops everything
 /// ([`clear`](LinkBudgetCache::clear)).
 ///
-/// Transmitter ids in a simulator are typically dense and never reused
-/// (a despawned tag's id stays dead), which with a flat `tx × rx` table
-/// leaked the dead tag's row forever. [`release_tx`] unmaps the id and
-/// returns its storage row to a free list, so the table is bounded by
-/// the *peak live* transmitter count, not the total ever created.
-///
-/// [`release_tx`]: LinkBudgetCache::release_tx
+/// Because slab slots are dense and reused across tag lifetimes, the
+/// table is bounded by the *peak live* transmitter count, not the total
+/// ever created — and the per-row generation check makes slot reuse a
+/// guaranteed miss rather than a stale hit.
 #[derive(Debug, Clone)]
 pub struct LinkBudgetCache {
     receivers: usize,
     /// Row-major storage: `rows × receivers` slots.
     slots: Vec<Option<LinkBudget>>,
-    /// Transmitter id → storage row. `None` = never used or released.
-    tx_rows: Vec<Option<usize>>,
-    /// Released storage rows awaiting reuse (their slots already empty).
-    free_rows: Vec<usize>,
+    /// Owning generation per row.
+    owners: Vec<RowOwner>,
     stats: LinkBudgetStats,
 }
 
@@ -89,8 +106,7 @@ impl LinkBudgetCache {
         LinkBudgetCache {
             receivers,
             slots: Vec::new(),
-            tx_rows: Vec::new(),
-            free_rows: Vec::new(),
+            owners: Vec::new(),
             stats: LinkBudgetStats::default(),
         }
     }
@@ -100,21 +116,25 @@ impl LinkBudgetCache {
         self.receivers
     }
 
-    /// Number of transmitter ids covered by the mapping table (not all of
-    /// them necessarily back a storage row).
+    /// Number of transmitter slots covered by the table (equal to
+    /// [`allocated_rows`](LinkBudgetCache::allocated_rows): rows are the
+    /// slab's slots).
     pub fn transmitters(&self) -> usize {
-        self.tx_rows.len()
+        self.owners.len()
     }
 
-    /// Number of storage rows allocated (live + free) — the footprint the
-    /// churn test bounds by the peak live transmitter count.
+    /// Number of storage rows allocated (owned + vacant) — the footprint
+    /// the churn test bounds by the slab's high-water mark.
     pub fn allocated_rows(&self) -> usize {
-        self.slots.len().checked_div(self.receivers).unwrap_or(0)
+        self.owners.len()
     }
 
-    /// Number of storage rows currently mapped to a transmitter.
+    /// Number of storage rows currently owned by a transmitter lifetime.
     pub fn live_rows(&self) -> usize {
-        self.allocated_rows() - self.free_rows.len()
+        self.owners
+            .iter()
+            .filter(|o| matches!(o, RowOwner::Owned(_)))
+            .count()
     }
 
     /// Lookup counters accumulated so far.
@@ -127,12 +147,13 @@ impl LinkBudgetCache {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
-    /// Grows the mapping table to cover transmitter ids `0..tx_count`.
-    /// Storage rows are allocated lazily on first insert per id;
-    /// shrinking is not supported, smaller counts are a no-op.
+    /// Grows the table to cover transmitter slots `0..tx_count`. Rows
+    /// are claimed lazily per generation on first insert; shrinking is
+    /// not supported, smaller counts are a no-op.
     pub fn ensure_transmitters(&mut self, tx_count: usize) {
-        if self.tx_rows.len() < tx_count {
-            self.tx_rows.resize(tx_count, None);
+        if self.owners.len() < tx_count {
+            self.owners.resize(tx_count, RowOwner::Untouched);
+            self.slots.resize(tx_count * self.receivers, None);
         }
     }
 
@@ -141,55 +162,67 @@ impl LinkBudgetCache {
         row * self.receivers + rx
     }
 
-    /// The storage row of id `tx`, reusing a freed row or growing the
-    /// table when the id has none yet.
-    fn row_for(&mut self, tx: usize) -> usize {
-        self.ensure_transmitters(tx + 1);
-        if let Some(row) = self.tx_rows[tx] {
-            return row;
-        }
-        let row = match self.free_rows.pop() {
-            Some(row) => {
+    /// Makes `tx`'s generation the owner of its slot's row, evicting a
+    /// stale lifetime's budgets if another generation held it.
+    fn claim_row(&mut self, tx: TagHandle) -> usize {
+        let row = tx.slot();
+        self.ensure_transmitters(row + 1);
+        match self.owners[row] {
+            RowOwner::Owned(generation) if generation == tx.generation => {}
+            RowOwner::Owned(_) => {
+                // A reused slab slot takes the row over from a dead
+                // lifetime; the stale budgets must never be readable.
+                let start = row * self.receivers;
+                self.slots[start..start + self.receivers].fill(None);
+                self.owners[row] = RowOwner::Owned(tx.generation);
                 self.stats.reclaimed_rows += 1;
-                row
             }
-            None => {
-                let row = self.allocated_rows();
-                self.slots.resize((row + 1) * self.receivers, None);
-                row
+            RowOwner::Vacant => {
+                self.owners[row] = RowOwner::Owned(tx.generation);
+                self.stats.reclaimed_rows += 1;
             }
-        };
-        self.tx_rows[tx] = Some(row);
+            RowOwner::Untouched => {
+                self.owners[row] = RowOwner::Owned(tx.generation);
+            }
+        }
         row
     }
 
-    /// The cached budget for link `(tx, rx)`, if present. Does not touch
-    /// the hit/miss counters.
+    /// The cached budget for link `(tx, rx)`, if present. A generation
+    /// mismatch on the row reads as absent. Does not touch the hit/miss
+    /// counters.
     ///
     /// # Panics
-    /// Panics when `rx` is out of range (a mapped `tx` is required for
-    /// the check to be reached; unmapped ids short-circuit to `None`).
-    pub fn get(&self, tx: usize, rx: usize) -> Option<LinkBudget> {
-        let row = (*self.tx_rows.get(tx)?)?;
-        self.slots.get(self.slot_index(row, rx)).copied().flatten()
+    /// Panics when `rx` is out of range (an owned row is required for
+    /// the check to be reached; unknown slots short-circuit to `None`).
+    pub fn get(&self, tx: TagHandle, rx: usize) -> Option<LinkBudget> {
+        let row = tx.slot();
+        match self.owners.get(row) {
+            Some(RowOwner::Owned(generation)) if *generation == tx.generation => {
+                self.slots.get(self.slot_index(row, rx)).copied().flatten()
+            }
+            _ => None,
+        }
     }
 
-    /// Stores `budget` for link `(tx, rx)`, growing the table as needed.
-    pub fn insert(&mut self, tx: usize, rx: usize, budget: LinkBudget) {
-        let row = self.row_for(tx);
+    /// Stores `budget` for link `(tx, rx)`, growing the table and
+    /// claiming the row for `tx`'s generation as needed.
+    pub fn insert(&mut self, tx: TagHandle, rx: usize, budget: LinkBudget) {
+        let row = self.claim_row(tx);
         let slot = self.slot_index(row, rx);
         self.slots[slot] = Some(budget);
     }
 
     /// The budget for link `(tx, rx)`, evaluating `fill` and memoizing the
-    /// result on the first call for this link.
+    /// result on the first call for this link lifetime. A row owned by a
+    /// stale generation is reclaimed first, so slot reuse is a miss.
     pub fn get_or_insert_with(
         &mut self,
-        tx: usize,
+        tx: TagHandle,
         rx: usize,
         fill: impl FnOnce() -> LinkBudget,
     ) -> LinkBudget {
-        let row = self.row_for(tx);
+        let row = self.claim_row(tx);
         let slot = self.slot_index(row, rx);
         match self.slots[slot] {
             Some(budget) => {
@@ -205,12 +238,14 @@ impl LinkBudgetCache {
         }
     }
 
-    /// Drops every link of transmitter `tx` (it moved). The id keeps its
-    /// storage row; unknown/unmapped ids are a no-op.
-    pub fn invalidate_tx(&mut self, tx: usize) {
-        let Some(Some(row)) = self.tx_rows.get(tx).copied() else {
-            return;
-        };
+    /// Drops every link of transmitter `tx` (it moved). The lifetime
+    /// keeps its row; unknown slots and stale generations are a no-op.
+    pub fn invalidate_tx(&mut self, tx: TagHandle) {
+        let row = tx.slot();
+        match self.owners.get(row) {
+            Some(RowOwner::Owned(generation)) if *generation == tx.generation => {}
+            _ => return,
+        }
         let start = row * self.receivers;
         for slot in &mut self.slots[start..start + self.receivers] {
             if slot.take().is_some() {
@@ -219,18 +254,19 @@ impl LinkBudgetCache {
         }
     }
 
-    /// Unmaps transmitter `tx` (it despawned) and returns its storage row
-    /// to the free list for the next new transmitter. Unknown/unmapped
-    /// ids are a no-op. Freed entries are dropped immediately, so a
-    /// reused row can never leak the dead transmitter's budgets.
-    pub fn release_tx(&mut self, tx: usize) {
-        let Some(Some(row)) = self.tx_rows.get(tx).copied() else {
-            return;
-        };
+    /// Vacates transmitter `tx`'s row (it despawned), making it
+    /// immediately reusable by the slot's next lifetime. Unknown slots
+    /// and stale generations are a no-op. Freed entries are dropped at
+    /// once, so a reused row can never leak the dead tag's budgets.
+    pub fn release_tx(&mut self, tx: TagHandle) {
+        let row = tx.slot();
+        match self.owners.get(row) {
+            Some(RowOwner::Owned(generation)) if *generation == tx.generation => {}
+            _ => return,
+        }
         let start = row * self.receivers;
         self.slots[start..start + self.receivers].fill(None);
-        self.tx_rows[tx] = None;
-        self.free_rows.push(row);
+        self.owners[row] = RowOwner::Vacant;
         self.stats.released_rows += 1;
     }
 
@@ -247,9 +283,9 @@ impl LinkBudgetCache {
         }
     }
 
-    /// Drops every cached link (the environment itself changed). Counters
-    /// survive; the dropped links are not counted as targeted
-    /// invalidations.
+    /// Drops every cached link (the environment itself changed). Row
+    /// ownership and counters survive; the dropped links are not counted
+    /// as targeted invalidations.
     pub fn clear(&mut self) {
         self.slots.fill(None);
     }
@@ -266,12 +302,16 @@ mod tests {
         }
     }
 
+    fn tag(index: u32) -> TagHandle {
+        TagHandle::first(index)
+    }
+
     #[test]
     fn memoizes_per_link() {
         let mut cache = LinkBudgetCache::new(3);
         let mut evals = 0;
         for _ in 0..4 {
-            let b = cache.get_or_insert_with(2, 1, || {
+            let b = cache.get_or_insert_with(tag(2), 1, || {
                 evals += 1;
                 budget(-70.0)
             });
@@ -281,9 +321,9 @@ mod tests {
         assert_eq!(cache.stats().hits, 3);
         assert_eq!(cache.stats().misses, 1);
         // A different link is its own slot.
-        cache.get_or_insert_with(2, 2, || budget(-80.0));
-        assert_eq!(cache.get(2, 2), Some(budget(-80.0)));
-        assert_eq!(cache.get(2, 0), None);
+        cache.get_or_insert_with(tag(2), 2, || budget(-80.0));
+        assert_eq!(cache.get(tag(2), 2), Some(budget(-80.0)));
+        assert_eq!(cache.get(tag(2), 0), None);
     }
 
     #[test]
@@ -291,18 +331,22 @@ mod tests {
         let mut cache = LinkBudgetCache::new(2);
         for tx in 0..3 {
             for rx in 0..2 {
-                cache.insert(tx, rx, budget(-(tx as f64) - rx as f64));
+                cache.insert(tag(tx), rx, budget(-(tx as f64) - rx as f64));
             }
         }
-        cache.invalidate_tx(1);
-        assert_eq!(cache.get(1, 0), None);
-        assert_eq!(cache.get(1, 1), None);
-        assert_eq!(cache.get(0, 0), Some(budget(0.0)));
-        assert_eq!(cache.get(2, 1), Some(budget(-3.0)));
+        cache.invalidate_tx(tag(1));
+        assert_eq!(cache.get(tag(1), 0), None);
+        assert_eq!(cache.get(tag(1), 1), None);
+        assert_eq!(cache.get(tag(0), 0), Some(budget(0.0)));
+        assert_eq!(cache.get(tag(2), 1), Some(budget(-3.0)));
         assert_eq!(cache.stats().invalidated, 2);
         // Invalidating an unknown row is harmless.
-        cache.invalidate_tx(99);
+        cache.invalidate_tx(tag(99));
         assert_eq!(cache.stats().invalidated, 2);
+        // A stale generation cannot invalidate the live owner's row.
+        cache.invalidate_tx(TagHandle::new(0, 7));
+        assert_eq!(cache.stats().invalidated, 2);
+        assert_eq!(cache.get(tag(0), 0), Some(budget(0.0)));
     }
 
     #[test]
@@ -310,13 +354,13 @@ mod tests {
         let mut cache = LinkBudgetCache::new(2);
         for tx in 0..3 {
             for rx in 0..2 {
-                cache.insert(tx, rx, budget(tx as f64 + 10.0 * rx as f64));
+                cache.insert(tag(tx), rx, budget(tx as f64 + 10.0 * rx as f64));
             }
         }
         cache.invalidate_rx(0);
         for tx in 0..3 {
-            assert_eq!(cache.get(tx, 0), None);
-            assert!(cache.get(tx, 1).is_some());
+            assert_eq!(cache.get(tag(tx), 0), None);
+            assert!(cache.get(tag(tx), 1).is_some());
         }
         assert_eq!(cache.stats().invalidated, 3);
         assert_eq!(cache.cached_links(), 3);
@@ -325,33 +369,63 @@ mod tests {
     #[test]
     fn clear_empties_everything() {
         let mut cache = LinkBudgetCache::new(4);
-        cache.insert(0, 3, budget(-1.0));
-        cache.insert(5, 0, budget(-2.0));
+        cache.insert(tag(0), 3, budget(-1.0));
+        cache.insert(tag(5), 0, budget(-2.0));
         assert_eq!(cache.cached_links(), 2);
         cache.clear();
         assert_eq!(cache.cached_links(), 0);
         assert_eq!(cache.transmitters(), 6, "capacity survives a clear");
+        // Ownership survives too: the same lifetime refills as a miss,
+        // not as a reclaim.
+        cache.insert(tag(0), 3, budget(-1.5));
+        assert_eq!(cache.stats().reclaimed_rows, 0);
+        assert_eq!(cache.get(tag(0), 3), Some(budget(-1.5)));
     }
 
     #[test]
     #[should_panic(expected = "receiver index")]
     fn receiver_out_of_range_panics() {
         let mut cache = LinkBudgetCache::new(2);
-        cache.insert(0, 2, budget(0.0));
+        cache.insert(tag(0), 2, budget(0.0));
+    }
+
+    #[test]
+    fn generation_mismatch_is_a_guaranteed_miss() {
+        let mut cache = LinkBudgetCache::new(2);
+        let dead = TagHandle::new(3, 0);
+        cache.insert(dead, 0, budget(-50.0));
+        cache.insert(dead, 1, budget(-60.0));
+        // The slot is reused by the next lifetime WITHOUT an explicit
+        // release (e.g. the release event was lost): reads miss and the
+        // first write takes the row over.
+        let reborn = TagHandle::new(3, 1);
+        assert_eq!(cache.get(reborn, 0), None, "stale row must not be read");
+        let mut evals = 0;
+        let b = cache.get_or_insert_with(reborn, 0, || {
+            evals += 1;
+            budget(-10.0)
+        });
+        assert_eq!((evals, b), (1, budget(-10.0)));
+        assert_eq!(cache.stats().reclaimed_rows, 1, "takeover reclaims the row");
+        assert_eq!(cache.get(reborn, 1), None, "whole stale row was evicted");
+        // The dead lifetime can no longer read or write through the row.
+        assert_eq!(cache.get(dead, 0), None);
+        cache.invalidate_tx(dead);
+        assert_eq!(cache.stats().invalidated, 0);
+        assert_eq!(cache.get(reborn, 0), Some(budget(-10.0)));
+        assert_eq!(cache.allocated_rows(), 4, "slot-indexed rows, no growth");
     }
 
     #[test]
     fn released_rows_are_reused_not_leaked() {
         let mut cache = LinkBudgetCache::new(4);
-        // Churn: tags spawn with ever-increasing dense ids, live briefly,
-        // despawn. At most 3 are alive at once.
-        let mut next_id = 0usize;
-        for _round in 0..50 {
-            let live: Vec<usize> = (0..3).map(|n| next_id + n).collect();
-            next_id += 3;
+        // Churn: three slab slots cycle through 50 generations each. At
+        // most 3 tags are alive at once, so storage never exceeds 3 rows.
+        for generation in 0..50u32 {
+            let live: Vec<TagHandle> = (0..3).map(|n| TagHandle::new(n, generation)).collect();
             for &tx in &live {
                 for rx in 0..4 {
-                    cache.insert(tx, rx, budget(-(tx as f64) - rx as f64));
+                    cache.insert(tx, rx, budget(-(tx.index as f64) - rx as f64));
                 }
             }
             for &tx in &live {
@@ -360,9 +434,8 @@ mod tests {
                 assert_eq!(cache.get(tx, 0), None, "released row must read empty");
             }
         }
-        // 150 distinct transmitter ids ever, but never more than 3 rows
-        // of storage: the footprint is bounded by peak liveness.
-        assert_eq!(cache.transmitters(), 150);
+        // 150 distinct lifetimes ever, but never more than 3 rows of
+        // storage: the footprint is bounded by the slab high-water mark.
         assert_eq!(cache.allocated_rows(), 3);
         assert_eq!(cache.live_rows(), 0);
         assert_eq!(cache.stats().released_rows, 150);
@@ -372,25 +445,32 @@ mod tests {
     #[test]
     fn release_is_idempotent_and_row_reuse_is_clean() {
         let mut cache = LinkBudgetCache::new(2);
-        cache.insert(0, 0, budget(-1.0));
-        cache.insert(0, 1, budget(-2.0));
-        cache.release_tx(0);
-        cache.release_tx(0); // second release: no-op
+        let first = tag(0);
+        cache.insert(first, 0, budget(-1.0));
+        cache.insert(first, 1, budget(-2.0));
+        cache.release_tx(first);
+        cache.release_tx(first); // second release: no-op
         assert_eq!(cache.stats().released_rows, 1);
-        assert_eq!(cache.free_rows.len(), 1);
-        // The next transmitter reuses row 0 and must not see stale data.
+        assert_eq!(cache.live_rows(), 0);
+        // The slot's next lifetime reuses row 0 and must not see stale
+        // data.
+        let next = TagHandle::new(0, 1);
         let mut evals = 0;
-        cache.get_or_insert_with(7, 1, || {
+        cache.get_or_insert_with(next, 1, || {
             evals += 1;
             budget(-9.0)
         });
         assert_eq!(evals, 1, "reused row must miss, not hit stale entries");
         assert_eq!(cache.stats().reclaimed_rows, 1);
         assert_eq!(cache.allocated_rows(), 1);
-        assert_eq!(cache.get(7, 0), None);
-        assert_eq!(cache.get(7, 1), Some(budget(-9.0)));
-        // The released id reads empty even though its old row is live
-        // again under a different owner.
-        assert_eq!(cache.get(0, 0), None);
+        assert_eq!(cache.get(next, 0), None);
+        assert_eq!(cache.get(next, 1), Some(budget(-9.0)));
+        // The released lifetime reads empty even though its old row is
+        // live again under a new generation.
+        assert_eq!(cache.get(first, 0), None);
+        // And the stale lifetime cannot release the new owner's row.
+        cache.release_tx(first);
+        assert_eq!(cache.stats().released_rows, 1);
+        assert_eq!(cache.get(next, 1), Some(budget(-9.0)));
     }
 }

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use vire_bus::{BusRead, EventBus, ReaderToken};
 use vire_core::{DirtyCell, ReferenceRssiMap, SnapshotSource, TrackingReading};
 use vire_env::{Deployment, Environment, Obstacle, Wall};
-use vire_geom::{GridIndex, Point2};
+use vire_geom::{GridIndex, HandleAllocator, Point2};
 use vire_radio::quantize::PowerLevelQuantizer;
 use vire_radio::{LinkBudget, LinkBudgetCache, LinkBudgetStats, RfChannel};
 
@@ -124,13 +124,17 @@ pub struct Testbed {
     /// Memoized deterministic link budgets, one slot per (tag, reader)
     /// link; `None` when [`TestbedConfig::link_budget_cache`] is off.
     budget_cache: Option<LinkBudgetCache>,
-    /// Beacons emitted per tag (indexed by `TagId`). Distinguishes "not
-    /// yet beaconed" from "beaconed but below reader sensitivity".
+    /// Beacons emitted per tag slot (indexed by [`TagId::slot`]; reset
+    /// when a slot is reused). Distinguishes "not yet beaconed" from
+    /// "beaconed but below reader sensitivity".
     beacon_counts: Vec<u64>,
-    /// Liveness per tag (indexed by `TagId`). A removed tag's pending
-    /// beacon is dropped unsent and never rescheduled; `TagId`s are never
-    /// reused, but the cache storage row behind a dead tag is.
-    alive: Vec<bool>,
+    /// Generational slab behind every [`TagId`]: slots are reused across
+    /// tag lifetimes with a bumped generation, so `tags`/`beacon_counts`
+    /// stay bounded by the peak live population while a stale handle
+    /// (from a removed tag's earlier lifetime) never reads the new
+    /// occupant's state. A removed tag's pending beacon is dropped unsent
+    /// and never rescheduled — its handle fails the liveness check.
+    slab: HandleAllocator,
 }
 
 impl Testbed {
@@ -185,7 +189,7 @@ impl Testbed {
             quantizer,
             budget_cache,
             beacon_counts: Vec::new(),
-            alive: Vec::new(),
+            slab: HandleAllocator::new(),
             config,
         };
         // Pin one reference tag to every lattice node.
@@ -219,7 +223,7 @@ impl Testbed {
         let tags = &self.tags;
         let mut rows: Vec<Option<Vec<LinkBudget>>> = vec![None; ids.len()];
         vire_core::WorkerPool::global().for_each_mut(&mut rows, |i, slot| {
-            let pos = tags[ids[i].0 as usize].position;
+            let pos = tags[ids[i].slot()].position;
             *slot = Some(
                 readers
                     .iter()
@@ -232,7 +236,7 @@ impl Testbed {
         });
         for (&id, budgets) in ids.iter().zip(rows) {
             for (k, budget) in budgets.expect("every slot filled").into_iter().enumerate() {
-                cache.insert(id.0 as usize, k, budget);
+                cache.insert(id, k, budget);
             }
         }
     }
@@ -249,7 +253,7 @@ impl Testbed {
     }
 
     fn register_tag(&mut self, position: Point2, role: TagRole) -> TagId {
-        let id = TagId(self.tags.len() as u32);
+        let id = self.slab.alloc();
         let interval = self.config.beacon_interval;
         // Random initial phase staggers the tags.
         let phase = self.rng.gen_range(0.0..interval);
@@ -263,16 +267,25 @@ impl Testbed {
         } else {
             0.0
         };
-        self.tags.push(Tag {
+        let tag = Tag {
             id,
             position,
             role,
             beacon_interval: interval,
             phase,
             gain_db,
-        });
-        self.beacon_counts.push(0);
-        self.alive.push(true);
+        };
+        // A fresh slot grows the parallel storage; a reused slot (a new
+        // lifetime of a despawned tag's slot) overwrites the dead tag's
+        // entry in place, keeping the footprint at the slab's high-water
+        // mark.
+        if id.slot() == self.tags.len() {
+            self.tags.push(tag);
+            self.beacon_counts.push(0);
+        } else {
+            self.tags[id.slot()] = tag;
+            self.beacon_counts[id.slot()] = 0;
+        }
         self.queue
             .schedule(self.clock + phase, Event::Beacon { tag: id });
         id
@@ -296,44 +309,49 @@ impl Testbed {
     /// Panics when `id` is unknown or names a reference tag (reference
     /// tags are pinned to the lattice by definition).
     pub fn move_tag(&mut self, id: TagId, position: Point2) {
-        let tag = self.tags.get_mut(id.0 as usize).expect("unknown tag id");
+        let tag = self.tags.get_mut(id.slot()).expect("unknown tag id");
         assert!(
             matches!(tag.role, TagRole::Tracking),
             "reference tags cannot move"
         );
+        assert!(self.slab.is_live(id), "unknown tag id");
         tag.position = position;
         // The deterministic plane of every link this tag transmits on just
         // changed; drop exactly that row and re-warm it at the new spot.
         if let Some(cache) = &mut self.budget_cache {
-            cache.invalidate_tx(id.0 as usize);
+            cache.invalidate_tx(id);
         }
         self.warm_links(&[id]);
     }
 
     /// Retires a tracking tag: its pending beacon is dropped at the next
     /// scheduled slot (never rescheduled), it stops counting toward
-    /// co-location interference, and its link-budget storage row is
-    /// released for reuse by future tags, so long-running tag churn keeps
-    /// the cache footprint bounded by the peak *live* population. The
-    /// middleware keeps the tag's last smoothed readings; removing the
-    /// same tag twice is a no-op. `TagId`s are never reused.
+    /// co-location interference, its smoothing filters are forgotten, its
+    /// link-budget row is released, and its slab slot is freed for reuse
+    /// by future tags (at a bumped generation), so long-running tag churn
+    /// keeps every per-tag table bounded by the peak *live* population.
+    /// The removal is also queued on the pipeline stage
+    /// ([`MiddlewareStage::take_removed_tags`]) so a driving
+    /// [`vire_core::LocationService`] evicts the tag's track immediately.
+    /// Removing the same tag twice — or through a stale handle from an
+    /// earlier lifetime of a reused slot — is a no-op.
     ///
     /// # Panics
-    /// Panics when `id` is unknown or names a reference tag (the lattice
-    /// calibration must stay complete).
+    /// Panics when `id`'s slot is unknown or holds a reference tag (the
+    /// lattice calibration must stay complete).
     pub fn remove_tracking_tag(&mut self, id: TagId) {
-        let tag = self.tags.get(id.0 as usize).expect("unknown tag id");
+        let tag = self.tags.get(id.slot()).expect("unknown tag id");
         assert!(
             matches!(tag.role, TagRole::Tracking),
             "reference tags cannot be removed"
         );
-        if !self.alive[id.0 as usize] {
+        if !self.slab.release(id) {
             return;
         }
-        self.alive[id.0 as usize] = false;
         if let Some(cache) = &mut self.budget_cache {
-            cache.release_tx(id.0 as usize);
+            cache.release_tx(id);
         }
+        self.stage.note_removed(id);
     }
 
     /// Adds a reference tag at an arbitrary known position (a scattered,
@@ -428,11 +446,10 @@ impl Testbed {
         if self.config.collision_radius <= 0.0 {
             return 1;
         }
-        self.tags
-            .iter()
-            .filter(|t| {
-                self.alive[t.id.0 as usize]
-                    && t.position.distance(position) <= self.config.collision_radius
+        self.slab
+            .iter_live()
+            .filter(|h| {
+                self.tags[h.slot()].position.distance(position) <= self.config.collision_radius
             })
             .count()
     }
@@ -448,7 +465,7 @@ impl Testbed {
             }
             let (time, Event::Beacon { tag }) = self.queue.pop().expect("peeked");
             self.clock = time;
-            if !self.alive[tag.0 as usize] {
+            if !self.slab.is_live(tag) {
                 // The tag was removed: drop its pending beacon without
                 // rescheduling, which retires it from the event queue.
                 continue;
@@ -459,7 +476,7 @@ impl Testbed {
             // table matches the direct-call path bit for bit.
             self.stage.pump(&self.bus);
             // Reschedule the next beacon with jitter.
-            let tag_info = self.tags[tag.0 as usize];
+            let tag_info = self.tags[tag.slot()];
             let jitter = if self.config.beacon_jitter_frac > 0.0 {
                 let j = self.config.beacon_jitter_frac;
                 self.rng.gen_range(-j..j)
@@ -473,8 +490,8 @@ impl Testbed {
     }
 
     fn process_beacon(&mut self, tag_id: TagId) {
-        let tag = self.tags[tag_id.0 as usize];
-        self.beacon_counts[tag_id.0 as usize] += 1;
+        let tag = self.tags[tag_id.slot()];
+        self.beacon_counts[tag_id.slot()] += 1;
         let co_located = self.co_located_count(tag.position);
         for k in 0..self.readers.len() {
             let reader = self.readers[k];
@@ -486,7 +503,7 @@ impl Testbed {
             let budget = match self.budget_cache.as_mut() {
                 Some(cache) => {
                     let channel = &self.channel;
-                    cache.get_or_insert_with(tag_id.0 as usize, k, || LinkBudget {
+                    cache.get_or_insert_with(tag_id, k, || LinkBudget {
                         mean_dbm: channel.mean_rssi(tag.position, reader.position),
                         rx_gain_db: reader.antenna_gain_db(tag.position),
                     })
@@ -569,14 +586,40 @@ impl Testbed {
         &self.bus
     }
 
-    /// All tags (reference + tracking).
+    /// All tag slots (reference + tracking), slot-major. Under churn a
+    /// slot holds its **latest** occupant, which may be dead; check
+    /// [`Testbed::is_live`] or iterate the live population's handles via
+    /// the slab-backed accessors below.
     pub fn tags(&self) -> &[Tag] {
         &self.tags
     }
 
+    /// Whether this exact tag lifetime is currently live.
+    pub fn is_live(&self, id: TagId) -> bool {
+        self.slab.is_live(id)
+    }
+
+    /// Number of currently live tags (reference + tracking).
+    pub fn live_tag_count(&self) -> usize {
+        self.slab.live_count()
+    }
+
+    /// Number of tag slots ever allocated — the slab's high-water mark,
+    /// which bounds every per-tag table regardless of how many lifetimes
+    /// have churned through.
+    pub fn tag_slot_count(&self) -> usize {
+        self.slab.slot_count()
+    }
+
+    /// Lifetime counters of the tag slab: total handles allocated,
+    /// released, and allocations served by reusing a freed slot.
+    pub fn tag_slab_stats(&self) -> vire_geom::HandleStats {
+        self.slab.stats()
+    }
+
     /// True position of a tag.
     pub fn tag_position(&self, id: TagId) -> Point2 {
-        self.tags[id.0 as usize].position
+        self.tags[id.slot()].position
     }
 
     /// Smoothed RSSI of `tag` at reader `k`, with the dead-spot fallback:
@@ -589,7 +632,7 @@ impl Testbed {
         self.stage
             .middleware()
             .rssi(tag, reader.id)
-            .or_else(|| (self.beacon_counts[tag.0 as usize] > 0).then_some(reader.sensitivity_dbm))
+            .or_else(|| (self.beacon_counts[tag.slot()] > 0).then_some(reader.sensitivity_dbm))
     }
 
     /// Exports the reference calibration map; `None` until every reference
@@ -670,8 +713,12 @@ impl SnapshotSource for Testbed {
         self.stage.reference_map()
     }
 
-    fn changed_readings(&mut self) -> Vec<(u32, TrackingReading)> {
+    fn changed_readings(&mut self) -> Vec<(TagId, TrackingReading)> {
         self.stage.changed_readings()
+    }
+
+    fn removed_tags(&mut self) -> Vec<TagId> {
+        self.stage.take_removed_tags()
     }
 
     fn take_dirty_cells(&mut self) -> Vec<DirtyCell> {
@@ -887,7 +934,7 @@ mod tests {
     #[should_panic(expected = "reference tags cannot move")]
     fn reference_tags_cannot_move() {
         let mut tb = testbed(10);
-        tb.move_tag(TagId(0), Point2::new(9.0, 9.0));
+        tb.move_tag(TagId::first(0), Point2::new(9.0, 9.0));
     }
 
     #[test]

@@ -102,9 +102,24 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(3.0, Event::Beacon { tag: TagId(3) });
-        q.schedule(1.0, Event::Beacon { tag: TagId(1) });
-        q.schedule(2.0, Event::Beacon { tag: TagId(2) });
+        q.schedule(
+            3.0,
+            Event::Beacon {
+                tag: TagId::first(3),
+            },
+        );
+        q.schedule(
+            1.0,
+            Event::Beacon {
+                tag: TagId::first(1),
+            },
+        );
+        q.schedule(
+            2.0,
+            Event::Beacon {
+                tag: TagId::first(2),
+            },
+        );
         let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
         assert_eq!(order, vec![1.0, 2.0, 3.0]);
     }
@@ -113,17 +128,27 @@ mod tests {
     fn simultaneous_events_pop_in_insertion_order() {
         let mut q = EventQueue::new();
         for id in 0..10u32 {
-            q.schedule(5.0, Event::Beacon { tag: TagId(id) });
+            q.schedule(
+                5.0,
+                Event::Beacon {
+                    tag: TagId::first(id),
+                },
+            );
         }
         let ids: Vec<u32> =
-            std::iter::from_fn(|| q.pop().map(|(_, Event::Beacon { tag })| tag.0)).collect();
+            std::iter::from_fn(|| q.pop().map(|(_, Event::Beacon { tag })| tag.index)).collect();
         assert_eq!(ids, (0..10).collect::<Vec<u32>>());
     }
 
     #[test]
     fn peek_does_not_consume() {
         let mut q = EventQueue::new();
-        q.schedule(2.5, Event::Beacon { tag: TagId(0) });
+        q.schedule(
+            2.5,
+            Event::Beacon {
+                tag: TagId::first(0),
+            },
+        );
         assert_eq!(q.peek_time(), Some(2.5));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
@@ -135,6 +160,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid event time")]
     fn negative_time_panics() {
-        EventQueue::new().schedule(-1.0, Event::Beacon { tag: TagId(0) });
+        EventQueue::new().schedule(
+            -1.0,
+            Event::Beacon {
+                tag: TagId::first(0),
+            },
+        );
     }
 }

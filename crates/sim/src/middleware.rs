@@ -93,6 +93,16 @@ impl Middleware {
         self.filters.get(&(tag, reader)).and_then(Filter::value)
     }
 
+    /// Drops every smoothing filter of `tag` — the tag despawned and its
+    /// smoothed state must not linger (nor be inherited by a later
+    /// lifetime of the same slot). Returns the number of `(tag, reader)`
+    /// streams dropped; the raw log ring is left untouched.
+    pub fn forget_tag(&mut self, tag: TagId) -> usize {
+        let before = self.filters.len();
+        self.filters.retain(|(t, _), _| *t != tag);
+        before - self.filters.len()
+    }
+
     /// Number of readings currently influencing a (tag, reader) estimate.
     pub fn fill(&self, tag: TagId, reader: ReaderId) -> usize {
         self.filters.get(&(tag, reader)).map_or(0, Filter::fill)
@@ -163,7 +173,7 @@ mod tests {
     fn reading(tag: u32, reader: u32, rssi: f64) -> Reading {
         Reading {
             time: 0.0,
-            tag: TagId(tag),
+            tag: TagId::first(tag),
             reader: ReaderId(reader),
             rssi,
         }
@@ -174,10 +184,10 @@ mod tests {
         let mut mw = Middleware::new(SmoothingKind::MovingAverage(2), false);
         mw.ingest(reading(1, 0, -70.0));
         mw.ingest(reading(1, 0, -72.0));
-        assert_eq!(mw.rssi(TagId(1), ReaderId(0)), Some(-71.0));
-        assert_eq!(mw.rssi(TagId(1), ReaderId(1)), None);
-        assert_eq!(mw.fill(TagId(1), ReaderId(0)), 2);
-        assert_eq!(mw.fill(TagId(9), ReaderId(0)), 0);
+        assert_eq!(mw.rssi(TagId::first(1), ReaderId(0)), Some(-71.0));
+        assert_eq!(mw.rssi(TagId::first(1), ReaderId(1)), None);
+        assert_eq!(mw.fill(TagId::first(1), ReaderId(0)), 2);
+        assert_eq!(mw.fill(TagId::first(9), ReaderId(0)), 0);
     }
 
     #[test]
@@ -191,7 +201,7 @@ mod tests {
         chatty.ingest(reading(1, 0, -70.0));
         chatty.ingest(reading(2, 1, -80.0));
         assert_eq!(chatty.log_len(), 2);
-        assert_eq!(chatty.log_readings().nth(1).unwrap().tag, TagId(2));
+        assert_eq!(chatty.log_readings().nth(1).unwrap().tag, TagId::first(2));
         assert_eq!(chatty.log_capacity(), DEFAULT_LOG_CAPACITY);
     }
 
@@ -204,10 +214,10 @@ mod tests {
         // Capacity 3: readings from tags 0 and 1 were evicted.
         assert_eq!(mw.log_len(), 3);
         assert_eq!(mw.log_evicted(), 2);
-        let tags: Vec<u32> = mw.log_readings().map(|r| r.tag.0).collect();
+        let tags: Vec<u32> = mw.log_readings().map(|r| r.tag.index).collect();
         assert_eq!(tags, vec![2, 3, 4], "oldest evicted, order preserved");
         // The smoothed table is unaffected by log eviction.
-        assert_eq!(mw.rssi(TagId(0), ReaderId(0)), Some(-70.0));
+        assert_eq!(mw.rssi(TagId::first(0), ReaderId(0)), Some(-70.0));
     }
 
     #[test]
@@ -229,13 +239,37 @@ mod tests {
     }
 
     #[test]
+    fn forget_tag_drops_all_its_streams_and_only_its_streams() {
+        let mut mw = Middleware::new(SmoothingKind::Raw, true);
+        mw.ingest(reading(1, 0, -70.0));
+        mw.ingest(reading(1, 1, -71.0));
+        mw.ingest(reading(2, 0, -80.0));
+        assert_eq!(mw.forget_tag(TagId::first(1)), 2);
+        assert_eq!(mw.rssi(TagId::first(1), ReaderId(0)), None);
+        assert_eq!(mw.rssi(TagId::first(1), ReaderId(1)), None);
+        assert_eq!(mw.rssi(TagId::first(2), ReaderId(0)), Some(-80.0));
+        assert_eq!(mw.forget_tag(TagId::first(1)), 0, "idempotent");
+        // A later lifetime of the same slot starts from a clean filter and
+        // is not dropped by a (stale) repeat of the old removal.
+        let reborn = Reading {
+            tag: TagId::new(1, 1),
+            ..reading(1, 0, -60.0)
+        };
+        mw.ingest(reborn);
+        assert_eq!(mw.forget_tag(TagId::first(1)), 0);
+        assert_eq!(mw.rssi(TagId::new(1, 1), ReaderId(0)), Some(-60.0));
+        // The raw log is left untouched by forgetting.
+        assert_eq!(mw.log_len(), 4);
+    }
+
+    #[test]
     fn reference_map_requires_full_coverage() {
         let grid = RegularGrid::square(Point2::ORIGIN, 1.0, 2);
         let readers = vec![Point2::new(-1.0, -1.0)];
         let mut tags = HashMap::new();
         let mut mw = Middleware::new(SmoothingKind::Raw, false);
         for (n, idx) in grid.indices().enumerate() {
-            tags.insert(idx, TagId(n as u32));
+            tags.insert(idx, TagId::first(n as u32));
         }
         // Missing readings -> None.
         assert!(mw.reference_map(grid, &tags, &readers).is_none());
@@ -255,9 +289,9 @@ mod tests {
     fn tracking_reading_requires_all_readers() {
         let mut mw = Middleware::new(SmoothingKind::Raw, false);
         mw.ingest(reading(5, 0, -70.0));
-        assert!(mw.tracking_reading(TagId(5), 2).is_none());
+        assert!(mw.tracking_reading(TagId::first(5), 2).is_none());
         mw.ingest(reading(5, 1, -75.0));
-        let t = mw.tracking_reading(TagId(5), 2).unwrap();
+        let t = mw.tracking_reading(TagId::first(5), 2).unwrap();
         assert_eq!(t.rssi(), &[-70.0, -75.0]);
     }
 }

@@ -133,6 +133,28 @@ impl MultiZoneTestbed {
         Some((k, self.zones[k].add_tracking_tag(local)))
     }
 
+    /// Removes a tracking tag from zone `k`, releasing its slab slot back
+    /// to that zone's allocator and queueing a removal event for the
+    /// zone's location service. The handle is per-zone — removal must be
+    /// routed to the zone that issued it (the zone index returned by
+    /// [`MultiZoneTestbed::add_tracking_tag`]). A later spawn in the same
+    /// zone may reuse the slot at a bumped generation; the stale handle
+    /// then misses everywhere instead of aliasing the newcomer.
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range, or when `id`'s slot in zone `k`
+    /// does not hold a tracking tag.
+    pub fn remove_tracking_tag(&mut self, k: usize, id: TagId) {
+        self.zones[k].remove_tracking_tag(id);
+    }
+
+    /// Whether handle `id` names the live occupant of its slot in zone
+    /// `k` — false once the tag was removed, even if the slot has been
+    /// reused by a newer generation.
+    pub fn is_live(&self, k: usize, id: TagId) -> bool {
+        self.zones[k].is_live(id)
+    }
+
     /// Advances every zone's simulation by `seconds`. Zones are
     /// independent discrete-event simulations; advancing them in sequence
     /// or in parallel is indistinguishable.
@@ -197,6 +219,27 @@ mod tests {
         assert!(campus.add_tracking_tag(Point2::new(50.0, 0.0)).is_none());
         campus.run_for(campus.warmup_duration());
         assert!(campus.zone(1).tracking_reading(id).is_some());
+    }
+
+    #[test]
+    fn removal_routes_to_the_owning_zone_and_respawn_bumps_generation() {
+        let mut campus = MultiZoneTestbed::paper_campus(2, env1(), 5, 4.0);
+        let (k, id) = campus
+            .add_tracking_tag(Point2::new(8.5, 1.5))
+            .expect("covered");
+        assert!(campus.is_live(k, id));
+        campus.remove_tracking_tag(k, id);
+        assert!(!campus.is_live(k, id));
+        // Respawn in the same zone: the slot is reused at generation + 1,
+        // so the dead handle keeps missing while the newcomer is live.
+        let (k2, id2) = campus
+            .add_tracking_tag(Point2::new(8.0, 1.0))
+            .expect("covered");
+        assert_eq!(k2, k);
+        assert_eq!(id2.index, id.index, "slot reused");
+        assert_eq!(id2.generation, id.generation + 1);
+        assert!(campus.is_live(k, id2));
+        assert!(!campus.is_live(k, id));
     }
 
     /// A campus zone is bit-identical to a standalone testbed with the

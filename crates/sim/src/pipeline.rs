@@ -68,6 +68,9 @@ pub struct MiddlewareStage {
     /// Tracking tags with changed readings, in first-dirtied order.
     dirty_tracking: Vec<TagId>,
     dirty_tracking_set: HashSet<TagId>,
+    /// Tracking tags removed upstream, not yet drained by
+    /// [`MiddlewareStage::take_removed_tags`].
+    removed: Vec<TagId>,
 }
 
 impl MiddlewareStage {
@@ -96,7 +99,28 @@ impl MiddlewareStage {
             service_dirty_set: HashSet::new(),
             dirty_tracking: Vec::new(),
             dirty_tracking_set: HashSet::new(),
+            removed: Vec::new(),
         }
+    }
+
+    /// Notes that tracking tag `id` was removed upstream: its smoothing
+    /// filters are dropped from the middleware, any pending dirty entry
+    /// for it is discarded, and the removal is queued for
+    /// [`MiddlewareStage::take_removed_tags`] so the location service can
+    /// evict the tag's track immediately instead of waiting for the
+    /// stale-track sweep.
+    pub fn note_removed(&mut self, id: TagId) {
+        self.middleware.forget_tag(id);
+        if self.dirty_tracking_set.remove(&id) {
+            self.dirty_tracking.retain(|t| *t != id);
+        }
+        self.removed.push(id);
+    }
+
+    /// Drains the tracking tags removed upstream since the last drain —
+    /// the [`SnapshotSource::removed_tags`] seam.
+    pub fn take_removed_tags(&mut self) -> Vec<TagId> {
+        std::mem::take(&mut self.removed)
     }
 
     /// Declares `tag` as the reference tag pinned to lattice node `idx`.
@@ -216,7 +240,7 @@ impl MiddlewareStage {
     /// Drains the tracking tags whose smoothed reading changed since the
     /// last drain, in first-dirtied order. Tags not yet heard by every
     /// reader stay pending instead of being returned or dropped.
-    pub fn changed_readings(&mut self) -> Vec<(u32, TrackingReading)> {
+    pub fn changed_readings(&mut self) -> Vec<(TagId, TrackingReading)> {
         let reader_count = self.readers.len();
         let mut out = Vec::with_capacity(self.dirty_tracking.len());
         let mut pending = Vec::new();
@@ -224,7 +248,7 @@ impl MiddlewareStage {
             match self.middleware.tracking_reading(tag, reader_count) {
                 Some(reading) => {
                     self.dirty_tracking_set.remove(&tag);
-                    out.push((tag.0, reading));
+                    out.push((tag, reading));
                 }
                 None => pending.push(tag),
             }
@@ -243,8 +267,12 @@ impl SnapshotSource for MiddlewareStage {
         MiddlewareStage::reference_map(self)
     }
 
-    fn changed_readings(&mut self) -> Vec<(u32, TrackingReading)> {
+    fn changed_readings(&mut self) -> Vec<(TagId, TrackingReading)> {
         MiddlewareStage::changed_readings(self)
+    }
+
+    fn removed_tags(&mut self) -> Vec<TagId> {
+        MiddlewareStage::take_removed_tags(self)
     }
 
     fn take_dirty_cells(&mut self) -> Vec<DirtyCell> {
@@ -260,7 +288,7 @@ mod tests {
     fn reading(time: f64, tag: u32, reader: u32, rssi: f64) -> Reading {
         Reading {
             time,
-            tag: TagId(tag),
+            tag: TagId::first(tag),
             reader: ReaderId(reader),
             rssi,
         }
@@ -277,7 +305,7 @@ mod tests {
             bus.reader(),
         );
         for (n, idx) in grid.indices().enumerate() {
-            stage.pin_reference(idx, TagId(n as u32));
+            stage.pin_reference(idx, TagId::first(n as u32));
         }
         (stage, bus)
     }
@@ -292,7 +320,10 @@ mod tests {
         assert_eq!(stats.changed, 2);
         assert_eq!(stats.lagged, 0);
         assert_eq!(stage.clock(), 3.0);
-        assert_eq!(stage.middleware().rssi(TagId(0), ReaderId(0)), Some(-70.0));
+        assert_eq!(
+            stage.middleware().rssi(TagId::first(0), ReaderId(0)),
+            Some(-70.0)
+        );
         // Repeating the identical reading changes nothing.
         bus.publish(reading(4.0, 0, 0, -70.0));
         let stats = stage.pump(&bus);
@@ -331,7 +362,7 @@ mod tests {
         stage.pump(&bus);
         let changed = stage.changed_readings();
         assert_eq!(changed.len(), 2);
-        assert_eq!(changed[0].0, 10, "first-dirtied order");
+        assert_eq!(changed[0].0, TagId::first(10), "first-dirtied order");
         assert_eq!(changed[0].1.rssi(), &[-75.0]);
         // Drained: nothing pending until a value changes again.
         assert!(stage.changed_readings().is_empty());
@@ -339,7 +370,7 @@ mod tests {
         stage.pump(&bus);
         let changed = stage.changed_readings();
         assert_eq!(changed.len(), 1);
-        assert_eq!(changed[0].0, 11);
+        assert_eq!(changed[0].0, TagId::first(11));
     }
 
     #[test]
@@ -418,6 +449,9 @@ mod tests {
         assert_eq!(stats.events, 2);
         assert_eq!(stage.lagged_total(), 3);
         // The survivors were still applied.
-        assert_eq!(stage.middleware().rssi(TagId(10), ReaderId(0)), Some(-74.0));
+        assert_eq!(
+            stage.middleware().rssi(TagId::first(10), ReaderId(0)),
+            Some(-74.0)
+        );
     }
 }

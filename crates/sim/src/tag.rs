@@ -2,15 +2,16 @@
 
 use vire_geom::{GridIndex, Point2};
 
-/// Opaque tag identifier, unique within one testbed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct TagId(pub u32);
-
-impl std::fmt::Display for TagId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "tag#{}", self.0)
-    }
-}
+/// Generational tag identifier, unique within one testbed.
+///
+/// An alias of [`vire_geom::TagHandle`]: the testbed allocates tag slots
+/// from a slab, so the identifier pairs the dense slot index with the
+/// slot's lifetime generation. Fixed-population testbeds only ever see
+/// generation 0, where the handle behaves (and prints) exactly like the
+/// historical dense integer id; under churn, a reused slot gets a new
+/// generation and every stale-handle lookup misses instead of reading
+/// the dead tag's state.
+pub type TagId = vire_geom::TagHandle;
 
 /// What a tag is for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,7 +73,7 @@ mod tests {
     #[test]
     fn role_predicates() {
         let r = Tag {
-            id: TagId(1),
+            id: TagId::first(1),
             position: Point2::new(1.0, 2.0),
             role: TagRole::Reference(GridIndex::new(1, 2)),
             beacon_interval: 2.0,
@@ -92,6 +93,6 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        assert_eq!(TagId(7).to_string(), "tag#7");
+        assert_eq!(TagId::first(7).to_string(), "tag#7");
     }
 }

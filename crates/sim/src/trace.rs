@@ -6,6 +6,19 @@
 //! the same `(time, tag, reader, rssi)` schema drops straight into the
 //! localization pipeline; conversely, simulated traces can be shipped as
 //! reproducible datasets.
+//!
+//! ## Wire format versions
+//!
+//! * **v1** identified tags by a bare integer. A capture containing a
+//!   remove-then-respawn of the same tag slot collapsed both lifetimes
+//!   onto one `TagId`, so replay married the re-entering tag to the dead
+//!   tag's smoothing filters.
+//! * **v2** (current) adds the slot **generation** to each reading, so a
+//!   churn capture replays each lifetime into its own filter streams.
+//!   Generation 0 is omitted from the JSON, which keeps fixed-population
+//!   v2 traces byte-compatible with v1 readers and lets v1 captures
+//!   deserialize as all-generation-0 v2 data. [`Trace::load`] accepts
+//!   both versions; [`Trace::new`] always emits v2.
 
 use crate::middleware::{Middleware, Reading};
 use crate::reader::ReaderId;
@@ -16,29 +29,78 @@ use std::io::{Read as _, Write as _};
 use std::path::Path;
 use vire_geom::Point2;
 
-/// Schema version of the trace format.
-pub const TRACE_VERSION: u32 = 1;
+/// Schema version of the trace format (see the [module docs](self) for
+/// the version history).
+pub const TRACE_VERSION: u32 = 2;
+
+/// Oldest schema version [`Trace::validate`] still accepts. v1 traces
+/// carry no generations and deserialize as generation 0 throughout.
+pub const TRACE_MIN_VERSION: u32 = 1;
 
 /// One serialized reading.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceReading {
     /// Beacon time, seconds since trace start.
     pub time: f64,
-    /// Tag identifier.
+    /// Tag slot index.
     pub tag: u32,
     /// Reader identifier (dense index).
     pub reader: u32,
     /// Raw RSSI, dBm.
     pub rssi: f64,
+    /// Lifetime generation of the tag slot (v2; absent in v1 traces and
+    /// omitted when 0, which covers every fixed-population capture).
+    pub generation: u32,
+}
+
+// Hand-rolled (de)serialization: the vendored serde derive has no
+// `#[serde(default)]` / `skip_serializing_if`, and the generation field
+// needs both — absent in v1 captures, omitted at 0 so fixed-population
+// v2 traces stay byte-compatible with v1 readers.
+impl serde::Serialize for TraceReading {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("time".to_string(), self.time.to_value()),
+            ("tag".to_string(), self.tag.to_value()),
+            ("reader".to_string(), self.reader.to_value()),
+            ("rssi".to_string(), self.rssi.to_value()),
+        ];
+        if self.generation != 0 {
+            fields.push(("generation".to_string(), self.generation.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl serde::Deserialize for TraceReading {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        fn field<T: serde::Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::DeError> {
+            let f = v
+                .get(name)
+                .ok_or_else(|| serde::DeError::custom(format!("missing field `{name}`")))?;
+            T::from_value(f)
+        }
+        Ok(TraceReading {
+            time: field(v, "time")?,
+            tag: field(v, "tag")?,
+            reader: field(v, "reader")?,
+            rssi: field(v, "rssi")?,
+            generation: match v.get("generation") {
+                Some(g) => u32::from_value(g)?,
+                None => 0,
+            },
+        })
+    }
 }
 
 impl From<Reading> for TraceReading {
     fn from(r: Reading) -> Self {
         TraceReading {
             time: r.time,
-            tag: r.tag.0,
+            tag: r.tag.index,
             reader: r.reader.0,
             rssi: r.rssi,
+            generation: r.tag.generation,
         }
     }
 }
@@ -47,7 +109,7 @@ impl From<TraceReading> for Reading {
     fn from(r: TraceReading) -> Self {
         Reading {
             time: r.time,
-            tag: TagId(r.tag),
+            tag: TagId::new(r.tag, r.generation),
             reader: ReaderId(r.reader),
             rssi: r.rssi,
         }
@@ -63,7 +125,9 @@ pub struct Trace {
     pub description: String,
     /// Reader positions, dense [`ReaderId`] order, meters.
     pub readers: Vec<(f64, f64)>,
-    /// Reference tag ids and their known positions.
+    /// Reference tag slot indices and their known positions. Reference
+    /// tags are pinned for a deployment's whole life, so they are always
+    /// generation 0 and the wire format stores only the slot.
     pub reference_tags: Vec<(u32, (f64, f64))>,
     /// The reading log, time-ascending.
     pub readings: Vec<TraceReading>,
@@ -90,7 +154,7 @@ impl std::fmt::Display for TraceError {
             TraceError::Version(v) => {
                 write!(
                     f,
-                    "unsupported trace version {v} (supported: {TRACE_VERSION})"
+                    "unsupported trace version {v} (supported: {TRACE_MIN_VERSION}..={TRACE_VERSION})"
                 )
             }
             TraceError::Invalid(what) => write!(f, "invalid trace: {what}"),
@@ -127,16 +191,23 @@ impl Trace {
             readers: readers.iter().map(|p| (p.x, p.y)).collect(),
             reference_tags: reference_tags
                 .iter()
-                .map(|(id, p)| (id.0, (p.x, p.y)))
+                .map(|(id, p)| (id.index, (p.x, p.y)))
                 .collect(),
             readings: readings.into_iter().map(Into::into).collect(),
         }
     }
 
-    /// Validates the trace invariants.
+    /// Validates the trace invariants. Accepts every schema version in
+    /// `TRACE_MIN_VERSION..=TRACE_VERSION`; a v1 trace must not carry
+    /// generations (they did not exist in that schema).
     pub fn validate(&self) -> Result<(), TraceError> {
-        if self.version != TRACE_VERSION {
+        if !(TRACE_MIN_VERSION..=TRACE_VERSION).contains(&self.version) {
             return Err(TraceError::Version(self.version));
+        }
+        if self.version < 2 && self.readings.iter().any(|r| r.generation != 0) {
+            return Err(TraceError::Invalid(
+                "v1 trace carries tag generations".into(),
+            ));
         }
         if self.readers.is_empty() {
             return Err(TraceError::Invalid("no readers".into()));
@@ -217,19 +288,19 @@ mod tests {
         let readings = vec![
             Reading {
                 time: 0.0,
-                tag: TagId(0),
+                tag: TagId::first(0),
                 reader: ReaderId(0),
                 rssi: -70.0,
             },
             Reading {
                 time: 1.0,
-                tag: TagId(0),
+                tag: TagId::first(0),
                 reader: ReaderId(1),
                 rssi: -75.0,
             },
             Reading {
                 time: 2.0,
-                tag: TagId(1),
+                tag: TagId::first(1),
                 reader: ReaderId(0),
                 rssi: -80.0,
             },
@@ -237,7 +308,7 @@ mod tests {
         Trace::new(
             "unit-test capture",
             &[Point2::new(-1.0, -1.0), Point2::new(4.0, 4.0)],
-            &[(TagId(0), Point2::new(0.0, 0.0))],
+            &[(TagId::first(0), Point2::new(0.0, 0.0))],
             readings,
         )
     }
@@ -266,9 +337,9 @@ mod tests {
     fn replay_feeds_the_middleware() {
         let t = sample_trace();
         let mw = t.replay(SmoothingKind::Raw);
-        assert_eq!(mw.rssi(TagId(0), ReaderId(0)), Some(-70.0));
-        assert_eq!(mw.rssi(TagId(1), ReaderId(0)), Some(-80.0));
-        assert_eq!(mw.rssi(TagId(9), ReaderId(0)), None);
+        assert_eq!(mw.rssi(TagId::first(0), ReaderId(0)), Some(-70.0));
+        assert_eq!(mw.rssi(TagId::first(1), ReaderId(0)), Some(-80.0));
+        assert_eq!(mw.rssi(TagId::first(9), ReaderId(0)), None);
     }
 
     #[test]
@@ -286,7 +357,76 @@ mod tests {
             tag: 0,
             reader: 9,
             rssi: -70.0,
+            generation: 0,
         });
+        assert!(matches!(t.validate(), Err(TraceError::Invalid(_))));
+    }
+
+    #[test]
+    fn v1_trace_without_generations_still_loads() {
+        // A capture from before the generational wire format: version 1,
+        // no `generation` field anywhere. Must deserialize (generation
+        // defaults to 0), validate, and replay.
+        let json = r#"{
+            "version": 1,
+            "description": "legacy capture",
+            "readers": [[0.0, 0.0]],
+            "reference_tags": [[0, [0.0, 0.0]]],
+            "readings": [
+                {"time": 1.0, "tag": 0, "reader": 0, "rssi": -70.0},
+                {"time": 2.0, "tag": 1, "reader": 0, "rssi": -80.0}
+            ]
+        }"#;
+        let t = Trace::from_json(json).unwrap();
+        assert_eq!(t.version, 1);
+        assert_eq!(t.readings[0].generation, 0);
+        let mw = t.replay(SmoothingKind::Raw);
+        assert_eq!(mw.rssi(TagId::first(0), ReaderId(0)), Some(-70.0));
+        assert_eq!(mw.rssi(TagId::first(1), ReaderId(0)), Some(-80.0));
+    }
+
+    #[test]
+    fn emitted_traces_are_v2_and_gen0_stays_v1_compatible() {
+        let t = sample_trace();
+        assert_eq!(t.version, TRACE_VERSION);
+        // Fixed-population captures are all generation 0, which the wire
+        // format omits — the JSON is byte-compatible with v1 readings.
+        assert!(!t.to_json().contains("generation"));
+    }
+
+    #[test]
+    fn respawned_lifetimes_stay_distinct_through_a_round_trip() {
+        // Slot 0 is removed and respawned mid-capture: two lifetimes,
+        // generations 0 and 1. The trace must keep them apart so replay
+        // feeds each lifetime its own smoothing streams.
+        let readings = vec![
+            Reading {
+                time: 1.0,
+                tag: TagId::first(0),
+                reader: ReaderId(0),
+                rssi: -70.0,
+            },
+            Reading {
+                time: 2.0,
+                tag: TagId::new(0, 1),
+                reader: ReaderId(0),
+                rssi: -55.0,
+            },
+        ];
+        let t = Trace::new("churn capture", &[Point2::new(0.0, 0.0)], &[], readings);
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.readings[0].generation, 0);
+        assert_eq!(back.readings[1].generation, 1);
+        let mw = back.replay(SmoothingKind::Raw);
+        assert_eq!(mw.rssi(TagId::first(0), ReaderId(0)), Some(-70.0));
+        assert_eq!(mw.rssi(TagId::new(0, 1), ReaderId(0)), Some(-55.0));
+    }
+
+    #[test]
+    fn v1_trace_with_generations_is_rejected() {
+        let mut t = sample_trace();
+        t.version = 1;
+        t.readings[0].generation = 3;
         assert!(matches!(t.validate(), Err(TraceError::Invalid(_))));
     }
 

@@ -307,8 +307,9 @@ fn set_clutter_invalidates_the_memoized_budgets() {
 }
 
 /// Tag churn: rounds of add + remove keep the cache's storage bounded by
-/// the peak live population (rows are released and reused), ids keep
-/// growing, and removed tags stop beaconing.
+/// the peak live population — slots (and their cache rows) are reused at
+/// bumped generations, so row storage never grows past the high-water
+/// mark — and removed tags stop beaconing.
 #[test]
 fn tag_churn_keeps_cache_rows_bounded_and_silences_removed_tags() {
     let mut tb = Testbed::new(TestbedConfig::paper(env2(), 11));
@@ -332,7 +333,11 @@ fn tag_churn_keeps_cache_rows_bounded_and_silences_removed_tags() {
         lattice_rows + 3,
         "row storage must stay at the peak live population"
     );
-    assert_eq!(cache.transmitters(), 16 + 30, "tag ids are never reused");
+    assert_eq!(
+        cache.transmitters(),
+        16 + 3,
+        "slot reuse keeps the row table at the high-water mark"
+    );
     let stats = tb.link_budget_stats().unwrap();
     assert_eq!(stats.released_rows, 30);
     assert_eq!(stats.reclaimed_rows, 27, "9 later rounds reuse 3 rows each");
@@ -359,7 +364,9 @@ fn remove_is_idempotent_and_reuses_rows() {
     tb.remove_tracking_tag(a);
     assert_eq!(tb.link_budget_stats().unwrap().released_rows, 1);
     let b = tb.add_tracking_tag(Point2::new(2.6, 0.7));
-    assert_ne!(a, b, "ids are never reused");
+    assert_ne!(a, b, "handles are never reused");
+    assert_eq!(a.index, b.index, "the freed slot itself is");
+    assert_eq!(b.generation, a.generation + 1);
     assert_eq!(
         tb.link_budget_cache().unwrap().allocated_rows(),
         rows_with_a,

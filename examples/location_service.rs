@@ -56,7 +56,7 @@ fn main() {
         ] {
             let reading = testbed.tracking_reading(id).expect("tag heard");
             let out = service
-                .observe(now, id.0, &map, &reading)
+                .observe(now, id, &map, &reading)
                 .expect("service locates");
             if step % 3 == 0 {
                 println!(
@@ -77,6 +77,6 @@ fn main() {
     println!("\ntracked tags: {:?}", service.tracked_tags());
     println!(
         "walker predicted 10 s ahead: {}",
-        service.predict(walker.0, 10.0).expect("walker tracked")
+        service.predict(walker, 10.0).expect("walker tracked")
     );
 }

@@ -22,6 +22,17 @@ cargo test -q -p vire-bus
 echo "==> cargo test (vire-geom)"
 cargo test -p vire-geom -q
 
+# The generational tag slab: handle allocation, slot reuse, and the
+# lifetime-safety invariants every layer leans on.
+echo "==> cargo test (tag-handle slab)"
+cargo test -q -p vire-geom handle::
+
+# Churn safety: slab-reused identity must be observationally identical to
+# a never-reused-ids oracle (service estimates, track counts, cache
+# hit/miss sequences), with storage pinned at the high-water mark.
+echo "==> cargo test (churn oracle proptest)"
+cargo test -q -p vire-sim --test churn
+
 # The link-budget cache must be invisible: cached and uncached testbeds
 # bit-identical across every preset environment and config (proptest).
 echo "==> cargo test (channel-cache bit-identity)"

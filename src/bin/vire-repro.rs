@@ -7,12 +7,12 @@
 //! ```
 //!
 //! Figures: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablations`, plus the
-//! multi-zone `campus` extension.
+//! multi-zone `campus` and tag-`churn` extensions.
 
 use std::process::ExitCode;
 use vire::exp::figures::{
-    ablations, campus, cdf, characterization, fig2, fig3, fig4, fig5, fig6, fig7, fig8, heatmap,
-    latency,
+    ablations, campus, cdf, characterization, churn, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
+    heatmap, latency,
 };
 use vire::exp::report::to_json;
 
@@ -145,6 +145,15 @@ fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
                 println!("{}", to_json(&r));
             }
         }
+        "churn" => {
+            // The default production-churn schedule (>= 1000 spawn/despawn
+            // events per simulated minute), deterministic in seed 1.
+            let r = churn::run_default(seeds.first().copied().unwrap_or(1));
+            print!("{}", churn::render(&r));
+            if json {
+                println!("{}", to_json(&r));
+            }
+        }
         "ablations" => {
             for study in [
                 ablations::kernels(seeds),
@@ -169,7 +178,7 @@ fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
     Ok(())
 }
 
-const ALL: [&str; 13] = [
+const ALL: [&str; 14] = [
     "fig2",
     "fig3",
     "fig4",
@@ -182,6 +191,7 @@ const ALL: [&str; 13] = [
     "latency",
     "characterization",
     "campus",
+    "churn",
     "ablations",
 ];
 

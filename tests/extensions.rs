@@ -73,7 +73,7 @@ fn service_tracks_a_full_fleet_end_to_end() {
         tb.run_for(4.0);
         for &(id, truth) in &fleet {
             let reading = tb.tracking_reading(id).unwrap();
-            let out = svc.observe(t, id.0, &map, &reading).unwrap();
+            let out = svc.observe(t, id, &map, &reading).unwrap();
             assert!(
                 out.position.distance(truth) < 1.0,
                 "tag {id} round {round}: tracked {} vs truth {truth}",
@@ -110,7 +110,7 @@ fn trace_export_relocalizes_identically() {
     let mut ref_tags = std::collections::HashMap::new();
     for (tag_id, (x, y)) in &trace.reference_tags {
         let idx = grid.nearest_node(Point2::new(*x, *y));
-        ref_tags.insert(idx, vire::sim::TagId(*tag_id));
+        ref_tags.insert(idx, vire::sim::TagId::first(*tag_id));
     }
     let replay_map = mw
         .reference_map(grid, &ref_tags, &trace.reader_positions())
