@@ -1,0 +1,158 @@
+//! [`Fingerprint`] impls for the environment layer.
+//!
+//! The canonical encoding covers everything that reaches the radio
+//! substrate — wall/obstacle geometry and materials, path-loss and clutter
+//! parameters, measurement noise, spike probability, reflection order —
+//! and the full deployment layout. Presentation-only fields are excluded
+//! on purpose: [`Environment::name`] and [`Environment::kind`] never
+//! touch [`Environment::channel_params`], so a builder-made clone of
+//! `env3()` under a different display name is the *same* fixture and must
+//! collide with it.
+
+use crate::{Deployment, Environment, Material, Obstacle, Wall};
+use std::hash::Hasher;
+use vire_geom::Fingerprint;
+
+impl Fingerprint for Material {
+    /// Stable one-byte tag per material (independent of declaration
+    /// order — new materials must append, not reorder).
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        h.write_u8(match self {
+            Material::Concrete => 0,
+            Material::Metal => 1,
+            Material::Drywall => 2,
+            Material::Glass => 3,
+            Material::Wood => 4,
+        });
+    }
+}
+
+impl Fingerprint for Wall {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        self.segment.fingerprint(h);
+        self.material.fingerprint(h);
+    }
+}
+
+impl Fingerprint for Obstacle {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        self.segment.fingerprint(h);
+        self.material.fingerprint(h);
+    }
+}
+
+impl Fingerprint for Environment {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        self.walls.fingerprint(h);
+        self.obstacles.fingerprint(h);
+        self.pathloss_exponent.fingerprint(h);
+        self.p_ref_at_1m.fingerprint(h);
+        self.clutter_sigma_db.fingerprint(h);
+        self.clutter_band.fingerprint(h);
+        self.meas_sigma_db.fingerprint(h);
+        self.spike_prob.fingerprint(h);
+        self.second_order_reflections.fingerprint(h);
+    }
+}
+
+impl Fingerprint for Deployment {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        self.reference_grid.fingerprint(h);
+        self.readers.fingerprint(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{env1, env2, env3};
+    use crate::EnvironmentBuilder;
+    use vire_geom::{fingerprint128, Point2};
+
+    #[test]
+    fn preset_environments_are_pairwise_distinct() {
+        let keys = [
+            fingerprint128(&env1()),
+            fingerprint128(&env2()),
+            fingerprint128(&env3()),
+        ];
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[1], keys[2]);
+        assert_ne!(keys[0], keys[2]);
+    }
+
+    #[test]
+    fn name_is_presentation_only() {
+        // A physically identical environment under a different display
+        // name is the same fixture.
+        let mut renamed = env3();
+        renamed.name = "Env3 under another label".into();
+        assert_eq!(fingerprint128(&env3()), fingerprint128(&renamed));
+    }
+
+    #[test]
+    fn every_physical_knob_moves_the_key() {
+        let base = env3();
+        let key = fingerprint128(&base);
+        let mut walls = base.clone();
+        walls.walls.pop();
+        let mut obstacles = base.clone();
+        obstacles.obstacles.pop();
+        let mut gamma = base.clone();
+        gamma.pathloss_exponent += 0.1;
+        let mut pref = base.clone();
+        pref.p_ref_at_1m += 1.0;
+        let mut clutter = base.clone();
+        clutter.clutter_sigma_db += 0.5;
+        let mut band = base.clone();
+        band.clutter_band.1 += 0.5;
+        let mut noise = base.clone();
+        noise.meas_sigma_db += 0.1;
+        let mut spikes = base.clone();
+        spikes.spike_prob = 0.05;
+        let mut second = base.clone();
+        second.second_order_reflections = true;
+        for (label, variant) in [
+            ("walls", walls),
+            ("obstacles", obstacles),
+            ("pathloss_exponent", gamma),
+            ("p_ref_at_1m", pref),
+            ("clutter_sigma_db", clutter),
+            ("clutter_band", band),
+            ("meas_sigma_db", noise),
+            ("spike_prob", spikes),
+            ("second_order_reflections", second),
+        ] {
+            assert_ne!(key, fingerprint128(&variant), "{label} must move the key");
+        }
+    }
+
+    #[test]
+    fn builder_reconstruction_collides_with_the_preset_it_copies() {
+        // Equal fixtures collide by construction: rebuild env-like values
+        // through the builder and the key tracks content, not provenance.
+        let a = EnvironmentBuilder::new("one")
+            .pathloss_exponent(2.9)
+            .clutter(1.5)
+            .measurement_noise(1.0)
+            .build();
+        let b = EnvironmentBuilder::new("two")
+            .pathloss_exponent(2.9)
+            .clutter(1.5)
+            .measurement_noise(1.0)
+            .build();
+        assert_eq!(fingerprint128(&a), fingerprint128(&b));
+    }
+
+    #[test]
+    fn deployment_layout_moves_the_key() {
+        let base = Deployment::paper_testbed();
+        let key = fingerprint128(&base);
+        let scaled = Deployment::scaled(4, 1.0, 4);
+        let mut readers = base.clone();
+        readers.readers[0] = Point2::new(9.0, 9.0);
+        assert_ne!(key, fingerprint128(&scaled));
+        assert_ne!(key, fingerprint128(&readers));
+        assert_eq!(key, fingerprint128(&Deployment::paper_testbed()));
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod builder;
 pub mod deployment;
+pub mod fingerprint;
 pub mod material;
 pub mod obstacle;
 pub mod presets;

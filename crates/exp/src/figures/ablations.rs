@@ -12,7 +12,7 @@
 //! * reader count (§6: "the effects with more readers"),
 //! * smoothing filter under human-movement disturbance (§4.1).
 
-use crate::runner::{collect_trial_with, default_seeds, trial_errors, TrialSet};
+use crate::runner::{default_seeds, TrialSet};
 use crate::sweep::parallel_sweep;
 use serde::{Deserialize, Serialize};
 use vire_core::ext::BoundaryCompensatedVire;
@@ -117,20 +117,18 @@ pub fn equipment(seeds: &[u64]) -> AblationResult {
     let positions = non_boundary_positions();
     let landmarc = Landmarc::default();
     let run_with = |legacy: bool| -> f64 {
-        let per_seed: Vec<Vec<f64>> = seeds
+        let configs: Vec<TestbedConfig> = seeds
             .iter()
             .map(|&seed| {
-                let config = if legacy {
+                if legacy {
                     TestbedConfig::legacy(env.clone(), seed)
                 } else {
                     TestbedConfig::paper(env.clone(), seed)
-                };
-                let trial = collect_trial_with(config, &positions);
-                trial_errors(&landmarc, &trial)
+                }
             })
             .collect();
-        let avg = crate::runner::average_ignoring_nan(&per_seed, positions.len());
-        avg.iter().sum::<f64>() / avg.len() as f64
+        let set = TrialSet::collect_configs(&configs, &positions);
+        mean_over(&set, &landmarc)
     };
     AblationResult {
         title: "Equipment generation (LANDMARC, Env1)".into(),
@@ -184,22 +182,17 @@ pub fn reader_count(seeds: &[u64]) -> AblationResult {
     let variants = parallel_sweep(&counts, |&readers| {
         let env = env3();
         let positions = non_boundary_positions();
-        let vire = Vire::default();
-        let per_seed: Vec<Vec<f64>> = seeds
+        let configs: Vec<TestbedConfig> = seeds
             .iter()
-            .map(|&seed| {
-                let config = TestbedConfig {
-                    deployment: Deployment::scaled(4, 1.0, readers),
-                    ..TestbedConfig::paper(env.clone(), seed)
-                };
-                let trial = collect_trial_with(config, &positions);
-                trial_errors(&vire, &trial)
+            .map(|&seed| TestbedConfig {
+                deployment: Deployment::scaled(4, 1.0, readers),
+                ..TestbedConfig::paper(env.clone(), seed)
             })
             .collect();
-        let avg = crate::runner::average_ignoring_nan(&per_seed, positions.len());
+        let set = TrialSet::collect_configs(&configs, &positions);
         VariantError {
             name: format!("{readers} readers"),
-            error: avg.iter().sum::<f64>() / avg.len() as f64,
+            error: mean_over(&set, &Vire::default()),
         }
     });
     AblationResult {
@@ -231,21 +224,17 @@ pub fn smoothing(seeds: &[u64]) -> AblationResult {
     ];
     let vire = Vire::default();
     let variants = parallel_sweep(&filters, |&(name, kind)| {
-        let per_seed: Vec<Vec<f64>> = seeds
+        let configs: Vec<TestbedConfig> = seeds
             .iter()
-            .map(|&seed| {
-                let config = TestbedConfig {
-                    smoothing: kind,
-                    ..TestbedConfig::paper(env.clone(), seed)
-                };
-                let trial = collect_trial_with(config, &positions);
-                trial_errors(&vire, &trial)
+            .map(|&seed| TestbedConfig {
+                smoothing: kind,
+                ..TestbedConfig::paper(env.clone(), seed)
             })
             .collect();
-        let avg = crate::runner::average_ignoring_nan(&per_seed, positions.len());
+        let set = TrialSet::collect_configs(&configs, &positions);
         VariantError {
             name: name.to_string(),
-            error: avg.iter().sum::<f64>() / avg.len() as f64,
+            error: mean_over(&set, &vire),
         }
     });
     AblationResult {
@@ -264,21 +253,17 @@ pub fn grid_spacing(seeds: &[u64]) -> AblationResult {
     let positions = non_boundary_positions();
     let vire = Vire::default();
     let variants = parallel_sweep(&layouts, |&(pitch, side)| {
-        let per_seed: Vec<Vec<f64>> = seeds
+        let configs: Vec<TestbedConfig> = seeds
             .iter()
-            .map(|&seed| {
-                let config = TestbedConfig {
-                    deployment: Deployment::scaled(side, pitch, 4),
-                    ..TestbedConfig::paper(env.clone(), seed)
-                };
-                let trial = collect_trial_with(config, &positions);
-                trial_errors(&vire, &trial)
+            .map(|&seed| TestbedConfig {
+                deployment: Deployment::scaled(side, pitch, 4),
+                ..TestbedConfig::paper(env.clone(), seed)
             })
             .collect();
-        let avg = crate::runner::average_ignoring_nan(&per_seed, positions.len());
+        let set = TrialSet::collect_configs(&configs, &positions);
         VariantError {
             name: format!("{pitch} m pitch ({side}x{side})"),
-            error: avg.iter().sum::<f64>() / avg.len() as f64,
+            error: mean_over(&set, &vire),
         }
     });
     AblationResult {

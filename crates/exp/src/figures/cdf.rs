@@ -3,10 +3,11 @@
 //! random placements is what a modern evaluation section would add).
 
 use crate::metrics::Cdf;
-use crate::runner::{collect_trial, trial_errors};
+use crate::runner::{collect_trial_cached, trial_errors, TrialData};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use vire_core::nearest::KCentroid;
 use vire_core::trilateration::Trilateration;
 use vire_core::{Landmarc, Localizer, Vire};
@@ -60,13 +61,24 @@ pub fn run(env: &Environment, positions: usize, seed: u64) -> CdfResult {
         ("trilateration", Box::new(Trilateration::default())),
     ];
 
-    // Batch the positions across trials.
+    // Batch the positions across trials: batch `b` keeps its derived seed
+    // `seed + b`, collected worker-pool-parallel through the trial cache
+    // into pre-sized slots so the error sample stays in batch order
+    // (bit-identical to the old sequential loop).
     let batches: Vec<&[Point2]> = all_positions.chunks(8).collect();
+    let mut slots: Vec<Option<Arc<TrialData>>> = vec![None; batches.len()];
+    vire_core::WorkerPool::global().for_each_mut(&mut slots, |b, slot| {
+        *slot = Some(collect_trial_cached(
+            env,
+            batches[b],
+            seed.wrapping_add(b as u64),
+        ));
+    });
     let mut per_alg_errors: Vec<Vec<f64>> = vec![Vec::new(); algs.len()];
-    for (b, batch) in batches.iter().enumerate() {
-        let trial = collect_trial(env, batch, seed.wrapping_add(b as u64));
+    for slot in &slots {
+        let trial = slot.as_ref().expect("slot filled");
         for (a, (_, alg)) in algs.iter().enumerate() {
-            per_alg_errors[a].extend(trial_errors(alg.as_ref(), &trial));
+            per_alg_errors[a].extend(trial_errors(alg.as_ref(), trial));
         }
     }
 

@@ -67,7 +67,7 @@ fn ascii_mask(mask: &BitGrid, cols: usize) -> String {
 /// Builds the snapshot for a tracking tag at `position` in Env3 with a
 /// fixed `threshold` (the paper's figure is drawn for a fixed threshold).
 pub fn run(position: Point2, threshold: f64, seed: u64) -> Fig5Result {
-    let trial = crate::runner::collect_trial(&env3(), &[position], seed);
+    let trial = crate::runner::collect_trial_cached(&env3(), &[position], seed);
     let grid = VirtualGrid::build(&trial.map, 10, InterpolationKernel::Linear);
     let reading: &TrackingReading = &trial.tags[0].reading;
 

@@ -7,8 +7,9 @@
 //! ASCII heatmap. The bright ring around the edge *is* the boundary
 //! problem; the interior basin is where VIRE operates at its floor.
 
-use crate::runner::{collect_trial, trial_errors};
+use crate::runner::{collect_trial_cached, trial_errors, TrialData};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use vire_core::Localizer;
 use vire_env::Environment;
 use vire_geom::{Point2, RegularGrid};
@@ -86,10 +87,22 @@ pub fn run(
     let positions: Vec<Point2> = probes.nodes().map(|(_, p)| p).collect();
 
     // Batch probes across trials to keep co-location interference off.
+    // Batch `b` keeps its derived seed `seed + b`, collected
+    // worker-pool-parallel through the trial cache into pre-sized slots
+    // so the error sample stays in probe order (bit-identical to the old
+    // sequential loop).
+    let batches: Vec<&[Point2]> = positions.chunks(8).collect();
+    let mut slots: Vec<Option<Arc<TrialData>>> = vec![None; batches.len()];
+    vire_core::WorkerPool::global().for_each_mut(&mut slots, |b, slot| {
+        *slot = Some(collect_trial_cached(
+            env,
+            batches[b],
+            seed.wrapping_add(b as u64),
+        ));
+    });
     let mut errors = Vec::with_capacity(positions.len());
-    for (b, batch) in positions.chunks(8).enumerate() {
-        let trial = collect_trial(env, batch, seed.wrapping_add(b as u64));
-        errors.extend(trial_errors(algorithm, &trial));
+    for slot in &slots {
+        errors.extend(trial_errors(algorithm, slot.as_ref().expect("slot filled")));
     }
 
     HeatmapResult {

@@ -9,6 +9,10 @@
 //!   worker-pool-parallel seed runner, and a streaming runner
 //!   ([`runner::stream_trial`]) that polls the engine → bus → middleware
 //!   pipeline incrementally,
+//! * [`cache`] — the content-addressed, single-flight trial cache: every
+//!   distinct `(environment, deployment, positions, knobs, seed)` fixture
+//!   is simulated exactly once per process and optionally persisted to an
+//!   on-disk corpus,
 //! * [`sweep`] — generic parallel parameter sweeps,
 //! * [`report`] — fixed-width text tables and JSON export of results,
 //! * [`figures`] — one module per paper figure (2–8) plus this
@@ -20,11 +24,13 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cache;
 pub mod figures;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use cache::{fixture_key, CacheStats, FixtureKey, KeyStats, TrialCache};
 pub use metrics::{estimation_error, ErrorStats};
 pub use runner::{collect_trial, stream_trial, StreamStep, TrialData, TrialTag};

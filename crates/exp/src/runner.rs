@@ -3,6 +3,7 @@
 //! polls the bus pipeline incrementally.
 
 use crate::metrics::estimation_error;
+use std::sync::Arc;
 use vire_core::{
     LocalizeError, Localizer, LocationService, ReferenceRssiMap, TrackedEstimate, TrackingReading,
 };
@@ -33,6 +34,15 @@ pub struct TrialData {
 /// localization inputs.
 pub fn collect_trial(env: &Environment, positions: &[Point2], seed: u64) -> TrialData {
     collect_trial_with(TestbedConfig::paper(env.clone(), seed), positions)
+}
+
+/// [`collect_trial`] through the global [`crate::cache::TrialCache`]:
+/// bit-identical to the uncached version (the simulation is
+/// seed-deterministic), but a fixture any figure already requested is
+/// shared instead of re-simulated.
+pub fn collect_trial_cached(env: &Environment, positions: &[Point2], seed: u64) -> Arc<TrialData> {
+    crate::cache::TrialCache::global()
+        .get_or_collect(&TestbedConfig::paper(env.clone(), seed), positions)
 }
 
 /// [`collect_trial`] with a custom testbed configuration (legacy equipment
@@ -132,20 +142,53 @@ pub fn trial_errors(localizer: &dyn Localizer, trial: &TrialData) -> Vec<f64> {
 /// type) because the simulation is seed-deterministic.
 #[derive(Debug, Clone)]
 pub struct TrialSet {
-    trials: Vec<TrialData>,
+    trials: Vec<Arc<TrialData>>,
     tag_count: usize,
 }
 
 impl TrialSet {
-    /// Collects one trial per seed on the persistent worker pool (one pool
-    /// index per seed, each filling its own pre-sized slot, so the trials
-    /// land in seed order regardless of worker count) with the paper
-    /// testbed configuration.
+    /// Collects one trial per seed with the paper testbed configuration,
+    /// through the global [`crate::cache::TrialCache`] — already-resident
+    /// fixtures are shared, the rest simulate on the persistent worker
+    /// pool (one pool index per seed, each filling its own pre-sized
+    /// slot, so the trials land in seed order regardless of worker
+    /// count).
     pub fn collect(env: &Environment, positions: &[Point2], seeds: &[u64]) -> Self {
-        assert!(!seeds.is_empty(), "need at least one seed");
-        let mut slots: Vec<Option<TrialData>> = vec![None; seeds.len()];
+        Self::collect_in(crate::cache::TrialCache::global(), env, positions, seeds)
+    }
+
+    /// [`TrialSet::collect`] against an explicit cache (tests use a fresh
+    /// one to keep stats attributable).
+    pub fn collect_in(
+        cache: &crate::cache::TrialCache,
+        env: &Environment,
+        positions: &[Point2],
+        seeds: &[u64],
+    ) -> Self {
+        let configs: Vec<TestbedConfig> = seeds
+            .iter()
+            .map(|&s| TestbedConfig::paper(env.clone(), s))
+            .collect();
+        Self::collect_configs_in(cache, &configs, positions)
+    }
+
+    /// Collects one trial per (fully custom) configuration through the
+    /// global cache — the TrialSet analogue of [`collect_trial_with`],
+    /// used by the equipment/smoothing/scaling ablations.
+    pub fn collect_configs(configs: &[TestbedConfig], positions: &[Point2]) -> Self {
+        Self::collect_configs_in(crate::cache::TrialCache::global(), configs, positions)
+    }
+
+    /// [`TrialSet::collect_configs`] against an explicit cache.
+    pub fn collect_configs_in(
+        cache: &crate::cache::TrialCache,
+        configs: &[TestbedConfig],
+        positions: &[Point2],
+    ) -> Self {
+        assert!(!configs.is_empty(), "need at least one configuration");
+        let mut slots: Vec<Option<Arc<TrialData>>> = vec![None; configs.len()];
         vire_core::WorkerPool::global().for_each_mut(&mut slots, |i, slot| {
-            *slot = Some(collect_trial(env, positions, seeds[i]));
+            *slot = Some(cache.get_or_collect(&configs[i], positions));
         });
         TrialSet {
             trials: slots.into_iter().map(|t| t.expect("slot filled")).collect(),
@@ -154,7 +197,7 @@ impl TrialSet {
     }
 
     /// The collected trials, in seed order.
-    pub fn trials(&self) -> &[TrialData] {
+    pub fn trials(&self) -> &[Arc<TrialData>] {
         &self.trials
     }
 
@@ -195,19 +238,21 @@ pub fn mean_errors_over_seeds(
     TrialSet::collect(env, positions, seeds).mean_errors(localizer)
 }
 
-/// Column-wise mean of `rows`, skipping NaN entries.
+/// Column-wise mean of `rows`, skipping NaN entries. Folds a running
+/// (sum, count) per column instead of materializing a `Vec<f64>` — this
+/// sits on the hot path of every `mean_errors` call.
 pub(crate) fn average_ignoring_nan(rows: &[Vec<f64>], width: usize) -> Vec<f64> {
     (0..width)
         .map(|i| {
-            let vals: Vec<f64> = rows
+            let (sum, count) = rows
                 .iter()
                 .map(|r| r[i])
                 .filter(|v| v.is_finite())
-                .collect();
-            if vals.is_empty() {
+                .fold((0.0_f64, 0_usize), |(s, n), v| (s + v, n + 1));
+            if count == 0 {
                 f64::NAN
             } else {
-                vals.iter().sum::<f64>() / vals.len() as f64
+                sum / count as f64
             }
         })
         .collect()
@@ -269,6 +314,23 @@ mod tests {
         let avg = average_ignoring_nan(&rows, 2);
         assert_eq!(avg[0], 2.0);
         assert!(avg[1].is_nan());
+    }
+
+    #[test]
+    fn averaging_counts_only_finite_entries_per_column() {
+        // Mixed columns: non-finite rows are excluded from both the sum
+        // and the divisor — a column with one failure averages over the
+        // surviving rows, not over rows.len().
+        let rows = vec![
+            vec![1.0, 2.0, f64::INFINITY],
+            vec![f64::NAN, 4.0, 6.0],
+            vec![7.0, f64::NEG_INFINITY, 12.0],
+        ];
+        let avg = average_ignoring_nan(&rows, 3);
+        assert_eq!(avg[0], 4.0); // (1 + 7) / 2
+        assert_eq!(avg[1], 3.0); // (2 + 4) / 2
+        assert_eq!(avg[2], 9.0); // (6 + 12) / 2
+        assert!(average_ignoring_nan(&[], 1)[0].is_nan());
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Canonical-bytes fingerprinting for content-addressed fixture caching.
+//!
+//! The cross-figure trial cache (`vire_exp::cache`) keys simulated trials
+//! by *what* was simulated: environment geometry + clutter, deployment
+//! layout, tracking positions, testbed knobs, and seed. Two fixtures that
+//! are value-equal must produce the same key regardless of how they were
+//! constructed, and any drift in any knob must produce a different key —
+//! so the key is a hash over a **canonical byte encoding**, not over Rust
+//! memory layout:
+//!
+//! * floats contribute their [`f64::to_bits`] pattern, never a rounded or
+//!   formatted value (so `-0.0` ≠ `0.0` and every ULP matters, matching
+//!   the repository-wide bit-identity discipline),
+//! * every variable-length sequence is length-prefixed, so `[ab][c]` and
+//!   `[a][bc]` cannot collide by concatenation,
+//! * enums contribute an explicit stable tag byte, independent of
+//!   `#[derive]` ordering conveniences,
+//! * the hash itself is [`Fnv1a128`] — a fixed-constant FNV-1a over
+//!   128 bits, stable across processes, platforms and Rust releases
+//!   (unlike `DefaultHasher`), which is what lets an on-disk corpus
+//!   address trials by fingerprint.
+//!
+//! Types opt in by implementing [`Fingerprint`]; [`fingerprint128`] runs
+//! the canonical encoding through the stable hasher and returns the
+//! 128-bit digest.
+
+use crate::{Aabb, Point2, RegularGrid, Segment, Vec2};
+use std::hash::Hasher;
+
+/// 128-bit FNV-1a with the standard offset basis and prime.
+///
+/// Implements [`std::hash::Hasher`] (whose `finish` truncates to the low
+/// 64 bits) and exposes the full digest via [`Fnv1a128::finish128`]. FNV
+/// is not cryptographic — fine here, because fixture keys only need to
+/// separate the handful of distinct configurations an experiment suite
+/// sweeps, not survive adversarial collision search.
+#[derive(Debug, Clone)]
+pub struct Fnv1a128 {
+    state: u128,
+}
+
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+impl Fnv1a128 {
+    /// Fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a128 {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// The full 128-bit digest.
+    pub fn finish128(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fnv1a128 {
+    fn finish(&self) -> u64 {
+        self.state as u64
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+}
+
+/// Canonical-bytes fingerprinting protocol.
+///
+/// Implementations feed a canonical encoding of their *semantic content*
+/// into the hasher: every field that changes simulation output must be
+/// written; presentation-only fields (display names, derived class tags)
+/// must not be, so value-equal fixtures collide by construction.
+pub trait Fingerprint {
+    /// Writes this value's canonical bytes into `h`.
+    fn fingerprint<H: Hasher>(&self, h: &mut H);
+}
+
+/// Hashes `value` through the stable 128-bit hasher.
+pub fn fingerprint128<T: Fingerprint + ?Sized>(value: &T) -> u128 {
+    let mut h = Fnv1a128::new();
+    value.fingerprint(&mut h);
+    h.finish128()
+}
+
+impl Fingerprint for f64 {
+    /// Canonical float encoding: the IEEE-754 bit pattern.
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        h.write_u64(self.to_bits());
+    }
+}
+
+impl Fingerprint for u64 {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        h.write_u64(*self);
+    }
+}
+
+impl Fingerprint for usize {
+    /// Width-independent encoding (always 8 bytes).
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        h.write_u64(*self as u64);
+    }
+}
+
+impl Fingerprint for bool {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        h.write_u8(*self as u8);
+    }
+}
+
+impl Fingerprint for str {
+    /// Length-prefixed UTF-8 bytes.
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        h.write_u64(self.len() as u64);
+        h.write(self.as_bytes());
+    }
+}
+
+impl<T: Fingerprint> Fingerprint for [T] {
+    /// Length-prefixed element sequence.
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        h.write_u64(self.len() as u64);
+        for item in self {
+            item.fingerprint(h);
+        }
+    }
+}
+
+impl<T: Fingerprint> Fingerprint for Vec<T> {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        self.as_slice().fingerprint(h);
+    }
+}
+
+impl<T: Fingerprint + ?Sized> Fingerprint for &T {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        (**self).fingerprint(h);
+    }
+}
+
+impl Fingerprint for (f64, f64) {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        self.0.fingerprint(h);
+        self.1.fingerprint(h);
+    }
+}
+
+impl Fingerprint for Point2 {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        self.x.fingerprint(h);
+        self.y.fingerprint(h);
+    }
+}
+
+impl Fingerprint for Vec2 {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        self.x.fingerprint(h);
+        self.y.fingerprint(h);
+    }
+}
+
+impl Fingerprint for Segment {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        self.a.fingerprint(h);
+        self.b.fingerprint(h);
+    }
+}
+
+impl Fingerprint for Aabb {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        self.min.fingerprint(h);
+        self.max.fingerprint(h);
+    }
+}
+
+impl Fingerprint for RegularGrid {
+    fn fingerprint<H: Hasher>(&self, h: &mut H) {
+        self.origin().fingerprint(h);
+        self.pitch_x().fingerprint(h);
+        self.pitch_y().fingerprint(h);
+        self.nx().fingerprint(h);
+        self.ny().fingerprint(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv128_matches_reference_vectors() {
+        // Standard FNV-1a 128 test vectors (empty string = offset basis;
+        // "a" from the published reference implementation).
+        assert_eq!(fingerprint_bytes(b""), FNV128_OFFSET);
+        assert_eq!(fingerprint_bytes(b"a"), 0xd228cb696f1a8caf78912b704e4a8964);
+    }
+
+    fn fingerprint_bytes(bytes: &[u8]) -> u128 {
+        let mut h = Fnv1a128::new();
+        h.write(bytes);
+        h.finish128()
+    }
+
+    #[test]
+    fn float_fingerprint_is_bit_exact() {
+        // -0.0 == 0.0 by value but differs by bits: the canonical
+        // encoding must separate them.
+        assert_ne!(fingerprint128(&-0.0_f64), fingerprint128(&0.0_f64));
+        // One ULP apart must differ.
+        let a = 1.0_f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        assert_ne!(fingerprint128(&a), fingerprint128(&b));
+        // Equal bits collide.
+        assert_eq!(fingerprint128(&(0.1 + 0.2)), fingerprint128(&(0.1 + 0.2)));
+    }
+
+    #[test]
+    fn length_prefix_blocks_concatenation_collisions() {
+        let split_early: Vec<Vec<f64>> = vec![vec![1.0], vec![2.0, 3.0]];
+        let split_late: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0]];
+        assert_ne!(fingerprint128(&split_early), fingerprint128(&split_late));
+        let ab: &str = "ab";
+        let a: &str = "a";
+        assert_ne!(fingerprint128(ab), fingerprint128(a));
+    }
+
+    #[test]
+    fn geometry_fingerprints_separate_every_field() {
+        let base = RegularGrid::new(Point2::new(0.0, 0.0), 1.0, 1.0, 4, 4);
+        let variants = [
+            RegularGrid::new(Point2::new(0.5, 0.0), 1.0, 1.0, 4, 4),
+            RegularGrid::new(Point2::new(0.0, 0.0), 1.5, 1.0, 4, 4),
+            RegularGrid::new(Point2::new(0.0, 0.0), 1.0, 1.5, 4, 4),
+            RegularGrid::new(Point2::new(0.0, 0.0), 1.0, 1.0, 5, 4),
+            RegularGrid::new(Point2::new(0.0, 0.0), 1.0, 1.0, 4, 5),
+        ];
+        let key = fingerprint128(&base);
+        for v in &variants {
+            assert_ne!(key, fingerprint128(v), "{v:?} must not collide");
+        }
+        assert_eq!(key, fingerprint128(&base.clone()));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_hasher_instances() {
+        let p = Point2::new(1.25, -3.5);
+        assert_eq!(fingerprint128(&p), fingerprint128(&p));
+    }
+}

@@ -23,7 +23,9 @@
 //! * [`hull`] — convex hulls and point-in-polygon tests used by the property
 //!   tests to check that estimates stay inside the selected references,
 //! * [`handle`] — generational tag identity ([`TagHandle`]) and the slab
-//!   allocator ([`HandleAllocator`]) behind churn-safe slot reuse.
+//!   allocator ([`HandleAllocator`]) behind churn-safe slot reuse,
+//! * [`fingerprint`] — the canonical-bytes [`Fingerprint`] protocol and the
+//!   stable 128-bit hasher behind the content-addressed trial cache.
 //!
 //! The crate is dependency-free and entirely deterministic.
 
@@ -32,6 +34,7 @@
 
 pub mod aabb;
 pub mod bitgrid;
+pub mod fingerprint;
 pub mod handle;
 pub mod hull;
 pub mod interp;
@@ -45,6 +48,7 @@ mod grid;
 
 pub use aabb::Aabb;
 pub use bitgrid::BitGrid;
+pub use fingerprint::{fingerprint128, Fingerprint, Fnv1a128};
 pub use grid::{GridData, GridIndex, RegularGrid};
 pub use handle::{HandleAllocator, HandleStats, TagHandle};
 pub use point::Point2;

@@ -90,6 +90,29 @@ impl TestbedConfig {
     }
 }
 
+impl vire_geom::Fingerprint for TestbedConfig {
+    /// Canonical bytes of the *whole* configuration: deployment layout,
+    /// environment physics, seed, and every simulation knob. Knobs that
+    /// are provably output-neutral (`link_budget_cache`, `keep_log`,
+    /// `event_capacity`) are hashed anyway — over-splitting a cache key
+    /// costs one redundant simulation; under-splitting silently serves a
+    /// stale fixture, so drift detection wins.
+    fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.deployment.fingerprint(h);
+        self.environment.fingerprint(h);
+        self.seed.fingerprint(h);
+        self.beacon_interval.fingerprint(h);
+        self.beacon_jitter_frac.fingerprint(h);
+        self.smoothing.fingerprint(h);
+        self.legacy_power_levels.fingerprint(h);
+        self.keep_log.fingerprint(h);
+        self.collision_radius.fingerprint(h);
+        self.tag_gain_sigma.fingerprint(h);
+        self.event_capacity.fingerprint(h);
+        self.link_budget_cache.fingerprint(h);
+    }
+}
+
 /// The running testbed.
 ///
 /// ```

@@ -22,6 +22,28 @@ pub enum SmoothingKind {
     Median(usize),
 }
 
+impl vire_geom::Fingerprint for SmoothingKind {
+    /// Stable tag byte plus the filter parameter (variants must append,
+    /// never reorder, to keep on-disk fixture keys valid).
+    fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        match self {
+            SmoothingKind::Raw => h.write_u8(0),
+            SmoothingKind::MovingAverage(n) => {
+                h.write_u8(1);
+                n.fingerprint(h);
+            }
+            SmoothingKind::Ewma(alpha) => {
+                h.write_u8(2);
+                alpha.fingerprint(h);
+            }
+            SmoothingKind::Median(n) => {
+                h.write_u8(3);
+                n.fingerprint(h);
+            }
+        }
+    }
+}
+
 impl Default for SmoothingKind {
     /// Median over 5 readings: robust and low-latency at a 2 s beacon
     /// interval (10 s to fill the window).

@@ -38,6 +38,12 @@ cargo test -q -p vire-sim --test churn
 echo "==> cargo test (channel-cache bit-identity)"
 cargo test -q -p vire-sim --test channel_cache
 
+# The trial cache must be invisible too: cached trials bit-identical to
+# fresh simulations (proptest), single-flight under contention, and the
+# corpus round-trip bit-exact.
+echo "==> cargo test (trial-cache bit-identity)"
+cargo test -q -p vire-exp --test trial_cache
+
 # The zone fabric is pure orchestration: a fabric-driven shard must be
 # bit-identical to that zone's standalone service, on every kernel.
 echo "==> cargo test (zone-fabric shard bit-identity)"

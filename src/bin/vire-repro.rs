@@ -1,13 +1,19 @@
 //! `vire-repro` — command-line driver for the reproduction.
 //!
 //! ```text
-//! vire-repro <figure> [--seeds N] [--json]
-//! vire-repro all [--seeds N]
+//! vire-repro <figure> [--seeds SPEC] [--corpus DIR] [--json]
+//! vire-repro all [--seeds SPEC] [--corpus DIR]
 //! vire-repro list
 //! ```
 //!
 //! Figures: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablations`, plus the
 //! multi-zone `campus` and tag-`churn` extensions.
+//!
+//! Every figure collects its simulated trials through the process-wide
+//! [`vire::exp::TrialCache`], so a fixture shared between figures (fig7,
+//! fig8 and three ablations all sweep the same Env3 deployment) is
+//! simulated exactly once per run. `--corpus DIR` persists each simulated
+//! fixture to `DIR/<fingerprint>.json` and reloads it on later runs.
 
 use std::process::ExitCode;
 use vire::exp::figures::{
@@ -15,11 +21,36 @@ use vire::exp::figures::{
     heatmap, latency,
 };
 use vire::exp::report::to_json;
+use vire::exp::TrialCache;
 
 struct Options {
     command: String,
     seeds: Vec<u64>,
     json: bool,
+}
+
+/// Parses a `--seeds` spec: a count `N` (seeds 1..=N), an inclusive range
+/// `A..B`, or an explicit comma list `S1,S2,...`.
+fn parse_seeds(spec: &str) -> Result<Vec<u64>, String> {
+    let seeds: Vec<u64> = if let Some((a, b)) = spec.split_once("..") {
+        let a: u64 = a.parse().map_err(|e| format!("--seeds range start: {e}"))?;
+        let b: u64 = b.parse().map_err(|e| format!("--seeds range end: {e}"))?;
+        if a > b {
+            return Err(format!("--seeds range {a}..{b} is empty"));
+        }
+        (a..=b).collect()
+    } else if spec.contains(',') {
+        spec.split(',')
+            .map(|s| s.trim().parse().map_err(|e| format!("--seeds list: {e}")))
+            .collect::<Result<_, String>>()?
+    } else {
+        let n: u64 = spec.parse().map_err(|e| format!("--seeds: {e}"))?;
+        (1..=n).collect()
+    };
+    if seeds.is_empty() {
+        return Err("--seeds must name at least 1 seed".into());
+    }
+    Ok(seeds)
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -32,15 +63,13 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seeds" => {
-                let n: u64 = args
-                    .next()
-                    .ok_or("--seeds needs a count")?
-                    .parse()
-                    .map_err(|e| format!("--seeds: {e}"))?;
-                if n == 0 {
-                    return Err("--seeds must be at least 1".into());
-                }
-                seeds = (1..=n).collect();
+                seeds = parse_seeds(&args.next().ok_or("--seeds needs a count/range/list")?)?;
+            }
+            "--corpus" => {
+                let dir = args.next().ok_or("--corpus needs a directory")?;
+                TrialCache::global()
+                    .set_corpus(&dir)
+                    .map_err(|e| format!("--corpus {dir}: {e}"))?;
             }
             "--json" => json = true,
             other => return Err(format!("unknown flag {other}")),
@@ -54,6 +83,9 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
+    // cdf/heatmap batch many probe positions over derived seeds
+    // `base + batch_index`; the base is the first requested seed.
+    let base_seed = seeds.first().copied().unwrap_or(1);
     match name {
         "fig2" => {
             let r = fig2::run(seeds);
@@ -106,7 +138,7 @@ fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
         }
         "cdf" => {
             for env in vire::env::presets::all_paper_environments() {
-                let r = cdf::run(&env, 64, 1);
+                let r = cdf::run(&env, 64, base_seed);
                 print!("{}", cdf::render(&r));
                 if json {
                     println!("{}", to_json(&r));
@@ -114,7 +146,7 @@ fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
             }
         }
         "characterization" => {
-            let r = characterization::run(1);
+            let r = characterization::run(base_seed);
             print!("{}", characterization::render(&r));
             if json {
                 println!("{}", to_json(&r));
@@ -122,7 +154,7 @@ fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
         }
         "heatmap" => {
             for env in vire::env::presets::all_paper_environments() {
-                let r = heatmap::run(&env, &vire::core::Vire::default(), 13, 0.4, 1);
+                let r = heatmap::run(&env, &vire::core::Vire::default(), 13, 0.4, base_seed);
                 print!("{}", heatmap::render(&r));
                 if json {
                     println!("{}", to_json(&r));
@@ -139,7 +171,7 @@ fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
         "campus" => {
             // Zones scale with the seed budget's intent: a fixed 4-zone
             // campus driven for 6 fabric rounds, deterministic in seed 1.
-            let r = campus::run(4, 6, seeds.first().copied().unwrap_or(1));
+            let r = campus::run(4, 6, base_seed);
             print!("{}", campus::render(&r));
             if json {
                 println!("{}", to_json(&r));
@@ -148,7 +180,7 @@ fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
         "churn" => {
             // The default production-churn schedule (>= 1000 spawn/despawn
             // events per simulated minute), deterministic in seed 1.
-            let r = churn::run_default(seeds.first().copied().unwrap_or(1));
+            let r = churn::run_default(base_seed);
             print!("{}", churn::render(&r));
             if json {
                 println!("{}", to_json(&r));
@@ -195,6 +227,19 @@ const ALL: [&str; 14] = [
     "ablations",
 ];
 
+fn print_cache_line(label: &str, s: vire::exp::CacheStats) {
+    eprintln!(
+        "trial cache [{label}]: {} lookups, {} hits, {} waits, {} simulated, \
+         {} corpus, hit rate {:.0}%",
+        s.lookups,
+        s.hits,
+        s.in_flight_waits,
+        s.simulated,
+        s.corpus_loaded,
+        s.hit_rate() * 100.0
+    );
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -207,17 +252,28 @@ fn main() -> ExitCode {
     match opts.command.as_str() {
         "list" => {
             println!("figures: {}", ALL.join(" "));
-            println!("usage:   vire-repro <figure|all> [--seeds N] [--json]");
+            println!("usage:   vire-repro <figure|all> [--seeds SPEC] [--corpus DIR] [--json]");
+            println!("seeds:   SPEC is a count `N` (seeds 1..=N), an inclusive range `A..B`,");
+            println!("         or a comma list `S1,S2,...`; figures average over all of them.");
+            println!("         cdf/heatmap derive per-batch seeds as `first_seed + batch_index`;");
+            println!("         campus/churn/characterization run on `first_seed` alone.");
+            println!("corpus:  DIR stores one JSON file per simulated fixture, keyed by its");
+            println!("         content fingerprint; later runs load instead of simulating.");
             ExitCode::SUCCESS
         }
         "all" => {
+            let mut before = TrialCache::global().stats();
             for name in ALL {
                 if let Err(e) = run_figure(name, &opts.seeds, opts.json) {
                     eprintln!("vire-repro: {e}");
                     return ExitCode::FAILURE;
                 }
+                let after = TrialCache::global().stats();
+                print_cache_line(name, after.since(&before));
+                before = after;
                 println!();
             }
+            print_cache_line("total", TrialCache::global().stats());
             ExitCode::SUCCESS
         }
         figure => match run_figure(figure, &opts.seeds, opts.json) {
