@@ -1,0 +1,551 @@
+//! The ingest front end: burst batching and beacon-run coalescing ahead
+//! of the location service.
+//!
+//! A real deployment's readers emit beacon events far faster than the
+//! localization rate — a tag beaconing every ~2 s against four readers is
+//! already 4 events per period, and a burst of gateway traffic can deliver
+//! thousands of readings between two `drive` calls. Localizing every one
+//! of them is wasted work: the middleware's smoothing window only ever
+//! sees each tag's **latest** reading per reader, so a run of beacons for
+//! the same `(tag lifetime, reader)` pair collapses to its newest element
+//! with bit-identical localization output (proven by the oracle test in
+//! `vire-sim`).
+//!
+//! [`IngestFrontEnd`] implements that collapse at two levels:
+//!
+//! * **In the ring** — events buffer in a resizable
+//!   [`EventBus`] whose back-pressure policy is
+//!   [`Coalesce`](vire_bus::BackPressure::Coalesce) on the
+//!   [`beacon_key`]: under overload the bus merges same-key runs instead
+//!   of dropping newest data, and every merged event is counted.
+//! * **At drain** — [`IngestFrontEnd::drain`] batch-coalesces whatever
+//!   survived the ring down to the newest reading per key, in
+//!   last-occurrence order, before the batch is handed to the pipeline.
+//!
+//! The wire format is the `vire-sim` trace schema (versions 1 and 2):
+//! [`IngestFrontEnd::accept_json`] takes either a full trace object or a
+//! bare array of readings, so captured traces and live gateway payloads
+//! share one code path.
+
+use std::collections::HashMap;
+use std::fmt;
+use vire_bus::{BackPressure, BusError, EventBus, ReaderToken};
+
+use crate::service::TagKey;
+
+/// Newest wire schema version accepted ([`vire-sim`'s `TRACE_VERSION`]
+/// — kept equal by a cross-crate test there).
+pub const WIRE_VERSION: u32 = 2;
+
+/// Oldest wire schema version accepted (v1 readings carry no tag
+/// generations and parse as generation 0).
+pub const WIRE_MIN_VERSION: u32 = 1;
+
+/// One beacon event on the wire: a single tag/reader RSSI observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeaconEvent {
+    /// Beacon time, seconds.
+    pub time: f64,
+    /// Tag lifetime (slot index + generation).
+    pub tag: TagKey,
+    /// Reader identifier (dense index).
+    pub reader: u32,
+    /// Raw RSSI, dBm.
+    pub rssi: f64,
+}
+
+/// The coalesce key of a beacon event: the exact `(slot, generation,
+/// reader)` triple packed into 96 bits, so two distinct beacon streams can
+/// never merge (no hashing, no collisions).
+pub fn beacon_key(e: &BeaconEvent) -> u128 {
+    ((e.tag.index as u128) << 64) | ((e.tag.generation as u128) << 32) | e.reader as u128
+}
+
+/// Shape of the ingest ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Initial ring capacity; doubles under load (amortized O(1)).
+    pub initial_capacity: usize,
+    /// Capacity ceiling; past it beacon runs coalesce per [`beacon_key`].
+    pub max_capacity: usize,
+    /// Back-pressure policy past the ceiling: `true` (default) coalesces
+    /// per [`beacon_key`] so every tag keeps its newest reading; `false`
+    /// hard-drops the oldest events instead — the naive policy, kept as
+    /// the reference arm of the overload accuracy comparison
+    /// (`vire-bench/benches/service_latency.rs`).
+    pub coalesce: bool,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            initial_capacity: 64,
+            max_capacity: 65_536,
+            coalesce: true,
+        }
+    }
+}
+
+/// Wire-format rejection from [`IngestFrontEnd::accept_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The payload is not valid JSON, or not the expected shape.
+    Json(String),
+    /// The trace schema version is outside the supported range.
+    UnsupportedVersion {
+        /// Version the payload declared.
+        found: u32,
+        /// Oldest accepted version.
+        min: u32,
+        /// Newest accepted version.
+        max: u32,
+    },
+    /// A v1 payload carried a tag generation (v1 predates generations).
+    GenerationInV1 {
+        /// Index of the offending reading.
+        index: usize,
+    },
+    /// A reading carried a non-finite number.
+    NotFinite {
+        /// Which field was non-finite.
+        field: &'static str,
+        /// Index of the offending reading.
+        index: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Json(msg) => write!(f, "malformed ingest payload: {msg}"),
+            WireError::UnsupportedVersion { found, min, max } => {
+                write!(
+                    f,
+                    "unsupported wire version {found} (accepted: {min}..={max})"
+                )
+            }
+            WireError::GenerationInV1 { index } => {
+                write!(f, "reading {index} carries a generation in a v1 payload")
+            }
+            WireError::NotFinite { field, index } => {
+                write!(f, "reading {index} has non-finite {field}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Cumulative ingest accounting. At every drain point the counters
+/// balance: `accepted == delivered + lagged + coalesced_in_ring` — no
+/// event ever disappears silently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Events accepted into the ring.
+    pub accepted: u64,
+    /// Drain calls.
+    pub batches: u64,
+    /// Events delivered out of the ring (before batch coalescing).
+    pub delivered: u64,
+    /// Events merged away inside the ring by back-pressure coalescing.
+    pub coalesced_in_ring: u64,
+    /// Events merged away at drain time (same-key runs in one batch).
+    pub coalesced_in_batch: u64,
+    /// Events hard-dropped by the ring (0 unless every buffered event had
+    /// a distinct key at the capacity ceiling).
+    pub lagged: u64,
+}
+
+/// One drained batch: the surviving readings plus this drain's share of
+/// the loss accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestBatch {
+    /// Newest reading per `(tag lifetime, reader)`, in last-occurrence
+    /// order — what the pipeline should replay.
+    pub readings: Vec<BeaconEvent>,
+    /// Events the ring delivered into this batch before coalescing.
+    pub delivered: usize,
+    /// Events hard-dropped since the previous drain.
+    pub lagged: u64,
+    /// Events merged inside the ring since the previous drain.
+    pub coalesced_in_ring: u64,
+    /// Events merged at drain time (duplicates within this batch).
+    pub coalesced_in_batch: u64,
+}
+
+/// Burst-batching, coalescing ingest stage (see the [module docs](self)).
+#[derive(Debug)]
+pub struct IngestFrontEnd {
+    bus: EventBus<BeaconEvent>,
+    cursor: ReaderToken,
+    stats: IngestStats,
+}
+
+impl IngestFrontEnd {
+    /// Builds a front end with the given ring shape.
+    ///
+    /// # Panics
+    /// Panics when the config is invalid (see
+    /// [`IngestFrontEnd::try_new`]).
+    pub fn new(config: IngestConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`IngestFrontEnd::new`]: rejects a zero capacity or a
+    /// ceiling below the initial capacity.
+    pub fn try_new(config: IngestConfig) -> Result<Self, BusError> {
+        let policy = if config.coalesce {
+            BackPressure::Coalesce(beacon_key)
+        } else {
+            BackPressure::DropOldest
+        };
+        let bus = EventBus::try_resizable(config.initial_capacity, config.max_capacity, policy)?;
+        let cursor = bus.reader();
+        Ok(IngestFrontEnd {
+            bus,
+            cursor,
+            stats: IngestStats::default(),
+        })
+    }
+
+    /// Accepts a burst of already-decoded beacon events; returns how many
+    /// were enqueued.
+    pub fn accept(&mut self, events: impl IntoIterator<Item = BeaconEvent>) -> usize {
+        let mut n = 0;
+        for e in events {
+            self.bus.publish(e);
+            n += 1;
+        }
+        self.stats.accepted += n as u64;
+        n
+    }
+
+    /// Accepts a JSON payload in the `vire-sim` trace wire format: either
+    /// a full trace object (`{"version": .., "readings": [..], ..}`) or a
+    /// bare array of readings. Returns how many readings were enqueued;
+    /// on error nothing is enqueued.
+    pub fn accept_json(&mut self, json: &str) -> Result<usize, WireError> {
+        let events = parse_wire(json)?;
+        Ok(self.accept(events))
+    }
+
+    /// Drains everything buffered since the last drain, coalescing each
+    /// `(tag lifetime, reader)` beacon run down to its newest reading.
+    pub fn drain(&mut self) -> IngestBatch {
+        let read = self.bus.read(&mut self.cursor);
+        let lagged = read.lagged();
+        let coalesced_in_ring = read.coalesced();
+        let drained: Vec<BeaconEvent> = read.copied().collect();
+        let delivered = drained.len();
+
+        // Newest reading per key, preserving last-occurrence order: an
+        // earlier duplicate is voided in place, so survivors need no sort.
+        let mut latest: HashMap<u128, usize> = HashMap::with_capacity(delivered);
+        let mut keep: Vec<Option<BeaconEvent>> = Vec::with_capacity(delivered);
+        for e in drained {
+            if let Some(prev) = latest.insert(beacon_key(&e), keep.len()) {
+                keep[prev] = None;
+            }
+            keep.push(Some(e));
+        }
+        let readings: Vec<BeaconEvent> = keep.into_iter().flatten().collect();
+        let coalesced_in_batch = (delivered - readings.len()) as u64;
+
+        self.stats.batches += 1;
+        self.stats.delivered += delivered as u64;
+        self.stats.lagged += lagged;
+        self.stats.coalesced_in_ring += coalesced_in_ring;
+        self.stats.coalesced_in_batch += coalesced_in_batch;
+
+        IngestBatch {
+            readings,
+            delivered,
+            lagged,
+            coalesced_in_ring,
+            coalesced_in_batch,
+        }
+    }
+
+    /// Cumulative accounting across all drains.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Current ring capacity (grows under load).
+    pub fn capacity(&self) -> usize {
+        self.bus.capacity()
+    }
+
+    /// Ring capacity ceiling.
+    pub fn max_capacity(&self) -> usize {
+        self.bus.max_capacity()
+    }
+
+    /// Ring capacity doublings so far.
+    pub fn grown(&self) -> u64 {
+        self.bus.grown()
+    }
+}
+
+/// Adapter: the vendored serde has no blanket `Deserialize` for `Value`,
+/// so wire parsing keeps the raw tree and walks it by hand (optional
+/// fields and version gating need more than the derive offers anyway).
+struct RawValue(serde::Value);
+
+impl serde::Deserialize for RawValue {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(RawValue(v.clone()))
+    }
+}
+
+/// Parses a wire payload (trace object or bare readings array) into
+/// beacon events, validating version and finiteness.
+fn parse_wire(json: &str) -> Result<Vec<BeaconEvent>, WireError> {
+    let RawValue(root) = serde_json::from_str(json).map_err(|e| WireError::Json(e.to_string()))?;
+    let (version, readings) = match &root {
+        serde::Value::Array(items) => (WIRE_VERSION, items.as_slice()),
+        serde::Value::Object(_) => {
+            let version = match root.get("version") {
+                Some(v) => field_u32(v, "version")?,
+                None => return Err(WireError::Json("missing field `version`".into())),
+            };
+            if !(WIRE_MIN_VERSION..=WIRE_VERSION).contains(&version) {
+                return Err(WireError::UnsupportedVersion {
+                    found: version,
+                    min: WIRE_MIN_VERSION,
+                    max: WIRE_VERSION,
+                });
+            }
+            let readings = match root.get("readings") {
+                Some(serde::Value::Array(items)) => items.as_slice(),
+                Some(_) => return Err(WireError::Json("`readings` must be an array".into())),
+                None => return Err(WireError::Json("missing field `readings`".into())),
+            };
+            (version, readings)
+        }
+        _ => {
+            return Err(WireError::Json(
+                "payload must be a trace object or a readings array".into(),
+            ))
+        }
+    };
+
+    let mut events = Vec::with_capacity(readings.len());
+    for (index, r) in readings.iter().enumerate() {
+        let time = field_f64(r, "time", index)?;
+        let tag = field_u32_at(r, "tag", index)?;
+        let reader = field_u32_at(r, "reader", index)?;
+        let rssi = field_f64(r, "rssi", index)?;
+        let generation = match r.get("generation") {
+            Some(g) => {
+                if version < 2 {
+                    return Err(WireError::GenerationInV1 { index });
+                }
+                field_u32(g, "generation")?
+            }
+            None => 0,
+        };
+        if !time.is_finite() {
+            return Err(WireError::NotFinite {
+                field: "time",
+                index,
+            });
+        }
+        if !rssi.is_finite() {
+            return Err(WireError::NotFinite {
+                field: "rssi",
+                index,
+            });
+        }
+        events.push(BeaconEvent {
+            time,
+            tag: TagKey::new(tag, generation),
+            reader,
+            rssi,
+        });
+    }
+    Ok(events)
+}
+
+fn field_u32(v: &serde::Value, name: &str) -> Result<u32, WireError> {
+    use serde::Deserialize as _;
+    u32::from_value(v).map_err(|e| WireError::Json(format!("field `{name}`: {e}")))
+}
+
+fn field_u32_at(r: &serde::Value, name: &'static str, index: usize) -> Result<u32, WireError> {
+    let v = r
+        .get(name)
+        .ok_or_else(|| WireError::Json(format!("reading {index}: missing field `{name}`")))?;
+    field_u32(v, name)
+}
+
+fn field_f64(r: &serde::Value, name: &'static str, index: usize) -> Result<f64, WireError> {
+    use serde::Deserialize as _;
+    let v = r
+        .get(name)
+        .ok_or_else(|| WireError::Json(format!("reading {index}: missing field `{name}`")))?;
+    f64::from_value(v).map_err(|e| WireError::Json(format!("reading {index} `{name}`: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: f64, tag: u32, generation: u32, reader: u32, rssi: f64) -> BeaconEvent {
+        BeaconEvent {
+            time,
+            tag: TagKey::new(tag, generation),
+            reader,
+            rssi,
+        }
+    }
+
+    fn tiny() -> IngestFrontEnd {
+        IngestFrontEnd::new(IngestConfig {
+            initial_capacity: 2,
+            max_capacity: 4,
+            coalesce: true,
+        })
+    }
+
+    #[test]
+    fn drain_keeps_newest_per_tag_reader_run() {
+        let mut front = IngestFrontEnd::new(IngestConfig::default());
+        front.accept([
+            ev(0.0, 1, 0, 0, -60.0),
+            ev(0.1, 1, 0, 1, -62.0),
+            ev(0.2, 1, 0, 0, -61.0), // newer (1, r0): replaces the first
+            ev(0.3, 2, 0, 0, -70.0),
+            ev(0.4, 1, 0, 0, -59.5), // newest (1, r0)
+        ]);
+        let batch = front.drain();
+        assert_eq!(batch.delivered, 5);
+        assert_eq!(batch.coalesced_in_batch, 2);
+        assert_eq!(batch.lagged, 0);
+        assert_eq!(
+            batch.readings,
+            vec![
+                ev(0.1, 1, 0, 1, -62.0),
+                ev(0.3, 2, 0, 0, -70.0),
+                ev(0.4, 1, 0, 0, -59.5),
+            ],
+            "newest per key, in last-occurrence order"
+        );
+    }
+
+    #[test]
+    fn distinct_generations_never_merge() {
+        let mut front = IngestFrontEnd::new(IngestConfig::default());
+        front.accept([ev(0.0, 1, 0, 0, -60.0), ev(0.1, 1, 1, 0, -65.0)]);
+        let batch = front.drain();
+        assert_eq!(batch.readings.len(), 2, "lifetimes are distinct streams");
+        assert_eq!(batch.coalesced_in_batch, 0);
+    }
+
+    #[test]
+    fn overload_coalesces_in_ring_without_loss() {
+        let mut front = tiny();
+        // 12 events for 2 keys through a ring capped at 4: the ring must
+        // coalesce (never drop), and the drained batch still ends with
+        // the newest reading of each key.
+        for n in 0..12 {
+            front.accept([ev(n as f64, (n % 2) as u32, 0, 0, -60.0 - n as f64)]);
+        }
+        let batch = front.drain();
+        assert_eq!(batch.lagged, 0, "coalescing must prevent hard drops");
+        assert!(batch.coalesced_in_ring > 0);
+        let stats = front.stats();
+        assert_eq!(
+            stats.accepted,
+            stats.delivered + stats.lagged + stats.coalesced_in_ring,
+            "ring accounting must balance"
+        );
+        assert_eq!(batch.readings.len(), 2);
+        assert_eq!(batch.readings[1], ev(11.0, 1, 0, 0, -71.0));
+        assert_eq!(batch.readings[0], ev(10.0, 0, 0, 0, -70.0));
+    }
+
+    #[test]
+    fn accept_json_bare_array_and_trace_object() {
+        let mut front = IngestFrontEnd::new(IngestConfig::default());
+        let n = front
+            .accept_json(r#"[{"time": 0.5, "tag": 3, "reader": 1, "rssi": -58.25}]"#)
+            .unwrap();
+        assert_eq!(n, 1);
+        let n = front
+            .accept_json(
+                r#"{"version": 2, "readings": [
+                    {"time": 1.0, "tag": 3, "reader": 1, "rssi": -59.0, "generation": 2}
+                ]}"#,
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        let batch = front.drain();
+        assert_eq!(batch.readings.len(), 2, "generations stay distinct");
+        assert_eq!(batch.readings[0], ev(0.5, 3, 0, 1, -58.25));
+        assert_eq!(batch.readings[1], ev(1.0, 3, 2, 1, -59.0));
+    }
+
+    #[test]
+    fn accept_json_rejects_bad_payloads() {
+        let mut front = IngestFrontEnd::new(IngestConfig::default());
+        assert!(matches!(
+            front.accept_json("not json"),
+            Err(WireError::Json(_))
+        ));
+        assert_eq!(
+            front.accept_json(r#"{"version": 3, "readings": []}"#),
+            Err(WireError::UnsupportedVersion {
+                found: 3,
+                min: 1,
+                max: 2
+            })
+        );
+        assert_eq!(
+            front.accept_json(
+                r#"{"version": 1, "readings": [
+                    {"time": 0.0, "tag": 1, "reader": 0, "rssi": -60.0, "generation": 1}
+                ]}"#
+            ),
+            Err(WireError::GenerationInV1 { index: 0 })
+        );
+        assert_eq!(
+            front.accept_json(r#"[{"time": 0.0, "tag": 1, "reader": 0, "rssi": null}]"#),
+            Err(WireError::Json(
+                "reading 0 `rssi`: expected number, got Null".into()
+            ))
+        );
+        assert_eq!(
+            front.stats().accepted,
+            0,
+            "rejected payloads enqueue nothing"
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_bad_ring_shapes() {
+        assert!(IngestFrontEnd::try_new(IngestConfig {
+            initial_capacity: 0,
+            max_capacity: 4,
+            coalesce: true,
+        })
+        .is_err());
+        assert!(IngestFrontEnd::try_new(IngestConfig {
+            initial_capacity: 8,
+            max_capacity: 4,
+            coalesce: true,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn beacon_key_is_exact() {
+        let a = ev(0.0, 1, 0, 0, -60.0);
+        let b = ev(0.0, 0, 1, 0, -60.0);
+        let c = ev(0.0, 0, 0, 1, -60.0);
+        assert_ne!(beacon_key(&a), beacon_key(&b));
+        assert_ne!(beacon_key(&a), beacon_key(&c));
+        assert_ne!(beacon_key(&b), beacon_key(&c));
+        assert_eq!(beacon_key(&a), beacon_key(&ev(9.9, 1, 0, 0, -10.0)));
+    }
+}

@@ -47,6 +47,7 @@ pub mod elimination;
 pub mod ext;
 pub mod fabric;
 pub mod incremental;
+pub mod ingest;
 pub mod kalman;
 pub mod kernels;
 pub mod landmarc;
@@ -71,6 +72,9 @@ pub use fabric::{plan_waves, ShardAccess, StageAccess, ZoneFabric, ZoneStats};
 pub use incremental::{
     DirtyCell, OwnedPreparedLocalizer, PreparedLandmarcOwned, PreparedVireOwned, SyncOutcome,
 };
+pub use ingest::{
+    beacon_key, BeaconEvent, IngestBatch, IngestConfig, IngestFrontEnd, IngestStats, WireError,
+};
 pub use kalman::KalmanTracker;
 pub use landmarc::{Landmarc, LandmarcConfig};
 pub use localizer::{Estimate, LocalizeError, Localizer};
@@ -82,7 +86,10 @@ pub use prepared::{
 };
 pub use quality::{FixQuality, ScoredLocate};
 pub use scattered::{ScatteredLandmarc, ScatteredReferenceMap, ScatteredVire};
-pub use service::{LocationService, ServiceConfig, SyncStats, TagKey, TrackedEstimate};
+pub use service::{
+    LocationQuery, LocationService, QueryResponse, ServiceConfig, SyncStats, TagKey,
+    TrackedEstimate,
+};
 pub use tracking::PositionTracker;
 pub use types::{ReferenceRssiMap, TrackingReading};
 pub use vire_alg::{ThresholdMode, Vire, VireConfig};

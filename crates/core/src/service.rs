@@ -40,6 +40,64 @@ pub struct TrackedEstimate {
     pub sigma: (f64, f64),
 }
 
+/// A point-in-time location question about one tag lifetime, answerable
+/// between drives from the per-tag Kalman track state alone (no
+/// localization work, `&self` — queries never block ingestion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocationQuery {
+    /// The tag lifetime being asked about.
+    pub tag: TagKey,
+    /// Query time, absolute seconds (same clock as the snapshots).
+    pub at: f64,
+}
+
+/// The answer to a [`LocationQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// The tag has a live track updated within `stale_after`.
+    Fresh {
+        /// Dead-reckoned position at the query time (the Kalman state
+        /// propagated `age` seconds past its last update).
+        position: Point2,
+        /// Velocity estimate at the last update, m/s.
+        velocity: Vec2,
+        /// Position uncertainty (σx, σy) at the last update, m.
+        sigma: (f64, f64),
+        /// Seconds between the track's last update and the query time.
+        age: f64,
+    },
+    /// The tag was seen, but not recently: its track aged past
+    /// `stale_after`, or the lifetime was evicted/churned away. The last
+    /// filtered position is reported as-is (dead-reckoning a stale
+    /// velocity would extrapolate noise).
+    Stale {
+        /// Last filtered position before the track went stale.
+        position: Point2,
+        /// Seconds since that position was computed.
+        age: f64,
+    },
+    /// This tag lifetime was never tracked (or retired long ago).
+    Unknown,
+}
+
+/// Last known state of a retired track, kept so queries about an evicted
+/// or churned-away lifetime can answer `Stale { age }` instead of
+/// pretending the tag never existed. Bounded: one entry per slot, pruned
+/// by the amortized sweep once `RETIRED_HORIZON` sweeps-worth stale.
+#[derive(Debug, Clone, Copy)]
+struct RetiredTrack {
+    /// Lifetime the retired state belongs to.
+    generation: u32,
+    /// Time of the lifetime's last accepted snapshot.
+    last_update: f64,
+    /// Last filtered position.
+    position: Point2,
+}
+
+/// Retired entries outlive live tracks by this factor of `stale_after`
+/// before the sweep forgets them entirely.
+const RETIRED_HORIZON: f64 = 4.0;
+
 /// Service configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -101,6 +159,8 @@ pub struct LocationService<L: Localizer> {
     /// Dirty calibration cells drained from the stage but not yet fed to
     /// [`OwnedPreparedLocalizer::sync`].
     pending_dirty: Vec<DirtyCell>,
+    /// Tombstones of evicted/churned lifetimes, for `Stale` query answers.
+    retired: HashMap<u32, RetiredTrack>,
     sync_stats: SyncStats,
 }
 
@@ -137,7 +197,71 @@ impl<L: Localizer> LocationService<L> {
             prepared: None,
             pending: Vec::new(),
             pending_dirty: Vec::new(),
+            retired: HashMap::new(),
             sync_stats: SyncStats::default(),
+        }
+    }
+
+    /// Answers a location query from track state alone — no localization,
+    /// no mutation, `&self`: queries interleave freely with ingestion and
+    /// cost O(1).
+    ///
+    /// * a lifetime updated within `stale_after` answers
+    ///   [`QueryResponse::Fresh`] with its dead-reckoned position,
+    /// * a lifetime that aged out, was evicted, or lost its slot to a
+    ///   newer generation answers [`QueryResponse::Stale`] with its last
+    ///   filtered position and exact age,
+    /// * anything else is [`QueryResponse::Unknown`].
+    pub fn query(&self, q: LocationQuery) -> QueryResponse {
+        if let Some(track) = self.tracks.get(&q.tag.index) {
+            if track.generation == q.tag.generation {
+                let Some(position) = track.filter.position() else {
+                    return QueryResponse::Unknown;
+                };
+                let age = q.at - track.last_update;
+                if age <= self.config.stale_after {
+                    return QueryResponse::Fresh {
+                        position: track.filter.predict(age.max(0.0)).unwrap_or(position),
+                        velocity: track.filter.velocity().unwrap_or(Vec2::ZERO),
+                        sigma: track.filter.position_sigma().unwrap_or((0.0, 0.0)),
+                        age,
+                    };
+                }
+                return QueryResponse::Stale { position, age };
+            }
+            if track.generation < q.tag.generation {
+                // Asking about a lifetime newer than anything seen.
+                return QueryResponse::Unknown;
+            }
+            // The slot churned to a newer lifetime: fall through to the
+            // tombstone recorded when this lifetime lost the slot.
+        }
+        match self.retired.get(&q.tag.index) {
+            Some(r) if r.generation == q.tag.generation => QueryResponse::Stale {
+                position: r.position,
+                age: q.at - r.last_update,
+            },
+            _ => QueryResponse::Unknown,
+        }
+    }
+
+    /// Records a dropped track's last state so later queries about that
+    /// lifetime answer `Stale` rather than `Unknown`. A tombstone never
+    /// regresses to an older generation of the slot.
+    fn retire_into(retired: &mut HashMap<u32, RetiredTrack>, index: u32, track: &Track) {
+        let Some(position) = track.filter.position() else {
+            return;
+        };
+        let entry = RetiredTrack {
+            generation: track.generation,
+            last_update: track.last_update,
+            position,
+        };
+        match retired.get(&index) {
+            Some(old) if old.generation > entry.generation => {}
+            _ => {
+                retired.insert(index, entry);
+            }
         }
     }
 
@@ -293,6 +417,7 @@ impl<L: Localizer> LocationService<L> {
     pub fn evict(&mut self, tag: TagKey) {
         if let Some(track) = self.tracks.get(&tag.index) {
             if track.generation <= tag.generation {
+                Self::retire_into(&mut self.retired, tag.index, track);
                 self.tracks.remove(&tag.index);
             }
         }
@@ -331,6 +456,7 @@ impl<L: Localizer> LocationService<L> {
             if track.generation < tag.generation
                 || time - track.last_update > self.config.stale_after
             {
+                Self::retire_into(&mut self.retired, tag.index, track);
                 self.tracks.remove(&tag.index);
             }
         }
@@ -380,6 +506,7 @@ impl<L: Localizer> LocationService<L> {
     pub fn forget(&mut self, tag: TagKey) {
         if let Some(track) = self.tracks.get(&tag.index) {
             if track.generation <= tag.generation {
+                Self::retire_into(&mut self.retired, tag.index, track);
                 self.tracks.remove(&tag.index);
             }
         }
@@ -408,7 +535,17 @@ impl<L: Localizer> LocationService<L> {
             return;
         }
         let horizon = self.config.stale_after;
-        self.tracks.retain(|_, t| now - t.last_update <= horizon);
+        let retired = &mut self.retired;
+        self.tracks.retain(|&index, t| {
+            let keep = now - t.last_update <= horizon;
+            if !keep {
+                Self::retire_into(retired, index, t);
+            }
+            keep
+        });
+        // Tombstones are bounded too: queries about a lifetime retired
+        // more than RETIRED_HORIZON sweeps ago answer `Unknown`.
+        retired.retain(|_, r| now - r.last_update <= horizon * RETIRED_HORIZON);
         self.last_sweep = now;
     }
 }
@@ -705,6 +842,141 @@ mod tests {
         svc.forget(key(1));
         assert_eq!(svc.predict(key(1), 2.0), None);
         assert!(svc.tracked_tags().is_empty());
+    }
+
+    #[test]
+    fn query_fresh_dead_reckons_between_drives() {
+        let refs = map();
+        let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        svc.observe(0.0, key(1), &refs, &reading_at(Point2::new(0.8, 0.8)))
+            .unwrap();
+        svc.observe(2.0, key(1), &refs, &reading_at(Point2::new(1.2, 1.2)))
+            .unwrap();
+        let q = LocationQuery {
+            tag: key(1),
+            at: 3.0,
+        };
+        match svc.query(q) {
+            QueryResponse::Fresh { position, age, .. } => {
+                assert_eq!(age, 1.0);
+                assert_eq!(
+                    Some(position),
+                    svc.predict(key(1), 1.0),
+                    "a fresh answer is the dead-reckoned Kalman state"
+                );
+            }
+            other => panic!("expected Fresh, got {other:?}"),
+        }
+        // Unseen tags are Unknown, not invented.
+        assert_eq!(
+            svc.query(LocationQuery {
+                tag: key(9),
+                at: 3.0
+            }),
+            QueryResponse::Unknown
+        );
+    }
+
+    #[test]
+    fn query_stale_for_aged_and_evicted_tracks() {
+        let refs = map();
+        let cfg = ServiceConfig {
+            stale_after: 10.0,
+            ..ServiceConfig::default()
+        };
+        let mut svc = LocationService::new(Vire::default(), cfg);
+        svc.observe(0.0, key(1), &refs, &reading_at(Point2::new(1.0, 1.0)))
+            .unwrap();
+        let held = svc.position(key(1)).unwrap();
+        // Aged past stale_after but not yet swept: Stale with exact age.
+        assert_eq!(
+            svc.query(LocationQuery {
+                tag: key(1),
+                at: 25.0
+            }),
+            QueryResponse::Stale {
+                position: held,
+                age: 25.0
+            }
+        );
+        // Explicit eviction leaves a tombstone answering Stale too.
+        svc.evict(key(1));
+        assert_eq!(svc.position(key(1)), None);
+        assert_eq!(
+            svc.query(LocationQuery {
+                tag: key(1),
+                at: 30.0
+            }),
+            QueryResponse::Stale {
+                position: held,
+                age: 30.0
+            }
+        );
+    }
+
+    #[test]
+    fn query_answers_churned_lifetimes_from_tombstones() {
+        let refs = map();
+        let mut svc = LocationService::new(Vire::default(), ServiceConfig::default());
+        let old = TagKey::new(1, 0);
+        let new = TagKey::new(1, 1);
+        svc.observe(0.0, old, &refs, &reading_at(Point2::new(0.6, 0.6)))
+            .unwrap();
+        let old_pos = svc.position(old).unwrap();
+        // The slot churns to generation 1: the old lifetime's track is
+        // replaced, but queries about it answer Stale, not Unknown.
+        svc.observe(5.0, new, &refs, &reading_at(Point2::new(2.4, 2.4)))
+            .unwrap();
+        assert_eq!(
+            svc.query(LocationQuery { tag: old, at: 6.0 }),
+            QueryResponse::Stale {
+                position: old_pos,
+                age: 6.0
+            }
+        );
+        assert!(matches!(
+            svc.query(LocationQuery { tag: new, at: 6.0 }),
+            QueryResponse::Fresh { .. }
+        ));
+        // A lifetime newer than anything seen is Unknown.
+        assert_eq!(
+            svc.query(LocationQuery {
+                tag: TagKey::new(1, 2),
+                at: 6.0
+            }),
+            QueryResponse::Unknown
+        );
+    }
+
+    #[test]
+    fn tombstones_age_out_of_the_sweep() {
+        let refs = map();
+        let cfg = ServiceConfig {
+            stale_after: 10.0,
+            ..ServiceConfig::default()
+        };
+        let mut svc = LocationService::new(Vire::default(), cfg);
+        svc.observe(0.0, key(1), &refs, &reading_at(Point2::new(1.0, 1.0)))
+            .unwrap();
+        svc.forget(key(1));
+        assert!(matches!(
+            svc.query(LocationQuery {
+                tag: key(1),
+                at: 20.0
+            }),
+            QueryResponse::Stale { .. }
+        ));
+        // Keep the service alive far past the retired horizon (4×
+        // stale_after): the tombstone is pruned.
+        svc.observe(100.0, key(2), &refs, &reading_at(Point2::new(2.0, 2.0)))
+            .unwrap();
+        assert_eq!(
+            svc.query(LocationQuery {
+                tag: key(1),
+                at: 100.0
+            }),
+            QueryResponse::Unknown
+        );
     }
 
     #[test]

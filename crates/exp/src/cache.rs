@@ -44,7 +44,9 @@ use vire_sim::TestbedConfig;
 /// file. Bump when the canonical encoding or the trial contents change
 /// meaning: old corpus entries then miss instead of deserializing into
 /// silently wrong fixtures.
-const FORMAT_VERSION: u32 = 1;
+///
+/// v2: `TestbedConfig::reader_antennas` joined the fingerprint stream.
+const FORMAT_VERSION: u32 = 2;
 
 /// A fixture's content address: the stable 128-bit digest of its
 /// canonical bytes.

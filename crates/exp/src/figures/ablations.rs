@@ -316,6 +316,13 @@ pub fn channel_fidelity(seeds: &[u64]) -> AblationResult {
 
 /// Reader placement & antenna ablation (§6: "the placement of these
 /// readers to the performance of VIRE").
+///
+/// Antenna patterns ride in `TestbedConfig::reader_antennas`, so every
+/// variant is a plain configuration and the study flows through the
+/// content-addressed [`crate::cache::TrialCache`] like any other — each
+/// (layout, antenna, seed) fixture simulates once per run and directional
+/// variants can never collide with omni ones (the fingerprint covers the
+/// patterns; pinned by `tests/trial_cache.rs`).
 pub fn reader_placement(seeds: &[u64]) -> AblationResult {
     use vire_radio::antenna::AntennaPattern;
     let env = env3();
@@ -323,55 +330,40 @@ pub fn reader_placement(seeds: &[u64]) -> AblationResult {
     let vire = Vire::default();
     let center = Point2::new(1.5, 1.5);
 
-    // (label, reader positions, directional?)
     let corner = Deployment::paper_testbed().readers;
+    let inward: Vec<AntennaPattern> = corner
+        .iter()
+        .map(|&r| AntennaPattern::cardioid(center - r))
+        .collect();
     let mid_edge = vec![
         Point2::new(1.5, -1.0),
         Point2::new(4.0, 1.5),
         Point2::new(1.5, 4.0),
         Point2::new(-1.0, 1.5),
     ];
-    let layouts: [(&str, Vec<Point2>, bool); 3] = [
-        ("corners, omni", corner.clone(), false),
-        ("corners, inward cardioid", corner, true),
-        ("edge midpoints, omni", mid_edge, false),
+    // (label, reader positions, antenna patterns; empty = all omni)
+    let layouts: [(&str, Vec<Point2>, Vec<AntennaPattern>); 3] = [
+        ("corners, omni", corner.clone(), Vec::new()),
+        ("corners, inward cardioid", corner, inward),
+        ("edge midpoints, omni", mid_edge, Vec::new()),
     ];
-    let variants = parallel_sweep(&layouts, |(label, readers, directional)| {
-        let per_seed: Vec<Vec<f64>> = seeds
+    let variants = parallel_sweep(&layouts, |(label, readers, antennas)| {
+        let configs: Vec<TestbedConfig> = seeds
             .iter()
             .map(|&seed| {
                 let mut deployment = Deployment::paper_testbed();
                 deployment.readers = readers.clone();
-                let config = TestbedConfig {
+                TestbedConfig {
                     deployment,
+                    reader_antennas: antennas.clone(),
                     ..TestbedConfig::paper(env.clone(), seed)
-                };
-                let mut tb = vire_sim::Testbed::new(config);
-                if *directional {
-                    for (k, &r) in readers.iter().enumerate() {
-                        tb.set_reader_antenna(k, AntennaPattern::cardioid(center - r));
-                    }
                 }
-                let ids: Vec<_> = positions.iter().map(|&p| tb.add_tracking_tag(p)).collect();
-                tb.run_for(tb.warmup_duration() * 2.0);
-                let map = tb.reference_map().expect("warmed up");
-                // One map per seed/layout: prepare once, query per tag.
-                let prepared = Localizer::prepare(&vire, &map);
-                ids.iter()
-                    .zip(&positions)
-                    .map(|(&id, &truth)| {
-                        tb.tracking_reading(id)
-                            .and_then(|r| prepared.locate(&r).ok())
-                            .map(|e| e.error(truth))
-                            .unwrap_or(f64::NAN)
-                    })
-                    .collect()
             })
             .collect();
-        let avg = crate::runner::average_ignoring_nan(&per_seed, positions.len());
+        let set = TrialSet::collect_configs(&configs, &positions);
         VariantError {
             name: label.to_string(),
-            error: avg.iter().sum::<f64>() / avg.len() as f64,
+            error: mean_over(&set, &vire),
         }
     });
     AblationResult {

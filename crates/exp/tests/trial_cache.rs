@@ -165,6 +165,18 @@ fn every_knob_moves_the_fixture_key() {
             ..base.clone()
         },
     );
+    push(
+        "reader_antennas",
+        TestbedConfig {
+            reader_antennas: base
+                .deployment
+                .readers
+                .iter()
+                .map(|&r| vire_radio::antenna::AntennaPattern::cardioid(Point2::new(1.5, 1.5) - r))
+                .collect(),
+            ..base.clone()
+        },
+    );
 
     for (label, variant) in &variants {
         assert_ne!(

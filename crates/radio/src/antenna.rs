@@ -54,6 +54,25 @@ impl AntennaPattern {
     }
 }
 
+impl vire_geom::Fingerprint for AntennaPattern {
+    /// Canonical bytes: a stable one-byte variant tag, then the variant's
+    /// fields in declaration order. Tags are part of the on-disk cache-key
+    /// format — never renumber them.
+    fn fingerprint<H: std::hash::Hasher>(&self, h: &mut H) {
+        match *self {
+            AntennaPattern::Omni => h.write_u8(0),
+            AntennaPattern::Cardioid {
+                boresight,
+                back_lobe_db,
+            } => {
+                h.write_u8(1);
+                boresight.fingerprint(h);
+                back_lobe_db.fingerprint(h);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,7 @@ use vire_bus::{BusRead, EventBus, ReaderToken};
 use vire_core::{DirtyCell, ReferenceRssiMap, SnapshotSource, TrackingReading};
 use vire_env::{Deployment, Environment, Obstacle, Wall};
 use vire_geom::{GridIndex, HandleAllocator, Point2};
+use vire_radio::antenna::AntennaPattern;
 use vire_radio::quantize::PowerLevelQuantizer;
 use vire_radio::{LinkBudget, LinkBudgetCache, LinkBudgetStats, RfChannel};
 
@@ -56,6 +57,12 @@ pub struct TestbedConfig {
     /// way (pinned by `tests/channel_cache.rs`); disabling is useful only
     /// as the reference arm of that comparison.
     pub link_budget_cache: bool,
+    /// Per-reader antenna patterns, parallel to `deployment.readers`.
+    /// Empty means every reader is omnidirectional. Because this lives in
+    /// the config (and its fingerprint), antenna ablations are
+    /// cache-addressable: two placements differing only in patterns get
+    /// distinct fixture keys instead of sharing a stale trial.
+    pub reader_antennas: Vec<AntennaPattern>,
 }
 
 impl TestbedConfig {
@@ -75,6 +82,7 @@ impl TestbedConfig {
             tag_gain_sigma: 0.0,
             event_capacity: 4096,
             link_budget_cache: true,
+            reader_antennas: Vec::new(),
         }
     }
 
@@ -110,6 +118,7 @@ impl vire_geom::Fingerprint for TestbedConfig {
         self.tag_gain_sigma.fingerprint(h);
         self.event_capacity.fingerprint(h);
         self.link_budget_cache.fingerprint(h);
+        self.reader_antennas.fingerprint(h);
     }
 }
 
@@ -178,14 +187,26 @@ impl Testbed {
             config.event_capacity >= config.deployment.readers.len(),
             "event bus must hold at least one beacon's readings"
         );
+        assert!(
+            config.reader_antennas.is_empty()
+                || config.reader_antennas.len() == config.deployment.readers.len(),
+            "reader_antennas must cover every reader (or be empty for all-omni)"
+        );
         let channel = RfChannel::new(config.environment.channel_params(config.seed));
-        let readers: Vec<Reader> = config
+        let mut readers: Vec<Reader> = config
             .deployment
             .readers
             .iter()
             .enumerate()
             .map(|(k, &p)| Reader::new(ReaderId(k as u32), p))
             .collect();
+        // Link budgets are pure geometry, so dressing the readers before
+        // the first warm_links is bit-identical to calling
+        // `set_reader_antenna` per reader afterwards — minus the wasted
+        // omni warm-up.
+        for (reader, &antenna) in readers.iter_mut().zip(&config.reader_antennas) {
+            reader.antenna = antenna;
+        }
         let quantizer = config
             .legacy_power_levels
             .then(PowerLevelQuantizer::paper_default);
@@ -413,6 +434,12 @@ impl Testbed {
     /// Panics when `k` is out of range.
     pub fn set_reader_antenna(&mut self, k: usize, antenna: vire_radio::antenna::AntennaPattern) {
         self.readers[k].antenna = antenna;
+        // Record the change in the config (as `add_wall` does for the
+        // environment) so the live fingerprint tracks the live physics.
+        if self.config.reader_antennas.is_empty() {
+            self.config.reader_antennas = vec![AntennaPattern::Omni; self.readers.len()];
+        }
+        self.config.reader_antennas[k] = antenna;
         // Every link into this reader now has a different receive gain;
         // drop exactly that column (refilled lazily on the next beacons).
         if let Some(cache) = &mut self.budget_cache {

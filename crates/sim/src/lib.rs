@@ -43,6 +43,7 @@ pub mod middleware;
 pub mod multizone;
 pub mod pipeline;
 pub mod reader;
+pub mod serve;
 pub mod smoothing;
 pub mod tag;
 pub mod trace;
@@ -52,7 +53,10 @@ pub use middleware::{Middleware, Reading};
 pub use multizone::MultiZoneTestbed;
 pub use pipeline::{MiddlewareStage, PumpStats};
 pub use reader::ReaderId;
+pub use serve::{DriveReport, IngestServer, ServeConfig};
 pub use smoothing::{SmoothingError, SmoothingKind};
 pub use tag::{TagId, TagRole};
 pub use trace::Trace;
-pub use vire_bus::{BusRead, EventBus, ReaderToken, ShardReaderToken, ShardedBus};
+pub use vire_bus::{
+    BackPressure, BusError, BusRead, EventBus, ReaderToken, ShardReaderToken, ShardedBus,
+};

@@ -27,7 +27,7 @@ use crate::tag::TagId;
 use serde::{Deserialize, Serialize};
 use std::io::{Read as _, Write as _};
 use std::path::Path;
-use vire_geom::Point2;
+use vire_geom::{GridIndex, Point2, RegularGrid};
 
 /// Schema version of the trace format (see the [module docs](self) for
 /// the version history).
@@ -277,6 +277,79 @@ impl Trace {
             .iter()
             .map(|&(x, y)| Point2::new(x, y))
             .collect()
+    }
+
+    /// Reconstructs the reference deployment the trace was captured on:
+    /// the regular lattice its reference-tag positions lie on, and each
+    /// reference slot's lattice node. This is what lets a bare trace file
+    /// stand up a full serving pipeline ([`crate::serve::IngestServer`])
+    /// without shipping the original [`TestbedConfig`](crate::TestbedConfig)
+    /// alongside it.
+    ///
+    /// The lattice is inferred as: origin at the minimum coordinate on
+    /// each axis, pitch the smallest positive coordinate step, extent the
+    /// number of distinct coordinates. Fails with
+    /// [`TraceError::Invalid`] when the positions do not tile a full
+    /// regular lattice (missing nodes, duplicate slots, uneven pitch).
+    pub fn infer_deployment(&self) -> Result<(RegularGrid, Vec<(u32, GridIndex)>), TraceError> {
+        if self.reference_tags.is_empty() {
+            return Err(TraceError::Invalid(
+                "no reference tags to infer a lattice from".into(),
+            ));
+        }
+        let mut xs: Vec<f64> = self.reference_tags.iter().map(|&(_, (x, _))| x).collect();
+        let mut ys: Vec<f64> = self.reference_tags.iter().map(|&(_, (_, y))| y).collect();
+        for axis in [&mut xs, &mut ys] {
+            axis.sort_by(f64::total_cmp);
+            axis.dedup();
+        }
+        let min_step = |axis: &[f64]| {
+            axis.windows(2)
+                .map(|w| w[1] - w[0])
+                .fold(f64::INFINITY, f64::min)
+        };
+        // A single-row or single-column capture has no pitch along the
+        // degenerate axis; any positive value works there (nothing is ever
+        // interpolated along it), so borrow the other axis's.
+        let (sx, sy) = (min_step(&xs), min_step(&ys));
+        let px = if sx.is_finite() {
+            sx
+        } else if sy.is_finite() {
+            sy
+        } else {
+            1.0
+        };
+        let py = if sy.is_finite() { sy } else { px };
+        let grid = RegularGrid::new(Point2::new(xs[0], ys[0]), px, py, xs.len(), ys.len());
+        if grid.node_count() != self.reference_tags.len() {
+            return Err(TraceError::Invalid(format!(
+                "{} reference tags do not fill a {}x{} lattice",
+                self.reference_tags.len(),
+                xs.len(),
+                ys.len()
+            )));
+        }
+        let tol = 1e-6 * px.max(py);
+        let mut nodes = Vec::with_capacity(self.reference_tags.len());
+        let mut seen = vec![false; grid.node_count()];
+        for &(slot, (x, y)) in &self.reference_tags {
+            let idx = grid.nearest_node(Point2::new(x, y));
+            let p = grid.position(idx);
+            if (p.x - x).abs() > tol || (p.y - y).abs() > tol {
+                return Err(TraceError::Invalid(format!(
+                    "reference tag {slot} at ({x}, {y}) is off-lattice"
+                )));
+            }
+            let flat = grid.flat(idx);
+            if std::mem::replace(&mut seen[flat], true) {
+                return Err(TraceError::Invalid(format!(
+                    "two reference tags share lattice node ({}, {})",
+                    idx.i, idx.j
+                )));
+            }
+            nodes.push((slot, idx));
+        }
+        Ok((grid, nodes))
     }
 }
 

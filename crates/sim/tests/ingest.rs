@@ -1,0 +1,244 @@
+//! The serving-pipeline acceptance pin: driving a capture through the
+//! burst-coalescing [`vire_sim::IngestServer`] — constrained ring, forced
+//! growth, forced back-pressure coalescing — produces `f64::to_bits`
+//! **identical** localization to replaying only the surviving readings
+//! through a plain bus → stage → service pipeline, across all four
+//! interpolation kernels. Coalescing may drop superseded beacons; it must
+//! never change a number.
+
+use std::collections::HashMap;
+use vire_core::{
+    BeaconEvent, InterpolationKernel, LocalizeError, LocationQuery, LocationService, QueryResponse,
+    ServiceConfig, TagKey, TrackedEstimate, Vire, VireConfig,
+};
+use vire_geom::Point2;
+use vire_sim::trace::TraceReading;
+use vire_sim::{
+    EventBus, IngestServer, Middleware, MiddlewareStage, ServeConfig, SmoothingKind, TagId,
+    Testbed, TestbedConfig, Trace,
+};
+
+type DriveResult = Vec<(TagKey, Result<TrackedEstimate, LocalizeError>)>;
+
+fn vire(kernel: InterpolationKernel) -> Vire {
+    Vire::new(VireConfig {
+        kernel,
+        ..VireConfig::default()
+    })
+}
+
+/// A 40 s paper-testbed capture with one tracking tag that relocates
+/// halfway through, so drives cover both steady tracking and a step.
+fn capture() -> Trace {
+    let mut cfg = TestbedConfig::paper(vire_env::presets::env2(), 11);
+    cfg.keep_log = true;
+    let mut tb = Testbed::new(cfg);
+    let id = tb.add_tracking_tag(Point2::new(1.2, 1.1));
+    tb.run_for(20.0);
+    tb.move_tag(id, Point2::new(2.0, 2.3));
+    tb.run_for(20.0);
+    tb.export_trace("ingest oracle capture")
+}
+
+fn to_beacon(r: &TraceReading) -> BeaconEvent {
+    BeaconEvent {
+        time: r.time,
+        tag: TagKey::new(r.tag, r.generation),
+        reader: r.reader,
+        rssi: r.rssi,
+    }
+}
+
+/// Independent re-statement of the front end's coalescing contract:
+/// newest reading per `(tag lifetime, reader)`, in last-occurrence order.
+fn surviving(chunk: &[TraceReading]) -> Vec<TraceReading> {
+    let mut latest: HashMap<(u32, u32, u32), usize> = HashMap::new();
+    let mut keep: Vec<Option<TraceReading>> = Vec::with_capacity(chunk.len());
+    for &r in chunk {
+        if let Some(prev) = latest.insert((r.tag, r.generation, r.reader), keep.len()) {
+            keep[prev] = None;
+        }
+        keep.push(Some(r));
+    }
+    keep.into_iter().flatten().collect()
+}
+
+fn bits(results: &DriveResult) -> Vec<(TagKey, Result<Vec<u64>, String>)> {
+    results
+        .iter()
+        .map(|(tag, r)| {
+            let payload = match r {
+                Ok(e) => Ok(vec![
+                    e.position.x.to_bits(),
+                    e.position.y.to_bits(),
+                    e.velocity.x.to_bits(),
+                    e.velocity.y.to_bits(),
+                    e.sigma.0.to_bits(),
+                    e.sigma.1.to_bits(),
+                    e.raw.position.x.to_bits(),
+                    e.raw.position.y.to_bits(),
+                ]),
+                Err(e) => Err(format!("{e:?}")),
+            };
+            (*tag, payload)
+        })
+        .collect()
+}
+
+#[test]
+fn coalesced_ingest_is_bit_identical_to_replaying_survivors() {
+    let trace = capture();
+    assert!(trace.readings.len() > 1000, "capture too small to stress");
+    // Bursts of ~5 beacon rounds: several same-key duplicates per chunk,
+    // and far more events than the ring ceiling below.
+    let chunks: Vec<&[TraceReading]> = trace.readings.chunks(340).collect();
+
+    for kernel in InterpolationKernel::ALL {
+        // Serving arm: tiny ring forced to grow 8 → 128, then coalesce.
+        let mut server = IngestServer::from_trace(
+            &trace,
+            vire(kernel),
+            ServeConfig {
+                ingest: vire_core::IngestConfig {
+                    initial_capacity: 8,
+                    max_capacity: 128,
+                    coalesce: true,
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .expect("paper testbed trace infers its own deployment");
+
+        // Oracle arm: a plain pipeline with a ring big enough to never
+        // coalesce or drop, fed only the surviving readings.
+        let (grid, nodes) = trace.infer_deployment().unwrap();
+        let mut bus = EventBus::with_capacity(8192);
+        let mut stage = MiddlewareStage::new(
+            Middleware::new(SmoothingKind::default(), false),
+            grid,
+            trace.reader_positions(),
+            bus.reader(),
+        );
+        for (slot, idx) in nodes {
+            stage.pin_reference(idx, TagId::first(slot));
+        }
+        let mut oracle = LocationService::new(vire(kernel), ServiceConfig::default());
+
+        for chunk in &chunks {
+            let accepted = server.accept(chunk.iter().map(to_beacon));
+            assert_eq!(accepted, chunk.len());
+            let report = server.drive();
+            assert_eq!(report.lagged, 0, "coalescing must prevent hard drops");
+
+            let survivors = surviving(chunk);
+            assert_eq!(
+                report.delivered,
+                survivors.len(),
+                "front end must deliver exactly the surviving readings"
+            );
+            assert_eq!(
+                report.coalesced,
+                (chunk.len() - survivors.len()) as u64,
+                "every superseded reading must be counted"
+            );
+            for s in survivors {
+                bus.publish(s.into());
+            }
+            stage.pump(&bus);
+            let expect = oracle.drive(&mut stage);
+            assert_eq!(
+                bits(&report.results),
+                bits(&expect),
+                "kernel {kernel:?}: coalesced drive diverged from survivor replay"
+            );
+        }
+
+        // The constrained ring really was stressed: it grew to its
+        // ceiling and back-pressure coalescing fired.
+        assert!(server.grown() >= 4, "ring never grew: {}", server.grown());
+        let stats = server.ingest_stats();
+        assert!(
+            stats.coalesced_in_ring > 0,
+            "ring back-pressure never coalesced"
+        );
+        assert_eq!(stats.lagged, 0);
+        assert_eq!(server.internal_lag(), 0);
+        assert_eq!(
+            stats.accepted,
+            stats.delivered + stats.lagged + stats.coalesced_in_ring,
+            "ingest accounting must balance"
+        );
+    }
+}
+
+#[test]
+fn server_answers_queries_between_drives() {
+    let trace = capture();
+    let mut server = IngestServer::from_trace(
+        &trace,
+        vire(InterpolationKernel::Linear),
+        ServeConfig::default(),
+    )
+    .unwrap();
+
+    let tracking = TagKey::new(16, 0); // 16 reference slots, then the tag
+    let mut last_time = 0.0f64;
+    for chunk in trace.readings.chunks(500) {
+        server.accept(chunk.iter().map(to_beacon));
+        let report = server.drive();
+        assert!(report.lagged == 0);
+        last_time = chunk.last().unwrap().time;
+    }
+    match server.query(LocationQuery {
+        tag: tracking,
+        at: last_time,
+    }) {
+        QueryResponse::Fresh { position, age, .. } => {
+            assert!(age <= 0.0 + 1e-9, "query at newest snapshot time");
+            assert!(position.x.is_finite() && position.y.is_finite());
+        }
+        other => panic!("tracked tag must answer Fresh, got {other:?}"),
+    }
+    assert_eq!(
+        server.query(LocationQuery {
+            tag: TagKey::new(99, 0),
+            at: last_time,
+        }),
+        QueryResponse::Unknown
+    );
+}
+
+#[test]
+fn server_ingests_trace_json_wholesale() {
+    let trace = capture();
+    let mut server = IngestServer::from_trace(
+        &trace,
+        vire(InterpolationKernel::Linear),
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let accepted = server.accept_json(&trace.to_json()).unwrap();
+    assert_eq!(accepted, trace.readings.len());
+    let report = server.drive();
+    assert!(report.delivered > 0);
+    assert_eq!(
+        report.delivered as u64 + report.lagged + report.coalesced,
+        accepted as u64
+    );
+}
+
+/// The core crate's wire-format constants mirror the sim crate's trace
+/// schema constants — they describe the same JSON. If one moves without
+/// the other, ingest would accept (or reject) versions the trace format
+/// does not.
+#[test]
+fn wire_versions_track_trace_versions() {
+    assert_eq!(
+        vire_core::ingest::WIRE_VERSION,
+        vire_sim::trace::TRACE_VERSION
+    );
+    assert_eq!(
+        vire_core::ingest::WIRE_MIN_VERSION,
+        vire_sim::trace::TRACE_MIN_VERSION
+    );
+}

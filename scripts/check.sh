@@ -49,6 +49,12 @@ cargo test -q -p vire-exp --test trial_cache
 echo "==> cargo test (zone-fabric shard bit-identity)"
 cargo test -q -p vire-sim --test fabric
 
+# Burst coalescing is pure loss policy: a coalesced serve drive must be
+# bit-identical to replaying only the surviving readings, on every
+# kernel, and no reading may ever be lost silently.
+echo "==> cargo test (ingest coalescing oracle)"
+cargo test -q -p vire-sim --test ingest
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
@@ -91,6 +97,33 @@ done
 if [[ "$fail" -ne 0 ]]; then
   echo "bench speedup gate failed" >&2
   exit 1
+fi
+
+# Serving gates: overload coalescing must beat naive oldest-drop on
+# accuracy (coalesce_vs_drop >= 1.0), and the O(1) query path must stay
+# under its recorded p999 bound — a query that started scanning or
+# draining ingest state would blow through it.
+if [[ -f BENCH_service_latency.json ]]; then
+  echo "==> service latency gate"
+  num() {
+    grep -o "\"$1\"[[:space:]]*:[[:space:]]*[0-9.eE+-]*" BENCH_service_latency.json \
+      | head -1 | sed 's/.*:[[:space:]]*//'
+  }
+  ratio=$(num coalesce_vs_drop)
+  p999=$(num p999_per_query_us)
+  bound=$(num p999_per_query_us_bound)
+  if [[ -z "$ratio" || -z "$p999" || -z "$bound" ]]; then
+    echo "REGRESSION: BENCH_service_latency.json is missing gated fields" >&2
+    exit 1
+  fi
+  if [[ $(awk -v v="$ratio" 'BEGIN { print (v >= 1.0) ? 1 : 0 }') != 1 ]]; then
+    echo "REGRESSION: coalesce_vs_drop = $ratio (< 1.0)" >&2
+    exit 1
+  fi
+  if [[ $(awk -v p="$p999" -v b="$bound" 'BEGIN { print (p <= b) ? 1 : 0 }') != 1 ]]; then
+    echo "REGRESSION: p999_per_query_us = $p999 exceeds bound $bound" >&2
+    exit 1
+  fi
 fi
 
 echo "tier-1: all checks passed"

@@ -3,11 +3,17 @@
 //! ```text
 //! vire-repro <figure> [--seeds SPEC] [--corpus DIR] [--json]
 //! vire-repro all [--seeds SPEC] [--corpus DIR]
+//! vire-repro serve [--trace FILE] [--seeds SPEC] [--json]
 //! vire-repro list
 //! ```
 //!
 //! Figures: `fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablations`, plus the
 //! multi-zone `campus` and tag-`churn` extensions.
+//!
+//! `serve` stands up the burst-coalescing serving pipeline
+//! ([`vire::sim::IngestServer`]) from a trace file (or a freshly captured
+//! demo trace), replays the readings in bursts, and reports the loss
+//! accounting plus a final location query per tracking tag.
 //!
 //! Every figure collects its simulated trials through the process-wide
 //! [`vire::exp::TrialCache`], so a fixture shared between figures (fig7,
@@ -27,6 +33,7 @@ struct Options {
     command: String,
     seeds: Vec<u64>,
     json: bool,
+    trace: Option<String>,
 }
 
 /// Parses a `--seeds` spec: a count `N` (seeds 1..=N), an inclusive range
@@ -60,6 +67,7 @@ fn parse_args() -> Result<Options, String> {
         .ok_or("missing command; try `vire-repro list`")?;
     let mut seeds: Vec<u64> = (1..=10).collect();
     let mut json = false;
+    let mut trace: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seeds" => {
@@ -72,6 +80,7 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--corpus {dir}: {e}"))?;
             }
             "--json" => json = true,
+            "--trace" => trace = Some(args.next().ok_or("--trace needs a file path")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -79,6 +88,7 @@ fn parse_args() -> Result<Options, String> {
         command,
         seeds,
         json,
+        trace,
     })
 }
 
@@ -210,6 +220,105 @@ fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays a trace through the serving pipeline in bursts and reports
+/// the ingest accounting plus a final query per tracking tag. Captures a
+/// demo trace from the paper testbed (seeded by the first `--seeds`
+/// entry) when no `--trace` file is given.
+fn run_serve(seeds: &[u64], trace_path: Option<&str>, json: bool) -> Result<(), String> {
+    use vire::core::{LocationQuery, QueryResponse, TagKey, Vire};
+    use vire::geom::Point2;
+    use vire::sim::{IngestServer, ServeConfig, Testbed, TestbedConfig, Trace};
+
+    let trace = match trace_path {
+        Some(path) => Trace::load(path).map_err(|e| format!("--trace {path}: {e}"))?,
+        None => {
+            let seed = seeds.first().copied().unwrap_or(1);
+            let mut cfg = TestbedConfig::paper(vire::env::presets::env2(), seed);
+            cfg.keep_log = true;
+            let mut tb = Testbed::new(cfg);
+            tb.add_tracking_tag(Point2::new(1.2, 1.1));
+            tb.add_tracking_tag(Point2::new(2.1, 2.3));
+            tb.run_for(60.0);
+            tb.export_trace(format!("demo capture, paper testbed, seed {seed}"))
+        }
+    };
+
+    let mut server = IngestServer::from_trace(&trace, Vire::default(), ServeConfig::default())
+        .map_err(|e| format!("trace deployment: {e}"))?;
+
+    // Every non-reference lifetime seen in the log is a queryable tag.
+    let mut tracking: Vec<TagKey> = Vec::new();
+    for r in &trace.readings {
+        let key = TagKey::new(r.tag, r.generation);
+        if !trace.reference_tags.iter().any(|&(slot, _)| slot == r.tag) && !tracking.contains(&key)
+        {
+            tracking.push(key);
+        }
+    }
+
+    let mut drives = 0u64;
+    let mut localized = 0usize;
+    for chunk in trace.readings.chunks(512) {
+        let events = chunk.iter().map(|r| vire::core::BeaconEvent {
+            time: r.time,
+            tag: TagKey::new(r.tag, r.generation),
+            reader: r.reader,
+            rssi: r.rssi,
+        });
+        server.accept(events);
+        let report = server.drive();
+        drives += 1;
+        localized += report.results.len();
+    }
+
+    let stats = server.ingest_stats();
+    let now = trace.readings.last().map(|r| r.time).unwrap_or(0.0);
+    println!("serve: \"{}\"", trace.description);
+    println!(
+        "  {} readings in {} bursts -> {} delivered, {} coalesced, {} dropped \
+         (ring {} / ceiling {}, grew {}x), {} localizations",
+        stats.accepted,
+        drives,
+        stats.delivered - stats.coalesced_in_batch,
+        stats.coalesced_in_ring + stats.coalesced_in_batch,
+        stats.lagged,
+        server.capacity(),
+        server.front_max_capacity(),
+        server.grown(),
+        localized,
+    );
+    for &tag in &tracking {
+        match server.query(LocationQuery { tag, at: now }) {
+            QueryResponse::Fresh { position, age, .. } => {
+                println!(
+                    "  {tag}: ({:.3}, {:.3}) m, {age:.1} s old",
+                    position.x, position.y
+                )
+            }
+            QueryResponse::Stale { position, age } => println!(
+                "  {tag}: stale ({:.3}, {:.3}) m, {age:.1} s old",
+                position.x, position.y
+            ),
+            QueryResponse::Unknown => println!("  {tag}: unknown"),
+        }
+    }
+    if json {
+        println!(
+            "{{\"accepted\": {}, \"delivered\": {}, \"coalesced\": {}, \"lagged\": {}, \
+             \"grown\": {}, \"drives\": {}, \"localized\": {}, \"tracking_tags\": {}}}",
+            stats.accepted,
+            stats.delivered - stats.coalesced_in_batch,
+            stats.coalesced_in_ring + stats.coalesced_in_batch,
+            stats.lagged,
+            server.grown(),
+            drives,
+            localized,
+            tracking.len(),
+        );
+    }
+    Ok(())
+}
+
 const ALL: [&str; 14] = [
     "fig2",
     "fig3",
@@ -253,6 +362,9 @@ fn main() -> ExitCode {
         "list" => {
             println!("figures: {}", ALL.join(" "));
             println!("usage:   vire-repro <figure|all> [--seeds SPEC] [--corpus DIR] [--json]");
+            println!("         vire-repro serve [--trace FILE] [--seeds SPEC] [--json]");
+            println!("serve:   replays FILE (or a fresh demo capture) through the burst-");
+            println!("         coalescing ingest server and reports loss accounting + queries.");
             println!("seeds:   SPEC is a count `N` (seeds 1..=N), an inclusive range `A..B`,");
             println!("         or a comma list `S1,S2,...`; figures average over all of them.");
             println!("         cdf/heatmap derive per-batch seeds as `first_seed + batch_index`;");
@@ -261,6 +373,13 @@ fn main() -> ExitCode {
             println!("         content fingerprint; later runs load instead of simulating.");
             ExitCode::SUCCESS
         }
+        "serve" => match run_serve(&opts.seeds, opts.trace.as_deref(), opts.json) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("vire-repro: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "all" => {
             let mut before = TrialCache::global().stats();
             for name in ALL {
