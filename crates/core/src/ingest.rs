@@ -299,8 +299,10 @@ impl serde::Deserialize for RawValue {
 }
 
 /// Parses a wire payload (trace object or bare readings array) into
-/// beacon events, validating version and finiteness.
-fn parse_wire(json: &str) -> Result<Vec<BeaconEvent>, WireError> {
+/// beacon events, validating version and finiteness. Public so
+/// transports can decode-and-validate *before* accepting into a front
+/// end (a rejected payload must never strand accepted events).
+pub fn parse_wire(json: &str) -> Result<Vec<BeaconEvent>, WireError> {
     let RawValue(root) = serde_json::from_str(json).map_err(|e| WireError::Json(e.to_string()))?;
     let (version, readings) = match &root {
         serde::Value::Array(items) => (WIRE_VERSION, items.as_slice()),

@@ -83,7 +83,7 @@ pub enum QueryResponse {
 /// Last known state of a retired track, kept so queries about an evicted
 /// or churned-away lifetime can answer `Stale { age }` instead of
 /// pretending the tag never existed. Bounded: one entry per slot, pruned
-/// by the amortized sweep once `RETIRED_HORIZON` sweeps-worth stale.
+/// by the amortized sweep once `retired_horizon` sweeps-worth stale.
 #[derive(Debug, Clone, Copy)]
 struct RetiredTrack {
     /// Lifetime the retired state belongs to.
@@ -94,10 +94,6 @@ struct RetiredTrack {
     position: Point2,
 }
 
-/// Retired entries outlive live tracks by this factor of `stale_after`
-/// before the sweep forgets them entirely.
-const RETIRED_HORIZON: f64 = 4.0;
-
 /// Service configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -107,6 +103,12 @@ pub struct ServiceConfig {
     pub measurement_noise: f64,
     /// Tracks with no update for this many seconds are dropped.
     pub stale_after: f64,
+    /// Retired-track tombstones outlive live tracks by this factor of
+    /// `stale_after` before the sweep forgets them entirely (a
+    /// [`QueryResponse::Stale`] answer becomes `Unknown` past it). A
+    /// runtime knob so serving benches can sweep the tombstone horizon
+    /// without recompiling; the default pins the historical behavior.
+    pub retired_horizon: f64,
 }
 
 impl Default for ServiceConfig {
@@ -115,6 +117,7 @@ impl Default for ServiceConfig {
             process_noise: 0.02,
             measurement_noise: 0.09,
             stale_after: 60.0,
+            retired_horizon: 4.0,
         }
     }
 }
@@ -544,8 +547,9 @@ impl<L: Localizer> LocationService<L> {
             keep
         });
         // Tombstones are bounded too: queries about a lifetime retired
-        // more than RETIRED_HORIZON sweeps ago answer `Unknown`.
-        retired.retain(|_, r| now - r.last_update <= horizon * RETIRED_HORIZON);
+        // more than `retired_horizon` sweeps ago answer `Unknown`.
+        let retired_horizon = self.config.retired_horizon;
+        retired.retain(|_, r| now - r.last_update <= horizon * retired_horizon);
         self.last_sweep = now;
     }
 }
@@ -974,6 +978,43 @@ mod tests {
             svc.query(LocationQuery {
                 tag: key(1),
                 at: 100.0
+            }),
+            QueryResponse::Unknown
+        );
+    }
+
+    #[test]
+    fn retired_horizon_knob_shrinks_tombstone_lifetime() {
+        // Same timeline as `tombstones_age_out_of_the_sweep`, but with
+        // the horizon knob cut below the elapsed age: the tombstone that
+        // the default (4× stale_after) keeps is pruned at 1×.
+        let refs = map();
+        let cfg = ServiceConfig {
+            stale_after: 10.0,
+            retired_horizon: 1.0,
+            ..ServiceConfig::default()
+        };
+        let mut svc = LocationService::new(Vire::default(), cfg);
+        svc.observe(0.0, key(1), &refs, &reading_at(Point2::new(1.0, 1.0)))
+            .unwrap();
+        svc.forget(key(1));
+        // At 20 s the tombstone is 20 s old ≤ 1 × 10 s? No — but the
+        // sweep has not run yet, so the answer is still Stale.
+        assert!(matches!(
+            svc.query(LocationQuery {
+                tag: key(1),
+                at: 20.0
+            }),
+            QueryResponse::Stale { .. }
+        ));
+        // Trigger a sweep at 25 s: age 25 s > 1 × stale_after prunes it,
+        // where the default horizon (40 s) would have kept it.
+        svc.observe(25.0, key(2), &refs, &reading_at(Point2::new(2.0, 2.0)))
+            .unwrap();
+        assert_eq!(
+            svc.query(LocationQuery {
+                tag: key(1),
+                at: 25.0
             }),
             QueryResponse::Unknown
         );

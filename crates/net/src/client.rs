@@ -1,0 +1,254 @@
+//! [`GatewayClient`]: the load-generating counterpart of [`NetServer`].
+//!
+//! A gateway is a synchronous framed TCP client: it negotiates an
+//! encoding at `HELLO`, streams beacon batches (binary or trace-schema
+//! JSON), asks location queries, and can pull the fabric-wide
+//! [`NetStats`] snapshot. Batches may be pipelined
+//! ([`GatewayClient::send_batch`] + [`GatewayClient::recv_ack`]) or sent
+//! synchronously ([`GatewayClient::send_batch_ack`] — what the oracle
+//! tests use, because an ack-per-batch stream makes the server's drive
+//! schedule chunk-deterministic).
+//!
+//! [`NetServer`]: crate::server::NetServer
+
+use crate::codec::{
+    decode_batch_ok, decode_hello_ok, decode_location, decode_stats_ok, BatchAck, CodecError,
+    Encoding, FrameDecoder, FrameKind, FrameSink, HelloOk, MAX_FRAME_LEN,
+};
+use crate::NetStats;
+use std::io::{self, Read};
+use std::net::{TcpStream, ToSocketAddrs};
+use vire_core::{BeaconEvent, LocationQuery, QueryResponse};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write, unexpected EOF).
+    Io(io::Error),
+    /// The server's bytes failed to decode.
+    Codec(CodecError),
+    /// The server sent a validly-framed reply of the wrong kind.
+    Unexpected(FrameKind),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Codec(e) => write!(f, "frame decode error: {e}"),
+            ClientError::Unexpected(k) => write!(f, "unexpected reply frame {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        ClientError::Codec(e)
+    }
+}
+
+/// One decoded server→client frame, owned (no borrow of the decoder).
+enum Reply {
+    HelloOk(HelloOk),
+    BatchOk(BatchAck),
+    Location(QueryResponse),
+    StatsOk(NetStats),
+    ByeOk,
+}
+
+/// A synchronous framed gateway connection. See the [module docs](self).
+#[derive(Debug)]
+pub struct GatewayClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    sink: FrameSink,
+    hello: HelloOk,
+    /// Batches sent but not yet acked (pipelining depth).
+    in_flight: usize,
+}
+
+impl GatewayClient {
+    /// Connects, negotiates `encoding` at the current wire version, and
+    /// returns a ready client. `TCP_NODELAY` is set — a query
+    /// round-trip must never wait out a Nagle timer.
+    pub fn connect(addr: impl ToSocketAddrs, encoding: Encoding) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = GatewayClient {
+            stream,
+            decoder: FrameDecoder::new(MAX_FRAME_LEN),
+            sink: FrameSink::new(),
+            hello: HelloOk {
+                wire_version: vire_core::ingest::WIRE_VERSION,
+                encoding,
+                zones: 0,
+            },
+            in_flight: 0,
+        };
+        client.sink.hello(vire_core::ingest::WIRE_VERSION, encoding);
+        client.sink.flush_to(&mut client.stream)?;
+        match client.recv_reply()? {
+            Reply::HelloOk(ok) => {
+                client.hello = ok;
+                Ok(client)
+            }
+            other => Err(ClientError::Unexpected(reply_kind(&other))),
+        }
+    }
+
+    /// The negotiated handshake (granted encoding, server zone count).
+    pub fn hello(&self) -> HelloOk {
+        self.hello
+    }
+
+    /// Batches sent but not yet acked.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Sends a binary batch without waiting for its ack (pipelined).
+    pub fn send_batch(&mut self, events: &[BeaconEvent]) -> Result<(), ClientError> {
+        self.sink.batch_events(events);
+        self.sink.flush_to(&mut self.stream)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Sends a trace-schema JSON batch without waiting for its ack.
+    pub fn send_batch_json(&mut self, json: &str) -> Result<(), ClientError> {
+        self.sink.batch_json(json);
+        self.sink.flush_to(&mut self.stream)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Waits for the next `BATCH_OK`.
+    pub fn recv_ack(&mut self) -> Result<BatchAck, ClientError> {
+        match self.recv_reply()? {
+            Reply::BatchOk(ack) => {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                Ok(ack)
+            }
+            other => Err(ClientError::Unexpected(reply_kind(&other))),
+        }
+    }
+
+    /// Sends a binary batch and waits for its ack (the synchronous,
+    /// drive-deterministic pattern).
+    pub fn send_batch_ack(&mut self, events: &[BeaconEvent]) -> Result<BatchAck, ClientError> {
+        self.send_batch(events)?;
+        self.recv_ack()
+    }
+
+    /// Sends a JSON batch and waits for its ack.
+    pub fn send_batch_json_ack(&mut self, json: &str) -> Result<BatchAck, ClientError> {
+        self.send_batch_json(json)?;
+        self.recv_ack()
+    }
+
+    /// Asks `zone` where `query.tag` is at `query.at`. Outstanding
+    /// batch acks are absorbed in order while waiting (replies are
+    /// strictly FIFO), so queries may be interleaved with pipelined
+    /// batches.
+    pub fn query(&mut self, zone: u32, query: LocationQuery) -> Result<QueryResponse, ClientError> {
+        self.sink.query(zone, query);
+        self.sink.flush_to(&mut self.stream)?;
+        loop {
+            match self.recv_reply()? {
+                Reply::Location(resp) => return Ok(resp),
+                Reply::BatchOk(_) => {
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                }
+                other => return Err(ClientError::Unexpected(reply_kind(&other))),
+            }
+        }
+    }
+
+    /// Pulls the fabric-wide accounting snapshot (the server flushes
+    /// every shard ring first, so the result is exactly balanced).
+    pub fn stats(&mut self) -> Result<NetStats, ClientError> {
+        self.sink.stats();
+        self.sink.flush_to(&mut self.stream)?;
+        loop {
+            match self.recv_reply()? {
+                Reply::StatsOk(s) => return Ok(s),
+                Reply::BatchOk(_) => {
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                }
+                other => return Err(ClientError::Unexpected(reply_kind(&other))),
+            }
+        }
+    }
+
+    /// Graceful close: `BYE`, wait for `BYE_OK`, drop the stream.
+    pub fn bye(mut self) -> Result<(), ClientError> {
+        self.sink.bye();
+        self.sink.flush_to(&mut self.stream)?;
+        loop {
+            match self.recv_reply()? {
+                Reply::ByeOk => return Ok(()),
+                Reply::BatchOk(_) => {
+                    self.in_flight = self.in_flight.saturating_sub(1);
+                }
+                other => return Err(ClientError::Unexpected(reply_kind(&other))),
+            }
+        }
+    }
+
+    /// Reads frames until one complete server reply is decoded.
+    fn recv_reply(&mut self) -> Result<Reply, ClientError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return match frame.kind {
+                    FrameKind::HelloOk => Ok(Reply::HelloOk(decode_hello_ok(frame.body)?)),
+                    FrameKind::BatchOk => Ok(Reply::BatchOk(decode_batch_ok(frame.body)?)),
+                    FrameKind::Location => Ok(Reply::Location(decode_location(frame.body)?)),
+                    FrameKind::StatsOk => Ok(Reply::StatsOk(decode_stats_ok(frame.body)?)),
+                    FrameKind::ByeOk => Ok(Reply::ByeOk),
+                    other => Err(ClientError::Unexpected(other)),
+                };
+            }
+            let n = read_blocking(&mut self.stream, &mut self.decoder)?;
+            if n == 0 {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-reply",
+                )));
+            }
+        }
+    }
+}
+
+fn reply_kind(r: &Reply) -> FrameKind {
+    match r {
+        Reply::HelloOk(_) => FrameKind::HelloOk,
+        Reply::BatchOk(_) => FrameKind::BatchOk,
+        Reply::Location(_) => FrameKind::Location,
+        Reply::StatsOk(_) => FrameKind::StatsOk,
+        Reply::ByeOk => FrameKind::ByeOk,
+    }
+}
+
+/// One decoder read that rides out `WouldBlock`/`TimedOut` ticks (the
+/// client socket is blocking, but callers may have set a read timeout).
+fn read_blocking(stream: &mut impl Read, decoder: &mut FrameDecoder) -> io::Result<usize> {
+    loop {
+        match decoder.read_from(stream) {
+            Ok(n) => return Ok(n),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

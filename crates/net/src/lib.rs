@@ -1,0 +1,126 @@
+//! The network serving fabric: TCP transport for the VIRE location
+//! server.
+//!
+//! PR 9's [`vire_sim::IngestServer`] stops at the process boundary —
+//! beacon bursts enter through in-process calls. This crate puts a real
+//! socket in front of it, built entirely on `std::net` (the workspace is
+//! offline/vendored — no async runtime):
+//!
+//! - [`codec`] — a length-prefixed binary frame protocol for beacon
+//!   batches, location queries, and their replies. Wire v2 semantics are
+//!   preserved exactly; trace-schema JSON is accepted as a negotiated
+//!   fallback so existing traces replay unchanged. Decode runs out of a
+//!   per-connection reusable buffer ([`FrameDecoder`]) so the steady
+//!   state allocates nothing, and replies accumulate in a [`FrameSink`]
+//!   that flushes whole bursts with one vectored write.
+//! - [`server`] — [`NetServer`]: a listener plus thread-per-gateway
+//!   connections. Each connection frames into its **own**
+//!   [`vire_core::IngestFrontEnd`], so gateways never contend on a
+//!   shared lock; coalesced survivors are routed by campus-frame reader
+//!   id ([`ReaderRoute`]) into per-zone shard rings that feed one
+//!   [`vire_sim::IngestServer`] pipeline per zone.
+//! - [`client`] — [`GatewayClient`]: the load-generating counterpart
+//!   used by the oracle tests, the `net_throughput` bench, and any
+//!   external gateway.
+//! - [`shutdown`] — a tiny SIGINT latch (no `libc` crate; direct
+//!   `signal(2)` FFI) so `vire-repro serve --listen` can drain in-flight
+//!   frames and print final accounting on ctrl-c.
+//!
+//! ## Loss accounting across the fabric
+//!
+//! The PR 9 identity — accepted == delivered + lagged + coalesced —
+//! extends across all three buffering levels (connection front end →
+//! shard ring → zone pipeline). [`NetStats`] aggregates the chain and
+//! [`NetStats::balanced`] checks the identity; it holds exactly whenever
+//! the shard rings are flushed (every `STATS` request and every
+//! shutdown flushes them).
+//!
+//! ## Failure domains
+//!
+//! A malformed or truncated frame (bad length prefix, short read,
+//! invalid wire version, unroutable reader) closes **only** that
+//! gateway's connection and increments [`NetStats::protocol_errors`];
+//! the shared zone state is never poisoned and other gateways stream on
+//! undisturbed.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod codec;
+pub mod server;
+pub mod shutdown;
+
+pub use client::{ClientError, GatewayClient};
+pub use codec::{
+    decode_batch_events, decode_batch_ok, decode_hello, decode_hello_ok, decode_location,
+    decode_query, decode_stats_ok, BatchAck, CodecError, Encoding, Frame, FrameDecoder, FrameKind,
+    FrameSink, Hello, HelloOk, QueryFrame, EVENT_LEN, HEADER_LEN, MAGIC, MAX_FRAME_LEN,
+    PROTO_VERSION,
+};
+pub use server::{NetConfig, NetServer, ReaderRoute, ServerError};
+pub use shutdown::{install_sigint, reset_sigint, sigint_pending, trigger_sigint};
+
+use std::fmt;
+
+/// Aggregated serving-fabric accounting: the connection-level atomics
+/// plus every shard ring's and zone pipeline's [`vire_core::IngestStats`]
+/// folded into one ledger. Snapshot via [`server::NetServer::stats`] or
+/// over the wire via [`GatewayClient::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Beacon events accepted from gateway frames (post-decode,
+    /// pre-coalescing).
+    pub accepted: u64,
+    /// Events that survived every coalescing level and reached a zone
+    /// pipeline's localization stage.
+    pub delivered: u64,
+    /// Events merged away by newest-per-`(tag, reader)` coalescing at
+    /// any level (connection front end, shard ring, or zone pipeline).
+    pub coalesced: u64,
+    /// Events hard-dropped at a ring ceiling at any level.
+    pub lagged: u64,
+    /// Connections closed for protocol violations (malformed frame, bad
+    /// length prefix, invalid wire version, unroutable reader, …).
+    pub protocol_errors: u64,
+    /// Gateway connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Frames processed across all connections.
+    pub frames: u64,
+    /// Location queries answered.
+    pub queries: u64,
+}
+
+impl NetStats {
+    /// Whether the loss-accounting identity
+    /// `accepted == delivered + lagged + coalesced` holds. True whenever
+    /// the shard rings have been flushed (after `STATS` or shutdown);
+    /// mid-stream a snapshot may be transiently unbalanced because
+    /// survivors are parked in a shard ring awaiting the next drive.
+    pub fn balanced(&self) -> bool {
+        self.accepted == self.delivered + self.lagged + self.coalesced
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accepted {} == delivered {} + lagged {} + coalesced {} ({}); \
+             protocol_errors {}, connections {}, frames {}, queries {}",
+            self.accepted,
+            self.delivered,
+            self.lagged,
+            self.coalesced,
+            if self.balanced() {
+                "balanced"
+            } else {
+                "UNBALANCED"
+            },
+            self.protocol_errors,
+            self.connections,
+            self.frames,
+            self.queries,
+        )
+    }
+}

@@ -1,0 +1,74 @@
+//! A tiny SIGINT latch for clean ctrl-c shutdown.
+//!
+//! The workspace is offline/vendored and carries no `libc` crate, so
+//! the handler is registered through a direct FFI binding to the
+//! `signal(2)` symbol the process already links. The handler body is a
+//! single relaxed atomic store — the only thing that is
+//! async-signal-safe *and* all a drain-and-exit loop needs.
+//!
+//! ```no_run
+//! vire_net::shutdown::install_sigint();
+//! while !vire_net::shutdown::sigint_pending() {
+//!     std::thread::sleep(std::time::Duration::from_millis(100));
+//! }
+//! // drain, print final stats, exit
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGINT_PENDING: AtomicBool = AtomicBool::new(false);
+
+/// Whether a SIGINT has arrived since [`install_sigint`].
+pub fn sigint_pending() -> bool {
+    SIGINT_PENDING.load(Ordering::SeqCst)
+}
+
+/// Clears the latch (tests; or to arm a second ctrl-c phase).
+pub fn reset_sigint() {
+    SIGINT_PENDING.store(false, Ordering::SeqCst);
+}
+
+/// Raises the latch by hand — what the signal handler does, exposed so
+/// tests and non-Unix fallbacks can drive the same path.
+pub fn trigger_sigint() {
+    SIGINT_PENDING.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::ffi::c_int;
+
+    const SIGINT: c_int = 2;
+
+    extern "C" {
+        /// `signal(2)` from the platform libc the process already links.
+        /// Returns the previous handler, or `usize::MAX` (`SIG_ERR`) on
+        /// failure.
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: c_int) {
+        // Only an atomic store: async-signal-safe by construction.
+        super::trigger_sigint();
+    }
+
+    pub fn install() -> bool {
+        // SAFETY: `signal` is the libc prototype; the handler performs
+        // only an atomic store, which is async-signal-safe.
+        unsafe { signal(SIGINT, on_sigint) != usize::MAX }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Installs the SIGINT handler. Returns `false` where signal handling
+/// is unavailable (non-Unix); callers should fall back to EOF or an
+/// explicit stop.
+pub fn install_sigint() -> bool {
+    imp::install()
+}

@@ -1,0 +1,293 @@
+//! The transport acceptance pin: a trace streamed over a **real TCP
+//! socket** produces location estimates `f64::to_bits`-identical to
+//! in-process [`IngestServer::accept_json`] replay, on all four
+//! interpolation kernels — the network layer may frame, buffer, and
+//! batch, but it must never change a number. Plus the failure-domain
+//! pins: a malformed frame closes exactly one gateway's connection with
+//! a counted `protocol_errors`, leaving the shared service serving.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use vire_core::{
+    BeaconEvent, InterpolationKernel, LocationQuery, QueryResponse, TagKey, Vire, VireConfig,
+};
+use vire_geom::Point2;
+use vire_net::{Encoding, GatewayClient, NetConfig, NetServer};
+use vire_sim::trace::TraceReading;
+use vire_sim::{IngestServer, ServeConfig, Testbed, TestbedConfig, Trace};
+
+fn vire(kernel: InterpolationKernel) -> Vire {
+    Vire::new(VireConfig {
+        kernel,
+        ..VireConfig::default()
+    })
+}
+
+/// A 40 s paper-testbed capture with one tracking tag that relocates
+/// halfway through (same shape as the in-process ingest oracle).
+fn capture() -> Trace {
+    let mut cfg = TestbedConfig::paper(vire_env::presets::env2(), 11);
+    cfg.keep_log = true;
+    let mut tb = Testbed::new(cfg);
+    let id = tb.add_tracking_tag(Point2::new(1.2, 1.1));
+    tb.run_for(20.0);
+    tb.move_tag(id, Point2::new(2.0, 2.3));
+    tb.run_for(20.0);
+    tb.export_trace("socket oracle capture")
+}
+
+fn to_beacon(r: &TraceReading) -> BeaconEvent {
+    BeaconEvent {
+        time: r.time,
+        tag: TagKey::new(r.tag, r.generation),
+        reader: r.reader,
+        rssi: r.rssi,
+    }
+}
+
+fn chunk_json(chunk: &[TraceReading]) -> String {
+    serde_json::to_string(&chunk.to_vec()).expect("readings serialize")
+}
+
+fn response_bits(r: &QueryResponse) -> Vec<u64> {
+    match r {
+        QueryResponse::Unknown => vec![0],
+        QueryResponse::Fresh {
+            position,
+            velocity,
+            sigma,
+            age,
+        } => vec![
+            1,
+            position.x.to_bits(),
+            position.y.to_bits(),
+            velocity.x.to_bits(),
+            velocity.y.to_bits(),
+            sigma.0.to_bits(),
+            sigma.1.to_bits(),
+            age.to_bits(),
+        ],
+        QueryResponse::Stale { position, age } => {
+            vec![2, position.x.to_bits(), position.y.to_bits(), age.to_bits()]
+        }
+    }
+}
+
+/// Tag keys worth interrogating: the 16 reference tags plus the
+/// tracking tag in slot 16.
+fn probes() -> Vec<TagKey> {
+    (0..17).map(TagKey::first).collect()
+}
+
+/// Streams `trace` over a real socket (binary or JSON framing) and over
+/// the in-process `accept_json` path, comparing every query bit-for-bit
+/// after every chunk.
+fn assert_socket_matches_in_process(kernel: InterpolationKernel, encoding: Encoding) {
+    let trace = capture();
+    assert!(trace.readings.len() > 1000, "capture too small to stress");
+
+    let server = NetServer::from_traces(
+        "127.0.0.1:0",
+        std::slice::from_ref(&trace),
+        |_| vire(kernel),
+        NetConfig::default(),
+    )
+    .expect("bind loopback");
+    let mut client = GatewayClient::connect(server.local_addr(), encoding).expect("connect");
+    assert_eq!(client.hello().zones, 1);
+
+    let mut inproc = IngestServer::from_trace(&trace, vire(kernel), ServeConfig::default())
+        .expect("trace infers its own deployment");
+
+    for chunk in trace.readings.chunks(340) {
+        // Socket arm: one BATCH frame, acked after the zone was driven.
+        let ack = match encoding {
+            Encoding::Binary => {
+                let events: Vec<BeaconEvent> = chunk.iter().map(to_beacon).collect();
+                client.send_batch_ack(&events).expect("batch over socket")
+            }
+            Encoding::Json => client
+                .send_batch_json_ack(&chunk_json(chunk))
+                .expect("json batch over socket"),
+        };
+        assert_eq!(ack.accepted as usize, chunk.len());
+        assert_eq!(ack.lagged, 0, "loopback batches must never hard-drop");
+        assert!(
+            ack.drove,
+            "single-gateway streams always win the drive lock"
+        );
+
+        // In-process arm: the same bytes' worth of readings via
+        // accept_json + drive.
+        inproc
+            .accept_json(&chunk_json(chunk))
+            .expect("wire json parses");
+        let report = inproc.drive();
+        assert_eq!(report.lagged, 0);
+
+        // Compare every tag's answer at the chunk horizon, bit for bit.
+        let at = chunk.last().expect("chunks non-empty").time;
+        for tag in probes() {
+            let over_wire = client.query(0, LocationQuery { tag, at }).expect("query");
+            let local = inproc.query(LocationQuery { tag, at });
+            assert_eq!(
+                response_bits(&over_wire),
+                response_bits(&local),
+                "kernel {kernel:?} {encoding:?}: socket and in-process answers diverged \
+                 for tag {tag:?} at {at}"
+            );
+        }
+    }
+
+    let stats = client.stats().expect("stats over socket");
+    assert!(stats.balanced(), "final accounting must balance: {stats}");
+    assert_eq!(stats.lagged, 0);
+    assert_eq!(stats.accepted, trace.readings.len() as u64);
+    assert_eq!(stats.protocol_errors, 0);
+    client.bye().expect("clean close");
+    let final_stats = server.shutdown();
+    assert!(final_stats.balanced(), "post-shutdown: {final_stats}");
+}
+
+#[test]
+fn binary_socket_is_bit_identical_to_in_process_replay_all_kernels() {
+    for kernel in InterpolationKernel::ALL {
+        assert_socket_matches_in_process(kernel, Encoding::Binary);
+    }
+}
+
+#[test]
+fn json_fallback_socket_is_bit_identical_to_in_process_replay() {
+    // The negotiated JSON fallback rides the identical server path after
+    // parse; one kernel pins the encoding equivalence.
+    assert_socket_matches_in_process(InterpolationKernel::Linear, Encoding::Json);
+}
+
+#[test]
+fn malformed_frame_closes_one_connection_not_the_service() {
+    let trace = capture();
+    let server = NetServer::from_traces(
+        "127.0.0.1:0",
+        std::slice::from_ref(&trace),
+        |_| vire(InterpolationKernel::Linear),
+        NetConfig::default(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // A healthy gateway streams the first half of the capture.
+    let mut healthy = GatewayClient::connect(addr, Encoding::Binary).expect("connect");
+    let half: Vec<BeaconEvent> = trace.readings[..trace.readings.len() / 2]
+        .iter()
+        .map(to_beacon)
+        .collect();
+    for chunk in half.chunks(340) {
+        healthy.send_batch_ack(chunk).expect("healthy stream");
+    }
+
+    // Rogue 1: an oversize length prefix. The server must drop the
+    // connection (EOF on our side), not allocate 4 GiB or panic.
+    let mut rogue = TcpStream::connect(addr).expect("connect rogue");
+    rogue
+        .write_all(&[0xff, 0xff, 0xff, 0xff, 0x02])
+        .expect("write garbage");
+    let mut sink = Vec::new();
+    let n = rogue.read_to_end(&mut sink).unwrap_or(0);
+    drop(rogue);
+    assert_eq!(n, 0, "server must close without replying to garbage");
+
+    // Rogue 2: a valid frame grammar but no HELLO first.
+    let mut rogue2 = TcpStream::connect(addr).expect("connect rogue2");
+    rogue2
+        .write_all(&[0u8, 0, 0, 0, 0x04])
+        .expect("write STATS before HELLO");
+    let mut sink2 = Vec::new();
+    let _ = rogue2.read_to_end(&mut sink2);
+    assert!(sink2.is_empty(), "no reply to a pre-HELLO frame");
+    drop(rogue2);
+
+    // Rogue 3: an unroutable reader id in an otherwise valid batch.
+    let mut rogue3 = GatewayClient::connect(addr, Encoding::Binary).expect("connect rogue3");
+    let bogus = BeaconEvent {
+        time: 1.0,
+        tag: TagKey::first(0),
+        reader: 9999,
+        rssi: -70.0,
+    };
+    assert!(
+        rogue3.send_batch_ack(&[bogus]).is_err(),
+        "unroutable reader must close the connection instead of acking"
+    );
+
+    // The healthy gateway is entirely unaffected: it streams the second
+    // half and queries fine.
+    let rest: Vec<BeaconEvent> = trace.readings[trace.readings.len() / 2..]
+        .iter()
+        .map(to_beacon)
+        .collect();
+    for chunk in rest.chunks(340) {
+        healthy
+            .send_batch_ack(chunk)
+            .expect("healthy stream survives");
+    }
+    let at = trace.readings.last().expect("non-empty").time;
+    let resp = healthy
+        .query(
+            0,
+            LocationQuery {
+                tag: TagKey::first(16),
+                at,
+            },
+        )
+        .expect("query still served");
+    assert!(
+        matches!(resp, QueryResponse::Fresh { .. }),
+        "tracking tag must still answer Fresh, got {resp:?}"
+    );
+
+    let stats = healthy.stats().expect("stats");
+    assert_eq!(
+        stats.protocol_errors, 3,
+        "each rogue counted exactly once: {stats}"
+    );
+    assert!(stats.balanced(), "rogues must not skew accounting: {stats}");
+    assert_eq!(stats.accepted, trace.readings.len() as u64);
+    healthy.bye().expect("clean close");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_buffered_frames_and_balances() {
+    let trace = capture();
+    let server = NetServer::from_traces(
+        "127.0.0.1:0",
+        std::slice::from_ref(&trace),
+        |_| vire(InterpolationKernel::Linear),
+        NetConfig::default(),
+    )
+    .expect("bind loopback");
+    let mut client =
+        GatewayClient::connect(server.local_addr(), Encoding::Binary).expect("connect");
+
+    // Pipeline every chunk without waiting for acks, then shut the
+    // server down: the drain contract says everything already written
+    // to the wire is processed before the final accounting.
+    let events: Vec<BeaconEvent> = trace.readings.iter().map(to_beacon).collect();
+    let mut batches = 0u64;
+    for chunk in events.chunks(340) {
+        client.send_batch(chunk).expect("pipelined batch");
+        batches += 1;
+    }
+    // Absorb the acks so the server has definitely consumed every frame
+    // (acks are sent only after a batch is handled).
+    for _ in 0..batches {
+        let ack = client.recv_ack().expect("ack");
+        assert_eq!(ack.lagged, 0);
+    }
+
+    let final_stats = server.shutdown();
+    assert!(final_stats.balanced(), "drained shutdown: {final_stats}");
+    assert_eq!(final_stats.accepted, events.len() as u64);
+    assert_eq!(final_stats.lagged, 0);
+    assert_eq!(final_stats.protocol_errors, 0);
+}

@@ -55,6 +55,18 @@ cargo test -q -p vire-sim --test fabric
 echo "==> cargo test (ingest coalescing oracle)"
 cargo test -q -p vire-sim --test ingest
 
+# The wire must never change a number: a trace streamed over a real TCP
+# socket (binary and JSON framing) produces estimates bit-identical to
+# in-process replay on every kernel, malformed frames fail only their
+# own connection, and shutdown drains before the final accounting.
+echo "==> cargo test (socket transport oracle)"
+cargo test -q -p vire-net --test socket_oracle
+
+# Frame grammar robustness: every split point, every chunk size, every
+# truncation must decode cleanly or error cleanly — never panic.
+echo "==> cargo test (frame codec proptests)"
+cargo test -q -p vire-net --test codec
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
@@ -122,6 +134,34 @@ if [[ -f BENCH_service_latency.json ]]; then
   fi
   if [[ $(awk -v p="$p999" -v b="$bound" 'BEGIN { print (p <= b) ? 1 : 0 }') != 1 ]]; then
     echo "REGRESSION: p999_per_query_us = $p999 exceeds bound $bound" >&2
+    exit 1
+  fi
+fi
+
+# Network serving gates: the framed query round trip must stay under its
+# recorded p999 bound (a Nagle stall or a drive on the query path would
+# blow through it), and the fabric must report zero hard drops at the top
+# recorded loopback rate. binary_vs_json_speedup >= 1.0 rides the generic
+# speedup gate above.
+if [[ -f BENCH_net_throughput.json ]]; then
+  echo "==> net throughput gate"
+  nnum() {
+    grep -o "\"$1\"[[:space:]]*:[[:space:]]*[0-9.eE+-]*" BENCH_net_throughput.json \
+      | head -1 | sed 's/.*:[[:space:]]*//'
+  }
+  p999=$(nnum p999_rtt_us)
+  bound=$(nnum p999_rtt_us_bound)
+  lagged=$(nnum lagged_at_top_rate)
+  if [[ -z "$p999" || -z "$bound" || -z "$lagged" ]]; then
+    echo "REGRESSION: BENCH_net_throughput.json is missing gated fields" >&2
+    exit 1
+  fi
+  if [[ $(awk -v p="$p999" -v b="$bound" 'BEGIN { print (p <= b) ? 1 : 0 }') != 1 ]]; then
+    echo "REGRESSION: p999_rtt_us = $p999 exceeds bound $bound" >&2
+    exit 1
+  fi
+  if [[ "$lagged" != 0 ]]; then
+    echo "REGRESSION: lagged_at_top_rate = $lagged (must be 0)" >&2
     exit 1
   fi
 fi

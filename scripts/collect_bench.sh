@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 collected=0
-for name in prepared_vs_rebuild pipeline_throughput incremental_prepare channel_cache kernels shard_scaling tag_churn trial_cache service_latency; do
+for name in prepared_vs_rebuild pipeline_throughput incremental_prepare channel_cache kernels shard_scaling tag_churn trial_cache service_latency net_throughput; do
   src="target/${name}.json"
   if [[ -f "$src" ]]; then
     cp "$src" "BENCH_${name}.json"

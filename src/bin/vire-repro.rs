@@ -3,7 +3,7 @@
 //! ```text
 //! vire-repro <figure> [--seeds SPEC] [--corpus DIR] [--json]
 //! vire-repro all [--seeds SPEC] [--corpus DIR]
-//! vire-repro serve [--trace FILE] [--seeds SPEC] [--json]
+//! vire-repro serve [--trace FILE] [--seeds SPEC] [--json] [--listen ADDR]
 //! vire-repro list
 //! ```
 //!
@@ -13,7 +13,11 @@
 //! `serve` stands up the burst-coalescing serving pipeline
 //! ([`vire::sim::IngestServer`]) from a trace file (or a freshly captured
 //! demo trace), replays the readings in bursts, and reports the loss
-//! accounting plus a final location query per tracking tag.
+//! accounting plus a final location query per tracking tag. With
+//! `--listen ADDR` it instead binds the TCP serving fabric
+//! ([`vire::net::NetServer`]) on ADDR — gateways stream framed beacon
+//! batches and location queries until `Ctrl-C`, which drains in-flight
+//! frames and prints the final accounting.
 //!
 //! Every figure collects its simulated trials through the process-wide
 //! [`vire::exp::TrialCache`], so a fixture shared between figures (fig7,
@@ -34,6 +38,7 @@ struct Options {
     seeds: Vec<u64>,
     json: bool,
     trace: Option<String>,
+    listen: Option<String>,
 }
 
 /// Parses a `--seeds` spec: a count `N` (seeds 1..=N), an inclusive range
@@ -68,6 +73,7 @@ fn parse_args() -> Result<Options, String> {
     let mut seeds: Vec<u64> = (1..=10).collect();
     let mut json = false;
     let mut trace: Option<String> = None;
+    let mut listen: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seeds" => {
@@ -81,6 +87,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--json" => json = true,
             "--trace" => trace = Some(args.next().ok_or("--trace needs a file path")?),
+            "--listen" => listen = Some(args.next().ok_or("--listen needs HOST:PORT")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -89,6 +96,7 @@ fn parse_args() -> Result<Options, String> {
         seeds,
         json,
         trace,
+        listen,
     })
 }
 
@@ -220,17 +228,13 @@ fn run_figure(name: &str, seeds: &[u64], json: bool) -> Result<(), String> {
     Ok(())
 }
 
-/// Replays a trace through the serving pipeline in bursts and reports
-/// the ingest accounting plus a final query per tracking tag. Captures a
-/// demo trace from the paper testbed (seeded by the first `--seeds`
-/// entry) when no `--trace` file is given.
-fn run_serve(seeds: &[u64], trace_path: Option<&str>, json: bool) -> Result<(), String> {
-    use vire::core::{LocationQuery, QueryResponse, TagKey, Vire};
+/// Loads the serve trace: `--trace FILE` when given, else a fresh demo
+/// capture from the paper testbed seeded by the first `--seeds` entry.
+fn load_serve_trace(seeds: &[u64], trace_path: Option<&str>) -> Result<vire::sim::Trace, String> {
     use vire::geom::Point2;
-    use vire::sim::{IngestServer, ServeConfig, Testbed, TestbedConfig, Trace};
-
-    let trace = match trace_path {
-        Some(path) => Trace::load(path).map_err(|e| format!("--trace {path}: {e}"))?,
+    use vire::sim::{Testbed, TestbedConfig, Trace};
+    match trace_path {
+        Some(path) => Trace::load(path).map_err(|e| format!("--trace {path}: {e}")),
         None => {
             let seed = seeds.first().copied().unwrap_or(1);
             let mut cfg = TestbedConfig::paper(vire::env::presets::env2(), seed);
@@ -239,9 +243,63 @@ fn run_serve(seeds: &[u64], trace_path: Option<&str>, json: bool) -> Result<(), 
             tb.add_tracking_tag(Point2::new(1.2, 1.1));
             tb.add_tracking_tag(Point2::new(2.1, 2.3));
             tb.run_for(60.0);
-            tb.export_trace(format!("demo capture, paper testbed, seed {seed}"))
+            Ok(tb.export_trace(format!("demo capture, paper testbed, seed {seed}")))
         }
-    };
+    }
+}
+
+/// Binds the TCP serving fabric on `addr` and serves gateway connections
+/// until `Ctrl-C`; the trace supplies the zone's deployment geometry. On
+/// shutdown, in-flight frames are drained and the final accounting is
+/// printed with its balance verdict.
+fn run_listen(seeds: &[u64], trace_path: Option<&str>, addr: &str) -> Result<(), String> {
+    use vire::core::Vire;
+    use vire::net::{install_sigint, sigint_pending, NetConfig, NetServer};
+
+    let trace = load_serve_trace(seeds, trace_path)?;
+    let server = NetServer::from_traces(
+        addr,
+        std::slice::from_ref(&trace),
+        |_| Vire::default(),
+        NetConfig::default(),
+    )
+    .map_err(|e| format!("--listen {addr}: {e}"))?;
+
+    if !install_sigint() {
+        eprintln!("vire-repro: warning: no SIGINT handler; stop with SIGKILL");
+    }
+    println!(
+        "serving \"{}\" on {} ({} readers, 1 zone); Ctrl-C to drain and stop",
+        trace.description,
+        server.local_addr(),
+        trace.readers.len(),
+    );
+    while !sigint_pending() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("\nSIGINT: draining in-flight frames...");
+    let stats = server.shutdown();
+    println!("final {stats}");
+    if stats.balanced() {
+        println!(
+            "accounting balanced: accepted {} == delivered {} + lagged {} + coalesced {}",
+            stats.accepted, stats.delivered, stats.lagged, stats.coalesced
+        );
+        Ok(())
+    } else {
+        Err(format!("accounting does NOT balance: {stats}"))
+    }
+}
+
+/// Replays a trace through the serving pipeline in bursts and reports
+/// the ingest accounting plus a final query per tracking tag. Captures a
+/// demo trace from the paper testbed (seeded by the first `--seeds`
+/// entry) when no `--trace` file is given.
+fn run_serve(seeds: &[u64], trace_path: Option<&str>, json: bool) -> Result<(), String> {
+    use vire::core::{LocationQuery, QueryResponse, TagKey, Vire};
+    use vire::sim::{IngestServer, ServeConfig};
+
+    let trace = load_serve_trace(seeds, trace_path)?;
 
     let mut server = IngestServer::from_trace(&trace, Vire::default(), ServeConfig::default())
         .map_err(|e| format!("trace deployment: {e}"))?;
@@ -362,9 +420,13 @@ fn main() -> ExitCode {
         "list" => {
             println!("figures: {}", ALL.join(" "));
             println!("usage:   vire-repro <figure|all> [--seeds SPEC] [--corpus DIR] [--json]");
-            println!("         vire-repro serve [--trace FILE] [--seeds SPEC] [--json]");
+            println!(
+                "         vire-repro serve [--trace FILE] [--seeds SPEC] [--json] [--listen ADDR]"
+            );
             println!("serve:   replays FILE (or a fresh demo capture) through the burst-");
             println!("         coalescing ingest server and reports loss accounting + queries.");
+            println!("         --listen ADDR binds the TCP serving fabric instead: gateways");
+            println!("         stream framed batches/queries until Ctrl-C drains and stops.");
             println!("seeds:   SPEC is a count `N` (seeds 1..=N), an inclusive range `A..B`,");
             println!("         or a comma list `S1,S2,...`; figures average over all of them.");
             println!("         cdf/heatmap derive per-batch seeds as `first_seed + batch_index`;");
@@ -373,13 +435,19 @@ fn main() -> ExitCode {
             println!("         content fingerprint; later runs load instead of simulating.");
             ExitCode::SUCCESS
         }
-        "serve" => match run_serve(&opts.seeds, opts.trace.as_deref(), opts.json) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("vire-repro: {e}");
-                ExitCode::FAILURE
+        "serve" => {
+            let run = match opts.listen.as_deref() {
+                Some(addr) => run_listen(&opts.seeds, opts.trace.as_deref(), addr),
+                None => run_serve(&opts.seeds, opts.trace.as_deref(), opts.json),
+            };
+            match run {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("vire-repro: {e}");
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
         "all" => {
             let mut before = TrialCache::global().stats();
             for name in ALL {

@@ -10,6 +10,7 @@
 //! * `env` — indoor environment models (the paper's Env1/Env2/Env3),
 //! * [`sim`] — the active-RFID discrete-event testbed,
 //! * [`core`] — the localization algorithms (LANDMARC, VIRE, baselines),
+//! * [`net`] — the TCP serving fabric (framed ingest/query transport),
 //! * [`exp`] — the experiment harness reproducing every paper figure,
 //! * [`viz`] — SVG rendering of floor plans, charts and rasters.
 
@@ -18,6 +19,7 @@ pub use vire_core as core;
 pub use vire_env as env;
 pub use vire_exp as exp;
 pub use vire_geom as geom;
+pub use vire_net as net;
 pub use vire_radio as radio;
 pub use vire_sim as sim;
 pub use vire_viz as viz;
