@@ -303,6 +303,14 @@ impl serde::Deserialize for RawValue {
 /// transports can decode-and-validate *before* accepting into a front
 /// end (a rejected payload must never strand accepted events).
 pub fn parse_wire(json: &str) -> Result<Vec<BeaconEvent>, WireError> {
+    parse_wire_versioned(json).map(|(_, events)| events)
+}
+
+/// [`parse_wire`], but also returns the payload's wire version (a bare
+/// readings array carries no version field and counts as the current
+/// [`WIRE_VERSION`]). Transports that pin a version per connection use
+/// this to reject payloads newer than what the peer negotiated.
+pub fn parse_wire_versioned(json: &str) -> Result<(u32, Vec<BeaconEvent>), WireError> {
     let RawValue(root) = serde_json::from_str(json).map_err(|e| WireError::Json(e.to_string()))?;
     let (version, readings) = match &root {
         serde::Value::Array(items) => (WIRE_VERSION, items.as_slice()),
@@ -366,7 +374,7 @@ pub fn parse_wire(json: &str) -> Result<Vec<BeaconEvent>, WireError> {
             rssi,
         });
     }
-    Ok(events)
+    Ok((version, events))
 }
 
 fn field_u32(v: &serde::Value, name: &str) -> Result<u32, WireError> {

@@ -73,8 +73,8 @@ pub use incremental::{
     DirtyCell, OwnedPreparedLocalizer, PreparedLandmarcOwned, PreparedVireOwned, SyncOutcome,
 };
 pub use ingest::{
-    beacon_key, parse_wire, BeaconEvent, IngestBatch, IngestConfig, IngestFrontEnd, IngestStats,
-    WireError, WIRE_MIN_VERSION, WIRE_VERSION,
+    beacon_key, parse_wire, parse_wire_versioned, BeaconEvent, IngestBatch, IngestConfig,
+    IngestFrontEnd, IngestStats, WireError, WIRE_MIN_VERSION, WIRE_VERSION,
 };
 pub use kalman::KalmanTracker;
 pub use landmarc::{Landmarc, LandmarcConfig};

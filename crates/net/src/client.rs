@@ -172,8 +172,12 @@ impl GatewayClient {
         }
     }
 
-    /// Pulls the fabric-wide accounting snapshot (the server flushes
-    /// every shard ring first, so the result is exactly balanced).
+    /// Pulls the fabric-wide accounting snapshot. The server flushes
+    /// every shard ring first, so the result is exactly balanced when
+    /// this is the sole active gateway; with concurrent gateways another
+    /// connection may accept events between the flush and the snapshot,
+    /// leaving the result transiently unbalanced (same caveat as
+    /// [`NetServer::stats`](crate::server::NetServer::stats)).
     pub fn stats(&mut self) -> Result<NetStats, ClientError> {
         self.sink.stats();
         self.sink.flush_to(&mut self.stream)?;

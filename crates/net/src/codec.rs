@@ -464,6 +464,18 @@ pub fn decode_hello_ok(body: &[u8]) -> Result<HelloOk, CodecError> {
 pub fn decode_batch_events(body: &[u8], out: &mut Vec<BeaconEvent>) -> Result<usize, CodecError> {
     let mut r = BodyReader::new(body);
     let count = r.u32()? as usize;
+    // The count field is peer-controlled and the frame-length ceiling
+    // does not bound it: a tiny body claiming `u32::MAX` events must be
+    // rejected *before* the reservation, or the decoder would attempt a
+    // ~100 GiB allocation whose failure aborts the whole process instead
+    // of closing one connection.
+    let have = body.len() - 4;
+    if count > have / EVENT_LEN {
+        return Err(CodecError::Truncated {
+            need: count.saturating_mul(EVENT_LEN),
+            have,
+        });
+    }
     out.reserve(count);
     for _ in 0..count {
         let time = r.f64()?;
@@ -548,6 +560,7 @@ pub fn decode_stats_ok(body: &[u8]) -> Result<NetStats, CodecError> {
         coalesced: r.u64()?,
         lagged: r.u64()?,
         protocol_errors: r.u64()?,
+        accept_errors: r.u64()?,
         connections: r.u64()?,
         frames: r.u64()?,
         queries: r.u64()?,
@@ -735,6 +748,7 @@ impl FrameSink {
         self.put_u64(stats.coalesced);
         self.put_u64(stats.lagged);
         self.put_u64(stats.protocol_errors);
+        self.put_u64(stats.accept_errors);
         self.put_u64(stats.connections);
         self.put_u64(stats.frames);
         self.put_u64(stats.queries);

@@ -83,6 +83,11 @@ pub struct NetStats {
     /// Connections closed for protocol violations (malformed frame, bad
     /// length prefix, invalid wire version, unroutable reader, …).
     pub protocol_errors: u64,
+    /// `accept(2)` failures other than the non-blocking listener's idle
+    /// `WouldBlock` tick. A steadily climbing count means the listener is
+    /// unhealthy (fd exhaustion, dead socket) — the server keeps serving
+    /// existing gateways but cannot admit new ones.
+    pub accept_errors: u64,
     /// Gateway connections accepted over the server's lifetime.
     pub connections: u64,
     /// Frames processed across all connections.
@@ -107,7 +112,7 @@ impl fmt::Display for NetStats {
         write!(
             f,
             "accepted {} == delivered {} + lagged {} + coalesced {} ({}); \
-             protocol_errors {}, connections {}, frames {}, queries {}",
+             protocol_errors {}, accept_errors {}, connections {}, frames {}, queries {}",
             self.accepted,
             self.delivered,
             self.lagged,
@@ -118,6 +123,7 @@ impl fmt::Display for NetStats {
                 "UNBALANCED"
             },
             self.protocol_errors,
+            self.accept_errors,
             self.connections,
             self.frames,
             self.queries,

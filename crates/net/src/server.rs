@@ -42,7 +42,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use vire_core::{ingest::parse_wire, BeaconEvent, IngestFrontEnd, Localizer};
+use vire_core::{ingest::parse_wire_versioned, BeaconEvent, IngestFrontEnd, Localizer};
 use vire_sim::trace::TraceError;
 use vire_sim::{IngestServer, ServeConfig, Trace};
 
@@ -176,6 +176,7 @@ struct Shared<L: Localizer> {
     conn_coalesced: AtomicU64,
     conn_lagged: AtomicU64,
     protocol_errors: AtomicU64,
+    accept_errors: AtomicU64,
     connections: AtomicU64,
     frames: AtomicU64,
     queries: AtomicU64,
@@ -234,6 +235,7 @@ impl<L: Localizer> Shared<L> {
             coalesced: self.conn_coalesced.load(Ordering::Relaxed),
             lagged: self.conn_lagged.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             frames: self.frames.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
@@ -320,6 +322,7 @@ impl<L: Localizer + Send + 'static> NetServer<L> {
             conn_coalesced: AtomicU64::new(0),
             conn_lagged: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             frames: AtomicU64::new(0),
             queries: AtomicU64::new(0),
@@ -414,7 +417,18 @@ fn accept_loop<L: Localizer + Send + 'static>(
                     conns.lock().unwrap_or_else(|e| e.into_inner()).push(h);
                 }
             }
-            Err(_) => std::thread::sleep(shared.config.poll_interval),
+            // The listener is non-blocking, so WouldBlock is the normal
+            // idle tick. Anything else — EMFILE, a dead listener — is a
+            // real failure: count it so a stats snapshot surfaces a
+            // listener that has silently stopped admitting gateways,
+            // then back off so a persistent error cannot spin hot.
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.config.poll_interval)
+            }
+            Err(_) => {
+                shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(shared.config.poll_interval);
+            }
         }
     }
 }
@@ -443,6 +457,11 @@ struct ConnState {
     /// Per-zone survivor runs for the frame in flight.
     runs: Vec<Vec<BeaconEvent>>,
     encoding: Option<Encoding>,
+    /// The wire version pinned at `HELLO`. A JSON batch whose payload
+    /// claims a *newer* version than the connection negotiated is a
+    /// protocol error; older payloads are accepted (the version gate is
+    /// a feature ceiling, and existing traces must replay unchanged).
+    wire_version: u32,
 }
 
 fn serve_conn<L: Localizer>(shared: &Shared<L>, mut stream: TcpStream) {
@@ -455,6 +474,7 @@ fn serve_conn<L: Localizer>(shared: &Shared<L>, mut stream: TcpStream) {
         scratch: Vec::new(),
         runs: (0..shared.zones.len()).map(|_| Vec::new()).collect(),
         encoding: None,
+        wire_version: vire_core::ingest::WIRE_VERSION,
     };
     let end = conn_loop(shared, &mut stream, &mut decoder, &mut st);
     if matches!(end, ConnEnd::Protocol) {
@@ -529,6 +549,7 @@ fn handle_frame<L: Localizer>(
         (None, FrameKind::Hello) => {
             let hello = decode_hello(body).map_err(|_| ())?;
             st.encoding = Some(hello.encoding);
+            st.wire_version = hello.wire_version;
             st.sink.hello_ok(HelloOk {
                 wire_version: hello.wire_version,
                 encoding: hello.encoding,
@@ -579,7 +600,14 @@ fn handle_batch<L: Localizer>(
         }
         Encoding::Json => {
             let json = std::str::from_utf8(body).map_err(|_| ())?;
-            let events = parse_wire(json).map_err(|_| ())?;
+            let (version, events) = parse_wire_versioned(json).map_err(|_| ())?;
+            // The HELLO-pinned wire version is a ceiling: a connection
+            // that negotiated v1 must not smuggle v2 payloads past the
+            // handshake. Older payloads stay accepted — traces recorded
+            // at earlier versions replay unchanged on a current client.
+            if version > st.wire_version {
+                return Err(());
+            }
             st.scratch.extend(events);
         }
     }

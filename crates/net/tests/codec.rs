@@ -245,6 +245,46 @@ fn oversize_length_prefix_is_rejected_not_allocated() {
 }
 
 #[test]
+fn hostile_batch_count_is_rejected_not_reserved() {
+    // A tiny body claiming u32::MAX events must fail validation before
+    // the event-count reservation: reserving ~100 GiB would abort the
+    // process on allocation failure instead of closing one connection.
+    let mut body = Vec::new();
+    body.extend_from_slice(&u32::MAX.to_le_bytes());
+    body.extend_from_slice(&[0u8; 16]); // far fewer bytes than one event
+    let mut out: Vec<BeaconEvent> = Vec::new();
+    match decode_batch_events(&body, &mut out) {
+        Err(CodecError::Truncated { need, have }) => {
+            assert_eq!(have, 16);
+            assert_eq!(need, u32::MAX as usize * EVENT_LEN);
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+    assert!(out.is_empty());
+    assert_eq!(
+        out.capacity(),
+        0,
+        "nothing may be reserved for a hostile count"
+    );
+
+    // A plausible-but-wrong count over a valid-sized body is rejected
+    // too: count is only trusted once it matches the bytes present.
+    let mut sink = FrameSink::new();
+    sink.batch_events(&[BeaconEvent {
+        time: 1.0,
+        tag: TagKey::first(3),
+        reader: 1,
+        rssi: -70.0,
+    }]);
+    let mut inflated = sink.bytes()[HEADER_LEN..].to_vec();
+    inflated[..4].copy_from_slice(&2u32.to_le_bytes()); // claims 2, holds 1
+    assert!(matches!(
+        decode_batch_events(&inflated, &mut out),
+        Err(CodecError::Truncated { .. })
+    ));
+}
+
+#[test]
 fn unknown_frame_kind_is_rejected() {
     let mut dec = FrameDecoder::new(1024);
     dec.push(&[0, 0, 0, 0, 0x7f]);
@@ -352,6 +392,7 @@ fn stats_round_trip_is_exact() {
         coalesced: 3,
         lagged: 4,
         protocol_errors: 5,
+        accept_errors: 9,
         connections: 6,
         frames: 7,
         queries: 8,

@@ -12,7 +12,10 @@ use vire_core::{
     BeaconEvent, InterpolationKernel, LocationQuery, QueryResponse, TagKey, Vire, VireConfig,
 };
 use vire_geom::Point2;
-use vire_net::{Encoding, GatewayClient, NetConfig, NetServer};
+use vire_net::{
+    decode_batch_ok, decode_hello_ok, Encoding, FrameDecoder, FrameSink, GatewayClient, NetConfig,
+    NetServer, MAX_FRAME_LEN,
+};
 use vire_sim::trace::TraceReading;
 use vire_sim::{IngestServer, ServeConfig, Testbed, TestbedConfig, Trace};
 
@@ -253,6 +256,65 @@ fn malformed_frame_closes_one_connection_not_the_service() {
     assert!(stats.balanced(), "rogues must not skew accounting: {stats}");
     assert_eq!(stats.accepted, trace.readings.len() as u64);
     healthy.bye().expect("clean close");
+    server.shutdown();
+}
+
+#[test]
+fn json_payload_newer_than_negotiated_wire_version_is_rejected() {
+    let trace = capture();
+    let server = NetServer::from_traces(
+        "127.0.0.1:0",
+        std::slice::from_ref(&trace),
+        |_| vire(InterpolationKernel::Linear),
+        NetConfig::default(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // `GatewayClient` always negotiates the current wire version, so pin
+    // v1 by hand-framing the handshake.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut sink = FrameSink::new();
+    let mut dec = FrameDecoder::new(MAX_FRAME_LEN);
+    sink.hello(1, Encoding::Json);
+    sink.flush_to(&mut stream).expect("send HELLO");
+    let hello_ok = loop {
+        if let Some(frame) = dec.next_frame().expect("framed reply") {
+            break decode_hello_ok(frame.body).expect("HELLO_OK");
+        }
+        assert!(dec.read_from(&mut stream).expect("read") > 0);
+    };
+    assert_eq!(hello_ok.wire_version, 1, "server echoes the pinned version");
+
+    // Control: a v1 payload on the pinned connection is served normally.
+    let v1 = r#"{"version":1,"readings":[{"time":0.5,"tag":16,"reader":0,"rssi":-55.0}]}"#;
+    sink.batch_json(v1);
+    sink.flush_to(&mut stream).expect("send v1 batch");
+    let ack = loop {
+        if let Some(frame) = dec.next_frame().expect("framed reply") {
+            break decode_batch_ok(frame.body).expect("BATCH_OK");
+        }
+        assert!(dec.read_from(&mut stream).expect("read") > 0);
+    };
+    assert_eq!(ack.accepted, 1);
+
+    // A payload claiming v2 (generation fields) must not slip past the
+    // v1 handshake: the connection closes with a counted protocol error
+    // and no ack.
+    let v2 = r#"{"version":2,"readings":[{"time":1.0,"tag":16,"generation":1,"reader":0,"rssi":-55.0}]}"#;
+    sink.batch_json(v2);
+    sink.flush_to(&mut stream).expect("send v2 batch");
+    let mut rest = Vec::new();
+    let n = stream.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "no ack for a version-violating batch");
+    drop(stream);
+
+    let mut observer = GatewayClient::connect(addr, Encoding::Binary).expect("connect observer");
+    let stats = observer.stats().expect("stats");
+    assert_eq!(stats.protocol_errors, 1, "{stats}");
+    assert_eq!(stats.accepted, 1, "only the v1 control batch landed");
+    assert!(stats.balanced(), "{stats}");
+    observer.bye().expect("clean close");
     server.shutdown();
 }
 
